@@ -1,0 +1,286 @@
+//! The table of known primitive operations.
+//!
+//! This is the compiler's side of the builtin vocabulary whose run-time
+//! semantics live in `s1lisp-interp` and whose instruction selections
+//! live in `s1lisp-codegen`.  The optimizer consults it for:
+//!
+//! * **purity** — "invoking primitive functions known to be free of side
+//!   effects on constant operands" (compile-time expression evaluation,
+//!   §5), and the code-motion legality check of §7 ("the operations `*$f`
+//!   and `sinc$f` … are known to the compiler to be immutable
+//!   mathematical functions");
+//! * **associativity/commutativity** — "certain manipulations of
+//!   associative and commutative operators (such as table-driven
+//!   elimination of identity operands)" (§5);
+//! * **pdl-safety** — "operations are also classified as 'safe' and
+//!   'unsafe'" (§6.3): an unsafe operation may smuggle a pointer into the
+//!   heap or a global, so a stack-allocated (pdl) number must be
+//!   certified first.
+
+use s1lisp_reader::Datum;
+
+/// An identity element of an associative/commutative operation, stored
+/// as plain data so the table can be `static`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Identity {
+    /// A fixnum identity (0 for `+`, 1 for `*`).
+    Fixnum(i64),
+    /// A flonum identity (0.0 for `+$f`, 1.0 for `*$f`).
+    Flonum(f64),
+}
+
+impl Identity {
+    /// Whether `d` is this identity element (same type and value).
+    pub fn matches(self, d: &Datum) -> bool {
+        match (self, d) {
+            (Identity::Fixnum(a), Datum::Fixnum(b)) => a == *b,
+            (Identity::Flonum(a), Datum::Flonum(b)) => a == *b,
+            _ => false,
+        }
+    }
+
+    /// The identity as a datum.
+    pub fn to_datum(self) -> Datum {
+        match self {
+            Identity::Fixnum(n) => Datum::Fixnum(n),
+            Identity::Flonum(x) => Datum::Flonum(x),
+        }
+    }
+}
+
+/// Which numeric type an operation produces, when known.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum NumKind {
+    /// Always a fixnum.
+    Fixnum,
+    /// Always a single-word flonum.
+    Flonum,
+    /// A number whose exact type depends on the arguments (generic
+    /// arithmetic).
+    Generic,
+    /// A boolean (`t` or `()`).
+    Boolean,
+    /// Not a number (or unknown).
+    Other,
+}
+
+/// Static facts about one primitive operation.
+#[derive(Clone, Debug)]
+pub struct Primop {
+    /// Operation name as spelled in source.
+    pub name: &'static str,
+    /// Free of side effects *and* of dependence on mutable state: safe to
+    /// fold, duplicate, reorder, or move past arbitrary calls.
+    pub pure_math: bool,
+    /// May allocate heap storage (a side effect that "may be eliminated
+    /// but must not be duplicated", §5).
+    pub allocates: bool,
+    /// Mutates reachable structure (`rplaca`-class).
+    pub writes: bool,
+    /// Reads mutable structure (`car`-class): movable only where no
+    /// intervening write can occur.
+    pub reads_mutable: bool,
+    /// pdl-safe: may receive a pointer into the stack without
+    /// certification (§6.3).  Safe: type checks, arithmetic, comparisons,
+    /// passing onward.  Unsafe: storing a pointer into reachable
+    /// structure.
+    pub pdl_safe: bool,
+    /// Associative and commutative (may be re-associated; constants may
+    /// be hoisted to the front, §7).
+    pub assoc_commut: bool,
+    /// Identity operand for table-driven identity elimination, e.g. 0
+    /// for `+`, 1 for `*`.
+    pub identity: Option<Identity>,
+    /// Result type.
+    pub result: NumKind,
+}
+
+macro_rules! ops {
+    ($( $name:literal => pure:$p:literal alloc:$al:literal writes:$w:literal readsmut:$rm:literal
+         safe:$s:literal ac:$ac:literal id:$id:expr, result:$res:ident );* $(;)?) => {
+        &[ $( Primop {
+            name: $name,
+            pure_math: $p,
+            allocates: $al,
+            writes: $w,
+            reads_mutable: $rm,
+            pdl_safe: $s,
+            assoc_commut: $ac,
+            identity: $id,
+            result: NumKind::$res,
+        } ),* ]
+    };
+}
+
+/// The primop table.
+pub static PRIMOPS: &[Primop] = ops![
+    // Generic arithmetic: pure mathematical functions.
+    "+" => pure:true alloc:false writes:false readsmut:false safe:true ac:true id:Some(Identity::Fixnum(0)), result:Generic;
+    "-" => pure:true alloc:false writes:false readsmut:false safe:true ac:false id:None, result:Generic;
+    "*" => pure:true alloc:false writes:false readsmut:false safe:true ac:true id:Some(Identity::Fixnum(1)), result:Generic;
+    "/" => pure:true alloc:false writes:false readsmut:false safe:true ac:false id:None, result:Generic;
+    "1+" => pure:true alloc:false writes:false readsmut:false safe:true ac:false id:None, result:Generic;
+    "1-" => pure:true alloc:false writes:false readsmut:false safe:true ac:false id:None, result:Generic;
+    "abs" => pure:true alloc:false writes:false readsmut:false safe:true ac:false id:None, result:Generic;
+    "min" => pure:true alloc:false writes:false readsmut:false safe:true ac:true id:None, result:Generic;
+    "max" => pure:true alloc:false writes:false readsmut:false safe:true ac:true id:None, result:Generic;
+    "floor" => pure:true alloc:false writes:false readsmut:false safe:true ac:false id:None, result:Fixnum;
+    "ceiling" => pure:true alloc:false writes:false readsmut:false safe:true ac:false id:None, result:Fixnum;
+    "truncate" => pure:true alloc:false writes:false readsmut:false safe:true ac:false id:None, result:Fixnum;
+    "round" => pure:true alloc:false writes:false readsmut:false safe:true ac:false id:None, result:Fixnum;
+    "mod" => pure:true alloc:false writes:false readsmut:false safe:true ac:false id:None, result:Generic;
+    "rem" => pure:true alloc:false writes:false readsmut:false safe:true ac:false id:None, result:Generic;
+    "expt" => pure:true alloc:false writes:false readsmut:false safe:true ac:false id:None, result:Generic;
+    // Comparisons and numeric predicates.
+    "=" => pure:true alloc:false writes:false readsmut:false safe:true ac:false id:None, result:Boolean;
+    "/=" => pure:true alloc:false writes:false readsmut:false safe:true ac:false id:None, result:Boolean;
+    "<" => pure:true alloc:false writes:false readsmut:false safe:true ac:false id:None, result:Boolean;
+    ">" => pure:true alloc:false writes:false readsmut:false safe:true ac:false id:None, result:Boolean;
+    "<=" => pure:true alloc:false writes:false readsmut:false safe:true ac:false id:None, result:Boolean;
+    ">=" => pure:true alloc:false writes:false readsmut:false safe:true ac:false id:None, result:Boolean;
+    "zerop" => pure:true alloc:false writes:false readsmut:false safe:true ac:false id:None, result:Boolean;
+    "plusp" => pure:true alloc:false writes:false readsmut:false safe:true ac:false id:None, result:Boolean;
+    "minusp" => pure:true alloc:false writes:false readsmut:false safe:true ac:false id:None, result:Boolean;
+    "oddp" => pure:true alloc:false writes:false readsmut:false safe:true ac:false id:None, result:Boolean;
+    "evenp" => pure:true alloc:false writes:false readsmut:false safe:true ac:false id:None, result:Boolean;
+    // Type-specific arithmetic (§6.2's "+$f" family).
+    "+$f" => pure:true alloc:false writes:false readsmut:false safe:true ac:true id:Some(Identity::Flonum(0.0)), result:Flonum;
+    "-$f" => pure:true alloc:false writes:false readsmut:false safe:true ac:false id:None, result:Flonum;
+    "*$f" => pure:true alloc:false writes:false readsmut:false safe:true ac:true id:Some(Identity::Flonum(1.0)), result:Flonum;
+    "/$f" => pure:true alloc:false writes:false readsmut:false safe:true ac:false id:None, result:Flonum;
+    "max$f" => pure:true alloc:false writes:false readsmut:false safe:true ac:true id:None, result:Flonum;
+    "min$f" => pure:true alloc:false writes:false readsmut:false safe:true ac:true id:None, result:Flonum;
+    "abs$f" => pure:true alloc:false writes:false readsmut:false safe:true ac:false id:None, result:Flonum;
+    "+&" => pure:true alloc:false writes:false readsmut:false safe:true ac:true id:Some(Identity::Fixnum(0)), result:Fixnum;
+    "-&" => pure:true alloc:false writes:false readsmut:false safe:true ac:false id:None, result:Fixnum;
+    "*&" => pure:true alloc:false writes:false readsmut:false safe:true ac:true id:Some(Identity::Fixnum(1)), result:Fixnum;
+    // Transcendental: immutable mathematical functions (§7).
+    "sqrt" => pure:true alloc:false writes:false readsmut:false safe:true ac:false id:None, result:Flonum;
+    "sqrt$f" => pure:true alloc:false writes:false readsmut:false safe:true ac:false id:None, result:Flonum;
+    "sin" => pure:true alloc:false writes:false readsmut:false safe:true ac:false id:None, result:Flonum;
+    "cos" => pure:true alloc:false writes:false readsmut:false safe:true ac:false id:None, result:Flonum;
+    "sin$f" => pure:true alloc:false writes:false readsmut:false safe:true ac:false id:None, result:Flonum;
+    "cos$f" => pure:true alloc:false writes:false readsmut:false safe:true ac:false id:None, result:Flonum;
+    "sinc$f" => pure:true alloc:false writes:false readsmut:false safe:true ac:false id:None, result:Flonum;
+    "cosc$f" => pure:true alloc:false writes:false readsmut:false safe:true ac:false id:None, result:Flonum;
+    "atan" => pure:true alloc:false writes:false readsmut:false safe:true ac:false id:None, result:Flonum;
+    "exp" => pure:true alloc:false writes:false readsmut:false safe:true ac:false id:None, result:Flonum;
+    "log" => pure:true alloc:false writes:false readsmut:false safe:true ac:false id:None, result:Flonum;
+    "float" => pure:true alloc:false writes:false readsmut:false safe:true ac:false id:None, result:Flonum;
+    "fix" => pure:true alloc:false writes:false readsmut:false safe:true ac:false id:None, result:Fixnum;
+    // Predicates on objects: pure (type of an object never changes).
+    "null" => pure:true alloc:false writes:false readsmut:false safe:true ac:false id:None, result:Boolean;
+    "not" => pure:true alloc:false writes:false readsmut:false safe:true ac:false id:None, result:Boolean;
+    "atom" => pure:true alloc:false writes:false readsmut:false safe:true ac:false id:None, result:Boolean;
+    "consp" => pure:true alloc:false writes:false readsmut:false safe:true ac:false id:None, result:Boolean;
+    "listp" => pure:true alloc:false writes:false readsmut:false safe:true ac:false id:None, result:Boolean;
+    "symbolp" => pure:true alloc:false writes:false readsmut:false safe:true ac:false id:None, result:Boolean;
+    "numberp" => pure:true alloc:false writes:false readsmut:false safe:true ac:false id:None, result:Boolean;
+    "fixnump" => pure:true alloc:false writes:false readsmut:false safe:true ac:false id:None, result:Boolean;
+    "flonump" => pure:true alloc:false writes:false readsmut:false safe:true ac:false id:None, result:Boolean;
+    "stringp" => pure:true alloc:false writes:false readsmut:false safe:true ac:false id:None, result:Boolean;
+    "functionp" => pure:true alloc:false writes:false readsmut:false safe:true ac:false id:None, result:Boolean;
+    "eq" => pure:true alloc:false writes:false readsmut:false safe:true ac:false id:None, result:Boolean;
+    "eql" => pure:true alloc:false writes:false readsmut:false safe:true ac:false id:None, result:Boolean;
+    // equal traverses mutable structure.
+    "equal" => pure:false alloc:false writes:false readsmut:true safe:true ac:false id:None, result:Boolean;
+    // List construction: allocates; results are fresh.
+    "cons" => pure:false alloc:true writes:false readsmut:false safe:false ac:false id:None, result:Other;
+    "list" => pure:false alloc:true writes:false readsmut:false safe:false ac:false id:None, result:Other;
+    "list*" => pure:false alloc:true writes:false readsmut:false safe:false ac:false id:None, result:Other;
+    "append" => pure:false alloc:true writes:false readsmut:true safe:false ac:false id:None, result:Other;
+    "reverse" => pure:false alloc:true writes:false readsmut:true safe:false ac:false id:None, result:Other;
+    // List observation: reads mutable structure.
+    "car" => pure:false alloc:false writes:false readsmut:true safe:true ac:false id:None, result:Other;
+    "cdr" => pure:false alloc:false writes:false readsmut:true safe:true ac:false id:None, result:Other;
+    "caar" => pure:false alloc:false writes:false readsmut:true safe:true ac:false id:None, result:Other;
+    "cadr" => pure:false alloc:false writes:false readsmut:true safe:true ac:false id:None, result:Other;
+    "cdar" => pure:false alloc:false writes:false readsmut:true safe:true ac:false id:None, result:Other;
+    "cddr" => pure:false alloc:false writes:false readsmut:true safe:true ac:false id:None, result:Other;
+    "caddr" => pure:false alloc:false writes:false readsmut:true safe:true ac:false id:None, result:Other;
+    "cdddr" => pure:false alloc:false writes:false readsmut:true safe:true ac:false id:None, result:Other;
+    "length" => pure:false alloc:false writes:false readsmut:true safe:true ac:false id:None, result:Fixnum;
+    "nth" => pure:false alloc:false writes:false readsmut:true safe:true ac:false id:None, result:Other;
+    "nthcdr" => pure:false alloc:false writes:false readsmut:true safe:true ac:false id:None, result:Other;
+    "last" => pure:false alloc:false writes:false readsmut:true safe:true ac:false id:None, result:Other;
+    "assq" => pure:false alloc:false writes:false readsmut:true safe:true ac:false id:None, result:Other;
+    "assoc" => pure:false alloc:false writes:false readsmut:true safe:true ac:false id:None, result:Other;
+    "memq" => pure:false alloc:false writes:false readsmut:true safe:true ac:false id:None, result:Other;
+    "member" => pure:false alloc:false writes:false readsmut:true safe:true ac:false id:None, result:Other;
+    // Structure mutation: the canonical unsafe operations (§6.3).
+    "rplaca" => pure:false alloc:false writes:true readsmut:false safe:false ac:false id:None, result:Other;
+    "rplacd" => pure:false alloc:false writes:true readsmut:false safe:false ac:false id:None, result:Other;
+    // Miscellaneous.
+    "identity" => pure:true alloc:false writes:false readsmut:false safe:true ac:false id:None, result:Other;
+    // Control-adjacent builtins: never movable or foldable.
+    "throw" => pure:false alloc:false writes:true readsmut:true safe:true ac:false id:None, result:Other;
+    "apply" => pure:false alloc:true writes:true readsmut:true safe:true ac:false id:None, result:Other;
+    "%function" => pure:true alloc:false writes:false readsmut:false safe:true ac:false id:None, result:Other;
+    "error" => pure:false alloc:false writes:true readsmut:true safe:true ac:false id:None, result:Other;
+];
+
+/// Looks up a primitive operation by name.
+pub fn primop(name: &str) -> Option<&'static Primop> {
+    PRIMOPS.iter().find(|p| p.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_finds_known_ops() {
+        assert!(primop("+").unwrap().pure_math);
+        assert!(primop("+").unwrap().assoc_commut);
+        assert!(primop("cons").unwrap().allocates);
+        assert!(!primop("cons").unwrap().pdl_safe);
+        assert!(primop("rplaca").unwrap().writes);
+        assert!(primop("no-such-op").is_none());
+    }
+
+    #[test]
+    fn identity_elements() {
+        assert!(primop("+").unwrap().identity.unwrap().matches(&Datum::Fixnum(0)));
+        assert!(primop("*$f")
+            .unwrap()
+            .identity
+            .unwrap()
+            .matches(&Datum::Flonum(1.0)));
+        assert!(!primop("+").unwrap().identity.unwrap().matches(&Datum::Flonum(0.0)));
+        assert!(primop("-").unwrap().identity.is_none());
+    }
+
+    #[test]
+    fn paper_classifications_hold() {
+        // §6.3: "checking the type of a pointer is safe, as is passing a
+        // pointer to a procedure.  However, storing a pointer into a
+        // global variable or into a heap object (as with rplaca) is
+        // unsafe."
+        assert!(primop("consp").unwrap().pdl_safe);
+        assert!(!primop("rplaca").unwrap().pdl_safe);
+        // §7: *$f and sinc$f are immutable mathematical functions.
+        assert!(primop("*$f").unwrap().pure_math);
+        assert!(primop("sinc$f").unwrap().pure_math);
+        // car reads mutable structure: not movable past unknown calls.
+        assert!(!primop("car").unwrap().pure_math);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<_> = PRIMOPS.iter().map(|p| p.name).collect();
+        let n = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), n);
+    }
+
+    #[test]
+    fn covers_interpreter_builtins() {
+        // Every interpreter builtin the compiler may meet has a primop
+        // entry (so the optimizer never treats a builtin as an unknown
+        // user function).
+        for name in s1lisp_interp::BUILTIN_NAMES {
+            assert!(primop(name).is_some(), "missing primop entry for {name}");
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! Special-variable lookup placement.
+//!
+//! §4.4: deep binding "in general requires a linear search when accessing
+//! a variable. … on entry to a function, all the special variables needed
+//! by that function are searched for once and pointers to the relevant
+//! stack locations are cached … from then on each special variable can be
+//! accessed indirectly through a cached pointer in constant time.
+//!
+//! The S-1 LISP compiler actually generalizes the trick further.  For
+//! each variable the smallest subtree that contains all the references is
+//! determined; the lookup and pointer caching for that variable is
+//! performed before execution of that smallest subtree.  This may avoid a
+//! lookup if the subtree is in an arm of a conditional.  The trick is
+//! further refined to take loops into account."
+//!
+//! Our rendering: the placement is the least common ancestor of all
+//! references, hoisted out of any enclosing `progbody` loop (so a lookup
+//! inside a loop body happens once, before the loop) and out of any
+//! lambda-call boundary oddity, but *no higher* — a variable referenced
+//! only in one conditional arm keeps its lookup in that arm.
+
+use s1lisp_ast::{NodeId, NodeKind, Tree, VarId};
+
+/// One special variable's cached-lookup placement.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpecialPlacement {
+    /// The special variable.
+    pub var: VarId,
+    /// The node before whose execution the deep-binding search runs and
+    /// the pointer is cached.
+    pub at: NodeId,
+    /// Number of reference sites served by the cache.
+    pub ref_count: usize,
+}
+
+/// Computes lookup placements for every *referenced* special variable of
+/// the tree.  Requires current backlinks.
+pub fn special_placements(tree: &Tree) -> Vec<SpecialPlacement> {
+    let mut out = Vec::new();
+    for v in tree.var_ids() {
+        let var = tree.var(v);
+        if !var.special {
+            continue;
+        }
+        let mut sites: Vec<NodeId> = var.refs.clone();
+        sites.extend(var.setqs.iter().copied());
+        if sites.is_empty() {
+            continue;
+        }
+        let mut at = lca_many(tree, &sites);
+        at = hoist_out_of_loops(tree, at);
+        out.push(SpecialPlacement {
+            var: v,
+            at,
+            ref_count: sites.len(),
+        });
+    }
+    out.sort_by_key(|p| p.var);
+    out
+}
+
+/// Path from `node` up to the root (inclusive).
+fn ancestry(tree: &Tree, node: NodeId) -> Vec<NodeId> {
+    let mut path = vec![node];
+    let mut cur = node;
+    while let Some(p) = tree.node(cur).parent {
+        path.push(p);
+        cur = p;
+    }
+    path
+}
+
+/// Least common ancestor of all `nodes`.
+fn lca_many(tree: &Tree, nodes: &[NodeId]) -> NodeId {
+    let mut acc = ancestry(tree, nodes[0]);
+    for &n in &nodes[1..] {
+        let path: std::collections::HashSet<NodeId> = ancestry(tree, n).into_iter().collect();
+        acc.retain(|a| path.contains(a));
+    }
+    // The first surviving entry is the deepest common ancestor.
+    acc.first().copied().unwrap_or(tree.root)
+}
+
+/// Moves the placement above any `progbody` between it and the root
+/// lambda ("the trick is further refined to take loops into account"):
+/// a lookup placed inside a loop would otherwise re-run on every
+/// iteration.
+fn hoist_out_of_loops(tree: &Tree, mut at: NodeId) -> NodeId {
+    let path = ancestry(tree, at);
+    // Find the outermost progbody ancestor, but do not cross a lambda
+    // boundary other than the root's (a nested lambda runs at a
+    // different time).
+    let mut crossed_lambda = false;
+    for &anc in &path[1..] {
+        match tree.kind(anc) {
+            NodeKind::Lambda(_) if anc != tree.root
+                // A manifest lambda in a let is part of the same
+                // execution; a true closure is not.  Being conservative,
+                // we stop hoisting only at non-let lambdas.
+                && !is_let_lambda(tree, anc) => {
+                    crossed_lambda = true;
+                }
+            NodeKind::Progbody(_) if !crossed_lambda => {
+                at = anc;
+            }
+            _ => {}
+        }
+    }
+    at
+}
+
+/// Is this lambda the function of a call (i.e. a `let`)?
+fn is_let_lambda(tree: &Tree, lambda: NodeId) -> bool {
+    let Some(parent) = tree.node(lambda).parent else {
+        return false;
+    };
+    matches!(tree.kind(parent),
+        NodeKind::Call { func: s1lisp_ast::CallFunc::Expr(f), .. } if *f == lambda)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s1lisp_frontend::Frontend;
+    use s1lisp_reader::{read_str, Interner};
+
+    fn analyze(src: &str) -> (Tree, Vec<SpecialPlacement>) {
+        let mut i = Interner::new();
+        let form = read_str(src, &mut i).unwrap();
+        let mut fe = Frontend::new(&mut i);
+        let f = fe.convert_defun(&form).unwrap();
+        let p = special_placements(&f.tree);
+        (f.tree, p)
+    }
+
+    #[test]
+    fn single_reference_places_at_the_reference() {
+        let (tree, p) = analyze("(defun f (p) (if p *mode* '()))");
+        assert_eq!(p.len(), 1);
+        assert_eq!(p[0].ref_count, 1);
+        // Placement is the reference itself — inside the conditional arm,
+        // so no lookup happens when p is false.
+        let at = p[0].at;
+        assert!(matches!(tree.kind(at), NodeKind::VarRef(_)));
+        let parent = tree.node(at).parent.unwrap();
+        assert!(matches!(tree.kind(parent), NodeKind::If { .. }));
+    }
+
+    #[test]
+    fn multiple_references_place_at_lca() {
+        let (tree, p) = analyze("(defun f () (+ *a* *a*))");
+        assert_eq!(p.len(), 1);
+        assert_eq!(p[0].ref_count, 2);
+        // LCA of the two refs is the + call.
+        assert!(matches!(tree.kind(p[0].at), NodeKind::Call { .. }));
+    }
+
+    #[test]
+    fn loop_references_hoist_out_of_the_progbody() {
+        let (tree, p) = analyze(
+            "(defun f (n)
+               (prog (acc)
+                 top
+                 (if (zerop n) (return acc))
+                 (setq acc (+ acc *step*))
+                 (setq n (- n 1))
+                 (go top)))",
+        );
+        let step = p
+            .iter()
+            .find(|pl| tree.var(pl.var).name.as_str() == "*step*")
+            .unwrap();
+        assert!(
+            matches!(tree.kind(step.at), NodeKind::Progbody(_)),
+            "lookup should hoist to the loop header, got {:?}",
+            tree.kind(step.at).construct_name()
+        );
+    }
+
+    #[test]
+    fn bound_specials_get_placements_too() {
+        let (tree, p) = analyze(
+            "(defun f (x) (declare (special x)) (g) (+ x x))",
+        );
+        let x = p
+            .iter()
+            .find(|pl| tree.var(pl.var).name.as_str() == "x")
+            .unwrap();
+        assert_eq!(x.ref_count, 2);
+    }
+
+    #[test]
+    fn lexicals_have_no_placements() {
+        let (_tree, p) = analyze("(defun f (x) (+ x x))");
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn references_inside_closures_do_not_hoist_past_the_closure() {
+        let (tree, p) = analyze(
+            "(defun f () (prog () top (frotz (lambda () *x*)) (go top)))",
+        );
+        let x = &p[0];
+        // The reference lives inside a real closure; its lookup must not
+        // hoist to the outer loop (the closure runs at an unknown time).
+        assert!(!matches!(tree.kind(x.at), NodeKind::Progbody(_)));
+    }
+}

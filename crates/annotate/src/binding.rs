@@ -1,0 +1,242 @@
+//! Binding annotation (§4.4).
+//!
+//! "In the most general case, a closure object must be explicitly
+//! constructed at run time … However, in many special cases this is not
+//! necessary.  If through compile-time analysis all the places can be
+//! found where the lambda-expression may be invoked, then it may be
+//! possible to compile all such calls as, in effect, parameter-passing
+//! goto statements, and no closure need be constructed at run time."
+
+use std::collections::HashMap;
+
+use s1lisp_analysis::environment;
+use s1lisp_ast::{subtree_nodes, CallFunc, NodeId, NodeKind, Tree, VarId};
+
+/// How a lambda-expression is compiled.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LambdaStrategy {
+    /// A manifest lambda in call position (a `let`): parameters bind in
+    /// the enclosing frame; no function object exists at all.
+    Let,
+    /// All call sites are known: the body compiles as a local code block
+    /// reached by jumps or the "special (fast) subroutine linkage", and
+    /// "no closure need be constructed at run time".
+    LocalFunction,
+    /// The general case: a closure object is constructed at run time.
+    Closure,
+}
+
+/// Where a variable's storage lives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VarAlloc {
+    /// Stack frame slot (or a register, at TNBIND's discretion).
+    Stack,
+    /// A heap-allocated value cell — the variable is "referred to by
+    /// closures".
+    Heap,
+    /// Deep-bound special variable (no lexical storage at all).
+    Special,
+}
+
+/// The results of binding annotation.
+#[derive(Clone, Debug, Default)]
+pub struct BindingInfo {
+    /// Strategy per lambda node.
+    pub strategy: HashMap<NodeId, LambdaStrategy>,
+    /// Allocation per variable.
+    pub var_alloc: HashMap<VarId, VarAlloc>,
+    /// For each `Closure` lambda: the captured variables, in environment
+    /// slot order.
+    pub captures: HashMap<NodeId, Vec<VarId>>,
+}
+
+/// Runs binding annotation on the whole tree.
+pub fn binding_annotation(tree: &Tree) -> BindingInfo {
+    let env = environment(tree);
+    let mut info = BindingInfo::default();
+
+    // Classify every lambda.
+    for node in subtree_nodes(tree, tree.root) {
+        let NodeKind::Lambda(_) = tree.kind(node) else {
+            continue;
+        };
+        let strategy = classify(tree, node);
+        info.strategy.insert(node, strategy);
+        if strategy == LambdaStrategy::Closure {
+            let mut captured: Vec<VarId> = env.free_of(node).iter().copied().collect();
+            captured.sort();
+            info.captures.insert(node, captured);
+        }
+    }
+
+    // Allocate every variable: special ⊃ heap-captured ⊃ stack.
+    for v in tree.var_ids() {
+        let var = tree.var(v);
+        let alloc = if var.special {
+            VarAlloc::Special
+        } else if captured_by_closure(&info, v) {
+            VarAlloc::Heap
+        } else {
+            VarAlloc::Stack
+        };
+        info.var_alloc.insert(v, alloc);
+    }
+    info
+}
+
+fn captured_by_closure(info: &BindingInfo, v: VarId) -> bool {
+    info.captures.values().any(|captured| captured.contains(&v))
+}
+
+/// Classifies one lambda node.
+fn classify(tree: &Tree, lambda: NodeId) -> LambdaStrategy {
+    if lambda == tree.root {
+        // The whole-function lambda is its own category; calling it
+        // `Let` keeps its parameters on the stack.
+        return LambdaStrategy::Let;
+    }
+    let Some(parent) = tree.node(lambda).parent else {
+        return LambdaStrategy::Closure;
+    };
+    // Manifest lambda in call position: a let.
+    if let NodeKind::Call {
+        func: CallFunc::Expr(f),
+        ..
+    } = tree.kind(parent)
+    {
+        if *f == lambda {
+            return LambdaStrategy::Let;
+        }
+    }
+    // A lambda bound to a let variable all of whose references are
+    // call-position uses: a local function (join point).
+    if let NodeKind::Call {
+        func: CallFunc::Expr(f),
+        args,
+    } = tree.kind(parent)
+    {
+        if let NodeKind::Lambda(l) = tree.kind(*f) {
+            if let Some(j) = args.iter().position(|&a| a == lambda) {
+                if let Some(&var) = l.required.get(j) {
+                    let v = tree.var(var);
+                    let all_calls = !v.refs.is_empty()
+                        && v.setqs.is_empty()
+                        && !v.special
+                        && v.refs.iter().all(|&r| is_call_position(tree, r));
+                    if all_calls {
+                        return LambdaStrategy::LocalFunction;
+                    }
+                }
+            }
+        }
+    }
+    LambdaStrategy::Closure
+}
+
+/// Is node `r` the function position of a call?
+fn is_call_position(tree: &Tree, r: NodeId) -> bool {
+    let Some(parent) = tree.node(r).parent else {
+        return false;
+    };
+    matches!(
+        tree.kind(parent),
+        NodeKind::Call { func: CallFunc::Expr(f), .. } if *f == r
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s1lisp_frontend::Frontend;
+    use s1lisp_reader::{read_str, Interner};
+
+    fn annotate(src: &str) -> (Tree, BindingInfo) {
+        let mut i = Interner::new();
+        let form = read_str(src, &mut i).unwrap();
+        let mut fe = Frontend::new(&mut i);
+        let f = fe.convert_defun(&form).unwrap();
+        let b = binding_annotation(&f.tree);
+        (f.tree, b)
+    }
+
+    fn lambdas(tree: &Tree) -> Vec<NodeId> {
+        subtree_nodes(tree, tree.root)
+            .into_iter()
+            .filter(|&n| matches!(tree.kind(n), NodeKind::Lambda(_)))
+            .collect()
+    }
+
+    fn var(tree: &Tree, name: &str) -> VarId {
+        tree.var_ids()
+            .find(|&v| tree.var(v).name.as_str() == name)
+            .unwrap()
+    }
+
+    #[test]
+    fn let_lambdas_are_lets() {
+        let (tree, b) = annotate("(defun f (x) (let ((y (* x x))) (+ y 1)))");
+        for l in lambdas(&tree) {
+            assert_eq!(b.strategy[&l], LambdaStrategy::Let);
+        }
+        assert_eq!(b.var_alloc[&var(&tree, "y")], VarAlloc::Stack);
+    }
+
+    #[test]
+    fn escaping_lambda_is_a_closure_capturing_its_frees() {
+        let (tree, b) = annotate("(defun make-adder (n) (lambda (x) (+ x n)))");
+        let inner = lambdas(&tree)[1];
+        assert_eq!(b.strategy[&inner], LambdaStrategy::Closure);
+        let n = var(&tree, "n");
+        assert_eq!(b.captures[&inner], vec![n]);
+        // n must be heap-allocated; the closure's own parameter stays on
+        // the stack.
+        assert_eq!(b.var_alloc[&n], VarAlloc::Heap);
+        assert_eq!(b.var_alloc[&var(&tree, "x")], VarAlloc::Stack);
+    }
+
+    #[test]
+    fn called_only_bindings_are_local_functions() {
+        // The shape if-distribution creates: thunks called at (f) sites.
+        let (tree, b) = annotate(
+            "(defun f (a) ((lambda (g h) (if a (g) (h)))
+                           (lambda () (e1))
+                           (lambda () (e2))))",
+        );
+        let ls = lambdas(&tree);
+        // ls[0] is the defun, ls[1] the binder; the two thunks follow.
+        let thunks: Vec<_> = ls
+            .iter()
+            .filter(|&&l| b.strategy[&l] == LambdaStrategy::LocalFunction)
+            .collect();
+        assert_eq!(thunks.len(), 2, "{:?}", b.strategy);
+        // No closures anywhere: the boolean-short-circuit claim (E3).
+        assert!(ls.iter().all(|l| b.strategy[l] != LambdaStrategy::Closure));
+    }
+
+    #[test]
+    fn stored_lambda_is_a_closure() {
+        let (tree, b) = annotate(
+            "(defun f (a) ((lambda (g) (frotz g) (g)) (lambda () (e1))))",
+        );
+        let closure_count = lambdas(&tree)
+            .iter()
+            .filter(|&&l| b.strategy[&l] == LambdaStrategy::Closure)
+            .count();
+        // g escapes via (frotz g), so its lambda needs a real closure.
+        assert_eq!(closure_count, 1);
+    }
+
+    #[test]
+    fn specials_have_no_lexical_storage() {
+        let (tree, b) = annotate("(defun f (x) (declare (special x)) x)");
+        assert_eq!(b.var_alloc[&var(&tree, "x")], VarAlloc::Special);
+    }
+
+    #[test]
+    fn mutated_capture_is_heap_allocated() {
+        let (tree, b) = annotate(
+            "(defun make-counter () (let ((n 0)) (lambda () (setq n (+ n 1)) n)))",
+        );
+        assert_eq!(b.var_alloc[&var(&tree, "n")], VarAlloc::Heap);
+    }
+}

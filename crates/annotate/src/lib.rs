@@ -1,0 +1,70 @@
+//! Machine-dependent annotation (§4.4 of the paper).
+//!
+//! "From this point on the data collected and added to the tree is
+//! machine dependent."  Three phases:
+//!
+//! * **Binding annotation** ([`binding`]): "examines each
+//!   lambda-expression in the tree and determines how that
+//!   lambda-expression is to be compiled" — as an inline `let`, as a
+//!   local code block reached by parameter-passing gotos, or as a real
+//!   run-time closure — "and determines which variables can be
+//!   stack-allocated and which must (because they are referred to by
+//!   closures) be heap-allocated."
+//! * **Representation annotation** ([`rep`]): "determine, for every
+//!   variable and every temporary value, the machine representation to be
+//!   used for that value" — LISP pointer vs. raw machine number, via the
+//!   top-down WANTREP and bottom-up ISREP passes of §6.2.
+//! * **Pdl number annotation** ([`pdl`]): "determine which numerical
+//!   quantities may be stack-allocated rather than heap-allocated,
+//!   despite passing pointers to them to other procedures" — the
+//!   PDLOKP/PDLNUMP flags of §6.3.
+//!
+//! # Examples
+//!
+//! ```
+//! use s1lisp_annotate::Annotations;
+//! use s1lisp_frontend::Frontend;
+//! use s1lisp_reader::{read_str, Interner};
+//!
+//! let mut i = Interner::new();
+//! let src = read_str("(defun f (x) (lambda () x))", &mut i).unwrap();
+//! let mut fe = Frontend::new(&mut i);
+//! let func = fe.convert_defun(&src).unwrap();
+//! let ann = Annotations::compute(&func.tree);
+//! // x is captured by a real closure, so it must live in a heap cell.
+//! let x = func.tree.var_ids().find(|&v| func.tree.var(v).name.as_str() == "x").unwrap();
+//! assert_eq!(ann.binding.var_alloc[&x], s1lisp_annotate::VarAlloc::Heap);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod binding;
+pub mod pdl;
+pub mod rep;
+
+pub use binding::{binding_annotation, BindingInfo, LambdaStrategy, VarAlloc};
+pub use pdl::{pdl_annotation, PdlInfo};
+pub use rep::{rep_annotation, Rep, RepInfo};
+
+use s1lisp_ast::Tree;
+
+/// The bundle of all machine-dependent annotations for one function.
+#[derive(Debug, Clone)]
+pub struct Annotations {
+    /// How each lambda compiles; where each variable lives.
+    pub binding: BindingInfo,
+    /// WANTREP/ISREP for every node; representation of every variable.
+    pub rep: RepInfo,
+    /// PDLOKP/PDLNUMP and the stack-boxing decisions.
+    pub pdl: PdlInfo,
+}
+
+impl Annotations {
+    /// Runs all three annotation phases (backlinks must be current).
+    pub fn compute(tree: &Tree) -> Annotations {
+        let binding = binding_annotation(tree);
+        let rep = rep_annotation(tree, &binding);
+        let pdl = pdl_annotation(tree, &binding, &rep);
+        Annotations { binding, rep, pdl }
+    }
+}

@@ -1,0 +1,32 @@
+//! The internal expression tree of the `s1lisp` compiler.
+//!
+//! §4.1 of the paper: "The source program is converted to an internal tree
+//! format whose structure reflects the expression structure of the
+//! program. … Each node of the tree has extra data slots; these are filled
+//! in by successive phases of the compiler.  Occasionally the tree is
+//! transformed."
+//!
+//! Each node corresponds to one of the small set of basic constructs of
+//! Table 2 (`quote`, `variable`, `caseq`, `catcher`, `go`, `if`, `lambda`,
+//! `progbody`, `progn`, `return`, `setq`, `call`), so the tree can always
+//! be back-translated into valid source code ([`unparse`]).
+//!
+//! There is no central symbol table: "with every distinct variable … is
+//! associated a little data structure; the construct that binds the
+//! variable and all references to the variable all point to the data
+//! structure, which has back-pointers to the binding and all the
+//! references" — that little structure is [`Var`], and the back-pointers
+//! are maintained by [`Tree::rebuild_backlinks`].
+
+#![warn(missing_docs)]
+
+mod tree;
+mod unparse;
+mod visit;
+
+pub use tree::{
+    CallFunc, CaseqClause, DeclaredType, Lambda, Node, NodeId, NodeKind, OptParam, ProgItem,
+    Tree, Var, VarId,
+};
+pub use unparse::unparse;
+pub use visit::{postorder, subtree_nodes};

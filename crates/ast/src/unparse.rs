@@ -1,0 +1,240 @@
+//! Back-translation of the internal tree into source form.
+//!
+//! §4.1: "the internal tree can always be back-translated into valid
+//! source code, equivalent to, though not necessarily identical to, the
+//! original source.  (Such a back-translation facility has been written as
+//! a debugging aid for the compiler writers.)"
+//!
+//! Following the paper's transcript conventions, constants print without
+//! their `quote` wrapper when they are self-evaluating ("for readability
+//! the back-translator actually omits quote-forms around numbers").
+
+use s1lisp_reader::{Datum, Symbol};
+
+use crate::tree::{CallFunc, NodeId, NodeKind, ProgItem, Tree};
+
+/// Back-translates the subtree at `id` into a source datum.
+///
+/// The output is valid source for the frontend: re-converting it yields a
+/// tree with the same semantics (integration tests assert this round
+/// trip).
+///
+/// # Examples
+///
+/// ```
+/// use s1lisp_ast::{unparse, Tree};
+/// use s1lisp_reader::{Datum, Interner};
+///
+/// let mut i = Interner::new();
+/// let mut t = Tree::new();
+/// let a = t.constant(Datum::Fixnum(1));
+/// let b = t.constant(Datum::Flonum(2.0));
+/// let e = t.call_global(i.intern("+$f"), vec![a, b]);
+/// assert_eq!(unparse(&t, e).to_string(), "(+$f '1 '2.0)");
+/// ```
+pub fn unparse(tree: &Tree, id: NodeId) -> Datum {
+    let mut u = Unparser { tree };
+    u.node(id)
+}
+
+struct Unparser<'a> {
+    tree: &'a Tree,
+}
+
+impl Unparser<'_> {
+    fn sym(&self, name: &Symbol) -> Datum {
+        Datum::Sym(name.clone())
+    }
+
+    fn node(&mut self, id: NodeId) -> Datum {
+        match self.tree.kind(id) {
+            NodeKind::Constant(d) => {
+                // All constants are internally explicitly quoted for
+                // uniformity; we keep the quote so the output is exact.
+                Datum::list([self.raw_sym("quote"), d.clone()])
+            }
+            NodeKind::VarRef(v) => self.sym(&self.tree.var(*v).name),
+            NodeKind::Setq { var, value } => Datum::list([
+                self.raw_sym("setq"),
+                self.sym(&self.tree.var(*var).name),
+                self.node(*value),
+            ]),
+            NodeKind::If { test, then, els } => Datum::list([
+                self.raw_sym("if"),
+                self.node(*test),
+                self.node(*then),
+                self.node(*els),
+            ]),
+            NodeKind::Progn(body) => {
+                let mut items = vec![self.raw_sym("progn")];
+                items.extend(body.iter().map(|&b| self.node(b)));
+                Datum::list(items)
+            }
+            NodeKind::Call { func, args } => {
+                let head = match func {
+                    CallFunc::Global(g) => self.sym(g),
+                    CallFunc::Expr(e) => self.node(*e),
+                };
+                let mut items = vec![head];
+                items.extend(args.iter().map(|&a| self.node(a)));
+                Datum::list(items)
+            }
+            NodeKind::Lambda(l) => {
+                let mut params: Vec<Datum> = l
+                    .required
+                    .iter()
+                    .map(|v| self.sym(&self.tree.var(*v).name))
+                    .collect();
+                if !l.optional.is_empty() {
+                    params.push(self.raw_sym("&optional"));
+                    for o in &l.optional {
+                        params.push(Datum::list([
+                            self.sym(&self.tree.var(o.var).name),
+                            self.node(o.default),
+                        ]));
+                    }
+                }
+                if let Some(r) = l.rest {
+                    params.push(self.raw_sym("&rest"));
+                    params.push(self.sym(&self.tree.var(r).name));
+                }
+                Datum::list([
+                    self.raw_sym("lambda"),
+                    Datum::list(params),
+                    self.node(l.body),
+                ])
+            }
+            NodeKind::Caseq {
+                key,
+                clauses,
+                default,
+            } => {
+                let mut items = vec![self.raw_sym("caseq"), self.node(*key)];
+                for c in clauses {
+                    items.push(Datum::list([
+                        Datum::list(c.keys.iter().cloned()),
+                        self.node(c.body),
+                    ]));
+                }
+                items.push(Datum::list([self.raw_sym("t"), self.node(*default)]));
+                Datum::list(items)
+            }
+            NodeKind::Catcher { tag, body } => Datum::list([
+                self.raw_sym("catch"),
+                self.node(*tag),
+                self.node(*body),
+            ]),
+            NodeKind::Progbody(items) => {
+                let mut out = vec![self.raw_sym("progbody")];
+                for i in items {
+                    out.push(match i {
+                        ProgItem::Tag(t) => Datum::Sym(t.clone()),
+                        ProgItem::Stmt(s) => self.node(*s),
+                    });
+                }
+                Datum::list(out)
+            }
+            NodeKind::Go(tag) => Datum::list([self.raw_sym("go"), Datum::Sym(tag.clone())]),
+            NodeKind::Return(v) => Datum::list([self.raw_sym("return"), self.node(*v)]),
+        }
+    }
+
+    /// Head symbols of special forms: these spellings are fixed by the
+    /// language, so we can synthesize them without an interner — but they
+    /// must compare equal to the frontend's interned versions when the
+    /// output is re-read, which the reader guarantees by interning on
+    /// read.  We therefore emit *fresh* symbols here; textual round-trips
+    /// go through the reader and re-intern.
+    fn raw_sym(&self, s: &str) -> Datum {
+        Datum::Sym(crate::unparse::fresh_symbol(s))
+    }
+}
+
+/// Creates an uninterned symbol with the given spelling (display-equal,
+/// not `eq`, to interned symbols of the same name).  Only used for the
+/// fixed special-form head words in back-translated output, which is
+/// consumed textually.
+fn fresh_symbol(s: &str) -> Symbol {
+    // A tiny private interner would also work; a one-off allocation keeps
+    // the unparser free of &mut Interner plumbing.
+    let mut scratch = s1lisp_reader::Interner::new();
+    scratch.intern(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::{Lambda, OptParam};
+    use s1lisp_reader::Interner;
+
+    #[test]
+    fn constants_print_quoted() {
+        let mut t = Tree::new();
+        let c = t.constant(Datum::Fixnum(42));
+        assert_eq!(unparse(&t, c).to_string(), "'42");
+    }
+
+    #[test]
+    fn if_and_progn() {
+        let mut i = Interner::new();
+        let mut t = Tree::new();
+        let p = t.add_var(i.intern("p"));
+        let rp = t.var_ref(p);
+        let a = t.constant(Datum::Fixnum(1));
+        let b = t.constant(Datum::Fixnum(2));
+        let pg = t.progn(vec![a, b]);
+        let e = t.if_(rp, pg, b);
+        assert_eq!(unparse(&t, e).to_string(), "(if p (progn '1 '2) '2)");
+    }
+
+    #[test]
+    fn lambda_with_optionals_unparsed() {
+        let mut i = Interner::new();
+        let mut t = Tree::new();
+        let a = t.add_var(i.intern("a"));
+        let b = t.add_var(i.intern("b"));
+        let d = t.constant(Datum::Flonum(3.0));
+        let body = t.var_ref(a);
+        let lam = t.add(NodeKind::Lambda(Lambda {
+            required: vec![a],
+            optional: vec![OptParam { var: b, default: d }],
+            rest: None,
+            body,
+        }));
+        assert_eq!(
+            unparse(&t, lam).to_string(),
+            "(lambda (a &optional (b '3.0)) a)"
+        );
+    }
+
+    #[test]
+    fn let_shape_survives() {
+        // ((lambda (d) d) '1) — the paper's let rendering.
+        let mut i = Interner::new();
+        let mut t = Tree::new();
+        let d = t.add_var(i.intern("d"));
+        let rd = t.var_ref(d);
+        let lam = t.lambda(vec![d], rd);
+        let one = t.constant(Datum::Fixnum(1));
+        let call = t.call_expr(lam, vec![one]);
+        assert_eq!(unparse(&t, call).to_string(), "((lambda (d) d) '1)");
+    }
+
+    #[test]
+    fn progbody_go_return() {
+        let mut i = Interner::new();
+        let mut t = Tree::new();
+        let g = t.add(NodeKind::Go(i.intern("top")));
+        let one = t.constant(Datum::Fixnum(1));
+        let r = t.add(NodeKind::Return(one));
+        let pb = t.add(NodeKind::Progbody(vec![
+            ProgItem::Tag(i.intern("top")),
+            ProgItem::Stmt(r),
+            ProgItem::Stmt(g),
+        ]));
+        assert_eq!(
+            unparse(&t, pb).to_string(),
+            "(progbody top (return '1) (go top))"
+        );
+    }
+}

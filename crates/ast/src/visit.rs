@@ -1,0 +1,74 @@
+//! Tree traversal utilities.
+//!
+//! Code generation is "a single pass (a postorder tree walk) over the
+//! internal tree" (§4); the analyses walk subtrees in both orders.
+
+use crate::tree::{NodeId, Tree};
+
+/// All nodes of the subtree rooted at `root`, parents before children
+/// (preorder).
+pub fn subtree_nodes(tree: &Tree, root: NodeId) -> Vec<NodeId> {
+    let mut out = Vec::new();
+    let mut stack = vec![root];
+    while let Some(id) = stack.pop() {
+        out.push(id);
+        let mut kids = tree.children(id);
+        kids.reverse();
+        stack.extend(kids);
+    }
+    out
+}
+
+/// All nodes of the subtree rooted at `root`, children before parents
+/// (postorder).
+pub fn postorder(tree: &Tree, root: NodeId) -> Vec<NodeId> {
+    let mut out = Vec::new();
+    fn walk(tree: &Tree, id: NodeId, out: &mut Vec<NodeId>) {
+        for c in tree.children(id) {
+            walk(tree, c, out);
+        }
+        out.push(id);
+    }
+    walk(tree, root, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s1lisp_reader::{Datum, Interner};
+
+    #[test]
+    fn orders_agree_on_membership() {
+        let _i = Interner::new();
+        let mut t = Tree::new();
+        let a = t.constant(Datum::Fixnum(1));
+        let b = t.constant(Datum::Fixnum(2));
+        let c = t.constant(Datum::Fixnum(3));
+        let if_ = t.if_(a, b, c);
+        let mut pre = subtree_nodes(&t, if_);
+        let mut post = postorder(&t, if_);
+        assert_eq!(pre[0], if_);
+        assert_eq!(*post.last().unwrap(), if_);
+        pre.sort();
+        post.sort();
+        assert_eq!(pre, post);
+        assert_eq!(pre.len(), 4);
+    }
+
+    #[test]
+    fn preorder_parents_first() {
+        let mut i = Interner::new();
+        let mut t = Tree::new();
+        let x = t.add_var(i.intern("x"));
+        let rx = t.var_ref(x);
+        let lam = t.lambda(vec![x], rx);
+        let arg = t.constant(Datum::Fixnum(5));
+        let call = t.call_expr(lam, vec![arg]);
+        let pre = subtree_nodes(&t, call);
+        let pos = |n| pre.iter().position(|&x| x == n).unwrap();
+        assert!(pos(call) < pos(lam));
+        assert!(pos(lam) < pos(rx));
+        let _ = i.intern("unused");
+    }
+}

@@ -1,0 +1,149 @@
+//! Criterion wall-clock benchmarks for the experiment workloads.
+//!
+//! Instruction/allocation *counts* are deterministic and live in the
+//! `report` binary; these benches time the same workloads so the ratios
+//! can be checked against physical time (`cargo bench`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use s1lisp::{CodegenOptions, Compiler, Value};
+use s1lisp_bench::corpus;
+
+fn fx(n: i64) -> Value {
+    Value::Fixnum(n)
+}
+
+fn fl(x: f64) -> Value {
+    Value::Flonum(x)
+}
+
+fn compile(src: &str) -> Compiler {
+    let mut c = Compiler::new();
+    c.compile_str(src).expect("bench source compiles");
+    c
+}
+
+/// E4: tail-recursive loop, compiled vs interpreted.
+fn bench_exptl(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_exptl");
+    let compiler = compile(corpus::EXPTL);
+    let mut m = compiler.machine();
+    let interp = compiler.interpreter();
+    let args = [fx(3), fx(30), fx(1)];
+    group.bench_function("compiled", |b| {
+        b.iter(|| m.run("exptl", &args).unwrap())
+    });
+    group.bench_function("interpreted", |b| {
+        b.iter(|| interp.call("exptl", &args).unwrap())
+    });
+    group.finish();
+}
+
+/// E3: boolean short-circuiting.
+fn bench_bool(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_bool_shortcircuit");
+    let compiler = compile(
+        "(defun f (a b c) (if (and a (or b c)) 1 2))
+         (defun drive (n a b c)
+           (prog (acc) (setq acc 0)
+             top (if (zerop n) (return acc))
+             (setq acc (+ acc (f a b c)))
+             (setq n (- n 1)) (go top)))",
+    );
+    let mut m = compiler.machine();
+    group.bench_function("compiled", |b| {
+        b.iter(|| m.run("drive", &[fx(500), fx(1), Value::Nil, fx(1)]).unwrap())
+    });
+    group.finish();
+}
+
+/// E7: pdl numbers on/off.
+fn bench_pdl(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_pdl_numbers");
+    for (name, pdl) in [("on", true), ("off", false)] {
+        let mut compiler = Compiler::new();
+        compiler.codegen_options = CodegenOptions {
+            pdl_numbers: pdl,
+            ..CodegenOptions::default()
+        };
+        compiler.compile_str(corpus::PDL_KERNEL).unwrap();
+        let mut m = compiler.machine();
+        group.bench_with_input(BenchmarkId::from_parameter(name), &pdl, |b, _| {
+            b.iter(|| m.run("pdl-loop", &[fx(500), fl(1.5), fl(2.5)]).unwrap())
+        });
+    }
+    group.finish();
+}
+
+/// E10: special-variable caching on/off.
+fn bench_specials(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e10_specials");
+    for (name, cached) in [("cached", true), ("uncached", false)] {
+        let mut compiler = Compiler::new();
+        compiler.codegen_options = CodegenOptions {
+            cache_specials: cached,
+            ..CodegenOptions::default()
+        };
+        compiler.compile_str(corpus::SPECIALS_LOOP).unwrap();
+        let mut m = compiler.machine();
+        m.set_global("*step*", &fx(2)).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(name), &cached, |b, _| {
+            b.iter(|| m.run("accumulate", &[fx(500)]).unwrap())
+        });
+    }
+    group.finish();
+}
+
+/// E6/E9: the numeric kernel with and without representation analysis.
+fn bench_numeric(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_representation");
+    for (name, rep) in [("on", true), ("off", false)] {
+        let mut compiler = Compiler::new();
+        compiler.codegen_options = CodegenOptions {
+            representation_analysis: rep,
+            ..CodegenOptions::default()
+        };
+        compiler.compile_str(corpus::HORNER_LOOP).unwrap();
+        let mut m = compiler.machine();
+        group.bench_with_input(BenchmarkId::from_parameter(name), &rep, |b, _| {
+            b.iter(|| m.run("sum-horner", &[fx(500)]).unwrap())
+        });
+    }
+    group.finish();
+}
+
+/// E12: full vs naive compiler on tak.
+fn bench_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e12_ablation_tak");
+    let full = compile(corpus::TAK);
+    let mut naive = Compiler::unoptimized();
+    naive.compile_str(corpus::TAK).unwrap();
+    let args = [fx(12), fx(8), fx(4)];
+    let mut m1 = full.machine();
+    let mut m2 = naive.machine();
+    group.bench_function("full", |b| b.iter(|| m1.run("tak", &args).unwrap()));
+    group.bench_function("naive", |b| b.iter(|| m2.run("tak", &args).unwrap()));
+    group.finish();
+}
+
+/// Compilation speed itself (the compiler is also a program).
+fn bench_compile_time(c: &mut Criterion) {
+    c.bench_function("compile_testfn", |b| {
+        b.iter(|| {
+            let mut compiler = Compiler::new();
+            compiler.compile_str(corpus::TESTFN).unwrap();
+            compiler.code_size_words()
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_exptl,
+    bench_bool,
+    bench_pdl,
+    bench_specials,
+    bench_numeric,
+    bench_ablation,
+    bench_compile_time
+);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Prints the experiment reports (all of them, or those named on the
+//! command line).
+//!
+//! ```sh
+//! cargo run -p s1lisp-bench --bin report            # everything
+//! cargo run -p s1lisp-bench --bin report -- e4 e7   # selected
+//! ```
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let selected: Vec<String> = if args.is_empty() {
+        s1lisp_bench::all_experiments()
+            .iter()
+            .map(|e| e.id.to_string())
+            .collect()
+    } else {
+        args
+    };
+    for id in selected {
+        match s1lisp_bench::run_experiment(&id) {
+            Some(report) => {
+                let title = s1lisp_bench::all_experiments()
+                    .into_iter()
+                    .find(|e| e.id == id)
+                    .map(|e| e.title)
+                    .unwrap_or("");
+                println!("==================================================================");
+                println!("{} — {}", id.to_uppercase(), title);
+                println!("==================================================================");
+                println!("{report}");
+            }
+            None => eprintln!("unknown experiment {id} (want e1..e12)"),
+        }
+    }
+}

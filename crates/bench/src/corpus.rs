@@ -1,0 +1,153 @@
+//! Benchmark programs (duplicated from the suite crate: the workspace
+//! root package is not a dependency of this crate).
+
+/// §2's exponentiation-by-squaring.
+pub const EXPTL: &str = "(defun exptl (x n a)
+  (cond ((zerop n) a)
+        ((oddp n) (exptl (* x x) (floor (/ n 2)) (* a x)))
+        (t (exptl (* x x) (floor (/ n 2)) a))))";
+
+/// A pure tail-recursive countdown loop.
+pub const LOOPN: &str =
+    "(defun loopn (n) (if (= n 0) 'done (loopn (- n 1))))";
+
+/// §7's worked example, with `frotz` defined as a no-op.
+pub const TESTFN: &str = "(defun frotz (a b c) '())
+(defun testfn (a &optional (b 3.0) (c a))
+  (let ((d (+$f a b c)) (e (*$f a b c)))
+    (let ((q (sin$f e)))
+      (frotz d e (max$f d e))
+      q)))";
+
+/// §4.1's quadratic solver.
+pub const QUADRATIC: &str = "(defun quadratic (a b c)
+  (let ((d (- (* b b) (* 4.0 a c))))
+    (cond ((< d 0) '())
+          ((= d 0) (list (/ (- b) (* 2.0 a))))
+          (t (let ((two-a (* 2.0 a)) (sd (sqrt d)))
+               (list (/ (+ (- b) sd) two-a)
+                     (/ (- (- b) sd) two-a)))))))";
+
+/// Takeuchi's function.
+pub const TAK: &str = "(defun tak (x y z)
+  (if (not (< y x))
+      z
+      (tak (tak (- x 1) y z)
+           (tak (- y 1) z x)
+           (tak (- z 1) x y))))";
+
+/// Iterative Fibonacci.
+pub const FIB_ITER: &str = "(defun fib-iter (n)
+  (do ((a 0 b) (b 1 (+ a b)) (i 0 (+ i 1)))
+      ((= i n) a)))";
+
+/// Typed float polynomial (Horner) and a driving loop.
+pub const HORNER_LOOP: &str = "(defun horner (x c3 c2 c1 c0)
+  (declare (flonum x c3 c2 c1 c0))
+  (+$f (*$f (+$f (*$f (+$f (*$f c3 x) c2) x) c1) x) c0))
+(defun sum-horner (n)
+  (declare (fixnum n))
+  (prog (acc x)
+    (setq acc 0.0 x 0.0)
+    top
+    (if (zerop n) (return acc))
+    (setq acc (+$f acc (horner x 1.0 -2.0 3.0 -4.0)))
+    (setq x (+$f x 0.001))
+    (setq n (- n 1))
+    (go top)))";
+
+/// A float kernel whose temporaries must become pointers (passed to a
+/// user function), for the pdl-number experiment.
+pub const PDL_KERNEL: &str = "(defun sink (x y) '())
+(defun step$f (a b)
+  (let ((d (+$f a b)) (e (*$f a b)))
+    (sink d e)
+    (max$f d e)))
+(defun pdl-loop (n a b)
+  (prog (r)
+    top
+    (if (zerop n) (return r))
+    (setq r (step$f a b))
+    (setq n (- n 1))
+    (go top)))";
+
+/// Special-variable-heavy loop for the deep-binding experiment.
+pub const SPECIALS_LOOP: &str = "(proclaim '(special *step*))
+(defun accumulate (n)
+  (prog (acc)
+    (setq acc 0)
+    top
+    (if (zerop n) (return acc))
+    (setq acc (+ acc *step*))
+    (setq n (- n 1))
+    (go top)))";
+
+/// Closure-discipline suite: one lambda per binding-annotation strategy.
+pub const CLOSURES: &str = "(defun use-let (x) (let ((y (* x x))) (+ y 1)))
+(defun use-join (a) (if (and a (frob a)) 1 2))
+(defun frob (x) x)
+(defun make-adder (n) (lambda (x) (+ x n)))
+(defun escape-test (n) (let ((f (make-adder n))) (funcall f 10)))";
+
+/// The dot-product kernel for the representation-analysis ablation.
+pub const DOT: &str = "(defun dot (ax ay bx by)
+  (declare (flonum ax ay bx by))
+  (+$f (*$f ax bx) (*$f ay by)))
+(defun dot-loop (n)
+  (declare (fixnum n))
+  (prog (acc)
+    (setq acc 0.0)
+    top
+    (if (zerop n) (return acc))
+    (setq acc (+$f acc (dot 1.5 2.5 3.5 4.5)))
+    (setq n (- n 1))
+    (go top)))";
+
+/// The quadratic solver with type declarations — the type-inference
+/// extension turns its generic float arithmetic into machine
+/// instructions with no `$f` spelling in the source.
+pub const QUADRATIC_TYPED: &str = "(defun quadratic-typed (a b c)
+  (declare (flonum a b c))
+  (let ((d (- (* b b) (* 4.0 a c))))
+    (cond ((< d 0) '())
+          ((= d 0) (list (/ (- b) (* 2.0 a))))
+          (t (let ((two-a (* 2.0 a)) (sd (sqrt d)))
+               (list (/ (+ (- b) sd) two-a)
+                     (/ (- (- b) sd) two-a)))))))";
+
+/// Symbolic differentiation + simplification — the MACSYMA-flavored
+/// symbolic workload of the paper's introduction.
+pub const DERIV: &str = "(defun deriv (e x)
+  (cond ((numberp e) 0)
+        ((symbolp e) (if (eq e x) 1 0))
+        ((eq (car e) '+) (list '+ (deriv (cadr e) x) (deriv (caddr e) x)))
+        ((eq (car e) '*)
+         (list '+ (list '* (cadr e) (deriv (caddr e) x))
+                  (list '* (caddr e) (deriv (cadr e) x))))
+        (t (error 'unknown))))
+(defun build-expr (n x)
+  (if (zerop n) x (list '* x (list '+ (build-expr (- n 1) x) 1))))
+(defun deriv-bench (n x) (deriv (build-expr n x) x))";
+
+/// The Horner kernel with the polynomial written *inline* in the loop
+/// (no function-call boundary): the configuration under which the
+/// Fateman-style parity claim applies.
+pub const HORNER_INLINE: &str = "(defun sum-horner-inline (n)
+  (declare (fixnum n))
+  (let ((acc 0.0) (x 0.0))
+    (prog ()
+      top
+      (if (zerop n) (return acc))
+      (setq acc (+$f acc
+                     (+$f (*$f (+$f (*$f (+$f (*$f 1.0 x) -2.0) x) 3.0) x) -4.0)))
+      (setq x (+$f x 0.001))
+      (setq n (- n 1))
+      (go top))))";
+
+/// `exptl` with a fixnum declaration on the exponent: type inference
+/// turns the `floor`/`/`/`*` chain into machine arithmetic.
+pub const EXPTL_TYPED: &str = "(defun exptl-typed (x n a)
+  (declare (fixnum x n a))
+  (cond ((zerop n) a)
+        ((oddp n) (exptl-typed (* x x) (floor (/ n 2)) (* a x)))
+        (t (exptl-typed (* x x) (floor (/ n 2)) a))))";

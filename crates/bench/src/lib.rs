@@ -1,0 +1,12 @@
+//! The experiment harness: one regenerator per table/figure/claim of the
+//! paper (the experiment index lives in DESIGN.md; measured results in
+//! EXPERIMENTS.md).
+//!
+//! Run everything with `cargo run -p s1lisp-bench --bin report`, or one
+//! experiment with `… --bin report -- e4`.  Wall-clock timings of the
+//! same workloads live in the Criterion bench (`cargo bench`).
+
+pub mod corpus;
+pub mod experiments;
+
+pub use experiments::{all_experiments, run_experiment, Experiment};

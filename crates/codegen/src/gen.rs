@@ -1,0 +1,2689 @@
+//! The single-pass tree-walking code generator.
+
+use std::collections::{HashMap, HashSet};
+
+use s1lisp_analysis::{primop, tail_nodes_from};
+use s1lisp_annotate::{Annotations, LambdaStrategy, Rep, VarAlloc};
+use s1lisp_ast::{CallFunc, Lambda, NodeId, NodeKind, ProgItem, Tree, VarId};
+use s1lisp_interp::Value;
+use s1lisp_reader::{Datum, Symbol};
+use s1lisp_s1sim::{
+    Asm, CallTarget, Cond, FuncCode, Insn, Label, Operand, Program, Reg, Tag, Word,
+};
+use s1lisp_tnbind::{pack, pack_backtracking, Location, PackRequest, TnId, TnPool};
+
+use crate::CodegenOptions;
+
+/// A code-generation failure (unsupported construct, internal limit).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodegenError {
+    /// What went wrong.
+    pub message: String,
+}
+
+impl CodegenError {
+    fn new(m: impl Into<String>) -> CodegenError {
+        CodegenError { message: m.into() }
+    }
+}
+
+impl std::fmt::Display for CodegenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "codegen error: {}", self.message)
+    }
+}
+
+impl std::error::Error for CodegenError {}
+
+type R<T> = Result<T, CodegenError>;
+
+/// Compiles the function whose tree is `tree` (root must be a lambda)
+/// into `program`, along with every closure body it contains.
+///
+/// # Errors
+///
+/// Returns a [`CodegenError`] for constructs outside the compilable
+/// subset (`go` across a closure boundary, `&optional` in a `let`, …).
+pub fn compile(
+    name: &str,
+    tree: &Tree,
+    program: &mut Program,
+    opts: &CodegenOptions,
+) -> R<()> {
+    let ann = Annotations::compute(tree);
+    let mut counter = 0u32;
+    let mut work: Vec<(String, NodeId, Vec<VarId>)> = vec![(name.to_string(), tree.root, vec![])];
+    while let Some((fname, lambda, captures)) = work.pop() {
+        let code = compile_lambda(
+            tree,
+            &ann,
+            &fname,
+            lambda,
+            &captures,
+            program,
+            opts,
+            &mut work,
+            &mut counter,
+        )?;
+        program.define(code);
+    }
+    Ok(())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn compile_lambda(
+    tree: &Tree,
+    ann: &Annotations,
+    fname: &str,
+    lambda: NodeId,
+    captures: &[VarId],
+    program: &mut Program,
+    opts: &CodegenOptions,
+    work: &mut Vec<(String, NodeId, Vec<VarId>)>,
+    counter: &mut u32,
+) -> R<FuncCode> {
+    // Pass 1: emit with every variable in a frame slot, recording TN
+    // lifetimes and call sites.
+    let counter_start = *counter;
+    let mut g = Gen::new(tree, ann, fname, lambda, captures, program, opts, work, counter);
+    let (code, pool, var_tn) = g.emit()?;
+    if !opts.register_allocation {
+        return Ok(code);
+    }
+    // TNBIND: pack, then re-emit with winning variables promoted to
+    // registers.
+    let req = PackRequest::default();
+    let packing = if opts.backtracking_pack {
+        pack_backtracking(&pool, &req, 8)
+    } else {
+        pack(&pool, &req)
+    };
+    let mut promote: HashMap<VarId, Reg> = HashMap::new();
+    for (&var, &tn) in &var_tn {
+        if let Location::Reg(r) = packing.location(tn) {
+            promote.insert(var, Reg(r));
+        }
+    }
+    if promote.is_empty() {
+        return Ok(code);
+    }
+    // Closures discovered in pass 1 are already queued; pass 2 re-derives
+    // the same names (same counter start) and its duplicates are dropped.
+    let mark = work.len();
+    *counter = counter_start;
+    let mut g2 = Gen::new(tree, ann, fname, lambda, captures, program, opts, work, counter);
+    g2.promote = promote;
+    let (code2, _, _) = g2.emit()?;
+    work.truncate(mark);
+    Ok(code2)
+}
+
+/// Where a variable's value lives at run time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum VLoc {
+    /// Frame slot (FP-relative).
+    Slot(u16),
+    /// Register (TNBIND promotion).
+    Reg(Reg),
+    /// Frame slot holding a heap value-cell pointer.
+    Cell(u16),
+    /// Closure environment slot (holds a cell pointer).
+    Env(u16),
+    /// Deep-bound special (by symbol id).
+    Special(u32),
+}
+
+/// A value produced by expression generation: an operand plus ownership
+/// of the scratch register / temp slot it may occupy.
+#[derive(Clone, Copy, Debug)]
+struct Val {
+    op: Operand,
+    reg: Option<Reg>,
+    temp: Option<u16>,
+}
+
+impl Val {
+    fn con(w: Word) -> Val {
+        Val {
+            op: Operand::Const(w),
+            reg: None,
+            temp: None,
+        }
+    }
+
+    fn reg(r: Reg) -> Val {
+        Val {
+            op: Operand::Reg(r),
+            reg: Some(r),
+            temp: None,
+        }
+    }
+
+    fn borrowed(op: Operand) -> Val {
+        Val {
+            op,
+            reg: None,
+            temp: None,
+        }
+    }
+}
+
+/// A local-function (join point) record.
+#[derive(Clone, Debug)]
+struct LocalFn {
+    label: Label,
+    tail_mode: bool,
+    /// Parameter slots, in order.
+    params: Vec<u16>,
+}
+
+/// An enclosing progbody context.
+struct PbCtx {
+    tags: Vec<(Symbol, Label)>,
+    exit: Label,
+    /// Result slot (None when the progbody is in tail position).
+    result: Option<u16>,
+    tail: bool,
+}
+
+struct Gen<'a> {
+    tree: &'a Tree,
+    ann: &'a Annotations,
+    opts: &'a CodegenOptions,
+    program: &'a mut Program,
+    work: &'a mut Vec<(String, NodeId, Vec<VarId>)>,
+    counter: &'a mut u32,
+    fname: String,
+    lambda: Lambda,
+    tails: HashSet<NodeId>,
+    asm: Asm,
+    var_loc: HashMap<VarId, VLoc>,
+    free_regs: Vec<Reg>,
+    nslots: u16,
+    temp_next: u16,
+    temp_high: u16,
+    free_temps: Vec<u16>,
+    alloc_patch: Vec<usize>,
+    body_label: Label,
+    simple: bool,
+    local_fns: HashMap<VarId, LocalFn>,
+    blocks: Vec<(VarId, NodeId)>,
+    pb_stack: Vec<PbCtx>,
+    specials_bound: u16,
+    spec_cache: HashMap<String, u16>,
+    pool: TnPool,
+    var_tn: HashMap<VarId, TnId>,
+    promote: HashMap<VarId, Reg>,
+    call_cache: HashMap<NodeId, bool>,
+}
+
+impl<'a> Gen<'a> {
+    #[allow(clippy::too_many_arguments)]
+    fn new(
+        tree: &'a Tree,
+        ann: &'a Annotations,
+        fname: &str,
+        lambda: NodeId,
+        captures: &[VarId],
+        program: &'a mut Program,
+        opts: &'a CodegenOptions,
+        work: &'a mut Vec<(String, NodeId, Vec<VarId>)>,
+        counter: &'a mut u32,
+    ) -> Gen<'a> {
+        let NodeKind::Lambda(l) = tree.kind(lambda).clone() else {
+            panic!("compile_lambda on a non-lambda node");
+        };
+        let (_, maxa) = l.arity();
+        let nslots = (maxa.unwrap_or(l.required.len() + l.optional.len())
+            + usize::from(l.rest.is_some())) as u16;
+        let mut var_loc = HashMap::new();
+        for (i, &c) in captures.iter().enumerate() {
+            var_loc.insert(c, VLoc::Env(i as u16));
+        }
+        let tails = tail_nodes_from(tree, lambda);
+        Gen {
+            tree,
+            ann,
+            opts,
+            program,
+            work,
+            counter,
+            fname: fname.to_string(),
+            lambda: l,
+            tails,
+            asm: Asm::new(fname, nslots),
+            var_loc,
+            free_regs: (Reg::FIRST_GP..=15).map(Reg).chain([Reg::RTB, Reg::RTA]).collect(),
+            nslots,
+            temp_next: 0,
+            temp_high: 0,
+            free_temps: Vec::new(),
+            alloc_patch: Vec::new(),
+            body_label: 0,
+            simple: true,
+            local_fns: HashMap::new(),
+            blocks: Vec::new(),
+            pb_stack: Vec::new(),
+            specials_bound: 0,
+            spec_cache: HashMap::new(),
+            pool: TnPool::new(),
+            var_tn: HashMap::new(),
+            promote: HashMap::new(),
+            call_cache: HashMap::new(),
+        }
+    }
+
+    // ---------------------------------------------------------- plumbing
+
+    fn pos(&self) -> u32 {
+        self.asm.len() as u32
+    }
+
+    fn err<T>(&self, m: impl Into<String>) -> R<T> {
+        Err(CodegenError::new(format!("{}: {}", self.fname, m.into())))
+    }
+
+    fn rep_is(&self, n: NodeId) -> Rep {
+        if self.opts.representation_analysis {
+            self.ann.rep.is(n)
+        } else {
+            Rep::Pointer
+        }
+    }
+
+    fn var_rep(&self, v: VarId) -> Rep {
+        if self.opts.representation_analysis {
+            self.ann.rep.var_rep.get(&v).copied().unwrap_or(Rep::Pointer)
+        } else {
+            Rep::Pointer
+        }
+    }
+
+    fn alloc_reg(&mut self) -> Option<Reg> {
+        // Prefer general registers; keep RTs for arithmetic when we can.
+        if let Some(i) = self.free_regs.iter().position(|r| !r.is_rt()) {
+            return Some(self.free_regs.remove(i));
+        }
+        self.free_regs.pop()
+    }
+
+    fn alloc_rt(&mut self) -> Option<Reg> {
+        let i = self.free_regs.iter().position(|r| r.is_rt())?;
+        Some(self.free_regs.remove(i))
+    }
+
+    fn free_reg(&mut self, r: Reg) {
+        debug_assert!(!self.free_regs.contains(&r));
+        self.free_regs.push(r);
+    }
+
+    fn alloc_temp(&mut self) -> u16 {
+        let t = self.free_temps.pop().unwrap_or_else(|| {
+            let t = self.temp_next;
+            self.temp_next += 1;
+            t
+        });
+        self.temp_high = self.temp_high.max(self.temp_next);
+        t
+    }
+
+    /// A temp slot that lives until function exit (variables, pdl slots).
+    fn alloc_temp_pinned(&mut self) -> u16 {
+        let t = self.temp_next;
+        self.temp_next += 1;
+        self.temp_high = self.temp_high.max(self.temp_next);
+        t
+    }
+
+    fn temp_op(&self, t: u16) -> Operand {
+        Operand::Ind(Reg::FP, i32::from(self.nslots + t))
+    }
+
+    fn release(&mut self, v: Val) {
+        if let Some(r) = v.reg {
+            self.free_reg(r);
+        }
+        if let Some(t) = v.temp {
+            self.free_temps.push(t);
+        }
+    }
+
+    /// A fresh writable place: register if available, else a temp slot.
+    fn alloc_place(&mut self) -> Val {
+        match self.alloc_reg() {
+            Some(r) => Val::reg(r),
+            None => {
+                let t = self.alloc_temp();
+                Val {
+                    op: self.temp_op(t),
+                    reg: None,
+                    temp: Some(t),
+                }
+            }
+        }
+    }
+
+    /// Moves `v` into a place we own (for results that must survive
+    /// arbitrary later code, e.g. values read out of register A).
+    fn own(&mut self, v: Val) -> Val {
+        if v.reg.is_some() || v.temp.is_some() {
+            return v;
+        }
+        let dst = self.alloc_place();
+        self.asm.push(Insn::Mov { dst: dst.op, src: v.op });
+        dst
+    }
+
+    /// Parks a value in a temp slot so it survives a call or a sibling
+    /// assignment (constants need no protection).
+    fn protect(&mut self, v: Val) -> Val {
+        match v.op {
+            Operand::Const(_) => v,
+            _ => {
+                let t = self.alloc_temp();
+                let op = self.temp_op(t);
+                self.asm.push(Insn::Mov { dst: op, src: v.op });
+                self.release(v);
+                Val {
+                    op,
+                    reg: None,
+                    temp: Some(t),
+                }
+            }
+        }
+    }
+
+    /// Must `v` be protected while the sibling expression runs?  Calls
+    /// clobber scratch registers; assignments may change borrowed
+    /// variable slots.
+    fn sibling_unsafe(&mut self, sibling: NodeId) -> bool {
+        if self.contains_call(sibling) {
+            return true;
+        }
+        s1lisp_ast::subtree_nodes(self.tree, sibling)
+            .iter()
+            .any(|&n| matches!(self.tree.kind(n), NodeKind::Setq { .. }))
+    }
+
+    /// Does evaluating `node` possibly transfer control into user code
+    /// (clobbering scratch registers)?
+    fn contains_call(&mut self, node: NodeId) -> bool {
+        if let Some(&c) = self.call_cache.get(&node) {
+            return c;
+        }
+        let mut found = false;
+        for n in s1lisp_ast::subtree_nodes(self.tree, node) {
+            match self.tree.kind(n) {
+                NodeKind::Call {
+                    func: CallFunc::Global(g),
+                    ..
+                }
+                    if (primop(g.as_str()).is_none() || matches!(g.as_str(), "apply" | "throw")) => {
+                        found = true;
+                        break;
+                    }
+                NodeKind::Call {
+                    func: CallFunc::Expr(f),
+                    ..
+                }
+                    if !matches!(self.tree.kind(*f), NodeKind::Lambda(_)) => {
+                        found = true;
+                        break;
+                    }
+                _ => {}
+            }
+        }
+        self.call_cache.insert(node, found);
+        found
+    }
+
+    // ------------------------------------------------------ entry points
+
+    fn emit(&mut self) -> R<(FuncCode, TnPool, HashMap<VarId, TnId>)> {
+        self.emit_prologue()?;
+        self.gen_tail(self.lambda.body)?;
+        while let Some((var, lambda_node)) = self.blocks.pop() {
+            self.emit_block(var, lambda_node)?;
+        }
+        // Patch the temp-slot allocations.
+        for &site in &self.alloc_patch.clone() {
+            self.asm.patch(
+                site,
+                Insn::AllocSlots {
+                    n: self.temp_high,
+                    init: Word::Ptr(Tag::Gc, 12),
+                },
+            );
+        }
+        let code = std::mem::replace(&mut self.asm, Asm::new("done", 0)).finish();
+        Ok((
+            code,
+            std::mem::take(&mut self.pool),
+            std::mem::take(&mut self.var_tn),
+        ))
+    }
+
+    fn emit_prologue(&mut self) -> R<()> {
+        let l = self.lambda.clone();
+        let req = l.required.len() as u16;
+        let maxp = req + l.optional.len() as u16;
+        self.simple = l.is_simple();
+        // Provisional slot locations so optional defaults can reference
+        // earlier parameters; special/heap/promoted upgrades happen after
+        // the frame is normalized.
+        for (i, p) in l.all_params().into_iter().enumerate() {
+            self.var_loc.insert(p, VLoc::Slot(i as u16));
+        }
+        if self.simple {
+            let ok = self.asm.label();
+            self.asm.push(Insn::JmpIf {
+                cond: Cond::Eq,
+                a: Operand::Reg(Reg::RTA),
+                b: Operand::Const(Word::Raw(i64::from(req))),
+                target: ok,
+            });
+            self.asm.push(Insn::Trap {
+                msg: "wrong number of arguments",
+            });
+            self.asm.bind(ok);
+            self.body_label = self.asm.here();
+            self.alloc_patch.push(self.asm.push(Insn::AllocSlots {
+                n: 0,
+                init: Word::NIL,
+            }));
+        } else {
+            let body = self.asm.label();
+            let trap = self.asm.label();
+            let listify = l.rest.map(|_| self.asm.label());
+            if let Some(listify) = listify {
+                self.asm.push(Insn::JmpIf {
+                    cond: Cond::Ge,
+                    a: Operand::Reg(Reg::RTA),
+                    b: Operand::Const(Word::Raw(i64::from(maxp))),
+                    target: listify,
+                });
+            }
+            // Dispatch on the argument count (Table 4's four-way
+            // dispatch).
+            let mut targets: Vec<Label> = Vec::new();
+            let mut cases: Vec<Label> = Vec::new();
+            for n in 0..=maxp {
+                if n < req {
+                    targets.push(trap);
+                } else {
+                    let c = self.asm.label();
+                    targets.push(c);
+                    cases.push(c);
+                }
+            }
+            self.asm.push(Insn::Dispatch {
+                src: Operand::Reg(Reg::RTA),
+                targets,
+            });
+            self.asm.bind(trap);
+            self.asm.push(Insn::Trap {
+                msg: "wrong number of arguments",
+            });
+            // One case per supplied-argument count: allocate the missing
+            // slots, compute defaults, join at the body ("there is code
+            // customized to the number of arguments to set up the stack
+            // frame and initialize parameters for which no arguments were
+            // passed", §7).
+            for (idx, case) in cases.into_iter().enumerate() {
+                let supplied = req + idx as u16;
+                self.asm.bind(case);
+                let missing = (maxp - supplied) + u16::from(l.rest.is_some());
+                if missing > 0 {
+                    self.asm.push(Insn::AllocSlots {
+                        n: missing,
+                        init: Word::NIL,
+                    });
+                }
+                self.alloc_patch.push(self.asm.push(Insn::AllocSlots {
+                    n: 0,
+                    init: Word::NIL,
+                }));
+                for j in supplied..maxp {
+                    let opt = &l.optional[(j - req) as usize];
+                    let rep = self.var_rep(opt.var);
+                    let v = self.gen_into(opt.default, rep)?;
+                    self.asm.push(Insn::Mov {
+                        dst: Operand::arg(j),
+                        src: v.op,
+                    });
+                    self.release(v);
+                    // The slot is now usable by later defaults; register
+                    // its location early.
+                    self.var_loc.insert(opt.var, VLoc::Slot(j));
+                }
+                self.asm.push(Insn::Jmp { target: body });
+            }
+            if let (Some(listify), Some(_)) = (listify, l.rest) {
+                self.asm.bind(listify);
+                self.asm.push(Insn::ListifyArgs { fixed: maxp });
+                self.alloc_patch.push(self.asm.push(Insn::AllocSlots {
+                    n: 0,
+                    init: Word::NIL,
+                }));
+                self.asm.push(Insn::Jmp { target: body });
+            }
+            self.asm.bind(body);
+            self.body_label = body;
+        }
+
+        // Register parameter locations and handle special/heap params.
+        let all = l.all_params();
+        for (i, &p) in all.iter().enumerate() {
+            let i = i as u16;
+            match self.ann.binding.var_alloc.get(&p) {
+                Some(VarAlloc::Special) => {
+                    let sym = self.program.sym_id(self.tree.var(p).name.as_str());
+                    self.asm.push(Insn::SpecBind {
+                        sym,
+                        src: Operand::arg(i),
+                    });
+                    self.specials_bound += 1;
+                    self.var_loc.insert(p, VLoc::Special(sym));
+                }
+                Some(VarAlloc::Heap) => {
+                    let slot = self.alloc_temp_pinned();
+                    let dst = self.temp_op(slot);
+                    self.asm.push(Insn::MakeCell {
+                        dst,
+                        src: Operand::arg(i),
+                    });
+                    self.var_loc.insert(p, VLoc::Cell(slot));
+                }
+                _ => {
+                    // Declared raw representations: convert the incoming
+                    // pointer-format argument once, in place.
+                    if self.var_rep(p) == Rep::Swflo {
+                        self.asm.push(Insn::UnboxFlo {
+                            dst: Operand::arg(i),
+                            src: Operand::arg(i),
+                        });
+                    }
+                    // TNBIND promotion: pass 2 loads the parameter into
+                    // its register once, here.
+                    if let Some(&r) = self.promote.get(&p) {
+                        self.asm.push(Insn::Mov {
+                            dst: Operand::Reg(r),
+                            src: Operand::arg(i),
+                        });
+                        self.var_loc.insert(p, VLoc::Reg(r));
+                    } else {
+                        let tn = *self
+                            .var_tn
+                            .entry(p)
+                            .or_insert_with(|| self.pool.new_tn(self.tree.var(p).name.as_str()));
+                        self.pool.record_use(tn, self.pos());
+                        self.var_loc.insert(p, VLoc::Slot(i));
+                    }
+                }
+            }
+        }
+        // Remove promoted registers from the scratch pool.
+        let promoted: Vec<Reg> = self.promote.values().copied().collect();
+        self.free_regs.retain(|r| !promoted.contains(r));
+
+        // Cached special lookups ("on entry to a function, all the
+        // special variables needed by that function are searched for once
+        // and pointers to the relevant stack locations are cached in the
+        // function's local activation frame", §4.4).
+        if self.opts.cache_specials {
+            let mut needed: Vec<String> = self
+                .tree
+                .var_ids()
+                .filter(|&v| {
+                    self.tree.var(v).special
+                        && !self.tree.var(v).refs.is_empty()
+                        && within_lambda(self.tree, v)
+                })
+                .map(|v| self.tree.var(v).name.as_str().to_string())
+                .collect();
+            needed.sort();
+            needed.dedup();
+            for name in needed {
+                let sym = self.program.sym_id(&name);
+                let slot = self.alloc_temp_pinned();
+                let dst = self.temp_op(slot);
+                self.asm.push(Insn::SpecLookup { dst, sym });
+                self.spec_cache.insert(name, slot);
+            }
+        }
+        Ok(())
+    }
+
+    // -------------------------------------------------------- variables
+
+    fn record_var_use(&mut self, v: VarId) {
+        if matches!(self.var_loc.get(&v), Some(VLoc::Slot(_))) {
+            if let Some(&tn) = self.var_tn.get(&v) {
+                self.pool.record_use(tn, self.pos());
+            }
+        }
+    }
+
+    fn load_var(&mut self, v: VarId) -> R<Val> {
+        self.record_var_use(v);
+        self.locate_lazily(v);
+        let Some(&loc) = self.var_loc.get(&v) else {
+            return self.err(format!("unlocated variable {}", self.tree.var(v).name));
+        };
+        Ok(match loc {
+            VLoc::Slot(i) => Val::borrowed(Operand::Ind(Reg::FP, i32::from(i))),
+            VLoc::Reg(r) => Val::borrowed(Operand::Reg(r)),
+            VLoc::Cell(slot) => {
+                let dst = self.alloc_place();
+                let cell = self.temp_op(slot);
+                self.asm.push(Insn::LoadCell { dst: dst.op, cell });
+                dst
+            }
+            VLoc::Env(i) => {
+                let dst = self.alloc_place();
+                self.asm.push(Insn::LoadEnv {
+                    dst: dst.op,
+                    index: i,
+                });
+                self.asm.push(Insn::LoadCell {
+                    dst: dst.op,
+                    cell: dst.op,
+                });
+                dst
+            }
+            VLoc::Special(sym) => {
+                let dst = self.alloc_place();
+                let name = self.tree.var(v).name.as_str().to_string();
+                match self.spec_cache.get(&name) {
+                    Some(&slot) => {
+                        let cell = self.temp_op(slot);
+                        self.asm.push(Insn::LoadCell { dst: dst.op, cell });
+                    }
+                    None => {
+                        self.asm.push(Insn::SpecRead { dst: dst.op, sym });
+                    }
+                }
+                dst
+            }
+        })
+    }
+
+    /// Stores `value` into variable `v`, returning the (still live) value
+    /// for use as the `setq` result.
+    fn store_var(&mut self, v: VarId, value: Val, value_node: NodeId) -> R<Val> {
+        self.record_var_use(v);
+        self.locate_lazily(v);
+        let Some(&loc) = self.var_loc.get(&v) else {
+            return self.err(format!("unlocated variable {}", self.tree.var(v).name));
+        };
+        match loc {
+            VLoc::Slot(i) => {
+                self.asm.push(Insn::Mov {
+                    dst: Operand::Ind(Reg::FP, i32::from(i)),
+                    src: value.op,
+                });
+                Ok(value)
+            }
+            VLoc::Reg(r) => {
+                self.asm.push(Insn::Mov {
+                    dst: Operand::Reg(r),
+                    src: value.op,
+                });
+                Ok(value)
+            }
+            VLoc::Cell(slot) => {
+                // Publishing into a heap cell is an unsafe operation.
+                let vv = self.certify(value_node, value)?;
+                let cell = self.temp_op(slot);
+                self.asm.push(Insn::StoreCell { cell, src: vv.op });
+                Ok(vv)
+            }
+            VLoc::Env(i) => {
+                let vv = self.certify(value_node, value)?;
+                let cellp = self.alloc_place();
+                self.asm.push(Insn::LoadEnv {
+                    dst: cellp.op,
+                    index: i,
+                });
+                self.asm.push(Insn::StoreCell {
+                    cell: cellp.op,
+                    src: vv.op,
+                });
+                self.release(cellp);
+                Ok(vv)
+            }
+            VLoc::Special(sym) => {
+                let vv = self.certify(value_node, value)?;
+                let name = self.tree.var(v).name.as_str().to_string();
+                match self.spec_cache.get(&name) {
+                    Some(&slot) => {
+                        let cell = self.temp_op(slot);
+                        self.asm.push(Insn::StoreCell { cell, src: vv.op });
+                    }
+                    None => {
+                        self.asm.push(Insn::SpecWrite { sym, src: vv.op });
+                    }
+                }
+                Ok(vv)
+            }
+        }
+    }
+
+    /// Global special variables have no binder: locate them on first
+    /// reference.
+    fn locate_lazily(&mut self, v: VarId) {
+        if self.var_loc.contains_key(&v) {
+            return;
+        }
+        let var = self.tree.var(v);
+        if var.special {
+            let sym = self.program.sym_id(var.name.as_str());
+            self.var_loc.insert(v, VLoc::Special(sym));
+        }
+    }
+
+    /// Inserts a run-time certification when the value might be an
+    /// unsafe (pdl) pointer (§6.3).
+    fn certify(&mut self, node: NodeId, v: Val) -> R<Val> {
+        if !self.ann.pdl.unsafe_p(node) {
+            return Ok(v);
+        }
+        if matches!(v.op, Operand::Const(_)) {
+            return Ok(v);
+        }
+        if v.reg.is_some() {
+            self.asm.push(Insn::Certify { dst: v.op, src: v.op });
+            return Ok(v);
+        }
+        let dst = self.alloc_place();
+        self.asm.push(Insn::Certify { dst: dst.op, src: v.op });
+        self.release(v);
+        Ok(dst)
+    }
+
+    // ------------------------------------------------------- expressions
+
+    fn gen_into(&mut self, node: NodeId, want: Rep) -> R<Val> {
+        let v = self.gen(node)?;
+        self.coerce(node, v, self.rep_is(node), want)
+    }
+
+    fn coerce(&mut self, node: NodeId, v: Val, from: Rep, want: Rep) -> R<Val> {
+        if from == want || want == Rep::None_ || want == Rep::Jump {
+            return Ok(v);
+        }
+        if from == Rep::Jump {
+            // The boolean was already materialized as a pointer.
+            return Ok(v);
+        }
+        match (from, want) {
+            // Fixnums are immediate: raw and pointer form coincide.
+            (Rep::Swfix, Rep::Pointer) | (Rep::Pointer, Rep::Swfix) => Ok(v),
+            (Rep::Swflo, Rep::Pointer) => {
+                if self.opts.pdl_numbers && self.ann.pdl.stack_box(node) {
+                    // "Install value for PDL-allocated number" +
+                    // "Pointer to PDL slot" (Table 4).
+                    let slot = self.alloc_temp_pinned();
+                    let slot_op = self.temp_op(slot);
+                    self.asm.push(Insn::Mov {
+                        dst: slot_op,
+                        src: v.op,
+                    });
+                    self.release(v);
+                    let dst = self.alloc_place();
+                    self.asm.push(Insn::Movp {
+                        tag: Tag::SingleFlonum,
+                        dst: dst.op,
+                        src: slot_op,
+                    });
+                    Ok(dst)
+                } else {
+                    let dst = self.alloc_place();
+                    self.asm.push(Insn::BoxFlo {
+                        dst: dst.op,
+                        src: v.op,
+                    });
+                    self.release(v);
+                    Ok(dst)
+                }
+            }
+            (Rep::Pointer, Rep::Swflo) => {
+                let dst = self.alloc_place();
+                self.asm.push(Insn::UnboxFlo {
+                    dst: dst.op,
+                    src: v.op,
+                });
+                self.release(v);
+                Ok(dst)
+            }
+            _ => self.err(format!("unsupported coercion {from:?} → {want:?}")),
+        }
+    }
+
+    fn gen(&mut self, node: NodeId) -> R<Val> {
+        match self.tree.kind(node).clone() {
+            NodeKind::Constant(d) => self.gen_constant(&d, self.rep_is(node)),
+            NodeKind::VarRef(v) => self.load_var(v),
+            NodeKind::Setq { var, value } => {
+                let rep = self.var_rep(var);
+                let v = self.gen_into(value, rep)?;
+                self.store_var(var, v, value)
+            }
+            NodeKind::If { test, then, els } => {
+                let rep = self.rep_is(node);
+                let (tl, fl, join) = (self.asm.label(), self.asm.label(), self.asm.label());
+                self.gen_test(test, tl, fl)?;
+                let out = self.alloc_place();
+                self.asm.bind(tl);
+                let v1 = self.gen_into(then, rep)?;
+                self.asm.push(Insn::Mov {
+                    dst: out.op,
+                    src: v1.op,
+                });
+                self.release(v1);
+                self.asm.push(Insn::Jmp { target: join });
+                self.asm.bind(fl);
+                let v2 = self.gen_into(els, rep)?;
+                self.asm.push(Insn::Mov {
+                    dst: out.op,
+                    src: v2.op,
+                });
+                self.release(v2);
+                self.asm.bind(join);
+                Ok(out)
+            }
+            NodeKind::Progn(body) => {
+                let (last, init) = body.split_last().expect("non-empty");
+                for &b in init {
+                    self.gen_effect(b)?;
+                }
+                self.gen(*last)
+            }
+            NodeKind::Call { func, args } => self.gen_call(node, &func, &args),
+            NodeKind::Lambda(_) => self.gen_closure(node),
+            NodeKind::Caseq {
+                key,
+                clauses,
+                default,
+            } => self.gen_caseq(node, key, &clauses, default),
+            NodeKind::Catcher { tag, body } => self.gen_catch(tag, body),
+            NodeKind::Progbody(items) => self.gen_progbody(&items, false),
+            NodeKind::Go(tag) => {
+                self.gen_go(&tag)?;
+                Ok(Val::con(Word::NIL))
+            }
+            NodeKind::Return(v) => {
+                self.gen_return(v)?;
+                Ok(Val::con(Word::NIL))
+            }
+        }
+    }
+
+    fn gen_constant(&mut self, d: &Datum, rep: Rep) -> R<Val> {
+        Ok(match (d, rep) {
+            (Datum::Flonum(x), Rep::Swflo) => Val::con(Word::F(*x)),
+            (Datum::Fixnum(n), _) => Val::con(Word::fixnum(*n)),
+            (Datum::Nil, _) => Val::con(Word::NIL),
+            (Datum::Sym(s), _) if s.as_str() == "t" => Val::con(Word::T),
+            (Datum::Sym(s), _) => {
+                let id = self.program.sym_id(s.as_str());
+                Val::con(Word::Ptr(Tag::Symbol, u64::from(id)))
+            }
+            (Datum::Char(c), _) => Val::con(Word::Ptr(Tag::Char, u64::from(u32::from(*c)))),
+            (Datum::Str(s), _) => {
+                let id = self.program.str_id(s);
+                Val::con(Word::Ptr(Tag::String, u64::from(id)))
+            }
+            (d, _) => {
+                // Structured or boxed constants live in static space.
+                let idx = self.program.const_id(Value::from_datum(d));
+                let dst = self.alloc_place();
+                self.asm.push(Insn::LoadConst { dst: dst.op, idx });
+                dst
+            }
+        })
+    }
+
+    fn gen_effect(&mut self, node: NodeId) -> R<()> {
+        if matches!(
+            self.tree.kind(node),
+            NodeKind::Constant(_) | NodeKind::VarRef(_) | NodeKind::Lambda(_)
+        ) {
+            return Ok(());
+        }
+        let v = self.gen(node)?;
+        self.release(v);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------- calls
+
+    fn gen_call(&mut self, node: NodeId, func: &CallFunc, args: &[NodeId]) -> R<Val> {
+        match func {
+            CallFunc::Global(g) => self.gen_global_call(node, g, args, false),
+            CallFunc::Expr(f) => {
+                if let NodeKind::Lambda(_) = self.tree.kind(*f) {
+                    let out = self.gen_let(node, *f, args, false)?;
+                    return Ok(out.expect("non-tail let yields a value"));
+                }
+                if let NodeKind::VarRef(v) = *self.tree.kind(*f) {
+                    if self.local_fns.contains_key(&v) {
+                        let out = self.gen_local_call(v, args, false)?;
+                        return Ok(out.expect("non-tail local call yields a value"));
+                    }
+                }
+                // Computed function call.
+                let fv = self.gen(*f)?;
+                let fv = self.protect(fv);
+                for &a in args {
+                    let v = self.gen_into(a, Rep::Pointer)?;
+                    self.asm.push(Insn::Push { src: v.op });
+                    self.release(v);
+                }
+                self.pool.record_call(self.pos());
+                self.asm.push(Insn::Call {
+                    f: CallTarget::Value(fv.op),
+                    nargs: args.len() as u8,
+                });
+                self.release(fv);
+                Ok(self.own(Val::borrowed(Operand::Reg(Reg::A))))
+            }
+        }
+    }
+
+    /// `tail` selects the tail-call protocol; returns `None` for an
+    /// emitted tail transfer, `Some(val)` otherwise.
+    fn gen_global_call(
+        &mut self,
+        node: NodeId,
+        g: &Symbol,
+        args: &[NodeId],
+        tail: bool,
+    ) -> R<Val> {
+        debug_assert!(!tail);
+        let name = g.as_str();
+        // Inline selections.
+        if let Some(v) = self.try_inline(node, name, args)? {
+            return Ok(v);
+        }
+        if primop(name).is_some() {
+            return self.gen_rt_call(node, name, args);
+        }
+        // A full call to a user (or not-yet-defined) function.
+        for &a in args {
+            let v = self.gen_into(a, Rep::Pointer)?;
+            self.asm.push(Insn::Push { src: v.op });
+            self.release(v);
+        }
+        let id = self.program.fn_id(name);
+        self.pool.record_call(self.pos());
+        self.asm.push(Insn::Call {
+            f: CallTarget::Func(id),
+            nargs: args.len() as u8,
+        });
+        Ok(self.own(Val::borrowed(Operand::Reg(Reg::A))))
+    }
+
+    /// Primitives compiled via the run-time system.
+    fn gen_rt_call(&mut self, node: NodeId, name: &str, args: &[NodeId]) -> R<Val> {
+        let unsafe_op = primop(name).map(|p| !p.pdl_safe).unwrap_or(false);
+        for &a in args {
+            let v = self.gen_into(a, Rep::Pointer)?;
+            let v = if unsafe_op { self.certify(a, v)? } else { v };
+            self.asm.push(Insn::Push { src: v.op });
+            self.release(v);
+        }
+        let dst = self.alloc_place();
+        let static_name = primop(name).map(|p| p.name).expect("primop");
+        self.asm.push(Insn::RtCall {
+            name: static_name,
+            nargs: args.len() as u8,
+            dst: dst.op,
+        });
+        // Runtime routines deliver pointers; when representation analysis
+        // promised a raw value (e.g. `sin$f`, which has no inline form),
+        // convert here so the gen() contract holds.
+        if self.rep_is(node) == Rep::Swflo {
+            self.asm.push(Insn::UnboxFlo {
+                dst: dst.op,
+                src: dst.op,
+            });
+        }
+        Ok(dst)
+    }
+
+    /// Inline code for selected primitives.  Returns `None` to fall back
+    /// to the runtime.
+    fn try_inline(&mut self, node: NodeId, name: &str, args: &[NodeId]) -> R<Option<Val>> {
+        // Comparisons and type predicates: compile as a test and
+        // materialize (in test position `gen_test` intercepts them
+        // before this point).
+        if is_test_op(name) && test_arity_ok(name, args.len()) {
+            return self.materialize_test(node).map(Some);
+        }
+        match (name, args) {
+            ("car", [x]) => {
+                let v = self.gen_into(*x, Rep::Pointer)?;
+                let dst = self.alloc_place();
+                self.asm.push(Insn::Car { dst: dst.op, src: v.op });
+                self.release(v);
+                Ok(Some(dst))
+            }
+            ("cdr", [x]) => {
+                let v = self.gen_into(*x, Rep::Pointer)?;
+                let dst = self.alloc_place();
+                self.asm.push(Insn::Cdr { dst: dst.op, src: v.op });
+                self.release(v);
+                Ok(Some(dst))
+            }
+            ("cons", [a, d]) => {
+                let va = self.gen_into(*a, Rep::Pointer)?;
+                let va = self.certify(*a, va)?;
+                let va = if self.sibling_unsafe(*d) {
+                    self.protect(va)
+                } else {
+                    va
+                };
+                let vd = self.gen_into(*d, Rep::Pointer)?;
+                let vd = self.certify(*d, vd)?;
+                let dst = self.alloc_place();
+                self.asm.push(Insn::ConsRt {
+                    dst: dst.op,
+                    car: va.op,
+                    cdr: vd.op,
+                });
+                self.release(va);
+                self.release(vd);
+                Ok(Some(dst))
+            }
+            ("throw", [tag, value]) => {
+                let vt = self.gen_into(*tag, Rep::Pointer)?;
+                let vt = if self.sibling_unsafe(*value) {
+                    self.protect(vt)
+                } else {
+                    vt
+                };
+                let vv = self.gen_into(*value, Rep::Pointer)?;
+                let vv = self.certify(*value, vv)?;
+                self.asm.push(Insn::Throw {
+                    tag: vt.op,
+                    value: vv.op,
+                });
+                self.release(vt);
+                self.release(vv);
+                Ok(Some(Val::con(Word::NIL)))
+            }
+            ("apply", [f, rest @ ..]) if !rest.is_empty() => {
+                if rest.len() != 1 {
+                    // General apply spreads only the last list; compile
+                    // the multi-arg form via the runtime? Simpler: only
+                    // the common (apply f list) shape is inline.
+                    return self.err("apply with spread arguments is not supported");
+                }
+                let fv = self.gen_into(*f, Rep::Pointer)?;
+                let fv = if self.sibling_unsafe(rest[0]) {
+                    self.protect(fv)
+                } else {
+                    fv
+                };
+                let lv = self.gen_into(rest[0], Rep::Pointer)?;
+                self.pool.record_call(self.pos());
+                self.asm.push(Insn::Apply {
+                    f: fv.op,
+                    list: lv.op,
+                });
+                self.release(fv);
+                self.release(lv);
+                Ok(Some(self.own(Val::borrowed(Operand::Reg(Reg::A)))))
+            }
+            ("%function", [x]) => {
+                if let NodeKind::Constant(Datum::Sym(s)) = self.tree.kind(*x) {
+                    let id = self.program.fn_id(s.as_str());
+                    let dst = self.alloc_place();
+                    self.asm.push(Insn::LoadFunction {
+                        dst: dst.op,
+                        fnid: id,
+                    });
+                    return Ok(Some(dst));
+                }
+                Ok(None)
+            }
+            _ if self.opts.representation_analysis => {
+                match self.ann.rep.lowered.get(&node) {
+                    Some(Rep::Swflo) => return self.inline_lowered_generic(node, name, args),
+                    Some(Rep::Swfix) => return self.inline_lowered_int(node, name, args),
+                    _ => {}
+                }
+                self.try_inline_typed(node, name, args)
+            }
+            _ => Ok(None),
+        }
+    }
+
+    /// A generic arithmetic call deduced to be all-float (the type
+    /// inference extension): compile with the float instructions.
+    fn inline_lowered_generic(
+        &mut self,
+        node: NodeId,
+        name: &str,
+        args: &[NodeId],
+    ) -> R<Option<Val>> {
+        let _ = node;
+        // Unary transcendentals first.
+        if let ("sqrt" | "exp" | "log" | "atan", [x]) = (name, args) {
+            let v = self.gen_into(*x, Rep::Swflo)?;
+            let dst = self.alloc_place();
+            let insn = match name {
+                "sqrt" => Insn::FSqrt { dst: dst.op, src: v.op },
+                "exp" => Insn::FExp { dst: dst.op, src: v.op },
+                "log" => Insn::FLog { dst: dst.op, src: v.op },
+                _ => Insn::FAtan { dst: dst.op, src: v.op },
+            };
+            self.asm.push(insn);
+            self.release(v);
+            return Ok(Some(dst));
+        }
+        let op = match name {
+            "+" | "1+" => FloatOp::Add,
+            "-" | "1-" => FloatOp::Sub,
+            "*" => FloatOp::Mult,
+            "/" => FloatOp::Div,
+            "max" => FloatOp::Max,
+            "min" => FloatOp::Min,
+            _ => return Ok(None),
+        };
+        match (name, args) {
+            ("1+" | "1-", [x]) => {
+                let v = self.gen_into(*x, Rep::Swflo)?;
+                let one = Val::con(Word::F(1.0));
+                Ok(Some(self.emit_float(op, v, one)))
+            }
+            ("-", [x]) => {
+                let v = self.gen_into(*x, Rep::Swflo)?;
+                let dst = self.alloc_place();
+                self.asm.push(Insn::FNeg {
+                    dst: dst.op,
+                    src: v.op,
+                });
+                self.release(v);
+                Ok(Some(dst))
+            }
+            ("/", [x]) => {
+                let v = self.gen_into(*x, Rep::Swflo)?;
+                Ok(Some(self.emit_float(
+                    FloatOp::Div,
+                    Val::con(Word::F(1.0)),
+                    v,
+                )))
+            }
+            (_, [x]) if matches!(name, "+" | "*" | "max" | "min") => {
+                // Single-operand identity-ish forms.
+                Ok(Some(self.gen_into(*x, Rep::Swflo)?))
+            }
+            (_, [first, rest @ ..]) if !rest.is_empty() => {
+                let mut acc = self.gen_into(*first, Rep::Swflo)?;
+                for &b in rest {
+                    if self.sibling_unsafe(b) {
+                        acc = self.protect(acc);
+                    }
+                    let vb = self.gen_into(b, Rep::Swflo)?;
+                    acc = self.emit_float(op, acc, vb);
+                }
+                Ok(Some(acc))
+            }
+            _ => Ok(None),
+        }
+    }
+
+    /// Typed arithmetic, inline (the payoff of representation analysis).
+    fn try_inline_typed(&mut self, node: NodeId, name: &str, args: &[NodeId]) -> R<Option<Val>> {
+        let _ = node;
+        let float_op = |n: &str| {
+            Some(match n {
+                "+$f" => FloatOp::Add,
+                "-$f" => FloatOp::Sub,
+                "*$f" => FloatOp::Mult,
+                "/$f" => FloatOp::Div,
+                "max$f" => FloatOp::Max,
+                "min$f" => FloatOp::Min,
+                _ => return None,
+            })
+        };
+        if let Some(op) = float_op(name) {
+            if args.len() == 1 && name == "-$f" {
+                let v = self.gen_into(args[0], Rep::Swflo)?;
+                let dst = self.alloc_place();
+                self.asm.push(Insn::FNeg {
+                    dst: dst.op,
+                    src: v.op,
+                });
+                self.release(v);
+                return Ok(Some(dst));
+            }
+            if args.len() < 2 {
+                return Ok(None);
+            }
+            let mut acc = self.gen_into(args[0], Rep::Swflo)?;
+            for &b in &args[1..] {
+                if self.sibling_unsafe(b) {
+                    acc = self.protect(acc);
+                }
+                let vb = self.gen_into(b, Rep::Swflo)?;
+                acc = self.emit_float(op, acc, vb);
+            }
+            return Ok(Some(acc));
+        }
+        let unary = |n: &str| {
+            Some(match n {
+                "sinc$f" => UnFloat::Sin,
+                "cosc$f" => UnFloat::Cos,
+                "sqrt$f" => UnFloat::Sqrt,
+                _ => return None,
+            })
+        };
+        if let Some(op) = unary(name) {
+            if args.len() != 1 {
+                return Ok(None);
+            }
+            let v = self.gen_into(args[0], Rep::Swflo)?;
+            let dst = self.alloc_place();
+            let insn = match op {
+                UnFloat::Sin => Insn::FSin {
+                    dst: dst.op,
+                    src: v.op,
+                },
+                UnFloat::Cos => Insn::FCos {
+                    dst: dst.op,
+                    src: v.op,
+                },
+                UnFloat::Sqrt => Insn::FSqrt {
+                    dst: dst.op,
+                    src: v.op,
+                },
+            };
+            self.asm.push(insn);
+            self.release(v);
+            return Ok(Some(dst));
+        }
+        let int_op = |n: &str| {
+            Some(match n {
+                "+&" => IntOp::Add,
+                "-&" => IntOp::Sub,
+                "*&" => IntOp::Mult,
+                _ => return None,
+            })
+        };
+        if let Some(op) = int_op(name) {
+            if args.len() < 2 {
+                return Ok(None);
+            }
+            let mut acc = self.gen_into(args[0], Rep::Pointer)?;
+            for &b in &args[1..] {
+                if self.sibling_unsafe(b) {
+                    acc = self.protect(acc);
+                }
+                let vb = self.gen_into(b, Rep::Pointer)?;
+                acc = self.emit_int(op, acc, vb);
+            }
+            return Ok(Some(acc));
+        }
+        Ok(None)
+    }
+
+    /// All-fixnum generic arithmetic deduced by type inference: fixnum
+    /// instruction selection (fixnums are immediate words, so no
+    /// conversions are involved).
+    fn inline_lowered_int(&mut self, node: NodeId, name: &str, args: &[NodeId]) -> R<Option<Val>> {
+        let _ = node;
+        let op = match name {
+            "+" | "1+" => IntOp::Add,
+            "-" | "1-" => IntOp::Sub,
+            "*" => IntOp::Mult,
+            "/" => IntOp::Div,
+            "floor" => IntOp::DivFloor,
+            "rem" => IntOp::Rem,
+            "mod" => IntOp::ModFloor,
+            _ => return Ok(None),
+        };
+        match (name, args) {
+            ("1+" | "1-", [x]) => {
+                let v = self.gen_into(*x, Rep::Pointer)?;
+                let one = Val::con(Word::fixnum(1));
+                Ok(Some(self.emit_int(op, v, one)))
+            }
+            ("-", [x]) => {
+                let v = self.gen_into(*x, Rep::Pointer)?;
+                let dst = self.alloc_place();
+                self.asm.push(Insn::Neg {
+                    dst: dst.op,
+                    src: v.op,
+                });
+                self.release(v);
+                Ok(Some(dst))
+            }
+            ("floor" | "mod" | "rem", [_]) => Ok(None), // unary floor is identity via rt
+            ("/", [_]) => Ok(None),                      // (/ n) is a float reciprocal
+            (_, [x]) if matches!(name, "+" | "*") => {
+                Ok(Some(self.gen_into(*x, Rep::Pointer)?))
+            }
+            (_, [first, rest @ ..]) if !rest.is_empty() => {
+                let mut acc = self.gen_into(*first, Rep::Pointer)?;
+                for &b in rest {
+                    if self.sibling_unsafe(b) {
+                        acc = self.protect(acc);
+                    }
+                    let vb = self.gen_into(b, Rep::Pointer)?;
+                    acc = self.emit_int(op, acc, vb);
+                }
+                Ok(Some(acc))
+            }
+            _ => Ok(None),
+        }
+    }
+
+    /// The 2½-address arithmetic discipline (§6.1): the destination is an
+    /// RT register when one is free, else the first operand (in a place
+    /// we own), else a fresh place primed with a MOV.
+    fn arith_dst(&mut self, a: Val) -> (Operand, Val) {
+        if let Some(rt) = self.alloc_rt() {
+            return (Operand::Reg(rt), a);
+        }
+        if a.reg.is_some() || a.temp.is_some() {
+            return (a.op, a);
+        }
+        let dst = self.alloc_place();
+        self.asm.push(Insn::Mov { dst: dst.op, src: a.op });
+        (dst.op, dst)
+    }
+
+    fn emit_float(&mut self, op: FloatOp, a: Val, b: Val) -> Val {
+        let (dst, a_owned) = self.arith_dst(a);
+        let insn = match op {
+            FloatOp::Add => Insn::FAdd { dst, a: a_owned.op, b: b.op },
+            FloatOp::Sub => Insn::FSub { dst, a: a_owned.op, b: b.op },
+            FloatOp::Mult => Insn::FMult { dst, a: a_owned.op, b: b.op },
+            FloatOp::Div => Insn::FDiv { dst, a: a_owned.op, b: b.op },
+            FloatOp::Max => Insn::FMax { dst, a: a_owned.op, b: b.op },
+            FloatOp::Min => Insn::FMin { dst, a: a_owned.op, b: b.op },
+        };
+        self.asm.push(insn);
+        self.finish_arith(dst, a_owned, b)
+    }
+
+    fn emit_int(&mut self, op: IntOp, a: Val, b: Val) -> Val {
+        let (dst, a_owned) = self.arith_dst(a);
+        let insn = match op {
+            IntOp::Add => Insn::Add { dst, a: a_owned.op, b: b.op },
+            IntOp::Sub => Insn::Sub { dst, a: a_owned.op, b: b.op },
+            IntOp::Mult => Insn::Mult { dst, a: a_owned.op, b: b.op },
+            IntOp::Div => Insn::Div { dst, a: a_owned.op, b: b.op },
+            IntOp::DivFloor => Insn::DivFloor { dst, a: a_owned.op, b: b.op },
+            IntOp::Rem => Insn::Rem { dst, a: a_owned.op, b: b.op },
+            IntOp::ModFloor => Insn::ModFloor { dst, a: a_owned.op, b: b.op },
+        };
+        self.asm.push(insn);
+        self.finish_arith(dst, a_owned, b)
+    }
+
+    fn finish_arith(&mut self, dst: Operand, a: Val, b: Val) -> Val {
+        self.release(b);
+        if dst == a.op {
+            return a;
+        }
+        self.release(a);
+        match dst {
+            Operand::Reg(r) => Val::reg(r),
+            _ => Val::borrowed(dst),
+        }
+    }
+
+    // ----------------------------------------------------------- tests
+
+    fn gen_test(&mut self, node: NodeId, tl: Label, fl: Label) -> R<()> {
+        match self.tree.kind(node).clone() {
+            NodeKind::Constant(d) => {
+                self.asm.push(Insn::Jmp {
+                    target: if d.is_true() { tl } else { fl },
+                });
+                Ok(())
+            }
+            NodeKind::If { test, then, els } => {
+                let (itl, ifl) = (self.asm.label(), self.asm.label());
+                self.gen_test(test, itl, ifl)?;
+                self.asm.bind(itl);
+                self.gen_test(then, tl, fl)?;
+                self.asm.bind(ifl);
+                self.gen_test(els, tl, fl)
+            }
+            NodeKind::Progn(body) => {
+                let (last, init) = body.split_last().expect("non-empty");
+                for &b in init {
+                    self.gen_effect(b)?;
+                }
+                self.gen_test(*last, tl, fl)
+            }
+            NodeKind::Call {
+                func: CallFunc::Global(g),
+                args,
+            } => self.gen_test_call(node, &g, &args, tl, fl),
+            _ => {
+                let v = self.gen_into(node, Rep::Pointer)?;
+                self.asm.push(Insn::JmpNotNil {
+                    src: v.op,
+                    target: tl,
+                });
+                self.release(v);
+                self.asm.push(Insn::Jmp { target: fl });
+                Ok(())
+            }
+        }
+    }
+
+    fn gen_test_call(
+        &mut self,
+        node: NodeId,
+        g: &Symbol,
+        args: &[NodeId],
+        tl: Label,
+        fl: Label,
+    ) -> R<()> {
+        let name = g.as_str();
+        let cond = |n: &str| {
+            Some(match n {
+                "=" => Cond::Eq,
+                "/=" => Cond::Ne,
+                "<" => Cond::Lt,
+                "<=" => Cond::Le,
+                ">" => Cond::Gt,
+                ">=" => Cond::Ge,
+                _ => return None,
+            })
+        };
+        if let (Some(c), [a, b]) = (cond(name), args) {
+            let va = self.gen(*a)?;
+            let va = if self.sibling_unsafe(*b) {
+                self.protect(va)
+            } else {
+                va
+            };
+            let vb = self.gen(*b)?;
+            self.asm.push(Insn::JmpIf {
+                cond: c,
+                a: va.op,
+                b: vb.op,
+                target: tl,
+            });
+            self.release(va);
+            self.release(vb);
+            self.asm.push(Insn::Jmp { target: fl });
+            return Ok(());
+        }
+        match (name, args) {
+            ("zerop", [x]) => {
+                let v = self.gen(*x)?;
+                self.asm.push(Insn::JmpIf {
+                    cond: Cond::Eq,
+                    a: v.op,
+                    b: Operand::fixnum(0),
+                    target: tl,
+                });
+                self.release(v);
+                self.asm.push(Insn::Jmp { target: fl });
+                Ok(())
+            }
+            ("null" | "not", [x]) => self.gen_test(*x, fl, tl),
+            ("eq", [a, b]) => {
+                let va = self.gen_into(*a, Rep::Pointer)?;
+                let va = if self.sibling_unsafe(*b) {
+                    self.protect(va)
+                } else {
+                    va
+                };
+                let vb = self.gen_into(*b, Rep::Pointer)?;
+                self.asm.push(Insn::JmpEq {
+                    a: va.op,
+                    b: vb.op,
+                    target: tl,
+                });
+                self.release(va);
+                self.release(vb);
+                self.asm.push(Insn::Jmp { target: fl });
+                Ok(())
+            }
+            ("consp", [x]) => self.tag_test(*x, Tag::Cons, tl, fl),
+            ("atom", [x]) => self.tag_test(*x, Tag::Cons, fl, tl),
+            _ => {
+                let v = self.gen_into(node, Rep::Pointer)?;
+                self.asm.push(Insn::JmpNotNil {
+                    src: v.op,
+                    target: tl,
+                });
+                self.release(v);
+                self.asm.push(Insn::Jmp { target: fl });
+                Ok(())
+            }
+        }
+    }
+
+    fn tag_test(&mut self, x: NodeId, tag: Tag, tl: Label, fl: Label) -> R<()> {
+        let v = self.gen_into(x, Rep::Pointer)?;
+        self.asm.push(Insn::JmpTag {
+            tag,
+            src: v.op,
+            target: tl,
+        });
+        self.release(v);
+        self.asm.push(Insn::Jmp { target: fl });
+        Ok(())
+    }
+
+    /// Compiles a boolean-producing call in value position: branch, then
+    /// materialize t/nil.
+    fn materialize_test(&mut self, node: NodeId) -> R<Val> {
+        let (tl, fl, join) = (self.asm.label(), self.asm.label(), self.asm.label());
+        let NodeKind::Call { func, args } = self.tree.kind(node).clone() else {
+            unreachable!()
+        };
+        let CallFunc::Global(g) = func else {
+            unreachable!()
+        };
+        self.gen_test_call(node, &g, &args, tl, fl)?;
+        let out = self.alloc_place();
+        self.asm.bind(tl);
+        self.asm.push(Insn::Mov {
+            dst: out.op,
+            src: Operand::Const(Word::T),
+        });
+        self.asm.push(Insn::Jmp { target: join });
+        self.asm.bind(fl);
+        self.asm.push(Insn::Mov {
+            dst: out.op,
+            src: Operand::nil(),
+        });
+        self.asm.bind(join);
+        Ok(out)
+    }
+
+    // -------------------------------------------------- let / local fns
+
+    fn gen_let(&mut self, node: NodeId, f: NodeId, args: &[NodeId], tail: bool) -> R<Option<Val>> {
+        let _ = node;
+        let NodeKind::Lambda(l) = self.tree.kind(f).clone() else {
+            unreachable!()
+        };
+        if !l.is_simple() || args.len() != l.required.len() {
+            return self.err("lambda-call with &optional/&rest parameters");
+        }
+        let mut bound_specials = 0u16;
+        for (j, &param) in l.required.iter().enumerate() {
+            let arg = args[j];
+            // Local function? register, defer.
+            if matches!(self.tree.kind(arg), NodeKind::Lambda(_))
+                && self.ann.binding.strategy.get(&arg) == Some(&LambdaStrategy::LocalFunction)
+            {
+                let label = self.asm.label();
+                let NodeKind::Lambda(al) = self.tree.kind(arg).clone() else {
+                    unreachable!()
+                };
+                let tail_mode = self
+                    .tree
+                    .var(param)
+                    .refs
+                    .iter()
+                    .all(|&r| self.call_site_tail(r));
+                let mut params = Vec::new();
+                for &p in &al.required {
+                    let slot = self.alloc_temp_pinned();
+                    params.push(self.nslots + slot);
+                    self.var_loc.insert(p, VLoc::Slot(self.nslots + slot));
+                }
+                self.local_fns.insert(
+                    param,
+                    LocalFn {
+                        label,
+                        tail_mode,
+                        params,
+                    },
+                );
+                self.blocks.push((param, arg));
+                continue;
+            }
+            let rep = self.var_rep(param);
+            let v = self.gen_into(arg, rep)?;
+            match self.ann.binding.var_alloc.get(&param) {
+                Some(VarAlloc::Special) => {
+                    let vv = self.certify(arg, v)?;
+                    let sym = self.program.sym_id(self.tree.var(param).name.as_str());
+                    self.asm.push(Insn::SpecBind { sym, src: vv.op });
+                    self.release(vv);
+                    self.specials_bound += 1;
+                    bound_specials += 1;
+                    self.var_loc.insert(param, VLoc::Special(sym));
+                }
+                Some(VarAlloc::Heap) => {
+                    let vv = self.certify(arg, v)?;
+                    let slot = self.alloc_temp_pinned();
+                    let dst = self.temp_op(slot);
+                    self.asm.push(Insn::MakeCell { dst, src: vv.op });
+                    self.release(vv);
+                    self.var_loc.insert(param, VLoc::Cell(slot));
+                }
+                _ => {
+                    if let Some(&r) = self.promote.get(&param) {
+                        self.asm.push(Insn::Mov {
+                            dst: Operand::Reg(r),
+                            src: v.op,
+                        });
+                        self.release(v);
+                        self.var_loc.insert(param, VLoc::Reg(r));
+                    } else {
+                        let slot = self.alloc_temp_pinned();
+                        let dst = self.temp_op(slot);
+                        self.asm.push(Insn::Mov { dst, src: v.op });
+                        self.release(v);
+                        let tn = *self.var_tn.entry(param).or_insert_with(|| {
+                            self.pool.new_tn(self.tree.var(param).name.as_str())
+                        });
+                        self.pool.record_use(tn, self.pos());
+                        self.var_loc.insert(param, VLoc::Slot(self.nslots + slot));
+                    }
+                }
+            }
+        }
+        if tail {
+            self.gen_tail(l.body)?;
+            return Ok(None);
+        }
+        let out = self.gen(l.body)?;
+        if bound_specials > 0 {
+            self.asm.push(Insn::SpecUnbind { n: bound_specials });
+            self.specials_bound -= bound_specials;
+        }
+        Ok(Some(out))
+    }
+
+    /// Is the call node owning reference `r` in (function-level) tail
+    /// position?
+    fn call_site_tail(&self, r: NodeId) -> bool {
+        self.tree
+            .node(r)
+            .parent
+            .map(|p| self.tails.contains(&p))
+            .unwrap_or(false)
+    }
+
+    /// A call to a local function.  Tail transfers return `None`.
+    fn gen_local_call(&mut self, v: VarId, args: &[NodeId], tail: bool) -> R<Option<Val>> {
+        let lf = self.local_fns[&v].clone();
+        // Evaluate arguments into the block's parameter slots.
+        for (j, &a) in args.iter().enumerate() {
+            let Some(&slot) = lf.params.get(j) else {
+                return self.err("local function called with wrong argument count");
+            };
+            let val = self.gen_into(a, Rep::Pointer)?;
+            self.asm.push(Insn::Mov {
+                dst: Operand::Ind(Reg::FP, i32::from(slot)),
+                src: val.op,
+            });
+            self.release(val);
+        }
+        if lf.tail_mode {
+            // The block ends in the function's own return; just go there.
+            self.asm.push(Insn::Jmp { target: lf.label });
+            if tail {
+                return Ok(None);
+            }
+            // A non-tail site of a tail-mode block cannot happen
+            // (tail_mode requires all sites tail), but keep the value
+            // protocol total.
+            return Ok(Some(Val::con(Word::NIL)));
+        }
+        self.pool.record_call(self.pos());
+        self.asm.push(Insn::LocalCall { target: lf.label });
+        if tail {
+            self.emit_return_from_a()?;
+            return Ok(None);
+        }
+        Ok(Some(self.own(Val::borrowed(Operand::Reg(Reg::A)))))
+    }
+
+    fn emit_block(&mut self, var: VarId, lambda_node: NodeId) -> R<()> {
+        let lf = self.local_fns[&var].clone();
+        let NodeKind::Lambda(l) = self.tree.kind(lambda_node).clone() else {
+            unreachable!()
+        };
+        self.asm.bind(lf.label);
+        if lf.tail_mode {
+            self.gen_tail(l.body)?;
+        } else {
+            let v = self.gen_into(l.body, Rep::Pointer)?;
+            let v = self.certify(l.body, v)?;
+            self.asm.push(Insn::Mov {
+                dst: Operand::Reg(Reg::A),
+                src: v.op,
+            });
+            self.release(v);
+            self.asm.push(Insn::LocalRet);
+        }
+        Ok(())
+    }
+
+    // --------------------------------------------------------- closures
+
+    fn gen_closure(&mut self, node: NodeId) -> R<Val> {
+        let captures = self
+            .ann
+            .binding
+            .captures
+            .get(&node)
+            .cloned()
+            .unwrap_or_default();
+        for &c in &captures {
+            match self.var_loc.get(&c) {
+                Some(&VLoc::Cell(slot)) => {
+                    let op = self.temp_op(slot);
+                    self.asm.push(Insn::Push { src: op });
+                }
+                Some(&VLoc::Env(i)) => {
+                    let p = self.alloc_place();
+                    self.asm.push(Insn::LoadEnv {
+                        dst: p.op,
+                        index: i,
+                    });
+                    self.asm.push(Insn::Push { src: p.op });
+                    self.release(p);
+                }
+                other => {
+                    return self.err(format!(
+                        "captured variable {} is not cell-allocated ({other:?})",
+                        self.tree.var(c).name
+                    ))
+                }
+            }
+        }
+        *self.counter += 1;
+        let child = format!("{}%closure{}", self.fname, self.counter);
+        let fnid = self.program.fn_id(&child);
+        self.work.push((child, node, captures.clone()));
+        let dst = self.alloc_place();
+        self.asm.push(Insn::MakeClosure {
+            dst: dst.op,
+            fnid,
+            ncells: captures.len() as u8,
+        });
+        Ok(dst)
+    }
+
+    // ------------------------------------------------- caseq/catch/prog
+
+    fn gen_caseq(
+        &mut self,
+        node: NodeId,
+        key: NodeId,
+        clauses: &[s1lisp_ast::CaseqClause],
+        default: NodeId,
+    ) -> R<Val> {
+        let rep = self.rep_is(node);
+        let keyv = self.gen_into(key, Rep::Pointer)?;
+        let keyv = self.protect(keyv);
+        let join = self.asm.label();
+        let out = self.alloc_place();
+        // Dense fixnum keys compile to the S-1's computed dispatch
+        // (Table 4's jump-table idiom) instead of a compare chain.
+        if let Some(plan) = dense_fixnum_plan(clauses) {
+            let default_l = self.asm.label();
+            let clause_ls: Vec<Label> = clauses.iter().map(|_| self.asm.label()).collect();
+            // Non-fixnums and out-of-range keys take the default.
+            let is_fix = self.asm.label();
+            self.asm.push(Insn::JmpTag {
+                tag: Tag::Fixnum,
+                src: keyv.op,
+                target: is_fix,
+            });
+            self.asm.push(Insn::Jmp { target: default_l });
+            self.asm.bind(is_fix);
+            let idx = self.alloc_place();
+            self.asm.push(Insn::Sub {
+                dst: Operand::Reg(Reg::RTA),
+                a: keyv.op,
+                b: Operand::fixnum(plan.min),
+            });
+            self.asm.push(Insn::Mov {
+                dst: idx.op,
+                src: Operand::Reg(Reg::RTA),
+            });
+            self.asm.push(Insn::JmpIf {
+                cond: Cond::Lt,
+                a: idx.op,
+                b: Operand::fixnum(0),
+                target: default_l,
+            });
+            self.asm.push(Insn::JmpIf {
+                cond: Cond::Ge,
+                a: idx.op,
+                b: Operand::fixnum(plan.span),
+                target: default_l,
+            });
+            let targets: Vec<Label> = plan
+                .slots
+                .iter()
+                .map(|slot| slot.map_or(default_l, |c| clause_ls[c]))
+                .collect();
+            self.asm.push(Insn::Dispatch {
+                src: idx.op,
+                targets,
+            });
+            self.release(idx);
+            self.asm.bind(default_l);
+            let dv = self.gen_into(default, rep)?;
+            self.asm.push(Insn::Mov { dst: out.op, src: dv.op });
+            self.release(dv);
+            self.asm.push(Insn::Jmp { target: join });
+            for (clause, l) in clauses.iter().zip(clause_ls) {
+                self.asm.bind(l);
+                let cv = self.gen_into(clause.body, rep)?;
+                self.asm.push(Insn::Mov { dst: out.op, src: cv.op });
+                self.release(cv);
+                self.asm.push(Insn::Jmp { target: join });
+            }
+            self.asm.bind(join);
+            self.release(keyv);
+            return Ok(out);
+        }
+        let mut labels = Vec::new();
+        for clause in clauses {
+            let hit = self.asm.label();
+            for k in &clause.keys {
+                match k {
+                    Datum::Fixnum(_) | Datum::Sym(_) | Datum::Nil | Datum::Char(_) => {
+                        let kv = self.gen_constant(k, Rep::Pointer)?;
+                        self.asm.push(Insn::JmpEq {
+                            a: keyv.op,
+                            b: kv.op,
+                            target: hit,
+                        });
+                        self.release(kv);
+                    }
+                    _ => {
+                        // Non-immediate key: eql via the runtime.
+                        self.asm.push(Insn::Push { src: keyv.op });
+                        let kv = self.gen_constant(k, Rep::Pointer)?;
+                        self.asm.push(Insn::Push { src: kv.op });
+                        self.release(kv);
+                        let t = self.alloc_place();
+                        self.asm.push(Insn::RtCall {
+                            name: "eql",
+                            nargs: 2,
+                            dst: t.op,
+                        });
+                        self.asm.push(Insn::JmpNotNil {
+                            src: t.op,
+                            target: hit,
+                        });
+                        self.release(t);
+                    }
+                }
+            }
+            labels.push(hit);
+        }
+        // Default.
+        let dv = self.gen_into(default, rep)?;
+        self.asm.push(Insn::Mov { dst: out.op, src: dv.op });
+        self.release(dv);
+        self.asm.push(Insn::Jmp { target: join });
+        for (clause, hit) in clauses.iter().zip(labels) {
+            self.asm.bind(hit);
+            let cv = self.gen_into(clause.body, rep)?;
+            self.asm.push(Insn::Mov { dst: out.op, src: cv.op });
+            self.release(cv);
+            self.asm.push(Insn::Jmp { target: join });
+        }
+        self.asm.bind(join);
+        self.release(keyv);
+        Ok(out)
+    }
+
+    fn gen_catch(&mut self, tag: NodeId, body: NodeId) -> R<Val> {
+        let tv = self.gen_into(tag, Rep::Pointer)?;
+        let landing = self.asm.label();
+        let join = self.asm.label();
+        self.asm.push(Insn::PushCatch {
+            tag: tv.op,
+            target: landing,
+        });
+        self.release(tv);
+        self.pool.record_call(self.pos());
+        let out = self.alloc_place();
+        let bv = self.gen_into(body, Rep::Pointer)?;
+        self.asm.push(Insn::Mov { dst: out.op, src: bv.op });
+        self.release(bv);
+        self.asm.push(Insn::PopCatch);
+        self.asm.push(Insn::Jmp { target: join });
+        self.asm.bind(landing);
+        self.asm.push(Insn::Mov {
+            dst: out.op,
+            src: Operand::Reg(Reg::A),
+        });
+        self.asm.bind(join);
+        Ok(out)
+    }
+
+    fn gen_progbody(&mut self, items: &[ProgItem], tail: bool) -> R<Val> {
+        let loop_start = self.pos();
+        let exit = self.asm.label();
+        let result = if tail { None } else { Some(self.alloc_temp_pinned()) };
+        let tags: Vec<(Symbol, Label)> = items
+            .iter()
+            .filter_map(|i| match i {
+                ProgItem::Tag(t) => Some((t.clone(), self.asm.label())),
+                ProgItem::Stmt(_) => None,
+            })
+            .collect();
+        self.pb_stack.push(PbCtx {
+            tags,
+            exit,
+            result,
+            tail,
+        });
+        for item in items {
+            match item {
+                ProgItem::Tag(t) => {
+                    let label = self
+                        .pb_stack
+                        .last()
+                        .and_then(|pb| {
+                            pb.tags
+                                .iter()
+                                .find(|(name, _)| name == t)
+                                .map(|&(_, l)| l)
+                        })
+                        .expect("tag registered");
+                    self.asm.bind(label);
+                }
+                ProgItem::Stmt(s) => self.gen_effect(*s)?,
+            }
+        }
+        let pb = self.pb_stack.pop().expect("pushed above");
+        // Any go can re-enter this whole region: tell TNBIND.
+        self.pool.record_loop(loop_start, self.pos());
+        // Fell off the end: the progbody's value is nil.
+        if tail {
+            self.asm.push(Insn::Mov {
+                dst: Operand::Reg(Reg::A),
+                src: Operand::nil(),
+            });
+            self.emit_ret();
+            self.asm.bind(exit);
+            // In tail mode, `return` sites emitted function returns
+            // directly and jump here never happens, but the label must
+            // bind.
+            Ok(Val::con(Word::NIL))
+        } else {
+            let slot = pb.result.expect("non-tail progbody has a result slot");
+            let op = self.temp_op(slot);
+            self.asm.push(Insn::Mov {
+                dst: op,
+                src: Operand::nil(),
+            });
+            self.asm.bind(exit);
+            Ok(Val::borrowed(op))
+        }
+    }
+
+    fn gen_go(&mut self, tag: &Symbol) -> R<()> {
+        for pb in self.pb_stack.iter().rev() {
+            if let Some(&(_, label)) = pb.tags.iter().find(|(name, _)| name == tag) {
+                self.asm.push(Insn::Jmp { target: label });
+                return Ok(());
+            }
+        }
+        self.err(format!("go to unknown tag {tag}"))
+    }
+
+    fn gen_return(&mut self, value: NodeId) -> R<()> {
+        let Some(top) = self.pb_stack.last() else {
+            return self.err("return outside progbody");
+        };
+        let (tail, result, exit) = (top.tail, top.result, top.exit);
+        if tail {
+            self.gen_tail(value)?;
+            return Ok(());
+        }
+        let v = self.gen_into(value, Rep::Pointer)?;
+        let slot = result.expect("non-tail progbody has a result slot");
+        let op = self.temp_op(slot);
+        self.asm.push(Insn::Mov { dst: op, src: v.op });
+        self.release(v);
+        self.asm.push(Insn::Jmp { target: exit });
+        Ok(())
+    }
+
+    // ------------------------------------------------------------- tail
+
+    fn emit_ret(&mut self) {
+        if self.specials_bound > 0 {
+            self.asm.push(Insn::SpecUnbind {
+                n: self.specials_bound,
+            });
+        }
+        self.asm.push(Insn::Ret);
+    }
+
+    fn emit_return_from_a(&mut self) -> R<()> {
+        self.emit_ret();
+        Ok(())
+    }
+
+    fn gen_tail(&mut self, node: NodeId) -> R<()> {
+        // Tail paths never rejoin: the compile-time special-binding
+        // count must be restored for sibling emission paths.
+        let save = self.specials_bound;
+        let r = self.gen_tail_inner(node);
+        self.specials_bound = save;
+        r
+    }
+
+    fn gen_tail_inner(&mut self, node: NodeId) -> R<()> {
+        match self.tree.kind(node).clone() {
+            NodeKind::If { test, then, els } => {
+                let (tl, fl) = (self.asm.label(), self.asm.label());
+                self.gen_test(test, tl, fl)?;
+                self.asm.bind(tl);
+                self.gen_tail(then)?;
+                self.asm.bind(fl);
+                self.gen_tail(els)
+            }
+            NodeKind::Progn(body) => {
+                let (last, init) = body.split_last().expect("non-empty");
+                for &b in init {
+                    self.gen_effect(b)?;
+                }
+                self.gen_tail(*last)
+            }
+            NodeKind::Progbody(items) => {
+                self.gen_progbody(&items, true)?;
+                Ok(())
+            }
+            NodeKind::Call {
+                func: CallFunc::Global(g),
+                args,
+            } if primop(g.as_str()).is_none() => {
+                // A tail call to a user function: "more akin to a
+                // parameter-passing goto than to a recursive call" (§2).
+                if !self.opts.tail_calls {
+                    let v = self.gen_global_call(node, &g, &args, false)?;
+                    return self.finish_tail_value(node, v);
+                }
+                for &a in &args {
+                    let v = self.gen_into(a, Rep::Pointer)?;
+                    self.asm.push(Insn::Push { src: v.op });
+                    self.release(v);
+                }
+                let self_call = g.as_str() == self.fname;
+                if self.specials_bound > 0 && !self_call {
+                    // Unbinding before a cross-function tail call would
+                    // change what the callee sees: fall back to a full
+                    // call.
+                    let id = self.program.fn_id(g.as_str());
+                    self.pool.record_call(self.pos());
+                    self.asm.push(Insn::Call {
+                        f: CallTarget::Func(id),
+                        nargs: args.len() as u8,
+                    });
+                    return self.emit_return_from_a();
+                }
+                if self.specials_bound > 0 {
+                    self.asm.push(Insn::SpecUnbind {
+                        n: self.specials_bound,
+                    });
+                }
+                if self_call && self.simple && args.len() == self.lambda.required.len() {
+                    // The whole function body is a loop for TNBIND.
+                    self.pool.record_loop(0, self.pos());
+                    self.asm.push(Insn::TailJmp {
+                        nargs: args.len() as u8,
+                        target: self.body_label,
+                    });
+                } else {
+                    let id = self.program.fn_id(g.as_str());
+                    self.asm.push(Insn::TailCall {
+                        f: CallTarget::Func(id),
+                        nargs: args.len() as u8,
+                    });
+                }
+                Ok(())
+            }
+            NodeKind::Call {
+                func: CallFunc::Expr(f),
+                args,
+            } => {
+                if matches!(self.tree.kind(f), NodeKind::Lambda(_)) {
+                    self.gen_let(node, f, &args, true)?;
+                    return Ok(());
+                }
+                if let NodeKind::VarRef(v) = *self.tree.kind(f) {
+                    if self.local_fns.contains_key(&v) {
+                        self.gen_local_call(v, &args, true)?;
+                        return Ok(());
+                    }
+                }
+                if !self.opts.tail_calls || self.specials_bound > 0 {
+                    let v = self.gen(node)?;
+                    return self.finish_tail_value(node, v);
+                }
+                let fv = self.gen(f)?;
+                let fv = self.protect(fv);
+                for &a in &args {
+                    let v = self.gen_into(a, Rep::Pointer)?;
+                    self.asm.push(Insn::Push { src: v.op });
+                    self.release(v);
+                }
+                self.asm.push(Insn::TailCall {
+                    f: CallTarget::Value(fv.op),
+                    nargs: args.len() as u8,
+                });
+                self.release(fv);
+                Ok(())
+            }
+            NodeKind::Return(v) => {
+                // Return in tail position of an enclosing tail progbody.
+                self.gen_return(v)
+            }
+            NodeKind::Go(tag) => self.gen_go(&tag),
+            _ => {
+                let v = self.gen_into(node, Rep::Pointer)?;
+                self.finish_tail_value(node, v)
+            }
+        }
+    }
+
+    fn finish_tail_value(&mut self, node: NodeId, v: Val) -> R<()> {
+        let v = self.certify(node, v)?;
+        self.asm.push(Insn::Mov {
+            dst: Operand::Reg(Reg::A),
+            src: v.op,
+        });
+        self.release(v);
+        self.emit_ret();
+        Ok(())
+    }
+}
+
+#[derive(Clone, Copy)]
+enum FloatOp {
+    Add,
+    Sub,
+    Mult,
+    Div,
+    Max,
+    Min,
+}
+
+#[derive(Clone, Copy)]
+enum UnFloat {
+    Sin,
+    Cos,
+    Sqrt,
+}
+
+#[derive(Clone, Copy)]
+enum IntOp {
+    Add,
+    Sub,
+    Mult,
+    Div,
+    DivFloor,
+    Rem,
+    ModFloor,
+}
+
+/// A jump-table plan for a `caseq` whose keys are dense fixnums.
+struct DensePlan {
+    min: i64,
+    span: i64,
+    /// slot\[i\] = clause index handling key `min + i`.
+    slots: Vec<Option<usize>>,
+}
+
+fn dense_fixnum_plan(clauses: &[s1lisp_ast::CaseqClause]) -> Option<DensePlan> {
+    let mut keys: Vec<(i64, usize)> = Vec::new();
+    for (ci, c) in clauses.iter().enumerate() {
+        for k in &c.keys {
+            match k {
+                Datum::Fixnum(n) => keys.push((*n, ci)),
+                _ => return None,
+            }
+        }
+    }
+    if keys.len() < 3 {
+        return None;
+    }
+    let min = keys.iter().map(|&(n, _)| n).min()?;
+    let max = keys.iter().map(|&(n, _)| n).max()?;
+    let span = max - min + 1;
+    if !(1..=64).contains(&span) {
+        return None;
+    }
+    let mut slots = vec![None; span as usize];
+    for (n, ci) in keys {
+        let slot = &mut slots[(n - min) as usize];
+        if slot.is_none() {
+            *slot = Some(ci); // first clause wins, like the chain
+        }
+    }
+    Some(DensePlan { min, span, slots })
+}
+
+fn is_test_op(name: &str) -> bool {
+    matches!(
+        name,
+        "=" | "/="
+            | "<"
+            | ">"
+            | "<="
+            | ">="
+            | "zerop"
+            | "null"
+            | "not"
+            | "eq"
+            | "consp"
+            | "atom"
+    )
+}
+
+fn test_arity_ok(name: &str, n: usize) -> bool {
+    match name {
+        "zerop" | "null" | "not" | "consp" | "atom" => n == 1,
+        _ => n == 2,
+    }
+}
+
+/// Whether a (special) variable has any reference (we only cache specials
+/// that are actually read or written).
+fn within_lambda(tree: &Tree, v: VarId) -> bool {
+    let var = tree.var(v);
+    !var.refs.is_empty() || !var.setqs.is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s1lisp_frontend::Frontend;
+    use s1lisp_opt::Optimizer;
+    use s1lisp_reader::{read_all_str, Interner};
+    use s1lisp_s1sim::Machine;
+
+    /// Compiles a program (optimizing first) and returns a machine plus a
+    /// matching interpreter for differential checks.
+    fn build(src: &str, opts: &CodegenOptions) -> (Machine, s1lisp_interp::Interp) {
+        let mut i = Interner::new();
+        let forms = read_all_str(src, &mut i).unwrap();
+        let mut fe = Frontend::new(&mut i);
+        let fns = fe.convert_toplevel(&forms).unwrap();
+        let mut program = Program::new();
+        let mut interp = s1lisp_interp::Interp::new();
+        for mut f in fns {
+            let mut o = Optimizer::new();
+            o.optimize(&mut f.tree);
+            compile(f.name.as_str(), &f.tree, &mut program, opts).unwrap();
+            interp.define(f);
+        }
+        (Machine::new(program), interp)
+    }
+
+    /// Runs both engines and asserts equal results.
+    fn check(src: &str, calls: &[(&str, Vec<Value>)]) -> Machine {
+        let opts = CodegenOptions::default();
+        let (mut m, interp) = build(src, &opts);
+        for (name, args) in calls {
+            let want = interp.call(name, args);
+            let got = m.run(name, args);
+            match (want, got) {
+                (Ok(w), Ok(g)) => {
+                    assert_eq!(g, w, "result mismatch for {name} {args:?}");
+                }
+                (Err(_), Err(_)) => {}
+                (w, g) => panic!("divergence for {name} {args:?}: interp={w:?} machine={g:?}"),
+            }
+        }
+        m
+    }
+
+    fn fx(n: i64) -> Value {
+        Value::Fixnum(n)
+    }
+
+    fn fl(x: f64) -> Value {
+        Value::Flonum(x)
+    }
+
+    #[test]
+    fn simple_arithmetic() {
+        check(
+            "(defun f (x y) (+ (* x x) y))",
+            &[("f", vec![fx(3), fx(4)]), ("f", vec![fx(-2), fx(0)])],
+        );
+    }
+
+    #[test]
+    fn typed_float_pipeline() {
+        check(
+            "(defun norm (a b) (sqrt$f (+$f (*$f a a) (*$f b b))))",
+            &[("norm", vec![fl(3.0), fl(4.0)])],
+        );
+    }
+
+    #[test]
+    fn conditionals_and_comparisons() {
+        check(
+            "(defun classify (x) (cond ((< x 0) 'neg) ((zerop x) 'zero) (t 'pos)))",
+            &[
+                ("classify", vec![fx(-5)]),
+                ("classify", vec![fx(0)]),
+                ("classify", vec![fx(7)]),
+            ],
+        );
+    }
+
+    #[test]
+    fn exptl_runs_in_constant_stack() {
+        let m = check(
+            "(defun exptl (x n a)
+               (cond ((zerop n) a)
+                     ((oddp n) (exptl (* x x) (floor (/ n 2)) (* a x)))
+                     (t (exptl (* x x) (floor (/ n 2)) a))))",
+            &[("exptl", vec![fx(3), fx(10), fx(1)])],
+        );
+        assert!(m.stats.tail_calls > 0, "self-calls must be tail transfers");
+        assert_eq!(m.stats.max_call_depth, 0, "no frames pushed");
+    }
+
+    #[test]
+    fn deep_tail_recursion_does_not_grow_the_stack() {
+        let opts = CodegenOptions::default();
+        let (mut m, _) = build(
+            "(defun loopn (n) (if (= n 0) 'done (loopn (- n 1))))",
+            &opts,
+        );
+        let v = m.run("loopn", &[fx(1_000_000)]).unwrap();
+        assert_eq!(v.to_string(), "done");
+        assert_eq!(m.stats.max_call_depth, 0);
+        assert!(m.stats.max_stack_words < 32);
+    }
+
+    #[test]
+    fn without_tail_calls_the_stack_grows() {
+        let opts = CodegenOptions {
+            tail_calls: false,
+            ..CodegenOptions::default()
+        };
+        let (mut m, _) = build(
+            "(defun loopn (n) (if (= n 0) 'done (loopn (- n 1))))",
+            &opts,
+        );
+        let err = m.run("loopn", &[fx(1_000_000)]).unwrap_err();
+        assert!(matches!(err, s1lisp_s1sim::Trap::StackOverflow));
+    }
+
+    #[test]
+    fn let_and_lists() {
+        check(
+            "(defun f (a b) (let ((x (cons a b)) (y (list a b a))) (list (car x) (cdr x) (length y))))",
+            &[("f", vec![fx(1), fx(2)])],
+        );
+    }
+
+    #[test]
+    fn optional_defaults_dispatch() {
+        let m = check(
+            "(defun f (a &optional (b 3.0) (c a)) (list a b c))",
+            &[("f", vec![fx(1)])],
+        );
+        let mut m = m;
+        for args in [vec![fx(1), fx(2)], vec![fx(1), fx(2), fx(9)]] {
+            let v = m.run("f", &args).unwrap();
+            assert_eq!(v.to_string().matches(' ').count(), 2, "{v}");
+        }
+        assert!(m.run("f", &[]).is_err());
+        assert!(m.run("f", &[fx(1), fx(2), fx(3), fx(4)]).is_err());
+    }
+
+    #[test]
+    fn rest_parameters_listify() {
+        check(
+            "(defun f (a &rest r) (cons a r))",
+            &[
+                ("f", vec![fx(1)]),
+                ("f", vec![fx(1), fx(2), fx(3)]),
+            ],
+        );
+    }
+
+    #[test]
+    fn closures_capture_and_mutate() {
+        check(
+            "(defun make-counter () (let ((n 0)) (lambda () (setq n (+ n 1)) n)))
+             (defun run2 () (let ((c (make-counter))) (c) (c)))",
+            &[("run2", vec![])],
+        );
+    }
+
+    #[test]
+    fn higher_order_functions() {
+        check(
+            "(defun add1 (x) (+ x 1))
+             (defun twice (f x) (f (f x)))
+             (defun go2 (x) (twice #'add1 x))",
+            &[("go2", vec![fx(5)])],
+        );
+    }
+
+    #[test]
+    fn prog_loops() {
+        check(
+            "(defun sum-to (n)
+               (prog (acc)
+                 (setq acc 0)
+                 top
+                 (if (= n 0) (return acc))
+                 (setq acc (+ acc n) n (- n 1))
+                 (go top)))",
+            &[("sum-to", vec![fx(1000)])],
+        );
+    }
+
+    #[test]
+    fn catch_and_throw_unwind() {
+        check(
+            "(defun inner (x) (if (< x 0) (throw 'out 'negative) (* x 2)))
+             (defun outer (x) (catch 'out (inner x)))",
+            &[("outer", vec![fx(5)]), ("outer", vec![fx(-5)])],
+        );
+    }
+
+    #[test]
+    fn special_variables_deep_bind() {
+        let opts = CodegenOptions::default();
+        let (mut m, interp) = build(
+            "(proclaim '(special *level*))
+             (defun probe () *level*)
+             (defun with-level (*level*) (probe))",
+            &opts,
+        );
+        interp.set_global("*level*", fx(1));
+        m.set_global("*level*", &fx(1)).unwrap();
+        assert_eq!(
+            m.run("with-level", &[fx(42)]).unwrap(),
+            interp.call("with-level", &[fx(42)]).unwrap()
+        );
+        assert_eq!(
+            m.run("probe", &[]).unwrap(),
+            interp.call("probe", &[]).unwrap()
+        );
+        assert!(m.stats.special_searches > 0);
+    }
+
+    #[test]
+    fn pdl_numbers_avoid_heap_boxes() {
+        // testfn-like: float temporaries that must take pointer form
+        // because they are passed to a user function.
+        let src = "(defun use2 (x y) '())
+                   (defun f (a b)
+                     (let ((d (+$f a b)) (e (*$f a b)))
+                       (use2 d e)
+                       (max$f d e)))";
+        let on = CodegenOptions::default();
+        let off = CodegenOptions {
+            pdl_numbers: false,
+            ..CodegenOptions::default()
+        };
+        let (mut m1, _) = build(src, &on);
+        let (mut m2, _) = build(src, &off);
+        let v1 = m1.run("f", &[fl(2.0), fl(3.0)]).unwrap();
+        let v2 = m2.run("f", &[fl(2.0), fl(3.0)]).unwrap();
+        assert_eq!(v1, v2);
+        assert_eq!(v1, fl(6.0));
+        assert!(
+            m1.stats.heap.flonums < m2.stats.heap.flonums,
+            "pdl on: {} boxes, off: {} boxes",
+            m1.stats.heap.flonums,
+            m2.stats.heap.flonums
+        );
+        assert!(m1.stats.pdl_numbers > 0);
+    }
+
+    #[test]
+    fn caseq_dispatch() {
+        check(
+            "(defun f (x) (caseq x ((1 2) 'small) ((10) 'ten) (t 'other)))",
+            &[
+                ("f", vec![fx(1)]),
+                ("f", vec![fx(2)]),
+                ("f", vec![fx(10)]),
+                ("f", vec![fx(99)]),
+            ],
+        );
+    }
+
+    #[test]
+    fn boolean_short_circuit_makes_no_closures() {
+        let m = check(
+            "(defun f (a b c) (if (and a (or b c)) (list 1) (list 2)))",
+            &[
+                ("f", vec![fx(1), Value::Nil, fx(1)]),
+                ("f", vec![fx(1), Value::Nil, Value::Nil]),
+                ("f", vec![Value::Nil, fx(1), fx(1)]),
+            ],
+        );
+        assert_eq!(m.stats.closures_made, 0, "E3: no closures at run time");
+    }
+
+    #[test]
+    fn quoted_structure_is_static() {
+        let mut m = check(
+            "(defun f () '(1 2 3))",
+            &[("f", vec![])],
+        );
+        let before = m.stats.heap.conses;
+        m.run("f", &[]).unwrap();
+        m.run("f", &[]).unwrap();
+        assert_eq!(m.stats.heap.conses, before, "constants materialize once");
+    }
+
+    #[test]
+    fn mutual_recursion() {
+        check(
+            "(defun even? (n) (if (zerop n) t (odd? (- n 1))))
+             (defun odd? (n) (if (zerop n) '() (even? (- n 1))))",
+            &[("even?", vec![fx(10)]), ("even?", vec![fx(7)])],
+        );
+    }
+
+    #[test]
+    fn declared_floats_stay_raw_in_loops() {
+        let src = "(defun dot (ax ay bx by)
+                     (declare (flonum ax ay bx by))
+                     (+$f (*$f ax bx) (*$f ay by)))";
+        let on = CodegenOptions::default();
+        let off = CodegenOptions {
+            representation_analysis: false,
+            ..CodegenOptions::default()
+        };
+        let (mut m1, _) = build(src, &on);
+        let (mut m2, _) = build(src, &off);
+        let args = [fl(1.0), fl(2.0), fl(3.0), fl(4.0)];
+        assert_eq!(
+            m1.run("dot", &args).unwrap(),
+            m2.run("dot", &args).unwrap()
+        );
+        assert!(
+            m1.stats.insns < m2.stats.insns,
+            "representation analysis saves work: {} vs {}",
+            m1.stats.insns,
+            m2.stats.insns
+        );
+    }
+
+    #[test]
+    fn quadratic_end_to_end() {
+        check(
+            "(defun quadratic (a b c)
+               (let ((d (- (* b b) (* 4.0 a c))))
+                 (cond ((< d 0) '())
+                       ((= d 0) (list (/ (- b) (* 2.0 a))))
+                       (t (let ((two-a (* 2.0 a)) (sd (sqrt d)))
+                            (list (/ (+ (- b) sd) two-a)
+                                  (/ (- (- b) sd) two-a)))))))",
+            &[
+                ("quadratic", vec![fl(1.0), fl(-3.0), fl(2.0)]),
+                ("quadratic", vec![fl(1.0), fl(0.0), fl(1.0)]),
+                ("quadratic", vec![fl(1.0), fl(-2.0), fl(1.0)]),
+            ],
+        );
+    }
+}
+
+#[cfg(test)]
+mod backtracking_tests {
+    use super::*;
+    use s1lisp_frontend::Frontend;
+    use s1lisp_opt::Optimizer;
+    use s1lisp_reader::{read_all_str, Interner};
+    use s1lisp_s1sim::Machine;
+
+    #[test]
+    fn backtracking_pack_is_no_worse() {
+        let src = "(defun busy (a b c d)
+                     (let ((p (+ a b)) (q (+ c d)) (r (+ a c)) (s (+ b d)))
+                       (+ (* p q) (* r s) (* p s) (* q r))))";
+        let mut results = Vec::new();
+        for backtracking in [false, true] {
+            let mut i = Interner::new();
+            let forms = read_all_str(src, &mut i).unwrap();
+            let mut fe = Frontend::new(&mut i);
+            let mut f = fe.convert_toplevel(&forms).unwrap().remove(0);
+            Optimizer::new().optimize(&mut f.tree);
+            let mut program = Program::new();
+            let opts = CodegenOptions {
+                backtracking_pack: backtracking,
+                ..CodegenOptions::default()
+            };
+            compile("busy", &f.tree, &mut program, &opts).unwrap();
+            let mut m = Machine::new(program);
+            let v = m
+                .run(
+                    "busy",
+                    &[
+                        Value::Fixnum(1),
+                        Value::Fixnum(2),
+                        Value::Fixnum(3),
+                        Value::Fixnum(4),
+                    ],
+                )
+                .unwrap();
+            results.push((v, m.stats.insns));
+        }
+        assert_eq!(results[0].0, results[1].0);
+        assert!(results[1].1 <= results[0].1 + 2, "{results:?}");
+    }
+}

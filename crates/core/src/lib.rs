@@ -1,0 +1,485 @@
+//! `s1lisp` — an optimizing compiler for lexically scoped Lisp, after
+//! Brooks, Gabriel & Steele, *An Optimizing Compiler for Lexically Scoped
+//! LISP* (PLDI 1982), targeting a simulated S-1.
+//!
+//! This crate is the driver: it strings the phases of the paper's Table 1
+//! together into a [`Compiler`], keeps the per-function optimization
+//! [`Transcript`]s, and hands back runnable [`Machine`]s and reference
+//! [`Interp`]reters for the same program.
+//!
+//! # Quick start
+//!
+//! ```
+//! use s1lisp::{Compiler, Value};
+//!
+//! let mut c = Compiler::new();
+//! c.compile_str(
+//!     "(defun exptl (x n a)
+//!        (cond ((zerop n) a)
+//!              ((oddp n) (exptl (* x x) (floor (/ n 2)) (* a x)))
+//!              (t (exptl (* x x) (floor (/ n 2)) a))))",
+//! ).unwrap();
+//! let mut m = c.machine();
+//! let v = m.run("exptl", &[Value::Fixnum(3), Value::Fixnum(10), Value::Fixnum(1)]).unwrap();
+//! assert_eq!(v, Value::Fixnum(59049));
+//! // The self-calls compiled to parameter-passing gotos:
+//! assert_eq!(m.stats.max_call_depth, 0);
+//! ```
+
+#![warn(missing_docs)]
+
+mod error;
+mod phases;
+
+pub use error::CompileError;
+pub use phases::{phases, Phase, PhaseStatus};
+
+pub use s1lisp_codegen::CodegenOptions;
+pub use s1lisp_interp::{Interp, LispError, Value};
+pub use s1lisp_opt::{OptOptions, Transcript};
+pub use s1lisp_s1sim::{Machine, MachineStats, Program, Trap};
+
+use s1lisp_ast::{unparse, Tree};
+use s1lisp_frontend::Frontend;
+use s1lisp_reader::{pretty, read_all_str, Interner};
+
+/// One compiled function's artifacts.
+#[derive(Debug, Clone)]
+pub struct CompiledFunction {
+    /// The `defun` name.
+    pub name: String,
+    /// Back-translated source as converted (before optimization).
+    pub converted: String,
+    /// Back-translated source after source-level optimization.
+    pub optimized: String,
+    /// The optimizer's transcript for this function.
+    pub transcript: Transcript,
+    /// The internal tree after optimization.
+    pub tree: Tree,
+    /// Number of source-level transformations applied.
+    pub transformations: usize,
+}
+
+/// The whole-pipeline compiler.
+///
+/// Feed it `defun`s (plus `proclaim`/`defvar` forms) via
+/// [`Compiler::compile_str`]; get a runnable [`Machine`] via
+/// [`Compiler::machine`] and a semantically equivalent reference
+/// [`Interp`] via [`Compiler::interpreter`] for differential checks.
+#[derive(Debug)]
+pub struct Compiler {
+    /// The symbol interner shared by everything this compiler reads.
+    pub interner: Interner,
+    /// Source-level optimization switches.
+    pub opt_options: OptOptions,
+    /// Whether to run the (optional) common sub-expression elimination
+    /// phase (§4.3).
+    pub cse: bool,
+    /// Code-generation switches.
+    pub codegen_options: CodegenOptions,
+    /// Whether to run the branch-tensioning pass over generated code.
+    pub tension_branches: bool,
+    /// Artifacts per compiled function, in compilation order.
+    pub functions: Vec<CompiledFunction>,
+    program: Program,
+    interp_sources: Vec<s1lisp_frontend::Function>,
+    specials: Vec<String>,
+    globals: Vec<(String, Value)>,
+    eval_counter: u32,
+}
+
+impl Default for Compiler {
+    fn default() -> Compiler {
+        Compiler::new()
+    }
+}
+
+impl Compiler {
+    /// A compiler with every optimization enabled.
+    pub fn new() -> Compiler {
+        Compiler {
+            interner: Interner::new(),
+            opt_options: OptOptions::default(),
+            cse: false,
+            codegen_options: CodegenOptions::default(),
+            tension_branches: true,
+            functions: Vec::new(),
+            program: Program::new(),
+            interp_sources: Vec::new(),
+            specials: Vec::new(),
+            globals: Vec::new(),
+            eval_counter: 0,
+        }
+    }
+
+    /// A compiler with *no* optimization: the E12 baseline.
+    pub fn unoptimized() -> Compiler {
+        Compiler {
+            opt_options: OptOptions::none(),
+            codegen_options: CodegenOptions {
+                tail_calls: false,
+                pdl_numbers: false,
+                cache_specials: false,
+                register_allocation: false,
+                representation_analysis: false,
+                backtracking_pack: false,
+            },
+            tension_branches: false,
+            ..Compiler::new()
+        }
+    }
+
+    /// Compiles every top-level form in `source`, returning the names of
+    /// the functions defined.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CompileError`] for read, conversion, or
+    /// code-generation failures.
+    pub fn compile_str(&mut self, source: &str) -> Result<Vec<String>, CompileError> {
+        let forms = read_all_str(source, &mut self.interner)?;
+        let mut fe = Frontend::new(&mut self.interner);
+        for s in &self.specials {
+            let sym = fe.interner.intern(s);
+            fe.proclaim_special(sym);
+        }
+        let fns = fe.convert_toplevel(&forms)?;
+        for (name, init) in std::mem::take(&mut fe.defvar_inits) {
+            self.globals
+                .push((name.as_str().to_string(), Value::from_datum(&init)));
+        }
+        let mut names = Vec::new();
+        for mut f in fns {
+            let name = f.name.as_str().to_string();
+            let converted = pretty(&unparse(&f.tree, f.tree.root), 78);
+            // Source-level optimization (§5) and optional CSE (§4.3).
+            let mut opt = s1lisp_opt::Optimizer::with_options(self.opt_options.clone());
+            let mut transformations = opt.optimize_named(&mut f.tree, Some(&name));
+            if self.cse {
+                transformations += s1lisp_opt::cse::eliminate(&mut f.tree);
+            }
+            let optimized = pretty(&unparse(&f.tree, f.tree.root), 78);
+            // Machine-dependent annotation + TNBIND + code generation.
+            s1lisp_codegen::compile(&name, &f.tree, &mut self.program, &self.codegen_options)?;
+            if self.tension_branches {
+                if let Some(id) = self.program.lookup_fn(&name) {
+                    if let Some(code) = self.program.func(id) {
+                        let mut code = (**code).clone();
+                        s1lisp_codegen::tension_branches(&mut code);
+                        self.program.define(code);
+                    }
+                }
+            }
+            self.functions.push(CompiledFunction {
+                name: name.clone(),
+                converted,
+                optimized,
+                transcript: std::mem::take(&mut opt.transcript),
+                tree: f.tree.clone(),
+                transformations,
+            });
+            self.interp_sources.push(f);
+            names.push(name);
+        }
+        Ok(names)
+    }
+
+    /// Proclaims a variable special for subsequent compilations.
+    pub fn proclaim_special(&mut self, name: &str) {
+        self.specials.push(name.to_string());
+    }
+
+    /// Compiles and immediately evaluates expressions (REPL convenience):
+    /// each non-`defun` form is wrapped in a nullary function, compiled
+    /// with the current options, and run on a fresh machine that sees
+    /// everything compiled so far.  `defun`s define persistently; global
+    /// variable mutations do *not* persist across `eval` calls (each call
+    /// gets a fresh machine).
+    ///
+    /// # Errors
+    ///
+    /// The outer `Result` carries compile-time failures; the inner one
+    /// carries run-time traps.
+    pub fn eval(&mut self, expr: &str) -> Result<Result<Value, Trap>, CompileError> {
+        let forms = read_all_str(expr, &mut self.interner)?;
+        let mut fe = Frontend::new(&mut self.interner);
+        for s in &self.specials {
+            let sym = fe.interner.intern(s);
+            fe.proclaim_special(sym);
+        }
+        self.eval_counter += 1;
+        let name = format!("%eval{}", self.eval_counter);
+        let mut last = Value::Nil;
+        let mut fns = Vec::new();
+        for (k, form) in forms.iter().enumerate() {
+            // defuns define; other forms evaluate.
+            let head = form.car().and_then(|h| h.as_symbol().cloned());
+            if matches!(head.as_ref().map(|s| s.as_str()), Some("defun" | "defvar" | "proclaim")) {
+                fns.extend(fe.convert_toplevel(std::slice::from_ref(form))?);
+            } else {
+                let fname = format!("{name}-{k}");
+                let f = fe.convert_expr(&fname, form)?;
+                fns.push(f);
+            }
+        }
+        let inits = std::mem::take(&mut fe.defvar_inits);
+        for (gname, init) in inits {
+            self.globals
+                .push((gname.as_str().to_string(), Value::from_datum(&init)));
+        }
+        let mut eval_names = Vec::new();
+        for mut f in fns {
+            let fname = f.name.as_str().to_string();
+            let mut opt = s1lisp_opt::Optimizer::with_options(self.opt_options.clone());
+            opt.optimize(&mut f.tree);
+            s1lisp_codegen::compile(&fname, &f.tree, &mut self.program, &self.codegen_options)?;
+            if fname.starts_with("%eval") {
+                eval_names.push(fname);
+            }
+            self.interp_sources.push(f);
+        }
+        let mut m = self.machine();
+        for fname in eval_names {
+            match m.run(&fname, &[]) {
+                Ok(v) => last = v,
+                Err(t) => return Ok(Err(t)),
+            }
+        }
+        Ok(Ok(last))
+    }
+
+    /// A fresh machine loaded with everything compiled so far (with
+    /// `defvar` initial values installed).
+    pub fn machine(&self) -> Machine {
+        let mut m = Machine::new(self.program.clone());
+        for (name, v) in &self.globals {
+            let _ = m.set_global(name, v);
+        }
+        m
+    }
+
+    /// A reference interpreter over the same (unoptimized-semantics)
+    /// program, for differential testing.
+    pub fn interpreter(&self) -> Interp {
+        let mut interp = Interp::new();
+        for f in &self.interp_sources {
+            interp.define(f.clone());
+        }
+        for (name, v) in &self.globals {
+            interp.set_global(name, v.clone());
+        }
+        interp
+    }
+
+    /// The compiled program (for code-size measurements and
+    /// disassembly).
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Parenthesized-assembly listing of a compiled function, or `None`
+    /// if it is not defined.
+    pub fn disassemble(&self, name: &str) -> Option<String> {
+        let id = self.program.lookup_fn(name)?;
+        let code = self.program.func(id)?;
+        Some(s1lisp_codegen::disassemble(&self.program, code))
+    }
+
+    /// The artifacts of a compiled function.
+    pub fn function(&self, name: &str) -> Option<&CompiledFunction> {
+        self.functions.iter().rev().find(|f| f.name == name)
+    }
+
+    /// Total encoded code size, in 36-bit words (§3's 1–3 word
+    /// instruction formats).
+    pub fn code_size_words(&self) -> usize {
+        s1lisp_s1sim::program_size_words(&self.program)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fx(n: i64) -> Value {
+        Value::Fixnum(n)
+    }
+
+    #[test]
+    fn compile_and_run_quickstart() {
+        let mut c = Compiler::new();
+        c.compile_str("(defun square (x) (* x x))").unwrap();
+        let mut m = c.machine();
+        assert_eq!(m.run("square", &[fx(9)]).unwrap(), fx(81));
+    }
+
+    #[test]
+    fn transcripts_are_recorded_per_function() {
+        let mut c = Compiler::new();
+        c.compile_str(
+            "(defun testfn (a &optional (b 3.0) (c a))
+               (let ((d (+$f a b c)) (e (*$f a b c)))
+                 (let ((q (sin$f e)))
+                   (frotz d e (max$f d e))
+                   q)))",
+        )
+        .unwrap();
+        let f = c.function("testfn").unwrap();
+        assert!(f.transformations >= 4);
+        assert!(f.transcript.count("META-EVALUATE-ASSOC-COMMUT-CALL") >= 2);
+        assert!(f.optimized.contains("sinc$f"));
+        let listing = c.disassemble("testfn").unwrap();
+        assert!(listing.contains("DISPATCH"), "{listing}");
+        assert!(listing.contains("FADD"), "{listing}");
+    }
+
+    #[test]
+    fn unoptimized_baseline_executes_more_instructions() {
+        let src = "(defun f (a b c) (let ((x 1.0)) (+$f a (+$f b c) (*$f x 1.0 a))))";
+        let args = [
+            Value::Flonum(1.0),
+            Value::Flonum(2.0),
+            Value::Flonum(3.0),
+        ];
+        let mut c1 = Compiler::new();
+        c1.compile_str(src).unwrap();
+        let mut c2 = Compiler::unoptimized();
+        c2.compile_str(src).unwrap();
+        let mut m1 = c1.machine();
+        let mut m2 = c2.machine();
+        let v1 = m1.run("f", &args).unwrap();
+        let v2 = m2.run("f", &args).unwrap();
+        assert_eq!(v1, v2);
+        assert!(
+            m1.stats.insns < m2.stats.insns,
+            "optimized {} vs unoptimized {}",
+            m1.stats.insns,
+            m2.stats.insns
+        );
+        assert!(m1.stats.heap.flonums < m2.stats.heap.flonums);
+        // Code-size comparison is reported by the benches (E12), not
+        // asserted here: RtCall-heavy unoptimized code can be compact.
+        let _ = (c1.code_size_words(), c2.code_size_words());
+    }
+
+    #[test]
+    fn differential_against_interpreter() {
+        let src = "(defun fib (n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))";
+        let mut c = Compiler::new();
+        c.compile_str(src).unwrap();
+        let mut m = c.machine();
+        let i = c.interpreter();
+        for n in 0..15 {
+            assert_eq!(
+                m.run("fib", &[fx(n)]).unwrap(),
+                i.call("fib", &[fx(n)]).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn phase_table_matches_table_1() {
+        let ps = phases();
+        // Table 1's top-level decomposition.
+        let names: Vec<&str> = ps.iter().map(|p| p.name).collect();
+        for expected in [
+            "Preliminary",
+            "Environment analysis",
+            "Side-effects analysis",
+            "Complexity analysis",
+            "Tail-recursion analysis",
+            "Data-type analysis",
+            "Source-level optimization",
+            "Common subexpression elimination",
+            "Special variable lookups",
+            "Binding annotation",
+            "Representation annotation",
+            "Pdl number annotation",
+            "Target annotation",
+            "Code generation",
+            "Peephole optimizer",
+        ] {
+            assert!(names.contains(&expected), "missing phase {expected}");
+        }
+        // The bracketed phases of Table 1 are marked as such.
+        let bracketed: Vec<&Phase> = ps.iter().filter(|p| p.bracketed_in_paper).collect();
+        assert_eq!(bracketed.len(), 3);
+    }
+
+    #[test]
+    fn proclaimed_specials_apply() {
+        let mut c = Compiler::new();
+        c.proclaim_special("depth");
+        c.compile_str("(defun get-depth () depth)").unwrap();
+        let mut m = c.machine();
+        m.set_global("depth", &fx(7)).unwrap();
+        assert_eq!(m.run("get-depth", &[]).unwrap(), fx(7));
+    }
+}
+
+#[cfg(test)]
+mod eval_tests {
+    use super::*;
+
+    #[test]
+    fn eval_expressions_and_definitions() {
+        let mut c = Compiler::new();
+        assert_eq!(
+            c.eval("(+ 1 2)").unwrap().unwrap(),
+            Value::Fixnum(3)
+        );
+        c.eval("(defun sq (x) (* x x))").unwrap().unwrap();
+        assert_eq!(
+            c.eval("(sq 9)").unwrap().unwrap(),
+            Value::Fixnum(81)
+        );
+        // Run-time errors come back in the inner result.
+        assert!(c.eval("(car 5)").unwrap().is_err());
+        // Compile-time errors in the outer one.
+        assert!(c.eval("(quote)").is_err());
+        // Multiple forms: value of the last.
+        assert_eq!(
+            c.eval("(sq 2) (sq 3)").unwrap().unwrap(),
+            Value::Fixnum(9)
+        );
+    }
+}
+
+#[cfg(test)]
+mod defvar_tests {
+    use super::*;
+
+    #[test]
+    fn defvar_initializers_install_globals() {
+        let mut c = Compiler::new();
+        c.compile_str(
+            "(defvar *base* 10)
+             (defvar *greeting* 'hello)
+             (defvar *uninit*)
+             (defun scaled (x) (* x *base*))",
+        )
+        .unwrap();
+        let mut m = c.machine();
+        assert_eq!(m.run("scaled", &[Value::Fixnum(4)]).unwrap(), Value::Fixnum(40));
+        let i = c.interpreter();
+        assert_eq!(i.call("scaled", &[Value::Fixnum(4)]).unwrap(), Value::Fixnum(40));
+        // Non-constant initializers are a clean error.
+        let mut c2 = Compiler::new();
+        assert!(c2.compile_str("(defvar *x* (compute-it))").is_err());
+    }
+}
+
+#[cfg(test)]
+mod eval_defvar_tests {
+    use super::*;
+
+    #[test]
+    fn eval_honors_defvar_initializers() {
+        let mut c = Compiler::new();
+        c.eval("(defvar *k* 7)").unwrap().unwrap();
+        assert_eq!(
+            c.eval("(* *k* 6)").unwrap().unwrap(),
+            Value::Fixnum(42)
+        );
+    }
+}

@@ -1,0 +1,157 @@
+//! The phase structure of the compiler — Table 1 of the paper,
+//! reproduced as data (experiment E1).
+
+/// Implementation status of a phase in this reproduction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PhaseStatus {
+    /// Fully implemented.
+    Implemented,
+    /// Implemented as an optional extension (off by default).
+    OptionalExtension,
+    /// Folded into another phase (noted in `module`).
+    Subsumed,
+}
+
+/// One row of Table 1.
+#[derive(Clone, Debug)]
+pub struct Phase {
+    /// Phase name, as in Table 1.
+    pub name: &'static str,
+    /// The paper's description (abridged).
+    pub description: &'static str,
+    /// Whether Table 1 printed it in square brackets ("portions not yet
+    /// coded or coded only in preliminary form" in 1982).
+    pub bracketed_in_paper: bool,
+    /// Status in this reproduction.
+    pub status: PhaseStatus,
+    /// Which crate/module implements it here.
+    pub module: &'static str,
+}
+
+/// The compiler's phases in execution order.
+pub fn phases() -> Vec<Phase> {
+    vec![
+        Phase {
+            name: "Preliminary",
+            description: "Syntax checking, resolving of variable references, expansion of \
+                          macro calls, conversion to internal tree form",
+            bracketed_in_paper: false,
+            status: PhaseStatus::Implemented,
+            module: "s1lisp-frontend",
+        },
+        Phase {
+            name: "Environment analysis",
+            description: "For each subtree, the sets of variables read and written; \
+                          referent back-pointers per variable",
+            bracketed_in_paper: false,
+            status: PhaseStatus::Implemented,
+            module: "s1lisp-analysis::env",
+        },
+        Phase {
+            name: "Side-effects analysis",
+            description: "Classify each subtree's side effects and sensitivities",
+            bracketed_in_paper: false,
+            status: PhaseStatus::Implemented,
+            module: "s1lisp-analysis::effects",
+        },
+        Phase {
+            name: "Complexity analysis",
+            description: "Preliminary object-code size estimate per subtree",
+            bracketed_in_paper: false,
+            status: PhaseStatus::Implemented,
+            module: "s1lisp-analysis::complexity",
+        },
+        Phase {
+            name: "Tail-recursion analysis",
+            description: "Which nodes potentially generate each node's value; tail positions",
+            bracketed_in_paper: false,
+            status: PhaseStatus::Implemented,
+            module: "s1lisp-analysis::tails",
+        },
+        Phase {
+            name: "Data-type analysis",
+            description: "Processing of optional type declarations, deduction of types",
+            bracketed_in_paper: true,
+            status: PhaseStatus::Subsumed,
+            module: "s1lisp-annotate::rep (declaration-driven variable representations)",
+        },
+        Phase {
+            name: "Source-level optimization",
+            description: "Tree transformations that back-translate to source-level code",
+            bracketed_in_paper: false,
+            status: PhaseStatus::Implemented,
+            module: "s1lisp-opt",
+        },
+        Phase {
+            name: "Common subexpression elimination",
+            description: "Expressed as source-level let-introducing transformations",
+            bracketed_in_paper: true,
+            status: PhaseStatus::OptionalExtension,
+            module: "s1lisp-opt::cse",
+        },
+        Phase {
+            name: "Special variable lookups",
+            description: "When to search for deep-binding cells; cached pointers thereafter",
+            bracketed_in_paper: false,
+            status: PhaseStatus::Implemented,
+            module: "s1lisp-analysis::specials + codegen entry caching",
+        },
+        Phase {
+            name: "Binding annotation",
+            description: "How each lambda compiles; stack vs heap variable allocation",
+            bracketed_in_paper: false,
+            status: PhaseStatus::Implemented,
+            module: "s1lisp-annotate::binding",
+        },
+        Phase {
+            name: "Representation annotation",
+            description: "WANTREP/ISREP machine representations for every value",
+            bracketed_in_paper: false,
+            status: PhaseStatus::Implemented,
+            module: "s1lisp-annotate::rep",
+        },
+        Phase {
+            name: "Pdl number annotation",
+            description: "Which numbers may be stack- rather than heap-allocated",
+            bracketed_in_paper: false,
+            status: PhaseStatus::Implemented,
+            module: "s1lisp-annotate::pdl",
+        },
+        Phase {
+            name: "Target annotation",
+            description: "The TNBIND and PACK phases of BLISS-11 and PQCC",
+            bracketed_in_paper: false,
+            status: PhaseStatus::Implemented,
+            module: "s1lisp-tnbind",
+        },
+        Phase {
+            name: "Code generation",
+            description: "Single pass over the tree; partly procedural, partly table-driven",
+            bracketed_in_paper: false,
+            status: PhaseStatus::Implemented,
+            module: "s1lisp-codegen",
+        },
+        Phase {
+            name: "Peephole optimizer",
+            description: "Cross-jumping and branch tensioning",
+            bracketed_in_paper: true,
+            status: PhaseStatus::OptionalExtension,
+            module: "s1lisp-codegen::tension_branches",
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn order_and_coverage() {
+        let ps = phases();
+        assert_eq!(ps.len(), 15);
+        assert_eq!(ps.first().unwrap().name, "Preliminary");
+        assert_eq!(ps.last().unwrap().name, "Peephole optimizer");
+        // Everything is at least addressed.
+        assert!(ps.iter().all(|p| !p.module.is_empty()));
+    }
+}

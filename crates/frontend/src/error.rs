@@ -1,0 +1,29 @@
+//! Conversion errors.
+
+use std::fmt;
+
+/// An error produced while converting source to the internal tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConvertError {
+    /// What went wrong.
+    pub message: String,
+    /// Printed form of the offending expression.
+    pub form: String,
+}
+
+impl ConvertError {
+    pub(crate) fn new(message: impl Into<String>, form: &s1lisp_reader::Datum) -> ConvertError {
+        ConvertError {
+            message: message.into(),
+            form: form.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for ConvertError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} in {}", self.message, self.form)
+    }
+}
+
+impl std::error::Error for ConvertError {}

@@ -1,0 +1,513 @@
+//! Source-to-source macro expanders for the derived constructs.
+//!
+//! Each expander rewrites one derived construct into more primitive
+//! source, which the converter then processes recursively.  The
+//! expansions follow §4.1 and §5 of the paper:
+//!
+//! * `let` → a call to a manifest lambda-expression,
+//! * `cond` → nested `if`s,
+//! * `or` → "`((lambda (v) (if v v <rest>)) <first>)` to avoid evaluating
+//!   the first form twice",
+//! * `prog` → "a `let` (which takes care of the variable bindings …)
+//!   containing a `progbody` (which takes care of `go` and `return`)",
+//! * `do`/`dotimes` → `prog` with a `psetq` step.
+
+use s1lisp_reader::{Datum, Interner, Symbol};
+
+use crate::error::ConvertError;
+
+fn sym(i: &mut Interner, s: &str) -> Datum {
+    Datum::Sym(i.intern(s))
+}
+
+fn err(msg: &str, form: &Datum) -> ConvertError {
+    ConvertError::new(msg, form)
+}
+
+/// Is `form` a macro call this module knows how to expand?
+pub(crate) fn is_macro(head: &Symbol) -> bool {
+    matches!(
+        head.as_str(),
+        "let" | "let*" | "cond" | "and" | "or" | "when" | "unless" | "prog" | "do" | "do*"
+            | "dotimes" | "psetq" | "case"
+    )
+}
+
+/// Expands the macro call `form` one step.
+pub(crate) fn expand(
+    head: &Symbol,
+    form: &Datum,
+    interner: &mut Interner,
+) -> Result<Datum, ConvertError> {
+    let args: Vec<Datum> = form.cdr().map(|d| d.iter().collect()).unwrap_or_default();
+    match head.as_str() {
+        "let" => expand_let(&args, form, interner),
+        "let*" => expand_let_star(&args, form, interner),
+        "cond" => expand_cond(&args, form, interner),
+        "and" => Ok(expand_and(&args, interner)),
+        "or" => Ok(expand_or(&args, interner)),
+        "when" => expand_when(&args, form, interner, true),
+        "unless" => expand_when(&args, form, interner, false),
+        "prog" => expand_prog(&args, form, interner),
+        "do" => expand_do(&args, form, interner, false),
+        "do*" => expand_do(&args, form, interner, true),
+        "dotimes" => expand_dotimes(&args, form, interner),
+        "psetq" => expand_psetq(&args, form, interner),
+        "case" => Ok(rehead(form, interner, "caseq")),
+        _ => unreachable!("not a macro: {head}"),
+    }
+}
+
+/// Replaces the head symbol of a form (e.g. `case` → `caseq`).
+fn rehead(form: &Datum, interner: &mut Interner, new_head: &str) -> Datum {
+    Datum::cons(sym(interner, new_head), form.cdr().unwrap_or(Datum::Nil))
+}
+
+/// One `let` binding: either `name` (init nil) or `(name init)`.
+fn binding_parts(b: &Datum) -> Result<(Datum, Datum), ConvertError> {
+    if b.as_symbol().is_some() {
+        return Ok((b.clone(), Datum::Nil));
+    }
+    let items = b
+        .proper_list()
+        .ok_or_else(|| err("malformed binding", b))?;
+    match items.as_slice() {
+        [name] => Ok((name.clone(), Datum::Nil)),
+        [name, init] => Ok((name.clone(), init.clone())),
+        _ => Err(err("binding must be (name init)", b)),
+    }
+}
+
+/// Splits a body into leading `(declare …)` forms and the rest.
+pub(crate) fn split_declares(body: &[Datum]) -> (Vec<Datum>, Vec<Datum>) {
+    let mut declares = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        let is_declare = body[i]
+            .car()
+            .and_then(|h| h.as_symbol().map(|s| s.as_str() == "declare"))
+            .unwrap_or(false);
+        if is_declare {
+            declares.push(body[i].clone());
+            i += 1;
+        } else {
+            break;
+        }
+    }
+    (declares, body[i..].to_vec())
+}
+
+fn expand_let(
+    args: &[Datum],
+    form: &Datum,
+    interner: &mut Interner,
+) -> Result<Datum, ConvertError> {
+    let [bindings, body @ ..] = args else {
+        return Err(err("let needs bindings", form));
+    };
+    let bindings = bindings
+        .proper_list()
+        .ok_or_else(|| err("let bindings must be a list", form))?;
+    let mut names = Vec::new();
+    let mut inits = Vec::new();
+    for b in &bindings {
+        let (name, init) = binding_parts(b)?;
+        names.push(name);
+        inits.push(init);
+    }
+    // Declarations at the head of the let body belong to the lambda body.
+    let mut lambda = vec![sym(interner, "lambda"), Datum::list(names)];
+    lambda.extend(body.iter().cloned());
+    let mut call = vec![Datum::list(lambda)];
+    call.extend(inits);
+    Ok(Datum::list(call))
+}
+
+fn expand_let_star(
+    args: &[Datum],
+    form: &Datum,
+    interner: &mut Interner,
+) -> Result<Datum, ConvertError> {
+    let [bindings, body @ ..] = args else {
+        return Err(err("let* needs bindings", form));
+    };
+    let bindings = bindings
+        .proper_list()
+        .ok_or_else(|| err("let* bindings must be a list", form))?;
+    if bindings.is_empty() {
+        let mut out = vec![sym(interner, "let"), Datum::Nil];
+        out.extend(body.iter().cloned());
+        return Ok(Datum::list(out));
+    }
+    let (first, rest) = bindings.split_first().unwrap();
+    let mut inner = vec![sym(interner, "let*"), Datum::list(rest.iter().cloned())];
+    inner.extend(body.iter().cloned());
+    Ok(Datum::list([
+        sym(interner, "let"),
+        Datum::list([first.clone()]),
+        Datum::list(inner),
+    ]))
+}
+
+fn expand_cond(
+    args: &[Datum],
+    form: &Datum,
+    interner: &mut Interner,
+) -> Result<Datum, ConvertError> {
+    let Some((clause, rest)) = args.split_first() else {
+        return Ok(Datum::list([sym(interner, "quote"), Datum::Nil]));
+    };
+    let items = clause
+        .proper_list()
+        .ok_or_else(|| err("malformed cond clause", form))?;
+    let Some((test, body)) = items.split_first() else {
+        return Err(err("empty cond clause", form));
+    };
+    let mut rest_form = vec![sym(interner, "cond")];
+    rest_form.extend(rest.iter().cloned());
+    let rest_form = Datum::list(rest_form);
+    // (cond (t body…) …) — the t clause is unconditional.
+    if test.as_symbol().map(|s| s.as_str() == "t").unwrap_or(false) {
+        if body.is_empty() {
+            return Ok(Datum::list([sym(interner, "quote"), sym(interner, "t")]));
+        }
+        let mut pg = vec![sym(interner, "progn")];
+        pg.extend(body.iter().cloned());
+        return Ok(Datum::list(pg));
+    }
+    if body.is_empty() {
+        // (cond (x) …) — value of the test if true, like `or`.
+        let v = sym(interner, "or");
+        return Ok(Datum::list([v, test.clone(), rest_form]));
+    }
+    let mut then = vec![sym(interner, "progn")];
+    then.extend(body.iter().cloned());
+    Ok(Datum::list([
+        sym(interner, "if"),
+        test.clone(),
+        Datum::list(then),
+        rest_form,
+    ]))
+}
+
+fn expand_and(args: &[Datum], interner: &mut Interner) -> Datum {
+    match args {
+        [] => Datum::list([sym(interner, "quote"), sym(interner, "t")]),
+        [x] => x.clone(),
+        [x, rest @ ..] => {
+            let mut tail = vec![sym(interner, "and")];
+            tail.extend(rest.iter().cloned());
+            Datum::list([
+                sym(interner, "if"),
+                x.clone(),
+                Datum::list(tail),
+                Datum::list([sym(interner, "quote"), Datum::Nil]),
+            ])
+        }
+    }
+}
+
+fn expand_or(args: &[Datum], interner: &mut Interner) -> Datum {
+    match args {
+        [] => Datum::list([sym(interner, "quote"), Datum::Nil]),
+        [x] => x.clone(),
+        [x, rest @ ..] => {
+            // ((lambda (v) (if v v <or rest…>)) x) — the paper's rendering,
+            // "to avoid evaluating [x] twice".
+            let v = Datum::Sym(interner.gensym("v"));
+            let mut tail = vec![sym(interner, "or")];
+            tail.extend(rest.iter().cloned());
+            Datum::list([
+                Datum::list([
+                    sym(interner, "lambda"),
+                    Datum::list([v.clone()]),
+                    Datum::list([sym(interner, "if"), v.clone(), v, Datum::list(tail)]),
+                ]),
+                x.clone(),
+            ])
+        }
+    }
+}
+
+fn expand_when(
+    args: &[Datum],
+    form: &Datum,
+    interner: &mut Interner,
+    positive: bool,
+) -> Result<Datum, ConvertError> {
+    let [test, body @ ..] = args else {
+        return Err(err("when/unless needs a test", form));
+    };
+    let mut pg = vec![sym(interner, "progn")];
+    pg.extend(body.iter().cloned());
+    let body = if body.is_empty() {
+        Datum::list([sym(interner, "quote"), Datum::Nil])
+    } else {
+        Datum::list(pg)
+    };
+    let nil = Datum::list([sym(interner, "quote"), Datum::Nil]);
+    let (then, els) = if positive { (body, nil) } else { (nil, body) };
+    Ok(Datum::list([sym(interner, "if"), test.clone(), then, els]))
+}
+
+fn expand_prog(
+    args: &[Datum],
+    form: &Datum,
+    interner: &mut Interner,
+) -> Result<Datum, ConvertError> {
+    let [bindings, body @ ..] = args else {
+        return Err(err("prog needs a binding list", form));
+    };
+    // (prog (vars…) tag-or-stmt…) → (let ((v nil)…) (progbody …))
+    let bindings = bindings
+        .proper_list()
+        .ok_or_else(|| err("prog bindings must be a list", form))?;
+    let mut lets = Vec::new();
+    for b in &bindings {
+        let (name, init) = binding_parts(b)?;
+        lets.push(Datum::list([name, init]));
+    }
+    let mut pb = vec![sym(interner, "progbody")];
+    pb.extend(body.iter().cloned());
+    Ok(Datum::list([
+        sym(interner, "let"),
+        Datum::list(lets),
+        Datum::list(pb),
+    ]))
+}
+
+fn expand_psetq(
+    args: &[Datum],
+    form: &Datum,
+    interner: &mut Interner,
+) -> Result<Datum, ConvertError> {
+    if !args.len().is_multiple_of(2) {
+        return Err(err("psetq needs variable/value pairs", form));
+    }
+    // (psetq a e1 b e2) → ((lambda (t1 t2) (setq a t1) (setq b t2)) e1 e2):
+    // all value forms evaluate before any assignment.
+    let mut temps = Vec::new();
+    let mut setqs = Vec::new();
+    let mut values = Vec::new();
+    for pair in args.chunks(2) {
+        let t = Datum::Sym(interner.gensym("p"));
+        setqs.push(Datum::list([
+            sym(interner, "setq"),
+            pair[0].clone(),
+            t.clone(),
+        ]));
+        temps.push(t);
+        values.push(pair[1].clone());
+    }
+    if temps.is_empty() {
+        return Ok(Datum::list([sym(interner, "quote"), Datum::Nil]));
+    }
+    let mut lambda = vec![sym(interner, "lambda"), Datum::list(temps)];
+    lambda.extend(setqs);
+    let mut call = vec![Datum::list(lambda)];
+    call.extend(values);
+    Ok(Datum::list(call))
+}
+
+fn expand_do(
+    args: &[Datum],
+    form: &Datum,
+    interner: &mut Interner,
+    sequential: bool,
+) -> Result<Datum, ConvertError> {
+    let [specs, end, body @ ..] = args else {
+        return Err(err("do needs specs and an end clause", form));
+    };
+    let specs = specs
+        .proper_list()
+        .ok_or_else(|| err("do specs must be a list", form))?;
+    let end = end
+        .proper_list()
+        .ok_or_else(|| err("do end clause must be a list", form))?;
+    let Some((end_test, results)) = end.split_first() else {
+        return Err(err("do end clause needs a test", form));
+    };
+    let mut bindings = Vec::new();
+    let mut steps = Vec::new();
+    for spec in &specs {
+        let items = spec
+            .proper_list()
+            .ok_or_else(|| err("do spec must be (var init [step])", spec))?;
+        match items.as_slice() {
+            [name] => bindings.push(Datum::list([name.clone(), Datum::Nil])),
+            [name, init] => bindings.push(Datum::list([name.clone(), init.clone()])),
+            [name, init, step] => {
+                bindings.push(Datum::list([name.clone(), init.clone()]));
+                steps.push(name.clone());
+                steps.push(step.clone());
+            }
+            _ => return Err(err("do spec must be (var init [step])", spec)),
+        }
+    }
+    // (prog (bindings…)
+    //   loop (if end-test (return (progn nil results…)))
+    //        body… (psetq steps…) (go loop))
+    let loop_tag = Datum::Sym(interner.gensym("loop"));
+    let mut result = vec![sym(interner, "progn"), Datum::list([sym(interner, "quote"), Datum::Nil])];
+    result.extend(results.iter().cloned());
+    let exit = Datum::list([
+        sym(interner, "if"),
+        end_test.clone(),
+        Datum::list([sym(interner, "return"), Datum::list(result)]),
+    ]);
+    let mut prog = vec![sym(interner, "prog"), Datum::list(bindings), loop_tag.clone(), exit];
+    prog.extend(body.iter().cloned());
+    if !steps.is_empty() {
+        // `do` steps in parallel (psetq); `do*` steps sequentially (setq).
+        let mut ps = vec![sym(interner, if sequential { "setq" } else { "psetq" })];
+        ps.extend(steps);
+        prog.push(Datum::list(ps));
+    }
+    prog.push(Datum::list([sym(interner, "go"), loop_tag]));
+    Ok(Datum::list(prog))
+}
+
+fn expand_dotimes(
+    args: &[Datum],
+    form: &Datum,
+    interner: &mut Interner,
+) -> Result<Datum, ConvertError> {
+    let [spec, body @ ..] = args else {
+        return Err(err("dotimes needs (var count [result])", form));
+    };
+    let items = spec
+        .proper_list()
+        .ok_or_else(|| err("dotimes spec must be (var count [result])", form))?;
+    let (var, count, result) = match items.as_slice() {
+        [v, c] => (v.clone(), c.clone(), Datum::Nil),
+        [v, c, r] => (v.clone(), c.clone(), r.clone()),
+        _ => return Err(err("dotimes spec must be (var count [result])", form)),
+    };
+    let limit = Datum::Sym(interner.gensym("limit"));
+    let step = Datum::list([sym(interner, "+"), var.clone(), Datum::Fixnum(1)]);
+    let mut do_form = vec![
+        sym(interner, "do"),
+        Datum::list([
+            Datum::list([limit.clone(), count]),
+            Datum::list([var.clone(), Datum::Fixnum(0), step]),
+        ]),
+        Datum::list([
+            Datum::list([sym(interner, ">="), var, limit]),
+            result,
+        ]),
+    ];
+    do_form.extend(body.iter().cloned());
+    Ok(Datum::list(do_form))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s1lisp_reader::read_str;
+
+    fn exp1(src: &str) -> String {
+        let mut i = Interner::new();
+        let form = read_str(src, &mut i).unwrap();
+        let head = form.car().unwrap().as_symbol().unwrap().clone();
+        expand(&head, &form, &mut i).unwrap().to_string()
+    }
+
+    #[test]
+    fn let_becomes_lambda_call() {
+        assert_eq!(
+            exp1("(let ((d (- b c)) (e 2)) (list d e))"),
+            "((lambda (d e) (list d e)) (- b c) 2)"
+        );
+    }
+
+    #[test]
+    fn let_star_nests() {
+        assert_eq!(
+            exp1("(let* ((a 1) (b a)) b)"),
+            "(let ((a 1)) (let* ((b a)) b))"
+        );
+    }
+
+    #[test]
+    fn cond_becomes_ifs() {
+        assert_eq!(
+            exp1("(cond ((< d 0) '()) (t x))"),
+            "(if (< d 0) (progn '()) (cond (t x)))"
+        );
+        assert_eq!(exp1("(cond (t x))"), "(progn x)");
+        assert_eq!(exp1("(cond)"), "'()");
+    }
+
+    #[test]
+    fn and_or_shapes() {
+        assert_eq!(exp1("(and a b)"), "(if a (and b) '())");
+        let or2 = exp1("(or b c)");
+        // ((lambda (v%N) (if v%N v%N (or c))) b)
+        assert!(or2.starts_with("((lambda (v%"), "{or2}");
+        assert!(or2.ends_with(" b)"), "{or2}");
+        assert_eq!(exp1("(and)"), "'t");
+        assert_eq!(exp1("(or)"), "'()");
+    }
+
+    #[test]
+    fn when_unless() {
+        assert_eq!(exp1("(when p a b)"), "(if p (progn a b) '())");
+        assert_eq!(exp1("(unless p a)"), "(if p '() (progn a))");
+    }
+
+    #[test]
+    fn prog_is_let_plus_progbody() {
+        assert_eq!(
+            exp1("(prog (x (y 1)) top (go top))"),
+            "(let ((x ()) (y 1)) (progbody top (go top)))"
+        );
+    }
+
+    #[test]
+    fn psetq_binds_temps_before_assigning() {
+        let s = exp1("(psetq a b b a)");
+        assert!(s.contains("(setq a p%"), "{s}");
+        assert!(s.contains("(setq b p%"), "{s}");
+        // values are the trailing arguments
+        assert!(s.ends_with(" b a)"), "{s}");
+    }
+
+    #[test]
+    fn do_expands_to_prog_loop() {
+        let s = exp1("(do ((i 0 (+ i 1))) ((= i n) acc) (setq acc (+ acc i)))");
+        assert!(s.starts_with("(prog ((i 0)) loop%"), "{s}");
+        assert!(s.contains("(if (= i n) (return (progn '() acc)))"), "{s}");
+        assert!(s.contains("(psetq i (+ i 1))"), "{s}");
+        assert!(s.contains("(go loop%"), "{s}");
+    }
+
+    #[test]
+    fn dotimes_expands_to_do() {
+        let s = exp1("(dotimes (i n) (f i))");
+        assert!(s.starts_with("(do ((limit%"), "{s}");
+        assert!(s.contains("(i 0 (+ i 1))"), "{s}");
+        assert!(s.contains("(>= i limit%"), "{s}");
+    }
+
+    #[test]
+    fn case_reheads_to_caseq() {
+        assert_eq!(exp1("(case x ((1 2) 'a) (t 'b))"), "(caseq x ((1 2) 'a) (t 'b))");
+    }
+
+    #[test]
+    fn split_declares_takes_prefix() {
+        let mut i = Interner::new();
+        let body: Vec<Datum> = [
+            "(declare (special x))",
+            "(declare (fixnum n))",
+            "(f x)",
+            "(declare (ignored))",
+        ]
+        .iter()
+        .map(|s| read_str(s, &mut i).unwrap())
+        .collect();
+        let (decls, rest) = split_declares(&body);
+        assert_eq!(decls.len(), 2);
+        assert_eq!(rest.len(), 2);
+    }
+}

@@ -1,0 +1,727 @@
+//! Built-in (primitive) functions of the dialect.
+//!
+//! These are the "known primitive operations" of Table 2's `call` node.
+//! The same operation set is understood by the compiler's primop table
+//! (`s1lisp-analysis`) and by the S-1 code generator; the interpreter
+//! gives their reference semantics.
+//!
+//! Generic arithmetic (`+`, `*`, …) operates on fixnums and flonums with
+//! fixnum→flonum contagion.  The `$f`-suffixed operators are the paper's
+//! type-specific single-float operations ("`+$f` and `+$d` indicate
+//! single-precision and double-precision floating-point addition"), and
+//! the `&`-suffixed ones are fixnum-specific.  `sinc$f` is sine with the
+//! argument in *cycles* (the S-1 `SIN` instruction's convention).
+
+use s1lisp_reader::Symbol;
+
+use crate::error::LispError;
+use crate::value::Value;
+
+/// Calls builtin `name`, or returns `None` if `name` is not a builtin.
+pub(crate) fn call_builtin(
+    name: &str,
+    args: &[Value],
+    t: &Symbol,
+) -> Option<Result<Value, LispError>> {
+    dispatch(name, args, t)
+}
+
+/// Evaluates a primitive on constant (datum) operands, for the
+/// compiler's compile-time expression evaluation (§5: "invoking primitive
+/// functions known to be free of side effects on constant operands, a
+/// very convenient thing to do in LISP").
+///
+/// Returns `None` if `name` is not a builtin, if evaluation signals an
+/// error (the compiler then leaves the form for run time), or if the
+/// result has no datum form.
+pub fn eval_primop(name: &str, args: &[s1lisp_reader::Datum]) -> Option<s1lisp_reader::Datum> {
+    let t = s1lisp_reader::Interner::new().intern("t");
+    let argv: Vec<Value> = args.iter().map(Value::from_datum).collect();
+    let result = call_builtin(name, &argv, &t)?.ok()?;
+    result.to_datum()
+}
+
+/// All builtin names (kept in sync with `dispatch` by the
+/// `dispatch_covers_all_names` test).
+pub const NAMES: &[&str] = &[
+    "+", "-", "*", "/", "1+", "1-", "abs", "min", "max", "floor", "ceiling", "truncate",
+    "round", "mod", "rem", "expt", "=", "/=", "<", ">", "<=", ">=", "zerop", "oddp", "evenp",
+    "plusp", "minusp", "+$f", "-$f", "*$f", "/$f", "max$f", "min$f", "abs$f", "+&", "-&", "*&",
+    "sqrt", "sqrt$f", "sin", "cos", "sin$f", "cos$f", "sinc$f", "cosc$f", "atan", "exp", "log",
+    "float", "fix", "null", "not", "atom", "consp", "listp", "symbolp", "numberp", "fixnump",
+    "flonump", "stringp", "functionp", "eq", "eql", "equal", "cons", "car", "cdr", "caar",
+    "cadr", "cdar", "cddr", "caddr", "cdddr", "list", "list*", "append", "reverse", "length",
+    "nth", "nthcdr", "last", "assq", "assoc", "memq", "member", "rplaca", "rplacd", "identity",
+    "error",
+];
+
+fn err(msg: impl Into<String>) -> LispError {
+    LispError::new(msg)
+}
+
+fn num(v: &Value, who: &str) -> Result<f64, LispError> {
+    match v {
+        Value::Fixnum(n) => Ok(*n as f64),
+        Value::Flonum(x) => Ok(*x),
+        other => Err(err(format!("{who}: not a number: {other}"))),
+    }
+}
+
+fn flo(v: &Value, who: &str) -> Result<f64, LispError> {
+    match v {
+        Value::Flonum(x) => Ok(*x),
+        // The $f operators dereference pointers at run time after a type
+        // check (§6.2); a fixnum is a wrong-type argument.
+        other => Err(err(format!("{who}: not a flonum: {other}"))),
+    }
+}
+
+fn fix(v: &Value, who: &str) -> Result<i64, LispError> {
+    match v {
+        Value::Fixnum(n) => Ok(*n),
+        other => Err(err(format!("{who}: not a fixnum: {other}"))),
+    }
+}
+
+fn both_fix(args: &[Value]) -> bool {
+    args.iter().all(|a| matches!(a, Value::Fixnum(_)))
+}
+
+fn arity(args: &[Value], n: usize, who: &str) -> Result<(), LispError> {
+    if args.len() == n {
+        Ok(())
+    } else {
+        Err(err(format!("{who}: wants {n} arguments, got {}", args.len())))
+    }
+}
+
+fn at_least(args: &[Value], n: usize, who: &str) -> Result<(), LispError> {
+    if args.len() >= n {
+        Ok(())
+    } else {
+        Err(err(format!(
+            "{who}: wants at least {n} arguments, got {}",
+            args.len()
+        )))
+    }
+}
+
+fn bool_v(b: bool, t: &Symbol) -> Value {
+    if b {
+        Value::Sym(t.clone())
+    } else {
+        Value::Nil
+    }
+}
+
+fn fold_generic(
+    args: &[Value],
+    who: &str,
+    unit: Option<i64>,
+    fixop: fn(i64, i64) -> Option<i64>,
+    floop: fn(f64, f64) -> f64,
+) -> Result<Value, LispError> {
+    let mut iter = args.iter();
+    let first = match (iter.next(), unit) {
+        (Some(v), _) => v.clone(),
+        (None, Some(u)) => return Ok(Value::Fixnum(u)),
+        (None, None) => return Err(err(format!("{who}: wants at least 1 argument"))),
+    };
+    if args.len() == 1 && unit.is_some() {
+        num(&first, who)?; // type check
+        return Ok(first);
+    }
+    let mut acc = first;
+    for v in iter {
+        acc = match (&acc, v) {
+            (Value::Fixnum(a), Value::Fixnum(b)) => Value::Fixnum(
+                fixop(*a, *b).ok_or_else(|| err(format!("{who}: fixnum overflow")))?,
+            ),
+            _ => Value::Flonum(floop(num(&acc, who)?, num(v, who)?)),
+        };
+    }
+    Ok(acc)
+}
+
+fn compare_chain(
+    args: &[Value],
+    who: &str,
+    t: &Symbol,
+    ok: fn(f64, f64) -> bool,
+) -> Result<Value, LispError> {
+    at_least(args, 2, who)?;
+    for w in args.windows(2) {
+        if !ok(num(&w[0], who)?, num(&w[1], who)?) {
+            return Ok(Value::Nil);
+        }
+    }
+    Ok(bool_v(true, t))
+}
+
+fn car_of(v: &Value, who: &str) -> Result<Value, LispError> {
+    match v {
+        Value::Nil => Ok(Value::Nil), // (car '()) is () in this dialect
+        Value::Cons(c) => Ok(c.car.borrow().clone()),
+        other => Err(err(format!("{who}: not a list: {other}"))),
+    }
+}
+
+fn cdr_of(v: &Value, who: &str) -> Result<Value, LispError> {
+    match v {
+        Value::Nil => Ok(Value::Nil),
+        Value::Cons(c) => Ok(c.cdr.borrow().clone()),
+        other => Err(err(format!("{who}: not a list: {other}"))),
+    }
+}
+
+fn list_items(v: &Value, who: &str) -> Result<Vec<Value>, LispError> {
+    let mut out = Vec::new();
+    let mut cur = v.clone();
+    loop {
+        match cur {
+            Value::Nil => return Ok(out),
+            Value::Cons(c) => {
+                out.push(c.car.borrow().clone());
+                let next = c.cdr.borrow().clone();
+                cur = next;
+            }
+            other => return Err(err(format!("{who}: improper list ending in {other}"))),
+        }
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn dispatch(name: &str, args: &[Value], t: &Symbol) -> Option<Result<Value, LispError>> {
+    let r = match name {
+        // ---- generic arithmetic ----
+        "+" => fold_generic(args, "+", Some(0), i64::checked_add, |a, b| a + b),
+        "-" => {
+            if args.len() == 1 {
+                match &args[0] {
+                    Value::Fixnum(n) => n
+                        .checked_neg()
+                        .map(Value::Fixnum)
+                        .ok_or_else(|| err("-: fixnum overflow")),
+                    v => num(v, "-").map(|x| Value::Flonum(-x)),
+                }
+            } else {
+                fold_generic(args, "-", None, i64::checked_sub, |a, b| a - b)
+            }
+        }
+        "*" => fold_generic(args, "*", Some(1), i64::checked_mul, |a, b| a * b),
+        "/" => {
+            if both_fix(args) && args.iter().skip(1).any(|v| matches!(v, Value::Fixnum(0))) {
+                Err(err("/: division by zero"))
+            } else if args.len() == 1 {
+                num(&args[0], "/").map(|x| Value::Flonum(1.0 / x))
+            } else {
+                // Fixnum division truncates (the dialect has no rationals;
+                // see DESIGN.md).
+                fold_generic(args, "/", None, i64::checked_div, |a, b| a / b)
+            }
+        }
+        "1+" => arity(args, 1, "1+").and_then(|()| match &args[0] {
+            Value::Fixnum(n) => n
+                .checked_add(1)
+                .map(Value::Fixnum)
+                .ok_or_else(|| err("1+: fixnum overflow")),
+            v => num(v, "1+").map(|x| Value::Flonum(x + 1.0)),
+        }),
+        "1-" => arity(args, 1, "1-").and_then(|()| match &args[0] {
+            Value::Fixnum(n) => n
+                .checked_sub(1)
+                .map(Value::Fixnum)
+                .ok_or_else(|| err("1-: fixnum overflow")),
+            v => num(v, "1-").map(|x| Value::Flonum(x - 1.0)),
+        }),
+        "abs" => arity(args, 1, "abs").and_then(|()| match &args[0] {
+            Value::Fixnum(n) => Ok(Value::Fixnum(n.abs())),
+            v => num(v, "abs").map(|x| Value::Flonum(x.abs())),
+        }),
+        "min" => fold_generic(args, "min", None, |a, b| Some(a.min(b)), f64::min),
+        "max" => fold_generic(args, "max", None, |a, b| Some(a.max(b)), f64::max),
+        "floor" => round_like(args, "floor", f64::floor, |a, b| a.div_euclid(b)),
+        "ceiling" => round_like(args, "ceiling", f64::ceil, |a, b| {
+            a.div_euclid(b) + i64::from(a.rem_euclid(b) != 0)
+        }),
+        "truncate" => round_like(args, "truncate", f64::trunc, |a, b| a / b),
+        "round" => round_like(args, "round", |x| x.round_ties_even(), |a, b| {
+            let q = a as f64 / b as f64;
+            q.round_ties_even() as i64
+        }),
+        "mod" => arity(args, 2, "mod").and_then(|()| match (&args[0], &args[1]) {
+            (Value::Fixnum(a), Value::Fixnum(b)) if *b != 0 => {
+                Ok(Value::Fixnum(a.rem_euclid(*b)))
+            }
+            (Value::Fixnum(_), Value::Fixnum(_)) => Err(err("mod: division by zero")),
+            (a, b) => Ok(Value::Flonum(
+                num(a, "mod")?.rem_euclid(num(b, "mod")?),
+            )),
+        }),
+        "rem" => arity(args, 2, "rem").and_then(|()| match (&args[0], &args[1]) {
+            (Value::Fixnum(a), Value::Fixnum(b)) if *b != 0 => Ok(Value::Fixnum(a % b)),
+            (Value::Fixnum(_), Value::Fixnum(_)) => Err(err("rem: division by zero")),
+            (a, b) => Ok(Value::Flonum(num(a, "rem")? % num(b, "rem")?)),
+        }),
+        "expt" => arity(args, 2, "expt").and_then(|()| match (&args[0], &args[1]) {
+            (Value::Fixnum(b), Value::Fixnum(e)) if *e >= 0 => {
+                let e = u32::try_from(*e).map_err(|_| err("expt: exponent too large"))?;
+                b.checked_pow(e)
+                    .map(Value::Fixnum)
+                    .ok_or_else(|| err("expt: fixnum overflow"))
+            }
+            (b, e) => Ok(Value::Flonum(num(b, "expt")?.powf(num(e, "expt")?))),
+        }),
+        // ---- comparisons and numeric predicates ----
+        "=" => compare_chain(args, "=", t, |a, b| a == b),
+        "/=" => compare_chain(args, "/=", t, |a, b| a != b),
+        "<" => compare_chain(args, "<", t, |a, b| a < b),
+        ">" => compare_chain(args, ">", t, |a, b| a > b),
+        "<=" => compare_chain(args, "<=", t, |a, b| a <= b),
+        ">=" => compare_chain(args, ">=", t, |a, b| a >= b),
+        "zerop" => arity(args, 1, "zerop")
+            .and_then(|()| num(&args[0], "zerop").map(|x| bool_v(x == 0.0, t))),
+        "plusp" => arity(args, 1, "plusp")
+            .and_then(|()| num(&args[0], "plusp").map(|x| bool_v(x > 0.0, t))),
+        "minusp" => arity(args, 1, "minusp")
+            .and_then(|()| num(&args[0], "minusp").map(|x| bool_v(x < 0.0, t))),
+        "oddp" => arity(args, 1, "oddp")
+            .and_then(|()| fix(&args[0], "oddp").map(|n| bool_v(n.rem_euclid(2) == 1, t))),
+        "evenp" => arity(args, 1, "evenp")
+            .and_then(|()| fix(&args[0], "evenp").map(|n| bool_v(n.rem_euclid(2) == 0, t))),
+        // ---- type-specific arithmetic ----
+        "+$f" => binf(args, "+$f", |a, b| a + b),
+        "-$f" => {
+            if args.len() == 1 {
+                flo(&args[0], "-$f").map(|x| Value::Flonum(-x))
+            } else {
+                binf(args, "-$f", |a, b| a - b)
+            }
+        }
+        "*$f" => binf(args, "*$f", |a, b| a * b),
+        "/$f" => binf(args, "/$f", |a, b| a / b),
+        "max$f" => binf(args, "max$f", f64::max),
+        "min$f" => binf(args, "min$f", f64::min),
+        "abs$f" => arity(args, 1, "abs$f")
+            .and_then(|()| flo(&args[0], "abs$f").map(|x| Value::Flonum(x.abs()))),
+        "+&" => bini(args, "+&", i64::checked_add),
+        "-&" => bini(args, "-&", i64::checked_sub),
+        "*&" => bini(args, "*&", i64::checked_mul),
+        // ---- transcendental ----
+        "sqrt" => un_num(args, "sqrt", f64::sqrt),
+        "sqrt$f" => un_flo(args, "sqrt$f", f64::sqrt),
+        "sin" => un_num(args, "sin", f64::sin),
+        "cos" => un_num(args, "cos", f64::cos),
+        "sin$f" => un_flo(args, "sin$f", f64::sin),
+        "cos$f" => un_flo(args, "cos$f", f64::cos),
+        // Sine/cosine with argument in *cycles*: the S-1's native
+        // convention (§7: "the S-1 SIN instruction assumes its argument
+        // to be in cycles").
+        "sinc$f" => un_flo(args, "sinc$f", |x| {
+            (x * 2.0 * std::f64::consts::PI).sin()
+        }),
+        "cosc$f" => un_flo(args, "cosc$f", |x| {
+            (x * 2.0 * std::f64::consts::PI).cos()
+        }),
+        "atan" => match args.len() {
+            1 => un_num(args, "atan", f64::atan),
+            2 => num(&args[0], "atan")
+                .and_then(|y| Ok(Value::Flonum(y.atan2(num(&args[1], "atan")?)))),
+            _ => Err(err("atan: wants 1 or 2 arguments")),
+        },
+        "exp" => un_num(args, "exp", f64::exp),
+        "log" => un_num(args, "log", f64::ln),
+        "float" => arity(args, 1, "float")
+            .and_then(|()| num(&args[0], "float").map(Value::Flonum)),
+        "fix" => arity(args, 1, "fix")
+            .and_then(|()| num(&args[0], "fix").map(|x| Value::Fixnum(x as i64))),
+        // ---- predicates ----
+        "null" | "not" => arity(args, 1, name).map(|()| bool_v(!args[0].is_true(), t)),
+        "atom" => arity(args, 1, "atom")
+            .map(|()| bool_v(!matches!(args[0], Value::Cons(_)), t)),
+        "consp" => arity(args, 1, "consp")
+            .map(|()| bool_v(matches!(args[0], Value::Cons(_)), t)),
+        "listp" => arity(args, 1, "listp").map(|()| {
+            bool_v(matches!(args[0], Value::Cons(_) | Value::Nil), t)
+        }),
+        "symbolp" => arity(args, 1, "symbolp")
+            .map(|()| bool_v(matches!(args[0], Value::Sym(_)), t)),
+        "numberp" => arity(args, 1, "numberp").map(|()| {
+            bool_v(matches!(args[0], Value::Fixnum(_) | Value::Flonum(_)), t)
+        }),
+        "fixnump" => arity(args, 1, "fixnump")
+            .map(|()| bool_v(matches!(args[0], Value::Fixnum(_)), t)),
+        "flonump" => arity(args, 1, "flonump")
+            .map(|()| bool_v(matches!(args[0], Value::Flonum(_)), t)),
+        "stringp" => arity(args, 1, "stringp")
+            .map(|()| bool_v(matches!(args[0], Value::Str(_)), t)),
+        "functionp" => arity(args, 1, "functionp")
+            .map(|()| bool_v(matches!(args[0], Value::Func(_)), t)),
+        "eq" => arity(args, 2, "eq").map(|()| bool_v(args[0].eq_p(&args[1]), t)),
+        "eql" => arity(args, 2, "eql").map(|()| bool_v(args[0].eql_p(&args[1]), t)),
+        "equal" => arity(args, 2, "equal").map(|()| bool_v(args[0].equal_p(&args[1]), t)),
+        // ---- lists ----
+        "cons" => arity(args, 2, "cons").map(|()| Value::cons(args[0].clone(), args[1].clone())),
+        "car" => arity(args, 1, "car").and_then(|()| car_of(&args[0], "car")),
+        "cdr" => arity(args, 1, "cdr").and_then(|()| cdr_of(&args[0], "cdr")),
+        "caar" => arity(args, 1, "caar")
+            .and_then(|()| car_of(&car_of(&args[0], "caar")?, "caar")),
+        "cadr" => arity(args, 1, "cadr")
+            .and_then(|()| car_of(&cdr_of(&args[0], "cadr")?, "cadr")),
+        "cdar" => arity(args, 1, "cdar")
+            .and_then(|()| cdr_of(&car_of(&args[0], "cdar")?, "cdar")),
+        "cddr" => arity(args, 1, "cddr")
+            .and_then(|()| cdr_of(&cdr_of(&args[0], "cddr")?, "cddr")),
+        "caddr" => arity(args, 1, "caddr").and_then(|()| {
+            car_of(&cdr_of(&cdr_of(&args[0], "caddr")?, "caddr")?, "caddr")
+        }),
+        "cdddr" => arity(args, 1, "cdddr").and_then(|()| {
+            cdr_of(&cdr_of(&cdr_of(&args[0], "cdddr")?, "cdddr")?, "cdddr")
+        }),
+        "list" => Ok(Value::list(args.iter().cloned())),
+        "list*" => at_least(args, 1, "list*").map(|()| {
+            let (last, init) = args.split_last().unwrap();
+            let mut out = last.clone();
+            for v in init.iter().rev() {
+                out = Value::cons(v.clone(), out);
+            }
+            out
+        }),
+        "append" => {
+            let mut items = Vec::new();
+            let mut result = Ok(Value::Nil);
+            if let Some((last, init)) = args.split_last() {
+                for a in init {
+                    match list_items(a, "append") {
+                        Ok(mut v) => items.append(&mut v),
+                        Err(e) => {
+                            result = Err(e);
+                            break;
+                        }
+                    }
+                }
+                if result.is_ok() {
+                    let mut out = last.clone();
+                    for v in items.into_iter().rev() {
+                        out = Value::cons(v, out);
+                    }
+                    result = Ok(out);
+                }
+            }
+            result
+        }
+        "reverse" => arity(args, 1, "reverse").and_then(|()| {
+            list_items(&args[0], "reverse").map(|mut v| {
+                v.reverse();
+                Value::list(v)
+            })
+        }),
+        "length" => arity(args, 1, "length")
+            .and_then(|()| list_items(&args[0], "length").map(|v| Value::Fixnum(v.len() as i64))),
+        "nth" => arity(args, 2, "nth").and_then(|()| {
+            let n = fix(&args[0], "nth")?;
+            let items = list_items(&args[1], "nth")?;
+            Ok(items.get(n as usize).cloned().unwrap_or(Value::Nil))
+        }),
+        "nthcdr" => arity(args, 2, "nthcdr").and_then(|()| {
+            let n = fix(&args[0], "nthcdr")?;
+            let mut cur = args[1].clone();
+            for _ in 0..n {
+                cur = cdr_of(&cur, "nthcdr")?;
+            }
+            Ok(cur)
+        }),
+        "last" => arity(args, 1, "last").and_then(|()| {
+            let mut cur = args[0].clone();
+            loop {
+                match &cur {
+                    Value::Cons(c) if matches!(&*c.cdr.borrow(), Value::Cons(_)) => {
+                        let next = c.cdr.borrow().clone();
+                        cur = next;
+                    }
+                    _ => return Ok(cur),
+                }
+            }
+        }),
+        "assq" | "assoc" => arity(args, 2, name).and_then(|()| {
+            let items = list_items(&args[1], name)?;
+            for pair in items {
+                if let Value::Cons(c) = &pair {
+                    let key = c.car.borrow().clone();
+                    let hit = if name == "assq" {
+                        key.eq_p(&args[0])
+                    } else {
+                        key.equal_p(&args[0])
+                    };
+                    if hit {
+                        return Ok(pair);
+                    }
+                }
+            }
+            Ok(Value::Nil)
+        }),
+        "memq" | "member" => arity(args, 2, name).and_then(|()| {
+            let mut cur = args[1].clone();
+            loop {
+                match &cur {
+                    Value::Cons(c) => {
+                        let head = c.car.borrow().clone();
+                        let hit = if name == "memq" {
+                            head.eq_p(&args[0])
+                        } else {
+                            head.equal_p(&args[0])
+                        };
+                        if hit {
+                            return Ok(cur);
+                        }
+                        let next = c.cdr.borrow().clone();
+                        cur = next;
+                    }
+                    _ => return Ok(Value::Nil),
+                }
+            }
+        }),
+        "rplaca" => arity(args, 2, "rplaca").and_then(|()| match &args[0] {
+            Value::Cons(c) => {
+                *c.car.borrow_mut() = args[1].clone();
+                Ok(args[0].clone())
+            }
+            other => Err(err(format!("rplaca: not a cons: {other}"))),
+        }),
+        "rplacd" => arity(args, 2, "rplacd").and_then(|()| match &args[0] {
+            Value::Cons(c) => {
+                *c.cdr.borrow_mut() = args[1].clone();
+                Ok(args[0].clone())
+            }
+            other => Err(err(format!("rplacd: not a cons: {other}"))),
+        }),
+        "identity" => arity(args, 1, "identity").map(|()| args[0].clone()),
+        "error" => Err(err(format!(
+            "error: {}",
+            args.iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join(" ")
+        ))),
+        _ => return None,
+    };
+    Some(r)
+}
+
+fn round_like(
+    args: &[Value],
+    who: &str,
+    f: fn(f64) -> f64,
+    fi: fn(i64, i64) -> i64,
+) -> Result<Value, LispError> {
+    match args {
+        [Value::Fixnum(n)] => Ok(Value::Fixnum(*n)),
+        [v] => Ok(Value::Fixnum(f(num(v, who)?) as i64)),
+        [Value::Fixnum(a), Value::Fixnum(b)] => {
+            if *b == 0 {
+                Err(err(format!("{who}: division by zero")))
+            } else {
+                Ok(Value::Fixnum(fi(*a, *b)))
+            }
+        }
+        [a, b] => Ok(Value::Fixnum(f(num(a, who)? / num(b, who)?) as i64)),
+        _ => Err(err(format!("{who}: wants 1 or 2 arguments"))),
+    }
+}
+
+fn binf(args: &[Value], who: &str, f: fn(f64, f64) -> f64) -> Result<Value, LispError> {
+    at_least(args, 2, who)?;
+    let mut acc = flo(&args[0], who)?;
+    for v in &args[1..] {
+        acc = f(acc, flo(v, who)?);
+    }
+    Ok(Value::Flonum(acc))
+}
+
+fn bini(
+    args: &[Value],
+    who: &str,
+    f: fn(i64, i64) -> Option<i64>,
+) -> Result<Value, LispError> {
+    at_least(args, 2, who)?;
+    let mut acc = fix(&args[0], who)?;
+    for v in &args[1..] {
+        acc = f(acc, fix(v, who)?).ok_or_else(|| err(format!("{who}: fixnum overflow")))?;
+    }
+    Ok(Value::Fixnum(acc))
+}
+
+fn un_num(args: &[Value], who: &str, f: fn(f64) -> f64) -> Result<Value, LispError> {
+    arity(args, 1, who)?;
+    Ok(Value::Flonum(f(num(&args[0], who)?)))
+}
+
+fn un_flo(args: &[Value], who: &str, f: fn(f64) -> f64) -> Result<Value, LispError> {
+    arity(args, 1, who)?;
+    Ok(Value::Flonum(f(flo(&args[0], who)?)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s1lisp_reader::Interner;
+
+    fn t() -> Symbol {
+        Interner::new().intern("t")
+    }
+
+    fn call(name: &str, args: &[Value]) -> Value {
+        call_builtin(name, args, &t()).unwrap().unwrap()
+    }
+
+    fn call_err(name: &str, args: &[Value]) -> LispError {
+        call_builtin(name, args, &t()).unwrap().unwrap_err()
+    }
+
+    #[test]
+    fn dispatch_covers_all_names() {
+        // Every name in NAMES must dispatch (with possibly an arity
+        // error, but never None).
+        for name in NAMES {
+            assert!(
+                dispatch(name, &[Value::Fixnum(4), Value::Fixnum(2)], &t()).is_some(),
+                "{name} not dispatched"
+            );
+        }
+        assert!(dispatch("no-such-fn", &[], &t()).is_none());
+    }
+
+    #[test]
+    fn generic_arithmetic_contagion() {
+        assert_eq!(call("+", &[Value::Fixnum(1), Value::Fixnum(2)]), Value::Fixnum(3));
+        assert_eq!(
+            call("+", &[Value::Fixnum(1), Value::Flonum(2.5)]),
+            Value::Flonum(3.5)
+        );
+        assert_eq!(call("+", &[]), Value::Fixnum(0));
+        assert_eq!(call("*", &[]), Value::Fixnum(1));
+        assert_eq!(call("-", &[Value::Fixnum(5)]), Value::Fixnum(-5));
+        assert_eq!(
+            call("/", &[Value::Fixnum(7), Value::Fixnum(2)]),
+            Value::Fixnum(3)
+        );
+        assert!(call_err("/", &[Value::Fixnum(1), Value::Fixnum(0)])
+            .message
+            .contains("zero"));
+        assert!(call_err("+", &[Value::Fixnum(i64::MAX), Value::Fixnum(1)])
+            .message
+            .contains("overflow"));
+    }
+
+    #[test]
+    fn comparisons_chain() {
+        let args = [Value::Fixnum(1), Value::Fixnum(2), Value::Fixnum(3)];
+        assert!(call("<", &args).is_true());
+        assert!(!call(">", &args).is_true());
+        assert!(call("=", &[Value::Fixnum(2), Value::Flonum(2.0)]).is_true());
+    }
+
+    #[test]
+    fn float_specific_ops_require_flonums() {
+        assert_eq!(
+            call("+$f", &[Value::Flonum(1.0), Value::Flonum(2.0)]),
+            Value::Flonum(3.0)
+        );
+        assert!(call_err("+$f", &[Value::Fixnum(1), Value::Flonum(2.0)])
+            .message
+            .contains("not a flonum"));
+    }
+
+    #[test]
+    fn sinc_is_sine_of_cycles() {
+        // sin(2π·0.25) = 1.
+        let v = call("sinc$f", &[Value::Flonum(0.25)]);
+        let Value::Flonum(x) = v else { panic!() };
+        assert!((x - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn floor_variants() {
+        assert_eq!(call("floor", &[Value::Flonum(2.7)]), Value::Fixnum(2));
+        assert_eq!(
+            call("floor", &[Value::Fixnum(-7), Value::Fixnum(2)]),
+            Value::Fixnum(-4)
+        );
+        assert_eq!(
+            call("truncate", &[Value::Fixnum(-7), Value::Fixnum(2)]),
+            Value::Fixnum(-3)
+        );
+        assert_eq!(call("mod", &[Value::Fixnum(-7), Value::Fixnum(2)]), Value::Fixnum(1));
+        assert_eq!(call("rem", &[Value::Fixnum(-7), Value::Fixnum(2)]), Value::Fixnum(-1));
+    }
+
+    #[test]
+    fn list_operations() {
+        let l = call(
+            "list",
+            &[Value::Fixnum(1), Value::Fixnum(2), Value::Fixnum(3)],
+        );
+        assert_eq!(call("length", std::slice::from_ref(&l)), Value::Fixnum(3));
+        assert_eq!(call("car", std::slice::from_ref(&l)), Value::Fixnum(1));
+        assert_eq!(call("cadr", std::slice::from_ref(&l)), Value::Fixnum(2));
+        assert_eq!(call("caddr", std::slice::from_ref(&l)), Value::Fixnum(3));
+        assert_eq!(call("car", &[Value::Nil]), Value::Nil);
+        let r = call("reverse", std::slice::from_ref(&l));
+        assert_eq!(call("car", &[r]), Value::Fixnum(3));
+        assert_eq!(
+            call("nth", &[Value::Fixnum(1), l.clone()]),
+            Value::Fixnum(2)
+        );
+        let ap = call("append", &[l.clone(), l.clone()]);
+        assert_eq!(call("length", &[ap]), Value::Fixnum(6));
+    }
+
+    #[test]
+    fn assoc_and_member() {
+        let mut i = Interner::new();
+        let a = Value::Sym(i.intern("a"));
+        let b = Value::Sym(i.intern("b"));
+        let alist = Value::list([
+            Value::cons(a.clone(), Value::Fixnum(1)),
+            Value::cons(b.clone(), Value::Fixnum(2)),
+        ]);
+        let hit = call("assq", &[b.clone(), alist.clone()]);
+        assert_eq!(call("cdr", &[hit]), Value::Fixnum(2));
+        assert_eq!(call("assq", &[Value::Fixnum(9), alist]), Value::Nil);
+        let l = Value::list([a.clone(), b.clone()]);
+        assert!(call("memq", &[b, l.clone()]).is_true());
+        assert!(!call("memq", &[Value::Fixnum(1), l]).is_true());
+    }
+
+    #[test]
+    fn rplaca_mutates() {
+        let c = Value::cons(Value::Fixnum(1), Value::Nil);
+        call("rplaca", &[c.clone(), Value::Fixnum(9)]);
+        assert_eq!(call("car", &[c]), Value::Fixnum(9));
+    }
+
+    #[test]
+    fn predicates() {
+        assert!(call("null", &[Value::Nil]).is_true());
+        assert!(call("atom", &[Value::Fixnum(1)]).is_true());
+        assert!(!call("atom", &[Value::cons(Value::Nil, Value::Nil)]).is_true());
+        assert!(call("fixnump", &[Value::Fixnum(1)]).is_true());
+        assert!(call("flonump", &[Value::Flonum(1.0)]).is_true());
+        assert!(call("zerop", &[Value::Fixnum(0)]).is_true());
+        assert!(call("oddp", &[Value::Fixnum(-3)]).is_true());
+        assert!(call("evenp", &[Value::Fixnum(-4)]).is_true());
+    }
+
+    #[test]
+    fn error_builtin_signals() {
+        assert!(call_err("error", &[Value::Fixnum(1)]).message.contains("error"));
+    }
+
+    #[test]
+    fn expt_by_squaring_matches() {
+        assert_eq!(
+            call("expt", &[Value::Fixnum(3), Value::Fixnum(10)]),
+            Value::Fixnum(59049)
+        );
+    }
+}

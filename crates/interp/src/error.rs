@@ -1,0 +1,27 @@
+//! Interpreter errors.
+
+use std::fmt;
+
+/// A run-time error signalled by the interpreter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LispError {
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl LispError {
+    /// Creates an error with the given message.
+    pub fn new(message: impl Into<String>) -> LispError {
+        LispError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for LispError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lisp error: {}", self.message)
+    }
+}
+
+impl std::error::Error for LispError {}

@@ -1,0 +1,273 @@
+//! Run-time values of the interpreter.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+use s1lisp_ast::{NodeId, Tree};
+use s1lisp_reader::{Datum, Symbol};
+
+/// A mutable cons cell in the interpreter's "heap".
+#[derive(Debug)]
+pub struct ConsCell {
+    /// The car field.
+    pub car: RefCell<Value>,
+    /// The cdr field.
+    pub cdr: RefCell<Value>,
+}
+
+/// A lexical closure: a lambda node, the tree it lives in, and the
+/// captured environment.
+#[derive(Debug)]
+pub struct Closure {
+    /// The tree containing the lambda.
+    pub tree: Rc<Tree>,
+    /// The lambda node.
+    pub lambda: NodeId,
+    /// Captured lexical environment.
+    pub env: Option<Rc<EnvNode>>,
+    /// Name for diagnostics (the enclosing defun).
+    pub name: String,
+}
+
+/// One lexical binding in an environment chain.
+#[derive(Debug)]
+pub struct EnvNode {
+    /// The bound variable (a `VarId` in the closure's tree).
+    pub var: s1lisp_ast::VarId,
+    /// The value cell (mutable for `setq`).
+    pub value: RefCell<Value>,
+    /// Enclosing bindings.
+    pub next: Option<Rc<EnvNode>>,
+}
+
+/// A callable value.
+#[derive(Clone, Debug)]
+pub enum Function {
+    /// A lexical closure.
+    Closure(Rc<Closure>),
+    /// A named global function, resolved at call time (late binding, as
+    /// in Lisp).
+    Global(String),
+}
+
+/// A run-time value.
+///
+/// Everything is conceptually a pointer to an object (§2 of the paper);
+/// `Clone` copies the reference, and cons cells are shared and mutable.
+#[derive(Clone, Debug, Default)]
+pub enum Value {
+    /// The empty list / false.
+    #[default]
+    Nil,
+    /// Machine integer.
+    Fixnum(i64),
+    /// Floating-point number.
+    Flonum(f64),
+    /// Symbol.
+    Sym(Symbol),
+    /// String.
+    Str(Rc<str>),
+    /// Character.
+    Char(char),
+    /// Pair.
+    Cons(Rc<ConsCell>),
+    /// Callable function object.
+    Func(Function),
+}
+
+impl Value {
+    /// Constructs a cons.
+    pub fn cons(car: Value, cdr: Value) -> Value {
+        Value::Cons(Rc::new(ConsCell {
+            car: RefCell::new(car),
+            cdr: RefCell::new(cdr),
+        }))
+    }
+
+    /// Constructs a proper list.
+    pub fn list<I: IntoIterator<Item = Value>>(items: I) -> Value {
+        let items: Vec<Value> = items.into_iter().collect();
+        let mut out = Value::Nil;
+        for v in items.into_iter().rev() {
+            out = Value::cons(v, out);
+        }
+        out
+    }
+
+    /// Lisp truth.
+    pub fn is_true(&self) -> bool {
+        !matches!(self, Value::Nil)
+    }
+
+    /// A named global function value.
+    pub fn global_function(name: &str) -> Value {
+        Value::Func(Function::Global(name.to_string()))
+    }
+
+    /// The global function name, if this is one.
+    pub fn as_global_function(&self) -> Option<&str> {
+        match self {
+            Value::Func(Function::Global(n)) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// Converts a (quoted) source datum into a fresh run-time value.
+    pub fn from_datum(d: &Datum) -> Value {
+        match d {
+            Datum::Nil => Value::Nil,
+            Datum::Fixnum(n) => Value::Fixnum(*n),
+            Datum::Flonum(x) => Value::Flonum(*x),
+            Datum::Sym(s) => Value::Sym(s.clone()),
+            Datum::Str(s) => Value::Str(s.clone()),
+            Datum::Char(c) => Value::Char(*c),
+            Datum::Cons(c) => Value::cons(
+                Value::from_datum(&c.car()),
+                Value::from_datum(&c.cdr()),
+            ),
+        }
+    }
+
+    /// Converts back to a datum where possible (functions have no source
+    /// form and yield `None`).
+    pub fn to_datum(&self) -> Option<Datum> {
+        Some(match self {
+            Value::Nil => Datum::Nil,
+            Value::Fixnum(n) => Datum::Fixnum(*n),
+            Value::Flonum(x) => Datum::Flonum(*x),
+            Value::Sym(s) => Datum::Sym(s.clone()),
+            Value::Str(s) => Datum::Str(s.clone()),
+            Value::Char(c) => Datum::Char(*c),
+            Value::Cons(c) => Datum::cons(
+                c.car.borrow().to_datum()?,
+                c.cdr.borrow().to_datum()?,
+            ),
+            Value::Func(_) => return None,
+        })
+    }
+
+    /// `eq`: object identity.
+    pub fn eq_p(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Nil, Value::Nil) => true,
+            (Value::Fixnum(a), Value::Fixnum(b)) => a == b,
+            (Value::Flonum(a), Value::Flonum(b)) => a.to_bits() == b.to_bits(),
+            (Value::Sym(a), Value::Sym(b)) => a == b,
+            (Value::Char(a), Value::Char(b)) => a == b,
+            (Value::Str(a), Value::Str(b)) => Rc::ptr_eq(a, b),
+            (Value::Cons(a), Value::Cons(b)) => Rc::ptr_eq(a, b),
+            (Value::Func(Function::Closure(a)), Value::Func(Function::Closure(b))) => {
+                Rc::ptr_eq(a, b)
+            }
+            (Value::Func(Function::Global(a)), Value::Func(Function::Global(b))) => a == b,
+            _ => false,
+        }
+    }
+
+    /// `eql`: identity, with numbers compared by value and type.
+    pub fn eql_p(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Flonum(a), Value::Flonum(b)) => a == b,
+            _ => self.eq_p(other),
+        }
+    }
+
+    /// `equal`: structural equality.
+    pub fn equal_p(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Cons(a), Value::Cons(b)) => {
+                Rc::ptr_eq(a, b)
+                    || (a.car.borrow().equal_p(&b.car.borrow())
+                        && a.cdr.borrow().equal_p(&b.cdr.borrow()))
+            }
+            (Value::Str(a), Value::Str(b)) => a == b,
+            _ => self.eql_p(other),
+        }
+    }
+
+    /// A short type name for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Nil => "nil",
+            Value::Fixnum(_) => "fixnum",
+            Value::Flonum(_) => "flonum",
+            Value::Sym(_) => "symbol",
+            Value::Str(_) => "string",
+            Value::Char(_) => "character",
+            Value::Cons(_) => "cons",
+            Value::Func(_) => "function",
+        }
+    }
+}
+
+/// Structural equality (via [`Value::equal_p`]) — convenient for tests
+/// and assertions; use the explicit predicates when identity matters.
+impl PartialEq for Value {
+    fn eq(&self, other: &Value) -> bool {
+        self.equal_p(other)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Func(Function::Closure(c)) => write!(f, "#<closure {}>", c.name),
+            Value::Func(Function::Global(g)) => write!(f, "#<function {g}>"),
+            other => match other.to_datum() {
+                Some(d) => write!(f, "{d}"),
+                // A cons containing a function somewhere inside:
+                None => write!(f, "#<structure containing functions>"),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s1lisp_reader::Interner;
+
+    #[test]
+    fn datum_round_trip() {
+        let mut i = Interner::new();
+        let d = s1lisp_reader::read_str("(1 2.5 sym \"s\" (nested))", &mut i).unwrap();
+        let v = Value::from_datum(&d);
+        let back = v.to_datum().unwrap();
+        assert!(back.equal(&d));
+    }
+
+    #[test]
+    fn equality_predicates() {
+        let a = Value::list([Value::Fixnum(1)]);
+        let b = Value::list([Value::Fixnum(1)]);
+        assert!(!a.eq_p(&b));
+        assert!(a.equal_p(&b));
+        assert!(Value::Flonum(2.0).eql_p(&Value::Flonum(2.0)));
+        assert!(!Value::Fixnum(2).eql_p(&Value::Flonum(2.0)));
+        assert_eq!(a, b); // PartialEq is equal_p
+    }
+
+    #[test]
+    fn display_values() {
+        assert_eq!(Value::Nil.to_string(), "()");
+        assert_eq!(Value::Fixnum(3).to_string(), "3");
+        assert_eq!(Value::Flonum(3.0).to_string(), "3.0");
+        assert_eq!(
+            Value::Func(Function::Global("car".into())).to_string(),
+            "#<function car>"
+        );
+    }
+
+    #[test]
+    fn shared_mutation() {
+        let c = Value::cons(Value::Fixnum(1), Value::Nil);
+        let alias = c.clone();
+        if let Value::Cons(cell) = &c {
+            *cell.car.borrow_mut() = Value::Fixnum(9);
+        }
+        if let Value::Cons(cell) = &alias {
+            assert!(cell.car.borrow().eql_p(&Value::Fixnum(9)));
+        }
+    }
+}

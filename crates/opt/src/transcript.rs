@@ -1,0 +1,80 @@
+//! The paper-style transformation transcript.
+//!
+//! §7 of the paper reproduces the compiler's debugging transcript:
+//!
+//! ```text
+//! ;**** Optimizing this form: (+$f a b c)
+//! ;**** to be this form: (+$f (+$f c b) a)
+//! ;**** courtesy of META-EVALUATE-ASSOC-COMMUT-CALL
+//! ```
+//!
+//! [`Transcript`] records one [`TranscriptEntry`] per applied
+//! transformation, with back-translated before/after forms.
+
+use std::fmt;
+
+/// One applied transformation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TranscriptEntry {
+    /// The rule name, in the paper's META-… style.
+    pub rule: &'static str,
+    /// Back-translated source of the form before the rewrite.
+    pub before: String,
+    /// Back-translated source after the rewrite.
+    pub after: String,
+}
+
+/// The transformation log of one optimization run.
+#[derive(Clone, Debug, Default)]
+pub struct Transcript {
+    /// Entries in application order.
+    pub entries: Vec<TranscriptEntry>,
+}
+
+impl Transcript {
+    /// Records an applied transformation.
+    pub fn record(&mut self, rule: &'static str, before: String, after: String) {
+        self.entries.push(TranscriptEntry {
+            rule,
+            before,
+            after,
+        });
+    }
+
+    /// How many times `rule` fired.
+    pub fn count(&self, rule: &str) -> usize {
+        self.entries.iter().filter(|e| e.rule == rule).count()
+    }
+}
+
+impl fmt::Display for Transcript {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for e in &self.entries {
+            writeln!(f, ";**** Optimizing this form: {}", e.before)?;
+            writeln!(f, ";**** to be this form: {}", e.after)?;
+            writeln!(f, ";**** courtesy of {}", e.rule)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_paper_style() {
+        let mut t = Transcript::default();
+        t.record(
+            "META-EVALUATE-ASSOC-COMMUT-CALL",
+            "(+$f a b c)".into(),
+            "(+$f (+$f c b) a)".into(),
+        );
+        let s = t.to_string();
+        assert!(s.contains(";**** Optimizing this form: (+$f a b c)"));
+        assert!(s.contains(";**** to be this form: (+$f (+$f c b) a)"));
+        assert!(s.contains(";**** courtesy of META-EVALUATE-ASSOC-COMMUT-CALL"));
+        assert_eq!(t.count("META-EVALUATE-ASSOC-COMMUT-CALL"), 1);
+        assert_eq!(t.count("META-CALL-LAMBDA"), 0);
+    }
+}

@@ -1,0 +1,197 @@
+//! Symbol interning.
+//!
+//! Symbols are the identifiers of Lisp.  Interning maps each distinct
+//! spelling to a single shared allocation so that symbol comparison is a
+//! pointer compare.  The paper's compiler keeps *variables* distinct from
+//! *symbols* (two variables with the same name may be distinct because of
+//! scoping rules); that distinction lives in `s1lisp-ast`, not here.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::rc::Rc;
+
+/// An interned symbol.
+///
+/// Equality is by spelling, with a pointer-compare fast path for symbols
+/// from the same interner.  Distinctness of compiler-generated symbols is
+/// guaranteed because [`Interner::gensym`] always produces a fresh
+/// spelling; user-level variable identity is tracked by `VarId` in the
+/// tree, not by symbol.
+///
+/// # Examples
+///
+/// ```
+/// use s1lisp_reader::Interner;
+///
+/// let mut i = Interner::new();
+/// let a = i.intern("car");
+/// assert_eq!(a, i.intern("car"));
+/// assert_eq!(a.as_str(), "car");
+/// assert_eq!(a.to_string(), "car");
+/// ```
+#[derive(Clone, Eq)]
+pub struct Symbol(Rc<str>);
+
+impl Symbol {
+    /// The spelling of this symbol.
+    #[inline]
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl PartialEq for Symbol {
+    #[inline]
+    fn eq(&self, other: &Symbol) -> bool {
+        Rc::ptr_eq(&self.0, &other.0) || self.0 == other.0
+    }
+}
+
+impl Hash for Symbol {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.0.hash(state);
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Symbol({})", self.0)
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl AsRef<str> for Symbol {
+    fn as_ref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+/// A string-to-[`Symbol`] interner.
+///
+/// All symbols appearing in one program must come from one interner;
+/// symbols interned by different interners are never equal even when
+/// spelled alike.
+#[derive(Debug, Default, Clone)]
+pub struct Interner {
+    map: HashMap<Box<str>, Symbol>,
+    gensym_counter: u32,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Interner {
+        Interner::default()
+    }
+
+    /// Interns `name`, returning its symbol.  Idempotent.
+    pub fn intern(&mut self, name: &str) -> Symbol {
+        if let Some(sym) = self.map.get(name) {
+            return sym.clone();
+        }
+        let sym = Symbol(Rc::from(name));
+        self.map.insert(name.into(), sym.clone());
+        sym
+    }
+
+    /// Looks up a symbol without interning, returning `None` if `name`
+    /// has never been interned.
+    pub fn get(&self, name: &str) -> Option<Symbol> {
+        self.map.get(name).cloned()
+    }
+
+    /// Number of distinct spellings interned so far.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether no symbols have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Creates a fresh symbol guaranteed distinct from every symbol
+    /// interned so far, with a spelling derived from `stem`.
+    ///
+    /// Used by the compiler for the join-point functions (`f1`, `f2`, …)
+    /// introduced by the if-distribution transformation, and for uniform
+    /// alpha-renaming.
+    pub fn gensym(&mut self, stem: &str) -> Symbol {
+        loop {
+            self.gensym_counter += 1;
+            let candidate = format!("{stem}%{}", self.gensym_counter);
+            if self.map.contains_key(candidate.as_str()) {
+                continue;
+            }
+            return self.intern(&candidate);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut i = Interner::new();
+        let a = i.intern("foo");
+        let b = i.intern("foo");
+        let c = i.intern("bar");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn name_round_trips() {
+        let mut i = Interner::new();
+        for s in ["+$f", "sin$c", "quadratic", "f%1"] {
+            let sym = i.intern(s);
+            assert_eq!(sym.as_str(), s);
+        }
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let mut i = Interner::new();
+        assert_eq!(i.get("nope"), None);
+        let s = i.intern("yes");
+        assert_eq!(i.get("yes"), Some(s));
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn gensym_is_fresh() {
+        let mut i = Interner::new();
+        i.intern("f%1"); // try to collide
+        let g1 = i.gensym("f");
+        let g2 = i.gensym("f");
+        assert_ne!(g1, g2);
+        assert_ne!(g1.as_str(), "f%1");
+        assert!(g1.as_str().starts_with("f%"));
+    }
+
+    #[test]
+    fn symbols_compare_by_spelling_across_interners() {
+        let mut i1 = Interner::new();
+        let mut i2 = Interner::new();
+        assert_eq!(i1.intern("x"), i2.intern("x"));
+        assert_ne!(i1.intern("x"), i2.intern("y"));
+    }
+
+    #[test]
+    fn hash_is_consistent_with_eq() {
+        use std::collections::HashSet;
+        let mut i = Interner::new();
+        let mut set = HashSet::new();
+        set.insert(i.intern("a"));
+        assert!(set.contains(&i.intern("a")));
+        assert!(!set.contains(&i.intern("b")));
+    }
+}

@@ -1,0 +1,223 @@
+//! Printing of data, both flat ([`Display`]) and line-broken ([`pretty`]).
+//!
+//! The paper's compiler back-translates its internal tree into source form
+//! for its debugging transcript; the [`pretty`] printer reproduces that
+//! output style (short forms on one line, long forms broken with operands
+//! aligned).
+//!
+//! [`Display`]: std::fmt::Display
+
+use std::fmt;
+
+use crate::datum::Datum;
+
+/// Writes `d` in standard flat notation.
+pub(crate) fn write_datum(f: &mut fmt::Formatter<'_>, d: &Datum) -> fmt::Result {
+    match d {
+        Datum::Nil => f.write_str("()"),
+        Datum::Fixnum(n) => write!(f, "{n}"),
+        Datum::Flonum(x) => f.write_str(&format_flonum(*x)),
+        Datum::Sym(s) => write!(f, "{s}"),
+        Datum::Str(s) => write!(f, "{:?}", &**s),
+        Datum::Char(c) => write!(f, "#\\{c}"),
+        Datum::Cons(_) => write_list(f, d),
+    }
+}
+
+/// Formats a flonum so it reads back as a flonum (always shows a decimal
+/// point or exponent).
+pub(crate) fn format_flonum(x: f64) -> String {
+    if x.is_nan() {
+        return "#.flonum-nan".to_string();
+    }
+    if x.is_infinite() {
+        return if x > 0.0 {
+            "#.flonum-inf".to_string()
+        } else {
+            "#.flonum-neg-inf".to_string()
+        };
+    }
+    let magnitude = x.abs();
+    if magnitude != 0.0 && !(1e-5..1e21).contains(&magnitude) {
+        return format!("{x:e}");
+    }
+    let s = format!("{x}");
+    if s.contains('.') || s.contains('e') || s.contains('E') {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+fn write_list(f: &mut fmt::Formatter<'_>, d: &Datum) -> fmt::Result {
+    // (quote x) prints as 'x, matching the reader's abbreviation.
+    if let Some(inner) = quoted_form(d) {
+        write!(f, "'")?;
+        return write_datum(f, &inner);
+    }
+    f.write_str("(")?;
+    let mut cur = d.clone();
+    let mut first = true;
+    loop {
+        match cur {
+            Datum::Cons(c) => {
+                if !first {
+                    f.write_str(" ")?;
+                }
+                first = false;
+                write_datum(f, &c.car())?;
+                cur = c.cdr();
+            }
+            Datum::Nil => break,
+            other => {
+                f.write_str(" . ")?;
+                write_datum(f, &other)?;
+                break;
+            }
+        }
+    }
+    f.write_str(")")
+}
+
+/// Returns `Some(x)` when `d` is exactly `(quote x)`.
+fn quoted_form(d: &Datum) -> Option<Datum> {
+    let c = d.as_cons()?;
+    let head = c.car();
+    let sym = head.as_symbol()?;
+    if sym.as_str() != "quote" {
+        return None;
+    }
+    let rest = c.cdr();
+    let rest = rest.as_cons()?;
+    if !rest.cdr().is_nil() {
+        return None;
+    }
+    Some(rest.car())
+}
+
+/// Pretty-prints a datum with line breaking at `width` columns.
+///
+/// This is the printer used for the compiler's back-translation transcript
+/// (§4.1 of the paper).  Forms that fit within the width print flat;
+/// otherwise the head stays on the first line and arguments are indented
+/// beneath it.
+///
+/// # Examples
+///
+/// ```
+/// use s1lisp_reader::{pretty, read_str, Interner};
+///
+/// let mut i = Interner::new();
+/// let d = read_str("(if (< d 0) () (list (/ (- b) (* 2.0 a))))", &mut i).unwrap();
+/// assert_eq!(pretty(&d, 80), "(if (< d 0) () (list (/ (- b) (* 2.0 a))))");
+/// let broken = pretty(&d, 20);
+/// assert!(broken.contains('\n'));
+/// ```
+pub fn pretty(d: &Datum, width: usize) -> String {
+    let mut out = String::new();
+    pp(&mut out, d, 0, width);
+    out
+}
+
+fn pp(out: &mut String, d: &Datum, indent: usize, width: usize) {
+    let flat = d.to_string();
+    if indent + flat.len() <= width || d.is_atom() {
+        out.push_str(&flat);
+        return;
+    }
+    if flat.starts_with('\'') {
+        // Quoted form too long: print flat anyway (data, not code).
+        out.push_str(&flat);
+        return;
+    }
+    let Some(items) = d.proper_list() else {
+        out.push_str(&flat);
+        return;
+    };
+    if items.is_empty() {
+        out.push_str("()");
+        return;
+    }
+    out.push('(');
+    let head_flat = items[0].to_string();
+    
+    // Special forms that keep their first argument(s) on the head line.
+    let hang = match items[0].as_symbol().map(|s| s.as_str().to_owned()) {
+        Some(s) if matches!(s.as_str(), "defun" | "lambda" | "let" | "if" | "setq") => 2,
+        _ => 1,
+    };
+    pp(out, &items[0], indent + 1, width);
+    let mut written = 1;
+    if hang == 2 && items.len() > 1 {
+        out.push(' ');
+        let col = indent + 1 + head_flat.len() + 1;
+        pp(out, &items[1], col, width);
+        written = 2;
+    }
+    let body_indent = indent + 2;
+    for item in &items[written..] {
+        out.push('\n');
+        out.push_str(&" ".repeat(body_indent));
+        pp(out, item, body_indent, width);
+    }
+    out.push(')');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{read_str, Interner};
+
+    #[test]
+    fn flonums_round_trip_textually() {
+        assert_eq!(format_flonum(3.0), "3.0");
+        assert_eq!(format_flonum(0.159154942), "0.159154942");
+        assert_eq!(format_flonum(-2.5e30), "-2.5e30");
+    }
+
+    #[test]
+    fn quote_abbreviation() {
+        let mut i = Interner::new();
+        let d = read_str("(quote (a b))", &mut i).unwrap();
+        assert_eq!(d.to_string(), "'(a b)");
+    }
+
+    #[test]
+    fn dotted_pair_prints() {
+        let d = Datum::cons(Datum::Fixnum(1), Datum::Fixnum(2));
+        assert_eq!(d.to_string(), "(1 . 2)");
+    }
+
+    #[test]
+    fn nil_prints_as_empty_list() {
+        assert_eq!(Datum::Nil.to_string(), "()");
+    }
+
+    #[test]
+    fn pretty_flat_when_it_fits() {
+        let mut i = Interner::new();
+        let d = read_str("(+ 1 2)", &mut i).unwrap();
+        assert_eq!(pretty(&d, 80), "(+ 1 2)");
+    }
+
+    #[test]
+    fn pretty_breaks_long_forms() {
+        let mut i = Interner::new();
+        let d = read_str(
+            "(defun quadratic (a b c) (let ((d (- (* b b) (* 4.0 a c)))) d))",
+            &mut i,
+        )
+        .unwrap();
+        let s = pretty(&d, 40);
+        assert!(s.lines().count() > 1);
+        // Re-reading the pretty output yields an equal datum.
+        let back = read_str(&s, &mut i).unwrap();
+        assert!(back.equal(&d));
+    }
+
+    #[test]
+    fn strings_print_escaped() {
+        let d = Datum::string("a\"b");
+        assert_eq!(d.to_string(), r#""a\"b""#);
+    }
+}

@@ -1,0 +1,476 @@
+//! The reader: text → [`Datum`].
+//!
+//! Accepts the subset of MACLISP/Common Lisp read syntax the paper uses:
+//! lists, dotted pairs, fixnums, flonums, symbols (including the
+//! type-specific operator spellings like `+$f` and `sin$c`), strings,
+//! characters (`#\a`), `'x` quote abbreviation, `#'f` function
+//! abbreviation, and `;` comments.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::datum::Datum;
+use crate::interner::Interner;
+
+/// An error produced while reading, with 1-based line and column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReadError {
+    /// What went wrong.
+    pub message: String,
+    /// 1-based line of the offending character.
+    pub line: usize,
+    /// 1-based column of the offending character.
+    pub column: usize,
+}
+
+impl fmt::Display for ReadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "read error at {}:{}: {}", self.line, self.column, self.message)
+    }
+}
+
+impl std::error::Error for ReadError {}
+
+/// Reads the first datum from `source`.
+///
+/// # Errors
+///
+/// Returns a [`ReadError`] on malformed input or if `source` contains no
+/// datum at all.
+pub fn read_str(source: &str, interner: &mut Interner) -> Result<Datum, ReadError> {
+    let mut r = Reader::new(source);
+    match r.read(interner)? {
+        Some(d) => Ok(d),
+        None => Err(r.error("unexpected end of input")),
+    }
+}
+
+/// Reads every datum from `source`.
+///
+/// # Errors
+///
+/// Returns a [`ReadError`] on malformed input.
+pub fn read_all_str(source: &str, interner: &mut Interner) -> Result<Vec<Datum>, ReadError> {
+    let mut r = Reader::new(source);
+    let mut out = Vec::new();
+    while let Some(d) = r.read(interner)? {
+        out.push(d);
+    }
+    Ok(out)
+}
+
+/// A resumable reader over a source string.
+///
+/// # Examples
+///
+/// ```
+/// use s1lisp_reader::{Interner, Reader};
+///
+/// let mut i = Interner::new();
+/// let mut r = Reader::new("(a) (b)");
+/// assert_eq!(r.read(&mut i).unwrap().unwrap().to_string(), "(a)");
+/// assert_eq!(r.read(&mut i).unwrap().unwrap().to_string(), "(b)");
+/// assert!(r.read(&mut i).unwrap().is_none());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Reader<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    line: usize,
+    column: usize,
+    source: std::marker::PhantomData<&'a str>,
+}
+
+impl<'a> Reader<'a> {
+    /// Creates a reader over `source`.
+    pub fn new(source: &'a str) -> Reader<'a> {
+        Reader {
+            chars: source.chars().collect(),
+            pos: 0,
+            line: 1,
+            column: 1,
+            source: std::marker::PhantomData,
+        }
+    }
+
+    fn error(&self, message: &str) -> ReadError {
+        ReadError {
+            message: message.to_string(),
+            line: self.line,
+            column: self.column,
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.column = 1;
+        } else {
+            self.column += 1;
+        }
+        Some(c)
+    }
+
+    fn skip_blank(&mut self) {
+        while let Some(c) = self.peek() {
+            if c.is_whitespace() {
+                self.bump();
+            } else if c == ';' {
+                while let Some(c) = self.peek() {
+                    if c == '\n' {
+                        break;
+                    }
+                    self.bump();
+                }
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Reads the next datum, or `None` at end of input.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ReadError`] on malformed input (unbalanced parens,
+    /// bad dotted syntax, unterminated string, …).
+    pub fn read(&mut self, interner: &mut Interner) -> Result<Option<Datum>, ReadError> {
+        self.skip_blank();
+        let Some(c) = self.peek() else {
+            return Ok(None);
+        };
+        match c {
+            '(' => {
+                self.bump();
+                self.read_list(interner).map(Some)
+            }
+            ')' => Err(self.error("unbalanced close parenthesis")),
+            '\'' => {
+                self.bump();
+                let inner = self.require(interner, "datum after quote")?;
+                Ok(Some(Datum::list([
+                    Datum::Sym(interner.intern("quote")),
+                    inner,
+                ])))
+            }
+            '"' => self.read_string().map(Some),
+            '#' => self.read_hash(interner).map(Some),
+            _ => self.read_atom(interner).map(Some),
+        }
+    }
+
+    fn require(&mut self, interner: &mut Interner, what: &str) -> Result<Datum, ReadError> {
+        match self.read(interner)? {
+            Some(d) => Ok(d),
+            None => Err(self.error(&format!("unexpected end of input, wanted {what}"))),
+        }
+    }
+
+    fn read_list(&mut self, interner: &mut Interner) -> Result<Datum, ReadError> {
+        let mut items = Vec::new();
+        let mut tail = Datum::Nil;
+        loop {
+            self.skip_blank();
+            match self.peek() {
+                None => return Err(self.error("unterminated list")),
+                Some(')') => {
+                    self.bump();
+                    break;
+                }
+                Some('.') if self.is_lone_dot() => {
+                    self.bump();
+                    if items.is_empty() {
+                        return Err(self.error("dot at start of list"));
+                    }
+                    tail = self.require(interner, "datum after dot")?;
+                    self.skip_blank();
+                    if self.peek() != Some(')') {
+                        return Err(self.error("more than one datum after dot"));
+                    }
+                    self.bump();
+                    break;
+                }
+                Some(_) => items.push(self.require(interner, "list element")?),
+            }
+        }
+        let mut out = tail;
+        for item in items.into_iter().rev() {
+            out = Datum::cons(item, out);
+        }
+        Ok(out)
+    }
+
+    /// True when the `.` at the cursor is a standalone dot (dotted-pair
+    /// marker) rather than the start of a symbol or flonum like `.5`.
+    fn is_lone_dot(&self) -> bool {
+        match self.chars.get(self.pos + 1) {
+            None => true,
+            Some(c) => c.is_whitespace() || *c == ')' || *c == '(',
+        }
+    }
+
+    fn read_string(&mut self) -> Result<Datum, ReadError> {
+        self.bump(); // opening quote
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.error("unterminated string")),
+                Some('"') => break,
+                Some('\\') => match self.bump() {
+                    None => return Err(self.error("unterminated string escape")),
+                    Some('n') => s.push('\n'),
+                    Some('t') => s.push('\t'),
+                    Some(c) => s.push(c),
+                },
+                Some(c) => s.push(c),
+            }
+        }
+        Ok(Datum::string(&s))
+    }
+
+    fn read_hash(&mut self, interner: &mut Interner) -> Result<Datum, ReadError> {
+        self.bump(); // '#'
+        match self.peek() {
+            Some('\\') => {
+                self.bump();
+                let Some(first) = self.bump() else {
+                    return Err(self.error("unterminated character literal"));
+                };
+                // Multi-character names: #\space, #\newline, #\tab.
+                if first.is_alphabetic() {
+                    let mut name = String::from(first);
+                    while let Some(c) = self.peek() {
+                        if c.is_alphanumeric() || c == '-' {
+                            name.push(c);
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    if name.chars().count() == 1 {
+                        return Ok(Datum::Char(first));
+                    }
+                    return match name.to_ascii_lowercase().as_str() {
+                        "space" => Ok(Datum::Char(' ')),
+                        "newline" => Ok(Datum::Char('\n')),
+                        "tab" => Ok(Datum::Char('\t')),
+                        _ => Err(self.error(&format!("unknown character name #\\{name}"))),
+                    };
+                }
+                Ok(Datum::Char(first))
+            }
+            Some('\'') => {
+                self.bump();
+                let inner = self.require(interner, "datum after #'")?;
+                Ok(Datum::list([
+                    Datum::Sym(interner.intern("function")),
+                    inner,
+                ]))
+            }
+            _ => Err(self.error("unsupported # syntax")),
+        }
+    }
+
+    fn read_atom(&mut self, interner: &mut Interner) -> Result<Datum, ReadError> {
+        let mut token = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_whitespace() || c == '(' || c == ')' || c == ';' || c == '"' || c == '\'' {
+                break;
+            }
+            token.push(c);
+            self.bump();
+        }
+        debug_assert!(!token.is_empty());
+        Ok(parse_atom(&token, interner))
+    }
+}
+
+/// Classifies a token as fixnum, flonum, or symbol.  `nil` reads as the
+/// empty list, matching MACLISP.
+fn parse_atom(token: &str, interner: &mut Interner) -> Datum {
+    if token.eq_ignore_ascii_case("nil") {
+        return Datum::Nil;
+    }
+    if let Ok(n) = i64::from_str(token) {
+        return Datum::Fixnum(n);
+    }
+    if looks_like_flonum(token) {
+        if let Ok(x) = f64::from_str(token) {
+            return Datum::Flonum(x);
+        }
+    }
+    Datum::Sym(interner.intern(token))
+}
+
+/// A token is a flonum candidate only if it starts like a number; this
+/// keeps symbols such as `1+` and `-` from being misread.
+fn looks_like_flonum(token: &str) -> bool {
+    let rest = token.strip_prefix(['-', '+']).unwrap_or(token);
+    let mut has_digit = false;
+    let mut has_marker = false;
+    for c in rest.chars() {
+        match c {
+            '0'..='9' => has_digit = true,
+            '.' | 'e' | 'E' => has_marker = true,
+            '-' | '+' => {}
+            _ => return false,
+        }
+    }
+    has_digit && has_marker
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rt(src: &str) -> String {
+        let mut i = Interner::new();
+        read_str(src, &mut i).unwrap().to_string()
+    }
+
+    #[test]
+    fn reads_atoms() {
+        assert_eq!(rt("42"), "42");
+        assert_eq!(rt("-17"), "-17");
+        assert_eq!(rt("3.0"), "3.0");
+        assert_eq!(rt("0.159154942"), "0.159154942");
+        assert_eq!(rt("foo"), "foo");
+        assert_eq!(rt("+$f"), "+$f");
+        assert_eq!(rt("1+"), "1+");
+        assert_eq!(rt("-"), "-");
+        assert_eq!(rt(".5"), "0.5");
+        assert_eq!(rt("nil"), "()");
+    }
+
+    #[test]
+    fn reads_lists_and_dots() {
+        assert_eq!(rt("(a b c)"), "(a b c)");
+        assert_eq!(rt("(a . b)"), "(a . b)");
+        assert_eq!(rt("(a b . c)"), "(a b . c)");
+        assert_eq!(rt("()"), "()");
+        assert_eq!(rt("( a ( b ) )"), "(a (b))");
+    }
+
+    #[test]
+    fn quote_and_function_abbreviations() {
+        assert_eq!(rt("'x"), "'x");
+        assert_eq!(rt("'(1 2)"), "'(1 2)");
+        let mut i = Interner::new();
+        let d = read_str("#'car", &mut i).unwrap();
+        assert_eq!(d.to_string(), "(function car)");
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(rt("; hi\n (a ; mid\n b)"), "(a b)");
+    }
+
+    #[test]
+    fn strings_and_chars() {
+        assert_eq!(rt("\"hi\\nthere\""), "\"hi\\nthere\"");
+        assert_eq!(rt("#\\a"), "#\\a");
+        assert_eq!(rt("#\\space"), "#\\ ");
+    }
+
+    #[test]
+    fn read_all_reads_every_form() {
+        let mut i = Interner::new();
+        let all = read_all_str("(a) 2 three", &mut i).unwrap();
+        assert_eq!(all.len(), 3);
+    }
+
+    #[test]
+    fn errors_carry_position() {
+        let mut i = Interner::new();
+        let e = read_str("(a\n  b", &mut i).unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("unterminated"));
+        assert!(read_str(")", &mut i).is_err());
+        assert!(read_str("(a . )", &mut i).is_err());
+        assert!(read_str("(a . b c)", &mut i).is_err());
+        assert!(read_str("(. a)", &mut i).is_err());
+    }
+
+    #[test]
+    fn paper_example_round_trips() {
+        let src = "(defun quadratic (a b c)
+                     (let ((d (- (* b b) (* 4.0 a c))))
+                       (cond ((< d 0) '())
+                             ((= d 0) (list (/ (- b) (* 2.0 a))))
+                             (t (let ((two-a (* 2.0 a)) (sd (sqrt d)))
+                                  (list (/ (+ (- b) sd) two-a)
+                                        (/ (- (- b) sd) two-a)))))))";
+        let mut i = Interner::new();
+        let d = read_str(src, &mut i).unwrap();
+        let printed = d.to_string();
+        let back = read_str(&printed, &mut i).unwrap();
+        assert!(back.equal(&d));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn datum_text(depth: u32) -> BoxedStrategy<String> {
+        let leaf = prop_oneof![
+            any::<i64>().prop_map(|n| n.to_string()),
+            proptest::num::f64::NORMAL.prop_map(crate::print::format_flonum),
+            "[a-z+*/<>=-][a-z0-9+*/<>=$&%.-]{0,8}".prop_filter(
+                "not a number or dot",
+                |s| {
+                    s != "." && i64::from_str(s).is_err() && f64::from_str(s).is_err()
+                }
+            ),
+            Just("()".to_string()),
+        ];
+        leaf.prop_recursive(depth, 32, 4, |inner| {
+            prop_oneof![
+                prop::collection::vec(inner.clone(), 0..5)
+                    .prop_map(|items| format!("({})", items.join(" "))),
+                inner.prop_map(|s| format!("'{s}")),
+            ]
+        })
+        .boxed()
+    }
+
+    proptest! {
+        /// print ∘ read ∘ print ∘ read is stable, and the two reads are
+        /// `equal`.
+        #[test]
+        fn read_print_fixpoint(src in datum_text(3)) {
+            let mut i = Interner::new();
+            let d1 = read_str(&src, &mut i).unwrap();
+            let p1 = d1.to_string();
+            let d2 = read_str(&p1, &mut i).unwrap();
+            prop_assert!(d2.equal(&d1), "{} → {}", src, p1);
+            prop_assert_eq!(d2.to_string(), p1);
+        }
+
+        /// The pretty printer at any width re-reads to an equal datum.
+        #[test]
+        fn pretty_reparses(src in datum_text(3), width in 8usize..100) {
+            let mut i = Interner::new();
+            let d1 = read_str(&src, &mut i).unwrap();
+            let pretty = crate::print::pretty(&d1, width);
+            let d2 = read_str(&pretty, &mut i).unwrap();
+            prop_assert!(d2.equal(&d1), "{} → {}", src, pretty);
+        }
+
+        /// Flonum formatting round-trips exactly through the reader.
+        #[test]
+        fn flonum_text_round_trips(x in proptest::num::f64::NORMAL) {
+            let text = crate::print::format_flonum(x);
+            let mut i = Interner::new();
+            let d = read_str(&text, &mut i).unwrap();
+            prop_assert_eq!(d.as_flonum(), Some(x), "{}", text);
+        }
+    }
+}

@@ -1,0 +1,778 @@
+//! Instructions, operands, and registers.
+//!
+//! The instruction set is the subset of the S-1 the compiler targets,
+//! plus the run-time-system entry points that the real compiler reached
+//! through `%CALL`-style macros (Table 4).  Arithmetic obeys the S-1's
+//! "2½-address" constraint: "the three operands to ADD (for example) may
+//! be in three distinct places, provided that one of them is one of the
+//! two registers named RTA and RTB" (§3).
+
+use crate::word::{Tag, Word};
+
+/// A register name.  R0–R31 exist; a few have fixed conventions
+/// (mirroring §7's commentary): SP the stack pointer, FP the frame
+/// pointer, TP the temporaries pointer, RTA/RTB the 2½-address
+/// bottleneck registers (general registers 4 and 6 on the real machine),
+/// CP the (callee) procedure register, A the argument/value register, EV
+/// the closure-environment register.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Reg(pub u8);
+
+impl Reg {
+    /// Stack pointer.
+    pub const SP: Reg = Reg(1);
+    /// Frame pointer (arguments live at `FP+0 … FP+n-1`).
+    pub const FP: Reg = Reg(2);
+    /// Temporaries pointer (frame-local scratch and pdl-number slots).
+    pub const TP: Reg = Reg(3);
+    /// First 2½-address bottleneck register (general register 4).
+    pub const RTA: Reg = Reg(4);
+    /// Procedure register.
+    pub const CP: Reg = Reg(5);
+    /// Second 2½-address bottleneck register (general register 6).
+    pub const RTB: Reg = Reg(6);
+    /// Argument / return-value register.
+    pub const A: Reg = Reg(7);
+    /// Closure environment register.
+    pub const EV: Reg = Reg(8);
+    /// First general-purpose register available to the allocator.
+    pub const FIRST_GP: u8 = 9;
+
+    /// Whether this is one of the RT (bottleneck) registers.
+    pub fn is_rt(self) -> bool {
+        self == Reg::RTA || self == Reg::RTB
+    }
+}
+
+impl std::fmt::Debug for Reg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            Reg::SP => write!(f, "SP"),
+            Reg::FP => write!(f, "FP"),
+            Reg::TP => write!(f, "TP"),
+            Reg::RTA => write!(f, "RTA"),
+            Reg::CP => write!(f, "CP"),
+            Reg::RTB => write!(f, "RTB"),
+            Reg::A => write!(f, "A"),
+            Reg::EV => write!(f, "EV"),
+            Reg(n) => write!(f, "R{n}"),
+        }
+    }
+}
+
+/// An operand.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Operand {
+    /// A register.
+    Reg(Reg),
+    /// An assembler constant (the hardware would fetch it from an
+    /// extended instruction word).
+    Const(Word),
+    /// Memory at `reg + offset` (stack slots are `FP`/`TP`/`SP`-relative).
+    Ind(Reg, i32),
+    /// The S-1's indexed mode (§3): memory at
+    /// `(base + offset) + (index << shift)` — "in one operand, fetch from
+    /// a record a component that is a pointer to an array, … adjust the
+    /// index for the array's element size, and fetch the selected array
+    /// element."
+    Idx {
+        /// Base register.
+        base: Reg,
+        /// Signed displacement added to the base.
+        off: i32,
+        /// Index register (its value is left-shifted).
+        idx: Reg,
+        /// Shift amount (0–3 on the S-1).
+        shift: u8,
+    },
+    /// The full S-1 mode with a memory-resident index: memory at
+    /// `(base + off) + (mem[idx_base + idx_off] << shift)` — the
+    /// `(.Rb+bo)+((.(.Rn+(no^2)))^sh)` calculation of §3, which lets the
+    /// paper's harder matrix statement write `FADD Z(TEMP),RTA,C(RTB)`
+    /// with the Z subscript parked in a stack slot.
+    IdxMem {
+        /// Base register.
+        base: Reg,
+        /// Signed displacement added to the base.
+        off: i32,
+        /// Register addressing the index word.
+        idx_base: Reg,
+        /// Displacement of the index word.
+        idx_off: i32,
+        /// Shift applied to the fetched index.
+        shift: u8,
+    },
+}
+
+impl Operand {
+    /// Argument slot `i` of the current frame.
+    pub fn arg(i: u16) -> Operand {
+        Operand::Ind(Reg::FP, i32::from(i))
+    }
+
+    /// Frame temporary slot `i` (TP-relative).
+    pub fn temp(i: u16) -> Operand {
+        Operand::Ind(Reg::TP, i32::from(i))
+    }
+
+    /// An immediate fixnum constant in pointer format.
+    pub fn fixnum(n: i64) -> Operand {
+        Operand::Const(Word::fixnum(n))
+    }
+
+    /// A raw floating-point constant.
+    pub fn float(x: f64) -> Operand {
+        Operand::Const(Word::F(x))
+    }
+
+    /// The nil constant.
+    pub fn nil() -> Operand {
+        Operand::Const(Word::NIL)
+    }
+
+    /// Is this operand a memory reference?
+    pub fn is_mem(self) -> bool {
+        matches!(self, Operand::Ind(..) | Operand::Idx { .. })
+    }
+
+    /// Is this operand the given register?
+    pub fn is_reg(self, r: Reg) -> bool {
+        self == Operand::Reg(r)
+    }
+}
+
+/// A branch condition comparing two numeric operands.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Cond {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Less than.
+    Lt,
+    /// Less than or equal.
+    Le,
+    /// Greater than.
+    Gt,
+    /// Greater than or equal.
+    Ge,
+}
+
+/// A branch target: an index into the owning function's label table
+/// (bound by [`Asm::bind`](crate::Asm::bind)).
+pub type Label = u32;
+
+/// The target of a call.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum CallTarget {
+    /// A named global function (index into the program's function name
+    /// table; resolution is late, as in Lisp).
+    Func(u32),
+    /// A computed function or closure object.
+    Value(Operand),
+}
+
+/// One machine instruction.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Insn {
+    // ---- data movement ----
+    /// `dst := src`.
+    Mov {
+        /// Destination.
+        dst: Operand,
+        /// Source.
+        src: Operand,
+    },
+    /// Table 4's `MOVP`: "creates a pointer to its second operand,
+    /// installing the indicated type in the tag field."  When `src`
+    /// addresses a stack slot the result is a pdl (unsafe) pointer.
+    Movp {
+        /// Tag to install.
+        tag: Tag,
+        /// Destination.
+        dst: Operand,
+        /// Addressed operand (must be a memory operand).
+        src: Operand,
+    },
+    // ---- integer arithmetic (2½-address) ----
+    /// Integer add: `dst := a + b`.
+    Add {
+        /// Destination.
+        dst: Operand,
+        /// First source.
+        a: Operand,
+        /// Second source.
+        b: Operand,
+    },
+    /// Integer subtract: `dst := a - b`.
+    Sub {
+        /// Destination.
+        dst: Operand,
+        /// First source.
+        a: Operand,
+        /// Second source.
+        b: Operand,
+    },
+    /// Integer multiply: `dst := a * b`.
+    Mult {
+        /// Destination.
+        dst: Operand,
+        /// First source.
+        a: Operand,
+        /// Second source.
+        b: Operand,
+    },
+    /// Integer divide (truncating; the S-1 had all sixteen rounding
+    /// modes as primitive instructions, §3): `dst := a / b`.
+    Div {
+        /// Destination.
+        dst: Operand,
+        /// Dividend.
+        a: Operand,
+        /// Divisor.
+        b: Operand,
+    },
+    /// Integer division, floor rounding (`f l o o r` is "a primitive
+    /// instruction", §3).
+    DivFloor {
+        /// Destination.
+        dst: Operand,
+        /// Dividend.
+        a: Operand,
+        /// Divisor.
+        b: Operand,
+    },
+    /// Integer remainder (truncating pair of [`Insn::Div`]).
+    Rem {
+        /// Destination.
+        dst: Operand,
+        /// Dividend.
+        a: Operand,
+        /// Divisor.
+        b: Operand,
+    },
+    /// Integer remainder, floor rounding (`mod`).
+    ModFloor {
+        /// Destination.
+        dst: Operand,
+        /// Dividend.
+        a: Operand,
+        /// Divisor.
+        b: Operand,
+    },
+    /// Integer negate: `dst := -src`.
+    Neg {
+        /// Destination.
+        dst: Operand,
+        /// Source.
+        src: Operand,
+    },
+    // ---- floating-point arithmetic (2½-address, raw floats) ----
+    /// Floating add.
+    FAdd {
+        /// Destination.
+        dst: Operand,
+        /// First source.
+        a: Operand,
+        /// Second source.
+        b: Operand,
+    },
+    /// Floating subtract.
+    FSub {
+        /// Destination.
+        dst: Operand,
+        /// First source.
+        a: Operand,
+        /// Second source.
+        b: Operand,
+    },
+    /// Floating multiply.
+    FMult {
+        /// Destination.
+        dst: Operand,
+        /// First source.
+        a: Operand,
+        /// Second source.
+        b: Operand,
+    },
+    /// Floating divide.
+    FDiv {
+        /// Destination.
+        dst: Operand,
+        /// First source.
+        a: Operand,
+        /// Second source.
+        b: Operand,
+    },
+    /// Floating maximum (Table 4's `FMAX`).
+    FMax {
+        /// Destination.
+        dst: Operand,
+        /// First source.
+        a: Operand,
+        /// Second source.
+        b: Operand,
+    },
+    /// Floating minimum.
+    FMin {
+        /// Destination.
+        dst: Operand,
+        /// First source.
+        a: Operand,
+        /// Second source.
+        b: Operand,
+    },
+    /// Floating negate.
+    FNeg {
+        /// Destination.
+        dst: Operand,
+        /// Source.
+        src: Operand,
+    },
+    /// The S-1 `SIN` instruction — argument in **cycles** (§7).
+    FSin {
+        /// Destination.
+        dst: Operand,
+        /// Source (cycles).
+        src: Operand,
+    },
+    /// Cosine, argument in cycles.
+    FCos {
+        /// Destination.
+        dst: Operand,
+        /// Source (cycles).
+        src: Operand,
+    },
+    /// Square root.
+    FSqrt {
+        /// Destination.
+        dst: Operand,
+        /// Source.
+        src: Operand,
+    },
+    /// Arctangent (radians).
+    FAtan {
+        /// Destination.
+        dst: Operand,
+        /// Source.
+        src: Operand,
+    },
+    /// e^x.
+    FExp {
+        /// Destination.
+        dst: Operand,
+        /// Source.
+        src: Operand,
+    },
+    /// Natural logarithm.
+    FLog {
+        /// Destination.
+        dst: Operand,
+        /// Source.
+        src: Operand,
+    },
+    /// Convert integer to float.
+    FloatIt {
+        /// Destination.
+        dst: Operand,
+        /// Source (raw integer or fixnum).
+        src: Operand,
+    },
+    /// Convert float to integer (truncating).
+    FixIt {
+        /// Destination.
+        dst: Operand,
+        /// Source (raw float).
+        src: Operand,
+    },
+    // ---- control ----
+    /// Unconditional jump.
+    Jmp {
+        /// Target label.
+        target: Label,
+    },
+    /// Compare-and-branch on a numeric condition.
+    JmpIf {
+        /// The condition.
+        cond: Cond,
+        /// Left operand.
+        a: Operand,
+        /// Right operand.
+        b: Operand,
+        /// Target label.
+        target: Label,
+    },
+    /// Branch if the operand is nil.
+    JmpNil {
+        /// Tested operand.
+        src: Operand,
+        /// Target label.
+        target: Label,
+    },
+    /// Branch if the operand is non-nil.
+    JmpNotNil {
+        /// Tested operand.
+        src: Operand,
+        /// Target label.
+        target: Label,
+    },
+    /// Branch if the operand carries the given tag (type dispatch).
+    JmpTag {
+        /// Tag to test.
+        tag: Tag,
+        /// Tested operand.
+        src: Operand,
+        /// Target label.
+        target: Label,
+    },
+    /// Branch if the two operands are `eq` (identical words).
+    JmpEq {
+        /// Left operand.
+        a: Operand,
+        /// Right operand.
+        b: Operand,
+        /// Target label.
+        target: Label,
+    },
+    /// Table 4's computed dispatch: jump to `targets[src]` (trap if out
+    /// of range).
+    Dispatch {
+        /// Raw index operand.
+        src: Operand,
+        /// Jump table.
+        targets: Vec<Label>,
+    },
+    // ---- stack and frames ----
+    /// Push a word.
+    Push {
+        /// Source.
+        src: Operand,
+    },
+    /// Pop into a destination.
+    Pop {
+        /// Destination.
+        dst: Operand,
+    },
+    /// Allocate `n` stack slots initialized to `init` (Table 4's frame
+    /// `ALLOC`s: nil for pointer slots, a `DTP-GC` marker for scratch).
+    AllocSlots {
+        /// Number of slots.
+        n: u16,
+        /// Initial word for each slot.
+        init: Word,
+    },
+    /// Pop `n` slots.
+    FreeSlots {
+        /// Number of slots.
+        n: u16,
+    },
+    /// Call a function with the top `nargs` stack words as arguments;
+    /// result arrives in register A.
+    Call {
+        /// Callee.
+        f: CallTarget,
+        /// Argument count.
+        nargs: u8,
+    },
+    /// The parameter-passing goto (§2): replace the current frame with
+    /// the top `nargs` stack words and jump to the callee.
+    TailCall {
+        /// Callee.
+        f: CallTarget,
+        /// Argument count.
+        nargs: u8,
+    },
+    /// Tail self-jump: move the top `nargs` words into the argument slots
+    /// and continue at a label of the *current* function (the compiled
+    /// form of `exptl`'s self-call).
+    TailJmp {
+        /// Argument count.
+        nargs: u8,
+        /// Restart label (usually the function body).
+        target: Label,
+    },
+    /// Return with the value in register A.
+    Ret,
+    /// Signal a run-time error (wrong argument count, wrong type…).
+    Trap {
+        /// Diagnostic message.
+        msg: &'static str,
+    },
+    // ---- run-time system ----
+    /// Allocate a cons cell.
+    ConsRt {
+        /// Destination (receives a Cons pointer).
+        dst: Operand,
+        /// Car value.
+        car: Operand,
+        /// Cdr value.
+        cdr: Operand,
+    },
+    /// `car` with type check (nil yields nil).
+    Car {
+        /// Destination.
+        dst: Operand,
+        /// Source list.
+        src: Operand,
+    },
+    /// `cdr` with type check (nil yields nil).
+    Cdr {
+        /// Destination.
+        dst: Operand,
+        /// Source list.
+        src: Operand,
+    },
+    /// Heap-allocate a flonum object from a raw float (the expensive
+    /// direction of §6.2: "conversion from a raw number back to pointer
+    /// format … may entail allocation of new storage and consequent
+    /// garbage-collection overhead").
+    BoxFlo {
+        /// Destination (receives a SingleFlonum pointer).
+        dst: Operand,
+        /// Raw float source.
+        src: Operand,
+    },
+    /// Dereference a flonum pointer to a raw float ("a simple indirection
+    /// operation", with a run-time type check).  Accepts an immediate
+    /// fixnum (converting it) so generic call sites degrade gracefully.
+    UnboxFlo {
+        /// Destination (raw float).
+        dst: Operand,
+        /// Flonum pointer (or already-raw float).
+        src: Operand,
+    },
+    /// §6.3's pointer certification: "either by determining at run time
+    /// that the pointer is safe (does not point into the stack) or, if
+    /// that fails, by copying the stack-allocated object into the heap."
+    Certify {
+        /// Destination (safe pointer).
+        dst: Operand,
+        /// Possibly-unsafe pointer.
+        src: Operand,
+    },
+    /// Allocate a heap value cell (for a variable that "must … be
+    /// heap-allocated" because closures refer to it, §4.4).
+    MakeCell {
+        /// Destination (Cell pointer).
+        dst: Operand,
+        /// Initial value.
+        src: Operand,
+    },
+    /// Read through a Cell pointer.
+    LoadCell {
+        /// Destination.
+        dst: Operand,
+        /// Cell pointer.
+        cell: Operand,
+    },
+    /// Write through a Cell pointer.
+    StoreCell {
+        /// Cell pointer.
+        cell: Operand,
+        /// Value.
+        src: Operand,
+    },
+    /// Construct a closure over the top `ncells` stack words (each a Cell
+    /// or value), for function `fnid`.
+    MakeClosure {
+        /// Destination (Closure pointer).
+        dst: Operand,
+        /// Code: index into the program's function name table.
+        fnid: u32,
+        /// Number of captured cells to pop.
+        ncells: u8,
+    },
+    /// Load captured cell `i` of the current closure (via register EV).
+    LoadEnv {
+        /// Destination.
+        dst: Operand,
+        /// Environment slot index.
+        index: u16,
+    },
+    /// Deep-bind a special variable: push (symbol, value) on the binding
+    /// stack (§4.4).
+    SpecBind {
+        /// Symbol table index.
+        sym: u32,
+        /// Bound value.
+        src: Operand,
+    },
+    /// Pop `n` special bindings.
+    SpecUnbind {
+        /// Number of bindings.
+        n: u16,
+    },
+    /// The deep-binding *search*: linear scan for the innermost binding
+    /// of the symbol, yielding a cached pointer to its value slot ("the
+    /// special variables needed by that function are searched for once
+    /// and pointers to the relevant stack locations are cached", §4.4).
+    SpecLookup {
+        /// Destination (Cell pointer into the binding stack or globals).
+        dst: Operand,
+        /// Symbol table index.
+        sym: u32,
+    },
+    /// An *uncached* special read: search plus load every time (the E10
+    /// baseline).
+    SpecRead {
+        /// Destination (the value).
+        dst: Operand,
+        /// Symbol table index.
+        sym: u32,
+    },
+    /// An uncached special write.
+    SpecWrite {
+        /// Symbol table index.
+        sym: u32,
+        /// Value.
+        src: Operand,
+    },
+    /// Call a run-time-system routine (a "known primitive operation" too
+    /// large to compile in line) on the top `nargs` stack words.
+    RtCall {
+        /// Routine name (from the primop table).
+        name: &'static str,
+        /// Argument count.
+        nargs: u8,
+        /// Destination for the result.
+        dst: Operand,
+    },
+    /// Establish a catch frame for non-local exit.
+    PushCatch {
+        /// Tag value.
+        tag: Operand,
+        /// Where control resumes when a throw lands here (throw value in
+        /// register A).
+        target: Label,
+    },
+    /// Remove the innermost catch frame (normal exit).
+    PopCatch,
+    /// Throw to the innermost catch with an `eql` tag.
+    Throw {
+        /// Tag value.
+        tag: Operand,
+        /// Thrown value.
+        value: Operand,
+    },
+    /// Load the global function object named by a symbol.
+    LoadFunction {
+        /// Destination.
+        dst: Operand,
+        /// Function name table index.
+        fnid: u32,
+    },
+    /// Collect the arguments beyond the first `fixed` into a fresh list
+    /// and leave it as the next frame slot (the `&rest` prologue).
+    ListifyArgs {
+        /// Number of fixed parameters preceding the rest list.
+        fixed: u16,
+    },
+    /// Load a constant from the program's constant table (static space:
+    /// the constant is materialized once per machine and shared).
+    LoadConst {
+        /// Destination.
+        dst: Operand,
+        /// Constant table index.
+        idx: u32,
+    },
+    /// Call a local code block in the same frame (the paper's "special
+    /// (fast) subroutine linkage that can avoid error checks … and can
+    /// even use special register conventions", §4.4).
+    LocalCall {
+        /// Block entry label.
+        target: Label,
+    },
+    /// Return from a local code block (frame is untouched).
+    LocalRet,
+    /// `apply`: call the function value with a spread argument list.
+    Apply {
+        /// Function value.
+        f: Operand,
+        /// Argument list.
+        list: Operand,
+    },
+}
+
+impl Insn {
+    /// The 2½-address legality check (§3): a three-operand arithmetic
+    /// instruction is encodable only if the destination coincides with
+    /// the first source, or one of the three operands is RTA or RTB.
+    ///
+    /// Returns `None` if legal, or a diagnostic if not — the program
+    /// loader rejects illegal code, which keeps the register allocator
+    /// honest (§6.1: "for the best code a clever dance is often needed").
+    pub fn check_two_and_a_half(&self) -> Option<String> {
+        let (dst, a, b) = match self {
+            Insn::Add { dst, a, b }
+            | Insn::Sub { dst, a, b }
+            | Insn::Mult { dst, a, b }
+            | Insn::Div { dst, a, b }
+            | Insn::DivFloor { dst, a, b }
+            | Insn::Rem { dst, a, b }
+            | Insn::ModFloor { dst, a, b }
+            | Insn::FAdd { dst, a, b }
+            | Insn::FSub { dst, a, b }
+            | Insn::FMult { dst, a, b }
+            | Insn::FDiv { dst, a, b }
+            | Insn::FMax { dst, a, b }
+            | Insn::FMin { dst, a, b } => (*dst, *a, *b),
+            _ => return None,
+        };
+        let rt = |o: Operand| matches!(o, Operand::Reg(r) if r.is_rt());
+        if dst == a || rt(dst) || rt(a) || rt(b) {
+            None
+        } else {
+            Some(format!(
+                "2½-address violation: {self:?} has three distinct non-RT operands"
+            ))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_names() {
+        assert_eq!(format!("{:?}", Reg::RTA), "RTA");
+        assert_eq!(format!("{:?}", Reg(12)), "R12");
+        assert!(Reg::RTA.is_rt());
+        assert!(Reg::RTB.is_rt());
+        assert!(!Reg::A.is_rt());
+    }
+
+    #[test]
+    fn two_and_a_half_address_rules() {
+        let m1 = Operand::Ind(Reg::FP, 0);
+        let m2 = Operand::Ind(Reg::FP, 1);
+        let m3 = Operand::Ind(Reg::FP, 2);
+        let rta = Operand::Reg(Reg::RTA);
+        // SUB M1,M2  (dst==a)
+        assert!(Insn::Sub { dst: m1, a: m1, b: m2 }.check_two_and_a_half().is_none());
+        // SUB RTA,M1,M2
+        assert!(Insn::Sub { dst: rta, a: m1, b: m2 }.check_two_and_a_half().is_none());
+        // SUB M1,RTA,M2
+        assert!(Insn::Sub { dst: m1, a: rta, b: m2 }.check_two_and_a_half().is_none());
+        // Three distinct memory operands: illegal.
+        assert!(Insn::Sub { dst: m1, a: m2, b: m3 }.check_two_and_a_half().is_some());
+        // Three distinct non-RT registers: also illegal.
+        let (r9, r10, r11) = (
+            Operand::Reg(Reg(9)),
+            Operand::Reg(Reg(10)),
+            Operand::Reg(Reg(11)),
+        );
+        assert!(Insn::Add { dst: r9, a: r10, b: r11 }.check_two_and_a_half().is_some());
+        // Non-arithmetic instructions are unconstrained.
+        assert!(Insn::Mov { dst: m1, src: m2 }.check_two_and_a_half().is_none());
+    }
+
+    #[test]
+    fn operand_helpers() {
+        assert_eq!(Operand::arg(2), Operand::Ind(Reg::FP, 2));
+        assert_eq!(Operand::fixnum(5), Operand::Const(Word::fixnum(5)));
+        assert!(Operand::arg(0).is_mem());
+        assert!(!Operand::Reg(Reg::A).is_mem());
+        assert!(Operand::Reg(Reg::A).is_reg(Reg::A));
+    }
+}

@@ -1,0 +1,63 @@
+//! Execution statistics.
+//!
+//! These counters are the measurement surface of the reproduction: the
+//! experiments compare instruction counts, allocation counts, stack
+//! depths, and special-variable search costs across compiler
+//! configurations.
+
+use crate::heap::AllocStats;
+
+/// Counters accumulated while a [`Machine`](crate::Machine) runs.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MachineStats {
+    /// Instructions retired.
+    pub insns: u64,
+    /// `Mov`/`Movp` data-movement instructions retired (§6.1 measures
+    /// "reduction of data movement" — "nearly all of the time it is
+    /// possible … to generate code … that requires no MOV instructions").
+    pub moves: u64,
+    /// Function calls (full frames pushed).
+    pub calls: u64,
+    /// Tail calls / tail self-jumps (frames *reused*).
+    pub tail_calls: u64,
+    /// Deepest control-stack nesting reached.
+    pub max_call_depth: usize,
+    /// Deepest data-stack extent reached, in words.
+    pub max_stack_words: usize,
+    /// Deep-binding searches performed (`SpecLookup`/`SpecRead`).
+    pub special_searches: u64,
+    /// Constant-time reads/writes through cached special pointers.
+    pub special_cached: u64,
+    /// Pdl numbers created (flonums boxed into stack slots).
+    pub pdl_numbers: u64,
+    /// Certifications that found a safe (heap) pointer.
+    pub certify_safe: u64,
+    /// Certifications that had to copy a stack object to the heap.
+    pub certify_copies: u64,
+    /// Closures constructed at run time.
+    pub closures_made: u64,
+    /// Heap allocation counters (mirrored from the heap at read time).
+    pub heap: AllocStats,
+}
+
+impl MachineStats {
+    /// Resets every counter.
+    pub fn reset(&mut self) {
+        *self = MachineStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reset_zeroes() {
+        let mut s = MachineStats {
+            insns: 5,
+            ..MachineStats::default()
+        };
+        s.reset();
+        assert_eq!(s.insns, 0);
+    }
+}

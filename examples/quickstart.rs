@@ -1,0 +1,47 @@
+//! Quickstart: compile two small functions, run them on the S-1
+//! simulator, and peek at what the compiler did.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use s1lisp::{Compiler, Value};
+
+fn main() {
+    let mut compiler = Compiler::new();
+    compiler
+        .compile_str(
+            "(defun square (x) (* x x))
+             (defun exptl (x n a)
+               (cond ((zerop n) a)
+                     ((oddp n) (exptl (* x x) (floor (/ n 2)) (* a x)))
+                     (t (exptl (* x x) (floor (/ n 2)) a))))",
+        )
+        .expect("compiles");
+
+    let mut machine = compiler.machine();
+    let v = machine
+        .run("square", &[Value::Fixnum(12)])
+        .expect("runs");
+    println!("(square 12) = {v}");
+
+    let v = machine
+        .run(
+            "exptl",
+            &[Value::Fixnum(2), Value::Fixnum(20), Value::Fixnum(1)],
+        )
+        .expect("runs");
+    println!("(exptl 2 20 1) = {v}");
+    println!(
+        "tail calls: {} — frames pushed: {} (the paper's §2 claim: \
+         tail-recursive calls are parameter-passing gotos)",
+        machine.stats.tail_calls, machine.stats.max_call_depth
+    );
+
+    println!("\n--- back-translated internal tree for exptl ---");
+    let f = compiler.function("exptl").expect("compiled");
+    println!("{}", f.optimized);
+
+    println!("\n--- generated S-1 code for square ---");
+    println!("{}", compiler.disassemble("square").expect("defined"));
+}

@@ -1,0 +1,54 @@
+//! A tiny read-eval-print loop over the compiled pipeline: every form you
+//! type is macro-expanded, optimized, compiled to S-1 code, and executed
+//! on the simulator.  `defun`s persist; try:
+//!
+//! ```text
+//! (defun fib (n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))
+//! (fib 20)
+//! :code fib          ; disassemble
+//! :tree fib          ; back-translated optimized tree
+//! ```
+//!
+//! ```sh
+//! echo '(+ 1 2)' | cargo run --example repl
+//! ```
+
+use std::io::{BufRead, Write};
+
+use s1lisp::Compiler;
+
+fn main() {
+    let mut compiler = Compiler::new();
+    let stdin = std::io::stdin();
+    print!("s1lisp> ");
+    std::io::stdout().flush().ok();
+    for line in stdin.lock().lines() {
+        let Ok(line) = line else { break };
+        let line = line.trim();
+        if line.is_empty() {
+            print!("s1lisp> ");
+            std::io::stdout().flush().ok();
+            continue;
+        }
+        if let Some(name) = line.strip_prefix(":code ") {
+            match compiler.disassemble(name.trim()) {
+                Some(code) => println!("{code}"),
+                None => println!("; {name} is not defined"),
+            }
+        } else if let Some(name) = line.strip_prefix(":tree ") {
+            match compiler.function(name.trim()) {
+                Some(f) => println!("{}", f.optimized),
+                None => println!("; {name} is not defined"),
+            }
+        } else {
+            match compiler.eval(line) {
+                Ok(Ok(v)) => println!("{v}"),
+                Ok(Err(trap)) => println!("; run-time error: {trap}"),
+                Err(e) => println!("; compile error: {e}"),
+            }
+        }
+        print!("s1lisp> ");
+        std::io::stdout().flush().ok();
+    }
+    println!();
+}

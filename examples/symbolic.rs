@@ -1,0 +1,75 @@
+//! Symbolic differentiation — the kind of symbolic workload (MACSYMA)
+//! that motivated making Lisp fast in the first place (§1 of the paper).
+//!
+//! The differentiator is written *in the compiled Lisp dialect* and run
+//! on the S-1 simulator; the host program just feeds it expressions.
+//!
+//! ```sh
+//! cargo run --example symbolic
+//! ```
+
+use s1lisp::{Compiler, Value};
+use s1lisp_reader::{read_str, Interner};
+
+/// d/dx for expressions built from +, *, constants, and symbols.
+const DERIV: &str = "
+(defun deriv (e x)
+  (cond ((numberp e) 0)
+        ((symbolp e) (if (eq e x) 1 0))
+        ((eq (car e) '+)
+         (list '+ (deriv (cadr e) x) (deriv (caddr e) x)))
+        ((eq (car e) '*)
+         (list '+
+               (list '* (cadr e) (deriv (caddr e) x))
+               (list '* (caddr e) (deriv (cadr e) x))))
+        (t (error 'unknown-operator))))
+
+(defun simplify (e)
+  (cond ((atom e) e)
+        (t (simp1 (car e) (simplify (cadr e)) (simplify (caddr e))))))
+
+(defun simp1 (op a b)
+  (cond ((eq op '+)
+         (cond ((equal a 0) b)
+               ((equal b 0) a)
+               ((and (numberp a) (numberp b)) (+ a b))
+               (t (list '+ a b))))
+        ((eq op '*)
+         (cond ((equal a 0) 0)
+               ((equal b 0) 0)
+               ((equal a 1) b)
+               ((equal b 1) a)
+               ((and (numberp a) (numberp b)) (* a b))
+               (t (list '* a b))))
+        (t (list op a b))))
+
+(defun deriv-simplified (e x) (simplify (deriv e x)))
+";
+
+fn main() {
+    let mut compiler = Compiler::new();
+    compiler.compile_str(DERIV).expect("compiles");
+    let mut machine = compiler.machine();
+
+    let mut interner = Interner::new();
+    let mut differentiate = |expr: &str| {
+        let datum = read_str(expr, &mut interner).expect("reads");
+        let x = Value::from_datum(&read_str("x", &mut interner).unwrap());
+        let e = Value::from_datum(&datum);
+        let d = machine
+            .run("deriv-simplified", &[e, x])
+            .expect("differentiates");
+        println!("d/dx {expr:<24} = {d}");
+    };
+
+    differentiate("(+ x 3)");
+    differentiate("(* x x)");
+    differentiate("(* 3 (* x x))");
+    differentiate("(+ (* x x) (* 2 x))");
+    differentiate("(* (+ x 1) (+ x 2))");
+
+    println!(
+        "\nsimulator: {} instructions, {} conses allocated, {} GCs",
+        machine.stats.insns, machine.stats.heap.conses, machine.stats.heap.collections
+    );
+}

@@ -1,0 +1,141 @@
+//! Shared corpus and helpers for the `s1lisp` workspace's integration
+//! tests, examples, and benchmarks.
+//!
+//! The corpus leans on the programs the paper itself uses (`exptl`,
+//! `quadratic`, `testfn`) plus small Gabriel-benchmark-flavored kernels
+//! (`tak`, iterative `fib`) from the same lineage — Richard Gabriel, a
+//! co-author, later assembled the standard Lisp benchmark suite.
+
+use s1lisp::{Compiler, Interp, Machine, Value};
+
+/// §2's worked example: exponentiation by repeated squaring, fully
+/// tail-recursive.
+pub const EXPTL: &str = "(defun exptl (x n a)
+  (cond ((zerop n) a)
+        ((oddp n) (exptl (* x x) (floor (/ n 2)) (* a x)))
+        (t (exptl (* x x) (floor (/ n 2)) a))))";
+
+/// §4.1's worked example: real roots of a quadratic.
+pub const QUADRATIC: &str = "(defun quadratic (a b c)
+  (let ((d (- (* b b) (* 4.0 a c))))
+    (cond ((< d 0) '())
+          ((= d 0) (list (/ (- b) (* 2.0 a))))
+          (t (let ((two-a (* 2.0 a)) (sd (sqrt d)))
+               (list (/ (+ (- b) sd) two-a)
+                     (/ (- (- b) sd) two-a)))))))";
+
+/// §7's worked example, verbatim up to the undefined `frotz`.
+pub const TESTFN: &str = "(defun frotz (a b c) '())
+(defun testfn (a &optional (b 3.0) (c a))
+  (let ((d (+$f a b c)) (e (*$f a b c)))
+    (let ((q (sin$f e)))
+      (frotz d e (max$f d e))
+      q)))";
+
+/// Takeuchi's function — the classic call-heavy kernel.
+pub const TAK: &str = "(defun tak (x y z)
+  (if (not (< y x))
+      z
+      (tak (tak (- x 1) y z)
+           (tak (- y 1) z x)
+           (tak (- z 1) x y))))";
+
+/// Iterative Fibonacci via `do`.
+pub const FIB_ITER: &str = "(defun fib-iter (n)
+  (do ((a 0 b) (b 1 (+ a b)) (i 0 (+ i 1)))
+      ((= i n) a)))";
+
+/// Naive doubly recursive Fibonacci.
+pub const FIB: &str =
+    "(defun fib (n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))";
+
+/// List reversal written with an accumulator (tail recursive).
+pub const NREV: &str = "(defun revappend (l acc)
+  (if (null l) acc (revappend (cdr l) (cons (car l) acc))))
+(defun my-reverse (l) (revappend l '()))";
+
+/// Polynomial evaluation by Horner's rule over typed floats.
+pub const HORNER: &str = "(defun horner (x c3 c2 c1 c0)
+  (declare (flonum x c3 c2 c1 c0))
+  (+$f (*$f (+$f (*$f (+$f (*$f c3 x) c2) x) c1) x) c0))";
+
+/// A counter factory: closures with shared mutable state.
+pub const COUNTER: &str = "(defun make-counter ()
+  (let ((n 0)) (lambda () (setq n (+ n 1)) n)))
+(defun count-3 ()
+  (let ((c (make-counter))) (c) (c) (c)))";
+
+/// A special-variable-heavy loop for E10.
+pub const SPECIALS_LOOP: &str = "(proclaim '(special *step*))
+(defun accumulate (n)
+  (prog (acc)
+    (setq acc 0)
+    top
+    (if (zerop n) (return acc))
+    (setq acc (+ acc *step*))
+    (setq n (- n 1))
+    (go top)))";
+
+/// Every corpus entry, with a short id.
+pub fn corpus() -> Vec<(&'static str, &'static str)> {
+    vec![
+        ("exptl", EXPTL),
+        ("quadratic", QUADRATIC),
+        ("testfn", TESTFN),
+        ("tak", TAK),
+        ("fib-iter", FIB_ITER),
+        ("fib", FIB),
+        ("nrev", NREV),
+        ("horner", HORNER),
+        ("counter", COUNTER),
+        ("specials", SPECIALS_LOOP),
+    ]
+}
+
+/// Compiles `src` with default options and returns the machine plus the
+/// reference interpreter.
+///
+/// # Panics
+///
+/// Panics on compile errors (tests feed known-good sources).
+pub fn build(src: &str) -> (Machine, Interp) {
+    let mut c = Compiler::new();
+    c.compile_str(src).unwrap_or_else(|e| panic!("compile failed: {e}\n{src}"));
+    (c.machine(), c.interpreter())
+}
+
+/// Compiles with a configured compiler.
+///
+/// # Panics
+///
+/// Panics on compile errors.
+pub fn build_with(src: &str, mut c: Compiler) -> (Machine, Interp) {
+    c.compile_str(src).unwrap_or_else(|e| panic!("compile failed: {e}\n{src}"));
+    (c.machine(), c.interpreter())
+}
+
+/// Runs the same call on machine and interpreter and asserts agreement
+/// (both values and error-ness).
+///
+/// # Panics
+///
+/// Panics on divergence.
+pub fn check_agree(m: &mut Machine, i: &Interp, name: &str, args: &[Value]) {
+    let got = m.run(name, args);
+    let want = i.call(name, args);
+    match (&want, &got) {
+        (Ok(w), Ok(g)) => assert_eq!(g, w, "result mismatch for {name} {args:?}"),
+        (Err(_), Err(_)) => {}
+        _ => panic!("divergence for {name} {args:?}: interp={want:?} machine={got:?}"),
+    }
+}
+
+/// Shorthand constructors.
+pub fn fx(n: i64) -> Value {
+    Value::Fixnum(n)
+}
+
+/// Shorthand flonum constructor.
+pub fn fl(x: f64) -> Value {
+    Value::Flonum(x)
+}

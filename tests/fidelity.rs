@@ -1,0 +1,162 @@
+//! Deeper fidelity properties: back-translation round trips, the §4.3
+//! anti-thrashing design, and machine-level data round trips under GC.
+
+use proptest::prelude::*;
+use s1lisp::{Compiler, Value};
+use s1lisp_suite::{corpus, fl, fx};
+use s1lisp_suite as suite;
+
+/// §4.1: "the internal tree can always be back-translated into valid
+/// source code, equivalent to, though not necessarily identical to, the
+/// original source."  We re-read the back-translated *optimized* tree,
+/// compile it as a fresh program, and require identical behavior.
+#[test]
+fn optimized_trees_recompile_from_their_back_translation() {
+    let cases: Vec<(&str, &str, Vec<Vec<Value>>)> = vec![
+        (suite::EXPTL, "exptl", vec![vec![fx(3), fx(10), fx(1)], vec![fx(2), fx(0), fx(7)]]),
+        (
+            suite::QUADRATIC,
+            "quadratic",
+            vec![vec![fl(1.0), fl(-3.0), fl(2.0)], vec![fl(1.0), fl(0.0), fl(1.0)]],
+        ),
+        (suite::FIB_ITER, "fib-iter", vec![vec![fx(25)]]),
+        (suite::TAK, "tak", vec![vec![fx(10), fx(6), fx(3)]]),
+    ];
+    for (src, entry, argsets) in cases {
+        let mut original = Compiler::new();
+        original.compile_str(src).unwrap();
+        // Rebuild the program from the back-translation of every
+        // function's optimized tree.
+        let mut round = Compiler::new();
+        for f in &original.functions {
+            let redefined = format!(
+                "(defun {} {}",
+                f.name,
+                f.optimized
+                    .trim()
+                    .strip_prefix("(lambda ")
+                    .expect("optimized form is a lambda"),
+            );
+            round
+                .compile_str(&redefined)
+                .unwrap_or_else(|e| panic!("round-trip of {} failed: {e}\n{redefined}", f.name));
+        }
+        let mut m1 = original.machine();
+        let mut m2 = round.machine();
+        for args in argsets {
+            let v1 = m1.run(entry, &args).unwrap();
+            let v2 = m2.run(entry, &args).unwrap();
+            assert_eq!(v1, v2, "{entry} {args:?}");
+        }
+    }
+}
+
+/// §4.3: separating CSE from the source-level optimizer "avoids the
+/// possibility of an endless cycle of introductions and eliminations."
+/// Optimize → CSE → optimize again must be a fixpoint: the second
+/// optimizer pass must not undo what CSE did.
+#[test]
+fn cse_and_optimizer_do_not_thrash() {
+    let src = "(defun f (a b)
+                 (list (+ (* a b) (* b b) 1)
+                       (+ (* a b) (* b b) 2)))";
+    let mut i = s1lisp_reader::Interner::new();
+    let form = s1lisp_reader::read_str(src, &mut i).unwrap();
+    let mut fe = s1lisp_frontend::Frontend::new(&mut i);
+    let mut f = fe.convert_defun(&form).unwrap();
+    let mut opt = s1lisp_opt::Optimizer::new();
+    opt.optimize(&mut f.tree);
+    let commoned = s1lisp_opt::cse::eliminate(&mut f.tree);
+    assert!(commoned >= 1, "CSE found the duplicate");
+    let after_cse = s1lisp_ast::unparse(&f.tree, f.tree.root).to_string();
+    // A second optimizer run must not reintroduce the duplicates …
+    let mut opt2 = s1lisp_opt::Optimizer::new();
+    opt2.optimize(&mut f.tree);
+    let after_second = s1lisp_ast::unparse(&f.tree, f.tree.root).to_string();
+    assert_eq!(
+        after_second.matches("(* a b)").count(),
+        1,
+        "thrash: optimizer undid CSE\nafter cse: {after_cse}\nafter opt: {after_second}"
+    );
+    // … and a second CSE run finds nothing new.
+    assert_eq!(s1lisp_opt::cse::eliminate(&mut f.tree), 0);
+}
+
+/// Values survive injection into the machine, garbage collection, and
+/// extraction.
+#[test]
+fn machine_data_round_trips_through_gc() {
+    let mut c = Compiler::new();
+    c.compile_str("(defun id (x) x) (defun churn (n) (if (zerop n) '() (cons n (churn (- n 1)))))")
+        .unwrap();
+    let mut m = s1lisp_s1sim::Machine::with_sizes(c.program().clone(), 1 << 16, 2000);
+    let keep = Value::list([
+        fx(1),
+        Value::cons(fl(2.5), Value::Nil),
+        Value::list([fx(3), fx(4)]),
+    ]);
+    let out = m.run("id", std::slice::from_ref(&keep)).unwrap();
+    assert_eq!(out, keep);
+    // Force collections with garbage churn; previously extracted data is
+    // host-side and the machine's constants must survive.
+    for _ in 0..50 {
+        m.run("churn", &[fx(100)]).unwrap();
+    }
+    assert!(m.stats.heap.collections > 0);
+    let again = m.run("id", std::slice::from_ref(&keep)).unwrap();
+    assert_eq!(again, keep);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+    /// inject ∘ extract is the identity on function-free values, even
+    /// with a heap small enough to collect mid-test.
+    #[test]
+    fn inject_extract_identity(src in value_strategy(3)) {
+        let mut c = Compiler::new();
+        c.compile_str("(defun id (x) x)").unwrap();
+        let mut m = s1lisp_s1sim::Machine::with_sizes(c.program().clone(), 1 << 16, 4000);
+        let mut i = s1lisp_reader::Interner::new();
+        let d = s1lisp_reader::read_str(&src, &mut i).unwrap();
+        let v = Value::from_datum(&d);
+        let out = m.run("id", std::slice::from_ref(&v)).unwrap();
+        prop_assert_eq!(out, v);
+    }
+}
+
+fn value_strategy(depth: u32) -> BoxedStrategy<String> {
+    let leaf = prop_oneof![
+        any::<i32>().prop_map(|n| n.to_string()),
+        (-1000..1000i32).prop_map(|n| format!("{}", f64::from(n) / 4.0)),
+        "[a-z][a-z0-9]{0,5}".prop_map(|s| s),
+        Just("()".to_string()),
+        Just("\"a string\"".to_string()),
+        Just("#\\q".to_string()),
+    ];
+    leaf.prop_recursive(depth, 16, 3, |inner| {
+        prop::collection::vec(inner, 0..4)
+            .prop_map(|items| format!("({})", items.join(" ")))
+    })
+    .boxed()
+}
+
+/// The paper's Table 2 claim in reverse: *no* program, however twisty,
+/// produces a construct outside the set (differential fuzz over the
+/// whole corpus re-parsed from its own back-translation).
+#[test]
+fn corpus_back_translations_reparse() {
+    for (id, src) in corpus() {
+        let mut c = Compiler::new();
+        c.compile_str(src).unwrap();
+        for f in &c.functions {
+            let mut i = s1lisp_reader::Interner::new();
+            let d = s1lisp_reader::read_str(&f.optimized, &mut i)
+                .unwrap_or_else(|e| panic!("{id}/{}: unreadable back-translation: {e}", f.name));
+            assert!(
+                d.to_string().starts_with("(lambda"),
+                "{id}/{}: {d}",
+                f.name
+            );
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Gabriel-flavored kernels (Richard Gabriel, a co-author, later
+//! assembled the standard Lisp benchmark suite) run differentially:
+//! compiled-on-simulator vs the reference interpreter.
+
+use s1lisp::Value;
+use s1lisp_suite::{build, check_agree, fx};
+
+#[test]
+fn div2_iterative_and_recursive() {
+    let (mut m, i) = build(
+        "(defun create-n (n)
+           (do ((i n (- i 1)) (a '() (cons '() a)))
+               ((= i 0) a)))
+         (defun iterative-div2 (l)
+           (do ((l l (cddr l)) (a '() (cons (car l) a)))
+               ((null l) a)))
+         (defun recursive-div2 (l)
+           (cond ((null l) '())
+                 (t (cons (car l) (recursive-div2 (cddr l))))))
+         (defun test-div2 (n)
+           (let ((l (create-n n)))
+             (list (length (iterative-div2 l))
+                   (length (recursive-div2 l)))))",
+    );
+    for n in [0i64, 2, 10, 60] {
+        check_agree(&mut m, &i, "test-div2", &[fx(n)]);
+    }
+}
+
+#[test]
+fn destructive_list_surgery() {
+    let (mut m, i) = build(
+        "(defun attach (x l) (rplacd (last l) (cons x '())) l)
+         (defun run (n)
+           (let ((l (list 1)))
+             (prog ()
+               top
+               (if (zerop n) (return l))
+               (attach n l)
+               (setq n (- n 1))
+               (go top))))",
+    );
+    for n in [0i64, 1, 5, 12] {
+        check_agree(&mut m, &i, "run", &[fx(n)]);
+    }
+}
+
+#[test]
+fn triangle_style_counting() {
+    let (mut m, i) = build(
+        "(defun listn (n) (if (zerop n) '() (cons n (listn (- n 1)))))
+         (defun mas (x y z)
+           (if (not (shorterp y x))
+               z
+               (mas (mas (cdr x) y z)
+                    (mas (cdr y) z x)
+                    (mas (cdr z) x y))))
+         (defun shorterp (x y)
+           (and y (or (null x) (shorterp (cdr x) (cdr y)))))
+         (defun run (a b c)
+           (length (mas (listn a) (listn b) (listn c))))",
+    );
+    check_agree(&mut m, &i, "run", &[fx(7), fx(5), fx(3)]);
+}
+
+#[test]
+fn flatten_with_accumulator() {
+    let (mut m, i) = build(
+        "(defun flatten (x acc)
+           (cond ((null x) acc)
+                 ((atom x) (cons x acc))
+                 (t (flatten (car x) (flatten (cdr x) acc)))))
+         (defun run (x) (flatten x '()))",
+    );
+    let nested = Value::list([
+        fx(1),
+        Value::list([fx(2), Value::list([fx(3), fx(4)]), fx(5)]),
+        Value::list([]),
+        fx(6),
+    ]);
+    check_agree(&mut m, &i, "run", &[nested]);
+    check_agree(&mut m, &i, "run", &[fx(9)]);
+}
+
+#[test]
+fn fixnum_heavy_puzzle_kernel() {
+    // A small constraint loop with declared fixnums: inference keeps the
+    // arithmetic inline.
+    let (mut m, i) = build(
+        "(defun collatz-steps (n)
+           (declare (fixnum n))
+           (prog (steps)
+             (setq steps 0)
+             top
+             (if (= n 1) (return steps))
+             (if (evenp n)
+                 (setq n (/ n 2))
+                 (setq n (+ (* 3 n) 1)))
+             (setq steps (+ steps 1))
+             (go top)))",
+    );
+    for n in [1i64, 6, 27, 97] {
+        check_agree(&mut m, &i, "collatz-steps", &[fx(n)]);
+    }
+}
+
+#[test]
+fn string_symbol_tables() {
+    let (mut m, i) = build(
+        "(defun count-matches (key l)
+           (cond ((null l) 0)
+                 ((equal (car l) key) (+ 1 (count-matches key (cdr l))))
+                 (t (count-matches key (cdr l)))))",
+    );
+    let mut si = s1lisp_reader::Interner::new();
+    let l = Value::list([
+        Value::Sym(si.intern("a")),
+        Value::Str("x".into()),
+        Value::Sym(si.intern("a")),
+        Value::Str("y".into()),
+        Value::Str("x".into()),
+    ]);
+    check_agree(&mut m, &i, "count-matches", &[Value::Sym(si.intern("a")), l.clone()]);
+    check_agree(&mut m, &i, "count-matches", &[Value::Str("x".into()), l]);
+}

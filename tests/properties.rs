@@ -1,0 +1,168 @@
+//! Property-based tests over the whole toolchain.
+//!
+//! Random programs are generated as source *text* from a small grammar,
+//! then pushed through reader → frontend → optimizer → codegen →
+//! simulator, with the reference interpreter as oracle at every level.
+
+use proptest::prelude::*;
+use s1lisp::{Compiler, Value};
+use s1lisp_reader::{read_str, Interner};
+
+// ---------------------------------------------------------------- reader
+
+proptest! {
+    /// print ∘ read is the identity on printed form (read-print
+    /// round-trip stability).
+    #[test]
+    fn reader_round_trips(src in datum_strategy(3)) {
+        let mut i = Interner::new();
+        let d1 = read_str(&src, &mut i).unwrap();
+        let printed = d1.to_string();
+        let d2 = read_str(&printed, &mut i).unwrap();
+        prop_assert!(d2.equal(&d1), "{src} → {printed}");
+        prop_assert_eq!(d2.to_string(), printed);
+    }
+}
+
+/// Random datum source text.
+fn datum_strategy(depth: u32) -> BoxedStrategy<String> {
+    let leaf = prop_oneof![
+        any::<i32>().prop_map(|n| n.to_string()),
+        (-1000..1000i32).prop_map(|n| format!("{}", f64::from(n) / 8.0)),
+        "[a-z][a-z0-9-]{0,6}".prop_map(|s| s),
+        Just("()".to_string()),
+        Just("\"str\"".to_string()),
+    ];
+    leaf.prop_recursive(depth, 24, 4, |inner| {
+        prop::collection::vec(inner, 0..4)
+            .prop_map(|items| format!("({})", items.join(" ")))
+    })
+    .boxed()
+}
+
+// ------------------------------------------------------------- pipeline
+
+/// A random arithmetic/control expression over fixnum variables a, b, c.
+fn expr_strategy(depth: u32) -> BoxedStrategy<String> {
+    let leaf = prop_oneof![
+        (-20i64..20).prop_map(|n| n.to_string()),
+        prop_oneof![Just("a"), Just("b"), Just("c")].prop_map(str::to_string),
+    ];
+    leaf.prop_recursive(depth, 64, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(x, y)| format!("(+ {x} {y})")),
+            (inner.clone(), inner.clone())
+                .prop_map(|(x, y)| format!("(- {x} {y})")),
+            (inner.clone(), inner.clone())
+                .prop_map(|(x, y)| format!("(* {x} {y})")),
+            (inner.clone(), inner.clone(), inner.clone())
+                .prop_map(|(p, x, y)| format!("(if (< {p} 3) {x} {y})")),
+            (inner.clone(), inner.clone())
+                .prop_map(|(x, y)| format!("(let ((tmp {x})) (+ tmp {y}))")),
+            (inner.clone(), inner.clone())
+                .prop_map(|(x, y)| format!("(if (and (< {x} {y}) (oddp {y})) 1 0)")),
+            (inner.clone(), inner.clone())
+                .prop_map(|(x, y)| format!("(car (cons {x} {y}))")),
+        ]
+    })
+    .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    /// Compiled code and the interpreter agree on random expressions —
+    /// and the optimizer preserves that agreement.
+    #[test]
+    fn compiled_matches_interpreted(
+        body in expr_strategy(3),
+        a in -10i64..10,
+        b in -10i64..10,
+        c in -10i64..10,
+    ) {
+        let src = format!("(defun f (a b c) {body})");
+        let args = [Value::Fixnum(a), Value::Fixnum(b), Value::Fixnum(c)];
+        for compiler in [Compiler::new(), Compiler::unoptimized()] {
+            let mut comp = compiler;
+            comp.compile_str(&src).unwrap();
+            let interp = comp.interpreter();
+            let mut m = comp.machine();
+            let got = m.run("f", &args);
+            let want = interp.call("f", &args);
+            match (&want, &got) {
+                (Ok(w), Ok(g)) => prop_assert_eq!(g, w, "{} {:?}", src, args),
+                (Err(_), Err(_)) => {}
+                _ => prop_assert!(false, "divergence on {}: {:?} vs {:?}", src, want, got),
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    /// The optimizer never changes what a program denotes: optimized and
+    /// unoptimized *interpretations* agree (no simulator involved).
+    #[test]
+    fn optimizer_preserves_interpretation(
+        body in expr_strategy(3),
+        a in -10i64..10,
+        b in -10i64..10,
+    ) {
+        let src = format!("(defun f (a b c) {body})");
+        let args = [Value::Fixnum(a), Value::Fixnum(b), Value::Fixnum(3)];
+        let mut opt = Compiler::new();
+        opt.compile_str(&src).unwrap();
+        let mut plain = Compiler::unoptimized();
+        plain.compile_str(&src).unwrap();
+        let i1 = opt.interpreter();   // interprets the optimized tree
+        let i2 = plain.interpreter(); // interprets the original tree
+        let r1 = i1.call("f", &args);
+        let r2 = i2.call("f", &args);
+        match (&r1, &r2) {
+            (Ok(x), Ok(y)) => prop_assert_eq!(x, y, "{}", src),
+            (Err(_), Err(_)) => {}
+            _ => prop_assert!(false, "optimizer changed semantics of {}: {:?} vs {:?}", src, r1, r2),
+        }
+    }
+}
+
+// ------------------------------------------------------------ GC stress
+
+#[test]
+fn gc_preserves_live_structure_under_pressure() {
+    // A tiny heap forces many collections while building and walking
+    // lists; results must still match the interpreter.
+    let src = "(defun build (n) (if (zerop n) '() (cons n (build (- n 1)))))
+               (defun total (l) (if (null l) 0 (+ (car l) (total (cdr l)))))
+               (defun churn (n reps)
+                 (prog (acc)
+                   (setq acc 0)
+                   top
+                   (if (zerop reps) (return acc))
+                   (setq acc (+ acc (total (build n))))
+                   (setq reps (- reps 1))
+                   (go top)))";
+    let mut c = Compiler::new();
+    c.compile_str(src).unwrap();
+    let mut m = s1lisp_s1sim::Machine::with_sizes(c.program().clone(), 1 << 16, 700);
+    let v = m
+        .run("churn", &[Value::Fixnum(30), Value::Fixnum(200)])
+        .unwrap();
+    // 200 × (30·31/2) = 93 000.
+    assert_eq!(v, Value::Fixnum(93_000));
+    assert!(
+        m.stats.heap.collections > 3,
+        "expected GC pressure, got {} collections",
+        m.stats.heap.collections
+    );
+}
+
+#[test]
+fn heap_exhaustion_is_a_clean_trap() {
+    let src = "(defun keep (n acc) (if (zerop n) acc (keep (- n 1) (cons n acc))))";
+    let mut c = Compiler::new();
+    c.compile_str(src).unwrap();
+    let mut m = s1lisp_s1sim::Machine::with_sizes(c.program().clone(), 1 << 16, 256);
+    let r = m.run("keep", &[Value::Fixnum(10_000), Value::Nil]);
+    assert!(matches!(r, Err(s1lisp_s1sim::Trap::HeapExhausted)));
+}
