@@ -33,7 +33,7 @@ fn walk(tree: &Tree, node: NodeId, map: &mut HashMap<NodeId, Complexity>) -> u32
     let own = match tree.kind(node) {
         NodeKind::Constant(_) | NodeKind::VarRef(_) => 1,
         NodeKind::Setq { .. } => 1,
-        NodeKind::If { .. } => 2,    // test jump + join
+        NodeKind::If { .. } => 2, // test jump + join
         NodeKind::Progn(_) => 0,
         NodeKind::Call { func, .. } => match func {
             // Primitive: roughly one instruction; user call: frame setup,

@@ -240,13 +240,21 @@ mod tests {
 
     #[test]
     fn identity_elements() {
-        assert!(primop("+").unwrap().identity.unwrap().matches(&Datum::Fixnum(0)));
+        assert!(primop("+")
+            .unwrap()
+            .identity
+            .unwrap()
+            .matches(&Datum::Fixnum(0)));
         assert!(primop("*$f")
             .unwrap()
             .identity
             .unwrap()
             .matches(&Datum::Flonum(1.0)));
-        assert!(!primop("+").unwrap().identity.unwrap().matches(&Datum::Flonum(0.0)));
+        assert!(!primop("+")
+            .unwrap()
+            .identity
+            .unwrap()
+            .matches(&Datum::Flonum(0.0)));
         assert!(primop("-").unwrap().identity.is_none());
     }
 

@@ -93,13 +93,15 @@ fn hoist_out_of_loops(tree: &Tree, mut at: NodeId) -> NodeId {
     let mut crossed_lambda = false;
     for &anc in &path[1..] {
         match tree.kind(anc) {
-            NodeKind::Lambda(_) if anc != tree.root
+            NodeKind::Lambda(_)
+                if anc != tree.root
                 // A manifest lambda in a let is part of the same
                 // execution; a true closure is not.  Being conservative,
                 // we stop hoisting only at non-let lambdas.
-                && !is_let_lambda(tree, anc) => {
-                    crossed_lambda = true;
-                }
+                && !is_let_lambda(tree, anc) =>
+            {
+                crossed_lambda = true;
+            }
             NodeKind::Progbody(_) if !crossed_lambda => {
                 at = anc;
             }
@@ -179,9 +181,7 @@ mod tests {
 
     #[test]
     fn bound_specials_get_placements_too() {
-        let (tree, p) = analyze(
-            "(defun f (x) (declare (special x)) (g) (+ x x))",
-        );
+        let (tree, p) = analyze("(defun f (x) (declare (special x)) (g) (+ x x))");
         let x = p
             .iter()
             .find(|pl| tree.var(pl.var).name.as_str() == "x")
@@ -197,9 +197,7 @@ mod tests {
 
     #[test]
     fn references_inside_closures_do_not_hoist_past_the_closure() {
-        let (tree, p) = analyze(
-            "(defun f () (prog () top (frotz (lambda () *x*)) (go top)))",
-        );
+        let (tree, p) = analyze("(defun f () (prog () top (frotz (lambda () *x*)) (go top)))");
         let x = &p[0];
         // The reference lives inside a real closure; its lookup must not
         // hoist to the outer loop (the closure runs at an unknown time).

@@ -181,7 +181,10 @@ mod tests {
         let (tree, tails) = analyze("(defun fact (n) (if (zerop n) 1 (* n (fact (- n 1)))))");
         let calls = self_calls(&tree, "fact");
         assert_eq!(calls.len(), 1);
-        assert!(!tails.contains(&calls[0]), "argument of * is not a tail call");
+        assert!(
+            !tails.contains(&calls[0]),
+            "argument of * is not a tail call"
+        );
     }
 
     #[test]

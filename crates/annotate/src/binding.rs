@@ -215,9 +215,7 @@ mod tests {
 
     #[test]
     fn stored_lambda_is_a_closure() {
-        let (tree, b) = annotate(
-            "(defun f (a) ((lambda (g) (frotz g) (g)) (lambda () (e1))))",
-        );
+        let (tree, b) = annotate("(defun f (a) ((lambda (g) (frotz g) (g)) (lambda () (e1))))");
         let closure_count = lambdas(&tree)
             .iter()
             .filter(|&&l| b.strategy[&l] == LambdaStrategy::Closure)
@@ -234,9 +232,8 @@ mod tests {
 
     #[test]
     fn mutated_capture_is_heap_allocated() {
-        let (tree, b) = annotate(
-            "(defun make-counter () (let ((n 0)) (lambda () (setq n (+ n 1)) n)))",
-        );
+        let (tree, b) =
+            annotate("(defun make-counter () (let ((n 0)) (lambda () (setq n (+ n 1)) n)))");
         assert_eq!(b.var_alloc[&var(&tree, "n")], VarAlloc::Heap);
     }
 }

@@ -309,9 +309,8 @@ mod tests {
         // them in PDL slots).  With variable-representation inference the
         // variables themselves hold raw floats and the pdl boxes happen
         // at the pointer-requiring references (the frotz arguments).
-        let (tree, p) = annotate(
-            "(defun f (a b) (let ((d (+$f a b)) (e (*$f a b))) (frotz d e) '()))",
-        );
+        let (tree, p) =
+            annotate("(defun f (a b) (let ((d (+$f a b)) (e (*$f a b))) (frotz d e) '()))");
         let frotz = find_call(&tree, "frotz");
         let NodeKind::Call { args, .. } = tree.kind(frotz).clone() else {
             panic!()

@@ -161,7 +161,10 @@ pub fn lowerable(name: &str) -> bool {
 /// Generic operators with a fixnum instruction twin (the S-1 has all
 /// sixteen rounding modes as primitive instructions, §3).
 pub fn lowerable_int(name: &str) -> bool {
-    matches!(name, "+" | "-" | "*" | "/" | "1+" | "1-" | "rem" | "mod" | "floor")
+    matches!(
+        name,
+        "+" | "-" | "*" | "/" | "1+" | "1-" | "rem" | "mod" | "floor"
+    )
 }
 
 /// Runs both passes, iterating once more when type deduction lowers a
@@ -373,19 +376,16 @@ fn is_pass(tree: &Tree, node: NodeId, info: &mut RepInfo) -> Rep {
         },
         NodeKind::VarRef(v) => info.var_rep[v],
         NodeKind::Setq { var, .. } => info.var_rep[var],
-        NodeKind::If { then, els, .. } => {
-            merge_arms(info.is(*then), info.is(*els), want)
-        }
+        NodeKind::If { then, els, .. } => merge_arms(info.is(*then), info.is(*els), want),
         NodeKind::Progn(body) => info.is(*body.last().expect("non-empty")),
         NodeKind::Call { func, args } => match func {
             CallFunc::Global(g) => {
                 if let Some((_, result)) = typed_op(g.as_str()) {
                     result
                 } else if matches!(
-                        primop(g.as_str()).map(|p| p.result),
-                        Some(NumKind::Generic | NumKind::Flonum)
-                    )
-                    && lowerable(g.as_str())
+                    primop(g.as_str()).map(|p| p.result),
+                    Some(NumKind::Generic | NumKind::Flonum)
+                ) && lowerable(g.as_str())
                     && !args.is_empty()
                     && args.iter().all(|&a| {
                         info.is(a) == Rep::Swflo
@@ -557,9 +557,7 @@ mod tests {
 
     #[test]
     fn declared_variables_live_raw() {
-        let (tree, r) = annotate(
-            "(defun f (x) (declare (flonum x)) (+$f x 1.0))",
-        );
+        let (tree, r) = annotate("(defun f (x) (declare (flonum x)) (+$f x 1.0))");
         let x = tree
             .var_ids()
             .find(|&v| tree.var(v).name.as_str() == "x")
@@ -577,9 +575,7 @@ mod tests {
 
     #[test]
     fn captured_variables_stay_pointers() {
-        let (tree, r) = annotate(
-            "(defun f (x) (declare (flonum x)) (lambda () (+$f x 1.0)))",
-        );
+        let (tree, r) = annotate("(defun f (x) (declare (flonum x)) (lambda () (+$f x 1.0)))");
         let x = tree
             .var_ids()
             .find(|&v| tree.var(v).name.as_str() == "x")
@@ -667,9 +663,8 @@ mod more_tests {
 
     #[test]
     fn caseq_arms_merge_like_if() {
-        let (tree, r) = annotate(
-            "(defun f (k a b) (+$f (caseq k ((1) (+$f a 1.0)) (t (*$f b 2.0))) 3.0))",
-        );
+        let (tree, r) =
+            annotate("(defun f (k a b) (+$f (caseq k ((1) (+$f a 1.0)) (t (*$f b 2.0))) 3.0))");
         let caseq = s1lisp_ast::subtree_nodes(&tree, tree.root)
             .into_iter()
             .find(|&n| matches!(tree.kind(n), NodeKind::Caseq { .. }))
@@ -680,9 +675,7 @@ mod more_tests {
 
     #[test]
     fn setq_wants_the_variables_representation() {
-        let (tree, r) = annotate(
-            "(defun f (x) (declare (flonum x)) (setq x (+$f x 1.0)) x)",
-        );
+        let (tree, r) = annotate("(defun f (x) (declare (flonum x)) (setq x (+$f x 1.0)) x)");
         let setq = s1lisp_ast::subtree_nodes(&tree, tree.root)
             .into_iter()
             .find(|&n| matches!(tree.kind(n), NodeKind::Setq { .. }))

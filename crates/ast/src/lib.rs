@@ -25,8 +25,8 @@ mod unparse;
 mod visit;
 
 pub use tree::{
-    CallFunc, CaseqClause, DeclaredType, Lambda, Node, NodeId, NodeKind, OptParam, ProgItem,
-    Tree, Var, VarId,
+    CallFunc, CaseqClause, DeclaredType, Lambda, Node, NodeId, NodeKind, OptParam, ProgItem, Tree,
+    Var, VarId,
 };
 pub use unparse::unparse;
 pub use visit::{postorder, subtree_nodes};

@@ -594,10 +594,7 @@ impl Tree {
             (NodeKind::Setq { var: x, .. }, NodeKind::Setq { var: y, .. }) => x == y,
             (NodeKind::If { .. }, NodeKind::If { .. }) => true,
             (NodeKind::Progn(x), NodeKind::Progn(y)) => x.len() == y.len(),
-            (
-                NodeKind::Call { func: fa, args: xa },
-                NodeKind::Call { func: fb, args: xb },
-            ) => {
+            (NodeKind::Call { func: fa, args: xa }, NodeKind::Call { func: fb, args: xb }) => {
                 xa.len() == xb.len()
                     && match (fa, fb) {
                         (CallFunc::Global(g), CallFunc::Global(h)) => g == h,
@@ -618,10 +615,7 @@ impl Tree {
             (NodeKind::Go(x), NodeKind::Go(y)) => x == y,
             (NodeKind::Return(_), NodeKind::Return(_)) => true,
             (NodeKind::Catcher { .. }, NodeKind::Catcher { .. }) => true,
-            (
-                NodeKind::Caseq { clauses: ca, .. },
-                NodeKind::Caseq { clauses: cb, .. },
-            ) => {
+            (NodeKind::Caseq { clauses: ca, .. }, NodeKind::Caseq { clauses: cb, .. }) => {
                 ca.len() == cb.len()
                     && ca.iter().zip(cb).all(|(x, y)| {
                         x.keys.len() == y.keys.len()
@@ -680,11 +674,7 @@ impl Tree {
         self.copy_remap(id, &map)
     }
 
-    fn copy_remap(
-        &mut self,
-        id: NodeId,
-        map: &std::collections::HashMap<VarId, VarId>,
-    ) -> NodeId {
+    fn copy_remap(&mut self, id: NodeId, map: &std::collections::HashMap<VarId, VarId>) -> NodeId {
         let mut kind = self.node(id).kind.clone();
         let remap = |v: VarId| map.get(&v).copied().unwrap_or(v);
         match &mut kind {

@@ -119,11 +119,9 @@ impl Unparser<'_> {
                 items.push(Datum::list([self.raw_sym("t"), self.node(*default)]));
                 Datum::list(items)
             }
-            NodeKind::Catcher { tag, body } => Datum::list([
-                self.raw_sym("catch"),
-                self.node(*tag),
-                self.node(*body),
-            ]),
+            NodeKind::Catcher { tag, body } => {
+                Datum::list([self.raw_sym("catch"), self.node(*tag), self.node(*body)])
+            }
             NodeKind::Progbody(items) => {
                 let mut out = vec![self.raw_sym("progbody")];
                 for i in items {

@@ -2,12 +2,19 @@
 //! command line).
 //!
 //! ```sh
-//! cargo run -p s1lisp-bench --bin report            # everything
-//! cargo run -p s1lisp-bench --bin report -- e4 e7   # selected
+//! cargo run -p s1lisp-bench --bin report                   # everything
+//! cargo run -p s1lisp-bench --bin report -- e4 e7          # selected
+//! cargo run -p s1lisp-bench --bin report -- --json         # JSON array
+//! cargo run -p s1lisp-bench --bin report -- --json e1 e12  # selected
 //! ```
+//!
+//! `--json` emits one machine-readable record per experiment (the shape
+//! pinned by `tests/golden_json.rs`) instead of the human-readable text.
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    args.retain(|a| a != "--json");
     let selected: Vec<String> = if args.is_empty() {
         s1lisp_bench::all_experiments()
             .iter()
@@ -16,6 +23,20 @@ fn main() {
     } else {
         args
     };
+    if json {
+        let records: Vec<s1lisp_trace::json::Json> = selected
+            .iter()
+            .filter_map(|id| {
+                let rec = s1lisp_bench::json_record(id);
+                if rec.is_none() {
+                    eprintln!("unknown experiment {id} (want e1..e12)");
+                }
+                rec
+            })
+            .collect();
+        println!("{}", s1lisp_trace::json::Json::Arr(records));
+        return;
+    }
     for id in selected {
         match s1lisp_bench::run_experiment(&id) {
             Some(report) => {

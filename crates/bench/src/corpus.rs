@@ -8,8 +8,7 @@ pub const EXPTL: &str = "(defun exptl (x n a)
         (t (exptl (* x x) (floor (/ n 2)) a))))";
 
 /// A pure tail-recursive countdown loop.
-pub const LOOPN: &str =
-    "(defun loopn (n) (if (= n 0) 'done (loopn (- n 1))))";
+pub const LOOPN: &str = "(defun loopn (n) (if (= n 0) 'done (loopn (- n 1))))";
 
 /// §7's worked example, with `frotz` defined as a no-op.
 pub const TESTFN: &str = "(defun frotz (a b c) '())

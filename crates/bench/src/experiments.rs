@@ -21,18 +21,66 @@ pub struct Experiment {
 /// All experiments, in index order.
 pub fn all_experiments() -> Vec<Experiment> {
     vec![
-        Experiment { id: "e1", title: "Table 1 — phase structure", run: e1 },
-        Experiment { id: "e2", title: "Table 2 + §4.1 — internal tree & back-translation", run: e2 },
-        Experiment { id: "e3", title: "§5 — boolean short-circuiting derivation", run: e3 },
-        Experiment { id: "e4", title: "§2 — exptl tail recursion (stack behavior)", run: e4 },
-        Experiment { id: "e5", title: "§6.1 — Z[I,K] matrix statements and the RT dance", run: e5 },
-        Experiment { id: "e6", title: "Table 3 + §6.2 — representation analysis", run: e6 },
-        Experiment { id: "e7", title: "§6.3 — pdl numbers vs heap allocation", run: e7 },
-        Experiment { id: "e8", title: "Table 4 + §7 — the testfn compilation", run: e8 },
-        Experiment { id: "e9", title: "§1 — Fateman-style numeric comparison", run: e9 },
-        Experiment { id: "e10", title: "§4.4 — deep binding with cached lookups", run: e10 },
-        Experiment { id: "e11", title: "§4.4 — binding annotation (closures only when needed)", run: e11 },
-        Experiment { id: "e12", title: "§5/§6 — whole-compiler ablation", run: e12 },
+        Experiment {
+            id: "e1",
+            title: "Table 1 — phase structure",
+            run: e1,
+        },
+        Experiment {
+            id: "e2",
+            title: "Table 2 + §4.1 — internal tree & back-translation",
+            run: e2,
+        },
+        Experiment {
+            id: "e3",
+            title: "§5 — boolean short-circuiting derivation",
+            run: e3,
+        },
+        Experiment {
+            id: "e4",
+            title: "§2 — exptl tail recursion (stack behavior)",
+            run: e4,
+        },
+        Experiment {
+            id: "e5",
+            title: "§6.1 — Z[I,K] matrix statements and the RT dance",
+            run: e5,
+        },
+        Experiment {
+            id: "e6",
+            title: "Table 3 + §6.2 — representation analysis",
+            run: e6,
+        },
+        Experiment {
+            id: "e7",
+            title: "§6.3 — pdl numbers vs heap allocation",
+            run: e7,
+        },
+        Experiment {
+            id: "e8",
+            title: "Table 4 + §7 — the testfn compilation",
+            run: e8,
+        },
+        Experiment {
+            id: "e9",
+            title: "§1 — Fateman-style numeric comparison",
+            run: e9,
+        },
+        Experiment {
+            id: "e10",
+            title: "§4.4 — deep binding with cached lookups",
+            run: e10,
+        },
+        Experiment {
+            id: "e11",
+            title: "§4.4 — binding annotation (closures only when needed)",
+            run: e11,
+        },
+        Experiment {
+            id: "e12",
+            title: "§5/§6 — whole-compiler ablation",
+            run: e12,
+        },
     ]
 }
 
@@ -75,7 +123,11 @@ fn e1() -> String {
             s1lisp::PhaseStatus::OptionalExtension => "optional extension",
             s1lisp::PhaseStatus::Subsumed => "subsumed",
         };
-        let b = if p.bracketed_in_paper { " [bracketed in 1982]" } else { "" };
+        let b = if p.bracketed_in_paper {
+            " [bracketed in 1982]"
+        } else {
+            ""
+        };
         let _ = writeln!(out, "  {:<36} {status:<20}{b}", p.name);
         let _ = writeln!(out, "      → {}", p.module);
     }
@@ -89,9 +141,8 @@ fn e2() -> String {
     c.opt_options = OptOptions::none();
     c.compile_str(corpus::QUADRATIC).unwrap();
     let f = c.function("quadratic").unwrap();
-    let mut out = String::from(
-        "quadratic, converted to the internal tree and back-translated (§4.1):\n\n",
-    );
+    let mut out =
+        String::from("quadratic, converted to the internal tree and back-translated (§4.1):\n\n");
     out.push_str(&f.converted);
     out.push_str("\n\nConstruct set used (must be within Table 2):\n  ");
     let mut kinds: Vec<&str> = s1lisp_ast::subtree_nodes(&f.tree, f.tree.root)
@@ -133,16 +184,18 @@ fn e3() -> String {
     );
     let code = c.disassemble("f").unwrap();
     let jumps = code.lines().filter(|l| l.contains("JMP")).count();
-    let _ = writeln!(out, "Branch instructions in compiled f: {jumps} (pure jump code)");
+    let _ = writeln!(
+        out,
+        "Branch instructions in compiled f: {jumps} (pure jump code)"
+    );
     out
 }
 
 // --------------------------------------------------------------------- E4
 
 fn e4() -> String {
-    let mut out = String::from(
-        "Tail recursion (compiled) vs recursion depth (interpreter without TCO):\n\n",
-    );
+    let mut out =
+        String::from("Tail recursion (compiled) vs recursion depth (interpreter without TCO):\n\n");
     let _ = writeln!(
         out,
         "  {:>10} {:>16} {:>16} {:>18} {:>12}",
@@ -287,7 +340,8 @@ fn e6() -> String {
 // --------------------------------------------------------------------- E7
 
 fn e7() -> String {
-    let mut out = String::from("Pdl numbers (§6.3): stack vs heap allocation of float temporaries\n\n");
+    let mut out =
+        String::from("Pdl numbers (§6.3): stack vs heap allocation of float temporaries\n\n");
     let _ = writeln!(
         out,
         "  {:<18} {:>12} {:>12} {:>12} {:>8}",
@@ -385,8 +439,16 @@ fn e9() -> String {
         (Value::Flonum(a), Value::Flonum(b)) => assert!((a - b).abs() < 1e-6),
         _ => panic!("non-float results"),
     }
-    let _ = writeln!(out, "  {:<28} {:>14} {:>10}", "configuration", "instructions", "ratio");
-    let _ = writeln!(out, "  {:<28} {:>14} {:>10.2}", "hand-written assembly", hand_insns, 1.0);
+    let _ = writeln!(
+        out,
+        "  {:<28} {:>14} {:>10}",
+        "configuration", "instructions", "ratio"
+    );
+    let _ = writeln!(
+        out,
+        "  {:<28} {:>14} {:>10.2}",
+        "hand-written assembly", hand_insns, 1.0
+    );
     let _ = writeln!(
         out,
         "  {:<28} {:>14} {:>10.2}",
@@ -419,9 +481,18 @@ fn hand_horner(n: i64) -> (Value, u64) {
     use s1lisp_s1sim::{Asm, CallTarget, Cond, Insn, Machine, Operand, Program, Reg};
     let mut asm = Asm::new("hand", 1);
     // R9 = acc, R10 = x, R11 = n (raw), all registers.
-    asm.push(Insn::Mov { dst: Operand::Reg(Reg(9)), src: Operand::float(0.0) });
-    asm.push(Insn::Mov { dst: Operand::Reg(Reg(10)), src: Operand::float(0.0) });
-    asm.push(Insn::Mov { dst: Operand::Reg(Reg(11)), src: Operand::arg(0) });
+    asm.push(Insn::Mov {
+        dst: Operand::Reg(Reg(9)),
+        src: Operand::float(0.0),
+    });
+    asm.push(Insn::Mov {
+        dst: Operand::Reg(Reg(10)),
+        src: Operand::float(0.0),
+    });
+    asm.push(Insn::Mov {
+        dst: Operand::Reg(Reg(11)),
+        src: Operand::arg(0),
+    });
     let top = asm.here();
     let done = asm.label();
     asm.push(Insn::JmpIf {
@@ -431,18 +502,57 @@ fn hand_horner(n: i64) -> (Value, u64) {
         target: done,
     });
     // horner: ((1.0*x - 2.0)*x + 3.0)*x - 4.0, accumulated.
-    asm.push(Insn::FMult { dst: Operand::Reg(Reg::RTA), a: Operand::Reg(Reg(10)), b: Operand::float(1.0) });
-    asm.push(Insn::FAdd { dst: Operand::Reg(Reg::RTA), a: Operand::Reg(Reg::RTA), b: Operand::float(-2.0) });
-    asm.push(Insn::FMult { dst: Operand::Reg(Reg::RTA), a: Operand::Reg(Reg::RTA), b: Operand::Reg(Reg(10)) });
-    asm.push(Insn::FAdd { dst: Operand::Reg(Reg::RTA), a: Operand::Reg(Reg::RTA), b: Operand::float(3.0) });
-    asm.push(Insn::FMult { dst: Operand::Reg(Reg::RTA), a: Operand::Reg(Reg::RTA), b: Operand::Reg(Reg(10)) });
-    asm.push(Insn::FAdd { dst: Operand::Reg(Reg::RTA), a: Operand::Reg(Reg::RTA), b: Operand::float(-4.0) });
-    asm.push(Insn::FAdd { dst: Operand::Reg(Reg(9)), a: Operand::Reg(Reg(9)), b: Operand::Reg(Reg::RTA) });
-    asm.push(Insn::FAdd { dst: Operand::Reg(Reg(10)), a: Operand::Reg(Reg(10)), b: Operand::float(0.001) });
-    asm.push(Insn::Sub { dst: Operand::Reg(Reg(11)), a: Operand::Reg(Reg(11)), b: Operand::fixnum(1) });
+    asm.push(Insn::FMult {
+        dst: Operand::Reg(Reg::RTA),
+        a: Operand::Reg(Reg(10)),
+        b: Operand::float(1.0),
+    });
+    asm.push(Insn::FAdd {
+        dst: Operand::Reg(Reg::RTA),
+        a: Operand::Reg(Reg::RTA),
+        b: Operand::float(-2.0),
+    });
+    asm.push(Insn::FMult {
+        dst: Operand::Reg(Reg::RTA),
+        a: Operand::Reg(Reg::RTA),
+        b: Operand::Reg(Reg(10)),
+    });
+    asm.push(Insn::FAdd {
+        dst: Operand::Reg(Reg::RTA),
+        a: Operand::Reg(Reg::RTA),
+        b: Operand::float(3.0),
+    });
+    asm.push(Insn::FMult {
+        dst: Operand::Reg(Reg::RTA),
+        a: Operand::Reg(Reg::RTA),
+        b: Operand::Reg(Reg(10)),
+    });
+    asm.push(Insn::FAdd {
+        dst: Operand::Reg(Reg::RTA),
+        a: Operand::Reg(Reg::RTA),
+        b: Operand::float(-4.0),
+    });
+    asm.push(Insn::FAdd {
+        dst: Operand::Reg(Reg(9)),
+        a: Operand::Reg(Reg(9)),
+        b: Operand::Reg(Reg::RTA),
+    });
+    asm.push(Insn::FAdd {
+        dst: Operand::Reg(Reg(10)),
+        a: Operand::Reg(Reg(10)),
+        b: Operand::float(0.001),
+    });
+    asm.push(Insn::Sub {
+        dst: Operand::Reg(Reg(11)),
+        a: Operand::Reg(Reg(11)),
+        b: Operand::fixnum(1),
+    });
     asm.push(Insn::Jmp { target: top });
     asm.bind(done);
-    asm.push(Insn::BoxFlo { dst: Operand::Reg(Reg::A), src: Operand::Reg(Reg(9)) });
+    asm.push(Insn::BoxFlo {
+        dst: Operand::Reg(Reg::A),
+        src: Operand::Reg(Reg(9)),
+    });
     asm.push(Insn::Ret);
     let _ = CallTarget::Func(0);
     let mut p = Program::new();
@@ -500,7 +610,11 @@ fn e11() -> String {
     m.run("escape-test", &[fx(5)]).unwrap();
     let after_escape = m.stats.closures_made;
     let _ = writeln!(out, "  {:<44} {:>10}", "lambda usage", "closures");
-    let _ = writeln!(out, "  {:<44} {:>10}", "let binding (manifest lambda call)", after_let);
+    let _ = writeln!(
+        out,
+        "  {:<44} {:>10}",
+        "let binding (manifest lambda call)", after_let
+    );
     let _ = writeln!(
         out,
         "  {:<44} {:>10}",
@@ -529,17 +643,32 @@ fn e12() -> String {
     );
     let suite: Vec<(&str, &str, &str, Vec<Value>)> = vec![
         ("exptl", corpus::EXPTL, "exptl", vec![fx(3), fx(30), fx(1)]),
-        ("exptl-typed", corpus::EXPTL_TYPED, "exptl-typed", vec![fx(3), fx(30), fx(1)]),
+        (
+            "exptl-typed",
+            corpus::EXPTL_TYPED,
+            "exptl-typed",
+            vec![fx(3), fx(30), fx(1)],
+        ),
         ("tak", corpus::TAK, "tak", vec![fx(14), fx(10), fx(6)]),
         ("fib-iter", corpus::FIB_ITER, "fib-iter", vec![fx(60)]),
-        ("quadratic", corpus::QUADRATIC, "quadratic", vec![fl(1.0), fl(-3.0), fl(2.0)]),
+        (
+            "quadratic",
+            corpus::QUADRATIC,
+            "quadratic",
+            vec![fl(1.0), fl(-3.0), fl(2.0)],
+        ),
         (
             "quad-typed",
             corpus::QUADRATIC_TYPED,
             "quadratic-typed",
             vec![fl(1.0), fl(-3.0), fl(2.0)],
         ),
-        ("sum-horner", corpus::HORNER_LOOP, "sum-horner", vec![fx(2_000)]),
+        (
+            "sum-horner",
+            corpus::HORNER_LOOP,
+            "sum-horner",
+            vec![fx(2_000)],
+        ),
         ("dot-loop", corpus::DOT, "dot-loop", vec![fx(2_000)]),
         ("deriv", corpus::DERIV, "deriv-bench", {
             let mut i = s1lisp_reader::Interner::new();

@@ -1,0 +1,228 @@
+//! Machine-readable experiment records (`report --json`).
+//!
+//! Every experiment gets a record of the *same shape*, built by compiling
+//! a representative workload with tracing enabled and running it on a
+//! machine with an execution profile attached:
+//!
+//! ```text
+//! { id, title,
+//!   compile: { phases: [{phase, spans, wall_us, counters}], rules,
+//!              code_size_words },
+//!   run:     { entry, value, stats, opcodes, per_function } }
+//! ```
+//!
+//! Fixed keys are [`Json::Obj`] fields (schema); histograms keyed by rule
+//! or opcode name are [`Json::Map`]s (only the value type is schema).
+//! The golden tests pin [`s1lisp_trace::json::schema`] of these records
+//! so the surface stays machine-stable while measured values vary.
+
+use s1lisp::{Compiler, Value};
+use s1lisp_s1sim::ExecProfile;
+use s1lisp_trace::json::Json;
+
+use crate::corpus;
+
+/// The representative workload behind one experiment's JSON record.
+struct Workload {
+    src: &'static str,
+    entry: &'static str,
+    args: Vec<Value>,
+    globals: Vec<(&'static str, Value)>,
+}
+
+fn fx(n: i64) -> Value {
+    Value::Fixnum(n)
+}
+
+fn fl(x: f64) -> Value {
+    Value::Flonum(x)
+}
+
+fn workload(id: &str) -> Option<Workload> {
+    let w = |src, entry, args| Workload {
+        src,
+        entry,
+        args,
+        globals: Vec::new(),
+    };
+    Some(match id {
+        "e1" => w(corpus::EXPTL, "exptl", vec![fx(3), fx(10), fx(1)]),
+        "e2" => w(
+            corpus::QUADRATIC,
+            "quadratic",
+            vec![fl(1.0), fl(-3.0), fl(2.0)],
+        ),
+        "e3" => w(
+            "(defun f (a b c) (if (and a (or b c)) (e1) (e2)))
+             (defun e1 () 1) (defun e2 () 2)",
+            "f",
+            vec![fx(1), Value::Nil, fx(1)],
+        ),
+        "e4" => w(corpus::LOOPN, "loopn", vec![fx(100_000)]),
+        "e5" => w(corpus::DOT, "dot-loop", vec![fx(2_000)]),
+        "e6" => w(
+            corpus::QUADRATIC_TYPED,
+            "quadratic-typed",
+            vec![fl(1.0), fl(-3.0), fl(2.0)],
+        ),
+        "e7" => w(
+            corpus::PDL_KERNEL,
+            "pdl-loop",
+            vec![fx(2_000), fl(1.5), fl(2.5)],
+        ),
+        "e8" => w(corpus::TESTFN, "testfn", vec![fl(1.5), fl(2.5), fl(0.5)]),
+        "e9" => w(corpus::HORNER_LOOP, "sum-horner", vec![fx(2_000)]),
+        "e10" => Workload {
+            src: corpus::SPECIALS_LOOP,
+            entry: "accumulate",
+            args: vec![fx(5_000)],
+            globals: vec![("*step*", fx(2))],
+        },
+        "e11" => w(corpus::CLOSURES, "escape-test", vec![fx(5)]),
+        "e12" => w(corpus::TAK, "tak", vec![fx(14), fx(10), fx(6)]),
+        _ => return None,
+    })
+}
+
+fn obj(fields: Vec<(&str, Json)>) -> Json {
+    Json::Obj(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn compile_section(c: &Compiler) -> Json {
+    let sink = c.trace().expect("tracing was enabled");
+    let phases = sink
+        .phases()
+        .iter()
+        .map(|p| {
+            let counters = Json::Map(
+                p.counters
+                    .iter()
+                    .map(|&(n, v)| (n.to_string(), Json::uint(v)))
+                    .collect(),
+            );
+            obj(vec![
+                ("phase", Json::str(p.phase)),
+                ("spans", Json::uint(p.spans)),
+                (
+                    "wall_us",
+                    Json::uint(p.wall.as_micros().try_into().unwrap_or(u64::MAX)),
+                ),
+                ("counters", counters),
+            ])
+        })
+        .collect();
+    let rules = Json::Map(
+        c.rule_histogram()
+            .into_iter()
+            .map(|(r, n)| (r.to_string(), Json::uint(n)))
+            .collect(),
+    );
+    obj(vec![
+        ("phases", Json::Arr(phases)),
+        ("rules", rules),
+        ("code_size_words", Json::uint(c.code_size_words() as u64)),
+    ])
+}
+
+fn run_section(c: &Compiler, wl: &Workload) -> Json {
+    let mut m = c.machine();
+    for (name, v) in &wl.globals {
+        m.set_global(name, v).expect("global installs");
+    }
+    m.profile = Some(Box::new(ExecProfile::new()));
+    let value = m.run(wl.entry, &wl.args).expect("workload runs");
+    let stats = Json::Map(
+        m.stats
+            .counters()
+            .into_iter()
+            .map(|(label, v)| (label.to_string(), Json::uint(v)))
+            .collect(),
+    );
+    let profile = m.profile.take().expect("profile survives the run");
+    let opcodes = Json::Map(
+        profile
+            .opcodes
+            .iter()
+            .map(|(&op, &n)| (op.to_string(), Json::uint(n)))
+            .collect(),
+    );
+    let fn_names = &c.program().fn_names;
+    let per_function = profile
+        .per_fn()
+        .into_iter()
+        .map(|(fnid, cycles)| {
+            let name = fn_names.get(fnid as usize).map_or("?", String::as_str);
+            obj(vec![
+                ("function", Json::str(name)),
+                ("cycles", Json::uint(cycles)),
+            ])
+        })
+        .collect();
+    obj(vec![
+        ("entry", Json::str(wl.entry)),
+        ("value", Json::str(format!("{value}"))),
+        ("stats", stats),
+        ("opcodes", opcodes),
+        ("per_function", Json::Arr(per_function)),
+    ])
+}
+
+/// The JSON record for one experiment, or `None` for an unknown id.
+pub fn json_record(id: &str) -> Option<Json> {
+    let title = crate::all_experiments()
+        .into_iter()
+        .find(|e| e.id == id)?
+        .title;
+    let wl = workload(id)?;
+    let mut c = Compiler::new();
+    c.enable_trace();
+    c.compile_str(wl.src).expect("workload compiles");
+    let compile = compile_section(&c);
+    let run = run_section(&c, &wl);
+    Some(obj(vec![
+        ("id", Json::str(id)),
+        ("title", Json::str(title)),
+        ("compile", compile),
+        ("run", run),
+    ]))
+}
+
+/// Records for every experiment, in index order.
+pub fn all_json_records() -> Json {
+    Json::Arr(
+        crate::all_experiments()
+            .iter()
+            .filter_map(|e| json_record(e.id))
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s1lisp_trace::json;
+
+    #[test]
+    fn every_experiment_has_a_record_and_it_parses() {
+        for e in crate::all_experiments() {
+            let rec = json_record(e.id).unwrap_or_else(|| panic!("no record for {}", e.id));
+            let text = rec.to_string();
+            json::parse(&text).unwrap_or_else(|err| panic!("{}: {err}", e.id));
+        }
+    }
+
+    #[test]
+    fn records_share_one_schema() {
+        let sigs: Vec<String> = ["e1", "e7", "e12"]
+            .iter()
+            .map(|id| json::schema(&json_record(id).unwrap()))
+            .collect();
+        assert_eq!(sigs[0], sigs[1]);
+        assert_eq!(sigs[1], sigs[2]);
+    }
+}

@@ -8,5 +8,7 @@
 
 pub mod corpus;
 pub mod experiments;
+pub mod json_report;
 
 pub use experiments::{all_experiments, run_experiment, Experiment};
+pub use json_report::{all_json_records, json_record};

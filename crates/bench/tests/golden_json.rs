@@ -1,0 +1,114 @@
+//! Golden tests pinning the `report --json` record shape, and the
+//! zero-overhead guarantee for execution profiling.
+//!
+//! The golden file holds the canonical type signature
+//! (`s1lisp_trace::json::schema`) of an experiment record.  Measured
+//! *values* are free to vary run to run; renaming a field, changing a
+//! counter's type, or restructuring the record breaks the golden and
+//! must be a deliberate schema bump.
+
+use s1lisp_bench::json_record;
+use s1lisp_trace::json::{self, Json};
+
+const GOLDEN: &str = include_str!("golden/report_schema.txt");
+
+/// Dynamic maps in a record are int-valued histograms; an *empty* one
+/// carries no value type, so pad it with a sentinel entry before
+/// computing the signature.  (An experiment whose workload fires no
+/// optimizer rules has `rules: {}` — same schema, no entries.)
+fn pad_empty_maps(v: Json) -> Json {
+    match v {
+        Json::Map(entries) if entries.is_empty() => {
+            Json::Map(vec![("_".to_string(), Json::Int(0))])
+        }
+        Json::Map(entries) => Json::Map(
+            entries
+                .into_iter()
+                .map(|(k, v)| (k, pad_empty_maps(v)))
+                .collect(),
+        ),
+        Json::Obj(fields) => Json::Obj(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k, pad_empty_maps(v)))
+                .collect(),
+        ),
+        Json::Arr(items) => Json::Arr(items.into_iter().map(pad_empty_maps).collect()),
+        other => other,
+    }
+}
+
+fn pinned_schema(id: &str) -> String {
+    let rec = json_record(id).unwrap_or_else(|| panic!("no record for {id}"));
+    // The record must also be well-formed JSON text.
+    json::parse(&rec.to_string()).unwrap_or_else(|e| panic!("{id}: bad JSON: {e}"));
+    json::schema(&pad_empty_maps(rec))
+}
+
+#[test]
+fn e1_schema_matches_golden() {
+    assert_eq!(pinned_schema("e1"), GOLDEN.trim());
+}
+
+#[test]
+fn e12_schema_matches_golden() {
+    assert_eq!(pinned_schema("e12"), GOLDEN.trim());
+}
+
+#[test]
+fn e8_schema_matches_golden_with_rules_populated() {
+    // e8 (testfn) fires optimizer rules, so its `rules` map is
+    // populated — the schema must still be the canonical one.
+    let rec = json_record("e8").unwrap();
+    let rules_nonempty = match &rec {
+        Json::Obj(fields) => fields.iter().any(|(k, v)| {
+            k == "compile"
+                && matches!(v, Json::Obj(inner)
+                    if inner.iter().any(|(k2, v2)| k2 == "rules"
+                        && matches!(v2, Json::Map(m) if !m.is_empty())))
+        }),
+        _ => false,
+    };
+    assert!(rules_nonempty, "testfn should fire rules");
+    assert_eq!(pinned_schema("e8"), GOLDEN.trim());
+}
+
+#[test]
+fn profiling_does_not_perturb_the_simulation() {
+    use s1lisp::{Compiler, Value};
+    use s1lisp_s1sim::ExecProfile;
+
+    let src = "(defun tak (x y z)
+                 (if (not (< y x)) z
+                     (tak (tak (- x 1) y z)
+                          (tak (- y 1) z x)
+                          (tak (- z 1) x y))))";
+    let mut c = Compiler::new();
+    c.compile_str(src).unwrap();
+    let args = [Value::Fixnum(12), Value::Fixnum(8), Value::Fixnum(4)];
+
+    let mut plain = c.machine();
+    let v1 = plain.run("tak", &args).unwrap();
+
+    let mut profiled = c.machine();
+    profiled.profile = Some(Box::new(ExecProfile::with_ring(64)));
+    let v2 = profiled.run("tak", &args).unwrap();
+
+    assert_eq!(v1, v2);
+    // The profile is host-side bookkeeping: every simulated counter is
+    // bit-identical with and without it.
+    assert_eq!(plain.stats.insns, profiled.stats.insns);
+    assert_eq!(plain.stats.moves, profiled.stats.moves);
+    assert_eq!(plain.stats.calls, profiled.stats.calls);
+    assert_eq!(plain.stats.tail_calls, profiled.stats.tail_calls);
+    assert_eq!(plain.stats.max_call_depth, profiled.stats.max_call_depth);
+    assert_eq!(plain.stats.max_stack_words, profiled.stats.max_stack_words);
+    assert_eq!(plain.stats.heap.words, profiled.stats.heap.words);
+    assert_eq!(plain.stats.heap.objects(), profiled.stats.heap.objects());
+    // And the profile itself accounts for every retired instruction
+    // plus the runtime-call surcharges.
+    let p = profiled.profile.take().unwrap();
+    assert!(p.retired() > 0);
+    let attributed: u64 = p.per_fn().iter().map(|&(_, c)| c).sum();
+    assert_eq!(attributed, profiled.stats.insns);
+}

@@ -139,7 +139,8 @@ pub fn compile_statement(stmt: Statement, alloc: Allocator, name: &str) -> (Func
     // An arithmetic step honoring the 2½-address constraint even when
     // the destination was packed into memory: route through a free RT
     // and MOV out (the naive allocator pays this on every step).
-    let emit = |asm: &mut Asm, make: &dyn Fn(Operand, Operand, Operand) -> Insn,
+    let emit = |asm: &mut Asm,
+                make: &dyn Fn(Operand, Operand, Operand) -> Insn,
                 dst: Operand,
                 a: Operand,
                 b: Operand| {
@@ -193,19 +194,19 @@ pub fn compile_statement(stmt: Statement, alloc: Allocator, name: &str) -> (Func
             emit(&mut asm, &fadd, acc, acc, elem(C_BASE, sc));
             emit(&mut asm, &mult, sz, arg(ARG_I), arg(ARG_Z1));
             emit(&mut asm, &add, sz, sz, arg(ARG_K));
-            emit(
-                &mut asm,
-                &fadd,
-                elem(Z_BASE, sz),
-                acc,
-                Operand::Reg(D_REG),
-            );
+            emit(&mut asm, &fadd, elem(Z_BASE, sz), acc, Operand::Reg(D_REG));
         }
         Statement::WithoutScalar => {
             let (sz, sa, sb, acc, sc) = (loc(0), loc(1), loc(2), loc(3), loc(4));
             // "computing it ahead allows the subscript computation to
             // dance into RTA and then out again into TEMP":
-            emit(&mut asm, &mult, Operand::Reg(Reg::RTA), arg(ARG_I), arg(ARG_Z1));
+            emit(
+                &mut asm,
+                &mult,
+                Operand::Reg(Reg::RTA),
+                arg(ARG_I),
+                arg(ARG_Z1),
+            );
             emit(&mut asm, &add, sz, Operand::Reg(Reg::RTA), arg(ARG_K));
             emit(&mut asm, &mult, sa, arg(ARG_I), arg(ARG_A1));
             emit(&mut asm, &add, sa, sa, arg(ARG_J));
@@ -268,10 +269,10 @@ pub fn run_statement(stmt: Statement, alloc: Allocator) -> Result<(Vec<f64>, u64
             .expect("demo heap");
         for idx in 0..n {
             let v = match matrix {
-                0 => 1.0 + idx as f64,          // A
-                1 => 0.5 * (idx as f64) - 3.0,  // B
-                2 => 0.25 * (idx as f64),       // C
-                _ => 0.0,                       // Z
+                0 => 1.0 + idx as f64,         // A
+                1 => 0.5 * (idx as f64) - 3.0, // B
+                2 => 0.25 * (idx as f64),      // C
+                _ => 0.0,                      // Z
             };
             m.heap.write(base + idx as u64, Word::F(v));
         }
@@ -293,7 +294,12 @@ pub fn run_statement(stmt: Statement, alloc: Allocator) -> Result<(Vec<f64>, u64
         }
     }
     let z: Vec<f64> = (0..n)
-        .map(|idx| m.heap.read(bases[3] + idx as u64).as_float().unwrap_or(f64::NAN))
+        .map(|idx| {
+            m.heap
+                .read(bases[3] + idx as u64)
+                .as_float()
+                .unwrap_or(f64::NAN)
+        })
         .collect();
     Ok((z, m.stats.insns))
 }
@@ -316,7 +322,13 @@ mod tests {
         assert_eq!(movs, 0, "the TEMP dance avoids all MOVs");
         // And the Z subscript went to memory (the TEMP).
         let uses_idxmem = code.insns.iter().any(|i| {
-            matches!(i, Insn::FAdd { dst: Operand::IdxMem { .. }, .. })
+            matches!(
+                i,
+                Insn::FAdd {
+                    dst: Operand::IdxMem { .. },
+                    ..
+                }
+            )
         });
         assert!(uses_idxmem, "Z(TEMP) addressing expected");
     }

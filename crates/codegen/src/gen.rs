@@ -3,7 +3,9 @@
 use std::collections::{HashMap, HashSet};
 
 use s1lisp_analysis::{primop, tail_nodes_from};
-use s1lisp_annotate::{Annotations, LambdaStrategy, Rep, VarAlloc};
+use s1lisp_annotate::{
+    binding_annotation, pdl_annotation, rep_annotation, Annotations, LambdaStrategy, Rep, VarAlloc,
+};
 use s1lisp_ast::{CallFunc, Lambda, NodeId, NodeKind, ProgItem, Tree, VarId};
 use s1lisp_interp::Value;
 use s1lisp_reader::{Datum, Symbol};
@@ -11,6 +13,7 @@ use s1lisp_s1sim::{
     Asm, CallTarget, Cond, FuncCode, Insn, Label, Operand, Program, Reg, Tag, Word,
 };
 use s1lisp_tnbind::{pack, pack_backtracking, Location, PackRequest, TnId, TnPool};
+use s1lisp_trace::{NullSink, TraceSink};
 
 use crate::CodegenOptions;
 
@@ -44,13 +47,78 @@ type R<T> = Result<T, CodegenError>;
 ///
 /// Returns a [`CodegenError`] for constructs outside the compilable
 /// subset (`go` across a closure boundary, `&optional` in a `let`, …).
-pub fn compile(
+pub fn compile(name: &str, tree: &Tree, program: &mut Program, opts: &CodegenOptions) -> R<()> {
+    compile_traced(name, tree, program, opts, &mut NullSink)
+}
+
+/// [`compile`], recording per-phase telemetry into `sink`: one span per
+/// Table 1 annotation phase, a "Target annotation" span per function
+/// around TN packing, and "Code generation" spans around each emit pass
+/// (functions whose packing promotes variables are emitted twice, so
+/// they contribute two spans — the counters describe only the final
+/// code).
+///
+/// # Errors
+///
+/// Same failure modes as [`compile`].
+pub fn compile_traced(
     name: &str,
     tree: &Tree,
     program: &mut Program,
     opts: &CodegenOptions,
+    sink: &mut dyn TraceSink,
 ) -> R<()> {
-    let ann = Annotations::compute(tree);
+    // The three annotation phases, spanned and counted individually
+    // (this is `Annotations::compute`, opened up for telemetry).
+    let sp = sink.span_begin("Binding annotation", name);
+    let binding = binding_annotation(tree);
+    if sink.enabled() {
+        sink.add("lambdas", binding.strategy.len() as u64);
+        let count =
+            |want: LambdaStrategy| binding.strategy.values().filter(|&&s| s == want).count() as u64;
+        sink.add("lambdas_let", count(LambdaStrategy::Let));
+        sink.add("lambdas_local", count(LambdaStrategy::LocalFunction));
+        sink.add("lambdas_closure", count(LambdaStrategy::Closure));
+        sink.add(
+            "heap_vars",
+            binding
+                .var_alloc
+                .values()
+                .filter(|&&a| a == VarAlloc::Heap)
+                .count() as u64,
+        );
+    }
+    sink.span_end(sp);
+    let sp = sink.span_begin("Representation annotation", name);
+    let rep = rep_annotation(tree, &binding);
+    if sink.enabled() {
+        let raw =
+            |m: &HashMap<NodeId, Rep>| m.values().filter(|&&r| r != Rep::Pointer).count() as u64;
+        sink.add("raw_wantreps", raw(&rep.wantrep));
+        sink.add("raw_isreps", raw(&rep.isrep));
+        sink.add(
+            "raw_vars",
+            rep.var_rep.values().filter(|&&r| r != Rep::Pointer).count() as u64,
+        );
+        sink.add("lowered_generic_ops", rep.lowered.len() as u64);
+    }
+    sink.span_end(sp);
+    let sp = sink.span_begin("Pdl number annotation", name);
+    let pdl = pdl_annotation(tree, &binding, &rep);
+    if sink.enabled() {
+        sink.add("stack_box_sites", pdl.stack_boxes.len() as u64);
+        sink.add(
+            "pdlnump_nodes",
+            pdl.pdlnump.values().filter(|&&b| b).count() as u64,
+        );
+        sink.add(
+            "maybe_unsafe_nodes",
+            pdl.maybe_unsafe.values().filter(|&&b| b).count() as u64,
+        );
+    }
+    sink.span_end(sp);
+    let ann = Annotations { binding, rep, pdl };
+
     let mut counter = 0u32;
     let mut work: Vec<(String, NodeId, Vec<VarId>)> = vec![(name.to_string(), tree.root, vec![])];
     while let Some((fname, lambda, captures)) = work.pop() {
@@ -64,6 +132,7 @@ pub fn compile(
             opts,
             &mut work,
             &mut counter,
+            sink,
         )?;
         program.define(code);
     }
@@ -81,17 +150,26 @@ fn compile_lambda(
     opts: &CodegenOptions,
     work: &mut Vec<(String, NodeId, Vec<VarId>)>,
     counter: &mut u32,
+    sink: &mut dyn TraceSink,
 ) -> R<FuncCode> {
     // Pass 1: emit with every variable in a frame slot, recording TN
     // lifetimes and call sites.
     let counter_start = *counter;
-    let mut g = Gen::new(tree, ann, fname, lambda, captures, program, opts, work, counter);
+    let sp = sink.span_begin("Code generation", fname);
+    let mut g = Gen::new(
+        tree, ann, fname, lambda, captures, program, opts, work, counter,
+    );
     let (code, pool, var_tn) = g.emit()?;
+    let metrics = g.metrics;
     if !opts.register_allocation {
+        metrics.report(sink, &code);
+        sink.span_end(sp);
         return Ok(code);
     }
+    sink.span_end(sp);
     // TNBIND: pack, then re-emit with winning variables promoted to
     // registers.
+    let sp_tn = sink.span_begin("Target annotation", fname);
     let req = PackRequest::default();
     let packing = if opts.backtracking_pack {
         pack_backtracking(&pool, &req, 8)
@@ -104,18 +182,74 @@ fn compile_lambda(
             promote.insert(var, Reg(r));
         }
     }
+    if sink.enabled() {
+        sink.add("tns", pool.len() as u64);
+        sink.add("tns_in_registers", packing.in_registers as u64);
+        sink.add("slots_used", u64::from(packing.slots_used));
+        sink.add("vars_promoted", promote.len() as u64);
+        // Conflict-graph size — O(n²), computed only when tracing.
+        let ids: Vec<_> = pool.ids().collect();
+        let mut edges = 0u64;
+        for (i, &a) in ids.iter().enumerate() {
+            for &b in &ids[i + 1..] {
+                if pool.tn(a).overlaps(pool.tn(b)) {
+                    edges += 1;
+                }
+            }
+        }
+        sink.add("conflict_edges", edges);
+    }
+    sink.span_end(sp_tn);
     if promote.is_empty() {
+        // Pass-1 code is final: its counters go in now, under a zero-
+        // length span so they attribute to the right phase.
+        if sink.enabled() {
+            let sp = sink.span_begin("Code generation", fname);
+            metrics.report(sink, &code);
+            sink.span_end(sp);
+        }
         return Ok(code);
     }
     // Closures discovered in pass 1 are already queued; pass 2 re-derives
     // the same names (same counter start) and its duplicates are dropped.
     let mark = work.len();
     *counter = counter_start;
-    let mut g2 = Gen::new(tree, ann, fname, lambda, captures, program, opts, work, counter);
+    let sp = sink.span_begin("Code generation", fname);
+    let mut g2 = Gen::new(
+        tree, ann, fname, lambda, captures, program, opts, work, counter,
+    );
     g2.promote = promote;
     let (code2, _, _) = g2.emit()?;
+    g2.metrics.report(sink, &code2);
+    sink.span_end(sp);
     work.truncate(mark);
     Ok(code2)
+}
+
+/// Counters the generator accumulates while emitting one function.
+#[derive(Clone, Copy, Debug, Default)]
+struct GenMetrics {
+    /// Representation coercions that emitted code (ISREP ≠ WANTREP).
+    coercions: u64,
+    /// Coercions satisfied by a pdl (stack) box instead of a heap box.
+    pdl_promotions: u64,
+    /// Coercions that had to heap-box a flonum.
+    heap_boxes: u64,
+    /// Pointer→raw unboxings.
+    unboxes: u64,
+}
+
+impl GenMetrics {
+    fn report(self, sink: &mut dyn TraceSink, code: &FuncCode) {
+        if !sink.enabled() {
+            return;
+        }
+        sink.add("insns_emitted", code.insns.len() as u64);
+        sink.add("coercions", self.coercions);
+        sink.add("pdl_promotions", self.pdl_promotions);
+        sink.add("heap_boxes", self.heap_boxes);
+        sink.add("unboxes", self.unboxes);
+    }
 }
 
 /// Where a variable's value lives at run time.
@@ -215,6 +349,7 @@ struct Gen<'a> {
     var_tn: HashMap<VarId, TnId>,
     promote: HashMap<VarId, Reg>,
     call_cache: HashMap<NodeId, bool>,
+    metrics: GenMetrics,
 }
 
 impl<'a> Gen<'a> {
@@ -253,7 +388,10 @@ impl<'a> Gen<'a> {
             tails,
             asm: Asm::new(fname, nslots),
             var_loc,
-            free_regs: (Reg::FIRST_GP..=15).map(Reg).chain([Reg::RTB, Reg::RTA]).collect(),
+            free_regs: (Reg::FIRST_GP..=15)
+                .map(Reg)
+                .chain([Reg::RTB, Reg::RTA])
+                .collect(),
             nslots,
             temp_next: 0,
             temp_high: 0,
@@ -270,6 +408,7 @@ impl<'a> Gen<'a> {
             var_tn: HashMap::new(),
             promote: HashMap::new(),
             call_cache: HashMap::new(),
+            metrics: GenMetrics::default(),
         }
     }
 
@@ -293,7 +432,12 @@ impl<'a> Gen<'a> {
 
     fn var_rep(&self, v: VarId) -> Rep {
         if self.opts.representation_analysis {
-            self.ann.rep.var_rep.get(&v).copied().unwrap_or(Rep::Pointer)
+            self.ann
+                .rep
+                .var_rep
+                .get(&v)
+                .copied()
+                .unwrap_or(Rep::Pointer)
         } else {
             Rep::Pointer
         }
@@ -370,7 +514,10 @@ impl<'a> Gen<'a> {
             return v;
         }
         let dst = self.alloc_place();
-        self.asm.push(Insn::Mov { dst: dst.op, src: v.op });
+        self.asm.push(Insn::Mov {
+            dst: dst.op,
+            src: v.op,
+        });
         dst
     }
 
@@ -417,19 +564,17 @@ impl<'a> Gen<'a> {
                 NodeKind::Call {
                     func: CallFunc::Global(g),
                     ..
+                } if (primop(g.as_str()).is_none() || matches!(g.as_str(), "apply" | "throw")) => {
+                    found = true;
+                    break;
                 }
-                    if (primop(g.as_str()).is_none() || matches!(g.as_str(), "apply" | "throw")) => {
-                        found = true;
-                        break;
-                    }
                 NodeKind::Call {
                     func: CallFunc::Expr(f),
                     ..
+                } if !matches!(self.tree.kind(*f), NodeKind::Lambda(_)) => {
+                    found = true;
+                    break;
                 }
-                    if !matches!(self.tree.kind(*f), NodeKind::Lambda(_)) => {
-                        found = true;
-                        break;
-                    }
                 _ => {}
             }
         }
@@ -792,11 +937,17 @@ impl<'a> Gen<'a> {
             return Ok(v);
         }
         if v.reg.is_some() {
-            self.asm.push(Insn::Certify { dst: v.op, src: v.op });
+            self.asm.push(Insn::Certify {
+                dst: v.op,
+                src: v.op,
+            });
             return Ok(v);
         }
         let dst = self.alloc_place();
-        self.asm.push(Insn::Certify { dst: dst.op, src: v.op });
+        self.asm.push(Insn::Certify {
+            dst: dst.op,
+            src: v.op,
+        });
         self.release(v);
         Ok(dst)
     }
@@ -820,7 +971,9 @@ impl<'a> Gen<'a> {
             // Fixnums are immediate: raw and pointer form coincide.
             (Rep::Swfix, Rep::Pointer) | (Rep::Pointer, Rep::Swfix) => Ok(v),
             (Rep::Swflo, Rep::Pointer) => {
+                self.metrics.coercions += 1;
                 if self.opts.pdl_numbers && self.ann.pdl.stack_box(node) {
+                    self.metrics.pdl_promotions += 1;
                     // "Install value for PDL-allocated number" +
                     // "Pointer to PDL slot" (Table 4).
                     let slot = self.alloc_temp_pinned();
@@ -838,6 +991,7 @@ impl<'a> Gen<'a> {
                     });
                     Ok(dst)
                 } else {
+                    self.metrics.heap_boxes += 1;
                     let dst = self.alloc_place();
                     self.asm.push(Insn::BoxFlo {
                         dst: dst.op,
@@ -848,6 +1002,8 @@ impl<'a> Gen<'a> {
                 }
             }
             (Rep::Pointer, Rep::Swflo) => {
+                self.metrics.coercions += 1;
+                self.metrics.unboxes += 1;
                 let dst = self.alloc_place();
                 self.asm.push(Insn::UnboxFlo {
                     dst: dst.op,
@@ -993,13 +1149,7 @@ impl<'a> Gen<'a> {
 
     /// `tail` selects the tail-call protocol; returns `None` for an
     /// emitted tail transfer, `Some(val)` otherwise.
-    fn gen_global_call(
-        &mut self,
-        node: NodeId,
-        g: &Symbol,
-        args: &[NodeId],
-        tail: bool,
-    ) -> R<Val> {
+    fn gen_global_call(&mut self, node: NodeId, g: &Symbol, args: &[NodeId], tail: bool) -> R<Val> {
         debug_assert!(!tail);
         let name = g.as_str();
         // Inline selections.
@@ -1065,14 +1215,20 @@ impl<'a> Gen<'a> {
             ("car", [x]) => {
                 let v = self.gen_into(*x, Rep::Pointer)?;
                 let dst = self.alloc_place();
-                self.asm.push(Insn::Car { dst: dst.op, src: v.op });
+                self.asm.push(Insn::Car {
+                    dst: dst.op,
+                    src: v.op,
+                });
                 self.release(v);
                 Ok(Some(dst))
             }
             ("cdr", [x]) => {
                 let v = self.gen_into(*x, Rep::Pointer)?;
                 let dst = self.alloc_place();
-                self.asm.push(Insn::Cdr { dst: dst.op, src: v.op });
+                self.asm.push(Insn::Cdr {
+                    dst: dst.op,
+                    src: v.op,
+                });
                 self.release(v);
                 Ok(Some(dst))
             }
@@ -1174,10 +1330,22 @@ impl<'a> Gen<'a> {
             let v = self.gen_into(*x, Rep::Swflo)?;
             let dst = self.alloc_place();
             let insn = match name {
-                "sqrt" => Insn::FSqrt { dst: dst.op, src: v.op },
-                "exp" => Insn::FExp { dst: dst.op, src: v.op },
-                "log" => Insn::FLog { dst: dst.op, src: v.op },
-                _ => Insn::FAtan { dst: dst.op, src: v.op },
+                "sqrt" => Insn::FSqrt {
+                    dst: dst.op,
+                    src: v.op,
+                },
+                "exp" => Insn::FExp {
+                    dst: dst.op,
+                    src: v.op,
+                },
+                "log" => Insn::FLog {
+                    dst: dst.op,
+                    src: v.op,
+                },
+                _ => Insn::FAtan {
+                    dst: dst.op,
+                    src: v.op,
+                },
             };
             self.asm.push(insn);
             self.release(v);
@@ -1362,10 +1530,8 @@ impl<'a> Gen<'a> {
                 Ok(Some(dst))
             }
             ("floor" | "mod" | "rem", [_]) => Ok(None), // unary floor is identity via rt
-            ("/", [_]) => Ok(None),                      // (/ n) is a float reciprocal
-            (_, [x]) if matches!(name, "+" | "*") => {
-                Ok(Some(self.gen_into(*x, Rep::Pointer)?))
-            }
+            ("/", [_]) => Ok(None),                     // (/ n) is a float reciprocal
+            (_, [x]) if matches!(name, "+" | "*") => Ok(Some(self.gen_into(*x, Rep::Pointer)?)),
             (_, [first, rest @ ..]) if !rest.is_empty() => {
                 let mut acc = self.gen_into(*first, Rep::Pointer)?;
                 for &b in rest {
@@ -1392,19 +1558,46 @@ impl<'a> Gen<'a> {
             return (a.op, a);
         }
         let dst = self.alloc_place();
-        self.asm.push(Insn::Mov { dst: dst.op, src: a.op });
+        self.asm.push(Insn::Mov {
+            dst: dst.op,
+            src: a.op,
+        });
         (dst.op, dst)
     }
 
     fn emit_float(&mut self, op: FloatOp, a: Val, b: Val) -> Val {
         let (dst, a_owned) = self.arith_dst(a);
         let insn = match op {
-            FloatOp::Add => Insn::FAdd { dst, a: a_owned.op, b: b.op },
-            FloatOp::Sub => Insn::FSub { dst, a: a_owned.op, b: b.op },
-            FloatOp::Mult => Insn::FMult { dst, a: a_owned.op, b: b.op },
-            FloatOp::Div => Insn::FDiv { dst, a: a_owned.op, b: b.op },
-            FloatOp::Max => Insn::FMax { dst, a: a_owned.op, b: b.op },
-            FloatOp::Min => Insn::FMin { dst, a: a_owned.op, b: b.op },
+            FloatOp::Add => Insn::FAdd {
+                dst,
+                a: a_owned.op,
+                b: b.op,
+            },
+            FloatOp::Sub => Insn::FSub {
+                dst,
+                a: a_owned.op,
+                b: b.op,
+            },
+            FloatOp::Mult => Insn::FMult {
+                dst,
+                a: a_owned.op,
+                b: b.op,
+            },
+            FloatOp::Div => Insn::FDiv {
+                dst,
+                a: a_owned.op,
+                b: b.op,
+            },
+            FloatOp::Max => Insn::FMax {
+                dst,
+                a: a_owned.op,
+                b: b.op,
+            },
+            FloatOp::Min => Insn::FMin {
+                dst,
+                a: a_owned.op,
+                b: b.op,
+            },
         };
         self.asm.push(insn);
         self.finish_arith(dst, a_owned, b)
@@ -1413,13 +1606,41 @@ impl<'a> Gen<'a> {
     fn emit_int(&mut self, op: IntOp, a: Val, b: Val) -> Val {
         let (dst, a_owned) = self.arith_dst(a);
         let insn = match op {
-            IntOp::Add => Insn::Add { dst, a: a_owned.op, b: b.op },
-            IntOp::Sub => Insn::Sub { dst, a: a_owned.op, b: b.op },
-            IntOp::Mult => Insn::Mult { dst, a: a_owned.op, b: b.op },
-            IntOp::Div => Insn::Div { dst, a: a_owned.op, b: b.op },
-            IntOp::DivFloor => Insn::DivFloor { dst, a: a_owned.op, b: b.op },
-            IntOp::Rem => Insn::Rem { dst, a: a_owned.op, b: b.op },
-            IntOp::ModFloor => Insn::ModFloor { dst, a: a_owned.op, b: b.op },
+            IntOp::Add => Insn::Add {
+                dst,
+                a: a_owned.op,
+                b: b.op,
+            },
+            IntOp::Sub => Insn::Sub {
+                dst,
+                a: a_owned.op,
+                b: b.op,
+            },
+            IntOp::Mult => Insn::Mult {
+                dst,
+                a: a_owned.op,
+                b: b.op,
+            },
+            IntOp::Div => Insn::Div {
+                dst,
+                a: a_owned.op,
+                b: b.op,
+            },
+            IntOp::DivFloor => Insn::DivFloor {
+                dst,
+                a: a_owned.op,
+                b: b.op,
+            },
+            IntOp::Rem => Insn::Rem {
+                dst,
+                a: a_owned.op,
+                b: b.op,
+            },
+            IntOp::ModFloor => Insn::ModFloor {
+                dst,
+                a: a_owned.op,
+                b: b.op,
+            },
         };
         self.asm.push(insn);
         self.finish_arith(dst, a_owned, b)
@@ -1876,13 +2097,19 @@ impl<'a> Gen<'a> {
             self.release(idx);
             self.asm.bind(default_l);
             let dv = self.gen_into(default, rep)?;
-            self.asm.push(Insn::Mov { dst: out.op, src: dv.op });
+            self.asm.push(Insn::Mov {
+                dst: out.op,
+                src: dv.op,
+            });
             self.release(dv);
             self.asm.push(Insn::Jmp { target: join });
             for (clause, l) in clauses.iter().zip(clause_ls) {
                 self.asm.bind(l);
                 let cv = self.gen_into(clause.body, rep)?;
-                self.asm.push(Insn::Mov { dst: out.op, src: cv.op });
+                self.asm.push(Insn::Mov {
+                    dst: out.op,
+                    src: cv.op,
+                });
                 self.release(cv);
                 self.asm.push(Insn::Jmp { target: join });
             }
@@ -1928,13 +2155,19 @@ impl<'a> Gen<'a> {
         }
         // Default.
         let dv = self.gen_into(default, rep)?;
-        self.asm.push(Insn::Mov { dst: out.op, src: dv.op });
+        self.asm.push(Insn::Mov {
+            dst: out.op,
+            src: dv.op,
+        });
         self.release(dv);
         self.asm.push(Insn::Jmp { target: join });
         for (clause, hit) in clauses.iter().zip(labels) {
             self.asm.bind(hit);
             let cv = self.gen_into(clause.body, rep)?;
-            self.asm.push(Insn::Mov { dst: out.op, src: cv.op });
+            self.asm.push(Insn::Mov {
+                dst: out.op,
+                src: cv.op,
+            });
             self.release(cv);
             self.asm.push(Insn::Jmp { target: join });
         }
@@ -1955,7 +2188,10 @@ impl<'a> Gen<'a> {
         self.pool.record_call(self.pos());
         let out = self.alloc_place();
         let bv = self.gen_into(body, Rep::Pointer)?;
-        self.asm.push(Insn::Mov { dst: out.op, src: bv.op });
+        self.asm.push(Insn::Mov {
+            dst: out.op,
+            src: bv.op,
+        });
         self.release(bv);
         self.asm.push(Insn::PopCatch);
         self.asm.push(Insn::Jmp { target: join });
@@ -1971,7 +2207,11 @@ impl<'a> Gen<'a> {
     fn gen_progbody(&mut self, items: &[ProgItem], tail: bool) -> R<Val> {
         let loop_start = self.pos();
         let exit = self.asm.label();
-        let result = if tail { None } else { Some(self.alloc_temp_pinned()) };
+        let result = if tail {
+            None
+        } else {
+            Some(self.alloc_temp_pinned())
+        };
         let tags: Vec<(Symbol, Label)> = items
             .iter()
             .filter_map(|i| match i {
@@ -1991,12 +2231,7 @@ impl<'a> Gen<'a> {
                     let label = self
                         .pb_stack
                         .last()
-                        .and_then(|pb| {
-                            pb.tags
-                                .iter()
-                                .find(|(name, _)| name == t)
-                                .map(|&(_, l)| l)
-                        })
+                        .and_then(|pb| pb.tags.iter().find(|(name, _)| name == t).map(|&(_, l)| l))
                         .expect("tag registered");
                     self.asm.bind(label);
                 }
@@ -2277,17 +2512,7 @@ fn dense_fixnum_plan(clauses: &[s1lisp_ast::CaseqClause]) -> Option<DensePlan> {
 fn is_test_op(name: &str) -> bool {
     matches!(
         name,
-        "=" | "/="
-            | "<"
-            | ">"
-            | "<="
-            | ">="
-            | "zerop"
-            | "null"
-            | "not"
-            | "eq"
-            | "consp"
-            | "atom"
+        "=" | "/=" | "<" | ">" | "<=" | ">=" | "zerop" | "null" | "not" | "eq" | "consp" | "atom"
     )
 }
 
@@ -2452,10 +2677,7 @@ mod tests {
     fn rest_parameters_listify() {
         check(
             "(defun f (a &rest r) (cons a r))",
-            &[
-                ("f", vec![fx(1)]),
-                ("f", vec![fx(1), fx(2), fx(3)]),
-            ],
+            &[("f", vec![fx(1)]), ("f", vec![fx(1), fx(2), fx(3)])],
         );
     }
 
@@ -2580,10 +2802,7 @@ mod tests {
 
     #[test]
     fn quoted_structure_is_static() {
-        let mut m = check(
-            "(defun f () '(1 2 3))",
-            &[("f", vec![])],
-        );
+        let mut m = check("(defun f () '(1 2 3))", &[("f", vec![])]);
         let before = m.stats.heap.conses;
         m.run("f", &[]).unwrap();
         m.run("f", &[]).unwrap();
@@ -2612,10 +2831,7 @@ mod tests {
         let (mut m1, _) = build(src, &on);
         let (mut m2, _) = build(src, &off);
         let args = [fl(1.0), fl(2.0), fl(3.0), fl(4.0)];
-        assert_eq!(
-            m1.run("dot", &args).unwrap(),
-            m2.run("dot", &args).unwrap()
-        );
+        assert_eq!(m1.run("dot", &args).unwrap(), m2.run("dot", &args).unwrap());
         assert!(
             m1.stats.insns < m2.stats.insns,
             "representation analysis saves work: {} vs {}",

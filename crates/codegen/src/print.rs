@@ -133,9 +133,7 @@ fn insn_str(p: &Program, insn: &Insn) -> String {
         }
         I::Car { dst, src } => format!("(CAR {} {})", o(dst), o(src)),
         I::Cdr { dst, src } => format!("(CDR {} {})", o(dst), o(src)),
-        I::BoxFlo { dst, src } =>
-
-            format!("(%SINGLE-FLONUM-CONS {} {})", o(dst), o(src)),
+        I::BoxFlo { dst, src } => format!("(%SINGLE-FLONUM-CONS {} {})", o(dst), o(src)),
         I::UnboxFlo { dst, src } => format!("(%FLONUM-FETCH {} {})", o(dst), o(src)),
         I::Certify { dst, src } => format!("(%CERTIFY {} {})", o(dst), o(src)),
         I::MakeCell { dst, src } => format!("(%CELL-CONS {} {})", o(dst), o(src)),
@@ -147,23 +145,35 @@ fn insn_str(p: &Program, insn: &Insn) -> String {
         I::LoadEnv { dst, index } => format!("(%ENV-FETCH {} {index})", o(dst)),
         I::SpecBind { sym, src } => format!(
             "(%SPECBIND {} {})",
-            p.symbols.get(*sym as usize).map(String::as_str).unwrap_or("?"),
+            p.symbols
+                .get(*sym as usize)
+                .map(String::as_str)
+                .unwrap_or("?"),
             o(src)
         ),
         I::SpecUnbind { n } => format!("(%SPECUNBIND {n})"),
         I::SpecLookup { dst, sym } => format!(
             "(%SPECLOOKUP {} {})",
             o(dst),
-            p.symbols.get(*sym as usize).map(String::as_str).unwrap_or("?")
+            p.symbols
+                .get(*sym as usize)
+                .map(String::as_str)
+                .unwrap_or("?")
         ),
         I::SpecRead { dst, sym } => format!(
             "(%SPECREAD {} {})",
             o(dst),
-            p.symbols.get(*sym as usize).map(String::as_str).unwrap_or("?")
+            p.symbols
+                .get(*sym as usize)
+                .map(String::as_str)
+                .unwrap_or("?")
         ),
         I::SpecWrite { sym, src } => format!(
             "(%SPECWRITE {} {})",
-            p.symbols.get(*sym as usize).map(String::as_str).unwrap_or("?"),
+            p.symbols
+                .get(*sym as usize)
+                .map(String::as_str)
+                .unwrap_or("?"),
             o(src)
         ),
         I::RtCall { name, nargs, dst } => format!("(%CALLRT {name} {nargs} {})", o(dst)),

@@ -38,10 +38,12 @@ pub use s1lisp_codegen::CodegenOptions;
 pub use s1lisp_interp::{Interp, LispError, Value};
 pub use s1lisp_opt::{OptOptions, Transcript};
 pub use s1lisp_s1sim::{Machine, MachineStats, Program, Trap};
+pub use s1lisp_trace::{MemorySink, PhaseAgg, TraceSink};
 
 use s1lisp_ast::{unparse, Tree};
 use s1lisp_frontend::Frontend;
 use s1lisp_reader::{pretty, read_all_str, Interner};
+use s1lisp_trace::NullSink;
 
 /// One compiled function's artifacts.
 #[derive(Debug, Clone)]
@@ -86,6 +88,8 @@ pub struct Compiler {
     specials: Vec<String>,
     globals: Vec<(String, Value)>,
     eval_counter: u32,
+    /// Telemetry sink; `None` (the default) makes tracing free.
+    trace: Option<MemorySink>,
 }
 
 impl Default for Compiler {
@@ -109,6 +113,7 @@ impl Compiler {
             specials: Vec::new(),
             globals: Vec::new(),
             eval_counter: 0,
+            trace: None,
         }
     }
 
@@ -137,6 +142,14 @@ impl Compiler {
     /// Returns a [`CompileError`] for read, conversion, or
     /// code-generation failures.
     pub fn compile_str(&mut self, source: &str) -> Result<Vec<String>, CompileError> {
+        let mut null = NullSink;
+        // One borrow for the whole compilation; `None` costs a virtual
+        // no-op per phase boundary, nothing per node or instruction.
+        let sink: &mut dyn TraceSink = match self.trace.as_mut() {
+            Some(s) => s,
+            None => &mut null,
+        };
+        let sp = sink.span_begin("Preliminary", "(read+convert)");
         let forms = read_all_str(source, &mut self.interner)?;
         let mut fe = Frontend::new(&mut self.interner);
         for s in &self.specials {
@@ -144,6 +157,11 @@ impl Compiler {
             fe.proclaim_special(sym);
         }
         let fns = fe.convert_toplevel(&forms)?;
+        if sink.enabled() {
+            sink.add("toplevel_forms", forms.len() as u64);
+            sink.add("functions", fns.len() as u64);
+        }
+        sink.span_end(sp);
         for (name, init) in std::mem::take(&mut fe.defvar_inits) {
             self.globals
                 .push((name.as_str().to_string(), Value::from_datum(&init)));
@@ -152,20 +170,71 @@ impl Compiler {
         for mut f in fns {
             let name = f.name.as_str().to_string();
             let converted = pretty(&unparse(&f.tree, f.tree.root), 78);
+            // The analysis phases are pure tree functions, co-routined
+            // inside the optimizer in normal operation; under tracing we
+            // additionally time each one explicitly (Table 1 rows).
+            if sink.enabled() {
+                let sp = sink.span_begin("Environment analysis", &name);
+                let _ = s1lisp_analysis::environment(&f.tree);
+                sink.add("nodes", f.tree.node_count() as u64);
+                sink.span_end(sp);
+                let sp = sink.span_begin("Side-effects analysis", &name);
+                let fx = s1lisp_analysis::effects(&f.tree);
+                sink.add("classified_nodes", fx.len() as u64);
+                sink.span_end(sp);
+                let sp = sink.span_begin("Complexity analysis", &name);
+                let cx = s1lisp_analysis::complexity(&f.tree);
+                sink.add("estimated_nodes", cx.len() as u64);
+                sink.span_end(sp);
+                let sp = sink.span_begin("Tail-recursion analysis", &name);
+                let tails = s1lisp_analysis::tail_nodes(&f.tree);
+                sink.add("tail_nodes", tails.len() as u64);
+                sink.span_end(sp);
+                let sp = sink.span_begin("Special variable lookups", &name);
+                let placements = s1lisp_analysis::special_placements(&f.tree);
+                sink.add("placements", placements.len() as u64);
+                sink.span_end(sp);
+            }
             // Source-level optimization (§5) and optional CSE (§4.3).
+            let sp = sink.span_begin("Source-level optimization", &name);
+            let nodes_before = f.tree.node_count();
             let mut opt = s1lisp_opt::Optimizer::with_options(self.opt_options.clone());
             let mut transformations = opt.optimize_named(&mut f.tree, Some(&name));
+            if sink.enabled() {
+                sink.add("transformations", transformations as u64);
+                sink.add("nodes_before", nodes_before as u64);
+                sink.add("nodes_after", f.tree.node_count() as u64);
+            }
+            sink.span_end(sp);
             if self.cse {
-                transformations += s1lisp_opt::cse::eliminate(&mut f.tree);
+                let sp = sink.span_begin("Common subexpression elimination", &name);
+                let eliminated = s1lisp_opt::cse::eliminate(&mut f.tree);
+                transformations += eliminated;
+                if sink.enabled() {
+                    sink.add("eliminated", eliminated as u64);
+                }
+                sink.span_end(sp);
             }
             let optimized = pretty(&unparse(&f.tree, f.tree.root), 78);
-            // Machine-dependent annotation + TNBIND + code generation.
-            s1lisp_codegen::compile(&name, &f.tree, &mut self.program, &self.codegen_options)?;
+            // Machine-dependent annotation + TNBIND + code generation
+            // (opens its own Table 1 phase spans).
+            s1lisp_codegen::compile_traced(
+                &name,
+                &f.tree,
+                &mut self.program,
+                &self.codegen_options,
+                sink,
+            )?;
             if self.tension_branches {
                 if let Some(id) = self.program.lookup_fn(&name) {
                     if let Some(code) = self.program.func(id) {
                         let mut code = (**code).clone();
-                        s1lisp_codegen::tension_branches(&mut code);
+                        let sp = sink.span_begin("Peephole optimizer", &name);
+                        let retargeted = s1lisp_codegen::tension_branches(&mut code);
+                        if sink.enabled() {
+                            sink.add("labels_retargeted", retargeted as u64);
+                        }
+                        sink.span_end(sp);
                         self.program.define(code);
                     }
                 }
@@ -214,7 +283,10 @@ impl Compiler {
         for (k, form) in forms.iter().enumerate() {
             // defuns define; other forms evaluate.
             let head = form.car().and_then(|h| h.as_symbol().cloned());
-            if matches!(head.as_ref().map(|s| s.as_str()), Some("defun" | "defvar" | "proclaim")) {
+            if matches!(
+                head.as_ref().map(|s| s.as_str()),
+                Some("defun" | "defvar" | "proclaim")
+            ) {
                 fns.extend(fe.convert_toplevel(std::slice::from_ref(form))?);
             } else {
                 let fname = format!("{name}-{k}");
@@ -295,6 +367,70 @@ impl Compiler {
     pub fn code_size_words(&self) -> usize {
         s1lisp_s1sim::program_size_words(&self.program)
     }
+
+    /// Turns on compilation telemetry: subsequent
+    /// [`Compiler::compile_str`] calls record a span per Table 1 phase
+    /// per function, with wall time and per-phase counters, readable via
+    /// [`Compiler::trace`] and [`Compiler::trace_report`].
+    pub fn enable_trace(&mut self) {
+        if self.trace.is_none() {
+            self.trace = Some(MemorySink::new());
+        }
+    }
+
+    /// The accumulated telemetry, or `None` if tracing was never enabled.
+    pub fn trace(&self) -> Option<&MemorySink> {
+        self.trace.as_ref()
+    }
+
+    /// Firing counts per optimizer rule, aggregated across every
+    /// function compiled so far, in first-fired order.  (Available with
+    /// or without tracing — the transcripts are always kept.)
+    pub fn rule_histogram(&self) -> Vec<(&'static str, u64)> {
+        let mut hist: Vec<(&'static str, u64)> = Vec::new();
+        for f in &self.functions {
+            for (rule, n) in f.transcript.rule_histogram() {
+                match hist.iter_mut().find(|(r, _)| *r == rule) {
+                    Some(slot) => slot.1 += n,
+                    None => hist.push((rule, n)),
+                }
+            }
+        }
+        hist
+    }
+
+    /// A paper-style (§7) human-readable report: the Table 1 phase table
+    /// with spans, wall time, and counters, followed by the rule-firing
+    /// histogram in `;****` transcript style.  Empty if tracing was
+    /// never enabled.
+    pub fn trace_report(&self) -> String {
+        use std::fmt::Write as _;
+        let Some(sink) = self.trace.as_ref() else {
+            return String::new();
+        };
+        let mut out = String::new();
+        let _ = writeln!(out, "Phase                              Spans   Wall(us)");
+        for agg in sink.phases() {
+            let _ = writeln!(
+                out,
+                "{:<34} {:>5} {:>10}",
+                agg.phase,
+                agg.spans,
+                agg.wall.as_micros()
+            );
+            for (name, value) in &agg.counters {
+                let _ = writeln!(out, "    {name:<32} {value:>12}");
+            }
+        }
+        let hist = self.rule_histogram();
+        if !hist.is_empty() {
+            let _ = writeln!(out, ";**** Transformation rules applied:");
+            for (rule, n) in hist {
+                let _ = writeln!(out, ";****   {n:>5}  {rule}");
+            }
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -336,11 +472,7 @@ mod tests {
     #[test]
     fn unoptimized_baseline_executes_more_instructions() {
         let src = "(defun f (a b c) (let ((x 1.0)) (+$f a (+$f b c) (*$f x 1.0 a))))";
-        let args = [
-            Value::Flonum(1.0),
-            Value::Flonum(2.0),
-            Value::Flonum(3.0),
-        ];
+        let args = [Value::Flonum(1.0), Value::Flonum(2.0), Value::Flonum(3.0)];
         let mut c1 = Compiler::new();
         c1.compile_str(src).unwrap();
         let mut c2 = Compiler::unoptimized();
@@ -418,30 +550,106 @@ mod tests {
 }
 
 #[cfg(test)]
+mod trace_tests {
+    use super::*;
+
+    const SRC: &str = "(defun norm (x y) (let ((s (+$f (*$f x x) (*$f y y)))) (sqrt$f s)))
+                       (defun fib (n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))";
+
+    #[test]
+    fn tracing_records_every_table_1_phase() {
+        let mut c = Compiler::new();
+        c.enable_trace();
+        c.compile_str(SRC).unwrap();
+        let sink = c.trace().unwrap();
+        for phase in [
+            "Preliminary",
+            "Environment analysis",
+            "Side-effects analysis",
+            "Complexity analysis",
+            "Tail-recursion analysis",
+            "Source-level optimization",
+            "Special variable lookups",
+            "Binding annotation",
+            "Representation annotation",
+            "Pdl number annotation",
+            "Target annotation",
+            "Code generation",
+            "Peephole optimizer",
+        ] {
+            let agg = sink.phase(phase);
+            assert!(agg.is_some(), "phase {phase} never ran");
+        }
+        // Two functions -> two spans of each per-function phase.
+        assert_eq!(sink.phase("Source-level optimization").unwrap().spans, 2);
+        assert_eq!(sink.counter("Preliminary", "functions"), 2);
+        // Codegen counters flowed through.
+        assert!(sink.counter("Code generation", "insns_emitted") > 0);
+        assert!(sink.counter("Target annotation", "tns") > 0);
+    }
+
+    #[test]
+    fn tracing_off_records_nothing_and_output_is_identical() {
+        let mut traced = Compiler::new();
+        traced.enable_trace();
+        traced.compile_str(SRC).unwrap();
+        let mut plain = Compiler::new();
+        plain.compile_str(SRC).unwrap();
+        assert!(plain.trace().is_none());
+        assert_eq!(plain.trace_report(), "");
+        // Tracing must not perturb compilation.
+        assert_eq!(
+            plain.disassemble("norm").unwrap(),
+            traced.disassemble("norm").unwrap()
+        );
+        assert_eq!(plain.code_size_words(), traced.code_size_words());
+    }
+
+    #[test]
+    fn rule_histogram_aggregates_across_functions() {
+        let mut c = Compiler::new();
+        c.compile_str(
+            "(defun f (a b c) (+$f a b c))
+             (defun g (a b c) (*$f a b c))",
+        )
+        .unwrap();
+        let hist = c.rule_histogram();
+        let assoc = hist
+            .iter()
+            .find(|(r, _)| *r == "META-EVALUATE-ASSOC-COMMUT-CALL");
+        assert!(assoc.is_some(), "{hist:?}");
+        assert!(assoc.unwrap().1 >= 2, "{hist:?}");
+    }
+
+    #[test]
+    fn trace_report_is_paper_style() {
+        let mut c = Compiler::new();
+        c.enable_trace();
+        c.compile_str(SRC).unwrap();
+        let report = c.trace_report();
+        assert!(report.contains("Phase"), "{report}");
+        assert!(report.contains("Code generation"), "{report}");
+        assert!(report.contains("insns_emitted"), "{report}");
+        assert!(report.contains(";****"), "{report}");
+    }
+}
+
+#[cfg(test)]
 mod eval_tests {
     use super::*;
 
     #[test]
     fn eval_expressions_and_definitions() {
         let mut c = Compiler::new();
-        assert_eq!(
-            c.eval("(+ 1 2)").unwrap().unwrap(),
-            Value::Fixnum(3)
-        );
+        assert_eq!(c.eval("(+ 1 2)").unwrap().unwrap(), Value::Fixnum(3));
         c.eval("(defun sq (x) (* x x))").unwrap().unwrap();
-        assert_eq!(
-            c.eval("(sq 9)").unwrap().unwrap(),
-            Value::Fixnum(81)
-        );
+        assert_eq!(c.eval("(sq 9)").unwrap().unwrap(), Value::Fixnum(81));
         // Run-time errors come back in the inner result.
         assert!(c.eval("(car 5)").unwrap().is_err());
         // Compile-time errors in the outer one.
         assert!(c.eval("(quote)").is_err());
         // Multiple forms: value of the last.
-        assert_eq!(
-            c.eval("(sq 2) (sq 3)").unwrap().unwrap(),
-            Value::Fixnum(9)
-        );
+        assert_eq!(c.eval("(sq 2) (sq 3)").unwrap().unwrap(), Value::Fixnum(9));
     }
 }
 
@@ -460,9 +668,15 @@ mod defvar_tests {
         )
         .unwrap();
         let mut m = c.machine();
-        assert_eq!(m.run("scaled", &[Value::Fixnum(4)]).unwrap(), Value::Fixnum(40));
+        assert_eq!(
+            m.run("scaled", &[Value::Fixnum(4)]).unwrap(),
+            Value::Fixnum(40)
+        );
         let i = c.interpreter();
-        assert_eq!(i.call("scaled", &[Value::Fixnum(4)]).unwrap(), Value::Fixnum(40));
+        assert_eq!(
+            i.call("scaled", &[Value::Fixnum(4)]).unwrap(),
+            Value::Fixnum(40)
+        );
         // Non-constant initializers are a clean error.
         let mut c2 = Compiler::new();
         assert!(c2.compile_str("(defvar *x* (compute-it))").is_err());
@@ -477,9 +691,6 @@ mod eval_defvar_tests {
     fn eval_honors_defvar_initializers() {
         let mut c = Compiler::new();
         c.eval("(defvar *k* 7)").unwrap().unwrap();
-        assert_eq!(
-            c.eval("(* *k* 6)").unwrap().unwrap(),
-            Value::Fixnum(42)
-        );
+        assert_eq!(c.eval("(* *k* 6)").unwrap().unwrap(), Value::Fixnum(42));
     }
 }

@@ -162,7 +162,9 @@ impl<'a> Frontend<'a> {
                     let items = spec
                         .proper_list()
                         .ok_or_else(|| ConvertError::new("malformed proclaim", form))?;
-                    if items.first().and_then(|h| h.as_symbol().map(|s| s.as_str()))
+                    if items
+                        .first()
+                        .and_then(|h| h.as_symbol().map(|s| s.as_str()))
                         == Some("special")
                     {
                         for s in &items[1..] {
@@ -371,11 +373,7 @@ impl<'f, 'a> Cx<'f, 'a> {
         forms.iter().map(|f| self.convert(f)).collect()
     }
 
-    fn convert_function(
-        &mut self,
-        args: &[Datum],
-        form: &Datum,
-    ) -> Result<NodeId, ConvertError> {
+    fn convert_function(&mut self, args: &[Datum], form: &Datum) -> Result<NodeId, ConvertError> {
         let [f] = args else {
             return Err(self.err("function needs one argument", form));
         };
@@ -393,7 +391,11 @@ impl<'f, 'a> Cx<'f, 'a> {
 
     fn convert_if(&mut self, args: &[Datum], form: &Datum) -> Result<NodeId, ConvertError> {
         let (test, then, els) = match args {
-            [t, c] => (self.convert(t)?, self.convert(c)?, self.tree.constant(Datum::Nil)),
+            [t, c] => (
+                self.convert(t)?,
+                self.convert(c)?,
+                self.tree.constant(Datum::Nil),
+            ),
             [t, c, a] => (self.convert(t)?, self.convert(c)?, self.convert(a)?),
             _ => return Err(self.err("if needs 2 or 3 arguments", form)),
         };
@@ -476,11 +478,7 @@ impl<'f, 'a> Cx<'f, 'a> {
         }))
     }
 
-    fn convert_progbody(
-        &mut self,
-        args: &[Datum],
-        _form: &Datum,
-    ) -> Result<NodeId, ConvertError> {
+    fn convert_progbody(&mut self, args: &[Datum], _form: &Datum) -> Result<NodeId, ConvertError> {
         let mut items = Vec::new();
         for item in args {
             match item {
@@ -497,11 +495,7 @@ impl<'f, 'a> Cx<'f, 'a> {
 
     /// Converts a lambda: parameter list (with `&optional`/`&rest`),
     /// body declarations, body.
-    fn convert_lambda(
-        &mut self,
-        params: &Datum,
-        body: &[Datum],
-    ) -> Result<NodeId, ConvertError> {
+    fn convert_lambda(&mut self, params: &Datum, body: &[Datum]) -> Result<NodeId, ConvertError> {
         let param_items = params
             .proper_list()
             .ok_or_else(|| self.err("parameter list must be a proper list", params))?;
@@ -556,17 +550,13 @@ impl<'f, 'a> Cx<'f, 'a> {
                             match items.as_slice() {
                                 [n] => (
                                     n.as_symbol()
-                                        .ok_or_else(|| {
-                                            self.err("parameter must be a symbol", p)
-                                        })?
+                                        .ok_or_else(|| self.err("parameter must be a symbol", p))?
                                         .clone(),
                                     Datum::Nil,
                                 ),
                                 [n, d] => (
                                     n.as_symbol()
-                                        .ok_or_else(|| {
-                                            self.err("parameter must be a symbol", p)
-                                        })?
+                                        .ok_or_else(|| self.err("parameter must be a symbol", p))?
                                         .clone(),
                                     d.clone(),
                                 ),
@@ -630,9 +620,7 @@ type TypeDecls = Vec<(Symbol, s1lisp_ast::DeclaredType)>;
 
 /// Parses `(declare (special a b) (fixnum n) (flonum x))` forms into the
 /// special set and type declarations.
-fn parse_declares(
-    declares: &[Datum],
-) -> Result<(HashSet<Symbol>, TypeDecls), ConvertError> {
+fn parse_declares(declares: &[Datum]) -> Result<(HashSet<Symbol>, TypeDecls), ConvertError> {
     let mut specials = HashSet::new();
     let mut types = Vec::new();
     for d in declares {
@@ -716,10 +704,7 @@ mod tests {
     #[test]
     fn optional_parameters_with_defaults() {
         let got = convert("(defun testfn (a &optional (b 3.0) (c a)) (list a b c))");
-        assert_eq!(
-            got,
-            "(lambda (a &optional (b '3.0) (c a)) (list a b c))"
-        );
+        assert_eq!(got, "(lambda (a &optional (b '3.0) (c a)) (list a b c))");
     }
 
     #[test]
@@ -754,8 +739,7 @@ mod tests {
     #[test]
     fn declare_special_binds_dynamically() {
         let mut i = Interner::new();
-        let form =
-            read_str("(defun f (x) (declare (special x)) (g) x)", &mut i).unwrap();
+        let form = read_str("(defun f (x) (declare (special x)) (g) x)", &mut i).unwrap();
         let mut fe = Frontend::new(&mut i);
         let f = fe.convert_defun(&form).unwrap();
         let x = f

@@ -28,8 +28,19 @@ fn err(msg: &str, form: &Datum) -> ConvertError {
 pub(crate) fn is_macro(head: &Symbol) -> bool {
     matches!(
         head.as_str(),
-        "let" | "let*" | "cond" | "and" | "or" | "when" | "unless" | "prog" | "do" | "do*"
-            | "dotimes" | "psetq" | "case"
+        "let"
+            | "let*"
+            | "cond"
+            | "and"
+            | "or"
+            | "when"
+            | "unless"
+            | "prog"
+            | "do"
+            | "do*"
+            | "dotimes"
+            | "psetq"
+            | "case"
     )
 }
 
@@ -68,9 +79,7 @@ fn binding_parts(b: &Datum) -> Result<(Datum, Datum), ConvertError> {
     if b.as_symbol().is_some() {
         return Ok((b.clone(), Datum::Nil));
     }
-    let items = b
-        .proper_list()
-        .ok_or_else(|| err("malformed binding", b))?;
+    let items = b.proper_list().ok_or_else(|| err("malformed binding", b))?;
     match items.as_slice() {
         [name] => Ok((name.clone(), Datum::Nil)),
         [name, init] => Ok((name.clone(), init.clone())),
@@ -348,14 +357,22 @@ fn expand_do(
     //   loop (if end-test (return (progn nil results…)))
     //        body… (psetq steps…) (go loop))
     let loop_tag = Datum::Sym(interner.gensym("loop"));
-    let mut result = vec![sym(interner, "progn"), Datum::list([sym(interner, "quote"), Datum::Nil])];
+    let mut result = vec![
+        sym(interner, "progn"),
+        Datum::list([sym(interner, "quote"), Datum::Nil]),
+    ];
     result.extend(results.iter().cloned());
     let exit = Datum::list([
         sym(interner, "if"),
         end_test.clone(),
         Datum::list([sym(interner, "return"), Datum::list(result)]),
     ]);
-    let mut prog = vec![sym(interner, "prog"), Datum::list(bindings), loop_tag.clone(), exit];
+    let mut prog = vec![
+        sym(interner, "prog"),
+        Datum::list(bindings),
+        loop_tag.clone(),
+        exit,
+    ];
     prog.extend(body.iter().cloned());
     if !steps.is_empty() {
         // `do` steps in parallel (psetq); `do*` steps sequentially (setq).
@@ -391,10 +408,7 @@ fn expand_dotimes(
             Datum::list([limit.clone(), count]),
             Datum::list([var.clone(), Datum::Fixnum(0), step]),
         ]),
-        Datum::list([
-            Datum::list([sym(interner, ">="), var, limit]),
-            result,
-        ]),
+        Datum::list([Datum::list([sym(interner, ">="), var, limit]), result]),
     ];
     do_form.extend(body.iter().cloned());
     Ok(Datum::list(do_form))
@@ -491,7 +505,10 @@ mod tests {
 
     #[test]
     fn case_reheads_to_caseq() {
-        assert_eq!(exp1("(case x ((1 2) 'a) (t 'b))"), "(caseq x ((1 2) 'a) (t 'b))");
+        assert_eq!(
+            exp1("(case x ((1 2) 'a) (t 'b))"),
+            "(caseq x ((1 2) 'a) (t 'b))"
+        );
     }
 
     #[test]

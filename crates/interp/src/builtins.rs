@@ -44,14 +44,94 @@ pub fn eval_primop(name: &str, args: &[s1lisp_reader::Datum]) -> Option<s1lisp_r
 /// All builtin names (kept in sync with `dispatch` by the
 /// `dispatch_covers_all_names` test).
 pub const NAMES: &[&str] = &[
-    "+", "-", "*", "/", "1+", "1-", "abs", "min", "max", "floor", "ceiling", "truncate",
-    "round", "mod", "rem", "expt", "=", "/=", "<", ">", "<=", ">=", "zerop", "oddp", "evenp",
-    "plusp", "minusp", "+$f", "-$f", "*$f", "/$f", "max$f", "min$f", "abs$f", "+&", "-&", "*&",
-    "sqrt", "sqrt$f", "sin", "cos", "sin$f", "cos$f", "sinc$f", "cosc$f", "atan", "exp", "log",
-    "float", "fix", "null", "not", "atom", "consp", "listp", "symbolp", "numberp", "fixnump",
-    "flonump", "stringp", "functionp", "eq", "eql", "equal", "cons", "car", "cdr", "caar",
-    "cadr", "cdar", "cddr", "caddr", "cdddr", "list", "list*", "append", "reverse", "length",
-    "nth", "nthcdr", "last", "assq", "assoc", "memq", "member", "rplaca", "rplacd", "identity",
+    "+",
+    "-",
+    "*",
+    "/",
+    "1+",
+    "1-",
+    "abs",
+    "min",
+    "max",
+    "floor",
+    "ceiling",
+    "truncate",
+    "round",
+    "mod",
+    "rem",
+    "expt",
+    "=",
+    "/=",
+    "<",
+    ">",
+    "<=",
+    ">=",
+    "zerop",
+    "oddp",
+    "evenp",
+    "plusp",
+    "minusp",
+    "+$f",
+    "-$f",
+    "*$f",
+    "/$f",
+    "max$f",
+    "min$f",
+    "abs$f",
+    "+&",
+    "-&",
+    "*&",
+    "sqrt",
+    "sqrt$f",
+    "sin",
+    "cos",
+    "sin$f",
+    "cos$f",
+    "sinc$f",
+    "cosc$f",
+    "atan",
+    "exp",
+    "log",
+    "float",
+    "fix",
+    "null",
+    "not",
+    "atom",
+    "consp",
+    "listp",
+    "symbolp",
+    "numberp",
+    "fixnump",
+    "flonump",
+    "stringp",
+    "functionp",
+    "eq",
+    "eql",
+    "equal",
+    "cons",
+    "car",
+    "cdr",
+    "caar",
+    "cadr",
+    "cdar",
+    "cddr",
+    "caddr",
+    "cdddr",
+    "list",
+    "list*",
+    "append",
+    "reverse",
+    "length",
+    "nth",
+    "nthcdr",
+    "last",
+    "assq",
+    "assoc",
+    "memq",
+    "member",
+    "rplaca",
+    "rplacd",
+    "identity",
     "error",
 ];
 
@@ -91,7 +171,10 @@ fn arity(args: &[Value], n: usize, who: &str) -> Result<(), LispError> {
     if args.len() == n {
         Ok(())
     } else {
-        Err(err(format!("{who}: wants {n} arguments, got {}", args.len())))
+        Err(err(format!(
+            "{who}: wants {n} arguments, got {}",
+            args.len()
+        )))
     }
 }
 
@@ -134,9 +217,9 @@ fn fold_generic(
     let mut acc = first;
     for v in iter {
         acc = match (&acc, v) {
-            (Value::Fixnum(a), Value::Fixnum(b)) => Value::Fixnum(
-                fixop(*a, *b).ok_or_else(|| err(format!("{who}: fixnum overflow")))?,
-            ),
+            (Value::Fixnum(a), Value::Fixnum(b)) => {
+                Value::Fixnum(fixop(*a, *b).ok_or_else(|| err(format!("{who}: fixnum overflow")))?)
+            }
             _ => Value::Flonum(floop(num(&acc, who)?, num(v, who)?)),
         };
     }
@@ -245,18 +328,19 @@ fn dispatch(name: &str, args: &[Value], t: &Symbol) -> Option<Result<Value, Lisp
             a.div_euclid(b) + i64::from(a.rem_euclid(b) != 0)
         }),
         "truncate" => round_like(args, "truncate", f64::trunc, |a, b| a / b),
-        "round" => round_like(args, "round", |x| x.round_ties_even(), |a, b| {
-            let q = a as f64 / b as f64;
-            q.round_ties_even() as i64
-        }),
+        "round" => round_like(
+            args,
+            "round",
+            |x| x.round_ties_even(),
+            |a, b| {
+                let q = a as f64 / b as f64;
+                q.round_ties_even() as i64
+            },
+        ),
         "mod" => arity(args, 2, "mod").and_then(|()| match (&args[0], &args[1]) {
-            (Value::Fixnum(a), Value::Fixnum(b)) if *b != 0 => {
-                Ok(Value::Fixnum(a.rem_euclid(*b)))
-            }
+            (Value::Fixnum(a), Value::Fixnum(b)) if *b != 0 => Ok(Value::Fixnum(a.rem_euclid(*b))),
             (Value::Fixnum(_), Value::Fixnum(_)) => Err(err("mod: division by zero")),
-            (a, b) => Ok(Value::Flonum(
-                num(a, "mod")?.rem_euclid(num(b, "mod")?),
-            )),
+            (a, b) => Ok(Value::Flonum(num(a, "mod")?.rem_euclid(num(b, "mod")?))),
         }),
         "rem" => arity(args, 2, "rem").and_then(|()| match (&args[0], &args[1]) {
             (Value::Fixnum(a), Value::Fixnum(b)) if *b != 0 => Ok(Value::Fixnum(a % b)),
@@ -317,12 +401,8 @@ fn dispatch(name: &str, args: &[Value], t: &Symbol) -> Option<Result<Value, Lisp
         // Sine/cosine with argument in *cycles*: the S-1's native
         // convention (§7: "the S-1 SIN instruction assumes its argument
         // to be in cycles").
-        "sinc$f" => un_flo(args, "sinc$f", |x| {
-            (x * 2.0 * std::f64::consts::PI).sin()
-        }),
-        "cosc$f" => un_flo(args, "cosc$f", |x| {
-            (x * 2.0 * std::f64::consts::PI).cos()
-        }),
+        "sinc$f" => un_flo(args, "sinc$f", |x| (x * 2.0 * std::f64::consts::PI).sin()),
+        "cosc$f" => un_flo(args, "cosc$f", |x| (x * 2.0 * std::f64::consts::PI).cos()),
         "atan" => match args.len() {
             1 => un_num(args, "atan", f64::atan),
             2 => num(&args[0], "atan")
@@ -331,32 +411,32 @@ fn dispatch(name: &str, args: &[Value], t: &Symbol) -> Option<Result<Value, Lisp
         },
         "exp" => un_num(args, "exp", f64::exp),
         "log" => un_num(args, "log", f64::ln),
-        "float" => arity(args, 1, "float")
-            .and_then(|()| num(&args[0], "float").map(Value::Flonum)),
+        "float" => arity(args, 1, "float").and_then(|()| num(&args[0], "float").map(Value::Flonum)),
         "fix" => arity(args, 1, "fix")
             .and_then(|()| num(&args[0], "fix").map(|x| Value::Fixnum(x as i64))),
         // ---- predicates ----
         "null" | "not" => arity(args, 1, name).map(|()| bool_v(!args[0].is_true(), t)),
-        "atom" => arity(args, 1, "atom")
-            .map(|()| bool_v(!matches!(args[0], Value::Cons(_)), t)),
-        "consp" => arity(args, 1, "consp")
-            .map(|()| bool_v(matches!(args[0], Value::Cons(_)), t)),
-        "listp" => arity(args, 1, "listp").map(|()| {
-            bool_v(matches!(args[0], Value::Cons(_) | Value::Nil), t)
-        }),
-        "symbolp" => arity(args, 1, "symbolp")
-            .map(|()| bool_v(matches!(args[0], Value::Sym(_)), t)),
-        "numberp" => arity(args, 1, "numberp").map(|()| {
-            bool_v(matches!(args[0], Value::Fixnum(_) | Value::Flonum(_)), t)
-        }),
-        "fixnump" => arity(args, 1, "fixnump")
-            .map(|()| bool_v(matches!(args[0], Value::Fixnum(_)), t)),
-        "flonump" => arity(args, 1, "flonump")
-            .map(|()| bool_v(matches!(args[0], Value::Flonum(_)), t)),
-        "stringp" => arity(args, 1, "stringp")
-            .map(|()| bool_v(matches!(args[0], Value::Str(_)), t)),
-        "functionp" => arity(args, 1, "functionp")
-            .map(|()| bool_v(matches!(args[0], Value::Func(_)), t)),
+        "atom" => arity(args, 1, "atom").map(|()| bool_v(!matches!(args[0], Value::Cons(_)), t)),
+        "consp" => arity(args, 1, "consp").map(|()| bool_v(matches!(args[0], Value::Cons(_)), t)),
+        "listp" => arity(args, 1, "listp")
+            .map(|()| bool_v(matches!(args[0], Value::Cons(_) | Value::Nil), t)),
+        "symbolp" => {
+            arity(args, 1, "symbolp").map(|()| bool_v(matches!(args[0], Value::Sym(_)), t))
+        }
+        "numberp" => arity(args, 1, "numberp")
+            .map(|()| bool_v(matches!(args[0], Value::Fixnum(_) | Value::Flonum(_)), t)),
+        "fixnump" => {
+            arity(args, 1, "fixnump").map(|()| bool_v(matches!(args[0], Value::Fixnum(_)), t))
+        }
+        "flonump" => {
+            arity(args, 1, "flonump").map(|()| bool_v(matches!(args[0], Value::Flonum(_)), t))
+        }
+        "stringp" => {
+            arity(args, 1, "stringp").map(|()| bool_v(matches!(args[0], Value::Str(_)), t))
+        }
+        "functionp" => {
+            arity(args, 1, "functionp").map(|()| bool_v(matches!(args[0], Value::Func(_)), t))
+        }
         "eq" => arity(args, 2, "eq").map(|()| bool_v(args[0].eq_p(&args[1]), t)),
         "eql" => arity(args, 2, "eql").map(|()| bool_v(args[0].eql_p(&args[1]), t)),
         "equal" => arity(args, 2, "equal").map(|()| bool_v(args[0].equal_p(&args[1]), t)),
@@ -364,20 +444,14 @@ fn dispatch(name: &str, args: &[Value], t: &Symbol) -> Option<Result<Value, Lisp
         "cons" => arity(args, 2, "cons").map(|()| Value::cons(args[0].clone(), args[1].clone())),
         "car" => arity(args, 1, "car").and_then(|()| car_of(&args[0], "car")),
         "cdr" => arity(args, 1, "cdr").and_then(|()| cdr_of(&args[0], "cdr")),
-        "caar" => arity(args, 1, "caar")
-            .and_then(|()| car_of(&car_of(&args[0], "caar")?, "caar")),
-        "cadr" => arity(args, 1, "cadr")
-            .and_then(|()| car_of(&cdr_of(&args[0], "cadr")?, "cadr")),
-        "cdar" => arity(args, 1, "cdar")
-            .and_then(|()| cdr_of(&car_of(&args[0], "cdar")?, "cdar")),
-        "cddr" => arity(args, 1, "cddr")
-            .and_then(|()| cdr_of(&cdr_of(&args[0], "cddr")?, "cddr")),
-        "caddr" => arity(args, 1, "caddr").and_then(|()| {
-            car_of(&cdr_of(&cdr_of(&args[0], "caddr")?, "caddr")?, "caddr")
-        }),
-        "cdddr" => arity(args, 1, "cdddr").and_then(|()| {
-            cdr_of(&cdr_of(&cdr_of(&args[0], "cdddr")?, "cdddr")?, "cdddr")
-        }),
+        "caar" => arity(args, 1, "caar").and_then(|()| car_of(&car_of(&args[0], "caar")?, "caar")),
+        "cadr" => arity(args, 1, "cadr").and_then(|()| car_of(&cdr_of(&args[0], "cadr")?, "cadr")),
+        "cdar" => arity(args, 1, "cdar").and_then(|()| cdr_of(&car_of(&args[0], "cdar")?, "cdar")),
+        "cddr" => arity(args, 1, "cddr").and_then(|()| cdr_of(&cdr_of(&args[0], "cddr")?, "cddr")),
+        "caddr" => arity(args, 1, "caddr")
+            .and_then(|()| car_of(&cdr_of(&cdr_of(&args[0], "caddr")?, "caddr")?, "caddr")),
+        "cdddr" => arity(args, 1, "cdddr")
+            .and_then(|()| cdr_of(&cdr_of(&cdr_of(&args[0], "cdddr")?, "cdddr")?, "cdddr")),
         "list" => Ok(Value::list(args.iter().cloned())),
         "list*" => at_least(args, 1, "list*").map(|()| {
             let (last, init) = args.split_last().unwrap();
@@ -538,11 +612,7 @@ fn binf(args: &[Value], who: &str, f: fn(f64, f64) -> f64) -> Result<Value, Lisp
     Ok(Value::Flonum(acc))
 }
 
-fn bini(
-    args: &[Value],
-    who: &str,
-    f: fn(i64, i64) -> Option<i64>,
-) -> Result<Value, LispError> {
+fn bini(args: &[Value], who: &str, f: fn(i64, i64) -> Option<i64>) -> Result<Value, LispError> {
     at_least(args, 2, who)?;
     let mut acc = fix(&args[0], who)?;
     for v in &args[1..] {
@@ -593,7 +663,10 @@ mod tests {
 
     #[test]
     fn generic_arithmetic_contagion() {
-        assert_eq!(call("+", &[Value::Fixnum(1), Value::Fixnum(2)]), Value::Fixnum(3));
+        assert_eq!(
+            call("+", &[Value::Fixnum(1), Value::Fixnum(2)]),
+            Value::Fixnum(3)
+        );
         assert_eq!(
             call("+", &[Value::Fixnum(1), Value::Flonum(2.5)]),
             Value::Flonum(3.5)
@@ -651,8 +724,14 @@ mod tests {
             call("truncate", &[Value::Fixnum(-7), Value::Fixnum(2)]),
             Value::Fixnum(-3)
         );
-        assert_eq!(call("mod", &[Value::Fixnum(-7), Value::Fixnum(2)]), Value::Fixnum(1));
-        assert_eq!(call("rem", &[Value::Fixnum(-7), Value::Fixnum(2)]), Value::Fixnum(-1));
+        assert_eq!(
+            call("mod", &[Value::Fixnum(-7), Value::Fixnum(2)]),
+            Value::Fixnum(1)
+        );
+        assert_eq!(
+            call("rem", &[Value::Fixnum(-7), Value::Fixnum(2)]),
+            Value::Fixnum(-1)
+        );
     }
 
     #[test]
@@ -714,7 +793,9 @@ mod tests {
 
     #[test]
     fn error_builtin_signals() {
-        assert!(call_err("error", &[Value::Fixnum(1)]).message.contains("error"));
+        assert!(call_err("error", &[Value::Fixnum(1)])
+            .message
+            .contains("error"));
     }
 
     #[test]

@@ -153,9 +153,7 @@ impl Interp {
         match self.apply_def(def, args.to_vec(), 0) {
             Ok(v) => Ok(v),
             Err(Flow::Err(e)) => Err(e),
-            Err(Flow::Throw(tag, _)) => {
-                Err(LispError::new(format!("uncaught throw to {tag}")))
-            }
+            Err(Flow::Throw(tag, _)) => Err(LispError::new(format!("uncaught throw to {tag}"))),
             Err(Flow::Go(tag)) => Err(LispError::new(format!("go to unknown tag {tag}"))),
             Err(Flow::Return(_)) => Err(LispError::new("return outside progbody")),
             Err(Flow::TailCall(..)) => unreachable!("trampoline consumed in apply_def"),
@@ -171,9 +169,7 @@ impl Interp {
         match self.apply_value(f, args.to_vec(), 0) {
             Ok(v) => Ok(v),
             Err(Flow::Err(e)) => Err(e),
-            Err(Flow::Throw(tag, _)) => {
-                Err(LispError::new(format!("uncaught throw to {tag}")))
-            }
+            Err(Flow::Throw(tag, _)) => Err(LispError::new(format!("uncaught throw to {tag}"))),
             Err(_) => Err(LispError::new("non-local exit escaped function")),
         }
     }
@@ -202,9 +198,7 @@ impl Interp {
                 Err(Flow::TailCall(name, next_args)) => {
                     let Some(next) = self.functions.get(&name) else {
                         // A builtin in tail position: evaluate directly.
-                        return match crate::builtins::call_builtin(
-                            &name, &next_args, &self.t,
-                        ) {
+                        return match crate::builtins::call_builtin(&name, &next_args, &self.t) {
                             Some(r) => r.map_err(Flow::Err),
                             None => Err(rt_err(format!("undefined function {name}"))),
                         };
@@ -289,10 +283,10 @@ impl Interp {
         let mut specials_pushed = 0usize;
         let mut args = args.into_iter();
         let bind = |this: &Interp,
-                        var: VarId,
-                        value: Value,
-                        env: &mut Option<Rc<EnvNode>>,
-                        specials_pushed: &mut usize| {
+                    var: VarId,
+                    value: Value,
+                    env: &mut Option<Rc<EnvNode>>,
+                    specials_pushed: &mut usize| {
             let v = tree.var(var);
             if v.special {
                 this.specials
@@ -385,7 +379,9 @@ impl Interp {
                 self.eval_tail(tree, *last, env, depth, tail)
             }
             NodeKind::Lambda(_) => {
-                self.stats.closures_made.set(self.stats.closures_made.get() + 1);
+                self.stats
+                    .closures_made
+                    .set(self.stats.closures_made.get() + 1);
                 Ok(Value::Func(Function::Closure(Rc::new(Closure {
                     tree: tree.clone(),
                     lambda: node,
@@ -432,8 +428,11 @@ impl Interp {
         env: &Option<Rc<EnvNode>>,
         depth: usize,
     ) -> R {
-        let has_tag =
-            |tag: &Symbol| items.iter().any(|i| matches!(i, ProgItem::Tag(t) if t == tag));
+        let has_tag = |tag: &Symbol| {
+            items
+                .iter()
+                .any(|i| matches!(i, ProgItem::Tag(t) if t == tag))
+        };
         let mut pc = 0usize;
         let mut steps: u64 = 0;
         while pc < items.len() {
@@ -665,13 +664,19 @@ mod tests {
                                   (/ (- (- b) sd) two-a)))))))",
         );
         // x² - 3x + 2 = 0 → roots 2 and 1.
-        let v = interp.call("quadratic", &[fl(1.0), fl(-3.0), fl(2.0)]).unwrap();
+        let v = interp
+            .call("quadratic", &[fl(1.0), fl(-3.0), fl(2.0)])
+            .unwrap();
         assert_eq!(v, Value::list([fl(2.0), fl(1.0)]));
         // x² + 1 = 0 → no real roots.
-        let v = interp.call("quadratic", &[fl(1.0), fl(0.0), fl(1.0)]).unwrap();
+        let v = interp
+            .call("quadratic", &[fl(1.0), fl(0.0), fl(1.0)])
+            .unwrap();
         assert_eq!(v, Value::Nil);
         // x² - 2x + 1 → double root 1.
-        let v = interp.call("quadratic", &[fl(1.0), fl(-2.0), fl(1.0)]).unwrap();
+        let v = interp
+            .call("quadratic", &[fl(1.0), fl(-2.0), fl(1.0)])
+            .unwrap();
         assert_eq!(v, Value::list([fl(1.0)]));
     }
 
@@ -804,7 +809,10 @@ mod tests {
                  (setq acc (+ acc n) n (- n 1))
                  (go top)))",
         );
-        assert_eq!(interp.call("sum-to", &[fx(100_000)]).unwrap(), fx(5_000_050_000));
+        assert_eq!(
+            interp.call("sum-to", &[fx(100_000)]).unwrap(),
+            fx(5_000_050_000)
+        );
         // A progbody loop does not consume call depth.
         assert!(interp.stats.max_depth.get() <= 2);
     }
@@ -1003,9 +1011,7 @@ mod tco_tests {
 
     #[test]
     fn tco_runs_deep_loops_in_constant_depth() {
-        let mut interp = load(
-            "(defun loopn (n) (if (= n 0) 'done (loopn (- n 1))))",
-        );
+        let mut interp = load("(defun loopn (n) (if (= n 0) 'done (loopn (- n 1))))");
         interp.tco = true;
         let v = interp.call("loopn", &[fx(1_000_000)]).unwrap();
         assert_eq!(v.to_string(), "done");
@@ -1040,25 +1046,31 @@ mod tco_tests {
         );
         a.tco = true;
         let args = [fx(3), fx(10), fx(1)];
-        assert_eq!(a.call("exptl", &args).unwrap(), b.call("exptl", &args).unwrap());
+        assert_eq!(
+            a.call("exptl", &args).unwrap(),
+            b.call("exptl", &args).unwrap()
+        );
     }
 
     #[test]
     fn non_tail_recursion_still_consumes_depth() {
-        let mut interp = load(
-            "(defun fact (n) (if (zerop n) 1 (* n (fact (- n 1)))))",
-        );
+        let mut interp = load("(defun fact (n) (if (zerop n) 1 (* n (fact (- n 1)))))");
         interp.tco = true;
         assert_eq!(interp.call("fact", &[fx(10)]).unwrap(), fx(3_628_800));
         assert!(interp.stats.max_depth.get() >= 10);
-        assert!(interp.call("fact", &[fx(100_000)]).is_err(), "still overflows");
+        assert!(
+            interp.call("fact", &[fx(100_000)]).is_err(),
+            "still overflows"
+        );
     }
 
     #[test]
     fn tail_call_to_builtin_returns_its_value() {
-        let mut interp = load("(defun last-of (l) (car (my-reverse l)))
+        let mut interp = load(
+            "(defun last-of (l) (car (my-reverse l)))
             (defun my-reverse (l) (rev2 l '()))
-            (defun rev2 (l acc) (if (null l) acc (rev2 (cdr l) (cons (car l) acc))))");
+            (defun rev2 (l acc) (if (null l) acc (rev2 (cdr l) (cons (car l) acc))))",
+        );
         interp.tco = true;
         let l = Value::list((1..=5).map(fx));
         assert_eq!(interp.call("last-of", &[l]).unwrap(), fx(5));

@@ -122,10 +122,7 @@ impl Value {
             Datum::Sym(s) => Value::Sym(s.clone()),
             Datum::Str(s) => Value::Str(s.clone()),
             Datum::Char(c) => Value::Char(*c),
-            Datum::Cons(c) => Value::cons(
-                Value::from_datum(&c.car()),
-                Value::from_datum(&c.cdr()),
-            ),
+            Datum::Cons(c) => Value::cons(Value::from_datum(&c.car()), Value::from_datum(&c.cdr())),
         }
     }
 
@@ -139,10 +136,7 @@ impl Value {
             Value::Sym(s) => Datum::Sym(s.clone()),
             Value::Str(s) => Datum::Str(s.clone()),
             Value::Char(c) => Datum::Char(*c),
-            Value::Cons(c) => Datum::cons(
-                c.car.borrow().to_datum()?,
-                c.cdr.borrow().to_datum()?,
-            ),
+            Value::Cons(c) => Datum::cons(c.car.borrow().to_datum()?, c.cdr.borrow().to_datum()?),
             Value::Func(_) => return None,
         })
     }

@@ -80,14 +80,16 @@ fn eliminate_one(tree: &mut Tree, names: &mut Interner, counter: &mut u32) -> bo
         }
         // Expressions reading assigned variables are not location-
         // independent.
-        let stable = subtree_nodes(tree, node).iter().all(|&n| match tree.kind(n) {
-            NodeKind::VarRef(w) => {
-                let wv = tree.var(*w);
-                !wv.special && wv.setqs.is_empty()
-            }
-            NodeKind::Lambda(_) | NodeKind::Progbody(_) => false,
-            _ => true,
-        });
+        let stable = subtree_nodes(tree, node)
+            .iter()
+            .all(|&n| match tree.kind(n) {
+                NodeKind::VarRef(w) => {
+                    let wv = tree.var(*w);
+                    !wv.special && wv.setqs.is_empty()
+                }
+                NodeKind::Lambda(_) | NodeKind::Progbody(_) => false,
+                _ => true,
+            });
         if !stable {
             continue;
         }
@@ -116,9 +118,7 @@ fn eliminate_one(tree: &mut Tree, names: &mut Interner, counter: &mut u32) -> bo
         let lca = lca_many(tree, &nodes);
         // All occurrences must be movable to the LCA without crossing a
         // lambda or loop boundary.
-        let ok = nodes
-            .iter()
-            .all(|&n| path_clear(tree, lca, n)) && path_to_root_clear(tree, lca);
+        let ok = nodes.iter().all(|&n| path_clear(tree, lca, n)) && path_to_root_clear(tree, lca);
         if !ok {
             continue;
         }
@@ -150,8 +150,7 @@ fn path_clear(tree: &Tree, anc: NodeId, node: NodeId) -> bool {
     while cur != anc {
         match tree.node(cur).parent {
             Some(p) => {
-                if matches!(tree.kind(p), NodeKind::Lambda(_) | NodeKind::Progbody(_)) && p != anc
-                {
+                if matches!(tree.kind(p), NodeKind::Lambda(_) | NodeKind::Progbody(_)) && p != anc {
                     // Crossing a lambda is fine only when it is the let
                     // being formed — but we are inspecting the original
                     // tree, so any lambda/loop crossing disqualifies.
@@ -242,14 +241,12 @@ mod tests {
         // Both occurrences are inside the progbody; their LCA *is* the
         // progbody, so the binding wraps the loop — loop-invariant code
         // motion for free.
-        let (out, n) = run(
-            "(defun f (a b)
+        let (out, n) = run("(defun f (a b)
                (prog (acc)
                  top
                  (setq acc (+ (* a b a) acc))
                  (if (null acc) (return (* a b a)))
-                 (go top)))",
-        );
+                 (go top)))");
         assert_eq!(n, 1, "{out}");
         assert_eq!(out.matches("(* a b a)").count(), 1, "{out}");
         assert!(out.contains("(lambda (cse%%1) (progbody"), "{out}");
@@ -257,17 +254,13 @@ mod tests {
 
     #[test]
     fn expressions_over_assigned_variables_are_skipped() {
-        let (out, n) = run(
-            "(defun f (a b) (progn (setq a 1) (list (+ (* a b) 1) (+ (* a b) 2))))",
-        );
+        let (out, n) = run("(defun f (a b) (progn (setq a 1) (list (+ (* a b) 1) (+ (* a b) 2))))");
         assert_eq!(n, 0, "{out}");
     }
 
     #[test]
     fn nested_duplicates_common_outermost_first() {
-        let (out, n) = run(
-            "(defun f (a b) (list (+ (* a b) (* b b)) (+ (* a b) (* b b))))",
-        );
+        let (out, n) = run("(defun f (a b) (list (+ (* a b) (* b b)) (+ (* a b) (* b b))))");
         assert!(n >= 1);
         assert_eq!(out.matches("(+ (* a b) (* b b))").count(), 1, "{out}");
     }

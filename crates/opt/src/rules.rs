@@ -334,12 +334,7 @@ fn if_distribute(o: &mut Optimizer, tree: &mut Tree, node: NodeId) -> bool {
         let r = tree.var_ref(v);
         tree.call_expr(r, Vec::new())
     };
-    let (fy, gy, fz, gz) = (
-        call(tree, f),
-        call(tree, g),
-        call(tree, f),
-        call(tree, g),
-    );
+    let (fy, gy, fz, gz) = (call(tree, f), call(tree, g), call(tree, f), call(tree, g));
     let inner_then = tree.if_(y, fy, gy);
     let inner_els = tree.if_(z, fz, gz);
     let new_if = tree.if_(x, inner_then, inner_els);
@@ -441,9 +436,8 @@ fn identity_elimination(o: &mut Optimizer, tree: &mut Tree, node: NodeId) -> boo
     let Some(id) = primop(g.as_str()).and_then(|p| p.identity) else {
         return false;
     };
-    let is_id = |tree: &Tree, n: NodeId| {
-        matches!(tree.kind(n), NodeKind::Constant(d) if id.matches(d))
-    };
+    let is_id =
+        |tree: &Tree, n: NodeId| matches!(tree.kind(n), NodeKind::Constant(d) if id.matches(d));
     let survivor = if is_id(tree, *x) {
         *y
     } else if is_id(tree, *y) {
@@ -675,13 +669,15 @@ fn movable_effects(tree: &Tree, cx: &Cx, arg: NodeId) -> bool {
         return false;
     }
     // Every variable read must be immutable and lexical.
-    subtree_nodes(tree, arg).iter().all(|&n| match tree.kind(n) {
-        NodeKind::VarRef(w) => {
-            let wv = tree.var(*w);
-            !wv.special && wv.setqs.is_empty()
-        }
-        _ => true,
-    })
+    subtree_nodes(tree, arg)
+        .iter()
+        .all(|&n| match tree.kind(n) {
+            NodeKind::VarRef(w) => {
+                let wv = tree.var(*w);
+                !wv.special && wv.setqs.is_empty()
+            }
+            _ => true,
+        })
 }
 
 /// Moving an expression from the binding site to a use site must not put
@@ -744,8 +740,14 @@ mod tests {
 
     #[test]
     fn constant_test_selects_arm() {
-        assert_eq!(optimize("(defun f () (if '1 'yes 'no))"), "(lambda () 'yes)");
-        assert_eq!(optimize("(defun f () (if '() 'yes 'no))"), "(lambda () 'no)");
+        assert_eq!(
+            optimize("(defun f () (if '1 'yes 'no))"),
+            "(lambda () 'yes)"
+        );
+        assert_eq!(
+            optimize("(defun f () (if '() 'yes 'no))"),
+            "(lambda () 'no)"
+        );
     }
 
     #[test]
@@ -828,10 +830,7 @@ mod tests {
     fn constants_fold_at_compile_time() {
         assert_eq!(optimize("(defun f () (* 6 7))"), "(lambda () '42)");
         assert_eq!(optimize("(defun f () (< 1 2))"), "(lambda () 't)");
-        assert_eq!(
-            optimize("(defun f () (sqrt 4.0))"),
-            "(lambda () '2.0)"
-        );
+        assert_eq!(optimize("(defun f () (sqrt 4.0))"), "(lambda () '2.0)");
         // Division by zero is left for run time.
         let out = optimize("(defun f () (/ 1 0))");
         assert!(out.contains('/'), "{out}");
@@ -849,9 +848,7 @@ mod tests {
     fn single_use_pure_argument_moves_past_calls() {
         // The §7 motion: q's defining expression moves past (frotz …).
         assert_eq!(
-            optimize(
-                "(defun f (d e) (let ((q (sqrt$f e))) (frotz d) q))"
-            ),
+            optimize("(defun f (d e) (let ((q (sqrt$f e))) (frotz d) q))"),
             "(lambda (d e) (progn (frotz d) (sqrt$f e)))"
         );
     }
@@ -867,9 +864,7 @@ mod tests {
 
     #[test]
     fn argument_reading_assigned_variable_stays_put() {
-        let out = optimize(
-            "(defun f (e) (let ((q (sqrt$f e))) (setq e (frotz)) q))",
-        );
+        let out = optimize("(defun f (e) (let ((q (sqrt$f e))) (setq e (frotz)) q))");
         assert!(out.contains("lambda (q)"), "illegal motion: {out}");
     }
 
@@ -890,18 +885,14 @@ mod tests {
 
     #[test]
     fn multi_use_lambda_stays_bound() {
-        let out = optimize(
-            "(defun f (p x) (let ((g (lambda () (frotz x)))) (if p (g) (g))))",
-        );
+        let out = optimize("(defun f (p x) (let ((g (lambda () (frotz x)))) (if p (g) (g))))");
         assert!(out.contains("lambda (g"), "{out}");
     }
 
     #[test]
     fn names_do_not_collide_with_user_variables() {
         // User uses f and g as variables; join points must not capture.
-        let out = optimize(
-            "(defun h (f g a) (if (if a f g) (f) (g)))",
-        );
+        let out = optimize("(defun h (f g a) (if (if a f g) (f) (g)))");
         assert!(out.contains("f%%") || out.contains("(if a"), "{out}");
     }
 }
@@ -976,15 +967,9 @@ mod more_tests {
     #[test]
     fn identity_elimination_is_type_strict() {
         // 0 is the + identity but not the +$f identity.
-        let (out, _) = optimize_with(
-            "(defun f (x) (+$f x 0))",
-            OptOptions::default(),
-        );
+        let (out, _) = optimize_with("(defun f (x) (+$f x 0))", OptOptions::default());
         assert!(out.contains("+$f"), "{out}");
-        let (out2, _) = optimize_with(
-            "(defun f (x) (+$f x 0.0))",
-            OptOptions::default(),
-        );
+        let (out2, _) = optimize_with("(defun f (x) (+$f x 0.0))", OptOptions::default());
         assert_eq!(out2, "(lambda (x) x)");
     }
 
@@ -1066,7 +1051,10 @@ mod unroll_tests {
 
     #[test]
     fn big_bodies_are_left_alone() {
-        let body: String = (0..30).map(|i| format!("(frotz {i})")).collect::<Vec<_>>().join(" ");
+        let body: String = (0..30)
+            .map(|i| format!("(frotz {i})"))
+            .collect::<Vec<_>>()
+            .join(" ");
         let src = format!("(defun f (n) (progn {body} (f (- n 1))))");
         let (_, tr) = run_unroll(&src, "f");
         assert_eq!(tr.count("META-UNROLL-INTEGRATE-SELF"), 0);

@@ -45,6 +45,18 @@ impl Transcript {
     pub fn count(&self, rule: &str) -> usize {
         self.entries.iter().filter(|e| e.rule == rule).count()
     }
+
+    /// Firing counts per rule, in first-fired order.
+    pub fn rule_histogram(&self) -> Vec<(&'static str, u64)> {
+        let mut hist: Vec<(&'static str, u64)> = Vec::new();
+        for e in &self.entries {
+            match hist.iter_mut().find(|(r, _)| *r == e.rule) {
+                Some(slot) => slot.1 += 1,
+                None => hist.push((e.rule, 1)),
+            }
+        }
+        hist
+    }
 }
 
 impl fmt::Display for Transcript {
@@ -76,5 +88,18 @@ mod tests {
         assert!(s.contains(";**** courtesy of META-EVALUATE-ASSOC-COMMUT-CALL"));
         assert_eq!(t.count("META-EVALUATE-ASSOC-COMMUT-CALL"), 1);
         assert_eq!(t.count("META-CALL-LAMBDA"), 0);
+    }
+
+    #[test]
+    fn rule_histogram_counts_in_first_fired_order() {
+        let mut t = Transcript::default();
+        t.record("META-SUBSTITUTE", "a".into(), "b".into());
+        t.record("META-CALL-LAMBDA", "c".into(), "d".into());
+        t.record("META-SUBSTITUTE", "e".into(), "f".into());
+        assert_eq!(
+            t.rule_histogram(),
+            vec![("META-SUBSTITUTE", 2), ("META-CALL-LAMBDA", 1)]
+        );
+        assert!(Transcript::default().rule_histogram().is_empty());
     }
 }

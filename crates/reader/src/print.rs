@@ -140,7 +140,7 @@ fn pp(out: &mut String, d: &Datum, indent: usize, width: usize) {
     }
     out.push('(');
     let head_flat = items[0].to_string();
-    
+
     // Special forms that keep their first argument(s) on the head line.
     let hang = match items[0].as_symbol().map(|s| s.as_str().to_owned()) {
         Some(s) if matches!(s.as_str(), "defun" | "lambda" | "let" | "if" | "setq") => 2,

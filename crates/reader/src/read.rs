@@ -25,7 +25,11 @@ pub struct ReadError {
 
 impl fmt::Display for ReadError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "read error at {}:{}: {}", self.line, self.column, self.message)
+        write!(
+            f,
+            "read error at {}:{}: {}",
+            self.line, self.column, self.message
+        )
     }
 }
 
@@ -417,60 +421,86 @@ mod tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use s1lisp_trace::rng::SplitMix64;
 
-    fn datum_text(depth: u32) -> BoxedStrategy<String> {
-        let leaf = prop_oneof![
-            any::<i64>().prop_map(|n| n.to_string()),
-            proptest::num::f64::NORMAL.prop_map(crate::print::format_flonum),
-            "[a-z+*/<>=-][a-z0-9+*/<>=$&%.-]{0,8}".prop_filter(
-                "not a number or dot",
-                |s| {
-                    s != "." && i64::from_str(s).is_err() && f64::from_str(s).is_err()
-                }
-            ),
-            Just("()".to_string()),
-        ];
-        leaf.prop_recursive(depth, 32, 4, |inner| {
-            prop_oneof![
-                prop::collection::vec(inner.clone(), 0..5)
-                    .prop_map(|items| format!("({})", items.join(" "))),
-                inner.prop_map(|s| format!("'{s}")),
-            ]
-        })
-        .boxed()
+    /// Symbol alphabet matching the old generator's character classes.
+    const SYM_FIRST: &[u8] = b"abcdefghijklmnopqrstuvwxyz+*/<>=-";
+    const SYM_REST: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789+*/<>=$&%.-";
+
+    fn symbol_text(rng: &mut SplitMix64) -> String {
+        loop {
+            let mut s = String::new();
+            s.push(*rng.pick(SYM_FIRST) as char);
+            for _ in 0..rng.range_usize(0, 9) {
+                s.push(*rng.pick(SYM_REST) as char);
+            }
+            if s != "." && i64::from_str(&s).is_err() && f64::from_str(&s).is_err() {
+                return s;
+            }
+        }
     }
 
-    proptest! {
-        /// print ∘ read ∘ print ∘ read is stable, and the two reads are
-        /// `equal`.
-        #[test]
-        fn read_print_fixpoint(src in datum_text(3)) {
+    fn datum_text(rng: &mut SplitMix64, depth: u32) -> String {
+        if depth > 0 && rng.below(2) == 0 {
+            match rng.below(2) {
+                0 => {
+                    let n = rng.range_usize(0, 5);
+                    let items: Vec<String> = (0..n).map(|_| datum_text(rng, depth - 1)).collect();
+                    format!("({})", items.join(" "))
+                }
+                _ => format!("'{}", datum_text(rng, depth - 1)),
+            }
+        } else {
+            match rng.below(4) {
+                0 => (rng.next_u64() as i64).to_string(),
+                1 => crate::print::format_flonum(rng.wide_f64()),
+                2 => symbol_text(rng),
+                _ => "()".to_string(),
+            }
+        }
+    }
+
+    /// print ∘ read ∘ print ∘ read is stable, and the two reads are
+    /// `equal`.
+    #[test]
+    fn read_print_fixpoint() {
+        let mut rng = SplitMix64::new(0x5115_0002);
+        for _case in 0..256 {
+            let src = datum_text(&mut rng, 3);
             let mut i = Interner::new();
             let d1 = read_str(&src, &mut i).unwrap();
             let p1 = d1.to_string();
             let d2 = read_str(&p1, &mut i).unwrap();
-            prop_assert!(d2.equal(&d1), "{} → {}", src, p1);
-            prop_assert_eq!(d2.to_string(), p1);
+            assert!(d2.equal(&d1), "{src} → {p1}");
+            assert_eq!(d2.to_string(), p1);
         }
+    }
 
-        /// The pretty printer at any width re-reads to an equal datum.
-        #[test]
-        fn pretty_reparses(src in datum_text(3), width in 8usize..100) {
+    /// The pretty printer at any width re-reads to an equal datum.
+    #[test]
+    fn pretty_reparses() {
+        let mut rng = SplitMix64::new(0x5115_0003);
+        for _case in 0..256 {
+            let src = datum_text(&mut rng, 3);
+            let width = rng.range_usize(8, 100);
             let mut i = Interner::new();
             let d1 = read_str(&src, &mut i).unwrap();
             let pretty = crate::print::pretty(&d1, width);
             let d2 = read_str(&pretty, &mut i).unwrap();
-            prop_assert!(d2.equal(&d1), "{} → {}", src, pretty);
+            assert!(d2.equal(&d1), "{src} → {pretty}");
         }
+    }
 
-        /// Flonum formatting round-trips exactly through the reader.
-        #[test]
-        fn flonum_text_round_trips(x in proptest::num::f64::NORMAL) {
+    /// Flonum formatting round-trips exactly through the reader.
+    #[test]
+    fn flonum_text_round_trips() {
+        let mut rng = SplitMix64::new(0x5115_0004);
+        for _case in 0..4096 {
+            let x = rng.wide_f64();
             let text = crate::print::format_flonum(x);
             let mut i = Interner::new();
             let d = read_str(&text, &mut i).unwrap();
-            prop_assert_eq!(d.as_flonum(), Some(x), "{}", text);
+            assert_eq!(d.as_flonum(), Some(x), "{text}");
         }
     }
 }

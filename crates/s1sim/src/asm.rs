@@ -142,7 +142,12 @@ mod tests {
     #[test]
     fn push_returns_indices() {
         let mut a = Asm::new("f", 0);
-        assert_eq!(a.push(Insn::Pop { dst: Operand::arg(0) }), 0);
+        assert_eq!(
+            a.push(Insn::Pop {
+                dst: Operand::arg(0)
+            }),
+            0
+        );
         assert_eq!(a.push(Insn::Ret), 1);
         assert_eq!(a.len(), 2);
         assert!(!a.is_empty());

@@ -694,6 +694,79 @@ pub enum Insn {
 }
 
 impl Insn {
+    /// The mnemonic of this instruction, for retired-opcode histograms.
+    pub fn opcode(&self) -> &'static str {
+        match self {
+            Insn::Mov { .. } => "MOV",
+            Insn::Movp { .. } => "MOVP",
+            Insn::Add { .. } => "ADD",
+            Insn::Sub { .. } => "SUB",
+            Insn::Mult { .. } => "MULT",
+            Insn::Div { .. } => "DIV",
+            Insn::DivFloor { .. } => "DIV-FLOOR",
+            Insn::Rem { .. } => "REM",
+            Insn::ModFloor { .. } => "MOD-FLOOR",
+            Insn::Neg { .. } => "NEG",
+            Insn::FAdd { .. } => "FADD",
+            Insn::FSub { .. } => "FSUB",
+            Insn::FMult { .. } => "FMULT",
+            Insn::FDiv { .. } => "FDIV",
+            Insn::FMax { .. } => "FMAX",
+            Insn::FMin { .. } => "FMIN",
+            Insn::FNeg { .. } => "FNEG",
+            Insn::FSin { .. } => "FSIN",
+            Insn::FCos { .. } => "FCOS",
+            Insn::FSqrt { .. } => "FSQRT",
+            Insn::FAtan { .. } => "FATAN",
+            Insn::FExp { .. } => "FEXP",
+            Insn::FLog { .. } => "FLOG",
+            Insn::FloatIt { .. } => "FLOAT-IT",
+            Insn::FixIt { .. } => "FIX-IT",
+            Insn::Jmp { .. } => "JMP",
+            Insn::JmpIf { .. } => "JMP-IF",
+            Insn::JmpNil { .. } => "JMP-NIL",
+            Insn::JmpNotNil { .. } => "JMP-NOT-NIL",
+            Insn::JmpTag { .. } => "JMP-TAG",
+            Insn::JmpEq { .. } => "JMP-EQ",
+            Insn::Dispatch { .. } => "DISPATCH",
+            Insn::Push { .. } => "PUSH",
+            Insn::Pop { .. } => "POP",
+            Insn::AllocSlots { .. } => "ALLOC-SLOTS",
+            Insn::FreeSlots { .. } => "FREE-SLOTS",
+            Insn::Call { .. } => "CALL",
+            Insn::TailCall { .. } => "TAIL-CALL",
+            Insn::TailJmp { .. } => "TAIL-JMP",
+            Insn::Ret => "RET",
+            Insn::Trap { .. } => "TRAP",
+            Insn::ConsRt { .. } => "CONS-RT",
+            Insn::Car { .. } => "CAR",
+            Insn::Cdr { .. } => "CDR",
+            Insn::BoxFlo { .. } => "BOX-FLO",
+            Insn::UnboxFlo { .. } => "UNBOX-FLO",
+            Insn::Certify { .. } => "CERTIFY",
+            Insn::MakeCell { .. } => "MAKE-CELL",
+            Insn::LoadCell { .. } => "LOAD-CELL",
+            Insn::StoreCell { .. } => "STORE-CELL",
+            Insn::MakeClosure { .. } => "MAKE-CLOSURE",
+            Insn::LoadEnv { .. } => "LOAD-ENV",
+            Insn::SpecBind { .. } => "SPEC-BIND",
+            Insn::SpecUnbind { .. } => "SPEC-UNBIND",
+            Insn::SpecLookup { .. } => "SPEC-LOOKUP",
+            Insn::SpecRead { .. } => "SPEC-READ",
+            Insn::SpecWrite { .. } => "SPEC-WRITE",
+            Insn::RtCall { .. } => "RT-CALL",
+            Insn::PushCatch { .. } => "PUSH-CATCH",
+            Insn::PopCatch => "POP-CATCH",
+            Insn::Throw { .. } => "THROW",
+            Insn::LoadFunction { .. } => "LOAD-FUNCTION",
+            Insn::ListifyArgs { .. } => "LISTIFY-ARGS",
+            Insn::LoadConst { .. } => "LOAD-CONST",
+            Insn::LocalCall { .. } => "LOCAL-CALL",
+            Insn::LocalRet => "LOCAL-RET",
+            Insn::Apply { .. } => "APPLY",
+        }
+    }
+
     /// The 2½-address legality check (§3): a three-operand arithmetic
     /// instruction is encodable only if the destination coincides with
     /// the first source, or one of the three operands is RTA or RTB.
@@ -749,22 +822,54 @@ mod tests {
         let m3 = Operand::Ind(Reg::FP, 2);
         let rta = Operand::Reg(Reg::RTA);
         // SUB M1,M2  (dst==a)
-        assert!(Insn::Sub { dst: m1, a: m1, b: m2 }.check_two_and_a_half().is_none());
+        assert!(Insn::Sub {
+            dst: m1,
+            a: m1,
+            b: m2
+        }
+        .check_two_and_a_half()
+        .is_none());
         // SUB RTA,M1,M2
-        assert!(Insn::Sub { dst: rta, a: m1, b: m2 }.check_two_and_a_half().is_none());
+        assert!(Insn::Sub {
+            dst: rta,
+            a: m1,
+            b: m2
+        }
+        .check_two_and_a_half()
+        .is_none());
         // SUB M1,RTA,M2
-        assert!(Insn::Sub { dst: m1, a: rta, b: m2 }.check_two_and_a_half().is_none());
+        assert!(Insn::Sub {
+            dst: m1,
+            a: rta,
+            b: m2
+        }
+        .check_two_and_a_half()
+        .is_none());
         // Three distinct memory operands: illegal.
-        assert!(Insn::Sub { dst: m1, a: m2, b: m3 }.check_two_and_a_half().is_some());
+        assert!(Insn::Sub {
+            dst: m1,
+            a: m2,
+            b: m3
+        }
+        .check_two_and_a_half()
+        .is_some());
         // Three distinct non-RT registers: also illegal.
         let (r9, r10, r11) = (
             Operand::Reg(Reg(9)),
             Operand::Reg(Reg(10)),
             Operand::Reg(Reg(11)),
         );
-        assert!(Insn::Add { dst: r9, a: r10, b: r11 }.check_two_and_a_half().is_some());
+        assert!(Insn::Add {
+            dst: r9,
+            a: r10,
+            b: r11
+        }
+        .check_two_and_a_half()
+        .is_some());
         // Non-arithmetic instructions are unconstrained.
-        assert!(Insn::Mov { dst: m1, src: m2 }.check_two_and_a_half().is_none());
+        assert!(Insn::Mov { dst: m1, src: m2 }
+            .check_two_and_a_half()
+            .is_none());
     }
 
     #[test]

@@ -11,6 +11,7 @@ use s1lisp_interp::Value;
 
 use crate::heap::{Heap, ObjKind};
 use crate::insn::{CallTarget, Cond, Insn, Operand, Reg};
+use crate::profile::ExecProfile;
 use crate::program::{FuncCode, Program};
 use crate::runtime;
 use crate::stats::MachineStats;
@@ -111,6 +112,10 @@ pub struct Machine {
     catches: Vec<CatchFrame>,
     /// Execution counters.
     pub stats: MachineStats,
+    /// Optional execution profiler (opcode histogram, per-function
+    /// cycles, instruction ring).  `None` by default; attaching one is
+    /// host-side only and never changes simulated behavior or counts.
+    pub profile: Option<Box<ExecProfile>>,
     /// Remaining instruction budget for the current `run`.
     pub fuel: u64,
     /// Instruction budget installed at each `run`.
@@ -140,6 +145,7 @@ impl Machine {
             ctrl: Vec::new(),
             catches: Vec::new(),
             stats: MachineStats::default(),
+            profile: None,
             fuel: 0,
             fuel_per_run: 2_000_000_000,
             const_cache: Vec::new(),
@@ -161,11 +167,7 @@ impl Machine {
     pub fn global(&self, name: &str) -> Option<Result<Value, Trap>> {
         let sym = self.program.lookup_fn(name); // placeholder to silence
         let _ = sym;
-        let id = self
-            .program
-            .symbols
-            .iter()
-            .position(|s| s == name)? as u32;
+        let id = self.program.symbols.iter().position(|s| s == name)? as u32;
         let w = self.globals.iter().find(|(s, _)| *s == id)?.1;
         Some(self.extract(w))
     }
@@ -218,6 +220,9 @@ impl Machine {
                 return Err(Trap::Explicit("fell off end of function"));
             };
             let insn = insn.clone();
+            if let Some(p) = self.profile.as_deref_mut() {
+                p.retire(fnid, pc, insn.opcode());
+            }
             pc += 1;
             match self.step(insn, &code, &mut pc)? {
                 Step::Next => {}
@@ -235,8 +240,7 @@ impl Machine {
                             // #'1+ passed around): route through the
                             // runtime as a leaf call.
                             let rt_name = self.program.fn_names[new_fn as usize].clone();
-                            let args: Vec<Word> =
-                                self.stack[self.sp - nargs..self.sp].to_vec();
+                            let args: Vec<Word> = self.stack[self.sp - nargs..self.sp].to_vec();
                             self.sp -= nargs;
                             match runtime::rt_call_owned(self, &rt_name, &args)? {
                                 runtime::RtResult::Value(w) => {
@@ -247,8 +251,7 @@ impl Machine {
                                         if self.ctrl.len() == base_ctrl {
                                             return Ok(value);
                                         }
-                                        let frame =
-                                            self.ctrl.pop().expect("ctrl non-empty");
+                                        let frame = self.ctrl.pop().expect("ctrl non-empty");
                                         self.sp = self.fp;
                                         self.fp = frame.saved_fp;
                                         self.regs[Reg::EV.0 as usize] = frame.saved_ev;
@@ -274,8 +277,7 @@ impl Machine {
                         self.stats.tail_calls += 1;
                         // Move the freshly pushed args down onto the frame
                         // base, discarding the old frame contents.
-                        let args: Vec<Word> =
-                            self.stack[self.sp - nargs..self.sp].to_vec();
+                        let args: Vec<Word> = self.stack[self.sp - nargs..self.sp].to_vec();
                         self.sp = self.fp;
                         for w in args {
                             self.push(w)?;
@@ -421,38 +423,62 @@ impl Machine {
             Insn::Add { dst, a, b } => self.int_op(dst, a, b, i64::checked_add),
             Insn::Sub { dst, a, b } => self.int_op(dst, a, b, i64::checked_sub),
             Insn::Mult { dst, a, b } => self.int_op(dst, a, b, i64::checked_mul),
-            Insn::Div { dst, a, b } => self.int_op(dst, a, b, |x, y| {
-                if y == 0 {
-                    None
-                } else {
-                    x.checked_div(y)
-                }
-            }),
-            Insn::DivFloor { dst, a, b } => self.int_op(dst, a, b, |x, y| {
-                if y == 0 {
-                    None
-                } else {
-                    Some(x.div_euclid(y))
-                }
-            }),
-            Insn::Rem { dst, a, b } => self.int_op(dst, a, b, |x, y| {
-                if y == 0 {
-                    None
-                } else {
-                    Some(x % y)
-                }
-            }),
-            Insn::ModFloor { dst, a, b } => self.int_op(dst, a, b, |x, y| {
-                if y == 0 {
-                    None
-                } else {
-                    Some(x.rem_euclid(y))
-                }
-            }),
+            Insn::Div { dst, a, b } => {
+                self.int_op(
+                    dst,
+                    a,
+                    b,
+                    |x, y| {
+                        if y == 0 {
+                            None
+                        } else {
+                            x.checked_div(y)
+                        }
+                    },
+                )
+            }
+            Insn::DivFloor { dst, a, b } => {
+                self.int_op(
+                    dst,
+                    a,
+                    b,
+                    |x, y| {
+                        if y == 0 {
+                            None
+                        } else {
+                            Some(x.div_euclid(y))
+                        }
+                    },
+                )
+            }
+            Insn::Rem { dst, a, b } => {
+                self.int_op(dst, a, b, |x, y| if y == 0 { None } else { Some(x % y) })
+            }
+            Insn::ModFloor { dst, a, b } => {
+                self.int_op(
+                    dst,
+                    a,
+                    b,
+                    |x, y| {
+                        if y == 0 {
+                            None
+                        } else {
+                            Some(x.rem_euclid(y))
+                        }
+                    },
+                )
+            }
             Insn::Neg { dst, src } => {
                 let (n, tagged) = self.read_int(src)?;
                 let r = n.checked_neg().ok_or(Trap::DivisionByZero)?;
-                self.write(dst, if tagged { Word::fixnum(r) } else { Word::Raw(r) })?;
+                self.write(
+                    dst,
+                    if tagged {
+                        Word::fixnum(r)
+                    } else {
+                        Word::Raw(r)
+                    },
+                )?;
                 Ok(Step::Next)
             }
             Insn::FAdd { dst, a, b } => self.flo_op(dst, a, b, |x, y| x + y),
@@ -462,12 +488,8 @@ impl Machine {
             Insn::FMax { dst, a, b } => self.flo_op(dst, a, b, f64::max),
             Insn::FMin { dst, a, b } => self.flo_op(dst, a, b, f64::min),
             Insn::FNeg { dst, src } => self.flo_un(dst, src, |x| -x),
-            Insn::FSin { dst, src } => {
-                self.flo_un(dst, src, |x| (x * std::f64::consts::TAU).sin())
-            }
-            Insn::FCos { dst, src } => {
-                self.flo_un(dst, src, |x| (x * std::f64::consts::TAU).cos())
-            }
+            Insn::FSin { dst, src } => self.flo_un(dst, src, |x| (x * std::f64::consts::TAU).sin()),
+            Insn::FCos { dst, src } => self.flo_un(dst, src, |x| (x * std::f64::consts::TAU).cos()),
             Insn::FSqrt { dst, src } => self.flo_un(dst, src, f64::sqrt),
             Insn::FAtan { dst, src } => self.flo_un(dst, src, f64::atan),
             Insn::FExp { dst, src } => self.flo_un(dst, src, f64::exp),
@@ -485,15 +507,27 @@ impl Machine {
             Insn::Jmp { target } => Ok(Step::Jump(target)),
             Insn::JmpIf { cond, a, b, target } => {
                 let taken = self.compare(cond, a, b)?;
-                Ok(if taken { Step::Jump(target) } else { Step::Next })
+                Ok(if taken {
+                    Step::Jump(target)
+                } else {
+                    Step::Next
+                })
             }
             Insn::JmpNil { src, target } => {
                 let w = self.read(src)?;
-                Ok(if w.is_true() { Step::Next } else { Step::Jump(target) })
+                Ok(if w.is_true() {
+                    Step::Next
+                } else {
+                    Step::Jump(target)
+                })
             }
             Insn::JmpNotNil { src, target } => {
                 let w = self.read(src)?;
-                Ok(if w.is_true() { Step::Jump(target) } else { Step::Next })
+                Ok(if w.is_true() {
+                    Step::Jump(target)
+                } else {
+                    Step::Next
+                })
             }
             Insn::JmpTag { tag, src, target } => {
                 let w = self.read(src)?;
@@ -618,11 +652,7 @@ impl Machine {
                             self.heap.write(heap_addr, v);
                             Word::Ptr(Tag::SingleFlonum, heap_addr)
                         }
-                        other => {
-                            return Err(Trap::WrongType(format!(
-                                "cannot certify {other}"
-                            )))
-                        }
+                        other => return Err(Trap::WrongType(format!("cannot certify {other}"))),
                     }
                 };
                 self.write(dst, safe)?;
@@ -721,6 +751,12 @@ impl Machine {
                 // checking) so instruction counts stay comparable with
                 // inline code.
                 self.stats.insns += RT_CALL_COST + 2 * u64::from(nargs);
+                if self.profile.is_some() {
+                    let fnid = self.current_fnid(code);
+                    if let Some(p) = self.profile.as_deref_mut() {
+                        p.attribute(fnid, RT_CALL_COST + 2 * u64::from(nargs));
+                    }
+                }
                 let n = nargs as usize;
                 let args: Vec<Word> = self.stack[self.sp - n..self.sp].to_vec();
                 self.sp -= n;
@@ -889,9 +925,7 @@ impl Machine {
                 let i = match self.reg_value(idx) {
                     Word::Raw(n) => n,
                     Word::Ptr(Tag::Fixnum, n) => n as i64,
-                    other => {
-                        return Err(Trap::WrongType(format!("bad index register: {other}")))
-                    }
+                    other => return Err(Trap::WrongType(format!("bad index register: {other}"))),
                 };
                 Ok(b.wrapping_add_signed(i64::from(off))
                     .wrapping_add_signed(i << shift))
@@ -908,9 +942,7 @@ impl Machine {
                 let i = match iw {
                     Word::Raw(n) => n,
                     Word::Ptr(Tag::Fixnum, n) => n as i64,
-                    other => {
-                        return Err(Trap::WrongType(format!("bad memory index: {other}")))
-                    }
+                    other => return Err(Trap::WrongType(format!("bad memory index: {other}"))),
                 };
                 let b = self.base_addr(base)?;
                 Ok(b.wrapping_add_signed(i64::from(off))
@@ -980,11 +1012,7 @@ impl Machine {
         }
         if addr >= STACK_BASE {
             let i = (addr - STACK_BASE) as usize;
-            return self
-                .stack
-                .get(i)
-                .copied()
-                .ok_or(Trap::StackOverflow);
+            return self.stack.get(i).copied().ok_or(Trap::StackOverflow);
         }
         Ok(self.heap.read(addr))
     }
@@ -1056,7 +1084,10 @@ impl Machine {
             return Ok(Word::Ptr(Tag::Cell, GLOBAL_BASE + i as u64));
         }
         self.globals.push((sym, Word::NIL));
-        Ok(Word::Ptr(Tag::Cell, GLOBAL_BASE + (self.globals.len() - 1) as u64))
+        Ok(Word::Ptr(
+            Tag::Cell,
+            GLOBAL_BASE + (self.globals.len() - 1) as u64,
+        ))
     }
 
     // ---- arithmetic helpers ----
@@ -1086,7 +1117,11 @@ impl Machine {
         let (x, tx) = self.read_int(a)?;
         let (y, ty) = self.read_int(b)?;
         let r = f(x, y).ok_or(Trap::DivisionByZero)?;
-        let w = if tx || ty { Word::fixnum(r) } else { Word::Raw(r) };
+        let w = if tx || ty {
+            Word::fixnum(r)
+        } else {
+            Word::Raw(r)
+        };
         self.write(dst, w)?;
         Ok(Step::Next)
     }
@@ -1138,10 +1173,7 @@ impl Machine {
         roots.extend(self.catches.iter().map(|c| c.tag));
         roots.extend(self.const_cache.iter().flatten().copied());
         self.heap.collect(&roots);
-        let a = self
-            .heap
-            .try_alloc(size, kind)
-            .ok_or(Trap::HeapExhausted)?;
+        let a = self.heap.try_alloc(size, kind).ok_or(Trap::HeapExhausted)?;
         self.stats.heap = self.heap.allocs;
         Ok(a)
     }
@@ -1281,7 +1313,10 @@ mod tests {
         a.push(Insn::Push {
             src: Operand::Reg(Reg::RTA),
         });
-        a.push(Insn::TailJmp { nargs: 1, target: top });
+        a.push(Insn::TailJmp {
+            nargs: 1,
+            target: top,
+        });
         a.bind(done);
         a.push(Insn::Mov {
             dst: Operand::Reg(Reg::A),
@@ -1318,7 +1353,10 @@ mod tests {
         let mut p = Program::new();
         p.define(a.finish());
         let mut m = Machine::new(p);
-        assert_eq!(m.run("fsq", &[Value::Flonum(1.5)]).unwrap(), Value::Flonum(2.25));
+        assert_eq!(
+            m.run("fsq", &[Value::Flonum(1.5)]).unwrap(),
+            Value::Flonum(2.25)
+        );
         assert_eq!(m.stats.heap.flonums, 2); // argument injection + result box
     }
 
@@ -1327,7 +1365,10 @@ mod tests {
     fn pdl_number_certification() {
         let mut a = Asm::new("pdl", 1);
         // temp slot at FP+1 (one past the single argument)
-        a.push(Insn::AllocSlots { n: 1, init: Word::NIL });
+        a.push(Insn::AllocSlots {
+            n: 1,
+            init: Word::NIL,
+        });
         a.push(Insn::UnboxFlo {
             dst: Operand::Reg(Reg(9)),
             src: Operand::arg(0),
@@ -1356,7 +1397,10 @@ mod tests {
         let mut p = Program::new();
         p.define(a.finish());
         let mut m = Machine::new(p);
-        assert_eq!(m.run("pdl", &[Value::Flonum(2.5)]).unwrap(), Value::Flonum(3.5));
+        assert_eq!(
+            m.run("pdl", &[Value::Flonum(2.5)]).unwrap(),
+            Value::Flonum(3.5)
+        );
         assert_eq!(m.stats.pdl_numbers, 1);
         assert_eq!(m.stats.certify_copies, 1);
         assert_eq!(m.stats.certify_safe, 0);
@@ -1432,10 +1476,7 @@ mod tests {
         let mut m = Machine::new(p);
         assert_eq!(m.run("catcher", &[]).unwrap(), fx(33));
         // Uncaught throw traps.
-        assert!(matches!(
-            m.run("thrower", &[]),
-            Err(Trap::UncaughtThrow(_))
-        ));
+        assert!(matches!(m.run("thrower", &[]), Err(Trap::UncaughtThrow(_))));
     }
 
     /// Fuel prevents runaway loops.
@@ -1534,10 +1575,7 @@ mod new_insn_tests {
         p.define(a.finish());
         let mut m = Machine::new(p);
         assert_eq!(m.run("f", &[fx(0)]).unwrap(), fx(0));
-        assert_eq!(
-            m.run("f", &[fx(0), fx(1), fx(2), fx(3)]).unwrap(),
-            fx(3)
-        );
+        assert_eq!(m.run("f", &[fx(0), fx(1), fx(2), fx(3)]).unwrap(), fx(3));
     }
 
     #[test]
@@ -1665,8 +1703,8 @@ mod new_insn_tests {
     #[test]
     fn idx_and_idxmem_address_heap_blocks() {
         let mut a = Asm::new("f", 2); // args: index, slot-index
-        // R16 = base (set by the test); read base[idx] via register index
-        // and base[mem[fp+1]] via memory index; sum them.
+                                      // R16 = base (set by the test); read base[idx] via register index
+                                      // and base[mem[fp+1]] via memory index; sum them.
         a.push(Insn::Mov {
             dst: Operand::Reg(Reg(9)),
             src: Operand::arg(0),

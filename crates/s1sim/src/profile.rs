@@ -1,0 +1,156 @@
+//! Execution profiling: retired-opcode histograms, per-function cycle
+//! attribution, and an optional instruction ring buffer.
+//!
+//! The profiler is strictly host-side instrumentation layered over
+//! [`MachineStats`](crate::MachineStats): attaching one never changes
+//! what the simulated machine does or counts (`stats.insns`, heap
+//! allocations, traps are bit-identical with and without it — a test in
+//! the workspace pins this).  By default a [`Machine`](crate::Machine)
+//! carries no profiler and the retire path costs one `Option` check.
+
+use std::collections::BTreeMap;
+
+/// One retired instruction, as seen by the ring buffer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Retired {
+    /// Function id (index into `Program::fn_names`).
+    pub fnid: u32,
+    /// Program counter of the instruction within the function.
+    pub pc: u32,
+    /// Instruction mnemonic.
+    pub opcode: &'static str,
+}
+
+/// An execution profile accumulated at the machine's retire point.
+#[derive(Clone, Debug, Default)]
+pub struct ExecProfile {
+    /// Retired instructions per opcode mnemonic.
+    pub opcodes: BTreeMap<&'static str, u64>,
+    /// Instruction-equivalent cycles attributed per function id.  Counts
+    /// retired instructions *plus* the synthetic entry/dispatch cost the
+    /// machine charges for runtime calls (which has no opcode and so
+    /// never appears in [`ExecProfile::opcodes`]).
+    per_fn: Vec<u64>,
+    /// The last `ring_capacity` retired instructions (oldest first once
+    /// full), when a capacity was requested.
+    ring: Vec<Retired>,
+    ring_cap: usize,
+    ring_next: usize,
+}
+
+impl ExecProfile {
+    /// An empty profile with no instruction ring.
+    pub fn new() -> ExecProfile {
+        ExecProfile::default()
+    }
+
+    /// An empty profile that also keeps the last `capacity` retired
+    /// instructions for post-mortem inspection.
+    pub fn with_ring(capacity: usize) -> ExecProfile {
+        ExecProfile {
+            ring_cap: capacity,
+            ..ExecProfile::default()
+        }
+    }
+
+    /// Records one retired instruction (the machine calls this).
+    pub(crate) fn retire(&mut self, fnid: u32, pc: usize, opcode: &'static str) {
+        *self.opcodes.entry(opcode).or_insert(0) += 1;
+        self.attribute(fnid, 1);
+        if self.ring_cap > 0 {
+            let rec = Retired {
+                fnid,
+                pc: pc as u32,
+                opcode,
+            };
+            if self.ring.len() < self.ring_cap {
+                self.ring.push(rec);
+            } else {
+                self.ring[self.ring_next] = rec;
+            }
+            self.ring_next = (self.ring_next + 1) % self.ring_cap;
+        }
+    }
+
+    /// Attributes `cycles` instruction-equivalents to `fnid` without a
+    /// retired opcode (the synthetic runtime-call cost).
+    pub(crate) fn attribute(&mut self, fnid: u32, cycles: u64) {
+        let idx = fnid as usize;
+        if idx >= self.per_fn.len() {
+            self.per_fn.resize(idx + 1, 0);
+        }
+        self.per_fn[idx] += cycles;
+    }
+
+    /// Cycles attributed to function id `fnid`.
+    pub fn fn_cycles(&self, fnid: u32) -> u64 {
+        self.per_fn.get(fnid as usize).copied().unwrap_or(0)
+    }
+
+    /// Per-function cycle attribution as `(fnid, cycles)`, nonzero
+    /// entries only, heaviest first.
+    pub fn per_fn(&self) -> Vec<(u32, u64)> {
+        let mut v: Vec<(u32, u64)> = self
+            .per_fn
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(i, &c)| (i as u32, c))
+            .collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v
+    }
+
+    /// Total retired instructions recorded (sum of the opcode histogram;
+    /// excludes synthetic runtime-call cycles).
+    pub fn retired(&self) -> u64 {
+        self.opcodes.values().sum()
+    }
+
+    /// The retained instruction tail, oldest first.  Empty unless the
+    /// profile was created [`with_ring`](ExecProfile::with_ring).
+    pub fn ring(&self) -> Vec<Retired> {
+        if self.ring.len() < self.ring_cap {
+            self.ring.clone()
+        } else {
+            let mut out = Vec::with_capacity(self.ring.len());
+            out.extend_from_slice(&self.ring[self.ring_next..]);
+            out.extend_from_slice(&self.ring[..self.ring_next]);
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_and_attribution_accumulate() {
+        let mut p = ExecProfile::new();
+        p.retire(0, 0, "MOV");
+        p.retire(0, 1, "ADD");
+        p.retire(1, 0, "MOV");
+        p.attribute(1, 8);
+        assert_eq!(p.opcodes["MOV"], 2);
+        assert_eq!(p.opcodes["ADD"], 1);
+        assert_eq!(p.retired(), 3);
+        assert_eq!(p.fn_cycles(0), 2);
+        assert_eq!(p.fn_cycles(1), 9);
+        assert_eq!(p.per_fn(), vec![(1, 9), (0, 2)]);
+    }
+
+    #[test]
+    fn ring_keeps_the_last_n_in_order() {
+        let mut p = ExecProfile::with_ring(3);
+        for pc in 0..5 {
+            p.retire(0, pc, "MOV");
+        }
+        let tail: Vec<u32> = p.ring().iter().map(|r| r.pc).collect();
+        assert_eq!(tail, vec![2, 3, 4]);
+        // And a profile without a ring keeps nothing.
+        let mut q = ExecProfile::new();
+        q.retire(0, 0, "MOV");
+        assert!(q.ring().is_empty());
+    }
+}

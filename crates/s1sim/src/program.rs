@@ -138,11 +138,7 @@ impl Program {
 
     /// Total number of instructions across all defined functions.
     pub fn total_insns(&self) -> usize {
-        self.functions
-            .iter()
-            .flatten()
-            .map(|f| f.insns.len())
-            .sum()
+        self.functions.iter().flatten().map(|f| f.insns.len()).sum()
     }
 }
 

@@ -69,10 +69,8 @@ fn word_equal(m: &Machine, a: Word, b: Word, depth: usize) -> Result<bool, Trap>
             if xa == xb {
                 return Ok(true);
             }
-            Ok(
-                word_equal(m, m.read_mem(xa)?, m.read_mem(xb)?, depth + 1)?
-                    && word_equal(m, m.read_mem(xa + 1)?, m.read_mem(xb + 1)?, depth + 1)?,
-            )
+            Ok(word_equal(m, m.read_mem(xa)?, m.read_mem(xb)?, depth + 1)?
+                && word_equal(m, m.read_mem(xa + 1)?, m.read_mem(xb + 1)?, depth + 1)?)
         }
         _ => Ok(word_eql(m, a, b)),
     }
@@ -131,11 +129,7 @@ pub(crate) fn strict_float_of(m: &Machine, w: Word) -> Result<f64, Trap> {
 }
 
 /// Numeric comparison for `JmpIf`.
-pub(crate) fn num_compare(
-    m: &Machine,
-    a: Word,
-    b: Word,
-) -> Result<std::cmp::Ordering, Trap> {
+pub(crate) fn num_compare(m: &Machine, a: Word, b: Word) -> Result<std::cmp::Ordering, Trap> {
     let (x, y) = (num_of(m, a)?, num_of(m, b)?);
     match (x, y) {
         (Num::Int(p), Num::Int(q)) => Ok(p.cmp(&q)),
@@ -256,9 +250,9 @@ fn fold_num(
     for &w in &args[1..] {
         let y = num_of(m, w)?;
         acc = match (acc, y) {
-            (Num::Int(a), Num::Int(b)) =>
-
-                Num::Int(fi(a, b).ok_or_else(|| wrong(format!("{who}: fixnum overflow")))?),
+            (Num::Int(a), Num::Int(b)) => {
+                Num::Int(fi(a, b).ok_or_else(|| wrong(format!("{who}: fixnum overflow")))?)
+            }
             _ => Num::Flo(ff(acc.as_f64(), y.as_f64())),
         };
     }
@@ -287,11 +281,7 @@ fn compare_chain(
 /// Dispatches a runtime routine by (possibly owned) name, trapping with
 /// `UndefinedFunction` when the name is not a primitive — used when a
 /// global function *value* turns out to be a builtin.
-pub(crate) fn rt_call_owned(
-    m: &mut Machine,
-    name: &str,
-    args: &[Word],
-) -> Result<RtResult, Trap> {
+pub(crate) fn rt_call_owned(m: &mut Machine, name: &str, args: &[Word]) -> Result<RtResult, Trap> {
     rt_call(m, name, args)
 }
 
@@ -319,7 +309,9 @@ pub(crate) fn rt_call(m: &mut Machine, name: &str, args: &[Word]) -> Result<RtRe
                 .iter()
                 .skip(1)
                 .any(|&w| matches!(num_of(m, w), Ok(Num::Int(0))))
-                && args.iter().all(|&w| matches!(num_of(m, w), Ok(Num::Int(_))))
+                && args
+                    .iter()
+                    .all(|&w| matches!(num_of(m, w), Ok(Num::Int(_))))
             {
                 return Err(Trap::DivisionByZero);
             }
@@ -410,11 +402,19 @@ pub(crate) fn rt_call(m: &mut Machine, name: &str, args: &[Word]) -> Result<RtRe
                     if b == 0 {
                         return Err(Trap::DivisionByZero);
                     }
-                    Num::Int(if name == "mod" { a.rem_euclid(b) } else { a % b })
+                    Num::Int(if name == "mod" {
+                        a.rem_euclid(b)
+                    } else {
+                        a % b
+                    })
                 }
                 _ => {
                     let (a, b) = (x.as_f64(), y.as_f64());
-                    Num::Flo(if name == "mod" { a.rem_euclid(b) } else { a % b })
+                    Num::Flo(if name == "mod" {
+                        a.rem_euclid(b)
+                    } else {
+                        a % b
+                    })
                 }
             };
             make_num(m, r)?
@@ -752,9 +752,9 @@ pub(crate) fn inject(m: &mut Machine, v: &Value) -> Result<Word, Trap> {
             cons(m, a, d)?
         }
         Value::Func(_) => {
-            let name = v.as_global_function().ok_or_else(|| {
-                wrong("cannot inject interpreter closures into the machine")
-            })?;
+            let name = v
+                .as_global_function()
+                .ok_or_else(|| wrong("cannot inject interpreter closures into the machine"))?;
             let id = m.program.fn_id(name);
             Word::Ptr(Tag::Function, u64::from(id))
         }
@@ -796,9 +796,9 @@ pub(crate) fn extract(m: &Machine, w: Word, depth: usize) -> Result<Value, Trap>
                 .ok_or_else(|| wrong("bad string id"))?;
             Value::Str(std::rc::Rc::from(s.as_str()))
         }
-        Word::Ptr(Tag::Char, c) => Value::Char(
-            char::from_u32(c as u32).ok_or_else(|| wrong("bad character"))?,
-        ),
+        Word::Ptr(Tag::Char, c) => {
+            Value::Char(char::from_u32(c as u32).ok_or_else(|| wrong("bad character"))?)
+        }
         Word::Ptr(Tag::Cons, addr) => Value::cons(
             extract(m, m.read_mem(addr)?, depth + 1)?,
             extract(m, m.read_mem(addr + 1)?, depth + 1)?,

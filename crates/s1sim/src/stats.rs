@@ -45,6 +45,40 @@ impl MachineStats {
     pub fn reset(&mut self) {
         *self = MachineStats::default();
     }
+
+    /// Every counter as `(label, value)`, in display order.
+    pub fn counters(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("instructions retired", self.insns),
+            ("data moves (MOV/MOVP)", self.moves),
+            ("calls (frames pushed)", self.calls),
+            ("tail calls (frames reused)", self.tail_calls),
+            ("max call depth", self.max_call_depth as u64),
+            ("max stack words", self.max_stack_words as u64),
+            ("special deep searches", self.special_searches),
+            ("special cached accesses", self.special_cached),
+            ("pdl numbers created", self.pdl_numbers),
+            ("certify: safe pointers", self.certify_safe),
+            ("certify: stack copies", self.certify_copies),
+            ("closures made", self.closures_made),
+            ("heap objects allocated", self.heap.objects()),
+            ("heap words allocated", self.heap.words),
+            ("heap flonums boxed", self.heap.flonums),
+            ("garbage collections", self.heap.collections),
+        ]
+    }
+}
+
+/// An aligned counter table, one counter per line.
+impl std::fmt::Display for MachineStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let counters = self.counters();
+        let width = counters.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+        for (label, value) in counters {
+            writeln!(f, "{label:<width$}  {value:>12}")?;
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -59,5 +93,20 @@ mod tests {
         };
         s.reset();
         assert_eq!(s.insns, 0);
+    }
+
+    #[test]
+    fn display_is_an_aligned_table() {
+        let s = MachineStats {
+            insns: 1234,
+            tail_calls: 7,
+            ..MachineStats::default()
+        };
+        let text = s.to_string();
+        assert!(text.contains("instructions retired"));
+        assert!(text.contains("1234"));
+        // Every line has the same total width (label padded + value).
+        let widths: Vec<usize> = text.lines().map(str::len).collect();
+        assert!(widths.windows(2).all(|w| w[0] == w[1]), "{widths:?}");
     }
 }

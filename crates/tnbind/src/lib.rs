@@ -238,9 +238,7 @@ impl TnPool {
     /// procedures by convention may destroy nearly all registers."
     pub fn crosses_call(&self, tn: TnId) -> bool {
         let (first, last) = self.effective_range(tn);
-        self.call_positions
-            .iter()
-            .any(|&c| first < c && c < last)
+        self.call_positions.iter().any(|&c| first < c && c < last)
     }
 }
 
@@ -362,8 +360,7 @@ fn pack_in_order(pool: &TnPool, req: &PackRequest, order: &[TnId]) -> Packing {
             if let Some(&loc) = assigned.get(&buddy) {
                 let legal = match loc {
                     Location::Reg(r) => {
-                        reg_ok
-                            && fits(reg_intervals.get(&r).map_or(&[][..], |v| v), range)
+                        reg_ok && fits(reg_intervals.get(&r).map_or(&[][..], |v| v), range)
                     }
                     Location::Slot(s) => fits(&slot_intervals[s as usize], range),
                 };
@@ -586,16 +583,20 @@ mod tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use s1lisp_trace::rng::SplitMix64;
 
-    proptest! {
-        /// Packing invariant: TNs with overlapping lifetimes never share
-        /// a location.
-        #[test]
-        fn no_overlapping_tns_share_locations(
-            ranges in proptest::collection::vec((0u32..64, 0u32..16), 1..24),
-            calls in proptest::collection::vec(0u32..64, 0..4),
-        ) {
+    /// Packing invariant: TNs with overlapping lifetimes never share
+    /// a location.
+    #[test]
+    fn no_overlapping_tns_share_locations() {
+        let mut rng = SplitMix64::new(0x5115_0005);
+        for _case in 0..256 {
+            let ranges: Vec<(u32, u32)> = (0..rng.range_usize(1, 24))
+                .map(|_| (rng.below(64) as u32, rng.below(16) as u32))
+                .collect();
+            let calls: Vec<u32> = (0..rng.range_usize(0, 4))
+                .map(|_| rng.below(64) as u32)
+                .collect();
             let mut pool = TnPool::new();
             let mut ids = Vec::new();
             for (i, &(start, len)) in ranges.iter().enumerate() {
@@ -611,14 +612,14 @@ mod proptests {
             for (i, &a) in ids.iter().enumerate() {
                 for &b in &ids[i + 1..] {
                     if pool.tn(a).overlaps(pool.tn(b)) {
-                        prop_assert_ne!(p.location(a), p.location(b));
+                        assert_ne!(p.location(a), p.location(b));
                     }
                 }
             }
             // And register TNs never cross calls.
             for &t in &ids {
                 if matches!(p.location(t), Location::Reg(_)) {
-                    prop_assert!(!pool.crosses_call(t));
+                    assert!(!pool.crosses_call(t));
                 }
             }
         }

@@ -1,0 +1,399 @@
+//! A dependency-free JSON model for machine-readable reports.
+//!
+//! Two kinds of objects are distinguished so schemas can be pinned:
+//! [`Json::Obj`] has a *fixed* field set (part of the schema), while
+//! [`Json::Map`] holds *dynamic* keys (rule names, opcode names) whose
+//! value type, not key set, is schema.  [`schema`] renders a canonical
+//! type signature; golden tests compare signatures so field renames or
+//! type changes are caught while measured values stay free to vary.
+
+use std::fmt;
+
+/// A JSON value with ordered object keys.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true`/`false`.
+    Bool(bool),
+    /// An integer (serialized without a decimal point).
+    Int(i64),
+    /// A float (serialized with `.` or exponent; NaN/inf become null).
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with a fixed, schema-relevant field set.
+    Obj(Vec<(String, Json)>),
+    /// An object with dynamic keys (histograms: rule → count, …).
+    Map(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Shorthand for a string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Shorthand for an unsigned counter.
+    pub fn uint(n: u64) -> Json {
+        Json::Int(i64::try_from(n).unwrap_or(i64::MAX))
+    }
+}
+
+fn escape(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    write!(f, "\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => write!(f, "\\\"")?,
+            '\\' => write!(f, "\\\\")?,
+            '\n' => write!(f, "\\n")?,
+            '\r' => write!(f, "\\r")?,
+            '\t' => write!(f, "\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    write!(f, "\"")
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Json::Null => write!(f, "null"),
+            Json::Bool(b) => write!(f, "{b}"),
+            Json::Int(n) => write!(f, "{n}"),
+            Json::Float(x) => {
+                if x.is_finite() {
+                    if x.fract() == 0.0 && x.abs() < 1e15 {
+                        write!(f, "{x:.1}")
+                    } else {
+                        write!(f, "{x}")
+                    }
+                } else {
+                    write!(f, "null")
+                }
+            }
+            Json::Str(s) => escape(f, s),
+            Json::Arr(items) => {
+                write!(f, "[")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "]")
+            }
+            Json::Obj(fields) | Json::Map(fields) => {
+                write!(f, "{{")?;
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    escape(f, k)?;
+                    write!(f, ":{v}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+/// Renders the canonical type signature of a JSON value.
+///
+/// * scalars → `null` / `bool` / `int` / `float` / `str`
+/// * arrays → `[T]` with `T` the signature of the first element
+///   (`[]` when empty); heterogeneous arrays render every distinct
+///   signature, comma-separated, in first-occurrence order
+/// * fixed objects → `{key:T,…}` with keys in serialization order
+/// * dynamic maps → `map<T>` (`map<>` when empty)
+pub fn schema(v: &Json) -> String {
+    match v {
+        Json::Null => "null".into(),
+        Json::Bool(_) => "bool".into(),
+        Json::Int(_) => "int".into(),
+        Json::Float(_) => "float".into(),
+        Json::Str(_) => "str".into(),
+        Json::Arr(items) => {
+            let mut sigs: Vec<String> = Vec::new();
+            for item in items {
+                let s = schema(item);
+                if !sigs.contains(&s) {
+                    sigs.push(s);
+                }
+            }
+            format!("[{}]", sigs.join(","))
+        }
+        Json::Obj(fields) => {
+            let inner: Vec<String> = fields
+                .iter()
+                .map(|(k, v)| format!("{k}:{}", schema(v)))
+                .collect();
+            format!("{{{}}}", inner.join(","))
+        }
+        Json::Map(fields) => match fields.first() {
+            Some((_, v)) => format!("map<{}>", schema(v)),
+            None => "map<>".into(),
+        },
+    }
+}
+
+/// A minimal validating parser (objects parse as [`Json::Obj`]); used by
+/// tests to confirm emitted text is well-formed JSON.
+///
+/// # Errors
+///
+/// Returns a description of the first syntax error.
+pub fn parse(text: &str) -> Result<Json, String> {
+    let mut p = Parser {
+        b: text.as_bytes(),
+        i: 0,
+    };
+    p.ws();
+    let v = p.value()?;
+    p.ws();
+    if p.i != p.b.len() {
+        return Err(format!("trailing bytes at {}", p.i));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn ws(&mut self) {
+        while self.i < self.b.len() && self.b[self.i].is_ascii_whitespace() {
+            self.i += 1;
+        }
+    }
+
+    fn eat(&mut self, c: u8) -> Result<(), String> {
+        if self.b.get(self.i) == Some(&c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at {}", c as char, self.i))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.b.get(self.i) {
+            Some(b'n') => self.lit("null", Json::Null),
+            Some(b't') => self.lit("true", Json::Bool(true)),
+            Some(b'f') => self.lit("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => {
+                self.i += 1;
+                let mut items = Vec::new();
+                self.ws();
+                if self.b.get(self.i) == Some(&b']') {
+                    self.i += 1;
+                    return Ok(Json::Arr(items));
+                }
+                loop {
+                    self.ws();
+                    items.push(self.value()?);
+                    self.ws();
+                    match self.b.get(self.i) {
+                        Some(b',') => self.i += 1,
+                        Some(b']') => {
+                            self.i += 1;
+                            return Ok(Json::Arr(items));
+                        }
+                        _ => return Err(format!("bad array at {}", self.i)),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.i += 1;
+                let mut fields = Vec::new();
+                self.ws();
+                if self.b.get(self.i) == Some(&b'}') {
+                    self.i += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                loop {
+                    self.ws();
+                    let k = self.string()?;
+                    self.ws();
+                    self.eat(b':')?;
+                    self.ws();
+                    let v = self.value()?;
+                    fields.push((k, v));
+                    self.ws();
+                    match self.b.get(self.i) {
+                        Some(b',') => self.i += 1,
+                        Some(b'}') => {
+                            self.i += 1;
+                            return Ok(Json::Obj(fields));
+                        }
+                        _ => return Err(format!("bad object at {}", self.i)),
+                    }
+                }
+            }
+            Some(_) => self.number(),
+            None => Err("unexpected end".into()),
+        }
+    }
+
+    fn lit(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        if self.b[self.i..].starts_with(word.as_bytes()) {
+            self.i += word.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at {}", self.i))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.b.get(self.i) {
+                Some(b'"') => {
+                    self.i += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.i += 1;
+                    match self.b.get(self.i) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self.b.get(self.i + 1..self.i + 5).ok_or("bad \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                                16,
+                            )
+                            .map_err(|_| "bad \\u escape")?;
+                            out.push(char::from_u32(code).ok_or("bad \\u codepoint")?);
+                            self.i += 4;
+                        }
+                        _ => return Err(format!("bad escape at {}", self.i)),
+                    }
+                    self.i += 1;
+                }
+                Some(_) => {
+                    let start = self.i;
+                    while self.b.get(self.i).is_some_and(|&c| c != b'"' && c != b'\\') {
+                        self.i += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.b[start..self.i]).map_err(|_| "invalid utf8")?,
+                    );
+                }
+                None => return Err("unterminated string".into()),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.i;
+        while self
+            .b
+            .get(self.i)
+            .is_some_and(|&c| c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.i += 1;
+        }
+        let text = std::str::from_utf8(&self.b[start..self.i]).map_err(|_| "bad number")?;
+        if let Ok(n) = text.parse::<i64>() {
+            return Ok(Json::Int(n));
+        }
+        text.parse::<f64>()
+            .map(Json::Float)
+            .map_err(|_| format!("bad number {text:?} at {start}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obj(fields: &[(&str, Json)]) -> Json {
+        Json::Obj(
+            fields
+                .iter()
+                .map(|(k, v)| ((*k).to_string(), v.clone()))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn serialization_round_trips() {
+        let v = obj(&[
+            ("id", Json::str("e1")),
+            ("n", Json::Int(42)),
+            ("x", Json::Float(1.5)),
+            ("flag", Json::Bool(true)),
+            ("none", Json::Null),
+            ("items", Json::Arr(vec![Json::Int(1), Json::Int(2)])),
+            ("note", Json::str("a \"quoted\" line\nnext")),
+        ]);
+        let text = v.to_string();
+        let back = parse(&text).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn integral_floats_keep_a_decimal_point() {
+        assert_eq!(Json::Float(2.0).to_string(), "2.0");
+        assert_eq!(Json::Int(2).to_string(), "2");
+    }
+
+    #[test]
+    fn schema_distinguishes_fixed_and_dynamic_objects() {
+        let v = obj(&[
+            (
+                "phases",
+                Json::Arr(vec![obj(&[
+                    ("phase", Json::str("Preliminary")),
+                    ("wall_ns", Json::Int(12)),
+                ])]),
+            ),
+            (
+                "rules",
+                Json::Map(vec![("META-SUBSTITUTE".into(), Json::Int(3))]),
+            ),
+        ]);
+        assert_eq!(
+            schema(&v),
+            "{phases:[{phase:str,wall_ns:int}],rules:map<int>}"
+        );
+        // Different dynamic keys, same schema.
+        let v2 = obj(&[
+            (
+                "phases",
+                Json::Arr(vec![obj(&[
+                    ("phase", Json::str("Code generation")),
+                    ("wall_ns", Json::Int(99)),
+                ])]),
+            ),
+            (
+                "rules",
+                Json::Map(vec![
+                    ("META-CALL-LAMBDA".into(), Json::Int(1)),
+                    ("META-IF-DISTRIBUTE".into(), Json::Int(2)),
+                ]),
+            ),
+        ]);
+        assert_eq!(schema(&v), schema(&v2));
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("nulls").is_err());
+        assert!(parse("\"abc").is_err());
+    }
+}

@@ -1,0 +1,31 @@
+//! Observability for the s1lisp pipeline.
+//!
+//! The paper explains itself twice over: §7 reproduces the compiler's
+//! own debugging transcript (";**** courtesy of META-EVALUATE-…"), and
+//! §6 *measures* the optimizations it describes ("nearly all of the
+//! time it is possible … to generate code … that requires no MOV
+//! instructions").  Both are observability artifacts — the compiler
+//! narrating its decisions, the machine proving they paid off.  This
+//! crate is the shared instrument: a [`TraceSink`] span/event model the
+//! whole pipeline reports into, covering every phase of Table 1.
+//!
+//! * [`TraceSink`] — the recording interface.  Phases open *spans*
+//!   (named after Table 1 rows), attribute *counters* to the innermost
+//!   open span, and may log free-form *events*.
+//! * [`NullSink`] — the default, all methods no-ops: tracing disabled
+//!   costs nothing beyond a dead-branch check at phase boundaries.
+//! * [`MemorySink`] — aggregates spans per phase (call counts, wall
+//!   time, counter totals) and keeps the event log.
+//! * [`json`] — a dependency-free JSON model with a stable field order
+//!   and a schema extractor, so `report --json` output can be pinned by
+//!   golden tests.
+//! * [`rng`] — a tiny deterministic PRNG; the workspace's property
+//!   tests run offline and reproducibly on top of it.
+
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod rng;
+mod sink;
+
+pub use sink::{Event, MemorySink, NullSink, PhaseAgg, SpanId, TraceSink};

@@ -1,0 +1,285 @@
+//! The span/event recording model.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Identifier of an open span, returned by [`TraceSink::span_begin`]
+/// and consumed by [`TraceSink::span_end`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpanId(pub(crate) u32);
+
+impl SpanId {
+    /// The id handed out by sinks that record nothing.
+    pub const NONE: SpanId = SpanId(u32::MAX);
+}
+
+/// A recording surface for compilation telemetry.
+///
+/// Phases open a span per unit of work (usually one function), counters
+/// attribute to the phase of the innermost open span, and events carry
+/// free-form detail (rule firings, packing decisions).  Implementations
+/// must tolerate arbitrary nesting and unbalanced counters-outside-spans.
+pub trait TraceSink {
+    /// Whether this sink records anything.  Phases use this to skip
+    /// computing expensive metrics (e.g. conflict-graph edge counts)
+    /// when tracing is off.
+    fn enabled(&self) -> bool;
+
+    /// Opens a span for `phase` (a Table 1 phase name) over `unit`
+    /// (usually a function name).
+    fn span_begin(&mut self, phase: &'static str, unit: &str) -> SpanId;
+
+    /// Closes a span, attributing its wall time to the phase.
+    fn span_end(&mut self, span: SpanId);
+
+    /// Adds `delta` to the named counter of the innermost open span's
+    /// phase.
+    fn add(&mut self, counter: &'static str, delta: u64);
+
+    /// Records a free-form event under the innermost open span's phase.
+    fn event(&mut self, name: &'static str, detail: &str);
+}
+
+/// The default sink: records nothing, costs nothing.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn span_begin(&mut self, _phase: &'static str, _unit: &str) -> SpanId {
+        SpanId::NONE
+    }
+
+    fn span_end(&mut self, _span: SpanId) {}
+
+    fn add(&mut self, _counter: &'static str, _delta: u64) {}
+
+    fn event(&mut self, _name: &'static str, _detail: &str) {}
+}
+
+/// Aggregated telemetry for one phase: how many spans ran, their total
+/// wall time, and the counter totals attributed to the phase.
+#[derive(Clone, Debug)]
+pub struct PhaseAgg {
+    /// The Table 1 phase name.
+    pub phase: &'static str,
+    /// Number of spans (units of work, usually functions).
+    pub spans: u64,
+    /// Total wall time across spans.
+    pub wall: Duration,
+    /// Counter totals, in first-recorded order.
+    pub counters: Vec<(&'static str, u64)>,
+}
+
+impl PhaseAgg {
+    fn new(phase: &'static str) -> PhaseAgg {
+        PhaseAgg {
+            phase,
+            spans: 0,
+            wall: Duration::ZERO,
+            counters: Vec::new(),
+        }
+    }
+
+    /// The value of a counter (0 if never recorded).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map_or(0, |&(_, v)| v)
+    }
+
+    fn bump(&mut self, name: &'static str, delta: u64) {
+        match self.counters.iter_mut().find(|(n, _)| *n == name) {
+            Some(slot) => slot.1 += delta,
+            None => self.counters.push((name, delta)),
+        }
+    }
+}
+
+/// One recorded event.
+#[derive(Clone, Debug)]
+pub struct Event {
+    /// Phase of the innermost span open at record time (`"(toplevel)"`
+    /// if none).
+    pub phase: &'static str,
+    /// Event name.
+    pub name: &'static str,
+    /// Free-form detail.
+    pub detail: String,
+}
+
+struct OpenSpan {
+    phase_idx: usize,
+    start: Instant,
+}
+
+impl fmt::Debug for OpenSpan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "OpenSpan(phase {})", self.phase_idx)
+    }
+}
+
+/// A sink that aggregates spans per phase and keeps the event log.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    phases: Vec<PhaseAgg>,
+    index: HashMap<&'static str, usize>,
+    arena: Vec<OpenSpan>,
+    open: Vec<u32>,
+    /// Every recorded event, in order.
+    pub events: Vec<Event>,
+}
+
+/// Counters recorded outside any span land on this pseudo-phase.
+pub(crate) const TOPLEVEL: &str = "(toplevel)";
+
+impl MemorySink {
+    /// An empty sink.
+    pub fn new() -> MemorySink {
+        MemorySink::default()
+    }
+
+    fn phase_idx(&mut self, phase: &'static str) -> usize {
+        if let Some(&i) = self.index.get(phase) {
+            return i;
+        }
+        let i = self.phases.len();
+        self.phases.push(PhaseAgg::new(phase));
+        self.index.insert(phase, i);
+        i
+    }
+
+    fn innermost(&mut self) -> usize {
+        match self.open.last() {
+            Some(&s) => self.arena[s as usize].phase_idx,
+            None => self.phase_idx(TOPLEVEL),
+        }
+    }
+
+    /// All phase aggregates, in first-seen (pipeline) order.
+    pub fn phases(&self) -> &[PhaseAgg] {
+        &self.phases
+    }
+
+    /// The aggregate for one phase, if any span of it ran.
+    pub fn phase(&self, name: &str) -> Option<&PhaseAgg> {
+        self.index.get(name).map(|&i| &self.phases[i])
+    }
+
+    /// The total of `counter` under `phase` (0 if absent).
+    pub fn counter(&self, phase: &str, counter: &str) -> u64 {
+        self.phase(phase).map_or(0, |p| p.counter(counter))
+    }
+}
+
+impl TraceSink for MemorySink {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn span_begin(&mut self, phase: &'static str, _unit: &str) -> SpanId {
+        let phase_idx = self.phase_idx(phase);
+        let id = self.arena.len() as u32;
+        self.arena.push(OpenSpan {
+            phase_idx,
+            start: Instant::now(),
+        });
+        self.open.push(id);
+        SpanId(id)
+    }
+
+    fn span_end(&mut self, span: SpanId) {
+        if span == SpanId::NONE {
+            return;
+        }
+        let elapsed = self.arena[span.0 as usize].start.elapsed();
+        let idx = self.arena[span.0 as usize].phase_idx;
+        self.phases[idx].spans += 1;
+        self.phases[idx].wall += elapsed;
+        // Tolerate out-of-order ends: drop the span wherever it sits.
+        if let Some(pos) = self.open.iter().rposition(|&s| s == span.0) {
+            self.open.remove(pos);
+        }
+    }
+
+    fn add(&mut self, counter: &'static str, delta: u64) {
+        let idx = self.innermost();
+        self.phases[idx].bump(counter, delta);
+    }
+
+    fn event(&mut self, name: &'static str, detail: &str) {
+        let idx = self.innermost();
+        let phase = self.phases[idx].phase;
+        self.events.push(Event {
+            phase,
+            name,
+            detail: detail.to_string(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_sink_is_inert() {
+        let mut s = NullSink;
+        assert!(!s.enabled());
+        let sp = s.span_begin("Code generation", "f");
+        assert_eq!(sp, SpanId::NONE);
+        s.add("tns", 3);
+        s.event("note", "nothing");
+        s.span_end(sp);
+    }
+
+    #[test]
+    fn memory_sink_aggregates_spans_and_counters() {
+        let mut s = MemorySink::new();
+        assert!(s.enabled());
+        for unit in ["f", "g"] {
+            let sp = s.span_begin("Target annotation", unit);
+            s.add("tns", 4);
+            s.add("in_registers", 2);
+            s.span_end(sp);
+        }
+        let agg = s.phase("Target annotation").unwrap();
+        assert_eq!(agg.spans, 2);
+        assert_eq!(agg.counter("tns"), 8);
+        assert_eq!(agg.counter("in_registers"), 4);
+        assert_eq!(agg.counter("missing"), 0);
+        assert_eq!(s.counter("Target annotation", "tns"), 8);
+    }
+
+    #[test]
+    fn counters_attribute_to_innermost_span() {
+        let mut s = MemorySink::new();
+        let outer = s.span_begin("Code generation", "f");
+        let inner = s.span_begin("Target annotation", "f");
+        s.add("tns", 1);
+        s.span_end(inner);
+        s.add("coercions", 5);
+        s.span_end(outer);
+        assert_eq!(s.counter("Target annotation", "tns"), 1);
+        assert_eq!(s.counter("Code generation", "coercions"), 5);
+        // Outside any span: the toplevel pseudo-phase.
+        s.add("stray", 7);
+        assert_eq!(s.counter(TOPLEVEL, "stray"), 7);
+    }
+
+    #[test]
+    fn events_carry_their_phase() {
+        let mut s = MemorySink::new();
+        let sp = s.span_begin("Source-level optimization", "f");
+        s.event("rule", "META-SUBSTITUTE");
+        s.span_end(sp);
+        assert_eq!(s.events.len(), 1);
+        assert_eq!(s.events[0].phase, "Source-level optimization");
+        assert_eq!(s.events[0].detail, "META-SUBSTITUTE");
+    }
+}

@@ -1,13 +1,15 @@
 //! A guided tour of the compiler on the paper's §7 worked example
 //! (`testfn`): phase table, back-translation, transformation transcript,
-//! and the generated parenthesized assembly — the full Table 1 → Table 4
-//! journey.
+//! the generated parenthesized assembly — the full Table 1 → Table 4
+//! journey — and the observability surfaces (phase telemetry, execution
+//! statistics, opcode profile).
 //!
 //! ```sh
 //! cargo run --example compiler_tour
 //! ```
 
-use s1lisp::{phases, Compiler, PhaseStatus};
+use s1lisp::{phases, Compiler, PhaseStatus, Value};
+use s1lisp_s1sim::ExecProfile;
 
 const TESTFN: &str = "
 (defun frotz (a b c) '())
@@ -25,11 +27,16 @@ fn main() {
             PhaseStatus::OptionalExtension => "+",
             PhaseStatus::Subsumed => "~",
         };
-        let bracket = if p.bracketed_in_paper { "[bracketed in 1982]" } else { "" };
+        let bracket = if p.bracketed_in_paper {
+            "[bracketed in 1982]"
+        } else {
+            ""
+        };
         println!("{mark} {:<36} {:<20} {}", p.name, bracket, p.module);
     }
 
     let mut compiler = Compiler::new();
+    compiler.enable_trace();
     compiler.compile_str(TESTFN).expect("compiles");
     let f = compiler.function("testfn").expect("compiled");
 
@@ -39,7 +46,10 @@ fn main() {
     println!("\n=== source-level transformation transcript (§7 style) ===\n");
     println!("{}", f.transcript);
 
-    println!("=== after optimization ({} transformations) ===\n", f.transformations);
+    println!(
+        "=== after optimization ({} transformations) ===\n",
+        f.transformations
+    );
     println!("{}", f.optimized);
 
     println!("\n=== generated S-1 code (parenthesized assembly, Table 4 style) ===\n");
@@ -50,4 +60,27 @@ fn main() {
         compiler.code_size_words(),
         compiler.program().total_insns()
     );
+
+    println!("\n=== compilation telemetry (per-phase spans, wall time, counters) ===\n");
+    print!("{}", compiler.trace_report());
+
+    println!("\n=== one profiled run of (testfn 1.5 2.5 0.5) ===\n");
+    let mut m = compiler.machine();
+    m.profile = Some(Box::new(ExecProfile::new()));
+    let v = m
+        .run(
+            "testfn",
+            &[Value::Flonum(1.5), Value::Flonum(2.5), Value::Flonum(0.5)],
+        )
+        .expect("runs");
+    println!("value: {v}\n");
+    print!("{}", m.stats);
+    if let Some(p) = m.profile.take() {
+        println!("\nretired opcodes:");
+        let mut ops: Vec<(&str, u64)> = p.opcodes.iter().map(|(&k, &v)| (k, v)).collect();
+        ops.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+        for (op, n) in ops {
+            println!("  {op:<14} {n:>8}");
+        }
+    }
 }

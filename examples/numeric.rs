@@ -54,9 +54,7 @@ fn main() {
 
     println!("--- quadratic roots ---");
     for (a, b, cc) in [(1.0, -3.0, 2.0), (1.0, 2.0, 5.0), (2.0, 4.0, 2.0)] {
-        let v = m
-            .run("quadratic", &[fl(a), fl(b), fl(cc)])
-            .expect("solves");
+        let v = m.run("quadratic", &[fl(a), fl(b), fl(cc)]).expect("solves");
         println!("{a}x² + {b}x + {cc} = 0   →  {v}");
     }
 

@@ -20,9 +20,7 @@ fn main() {
         .expect("compiles");
 
     let mut machine = compiler.machine();
-    let v = machine
-        .run("square", &[Value::Fixnum(12)])
-        .expect("runs");
+    let v = machine.run("square", &[Value::Fixnum(12)]).expect("runs");
     println!("(square 12) = {v}");
 
     let v = machine

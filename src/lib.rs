@@ -46,8 +46,7 @@ pub const FIB_ITER: &str = "(defun fib-iter (n)
       ((= i n) a)))";
 
 /// Naive doubly recursive Fibonacci.
-pub const FIB: &str =
-    "(defun fib (n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))";
+pub const FIB: &str = "(defun fib (n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))";
 
 /// List reversal written with an accumulator (tail recursive).
 pub const NREV: &str = "(defun revappend (l acc)
@@ -100,7 +99,8 @@ pub fn corpus() -> Vec<(&'static str, &'static str)> {
 /// Panics on compile errors (tests feed known-good sources).
 pub fn build(src: &str) -> (Machine, Interp) {
     let mut c = Compiler::new();
-    c.compile_str(src).unwrap_or_else(|e| panic!("compile failed: {e}\n{src}"));
+    c.compile_str(src)
+        .unwrap_or_else(|e| panic!("compile failed: {e}\n{src}"));
     (c.machine(), c.interpreter())
 }
 
@@ -110,7 +110,8 @@ pub fn build(src: &str) -> (Machine, Interp) {
 ///
 /// Panics on compile errors.
 pub fn build_with(src: &str, mut c: Compiler) -> (Machine, Interp) {
-    c.compile_str(src).unwrap_or_else(|e| panic!("compile failed: {e}\n{src}"));
+    c.compile_str(src)
+        .unwrap_or_else(|e| panic!("compile failed: {e}\n{src}"));
     (c.machine(), c.interpreter())
 }
 

@@ -19,7 +19,12 @@ fn apply_spreads_argument_lists() {
     );
     let l = Value::list([fx(1), fx(2), fx(3)]);
     check_agree(&mut m, &i, "spread", std::slice::from_ref(&l));
-    check_agree(&mut m, &i, "spread-var", &[Value::global_function("add3"), l]);
+    check_agree(
+        &mut m,
+        &i,
+        "spread-var",
+        &[Value::global_function("add3"), l],
+    );
     // Wrong count through apply traps in both.
     let short = Value::list([fx(1)]);
     check_agree(&mut m, &i, "spread", &[short]);
@@ -118,9 +123,7 @@ fn rest_parameters_with_many_arguments() {
 
 #[test]
 fn optional_plus_rest_combination() {
-    let (mut m, i) = build(
-        "(defun f (a &optional (b 10) &rest r) (list a b r))",
-    );
+    let (mut m, i) = build("(defun f (a &optional (b 10) &rest r) (list a b r))");
     check_agree(&mut m, &i, "f", &[fx(1)]);
     check_agree(&mut m, &i, "f", &[fx(1), fx(2)]);
     check_agree(&mut m, &i, "f", &[fx(1), fx(2), fx(3), fx(4)]);
@@ -154,10 +157,20 @@ fn strings_and_characters_flow_through() {
         "(defun pick (flag a b) (if flag a b))
          (defun is-str (x) (stringp x))",
     );
-    check_agree(&mut m, &i, "pick", &[sym("t"), Value::Str("hello".into()), fx(1)]);
+    check_agree(
+        &mut m,
+        &i,
+        "pick",
+        &[sym("t"), Value::Str("hello".into()), fx(1)],
+    );
     check_agree(&mut m, &i, "is-str", &[Value::Str("x".into())]);
     check_agree(&mut m, &i, "is-str", &[Value::Char('q')]);
-    check_agree(&mut m, &i, "pick", &[Value::Nil, Value::Char('a'), Value::Char('b')]);
+    check_agree(
+        &mut m,
+        &i,
+        "pick",
+        &[Value::Nil, Value::Char('a'), Value::Char('b')],
+    );
 }
 
 #[test]
@@ -191,9 +204,7 @@ fn assoc_tables_compiled() {
 
 #[test]
 fn rplaca_certifies_and_mutates() {
-    let (mut m, i) = build(
-        "(defun smash (cell x) (rplaca cell (+$f x 1.0)) (car cell))",
-    );
+    let (mut m, i) = build("(defun smash (cell x) (rplaca cell (+$f x 1.0)) (car cell))");
     let cell = Value::cons(fx(0), Value::Nil);
     check_agree(&mut m, &i, "smash", &[cell, fl(2.5)]);
 }
@@ -262,9 +273,8 @@ fn setq_of_parameters_and_loop_vars() {
 
 #[test]
 fn not_in_value_and_test_positions() {
-    let (mut m, i) = build(
-        "(defun run (p q) (list (not p) (null q) (if (not p) 1 2) (and (not p) (not q))))",
-    );
+    let (mut m, i) =
+        build("(defun run (p q) (list (not p) (null q) (if (not p) 1 2) (and (not p) (not q))))");
     check_agree(&mut m, &i, "run", &[Value::Nil, fx(1)]);
     check_agree(&mut m, &i, "run", &[fx(1), Value::Nil]);
 }
@@ -330,7 +340,12 @@ fn type_inference_lowers_declared_generic_arithmetic() {
     let code = c.disassemble("poly").unwrap();
     let rt_arith = code
         .lines()
-        .filter(|l| l.contains("%CALLRT +") || l.contains("%CALLRT *") || l.contains("%CALLRT sqrt") || l.contains("%CALLRT max"))
+        .filter(|l| {
+            l.contains("%CALLRT +")
+                || l.contains("%CALLRT *")
+                || l.contains("%CALLRT sqrt")
+                || l.contains("%CALLRT max")
+        })
         .count();
     assert_eq!(rt_arith, 0, "{code}");
     assert!(code.contains("FSQRT"), "{code}");

@@ -1,10 +1,10 @@
 //! Deeper fidelity properties: back-translation round trips, the §4.3
 //! anti-thrashing design, and machine-level data round trips under GC.
 
-use proptest::prelude::*;
 use s1lisp::{Compiler, Value};
-use s1lisp_suite::{corpus, fl, fx};
 use s1lisp_suite as suite;
+use s1lisp_suite::{corpus, fl, fx};
+use s1lisp_trace::rng::SplitMix64;
 
 /// §4.1: "the internal tree can always be back-translated into valid
 /// source code, equivalent to, though not necessarily identical to, the
@@ -13,11 +13,18 @@ use s1lisp_suite as suite;
 #[test]
 fn optimized_trees_recompile_from_their_back_translation() {
     let cases: Vec<(&str, &str, Vec<Vec<Value>>)> = vec![
-        (suite::EXPTL, "exptl", vec![vec![fx(3), fx(10), fx(1)], vec![fx(2), fx(0), fx(7)]]),
+        (
+            suite::EXPTL,
+            "exptl",
+            vec![vec![fx(3), fx(10), fx(1)], vec![fx(2), fx(0), fx(7)]],
+        ),
         (
             suite::QUADRATIC,
             "quadratic",
-            vec![vec![fl(1.0), fl(-3.0), fl(2.0)], vec![fl(1.0), fl(0.0), fl(1.0)]],
+            vec![
+                vec![fl(1.0), fl(-3.0), fl(2.0)],
+                vec![fl(1.0), fl(0.0), fl(1.0)],
+            ],
         ),
         (suite::FIB_ITER, "fib-iter", vec![vec![fx(25)]]),
         (suite::TAK, "tak", vec![vec![fx(10), fx(6), fx(3)]]),
@@ -107,12 +114,13 @@ fn machine_data_round_trips_through_gc() {
     assert_eq!(again, keep);
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-    /// inject ∘ extract is the identity on function-free values, even
-    /// with a heap small enough to collect mid-test.
-    #[test]
-    fn inject_extract_identity(src in value_strategy(3)) {
+/// inject ∘ extract is the identity on function-free values, even
+/// with a heap small enough to collect mid-test.
+#[test]
+fn inject_extract_identity() {
+    let mut rng = SplitMix64::new(0x5115_0009);
+    for _case in 0..32 {
+        let src = random_value(&mut rng, 3);
         let mut c = Compiler::new();
         c.compile_str("(defun id (x) x)").unwrap();
         let mut m = s1lisp_s1sim::Machine::with_sizes(c.program().clone(), 1 << 16, 4000);
@@ -120,24 +128,31 @@ proptest! {
         let d = s1lisp_reader::read_str(&src, &mut i).unwrap();
         let v = Value::from_datum(&d);
         let out = m.run("id", std::slice::from_ref(&v)).unwrap();
-        prop_assert_eq!(out, v);
+        assert_eq!(out, v, "{src}");
     }
 }
 
-fn value_strategy(depth: u32) -> BoxedStrategy<String> {
-    let leaf = prop_oneof![
-        any::<i32>().prop_map(|n| n.to_string()),
-        (-1000..1000i32).prop_map(|n| format!("{}", f64::from(n) / 4.0)),
-        "[a-z][a-z0-9]{0,5}".prop_map(|s| s),
-        Just("()".to_string()),
-        Just("\"a string\"".to_string()),
-        Just("#\\q".to_string()),
-    ];
-    leaf.prop_recursive(depth, 16, 3, |inner| {
-        prop::collection::vec(inner, 0..4)
-            .prop_map(|items| format!("({})", items.join(" ")))
-    })
-    .boxed()
+fn random_value(rng: &mut SplitMix64, depth: u32) -> String {
+    if depth > 0 && rng.below(3) == 0 {
+        let n = rng.range_usize(0, 4);
+        let items: Vec<String> = (0..n).map(|_| random_value(rng, depth - 1)).collect();
+        return format!("({})", items.join(" "));
+    }
+    match rng.below(6) {
+        0 => (rng.next_u64() as i32).to_string(),
+        1 => format!("{}", f64::from(rng.range_i64(-1000, 1000) as i32) / 4.0),
+        2 => {
+            let mut s = String::new();
+            s.push(*rng.pick(b"abcdefghijklmnopqrstuvwxyz") as char);
+            for _ in 0..rng.range_usize(0, 6) {
+                s.push(*rng.pick(b"abcdefghijklmnopqrstuvwxyz0123456789") as char);
+            }
+            s
+        }
+        3 => "()".to_string(),
+        4 => "\"a string\"".to_string(),
+        _ => "#\\q".to_string(),
+    }
 }
 
 /// The paper's Table 2 claim in reverse: *no* program, however twisty,
@@ -152,11 +167,7 @@ fn corpus_back_translations_reparse() {
             let mut i = s1lisp_reader::Interner::new();
             let d = s1lisp_reader::read_str(&f.optimized, &mut i)
                 .unwrap_or_else(|e| panic!("{id}/{}: unreadable back-translation: {e}", f.name));
-            assert!(
-                d.to_string().starts_with("(lambda"),
-                "{id}/{}: {d}",
-                f.name
-            );
+            assert!(d.to_string().starts_with("(lambda"), "{id}/{}: {d}", f.name);
         }
     }
 }

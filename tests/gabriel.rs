@@ -120,6 +120,11 @@ fn string_symbol_tables() {
         Value::Str("y".into()),
         Value::Str("x".into()),
     ]);
-    check_agree(&mut m, &i, "count-matches", &[Value::Sym(si.intern("a")), l.clone()]);
+    check_agree(
+        &mut m,
+        &i,
+        "count-matches",
+        &[Value::Sym(si.intern("a")), l.clone()],
+    );
     check_agree(&mut m, &i, "count-matches", &[Value::Str("x".into()), l]);
 }

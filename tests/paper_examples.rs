@@ -13,7 +13,12 @@ fn quadratic_back_translation_matches_section_4_1() {
     c.opt_options = s1lisp::OptOptions::none(); // conversion only
     c.compile_str(s1lisp_suite::QUADRATIC).unwrap();
     let f = c.function("quadratic").unwrap();
-    let flat = f.converted.replace('\n', " ").split_whitespace().collect::<Vec<_>>().join(" ");
+    let flat = f
+        .converted
+        .replace('\n', " ")
+        .split_whitespace()
+        .collect::<Vec<_>>()
+        .join(" ");
     assert!(flat.starts_with("(lambda (a b c) ((lambda (d)"), "{flat}");
     assert!(flat.contains("(if (< d '0) '()"), "{flat}");
     assert!(flat.contains("(if (= d '0)"), "{flat}");
@@ -23,7 +28,6 @@ fn quadratic_back_translation_matches_section_4_1() {
 /// Table 2: the internal tree uses exactly the paper's construct set.
 #[test]
 fn internal_constructs_match_table_2() {
-    
     let mut c = Compiler::new();
     c.compile_str(
         "(defun all-constructs (x)
@@ -43,8 +47,8 @@ fn internal_constructs_match_table_2() {
     seen.sort_unstable();
     seen.dedup();
     let table2 = [
-        "call", "caseq", "catcher", "go", "if", "lambda", "progbody", "progn", "quote",
-        "return", "setq", "variable",
+        "call", "caseq", "catcher", "go", "if", "lambda", "progbody", "progn", "quote", "return",
+        "setq", "variable",
     ];
     for construct in &seen {
         assert!(table2.contains(construct), "{construct} is not in Table 2");
@@ -65,20 +69,37 @@ fn testfn_transcript_matches_section_7() {
     let t = &f.transcript;
     // "(+$f a b c) to be (+$f (+$f c b) a) courtesy of
     // META-EVALUATE-ASSOC-COMMUT-CALL"
-    assert!(t.entries.iter().any(|e| e.rule == "META-EVALUATE-ASSOC-COMMUT-CALL"
-        && e.before == "(+$f a b c)"
-        && e.after == "(+$f (+$f c b) a)"), "{t}");
-    assert!(t.entries.iter().any(|e| e.rule == "META-EVALUATE-ASSOC-COMMUT-CALL"
-        && e.before == "(*$f a b c)"
-        && e.after == "(*$f (*$f c b) a)"), "{t}");
+    assert!(
+        t.entries
+            .iter()
+            .any(|e| e.rule == "META-EVALUATE-ASSOC-COMMUT-CALL"
+                && e.before == "(+$f a b c)"
+                && e.after == "(+$f (+$f c b) a)"),
+        "{t}"
+    );
+    assert!(
+        t.entries
+            .iter()
+            .any(|e| e.rule == "META-EVALUATE-ASSOC-COMMUT-CALL"
+                && e.before == "(*$f a b c)"
+                && e.after == "(*$f (*$f c b) a)"),
+        "{t}"
+    );
     // "(*$f e 0.159154942) to be (*$f 0.159154942 e) courtesy of
     // CONSIDER-REVERSING-ARGUMENTS"
-    assert!(t.entries.iter().any(|e| e.rule == "CONSIDER-REVERSING-ARGUMENTS"
-        && e.after == "(*$f '0.159154942 e)"), "{t}");
+    assert!(
+        t.entries
+            .iter()
+            .any(|e| e.rule == "CONSIDER-REVERSING-ARGUMENTS" && e.after == "(*$f '0.159154942 e)"),
+        "{t}"
+    );
     // The substitution for q and the final META-CALL-LAMBDA cleanup.
-    assert!(t.entries.iter().any(|e| e.rule == "META-SUBSTITUTE"
-        && e.after.contains("(progn (frotz d e (max$f d e)) (sinc$f (*$f '0.159154942 e)))")),
-        "{t}");
+    assert!(
+        t.entries.iter().any(|e| e.rule == "META-SUBSTITUTE"
+            && e.after
+                .contains("(progn (frotz d e (max$f d e)) (sinc$f (*$f '0.159154942 e)))")),
+        "{t}"
+    );
     assert!(t.count("META-CALL-LAMBDA") >= 1, "{t}");
     // The final optimized form is the paper's.
     let flat = f.optimized.split_whitespace().collect::<Vec<_>>().join(" ");
@@ -140,9 +161,7 @@ fn exptl_cannot_overflow() {
     let mut m = c.machine();
     // n = 2^62-ish: overflows the multiply long before the stack; use
     // x=1 so every square is 1 and only n shrinks.
-    let v = m
-        .run("exptl", &[fx(1), fx(1_i64 << 40), fx(1)])
-        .unwrap();
+    let v = m.run("exptl", &[fx(1), fx(1_i64 << 40), fx(1)]).unwrap();
     assert_eq!(v, fx(1));
     assert_eq!(m.stats.max_call_depth, 0);
     assert!(m.stats.tail_calls >= 40);
@@ -153,10 +172,12 @@ fn exptl_cannot_overflow() {
 #[test]
 fn boolean_short_circuiting_is_jumps() {
     let mut c = Compiler::new();
-    c.compile_str("(defun f (a b c) (if (and a (or b c)) (e1) (e2)))
+    c.compile_str(
+        "(defun f (a b c) (if (and a (or b c)) (e1) (e2)))
                    (defun e1 () 1)
-                   (defun e2 () 2)")
-        .unwrap();
+                   (defun e2 () 2)",
+    )
+    .unwrap();
     let mut m = c.machine();
     let t = fx(1);
     let nil = s1lisp::Value::Nil;

@@ -58,12 +58,12 @@ fn calls_for(id: &str) -> Vec<(&'static str, Vec<Value>)> {
             ("fib-iter", vec![fx(30)]),
         ],
         "fib" => vec![("fib", vec![fx(12)])],
-        "nrev" => vec![(
-            "my-reverse",
-            vec![Value::list((0..20).map(fx))],
-        )],
+        "nrev" => vec![("my-reverse", vec![Value::list((0..20).map(fx))])],
         "horner" => vec![
-            ("horner", vec![fl(2.0), fl(1.0), fl(-2.0), fl(3.0), fl(-4.0)]),
+            (
+                "horner",
+                vec![fl(2.0), fl(1.0), fl(-2.0), fl(3.0), fl(-4.0)],
+            ),
             ("horner", vec![fl(0.0), fl(1.0), fl(1.0), fl(1.0), fl(1.0)]),
             // Wrong type: both engines must reject.
             ("horner", vec![fx(2), fl(1.0), fl(-2.0), fl(3.0), fl(-4.0)]),
@@ -116,8 +116,8 @@ fn multi_function_programs_link_late() {
 
 #[test]
 fn random_arithmetic_agrees() {
-    use rand::{rngs::StdRng, Rng, SeedableRng};
-    let mut rng = StdRng::seed_from_u64(0x0005_115b);
+    use s1lisp_trace::rng::SplitMix64;
+    let mut rng = SplitMix64::new(0x0005_115b);
     let (mut m, interp) = s1lisp_suite::build(
         "(defun poly (a b c x) (+ (* a x x) (* b x) c))
          (defun fpoly (a b c x)
@@ -125,10 +125,10 @@ fn random_arithmetic_agrees() {
            (+$f (*$f a x x) (*$f b x) c))",
     );
     for _ in 0..50 {
-        let args: Vec<Value> = (0..4).map(|_| fx(rng.gen_range(-50..50))).collect();
+        let args: Vec<Value> = (0..4).map(|_| fx(rng.range_i64(-50, 50))).collect();
         check_agree(&mut m, &interp, "poly", &args);
         let fargs: Vec<Value> = (0..4)
-            .map(|_| fl(f64::from(rng.gen_range(-500..500)) / 10.0))
+            .map(|_| fl(f64::from(rng.range_i64(-500, 500) as i32) / 10.0))
             .collect();
         check_agree(&mut m, &interp, "fpoly", &fargs);
     }
@@ -147,9 +147,7 @@ fn wrong_arity_traps_everywhere() {
 #[test]
 fn stats_expose_the_headline_behaviours() {
     // Tail recursion: constant frames (E4's compiled half).
-    let (mut m, _) = s1lisp_suite::build(
-        "(defun loopn (n) (if (= n 0) 'done (loopn (- n 1))))",
-    );
+    let (mut m, _) = s1lisp_suite::build("(defun loopn (n) (if (= n 0) 'done (loopn (- n 1))))");
     m.run("loopn", &[fx(100_000)]).unwrap();
     assert_eq!(m.stats.max_call_depth, 0);
     assert_eq!(m.stats.tail_calls, 100_000);

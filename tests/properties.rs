@@ -4,82 +4,113 @@
 //! then pushed through reader → frontend → optimizer → codegen →
 //! simulator, with the reference interpreter as oracle at every level.
 
-use proptest::prelude::*;
 use s1lisp::{Compiler, Value};
 use s1lisp_reader::{read_str, Interner};
+use s1lisp_trace::rng::SplitMix64;
 
 // ---------------------------------------------------------------- reader
 
-proptest! {
-    /// print ∘ read is the identity on printed form (read-print
-    /// round-trip stability).
-    #[test]
-    fn reader_round_trips(src in datum_strategy(3)) {
+/// print ∘ read is the identity on printed form (read-print
+/// round-trip stability).
+#[test]
+fn reader_round_trips() {
+    let mut rng = SplitMix64::new(0x5115_0006);
+    for _case in 0..256 {
+        let src = random_datum(&mut rng, 3);
         let mut i = Interner::new();
         let d1 = read_str(&src, &mut i).unwrap();
         let printed = d1.to_string();
         let d2 = read_str(&printed, &mut i).unwrap();
-        prop_assert!(d2.equal(&d1), "{src} → {printed}");
-        prop_assert_eq!(d2.to_string(), printed);
+        assert!(d2.equal(&d1), "{src} → {printed}");
+        assert_eq!(d2.to_string(), printed);
     }
 }
 
 /// Random datum source text.
-fn datum_strategy(depth: u32) -> BoxedStrategy<String> {
-    let leaf = prop_oneof![
-        any::<i32>().prop_map(|n| n.to_string()),
-        (-1000..1000i32).prop_map(|n| format!("{}", f64::from(n) / 8.0)),
-        "[a-z][a-z0-9-]{0,6}".prop_map(|s| s),
-        Just("()".to_string()),
-        Just("\"str\"".to_string()),
-    ];
-    leaf.prop_recursive(depth, 24, 4, |inner| {
-        prop::collection::vec(inner, 0..4)
-            .prop_map(|items| format!("({})", items.join(" ")))
-    })
-    .boxed()
+fn random_datum(rng: &mut SplitMix64, depth: u32) -> String {
+    if depth > 0 && rng.below(3) == 0 {
+        let n = rng.range_usize(0, 4);
+        let items: Vec<String> = (0..n).map(|_| random_datum(rng, depth - 1)).collect();
+        return format!("({})", items.join(" "));
+    }
+    match rng.below(5) {
+        0 => (rng.next_u64() as i32).to_string(),
+        1 => format!("{}", f64::from(rng.range_i64(-1000, 1000) as i32) / 8.0),
+        2 => {
+            let mut s = String::new();
+            s.push(*rng.pick(b"abcdefghijklmnopqrstuvwxyz") as char);
+            for _ in 0..rng.range_usize(0, 7) {
+                s.push(*rng.pick(b"abcdefghijklmnopqrstuvwxyz0123456789-") as char);
+            }
+            s
+        }
+        3 => "()".to_string(),
+        _ => "\"str\"".to_string(),
+    }
 }
 
 // ------------------------------------------------------------- pipeline
 
 /// A random arithmetic/control expression over fixnum variables a, b, c.
-fn expr_strategy(depth: u32) -> BoxedStrategy<String> {
-    let leaf = prop_oneof![
-        (-20i64..20).prop_map(|n| n.to_string()),
-        prop_oneof![Just("a"), Just("b"), Just("c")].prop_map(str::to_string),
-    ];
-    leaf.prop_recursive(depth, 64, 3, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(x, y)| format!("(+ {x} {y})")),
-            (inner.clone(), inner.clone())
-                .prop_map(|(x, y)| format!("(- {x} {y})")),
-            (inner.clone(), inner.clone())
-                .prop_map(|(x, y)| format!("(* {x} {y})")),
-            (inner.clone(), inner.clone(), inner.clone())
-                .prop_map(|(p, x, y)| format!("(if (< {p} 3) {x} {y})")),
-            (inner.clone(), inner.clone())
-                .prop_map(|(x, y)| format!("(let ((tmp {x})) (+ tmp {y}))")),
-            (inner.clone(), inner.clone())
-                .prop_map(|(x, y)| format!("(if (and (< {x} {y}) (oddp {y})) 1 0)")),
-            (inner.clone(), inner.clone())
-                .prop_map(|(x, y)| format!("(car (cons {x} {y}))")),
-        ]
-    })
-    .boxed()
+fn random_expr(rng: &mut SplitMix64, depth: u32) -> String {
+    if depth == 0 || rng.below(3) == 0 {
+        return match rng.below(2) {
+            0 => rng.range_i64(-20, 20).to_string(),
+            _ => (*rng.pick(&["a", "b", "c"])).to_string(),
+        };
+    }
+    match rng.below(7) {
+        0 => format!(
+            "(+ {} {})",
+            random_expr(rng, depth - 1),
+            random_expr(rng, depth - 1)
+        ),
+        1 => format!(
+            "(- {} {})",
+            random_expr(rng, depth - 1),
+            random_expr(rng, depth - 1)
+        ),
+        2 => format!(
+            "(* {} {})",
+            random_expr(rng, depth - 1),
+            random_expr(rng, depth - 1)
+        ),
+        3 => format!(
+            "(if (< {} 3) {} {})",
+            random_expr(rng, depth - 1),
+            random_expr(rng, depth - 1),
+            random_expr(rng, depth - 1)
+        ),
+        4 => format!(
+            "(let ((tmp {})) (+ tmp {}))",
+            random_expr(rng, depth - 1),
+            random_expr(rng, depth - 1)
+        ),
+        5 => format!(
+            "(if (and (< {} {y}) (oddp {y})) 1 0)",
+            random_expr(rng, depth - 1),
+            y = random_expr(rng, depth - 1)
+        ),
+        _ => format!(
+            "(car (cons {} {}))",
+            random_expr(rng, depth - 1),
+            random_expr(rng, depth - 1)
+        ),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-    /// Compiled code and the interpreter agree on random expressions —
-    /// and the optimizer preserves that agreement.
-    #[test]
-    fn compiled_matches_interpreted(
-        body in expr_strategy(3),
-        a in -10i64..10,
-        b in -10i64..10,
-        c in -10i64..10,
-    ) {
+/// Compiled code and the interpreter agree on random expressions —
+/// and the optimizer preserves that agreement.
+#[test]
+fn compiled_matches_interpreted() {
+    let mut rng = SplitMix64::new(0x5115_0007);
+    for _case in 0..64 {
+        let body = random_expr(&mut rng, 3);
+        let (a, b, c) = (
+            rng.range_i64(-10, 10),
+            rng.range_i64(-10, 10),
+            rng.range_i64(-10, 10),
+        );
         let src = format!("(defun f (a b c) {body})");
         let args = [Value::Fixnum(a), Value::Fixnum(b), Value::Fixnum(c)];
         for compiler in [Compiler::new(), Compiler::unoptimized()] {
@@ -90,38 +121,36 @@ proptest! {
             let got = m.run("f", &args);
             let want = interp.call("f", &args);
             match (&want, &got) {
-                (Ok(w), Ok(g)) => prop_assert_eq!(g, w, "{} {:?}", src, args),
+                (Ok(w), Ok(g)) => assert_eq!(g, w, "{src} {args:?}"),
                 (Err(_), Err(_)) => {}
-                _ => prop_assert!(false, "divergence on {}: {:?} vs {:?}", src, want, got),
+                _ => panic!("divergence on {src}: {want:?} vs {got:?}"),
             }
         }
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-    /// The optimizer never changes what a program denotes: optimized and
-    /// unoptimized *interpretations* agree (no simulator involved).
-    #[test]
-    fn optimizer_preserves_interpretation(
-        body in expr_strategy(3),
-        a in -10i64..10,
-        b in -10i64..10,
-    ) {
+/// The optimizer never changes what a program denotes: optimized and
+/// unoptimized *interpretations* agree (no simulator involved).
+#[test]
+fn optimizer_preserves_interpretation() {
+    let mut rng = SplitMix64::new(0x5115_0008);
+    for _case in 0..48 {
+        let body = random_expr(&mut rng, 3);
+        let (a, b) = (rng.range_i64(-10, 10), rng.range_i64(-10, 10));
         let src = format!("(defun f (a b c) {body})");
         let args = [Value::Fixnum(a), Value::Fixnum(b), Value::Fixnum(3)];
         let mut opt = Compiler::new();
         opt.compile_str(&src).unwrap();
         let mut plain = Compiler::unoptimized();
         plain.compile_str(&src).unwrap();
-        let i1 = opt.interpreter();   // interprets the optimized tree
+        let i1 = opt.interpreter(); // interprets the optimized tree
         let i2 = plain.interpreter(); // interprets the original tree
         let r1 = i1.call("f", &args);
         let r2 = i2.call("f", &args);
         match (&r1, &r2) {
-            (Ok(x), Ok(y)) => prop_assert_eq!(x, y, "{}", src),
+            (Ok(x), Ok(y)) => assert_eq!(x, y, "{src}"),
             (Err(_), Err(_)) => {}
-            _ => prop_assert!(false, "optimizer changed semantics of {}: {:?} vs {:?}", src, r1, r2),
+            _ => panic!("optimizer changed semantics of {src}: {r1:?} vs {r2:?}"),
         }
     }
 }
