@@ -1,0 +1,45 @@
+//! Prints the compilation dossier for one corpus function.
+//!
+//! ```sh
+//! cargo run -p s1lisp-bench --bin explain -- exptl          # full dossier
+//! cargo run -p s1lisp-bench --bin explain -- --no-wall tak  # deterministic
+//! cargo run -p s1lisp-bench --bin explain -- --list         # known functions
+//! ```
+//!
+//! The dossier is the per-function story the paper tells in §7 and
+//! Table 1: phase timings, every META-rule that fired (with
+//! before/after source), WANTREP/ISREP representation decisions and
+//! the coercions they cost, the TN packing map, and the final assembly.
+//! `--no-wall` omits wall-clock times, making the output byte-stable
+//! (the form pinned by `tests/golden_dossiers.rs`).
+
+use s1lisp_bench::{corpus_functions, explain_function};
+
+fn list() {
+    eprintln!("known functions:");
+    for f in corpus_functions() {
+        eprintln!("  {f}");
+    }
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let include_wall = !args.iter().any(|a| a == "--no-wall");
+    args.retain(|a| a != "--no-wall");
+    match args.as_slice() {
+        [flag] if flag == "--list" => list(),
+        [name] => match explain_function(name, include_wall) {
+            Some(text) => print!("{text}"),
+            None => {
+                eprintln!("no corpus workload defines `{name}`");
+                list();
+                std::process::exit(1);
+            }
+        },
+        _ => {
+            eprintln!("usage: explain [--no-wall] <function> | --list");
+            list();
+            std::process::exit(2);
+        }
+    }
+}

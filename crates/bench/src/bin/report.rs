@@ -10,6 +10,8 @@
 //!
 //! `--json` emits one machine-readable record per experiment (the shape
 //! pinned by `tests/golden_json.rs`) instead of the human-readable text.
+//! The special id `trap` selects the trap post-mortem demonstration
+//! record (`--json trap`).
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
@@ -27,9 +29,13 @@ fn main() {
         let records: Vec<s1lisp_trace::json::Json> = selected
             .iter()
             .filter_map(|id| {
-                let rec = s1lisp_bench::json_record(id);
+                let rec = if id == "trap" {
+                    Some(s1lisp_bench::trap_record())
+                } else {
+                    s1lisp_bench::json_record(id)
+                };
                 if rec.is_none() {
-                    eprintln!("unknown experiment {id} (want e1..e12)");
+                    eprintln!("unknown experiment {id} (want e1..e12 or trap)");
                 }
                 rec
             })

@@ -416,6 +416,7 @@ fn e9() -> String {
     // Compiled Lisp, with the polynomial behind a function call.
     let c = compile(corpus::HORNER_LOOP);
     let mut m = c.machine();
+    m.profile = Some(Box::new(s1lisp_s1sim::ExecProfile::new()));
     let lisp = m.run("sum-horner", &[fx(n)]).unwrap();
     let lisp_insns = m.stats.insns;
     // Compiled Lisp with the polynomial written inline (no call
@@ -473,6 +474,23 @@ fn e9() -> String {
          to FORTRAN; here compiled Lisp is within a small factor of hand-written\n\
          machine code, the factor being calls + boxing at the function boundary.\n",
     );
+    // Where the call-per-x configuration spends its cycles, from the
+    // execution profile's per-function attribution (heaviest first).
+    let profile = m.profile.take().expect("profile survives the run");
+    let fn_names = &c.program().fn_names;
+    let per_fn = profile.per_fn();
+    let total: u64 = per_fn.iter().map(|&(_, c)| c).sum();
+    out.push_str("\nPer-function cycles (call-per-x configuration, runtime calls cost 8):\n");
+    for (fnid, cycles) in per_fn {
+        let name = fn_names.get(fnid as usize).map_or("?", String::as_str);
+        let _ = writeln!(
+            out,
+            "  {:<28} {:>14} {:>9.1}%",
+            name,
+            cycles,
+            100.0 * cycles as f64 / total as f64
+        );
+    }
     out
 }
 
@@ -680,12 +698,14 @@ fn e12() -> String {
         "  {:<12} {:>14} {:>14} {:>8} {:>12} {:>12}",
         "program", "full insns", "naive insns", "ratio", "full words", "naive words"
     );
+    let mut attributions: Vec<(&str, String)> = Vec::new();
     for (id, src, entry, args) in suite {
         let c1 = compile(src);
         let mut c2 = Compiler::unoptimized();
         c2.compile_str(src).unwrap();
         let mut m1 = c1.machine();
         let mut m2 = c2.machine();
+        m1.profile = Some(Box::new(s1lisp_s1sim::ExecProfile::new()));
         let v1 = m1.run(entry, &args).unwrap();
         let v2 = m2.run(entry, &args).unwrap();
         assert_eq!(v1, v2, "{id}");
@@ -699,6 +719,23 @@ fn e12() -> String {
             c1.code_size_words(),
             c2.code_size_words()
         );
+        // Per-function cycle attribution of the full-compiler run,
+        // heaviest first.
+        let profile = m1.profile.take().expect("profile survives the run");
+        let fn_names = &c1.program().fn_names;
+        let cells: Vec<String> = profile
+            .per_fn()
+            .into_iter()
+            .map(|(fnid, cycles)| {
+                let name = fn_names.get(fnid as usize).map_or("?", String::as_str);
+                format!("{name} {cycles}")
+            })
+            .collect();
+        attributions.push((id, cells.join(", ")));
+    }
+    out.push_str("\nPer-function cycles (full compiler, heaviest first; runtime calls cost 8):\n");
+    for (id, cells) in attributions {
+        let _ = writeln!(out, "  {id:<12} {cells}");
     }
     out.push_str("\n(naive = no source-level optimization, no tail calls, no pdl numbers,\n no special caching, no TNBIND, no representation analysis)\n");
     out

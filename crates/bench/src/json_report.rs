@@ -15,6 +15,11 @@
 //! or opcode name are [`Json::Map`]s (only the value type is schema).
 //! The golden tests pin [`s1lisp_trace::json::schema`] of these records
 //! so the surface stays machine-stable while measured values vary.
+//!
+//! The run section carries a `post_mortem` field: `null` on success,
+//! and the machine's [`PostMortem`](s1lisp_s1sim::PostMortem) JSON when
+//! the workload trapped — see [`trap_record`] for the demonstration
+//! record `report --json trap` emits.
 
 use s1lisp::{Compiler, Value};
 use s1lisp_s1sim::ExecProfile;
@@ -23,11 +28,11 @@ use s1lisp_trace::json::Json;
 use crate::corpus;
 
 /// The representative workload behind one experiment's JSON record.
-struct Workload {
-    src: &'static str,
-    entry: &'static str,
-    args: Vec<Value>,
-    globals: Vec<(&'static str, Value)>,
+pub(crate) struct Workload {
+    pub(crate) src: &'static str,
+    pub(crate) entry: &'static str,
+    pub(crate) args: Vec<Value>,
+    pub(crate) globals: Vec<(&'static str, Value)>,
 }
 
 fn fx(n: i64) -> Value {
@@ -38,7 +43,7 @@ fn fl(x: f64) -> Value {
     Value::Flonum(x)
 }
 
-fn workload(id: &str) -> Option<Workload> {
+pub(crate) fn workload(id: &str) -> Option<Workload> {
     let w = |src, entry, args| Workload {
         src,
         entry,
@@ -134,8 +139,16 @@ fn run_section(c: &Compiler, wl: &Workload) -> Json {
     for (name, v) in &wl.globals {
         m.set_global(name, v).expect("global installs");
     }
-    m.profile = Some(Box::new(ExecProfile::new()));
-    let value = m.run(wl.entry, &wl.args).expect("workload runs");
+    // A ring buffer on the profile means a trapping workload yields a
+    // post-mortem with its last retired instructions.
+    m.profile = Some(Box::new(ExecProfile::with_ring(32)));
+    let (value, post_mortem) = match m.run(wl.entry, &wl.args) {
+        Ok(v) => (format!("{v}"), Json::Null),
+        Err(trap) => (
+            format!("{trap}"),
+            m.post_mortem.as_ref().map_or(Json::Null, |pm| pm.to_json()),
+        ),
+    };
     let stats = Json::Map(
         m.stats
             .counters()
@@ -165,10 +178,11 @@ fn run_section(c: &Compiler, wl: &Workload) -> Json {
         .collect();
     obj(vec![
         ("entry", Json::str(wl.entry)),
-        ("value", Json::str(format!("{value}"))),
+        ("value", Json::str(value)),
         ("stats", stats),
         ("opcodes", opcodes),
         ("per_function", Json::Arr(per_function)),
+        ("post_mortem", post_mortem),
     ])
 }
 
@@ -190,6 +204,33 @@ pub fn json_record(id: &str) -> Option<Json> {
         ("compile", compile),
         ("run", run),
     ]))
+}
+
+/// A demonstration record whose workload deliberately traps (`car` of a
+/// fixnum two frames deep), exercising the post-mortem surface: the run
+/// section's `value` is the trap message and `post_mortem` carries the
+/// fault site, last retired instructions, register file, and pending
+/// frames.  Everything in it is simulator state, so the record is
+/// bit-identical across runs (pinned by test).
+pub fn trap_record() -> Json {
+    let wl = Workload {
+        src: "(defun boom (x) (car x))
+              (defun outer (x) (+ 1 (boom x)))",
+        entry: "outer",
+        args: vec![fx(5)],
+        globals: Vec::new(),
+    };
+    let mut c = Compiler::new();
+    c.enable_trace();
+    c.compile_str(wl.src).expect("trap workload compiles");
+    let compile = compile_section(&c);
+    let run = run_section(&c, &wl);
+    obj(vec![
+        ("id", Json::str("trap")),
+        ("title", Json::str("Trap post-mortem demonstration")),
+        ("compile", compile),
+        ("run", run),
+    ])
 }
 
 /// Records for every experiment, in index order.

@@ -8,7 +8,9 @@
 
 pub mod corpus;
 pub mod experiments;
+pub mod explain;
 pub mod json_report;
 
 pub use experiments::{all_experiments, run_experiment, Experiment};
-pub use json_report::{all_json_records, json_record};
+pub use explain::{corpus_functions, explain_function};
+pub use json_report::{all_json_records, json_record, trap_record};

@@ -1,0 +1,37 @@
+//! Golden tests pinning full `explain` dossiers.
+//!
+//! A dossier rendered without wall times is a pure function of the
+//! source and the compiler's decisions, so any byte of drift means a
+//! pipeline phase changed behavior — the paper-style transcript, the
+//! representation verdicts, the TN packing, or the emitted code.
+//! Regenerate deliberately with
+//! `cargo run -p s1lisp-bench --bin explain -- --no-wall <fn>`.
+
+use s1lisp_bench::explain_function;
+
+fn pinned(name: &str, golden: &str) {
+    let text = explain_function(name, false).unwrap_or_else(|| panic!("no dossier for {name}"));
+    assert_eq!(
+        text, golden,
+        "dossier for {name} drifted; regenerate the golden if intentional"
+    );
+}
+
+#[test]
+fn exptl_dossier_matches_golden() {
+    // e1's workhorse: the paper's recursive exponentiation example.
+    pinned("exptl", include_str!("golden/dossier_exptl.txt"));
+}
+
+#[test]
+fn testfn_dossier_matches_golden() {
+    // e8: the §7 transcript function — rewrites, rep decisions, pdl
+    // boxes, and a mixed register/slot TN packing all in one dossier.
+    pinned("testfn", include_str!("golden/dossier_testfn.txt"));
+}
+
+#[test]
+fn tak_dossier_matches_golden() {
+    // e12's ablation headliner.
+    pinned("tak", include_str!("golden/dossier_tak.txt"));
+}

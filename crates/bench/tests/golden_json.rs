@@ -7,10 +7,11 @@
 //! counter's type, or restructuring the record breaks the golden and
 //! must be a deliberate schema bump.
 
-use s1lisp_bench::json_record;
+use s1lisp_bench::{json_record, trap_record};
 use s1lisp_trace::json::{self, Json};
 
 const GOLDEN: &str = include_str!("golden/report_schema.txt");
+const TRAP_GOLDEN: &str = include_str!("golden/trap_schema.txt");
 
 /// Dynamic maps in a record are int-valued histograms; an *empty* one
 /// carries no value type, so pad it with a sentinel entry before
@@ -71,6 +72,36 @@ fn e8_schema_matches_golden_with_rules_populated() {
     };
     assert!(rules_nonempty, "testfn should fire rules");
     assert_eq!(pinned_schema("e8"), GOLDEN.trim());
+}
+
+#[test]
+fn trap_record_schema_matches_golden() {
+    let rec = trap_record();
+    json::parse(&rec.to_string()).expect("trap record is well-formed JSON");
+    assert_eq!(json::schema(&pad_empty_maps(rec)), TRAP_GOLDEN.trim());
+}
+
+#[test]
+fn trap_post_mortem_is_bit_identical_across_runs() {
+    // Everything in the post-mortem is simulated-machine state, so two
+    // independent compile+run cycles must agree byte for byte.  (The
+    // compile section carries wall times, so compare runs only.)
+    let run_of = |rec: Json| match rec {
+        Json::Obj(fields) => fields
+            .into_iter()
+            .find(|(k, _)| k == "run")
+            .expect("record has a run section")
+            .1
+            .to_string(),
+        other => panic!("unexpected record shape: {other}"),
+    };
+    let a = run_of(trap_record());
+    let b = run_of(trap_record());
+    assert_eq!(a, b);
+    // And the post-mortem is populated, not null.
+    assert!(a.contains("\"post_mortem\":{"), "{a}");
+    assert!(a.contains("\"last_retired\":[{"), "{a}");
+    assert!(a.contains("\"registers\":{"), "{a}");
 }
 
 #[test]

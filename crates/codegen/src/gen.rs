@@ -101,6 +101,28 @@ pub fn compile_traced(
             rep.var_rep.values().filter(|&&r| r != Rep::Pointer).count() as u64,
         );
         sink.add("lowered_generic_ops", rep.lowered.len() as u64);
+        // The individual WANTREP/ISREP verdicts, for dossiers: every
+        // variable kept in a raw representation, and every generic op
+        // lowered to a typed one.  Sorted by arena index so the event
+        // order is deterministic.
+        let mut vars: Vec<(VarId, Rep)> = rep.var_rep.iter().map(|(&v, &r)| (v, r)).collect();
+        vars.sort_by_key(|&(v, _)| v.index());
+        for (v, r) in vars {
+            if r != Rep::Pointer {
+                sink.event(
+                    "rep_var",
+                    &format!("{} kept {r:?}", tree.var(v).name.as_str()),
+                );
+            }
+        }
+        let mut lows: Vec<(NodeId, Rep)> = rep.lowered.iter().map(|(&n, &r)| (n, r)).collect();
+        lows.sort_by_key(|&(n, _)| n.index());
+        for (n, r) in lows {
+            sink.event(
+                "lowered",
+                &format!("{} compiles as {r:?}", clip_form(tree, n)),
+            );
+        }
     }
     sink.span_end(sp);
     let sp = sink.span_begin("Pdl number annotation", name);
@@ -160,7 +182,7 @@ fn compile_lambda(
         tree, ann, fname, lambda, captures, program, opts, work, counter,
     );
     let (code, pool, var_tn) = g.emit()?;
-    let metrics = g.metrics;
+    let metrics = std::mem::take(&mut g.metrics);
     if !opts.register_allocation {
         metrics.report(sink, &code);
         sink.span_end(sp);
@@ -198,6 +220,20 @@ fn compile_lambda(
             }
         }
         sink.add("conflict_edges", edges);
+        // The packing map itself, for dossiers: where each user
+        // variable's TN landed.  Sorted by arena index for determinism.
+        let mut map: Vec<(VarId, TnId)> = var_tn.iter().map(|(&v, &tn)| (v, tn)).collect();
+        map.sort_by_key(|&(v, _)| v.index());
+        for (v, tn) in map {
+            let loc = match packing.location(tn) {
+                Location::Reg(r) => format!("R{r}"),
+                Location::Slot(s) => format!("slot {s}"),
+            };
+            sink.event(
+                "tn",
+                &format!("{} = TN{} -> {loc}", tree.var(v).name.as_str(), tn.index()),
+            );
+        }
     }
     sink.span_end(sp_tn);
     if promote.is_empty() {
@@ -227,7 +263,7 @@ fn compile_lambda(
 }
 
 /// Counters the generator accumulates while emitting one function.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 struct GenMetrics {
     /// Representation coercions that emitted code (ISREP ≠ WANTREP).
     coercions: u64,
@@ -237,10 +273,13 @@ struct GenMetrics {
     heap_boxes: u64,
     /// Pointer→raw unboxings.
     unboxes: u64,
+    /// One human-readable note per coercion, in emission order
+    /// (reported as "coercion" events, the dossier's coercion list).
+    notes: Vec<String>,
 }
 
 impl GenMetrics {
-    fn report(self, sink: &mut dyn TraceSink, code: &FuncCode) {
+    fn report(&self, sink: &mut dyn TraceSink, code: &FuncCode) {
         if !sink.enabled() {
             return;
         }
@@ -249,6 +288,20 @@ impl GenMetrics {
         sink.add("pdl_promotions", self.pdl_promotions);
         sink.add("heap_boxes", self.heap_boxes);
         sink.add("unboxes", self.unboxes);
+        for note in &self.notes {
+            sink.event("coercion", note);
+        }
+    }
+}
+
+/// A one-line rendering of a subtree, clipped for event logs.
+fn clip_form(tree: &Tree, node: NodeId) -> String {
+    let s = s1lisp_ast::unparse(tree, node).to_string();
+    if s.chars().count() <= 48 {
+        s
+    } else {
+        let head: String = s.chars().take(47).collect();
+        format!("{head}…")
     }
 }
 
@@ -952,6 +1005,16 @@ impl<'a> Gen<'a> {
         Ok(dst)
     }
 
+    /// Remembers what a coercion did and to which form, for the
+    /// "coercion" events of a dossier.  Coercions are rare (a handful
+    /// per function), so recording unconditionally is cheaper than
+    /// threading the sink down here.
+    fn note_coercion(&mut self, how: &str, node: NodeId) {
+        self.metrics
+            .notes
+            .push(format!("{how} at {}", clip_form(self.tree, node)));
+    }
+
     // ------------------------------------------------------- expressions
 
     fn gen_into(&mut self, node: NodeId, want: Rep) -> R<Val> {
@@ -974,6 +1037,7 @@ impl<'a> Gen<'a> {
                 self.metrics.coercions += 1;
                 if self.opts.pdl_numbers && self.ann.pdl.stack_box(node) {
                     self.metrics.pdl_promotions += 1;
+                    self.note_coercion("Swflo→Pointer (pdl box)", node);
                     // "Install value for PDL-allocated number" +
                     // "Pointer to PDL slot" (Table 4).
                     let slot = self.alloc_temp_pinned();
@@ -992,6 +1056,7 @@ impl<'a> Gen<'a> {
                     Ok(dst)
                 } else {
                     self.metrics.heap_boxes += 1;
+                    self.note_coercion("Swflo→Pointer (heap box)", node);
                     let dst = self.alloc_place();
                     self.asm.push(Insn::BoxFlo {
                         dst: dst.op,
@@ -1004,6 +1069,7 @@ impl<'a> Gen<'a> {
             (Rep::Pointer, Rep::Swflo) => {
                 self.metrics.coercions += 1;
                 self.metrics.unboxes += 1;
+                self.note_coercion("Pointer→Swflo (unbox)", node);
                 let dst = self.alloc_place();
                 self.asm.push(Insn::UnboxFlo {
                     dst: dst.op,
@@ -2647,7 +2713,7 @@ mod tests {
             &opts,
         );
         let err = m.run("loopn", &[fx(1_000_000)]).unwrap_err();
-        assert!(matches!(err, s1lisp_s1sim::Trap::StackOverflow));
+        assert!(matches!(err.cause(), s1lisp_s1sim::Trap::StackOverflow));
     }
 
     #[test]

@@ -1,0 +1,134 @@
+//! Per-function compilation dossiers.
+//!
+//! The paper's two observability artifacts — the §7 debugging
+//! transcript and the Table 1 phase-timing table — are *per-function*
+//! stories.  A [`Dossier`] is our reconstruction of both for one
+//! compiled function: its Table 1 rows (from the per-unit spans a
+//! [`MemorySink`](s1lisp_trace::MemorySink) retains), the ordered
+//! rewrite transcript with before/after source, the representation
+//! verdicts and inserted coercions of §6.2, the TN packing map of the
+//! TNBIND phase, and the final assembly listing.
+//!
+//! Build one with [`Compiler::explain`](crate::Compiler::explain);
+//! render it with `Display` (wall times included) or
+//! [`Dossier::render`]`(false)` for a byte-stable form that golden
+//! tests can pin.
+
+use std::fmt;
+
+use s1lisp_opt::Transcript;
+use s1lisp_trace::PhaseAgg;
+
+/// Everything the pipeline can say about one compiled function.
+#[derive(Debug, Clone)]
+pub struct Dossier {
+    /// The `defun` name.
+    pub name: String,
+    /// Back-translated source as converted (before optimization).
+    pub converted: String,
+    /// Back-translated source after source-level optimization.
+    pub optimized: String,
+    /// The optimizer's transcript for this function.
+    pub transcript: Transcript,
+    /// Number of source-level transformations applied.
+    pub transformations: usize,
+    /// This function's Table 1 rows: per-phase span counts, wall time,
+    /// and counters, restricted to this unit.  Empty unless the
+    /// function was compiled with tracing enabled.
+    pub phases: Vec<PhaseAgg>,
+    /// Representation verdicts: variables kept in raw representations
+    /// (WANTREP/ISREP analysis, §6.2).  Traced compilations only.
+    pub rep_decisions: Vec<String>,
+    /// Generic operations lowered to typed ones.  Traced only.
+    pub lowered: Vec<String>,
+    /// Coercions the generator had to emit (boxes, unboxes, pdl
+    /// promotions), in emission order.  Traced only.
+    pub coercions: Vec<String>,
+    /// The TN packing map: where each user variable landed (register or
+    /// frame slot).  Traced only.
+    pub tn_map: Vec<String>,
+    /// Parenthesized-assembly listing of the final code.
+    pub assembly: String,
+    /// Whether the function was compiled under an enabled trace (if
+    /// not, the span-derived sections above are empty).
+    pub traced: bool,
+}
+
+impl Dossier {
+    /// Renders the dossier.  With `include_wall` false the phase table
+    /// omits wall-clock times, making the output deterministic across
+    /// runs — the form golden tests pin.
+    pub fn render(&self, include_wall: bool) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "==== compilation dossier: {} ====", self.name);
+        let _ = writeln!(out, "-- source as converted --");
+        let _ = writeln!(out, "{}", self.converted);
+        if self.transcript.entries.is_empty() {
+            let _ = writeln!(out, "-- no source-level transformations fired --");
+        } else {
+            let _ = writeln!(
+                out,
+                "-- transcript ({} transformations) --",
+                self.transformations
+            );
+            let _ = write!(out, "{}", self.transcript);
+            let _ = writeln!(out, "-- source after optimization --");
+            let _ = writeln!(out, "{}", self.optimized);
+        }
+        if self.traced {
+            let _ = writeln!(out, "-- Table 1 phases --");
+            if include_wall {
+                let _ = writeln!(out, "{:<34} {:>5} {:>10}", "Phase", "Spans", "Wall(us)");
+            } else {
+                let _ = writeln!(out, "{:<34} {:>5}", "Phase", "Spans");
+            }
+            for agg in &self.phases {
+                if include_wall {
+                    let _ = writeln!(
+                        out,
+                        "{:<34} {:>5} {:>10}",
+                        agg.phase,
+                        agg.spans,
+                        agg.wall.as_micros()
+                    );
+                } else {
+                    let _ = writeln!(out, "{:<34} {:>5}", agg.phase, agg.spans);
+                }
+                for (name, value) in &agg.counters {
+                    let _ = writeln!(out, "    {name:<32} {value:>12}");
+                }
+            }
+            let section = |out: &mut String, title: &str, items: &[String]| {
+                if !items.is_empty() {
+                    let _ = writeln!(out, "-- {title} --");
+                    for item in items {
+                        let _ = writeln!(out, "  {item}");
+                    }
+                }
+            };
+            section(&mut out, "representation decisions", &self.rep_decisions);
+            section(&mut out, "lowered generic operations", &self.lowered);
+            section(&mut out, "coercions emitted", &self.coercions);
+            section(&mut out, "TN packing", &self.tn_map);
+        } else {
+            let _ = writeln!(
+                out,
+                "-- no trace: phase timings, rep decisions, coercions, TN map unavailable --"
+            );
+            let _ = writeln!(
+                out,
+                "   (call Compiler::enable_trace() before compiling to record them)"
+            );
+        }
+        let _ = writeln!(out, "-- assembly --");
+        let _ = write!(out, "{}", self.assembly);
+        out
+    }
+}
+
+impl fmt::Display for Dossier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render(true))
+    }
+}

@@ -28,9 +28,11 @@
 
 #![warn(missing_docs)]
 
+mod dossier;
 mod error;
 mod phases;
 
+pub use dossier::Dossier;
 pub use error::CompileError;
 pub use phases::{phases, Phase, PhaseStatus};
 
@@ -142,13 +144,25 @@ impl Compiler {
     /// Returns a [`CompileError`] for read, conversion, or
     /// code-generation failures.
     pub fn compile_str(&mut self, source: &str) -> Result<Vec<String>, CompileError> {
+        // Detach the sink so `compile_function` can borrow the rest of
+        // `self`; `None` costs a virtual no-op per phase boundary,
+        // nothing per node or instruction.
+        let mut trace = self.trace.take();
         let mut null = NullSink;
-        // One borrow for the whole compilation; `None` costs a virtual
-        // no-op per phase boundary, nothing per node or instruction.
-        let sink: &mut dyn TraceSink = match self.trace.as_mut() {
+        let sink: &mut dyn TraceSink = match trace.as_mut() {
             Some(s) => s,
             None => &mut null,
         };
+        let result = self.compile_str_with(source, sink);
+        self.trace = trace;
+        result
+    }
+
+    fn compile_str_with(
+        &mut self,
+        source: &str,
+        sink: &mut dyn TraceSink,
+    ) -> Result<Vec<String>, CompileError> {
         let sp = sink.span_begin("Preliminary", "(read+convert)");
         let forms = read_all_str(source, &mut self.interner)?;
         let mut fe = Frontend::new(&mut self.interner);
@@ -167,90 +181,104 @@ impl Compiler {
                 .push((name.as_str().to_string(), Value::from_datum(&init)));
         }
         let mut names = Vec::new();
-        for mut f in fns {
-            let name = f.name.as_str().to_string();
-            let converted = pretty(&unparse(&f.tree, f.tree.root), 78);
-            // The analysis phases are pure tree functions, co-routined
-            // inside the optimizer in normal operation; under tracing we
-            // additionally time each one explicitly (Table 1 rows).
-            if sink.enabled() {
-                let sp = sink.span_begin("Environment analysis", &name);
-                let _ = s1lisp_analysis::environment(&f.tree);
-                sink.add("nodes", f.tree.node_count() as u64);
-                sink.span_end(sp);
-                let sp = sink.span_begin("Side-effects analysis", &name);
-                let fx = s1lisp_analysis::effects(&f.tree);
-                sink.add("classified_nodes", fx.len() as u64);
-                sink.span_end(sp);
-                let sp = sink.span_begin("Complexity analysis", &name);
-                let cx = s1lisp_analysis::complexity(&f.tree);
-                sink.add("estimated_nodes", cx.len() as u64);
-                sink.span_end(sp);
-                let sp = sink.span_begin("Tail-recursion analysis", &name);
-                let tails = s1lisp_analysis::tail_nodes(&f.tree);
-                sink.add("tail_nodes", tails.len() as u64);
-                sink.span_end(sp);
-                let sp = sink.span_begin("Special variable lookups", &name);
-                let placements = s1lisp_analysis::special_placements(&f.tree);
-                sink.add("placements", placements.len() as u64);
-                sink.span_end(sp);
-            }
-            // Source-level optimization (§5) and optional CSE (§4.3).
-            let sp = sink.span_begin("Source-level optimization", &name);
-            let nodes_before = f.tree.node_count();
-            let mut opt = s1lisp_opt::Optimizer::with_options(self.opt_options.clone());
-            let mut transformations = opt.optimize_named(&mut f.tree, Some(&name));
-            if sink.enabled() {
-                sink.add("transformations", transformations as u64);
-                sink.add("nodes_before", nodes_before as u64);
-                sink.add("nodes_after", f.tree.node_count() as u64);
-            }
-            sink.span_end(sp);
-            if self.cse {
-                let sp = sink.span_begin("Common subexpression elimination", &name);
-                let eliminated = s1lisp_opt::cse::eliminate(&mut f.tree);
-                transformations += eliminated;
-                if sink.enabled() {
-                    sink.add("eliminated", eliminated as u64);
-                }
-                sink.span_end(sp);
-            }
-            let optimized = pretty(&unparse(&f.tree, f.tree.root), 78);
-            // Machine-dependent annotation + TNBIND + code generation
-            // (opens its own Table 1 phase spans).
-            s1lisp_codegen::compile_traced(
-                &name,
-                &f.tree,
-                &mut self.program,
-                &self.codegen_options,
-                sink,
-            )?;
-            if self.tension_branches {
-                if let Some(id) = self.program.lookup_fn(&name) {
-                    if let Some(code) = self.program.func(id) {
-                        let mut code = (**code).clone();
-                        let sp = sink.span_begin("Peephole optimizer", &name);
-                        let retargeted = s1lisp_codegen::tension_branches(&mut code);
-                        if sink.enabled() {
-                            sink.add("labels_retargeted", retargeted as u64);
-                        }
-                        sink.span_end(sp);
-                        self.program.define(code);
-                    }
-                }
-            }
-            self.functions.push(CompiledFunction {
-                name: name.clone(),
-                converted,
-                optimized,
-                transcript: std::mem::take(&mut opt.transcript),
-                tree: f.tree.clone(),
-                transformations,
-            });
-            self.interp_sources.push(f);
-            names.push(name);
+        for f in fns {
+            names.push(self.compile_function(f, sink)?);
         }
         Ok(names)
+    }
+
+    /// Runs one converted function through the whole Table 1 pipeline:
+    /// analysis spans, source-level optimization (+ optional CSE),
+    /// machine-dependent annotation and code generation, branch
+    /// tensioning, and artifact recording.  Shared by
+    /// [`Compiler::compile_str`] and [`Compiler::eval`], so both paths
+    /// produce identical spans and dossiers.
+    fn compile_function(
+        &mut self,
+        mut f: s1lisp_frontend::Function,
+        sink: &mut dyn TraceSink,
+    ) -> Result<String, CompileError> {
+        let name = f.name.as_str().to_string();
+        let converted = pretty(&unparse(&f.tree, f.tree.root), 78);
+        // The analysis phases are pure tree functions, co-routined
+        // inside the optimizer in normal operation; under tracing we
+        // additionally time each one explicitly (Table 1 rows).
+        if sink.enabled() {
+            let sp = sink.span_begin("Environment analysis", &name);
+            let _ = s1lisp_analysis::environment(&f.tree);
+            sink.add("nodes", f.tree.node_count() as u64);
+            sink.span_end(sp);
+            let sp = sink.span_begin("Side-effects analysis", &name);
+            let fx = s1lisp_analysis::effects(&f.tree);
+            sink.add("classified_nodes", fx.len() as u64);
+            sink.span_end(sp);
+            let sp = sink.span_begin("Complexity analysis", &name);
+            let cx = s1lisp_analysis::complexity(&f.tree);
+            sink.add("estimated_nodes", cx.len() as u64);
+            sink.span_end(sp);
+            let sp = sink.span_begin("Tail-recursion analysis", &name);
+            let tails = s1lisp_analysis::tail_nodes(&f.tree);
+            sink.add("tail_nodes", tails.len() as u64);
+            sink.span_end(sp);
+            let sp = sink.span_begin("Special variable lookups", &name);
+            let placements = s1lisp_analysis::special_placements(&f.tree);
+            sink.add("placements", placements.len() as u64);
+            sink.span_end(sp);
+        }
+        // Source-level optimization (§5) and optional CSE (§4.3).
+        let sp = sink.span_begin("Source-level optimization", &name);
+        let nodes_before = f.tree.node_count();
+        let mut opt = s1lisp_opt::Optimizer::with_options(self.opt_options.clone());
+        let mut transformations = opt.optimize_named(&mut f.tree, Some(&name));
+        if sink.enabled() {
+            sink.add("transformations", transformations as u64);
+            sink.add("nodes_before", nodes_before as u64);
+            sink.add("nodes_after", f.tree.node_count() as u64);
+        }
+        sink.span_end(sp);
+        if self.cse {
+            let sp = sink.span_begin("Common subexpression elimination", &name);
+            let eliminated = s1lisp_opt::cse::eliminate(&mut f.tree);
+            transformations += eliminated;
+            if sink.enabled() {
+                sink.add("eliminated", eliminated as u64);
+            }
+            sink.span_end(sp);
+        }
+        let optimized = pretty(&unparse(&f.tree, f.tree.root), 78);
+        // Machine-dependent annotation + TNBIND + code generation
+        // (opens its own Table 1 phase spans).
+        s1lisp_codegen::compile_traced(
+            &name,
+            &f.tree,
+            &mut self.program,
+            &self.codegen_options,
+            sink,
+        )?;
+        if self.tension_branches {
+            if let Some(id) = self.program.lookup_fn(&name) {
+                if let Some(code) = self.program.func(id) {
+                    let mut code = (**code).clone();
+                    let sp = sink.span_begin("Peephole optimizer", &name);
+                    let retargeted = s1lisp_codegen::tension_branches(&mut code);
+                    if sink.enabled() {
+                        sink.add("labels_retargeted", retargeted as u64);
+                    }
+                    sink.span_end(sp);
+                    self.program.define(code);
+                }
+            }
+        }
+        self.functions.push(CompiledFunction {
+            name: name.clone(),
+            converted,
+            optimized,
+            transcript: std::mem::take(&mut opt.transcript),
+            tree: f.tree.clone(),
+            transformations,
+        });
+        self.interp_sources.push(f);
+        Ok(name)
     }
 
     /// Proclaims a variable special for subsequent compilations.
@@ -270,6 +298,23 @@ impl Compiler {
     /// The outer `Result` carries compile-time failures; the inner one
     /// carries run-time traps.
     pub fn eval(&mut self, expr: &str) -> Result<Result<Value, Trap>, CompileError> {
+        let mut trace = self.trace.take();
+        let mut null = NullSink;
+        let sink: &mut dyn TraceSink = match trace.as_mut() {
+            Some(s) => s,
+            None => &mut null,
+        };
+        let result = self.eval_with(expr, sink);
+        self.trace = trace;
+        result
+    }
+
+    fn eval_with(
+        &mut self,
+        expr: &str,
+        sink: &mut dyn TraceSink,
+    ) -> Result<Result<Value, Trap>, CompileError> {
+        let sp = sink.span_begin("Preliminary", "(read+convert)");
         let forms = read_all_str(expr, &mut self.interner)?;
         let mut fe = Frontend::new(&mut self.interner);
         for s in &self.specials {
@@ -294,21 +339,25 @@ impl Compiler {
                 fns.push(f);
             }
         }
+        if sink.enabled() {
+            sink.add("toplevel_forms", forms.len() as u64);
+            sink.add("functions", fns.len() as u64);
+        }
+        sink.span_end(sp);
         let inits = std::mem::take(&mut fe.defvar_inits);
         for (gname, init) in inits {
             self.globals
                 .push((gname.as_str().to_string(), Value::from_datum(&init)));
         }
         let mut eval_names = Vec::new();
-        for mut f in fns {
-            let fname = f.name.as_str().to_string();
-            let mut opt = s1lisp_opt::Optimizer::with_options(self.opt_options.clone());
-            opt.optimize(&mut f.tree);
-            s1lisp_codegen::compile(&fname, &f.tree, &mut self.program, &self.codegen_options)?;
+        for f in fns {
+            // The same per-function pipeline as `compile_str`: eval'd
+            // forms get spans, transcripts, tensioned branches, and
+            // `explain` dossiers too.
+            let fname = self.compile_function(f, sink)?;
             if fname.starts_with("%eval") {
                 eval_names.push(fname);
             }
-            self.interp_sources.push(f);
         }
         let mut m = self.machine();
         for fname in eval_names {
@@ -360,6 +409,46 @@ impl Compiler {
     /// The artifacts of a compiled function.
     pub fn function(&self, name: &str) -> Option<&CompiledFunction> {
         self.functions.iter().rev().find(|f| f.name == name)
+    }
+
+    /// The full compilation dossier for one function: its Table 1
+    /// phase rows, rewrite transcript, representation decisions and
+    /// coercions, TN packing map, and assembly listing.  Returns `None`
+    /// if the function was never compiled by this compiler.
+    ///
+    /// The span-derived sections require tracing
+    /// ([`Compiler::enable_trace`]) to have been on when the function
+    /// was compiled; without it the dossier still carries the sources,
+    /// transcript, and assembly.
+    pub fn explain(&self, name: &str) -> Option<Dossier> {
+        let f = self.function(name)?;
+        let assembly = self.disassemble(name).unwrap_or_default();
+        let owned = |v: Vec<&str>| v.into_iter().map(String::from).collect();
+        let (phases, rep_decisions, lowered, coercions, tn_map) = match self.trace.as_ref() {
+            Some(sink) => (
+                sink.unit_phases(name),
+                owned(sink.unit_events(name, "rep_var")),
+                owned(sink.unit_events(name, "lowered")),
+                owned(sink.unit_events(name, "coercion")),
+                owned(sink.unit_events(name, "tn")),
+            ),
+            None => Default::default(),
+        };
+        let traced = !phases.is_empty();
+        Some(Dossier {
+            name: f.name.clone(),
+            converted: f.converted.clone(),
+            optimized: f.optimized.clone(),
+            transcript: f.transcript.clone(),
+            transformations: f.transformations,
+            phases,
+            rep_decisions,
+            lowered,
+            coercions,
+            tn_map,
+            assembly,
+            traced,
+        })
     }
 
     /// Total encoded code size, in 36-bit words (§3's 1–3 word
@@ -619,6 +708,77 @@ mod trace_tests {
             .find(|(r, _)| *r == "META-EVALUATE-ASSOC-COMMUT-CALL");
         assert!(assoc.is_some(), "{hist:?}");
         assert!(assoc.unwrap().1 >= 2, "{hist:?}");
+    }
+
+    #[test]
+    fn explain_builds_a_full_dossier() {
+        let mut c = Compiler::new();
+        c.enable_trace();
+        c.compile_str(SRC).unwrap();
+        let d = c.explain("norm").unwrap();
+        assert!(d.traced);
+        // Only norm's spans, not fib's: one span per per-function phase.
+        let slo = d
+            .phases
+            .iter()
+            .find(|p| p.phase == "Source-level optimization")
+            .unwrap();
+        assert_eq!(slo.spans, 1);
+        assert!(d.phases.iter().any(|p| p.phase == "Code generation"));
+        // The float math forced unbox/box coercions, and TNBIND put
+        // both arguments in registers; the dossier lists each.
+        assert!(
+            d.coercions.iter().any(|c| c.contains("unbox")),
+            "{:?}",
+            d.coercions
+        );
+        assert!(
+            d.tn_map.iter().any(|t| t.contains("x = TN0")),
+            "{:?}",
+            d.tn_map
+        );
+        let text = d.render(false);
+        assert!(text.contains("compilation dossier: norm"), "{text}");
+        assert!(text.contains("Table 1 phases"), "{text}");
+        assert!(text.contains("-- assembly --"), "{text}");
+        // Deterministic render is byte-identical across fresh compiles.
+        let mut c2 = Compiler::new();
+        c2.enable_trace();
+        c2.compile_str(SRC).unwrap();
+        assert_eq!(text, c2.explain("norm").unwrap().render(false));
+        // Unknown functions yield no dossier.
+        assert!(c.explain("nonesuch").is_none());
+    }
+
+    #[test]
+    fn explain_without_trace_still_has_sources_and_assembly() {
+        let mut c = Compiler::new();
+        c.compile_str(SRC).unwrap();
+        let d = c.explain("fib").unwrap();
+        assert!(!d.traced);
+        assert!(d.phases.is_empty());
+        let text = d.render(false);
+        assert!(text.contains("no trace"), "{text}");
+        assert!(text.contains("-- assembly --"), "{text}");
+    }
+
+    #[test]
+    fn eval_records_the_same_spans_as_compile_str() {
+        let mut c = Compiler::new();
+        c.enable_trace();
+        c.eval("(defun sq (x) (* x x))").unwrap().unwrap();
+        assert_eq!(c.eval("(sq 9)").unwrap().unwrap(), Value::Fixnum(81));
+        let sink = c.trace().unwrap();
+        // Both the defun and the %eval wrapper went through the full
+        // pipeline.
+        let units = sink.units();
+        assert!(units.contains(&"sq"), "{units:?}");
+        assert!(units.iter().any(|u| u.starts_with("%eval")), "{units:?}");
+        assert!(sink.counter("Code generation", "insns_emitted") > 0);
+        // And eval'd functions can be explained like any other.
+        let d = c.explain("sq").unwrap();
+        assert!(d.traced);
+        assert!(d.assembly.contains("RET"), "{}", d.assembly);
     }
 
     #[test]

@@ -56,6 +56,7 @@ mod encoding;
 mod heap;
 mod insn;
 mod machine;
+mod postmortem;
 mod profile;
 mod program;
 mod runtime;
@@ -67,6 +68,7 @@ pub use encoding::{encoded_size, program_size_words};
 pub use heap::{Heap, ObjKind};
 pub use insn::{CallTarget, Cond, Insn, Label, Operand, Reg};
 pub use machine::{Machine, Trap};
+pub use postmortem::{FrameAt, PostMortem, RetiredAt};
 pub use profile::{ExecProfile, Retired};
 pub use program::{FuncCode, Program};
 pub use stats::MachineStats;

@@ -11,6 +11,7 @@ use s1lisp_interp::Value;
 
 use crate::heap::{Heap, ObjKind};
 use crate::insn::{CallTarget, Cond, Insn, Operand, Reg};
+use crate::postmortem::PostMortem;
 use crate::profile::ExecProfile;
 use crate::program::{FuncCode, Program};
 use crate::runtime;
@@ -50,6 +51,46 @@ pub enum Trap {
     LispError(String),
     /// An explicit `Trap` instruction (compiler-inserted check).
     Explicit(&'static str),
+    /// A trap annotated with its fault site.  [`Machine::run`] wraps
+    /// every trap that surfaces from executing code in one of these, so
+    /// `Display` names the faulting function and program counter instead
+    /// of the bare message.  Match on [`Trap::cause`] to see through it.
+    At {
+        /// Name of the function executing when the trap surfaced.
+        fn_name: String,
+        /// Program counter of the faulting instruction.
+        pc: u32,
+        /// The underlying trap.
+        cause: Box<Trap>,
+    },
+}
+
+impl Trap {
+    /// The underlying trap, seen through any [`Trap::At`] site
+    /// annotations.
+    pub fn cause(&self) -> &Trap {
+        match self {
+            Trap::At { cause, .. } => cause.cause(),
+            t => t,
+        }
+    }
+
+    /// The fault site `(function, pc)`, if this trap carries one.
+    pub fn site(&self) -> Option<(&str, u32)> {
+        match self {
+            Trap::At { fn_name, pc, .. } => Some((fn_name, *pc)),
+            _ => None,
+        }
+    }
+
+    /// Annotates this trap with its fault site.
+    pub fn at(self, fn_name: impl Into<String>, pc: u32) -> Trap {
+        Trap::At {
+            fn_name: fn_name.into(),
+            pc,
+            cause: Box::new(self),
+        }
+    }
 }
 
 impl std::fmt::Display for Trap {
@@ -65,6 +106,7 @@ impl std::fmt::Display for Trap {
             Trap::FuelExhausted => write!(f, "instruction budget exhausted"),
             Trap::LispError(m) => write!(f, "error: {m}"),
             Trap::Explicit(m) => write!(f, "trap: {m}"),
+            Trap::At { fn_name, pc, cause } => write!(f, "{cause} (in {fn_name} at pc {pc})"),
         }
     }
 }
@@ -73,11 +115,19 @@ impl std::error::Error for Trap {}
 
 /// A control-stack frame.
 #[derive(Clone, Debug)]
-struct Frame {
-    ret_fn: u32,
-    ret_pc: usize,
-    saved_fp: usize,
+pub(crate) struct Frame {
+    pub(crate) ret_fn: u32,
+    pub(crate) ret_pc: usize,
+    pub(crate) saved_fp: usize,
     saved_ev: Word,
+}
+
+/// Where execution was when a trap surfaced (tracked by the
+/// fetch–execute loop for [`Trap::At`] and [`PostMortem`]).
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct FaultSite {
+    pub(crate) fnid: u32,
+    pub(crate) pc: u32,
 }
 
 /// A catch frame (§2's `catch` construct).
@@ -100,15 +150,15 @@ pub struct Machine {
     /// The register file.
     pub regs: [Word; 32],
     stack: Vec<Word>,
-    sp: usize,
-    fp: usize,
+    pub(crate) sp: usize,
+    pub(crate) fp: usize,
     /// Deep-binding stack: (symbol id, value).
-    specials: Vec<(u32, Word)>,
+    pub(crate) specials: Vec<(u32, Word)>,
     /// Global value cells: (symbol id, value).
     globals: Vec<(u32, Word)>,
     /// The heap.
     pub heap: Heap,
-    ctrl: Vec<Frame>,
+    pub(crate) ctrl: Vec<Frame>,
     catches: Vec<CatchFrame>,
     /// Execution counters.
     pub stats: MachineStats,
@@ -116,6 +166,9 @@ pub struct Machine {
     /// cycles, instruction ring).  `None` by default; attaching one is
     /// host-side only and never changes simulated behavior or counts.
     pub profile: Option<Box<ExecProfile>>,
+    /// Post-mortem of the most recent trapping [`Machine::run`], if any
+    /// (cleared by the next `run`).
+    pub post_mortem: Option<Box<PostMortem>>,
     /// Remaining instruction budget for the current `run`.
     pub fuel: u64,
     /// Instruction budget installed at each `run`.
@@ -146,6 +199,7 @@ impl Machine {
             catches: Vec::new(),
             stats: MachineStats::default(),
             profile: None,
+            post_mortem: None,
             fuel: 0,
             fuel_per_run: 2_000_000_000,
             const_cache: Vec::new(),
@@ -176,8 +230,12 @@ impl Machine {
     ///
     /// # Errors
     ///
-    /// Returns a [`Trap`] on any run-time failure.
+    /// Returns a [`Trap`] on any run-time failure.  A trap that surfaces
+    /// while executing code is wrapped in [`Trap::At`] naming the
+    /// faulting function and pc, and a [`PostMortem`] is captured in
+    /// [`Machine::post_mortem`].
     pub fn run(&mut self, name: &str, args: &[Value]) -> Result<Value, Trap> {
+        self.post_mortem = None;
         let fnid = self
             .program
             .lookup_fn(name)
@@ -201,16 +259,49 @@ impl Machine {
         self.fp = self.sp - args.len();
         self.regs[Reg::RTA.0 as usize] = Word::Raw(args.len() as i64);
         self.regs[Reg::EV.0 as usize] = Word::NIL;
-        let result = self.execute(fnid, code)?;
-        self.extract(result)
+        let mut fault = FaultSite { fnid, pc: 0 };
+        match self.execute(fnid, code, &mut fault) {
+            Ok(result) => self.extract(result),
+            Err(trap) => {
+                let fn_name = self
+                    .program
+                    .fn_names
+                    .get(fault.fnid as usize)
+                    .cloned()
+                    .unwrap_or_else(|| "?".to_string());
+                let trap = trap.at(fn_name, fault.pc);
+                self.post_mortem = Some(Box::new(PostMortem::capture(self, &trap, &fault)));
+                Err(trap)
+            }
+        }
+    }
+
+    /// Enables trap post-mortems with full forensics: attaches an
+    /// [`ExecProfile`] keeping the last `ring` retired instructions (if
+    /// no profile is attached yet), so a trapping [`Machine::run`]
+    /// captures the instruction tail and per-function cycle attribution
+    /// alongside the register and frame state.
+    pub fn enable_post_mortem(&mut self, ring: usize) {
+        if self.profile.is_none() {
+            self.profile = Some(Box::new(ExecProfile::with_ring(ring)));
+        }
     }
 
     /// The fetch–execute loop, starting at `(fnid, 0)` with an empty
-    /// control stack; returns when the initial frame returns.
-    fn execute(&mut self, mut fnid: u32, mut code: Rc<FuncCode>) -> Result<Word, Trap> {
+    /// control stack; returns when the initial frame returns.  `fault`
+    /// tracks the instruction being executed so [`Machine::run`] can
+    /// localize a trap.
+    fn execute(
+        &mut self,
+        mut fnid: u32,
+        mut code: Rc<FuncCode>,
+        fault: &mut FaultSite,
+    ) -> Result<Word, Trap> {
         let base_ctrl = self.ctrl.len();
         let mut pc = 0usize;
         loop {
+            fault.fnid = fnid;
+            fault.pc = pc as u32;
             if self.fuel == 0 {
                 return Err(Trap::FuelExhausted);
             }
@@ -1476,7 +1567,8 @@ mod tests {
         let mut m = Machine::new(p);
         assert_eq!(m.run("catcher", &[]).unwrap(), fx(33));
         // Uncaught throw traps.
-        assert!(matches!(m.run("thrower", &[]), Err(Trap::UncaughtThrow(_))));
+        let err = m.run("thrower", &[]).unwrap_err();
+        assert!(matches!(err.cause(), Trap::UncaughtThrow(_)));
     }
 
     /// Fuel prevents runaway loops.
@@ -1489,7 +1581,9 @@ mod tests {
         p.define(a.finish());
         let mut m = Machine::new(p);
         m.fuel_per_run = 10_000;
-        assert_eq!(m.run("spin", &[]), Err(Trap::FuelExhausted));
+        let err = m.run("spin", &[]).unwrap_err();
+        assert_eq!(err.cause(), &Trap::FuelExhausted);
+        assert_eq!(err.site(), Some(("spin", 0)));
     }
 
     /// Closures capture cells and can be called through values.
@@ -1667,10 +1761,8 @@ mod new_insn_tests {
         p.define(a.finish());
         let mut m = Machine::new(p);
         assert_eq!(m.run("d", &[fx(0)]).unwrap(), fx(7));
-        assert!(matches!(
-            m.run("d", &[fx(3)]),
-            Err(Trap::WrongNumberOfArguments(_))
-        ));
+        let err = m.run("d", &[fx(3)]).unwrap_err();
+        assert!(matches!(err.cause(), Trap::WrongNumberOfArguments(_)));
     }
 
     #[test]
@@ -1833,7 +1925,8 @@ mod limit_tests {
         let mut p = Program::new();
         p.define(a.finish());
         let mut m = Machine::with_sizes(p, 64, 1 << 12);
-        assert_eq!(m.run("pusher", &[]), Err(Trap::StackOverflow));
+        let err = m.run("pusher", &[]).unwrap_err();
+        assert_eq!(err.cause(), &Trap::StackOverflow);
     }
 
     #[test]
@@ -1869,6 +1962,7 @@ mod limit_tests {
         let mut p = Program::new();
         p.define(a.finish());
         let mut m = Machine::new(p);
-        assert!(matches!(m.run("bad", &[]), Err(Trap::WrongType(_))));
+        let err = m.run("bad", &[]).unwrap_err();
+        assert!(matches!(err.cause(), Trap::WrongType(_)));
     }
 }

@@ -15,7 +15,9 @@
 //! * [`NullSink`] — the default, all methods no-ops: tracing disabled
 //!   costs nothing beyond a dead-branch check at phase boundaries.
 //! * [`MemorySink`] — aggregates spans per phase (call counts, wall
-//!   time, counter totals) and keeps the event log.
+//!   time, counter totals), keeps the event log, and retains every span
+//!   as a [`SpanRec`] so per-unit (per-function) views can be rebuilt —
+//!   the substrate of `Compiler::explain`'s compilation dossiers.
 //! * [`json`] — a dependency-free JSON model with a stable field order
 //!   and a schema extractor, so `report --json` output can be pinned by
 //!   golden tests.
@@ -28,4 +30,4 @@ pub mod json;
 pub mod rng;
 mod sink;
 
-pub use sink::{Event, MemorySink, NullSink, PhaseAgg, SpanId, TraceSink};
+pub use sink::{Event, MemorySink, NullSink, PhaseAgg, SpanId, SpanRec, TraceSink};

@@ -107,10 +107,47 @@ pub struct Event {
     /// Phase of the innermost span open at record time (`"(toplevel)"`
     /// if none).
     pub phase: &'static str,
+    /// Unit of the innermost span open at record time (empty if none).
+    pub unit: String,
     /// Event name.
     pub name: &'static str,
     /// Free-form detail.
     pub detail: String,
+}
+
+/// One recorded span: phase, unit, tree position, wall time, and the
+/// counters and events attributed to it while it was innermost.
+///
+/// Unlike [`PhaseAgg`] (which aggregates across every unit), span
+/// records keep the per-unit story, so a [`MemorySink`] can answer
+/// "Table-1 timing for function F" — the paper's §7 per-function
+/// transcript view — instead of only whole-run totals.
+#[derive(Clone, Debug)]
+pub struct SpanRec {
+    /// The Table 1 phase name.
+    pub phase: &'static str,
+    /// The unit of work (usually a function name).
+    pub unit: String,
+    /// Index of the enclosing span in [`MemorySink::spans`], if nested.
+    pub parent: Option<u32>,
+    /// Wall time between begin and end (zero while still open).
+    pub wall: Duration,
+    /// Counters attributed while this span was innermost.
+    pub counters: Vec<(&'static str, u64)>,
+    /// Events attributed while this span was innermost.
+    pub events: Vec<(&'static str, String)>,
+    /// Whether the span was closed.
+    pub closed: bool,
+}
+
+impl SpanRec {
+    /// The value of a counter on this span (0 if never recorded).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map_or(0, |&(_, v)| v)
+    }
 }
 
 struct OpenSpan {
@@ -124,12 +161,14 @@ impl fmt::Debug for OpenSpan {
     }
 }
 
-/// A sink that aggregates spans per phase and keeps the event log.
+/// A sink that aggregates spans per phase, keeps the event log, and
+/// retains every span as a [`SpanRec`] for per-unit queries.
 #[derive(Debug, Default)]
 pub struct MemorySink {
     phases: Vec<PhaseAgg>,
     index: HashMap<&'static str, usize>,
     arena: Vec<OpenSpan>,
+    records: Vec<SpanRec>,
     open: Vec<u32>,
     /// Every recorded event, in order.
     pub events: Vec<Event>,
@@ -175,6 +214,58 @@ impl MemorySink {
     pub fn counter(&self, phase: &str, counter: &str) -> u64 {
         self.phase(phase).map_or(0, |p| p.counter(counter))
     }
+
+    /// Every recorded span, in begin order.
+    pub fn spans(&self) -> &[SpanRec] {
+        &self.records
+    }
+
+    /// The distinct units spans were opened over, in first-seen order.
+    pub fn units(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::new();
+        for r in &self.records {
+            if !out.contains(&r.unit.as_str()) {
+                out.push(&r.unit);
+            }
+        }
+        out
+    }
+
+    /// Per-phase aggregates restricted to the spans of one unit, in the
+    /// unit's own pipeline order — the Table-1 timing table for a single
+    /// function.
+    pub fn unit_phases(&self, unit: &str) -> Vec<PhaseAgg> {
+        let mut out: Vec<PhaseAgg> = Vec::new();
+        for r in self.records.iter().filter(|r| r.unit == unit) {
+            let agg = match out.iter_mut().find(|p| p.phase == r.phase) {
+                Some(a) => a,
+                None => {
+                    out.push(PhaseAgg::new(r.phase));
+                    out.last_mut().expect("just pushed")
+                }
+            };
+            agg.spans += 1;
+            agg.wall += r.wall;
+            for &(name, delta) in &r.counters {
+                agg.bump(name, delta);
+            }
+        }
+        out
+    }
+
+    /// Event details named `name` recorded under any span of `unit`, in
+    /// record order.
+    pub fn unit_events(&self, unit: &str, name: &str) -> Vec<&str> {
+        let mut out = Vec::new();
+        for r in self.records.iter().filter(|r| r.unit == unit) {
+            for (n, detail) in &r.events {
+                if *n == name {
+                    out.push(detail.as_str());
+                }
+            }
+        }
+        out
+    }
 }
 
 impl TraceSink for MemorySink {
@@ -182,12 +273,21 @@ impl TraceSink for MemorySink {
         true
     }
 
-    fn span_begin(&mut self, phase: &'static str, _unit: &str) -> SpanId {
+    fn span_begin(&mut self, phase: &'static str, unit: &str) -> SpanId {
         let phase_idx = self.phase_idx(phase);
         let id = self.arena.len() as u32;
         self.arena.push(OpenSpan {
             phase_idx,
             start: Instant::now(),
+        });
+        self.records.push(SpanRec {
+            phase,
+            unit: unit.to_string(),
+            parent: self.open.last().copied(),
+            wall: Duration::ZERO,
+            counters: Vec::new(),
+            events: Vec::new(),
+            closed: false,
         });
         self.open.push(id);
         SpanId(id)
@@ -201,6 +301,9 @@ impl TraceSink for MemorySink {
         let idx = self.arena[span.0 as usize].phase_idx;
         self.phases[idx].spans += 1;
         self.phases[idx].wall += elapsed;
+        let rec = &mut self.records[span.0 as usize];
+        rec.wall = elapsed;
+        rec.closed = true;
         // Tolerate out-of-order ends: drop the span wherever it sits.
         if let Some(pos) = self.open.iter().rposition(|&s| s == span.0) {
             self.open.remove(pos);
@@ -210,13 +313,29 @@ impl TraceSink for MemorySink {
     fn add(&mut self, counter: &'static str, delta: u64) {
         let idx = self.innermost();
         self.phases[idx].bump(counter, delta);
+        if let Some(&s) = self.open.last() {
+            let rec = &mut self.records[s as usize];
+            match rec.counters.iter_mut().find(|(n, _)| *n == counter) {
+                Some(slot) => slot.1 += delta,
+                None => rec.counters.push((counter, delta)),
+            }
+        }
     }
 
     fn event(&mut self, name: &'static str, detail: &str) {
         let idx = self.innermost();
         let phase = self.phases[idx].phase;
+        let unit = match self.open.last() {
+            Some(&s) => {
+                let rec = &mut self.records[s as usize];
+                rec.events.push((name, detail.to_string()));
+                rec.unit.clone()
+            }
+            None => String::new(),
+        };
         self.events.push(Event {
             phase,
+            unit,
             name,
             detail: detail.to_string(),
         });
@@ -280,6 +399,54 @@ mod tests {
         s.span_end(sp);
         assert_eq!(s.events.len(), 1);
         assert_eq!(s.events[0].phase, "Source-level optimization");
+        assert_eq!(s.events[0].unit, "f");
         assert_eq!(s.events[0].detail, "META-SUBSTITUTE");
+    }
+
+    #[test]
+    fn span_records_keep_the_per_unit_story() {
+        let mut s = MemorySink::new();
+        for unit in ["f", "g"] {
+            let sp = s.span_begin("Source-level optimization", unit);
+            s.add("transformations", 3);
+            s.span_end(sp);
+            let sp = s.span_begin("Code generation", unit);
+            s.add("insns_emitted", 10);
+            s.event("coercion", "Swflo->Pointer");
+            s.span_end(sp);
+        }
+        // Whole-run aggregates still sum across units...
+        assert_eq!(s.counter("Code generation", "insns_emitted"), 20);
+        // ...while the per-unit view keeps them separate.
+        assert_eq!(s.units(), vec!["f", "g"]);
+        let f = s.unit_phases("f");
+        assert_eq!(f.len(), 2);
+        assert_eq!(f[0].phase, "Source-level optimization");
+        assert_eq!(f[0].counter("transformations"), 3);
+        assert_eq!(f[1].counter("insns_emitted"), 10);
+        assert_eq!(s.unit_events("g", "coercion"), vec!["Swflo->Pointer"]);
+        assert!(s.unit_events("g", "missing").is_empty());
+        assert!(s.unit_phases("h").is_empty());
+    }
+
+    #[test]
+    fn nested_spans_record_parents() {
+        let mut s = MemorySink::new();
+        let outer = s.span_begin("Code generation", "f");
+        let inner = s.span_begin("Target annotation", "f");
+        s.span_end(inner);
+        s.span_end(outer);
+        let spans = s.spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].parent, None);
+        assert_eq!(spans[1].parent, Some(0));
+        assert!(spans[0].closed && spans[1].closed);
+        // Same-phase spans of one unit aggregate in unit_phases.
+        let sp2 = s.span_begin("Code generation", "f");
+        s.add("insns_emitted", 4);
+        s.span_end(sp2);
+        let phases = s.unit_phases("f");
+        assert_eq!(phases[0].spans, 2);
+        assert_eq!(phases[0].counter("insns_emitted"), 4);
     }
 }

@@ -2,7 +2,8 @@
 //! (`testfn`): phase table, back-translation, transformation transcript,
 //! the generated parenthesized assembly — the full Table 1 → Table 4
 //! journey — and the observability surfaces (phase telemetry, execution
-//! statistics, opcode profile).
+//! statistics, opcode profile, the per-function compilation dossier,
+//! and a trap post-mortem).
 //!
 //! ```sh
 //! cargo run --example compiler_tour
@@ -83,4 +84,30 @@ fn main() {
             println!("  {op:<14} {n:>8}");
         }
     }
+
+    // Everything above, joined into one report: the compilation dossier.
+    // (The `explain` bin renders these for any experiment-corpus
+    // function: `cargo run -p s1lisp-bench --bin explain -- testfn`.)
+    println!("\n=== the same story as one dossier: explain(\"testfn\") ===\n");
+    let dossier = compiler.explain("testfn").expect("testfn was compiled");
+    print!("{dossier}");
+
+    // And the failure side: run a function on an argument it cannot
+    // handle, with a post-mortem ring attached, and read the wreckage.
+    println!("\n=== trap post-mortem: (car 5) deep in a call chain ===\n");
+    let mut c2 = Compiler::new();
+    c2.compile_str(
+        "(defun boom (x) (car x))
+         (defun outer (x) (+ 1 (boom x)))",
+    )
+    .expect("compiles");
+    let mut crash = c2.machine();
+    crash.enable_post_mortem(16);
+    let trap = crash
+        .run("outer", &[Value::Fixnum(5)])
+        .expect_err("CAR of a fixnum traps");
+    println!("trap: {trap}");
+    println!("fault site: {:?}\n", trap.site());
+    let pm = crash.post_mortem.as_ref().expect("post-mortem captured");
+    print!("{pm}");
 }

@@ -193,5 +193,8 @@ fn heap_exhaustion_is_a_clean_trap() {
     c.compile_str(src).unwrap();
     let mut m = s1lisp_s1sim::Machine::with_sizes(c.program().clone(), 1 << 16, 256);
     let r = m.run("keep", &[Value::Fixnum(10_000), Value::Nil]);
-    assert!(matches!(r, Err(s1lisp_s1sim::Trap::HeapExhausted)));
+    let err = r.unwrap_err();
+    assert!(matches!(err.cause(), s1lisp_s1sim::Trap::HeapExhausted));
+    // The trap names its source: the faulting function and PC.
+    assert_eq!(err.site().map(|(f, _)| f), Some("keep"));
 }
