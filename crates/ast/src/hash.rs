@@ -1,0 +1,252 @@
+//! Structural fingerprinting of program trees.
+//!
+//! The compilation service content-addresses its artifact cache by a
+//! structural hash of the *converted* tree (the output of the
+//! Preliminary phase): two compilations whose converted trees are
+//! identical — same constructs, same variable spellings, same constants
+//! — produce identical artifacts under identical options, so the hash
+//! plus an options fingerprint is a sound cache key.
+//!
+//! The hash is an in-tree FNV-1a-64 ([`Fnv1a64`]): dependency-free,
+//! deterministic across runs and platforms, and cheap enough to compute
+//! on every compilation.  It is *not* cryptographic; the cache tolerates
+//! collisions the way any content-addressed store does — astronomically
+//! unlikely at 64 bits over the handful of entries a compiler sees.
+
+use crate::tree::{CallFunc, NodeId, NodeKind, ProgItem, Tree};
+
+/// The 64-bit FNV-1a hasher (offset basis `0xcbf29ce484222325`, prime
+/// `0x100000001b3`).
+#[derive(Clone, Copy, Debug)]
+pub struct Fnv1a64(u64);
+
+impl Default for Fnv1a64 {
+    fn default() -> Fnv1a64 {
+        Fnv1a64::new()
+    }
+}
+
+impl Fnv1a64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// A hasher at the offset basis.
+    pub fn new() -> Fnv1a64 {
+        Fnv1a64(Self::OFFSET)
+    }
+
+    /// Feeds one byte.
+    #[inline]
+    pub fn write_u8(&mut self, b: u8) {
+        self.0 = (self.0 ^ u64::from(b)).wrapping_mul(Self::PRIME);
+    }
+
+    /// Feeds a byte slice.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u8(b);
+        }
+    }
+
+    /// Feeds a string, followed by a separator byte so adjacent strings
+    /// cannot run together (`"ab" + "c"` vs `"a" + "bc"`).
+    pub fn write_str(&mut self, s: &str) {
+        self.write_bytes(s.as_bytes());
+        self.write_u8(0xff);
+    }
+
+    /// Feeds a 64-bit integer (little-endian).
+    pub fn write_u64(&mut self, n: u64) {
+        self.write_bytes(&n.to_le_bytes());
+    }
+
+    /// The current hash value.
+    pub fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+/// FNV-1a-64 of a string (convenience for option fingerprints).
+pub fn fnv1a_str(s: &str) -> u64 {
+    let mut h = Fnv1a64::new();
+    h.write_str(s);
+    h.finish()
+}
+
+/// The structural fingerprint of the subtree reachable from
+/// [`Tree::root`].
+///
+/// Covered: every node's construct, constants by printed form, variables
+/// by spelling plus their special flag and declared type (spellings are
+/// unique identities after the frontend's uniform alpha-renaming),
+/// called-function names, `caseq` keys, `go` targets and `progbody`
+/// tags, and the exact child structure.  Node and variable *arena
+/// indices* are not hashed, so detached garbage nodes left behind by
+/// earlier transformations do not perturb the fingerprint.
+pub fn fingerprint(tree: &Tree) -> u64 {
+    let mut h = Fnv1a64::new();
+    hash_node(tree, &mut h, tree.root);
+    h.finish()
+}
+
+fn hash_var(tree: &Tree, h: &mut Fnv1a64, v: crate::tree::VarId) {
+    let var = tree.var(v);
+    h.write_str(var.name.as_str());
+    h.write_u8(u8::from(var.special));
+    h.write_u8(match var.declared_type {
+        None => 0,
+        Some(crate::tree::DeclaredType::Fixnum) => 1,
+        Some(crate::tree::DeclaredType::Flonum) => 2,
+    });
+}
+
+fn hash_node(tree: &Tree, h: &mut Fnv1a64, id: NodeId) {
+    match tree.kind(id) {
+        NodeKind::Constant(d) => {
+            h.write_u8(1);
+            h.write_str(&d.to_string());
+        }
+        NodeKind::VarRef(v) => {
+            h.write_u8(2);
+            hash_var(tree, h, *v);
+        }
+        NodeKind::Setq { var, .. } => {
+            h.write_u8(3);
+            hash_var(tree, h, *var);
+        }
+        NodeKind::If { .. } => h.write_u8(4),
+        NodeKind::Progn(_) => h.write_u8(5),
+        NodeKind::Call { func, .. } => {
+            h.write_u8(6);
+            match func {
+                CallFunc::Global(s) => {
+                    h.write_u8(1);
+                    h.write_str(s.as_str());
+                }
+                CallFunc::Expr(_) => h.write_u8(2),
+            }
+        }
+        NodeKind::Lambda(l) => {
+            h.write_u8(7);
+            h.write_u64(l.required.len() as u64);
+            h.write_u64(l.optional.len() as u64);
+            h.write_u8(u8::from(l.rest.is_some()));
+            for &p in &l.required {
+                hash_var(tree, h, p);
+            }
+            for o in &l.optional {
+                hash_var(tree, h, o.var);
+            }
+            if let Some(r) = l.rest {
+                hash_var(tree, h, r);
+            }
+        }
+        NodeKind::Caseq { clauses, .. } => {
+            h.write_u8(8);
+            h.write_u64(clauses.len() as u64);
+            for c in clauses {
+                h.write_u64(c.keys.len() as u64);
+                for k in &c.keys {
+                    h.write_str(&k.to_string());
+                }
+            }
+        }
+        NodeKind::Catcher { .. } => h.write_u8(9),
+        NodeKind::Progbody(items) => {
+            h.write_u8(10);
+            for item in items {
+                match item {
+                    ProgItem::Tag(t) => {
+                        h.write_u8(1);
+                        h.write_str(t.as_str());
+                    }
+                    ProgItem::Stmt(_) => h.write_u8(2),
+                }
+            }
+        }
+        NodeKind::Go(t) => {
+            h.write_u8(11);
+            h.write_str(t.as_str());
+        }
+        NodeKind::Return(_) => h.write_u8(12),
+    }
+    let children = tree.children(id);
+    h.write_u64(children.len() as u64);
+    for c in children {
+        hash_node(tree, h, c);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s1lisp_reader::{Datum, Interner};
+
+    fn plus_tree(i: &mut Interner, constant: i64) -> Tree {
+        let mut t = Tree::new();
+        let x = t.add_var(i.intern("x"));
+        let rx = t.var_ref(x);
+        let k = t.constant(Datum::Fixnum(constant));
+        let call = t.call_global(i.intern("+"), vec![rx, k]);
+        let lam = t.lambda(vec![x], call);
+        t.root = lam;
+        t.rebuild_backlinks();
+        t
+    }
+
+    #[test]
+    fn identical_trees_hash_identically() {
+        let mut i = Interner::new();
+        let a = fingerprint(&plus_tree(&mut i, 1));
+        let b = fingerprint(&plus_tree(&mut i, 1));
+        assert_eq!(a, b);
+        // Even from a different interner: spellings, not pointers.
+        let mut j = Interner::new();
+        assert_eq!(a, fingerprint(&plus_tree(&mut j, 1)));
+    }
+
+    #[test]
+    fn structural_changes_change_the_hash() {
+        let mut i = Interner::new();
+        let a = fingerprint(&plus_tree(&mut i, 1));
+        assert_ne!(a, fingerprint(&plus_tree(&mut i, 2)));
+        // A different variable spelling changes it too.
+        let mut t = Tree::new();
+        let y = t.add_var(i.intern("y"));
+        let ry = t.var_ref(y);
+        let k = t.constant(Datum::Fixnum(1));
+        let call = t.call_global(i.intern("+"), vec![ry, k]);
+        let lam = t.lambda(vec![y], call);
+        t.root = lam;
+        assert_ne!(a, fingerprint(&t));
+    }
+
+    #[test]
+    fn detached_nodes_do_not_perturb_the_hash() {
+        let mut i = Interner::new();
+        let mut t = plus_tree(&mut i, 1);
+        let clean = fingerprint(&t);
+        // Allocate garbage that stays unreachable from the root.
+        let _ = t.constant(Datum::Fixnum(999));
+        let _ = t.add_var(i.intern("garbage"));
+        assert_eq!(clean, fingerprint(&t));
+    }
+
+    #[test]
+    fn special_and_declared_type_are_significant() {
+        let mut i = Interner::new();
+        let mut t = plus_tree(&mut i, 1);
+        let clean = fingerprint(&t);
+        let v = t.var_ids().next().unwrap();
+        t.var_mut(v).declared_type = Some(crate::tree::DeclaredType::Fixnum);
+        assert_ne!(clean, fingerprint(&t));
+    }
+
+    #[test]
+    fn fnv_str_vectors() {
+        // Distinct strings, distinct hashes; stable across calls.
+        assert_eq!(fnv1a_str("a"), fnv1a_str("a"));
+        assert_ne!(fnv1a_str("a"), fnv1a_str("b"));
+        assert_ne!(fnv1a_str("ab"), fnv1a_str("a"));
+    }
+}

@@ -20,10 +20,12 @@
 
 #![warn(missing_docs)]
 
+mod hash;
 mod tree;
 mod unparse;
 mod visit;
 
+pub use hash::{fingerprint, fnv1a_str, Fnv1a64};
 pub use tree::{
     CallFunc, CaseqClause, DeclaredType, Lambda, Node, NodeId, NodeKind, OptParam, ProgItem, Tree,
     Var, VarId,

@@ -6,36 +6,76 @@
 //! cargo run -p s1lisp-bench --bin report -- e4 e7          # selected
 //! cargo run -p s1lisp-bench --bin report -- --json         # JSON array
 //! cargo run -p s1lisp-bench --bin report -- --json e1 e12  # selected
+//! cargo run -p s1lisp-bench --bin report -- --jobs 4 service
 //! ```
 //!
 //! `--json` emits one machine-readable record per experiment (the shape
 //! pinned by `tests/golden_json.rs`) instead of the human-readable text.
-//! The special id `trap` selects the trap post-mortem demonstration
-//! record (`--json trap`).
+//! Special ids: `trap` selects the trap post-mortem demonstration
+//! record; `service` batch-compiles the whole corpus through the
+//! parallel compilation service (`--jobs N` workers, `--cache-dir D`
+//! for a persistent artifact cache — run it twice with the same
+//! directory and the second run reports `hit_rate=100%`); and
+//! `service-fault` demonstrates the degraded path with an injected
+//! optimizer panic.
+
+use std::path::PathBuf;
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let json = args.iter().any(|a| a == "--json");
     args.retain(|a| a != "--json");
-    let selected: Vec<String> = if args.is_empty() {
+    let mut jobs = 1usize;
+    let mut cache_dir: Option<PathBuf> = None;
+    let mut rest = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--jobs" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => jobs = n,
+                None => {
+                    eprintln!("--jobs wants a number");
+                    std::process::exit(2);
+                }
+            },
+            "--cache-dir" => match it.next() {
+                Some(d) => cache_dir = Some(PathBuf::from(d)),
+                None => {
+                    eprintln!("--cache-dir wants a path");
+                    std::process::exit(2);
+                }
+            },
+            _ => rest.push(a),
+        }
+    }
+    let selected: Vec<String> = if rest.is_empty() {
         s1lisp_bench::all_experiments()
             .iter()
             .map(|e| e.id.to_string())
             .collect()
     } else {
-        args
+        rest
     };
     if json {
         let records: Vec<s1lisp_trace::json::Json> = selected
             .iter()
             .filter_map(|id| {
-                let rec = if id == "trap" {
-                    Some(s1lisp_bench::trap_record())
-                } else {
-                    s1lisp_bench::json_record(id)
+                let rec = match id.as_str() {
+                    "trap" => Some(s1lisp_bench::trap_record()),
+                    "service" => Some(s1lisp_bench::service_record(jobs, cache_dir.clone())),
+                    "service-fault" => {
+                        // The injected panic is the record's subject;
+                        // keep its backtrace off stderr.
+                        let prev = std::panic::take_hook();
+                        std::panic::set_hook(Box::new(|_| {}));
+                        let rec = s1lisp_bench::service_fault_record();
+                        std::panic::set_hook(prev);
+                        Some(rec)
+                    }
+                    _ => s1lisp_bench::json_record(id),
                 };
                 if rec.is_none() {
-                    eprintln!("unknown experiment {id} (want e1..e12 or trap)");
+                    eprintln!("unknown experiment {id} (want e1..e12, trap, or service)");
                 }
                 rec
             })
@@ -44,6 +84,13 @@ fn main() {
         return;
     }
     for id in selected {
+        if id == "service" {
+            println!("==================================================================");
+            println!("SERVICE — parallel batch compile of the experiment corpus");
+            println!("==================================================================");
+            print!("{}", s1lisp_bench::service_report(jobs, cache_dir.clone()));
+            continue;
+        }
         match s1lisp_bench::run_experiment(&id) {
             Some(report) => {
                 let title = s1lisp_bench::all_experiments()
@@ -56,7 +103,7 @@ fn main() {
                 println!("==================================================================");
                 println!("{report}");
             }
-            None => eprintln!("unknown experiment {id} (want e1..e12)"),
+            None => eprintln!("unknown experiment {id} (want e1..e12 or service)"),
         }
     }
 }

@@ -1,0 +1,163 @@
+//! The `service` report: batch-compiling the experiment corpus through
+//! the parallel compilation service (`report --jobs N [--cache-dir D]
+//! service`).
+//!
+//! Two records share the machinery: the clean batch over every
+//! experiment workload, and a demonstration batch with an injected
+//! optimizer panic showing the degraded path ([`service_fault_record`]).
+//! Both are schema-pinned by `tests/golden_json.rs`.
+
+use std::path::PathBuf;
+
+use s1lisp_driver::{
+    BatchResult, CompileService, FaultInjection, FaultMode, ServiceConfig, SourceUnit,
+};
+use s1lisp_trace::json::Json;
+
+use crate::json_report::workload;
+
+/// One [`SourceUnit`] per experiment, named by experiment id.
+pub fn service_units() -> Vec<SourceUnit> {
+    crate::all_experiments()
+        .iter()
+        .filter_map(|e| workload(e.id).map(|wl| SourceUnit::new(e.id, wl.src)))
+        .collect()
+}
+
+fn config(jobs: usize, cache_dir: Option<PathBuf>) -> ServiceConfig {
+    ServiceConfig {
+        jobs,
+        cache_dir,
+        ..ServiceConfig::default()
+    }
+}
+
+/// Batch-compiles the corpus at the given worker count (with an
+/// optional persistent cache directory).
+pub fn service_batch(jobs: usize, cache_dir: Option<PathBuf>) -> BatchResult {
+    CompileService::new(config(jobs, cache_dir)).compile_batch(&service_units())
+}
+
+fn record(id: &str, title: &str, batch: &BatchResult) -> Json {
+    Json::Obj(vec![
+        ("id".to_string(), Json::str(id)),
+        ("title".to_string(), Json::str(title)),
+        ("batch".to_string(), batch.to_json()),
+    ])
+}
+
+/// The machine-readable `service` record.
+pub fn service_record(jobs: usize, cache_dir: Option<PathBuf>) -> Json {
+    record(
+        "service",
+        "Compilation service batch over the experiment corpus",
+        &service_batch(jobs, cache_dir),
+    )
+}
+
+/// A demonstration record with a panic injected into one function's
+/// optimization, exercising the incident/degradation surface: the batch
+/// completes, `quadratic` comes back degraded, and every other function
+/// is untouched.
+pub fn service_fault_record() -> Json {
+    let cfg = ServiceConfig {
+        jobs: 4,
+        fault: Some(FaultInjection {
+            function: "quadratic".to_string(),
+            mode: FaultMode::Panic,
+        }),
+        ..ServiceConfig::default()
+    };
+    let batch = CompileService::new(cfg).compile_batch(&service_units());
+    record(
+        "service-fault",
+        "Compilation service degraded-path demonstration",
+        &batch,
+    )
+}
+
+/// The human-readable `service` report text.
+pub fn service_report(jobs: usize, cache_dir: Option<PathBuf>) -> String {
+    use std::fmt::Write as _;
+    let batch = service_batch(jobs, cache_dir);
+    let mut out = String::new();
+    let s = &batch.stats;
+    let _ = writeln!(
+        out,
+        "workers={} functions={} queue_peak={}",
+        s.workers_used, s.functions, s.queue_peak
+    );
+    let _ = writeln!(
+        out,
+        "hit_rate={}% hits={} misses={} evictions={} disk_hits={}",
+        batch.hit_rate_percent(),
+        s.cache.hits,
+        s.cache.misses,
+        s.cache.evictions,
+        s.cache.disk_hits
+    );
+    let _ = writeln!(
+        out,
+        "incidents={} failures={}",
+        batch.incidents.len(),
+        batch.failures.len()
+    );
+    for w in &s.workers {
+        let _ = writeln!(
+            out,
+            "  worker {}: jobs={} wall_us={}",
+            w.worker, w.jobs, w.wall_us
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{:<14} {:<10} {:>8} {:>9}",
+        "function", "outcome", "insns", "wall_us"
+    );
+    for r in &batch.records {
+        let insns = batch
+            .artifacts
+            .iter()
+            .find(|a| a.name == r.function)
+            .map_or(0, |a| a.insns);
+        let _ = writeln!(
+            out,
+            "{:<14} {:<10} {:>8} {:>9}",
+            r.function,
+            r.outcome.as_str(),
+            insns,
+            r.wall_us
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_batch_compiles_cleanly() {
+        let batch = service_batch(2, None);
+        assert!(batch.stats.functions >= 12, "{}", batch.stats.functions);
+        assert_eq!(batch.artifacts.len(), batch.stats.functions);
+        assert!(batch.failures.is_empty(), "{:?}", batch.failures);
+        assert!(batch.incidents.is_empty());
+        // e10's proclaimed special must have reached its job.
+        let acc = batch.artifact("accumulate").unwrap();
+        assert!(acc.assembly.contains("%SPEC"), "{}", acc.assembly);
+    }
+
+    #[test]
+    fn fault_record_reports_one_degraded_function() {
+        let rec = service_fault_record();
+        let batch = rec.get("batch").unwrap();
+        let incidents = batch.get("incidents").unwrap().as_arr().unwrap();
+        assert_eq!(incidents.len(), 1);
+        assert_eq!(
+            incidents[0].get("function").unwrap().as_str(),
+            Some("quadratic")
+        );
+        assert_eq!(incidents[0].get("recovered").unwrap().as_bool(), Some(true));
+    }
+}

@@ -7,11 +7,13 @@
 //! counter's type, or restructuring the record breaks the golden and
 //! must be a deliberate schema bump.
 
-use s1lisp_bench::{json_record, trap_record};
+use s1lisp_bench::{json_record, service_fault_record, service_record, trap_record};
 use s1lisp_trace::json::{self, Json};
 
 const GOLDEN: &str = include_str!("golden/report_schema.txt");
 const TRAP_GOLDEN: &str = include_str!("golden/trap_schema.txt");
+const SERVICE_GOLDEN: &str = include_str!("golden/service_schema.txt");
+const SERVICE_FAULT_GOLDEN: &str = include_str!("golden/service_fault_schema.txt");
 
 /// Dynamic maps in a record are int-valued histograms; an *empty* one
 /// carries no value type, so pad it with a sentinel entry before
@@ -79,6 +81,41 @@ fn trap_record_schema_matches_golden() {
     let rec = trap_record();
     json::parse(&rec.to_string()).expect("trap record is well-formed JSON");
     assert_eq!(json::schema(&pad_empty_maps(rec)), TRAP_GOLDEN.trim());
+}
+
+/// Compares a record's padded schema against a golden file;
+/// `UPDATE_GOLDEN=1 cargo test -p s1lisp-bench` rewrites the file
+/// instead, for deliberate schema bumps.
+fn check_schema(rec: Json, golden: &str, file: &str) {
+    json::parse(&rec.to_string()).expect("record is well-formed JSON");
+    let sig = json::schema(&pad_empty_maps(rec));
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        let path = format!("{}/tests/golden/{file}", env!("CARGO_MANIFEST_DIR"));
+        std::fs::write(path, format!("{sig}\n")).expect("golden rewrite");
+        return;
+    }
+    assert_eq!(sig, golden.trim());
+}
+
+#[test]
+fn service_record_schema_matches_golden() {
+    // jobs = 2, no disk tier: the canonical clean batch record.
+    check_schema(
+        service_record(2, None),
+        SERVICE_GOLDEN,
+        "service_schema.txt",
+    );
+}
+
+#[test]
+fn service_fault_record_schema_matches_golden() {
+    // The faulted batch has a populated incidents array, so its schema
+    // is pinned separately from the clean record's.
+    check_schema(
+        service_fault_record(),
+        SERVICE_FAULT_GOLDEN,
+        "service_fault_schema.txt",
+    );
 }
 
 #[test]

@@ -1,0 +1,185 @@
+//! The cacheable result of compiling one function.
+//!
+//! An [`Artifact`] is everything the compilation service needs to hand
+//! back for a function without re-running any phase: the assembly
+//! listing, the TN packing map, the rendered dossier, and the summary
+//! numbers the experiment reports consume.  It is plain data — strings
+//! and integers only — so it crosses threads freely and round-trips
+//! through the `s1lisp-trace` JSON layer for the on-disk cache tier.
+
+use s1lisp_trace::json::Json;
+
+/// One function's complete compilation output, detached from the
+/// [`Compiler`](crate::Compiler) that produced it.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Artifact {
+    /// The `defun` name.
+    pub name: String,
+    /// The cache key this artifact was stored under (structural tree
+    /// fingerprint mixed with the options fingerprint); `0` until the
+    /// service assigns it.
+    pub fingerprint: u64,
+    /// Back-translated source as converted (before optimization).
+    pub converted: String,
+    /// Back-translated source after source-level optimization.
+    pub optimized: String,
+    /// Number of source-level transformations applied.
+    pub transformations: u64,
+    /// Optimizer rule-firing histogram, in first-fired order.
+    pub rules: Vec<(String, u64)>,
+    /// Table 1 phases this function went through (name, span count).
+    pub phase_spans: Vec<(String, u64)>,
+    /// TN packing decisions, one line per temporary name.
+    pub tn_map: Vec<String>,
+    /// Representation coercions inserted during annotation.
+    pub coercions: Vec<String>,
+    /// Parenthesized-assembly listing.
+    pub assembly: String,
+    /// Instruction count of the final code.
+    pub insns: u64,
+    /// The rendered compilation dossier (deterministic form, no wall
+    /// times).
+    pub dossier: String,
+    /// True when this is the fallback output of a degraded recompile
+    /// (transformations off after a panic or timeout).  Degraded
+    /// artifacts are never cached.
+    pub degraded: bool,
+}
+
+fn str_arr(items: &[String]) -> Json {
+    Json::Arr(items.iter().map(Json::str).collect())
+}
+
+fn count_map(pairs: &[(String, u64)]) -> Json {
+    Json::Map(
+        pairs
+            .iter()
+            .map(|(k, n)| (k.clone(), Json::uint(*n)))
+            .collect(),
+    )
+}
+
+impl Artifact {
+    /// Serializes for the on-disk cache tier and the `service` report
+    /// record.  The fingerprint is a 16-digit hex string (JSON integers
+    /// are `i64`; the key is a full `u64`).
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("name".into(), Json::str(&self.name)),
+            (
+                "fingerprint".into(),
+                Json::Str(format!("{:016x}", self.fingerprint)),
+            ),
+            ("converted".into(), Json::str(&self.converted)),
+            ("optimized".into(), Json::str(&self.optimized)),
+            ("transformations".into(), Json::uint(self.transformations)),
+            ("rules".into(), count_map(&self.rules)),
+            ("phase_spans".into(), count_map(&self.phase_spans)),
+            ("tn_map".into(), str_arr(&self.tn_map)),
+            ("coercions".into(), str_arr(&self.coercions)),
+            ("assembly".into(), Json::str(&self.assembly)),
+            ("insns".into(), Json::uint(self.insns)),
+            ("dossier".into(), Json::str(&self.dossier)),
+            ("degraded".into(), Json::Bool(self.degraded)),
+        ])
+    }
+
+    /// Rebuilds an artifact from [`Artifact::to_json`] output (or its
+    /// parse).  Returns `None` on any missing or mistyped field, so a
+    /// corrupt disk-cache entry degrades to a cache miss.
+    pub fn from_json(j: &Json) -> Option<Artifact> {
+        let s = |key: &str| Some(j.get(key)?.as_str()?.to_string());
+        let n = |key: &str| u64::try_from(j.get(key)?.as_int()?).ok();
+        let strs = |key: &str| {
+            j.get(key)?
+                .as_arr()?
+                .iter()
+                .map(|v| Some(v.as_str()?.to_string()))
+                .collect::<Option<Vec<String>>>()
+        };
+        let counts = |key: &str| {
+            j.get(key)?
+                .entries()?
+                .iter()
+                .map(|(k, v)| Some((k.clone(), u64::try_from(v.as_int()?).ok()?)))
+                .collect::<Option<Vec<(String, u64)>>>()
+        };
+        Some(Artifact {
+            name: s("name")?,
+            fingerprint: u64::from_str_radix(j.get("fingerprint")?.as_str()?, 16).ok()?,
+            converted: s("converted")?,
+            optimized: s("optimized")?,
+            transformations: n("transformations")?,
+            rules: counts("rules")?,
+            phase_spans: counts("phase_spans")?,
+            tn_map: strs("tn_map")?,
+            coercions: strs("coercions")?,
+            assembly: s("assembly")?,
+            insns: n("insns")?,
+            dossier: s("dossier")?,
+            degraded: j.get("degraded")?.as_bool()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s1lisp_trace::json;
+
+    fn sample() -> Artifact {
+        Artifact {
+            name: "norm".into(),
+            fingerprint: 0xdead_beef_0000_0001,
+            converted: "(lambda (x) x)".into(),
+            optimized: "(lambda (x) x)".into(),
+            transformations: 3,
+            rules: vec![("META-SUBSTITUTE".into(), 2), ("META-IF-LIFT".into(), 1)],
+            phase_spans: vec![("Code generation".into(), 1)],
+            tn_map: vec!["x = TN0 (register)".into()],
+            coercions: vec!["unbox flonum".into()],
+            assembly: "(RET)".into(),
+            insns: 7,
+            dossier: "==== dossier ====\nline \"quoted\"".into(),
+            degraded: false,
+        }
+    }
+
+    #[test]
+    fn json_round_trip_is_lossless() {
+        let a = sample();
+        let text = a.to_json().to_string();
+        let parsed = json::parse(&text).expect("valid JSON");
+        assert_eq!(Artifact::from_json(&parsed), Some(a));
+    }
+
+    #[test]
+    fn corrupt_entries_fail_cleanly() {
+        // Missing field.
+        let mut j = sample().to_json();
+        if let Json::Obj(fields) = &mut j {
+            fields.retain(|(k, _)| k != "assembly");
+        }
+        assert!(Artifact::from_json(&j).is_none());
+        // Mistyped field.
+        let mut j = sample().to_json();
+        if let Json::Obj(fields) = &mut j {
+            for (k, v) in fields.iter_mut() {
+                if k == "insns" {
+                    *v = Json::str("seven");
+                }
+            }
+        }
+        assert!(Artifact::from_json(&j).is_none());
+        // Unparseable fingerprint.
+        let mut j = sample().to_json();
+        if let Json::Obj(fields) = &mut j {
+            for (k, v) in fields.iter_mut() {
+                if k == "fingerprint" {
+                    *v = Json::str("not-hex");
+                }
+            }
+        }
+        assert!(Artifact::from_json(&j).is_none());
+    }
+}

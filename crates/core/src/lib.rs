@@ -28,10 +28,12 @@
 
 #![warn(missing_docs)]
 
+mod artifact;
 mod dossier;
 mod error;
 mod phases;
 
+pub use artifact::Artifact;
 pub use dossier::Dossier;
 pub use error::CompileError;
 pub use phases::{phases, Phase, PhaseStatus};
@@ -62,6 +64,33 @@ pub struct CompiledFunction {
     pub tree: Tree,
     /// Number of source-level transformations applied.
     pub transformations: usize,
+}
+
+/// A function that has been read and converted (the Preliminary phase)
+/// but not yet pushed through the rest of the pipeline.
+///
+/// Produced by [`Compiler::convert_str`]; consumed by
+/// [`Compiler::compile_pending`].  In between, the compilation service
+/// inspects [`PendingFunction::tree_fingerprint`] to decide whether a
+/// cached artifact makes the remaining phases unnecessary.
+#[derive(Debug)]
+pub struct PendingFunction {
+    inner: s1lisp_frontend::Function,
+}
+
+impl PendingFunction {
+    /// The `defun` name.
+    pub fn name(&self) -> &str {
+        self.inner.name.as_str()
+    }
+
+    /// The structural fingerprint of the converted tree
+    /// ([`s1lisp_ast::fingerprint`]): identical trees — regardless of
+    /// which compiler, batch, or interner produced them — hash
+    /// identically.
+    pub fn tree_fingerprint(&self) -> u64 {
+        s1lisp_ast::fingerprint(&self.inner.tree)
+    }
 }
 
 /// The whole-pipeline compiler.
@@ -163,6 +192,57 @@ impl Compiler {
         source: &str,
         sink: &mut dyn TraceSink,
     ) -> Result<Vec<String>, CompileError> {
+        let pending = self.convert_str_with(source, sink)?;
+        let mut names = Vec::new();
+        for p in pending {
+            names.push(self.compile_function(p.inner, sink)?);
+        }
+        Ok(names)
+    }
+
+    /// Runs only the Preliminary phase — read + convert + `defvar`
+    /// recording — returning the converted functions without compiling
+    /// them.  Finish each one with [`Compiler::compile_pending`], or
+    /// skip it when a cache already holds its artifact.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CompileError`] for read or conversion failures.
+    pub fn convert_str(&mut self, source: &str) -> Result<Vec<PendingFunction>, CompileError> {
+        let mut trace = self.trace.take();
+        let mut null = NullSink;
+        let sink: &mut dyn TraceSink = match trace.as_mut() {
+            Some(s) => s,
+            None => &mut null,
+        };
+        let result = self.convert_str_with(source, sink);
+        self.trace = trace;
+        result
+    }
+
+    /// Runs a converted function through the rest of the pipeline
+    /// (everything after Preliminary), returning its name.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CompileError`] for code-generation failures.
+    pub fn compile_pending(&mut self, pending: PendingFunction) -> Result<String, CompileError> {
+        let mut trace = self.trace.take();
+        let mut null = NullSink;
+        let sink: &mut dyn TraceSink = match trace.as_mut() {
+            Some(s) => s,
+            None => &mut null,
+        };
+        let result = self.compile_function(pending.inner, sink);
+        self.trace = trace;
+        result
+    }
+
+    fn convert_str_with(
+        &mut self,
+        source: &str,
+        sink: &mut dyn TraceSink,
+    ) -> Result<Vec<PendingFunction>, CompileError> {
         let sp = sink.span_begin("Preliminary", "(read+convert)");
         let forms = read_all_str(source, &mut self.interner)?;
         let mut fe = Frontend::new(&mut self.interner);
@@ -180,11 +260,10 @@ impl Compiler {
             self.globals
                 .push((name.as_str().to_string(), Value::from_datum(&init)));
         }
-        let mut names = Vec::new();
-        for f in fns {
-            names.push(self.compile_function(f, sink)?);
-        }
-        Ok(names)
+        Ok(fns
+            .into_iter()
+            .map(|inner| PendingFunction { inner })
+            .collect())
     }
 
     /// Runs one converted function through the whole Table 1 pipeline:
@@ -448,6 +527,80 @@ impl Compiler {
             tn_map,
             assembly,
             traced,
+        })
+    }
+
+    /// A fingerprint of every switch that can change emitted code: the
+    /// source-level optimization options (except `trace`, which only
+    /// affects logging), CSE, the code-generation options, and branch
+    /// tensioning.  Mixed with a tree fingerprint this keys the
+    /// compilation service's artifact cache, so two compilers produce
+    /// the same key exactly when they would produce the same artifact
+    /// for the same converted tree.
+    pub fn options_fingerprint(&self) -> u64 {
+        let o = &self.opt_options;
+        let g = &self.codegen_options;
+        let canonical = format!(
+            "opt:{}{}{}{}{}{}{}{}{}{} rounds:{} cse:{} cg:{}{}{}{}{}{} tension:{}",
+            u8::from(o.call_lambda),
+            u8::from(o.unused_args),
+            u8::from(o.substitution),
+            u8::from(o.if_distribution),
+            u8::from(o.if_simplify),
+            u8::from(o.if_lift),
+            u8::from(o.constant_fold),
+            u8::from(o.assoc_commut),
+            u8::from(o.sin_to_cycles),
+            u8::from(o.unroll),
+            o.max_rounds,
+            u8::from(self.cse),
+            u8::from(g.tail_calls),
+            u8::from(g.pdl_numbers),
+            u8::from(g.cache_specials),
+            u8::from(g.register_allocation),
+            u8::from(g.representation_analysis),
+            u8::from(g.backtracking_pack),
+            u8::from(self.tension_branches),
+        );
+        s1lisp_ast::fnv1a_str(&canonical)
+    }
+
+    /// The detached, thread-safe [`Artifact`] for a compiled function:
+    /// the dossier's sections as plain data plus the rendered dossier
+    /// itself.  Its `fingerprint` is left `0` — the service fills in the
+    /// cache key.  Returns `None` if the function was never compiled by
+    /// this compiler.
+    pub fn artifact(&self, name: &str) -> Option<Artifact> {
+        let f = self.function(name)?;
+        let d = self.explain(name)?;
+        let insns = self
+            .program
+            .lookup_fn(name)
+            .and_then(|id| self.program.func(id))
+            .map_or(0, |code| code.insns.len() as u64);
+        Some(Artifact {
+            name: f.name.clone(),
+            fingerprint: 0,
+            converted: f.converted.clone(),
+            optimized: f.optimized.clone(),
+            transformations: f.transformations as u64,
+            rules: f
+                .transcript
+                .rule_histogram()
+                .into_iter()
+                .map(|(r, n)| (r.to_string(), n))
+                .collect(),
+            phase_spans: d
+                .phases
+                .iter()
+                .map(|p| (p.phase.to_string(), p.spans))
+                .collect(),
+            tn_map: d.tn_map.clone(),
+            coercions: d.coercions.clone(),
+            assembly: d.assembly.clone(),
+            insns,
+            dossier: d.render(false),
+            degraded: false,
         })
     }
 
@@ -791,6 +944,87 @@ mod trace_tests {
         assert!(report.contains("Code generation"), "{report}");
         assert!(report.contains("insns_emitted"), "{report}");
         assert!(report.contains(";****"), "{report}");
+    }
+}
+
+#[cfg(test)]
+mod artifact_tests {
+    use super::*;
+
+    const SRC: &str = "(defun norm (x y) (let ((s (+$f (*$f x x) (*$f y y)))) (sqrt$f s)))
+         (defun fib (n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))";
+
+    #[test]
+    fn convert_then_compile_matches_compile_str() {
+        let mut split = Compiler::new();
+        split.enable_trace();
+        let pending = split.convert_str(SRC).unwrap();
+        assert_eq!(pending.len(), 2);
+        assert_eq!(pending[0].name(), "norm");
+        assert!(pending[0].tree_fingerprint() != pending[1].tree_fingerprint());
+        for p in pending {
+            split.compile_pending(p).unwrap();
+        }
+        let mut whole = Compiler::new();
+        whole.enable_trace();
+        whole.compile_str(SRC).unwrap();
+        for name in ["norm", "fib"] {
+            assert_eq!(
+                split.disassemble(name).unwrap(),
+                whole.disassemble(name).unwrap()
+            );
+            assert_eq!(
+                split.explain(name).unwrap().render(false),
+                whole.explain(name).unwrap().render(false)
+            );
+        }
+    }
+
+    #[test]
+    fn tree_fingerprints_are_stable_across_compilers() {
+        let src = "(defun sq (x) (* x x))";
+        let mut a = Compiler::new();
+        let mut b = Compiler::new();
+        // b's interner has seen other spellings first.
+        b.compile_str("(defun other (y z) (+ y z))").unwrap();
+        let fa = a.convert_str(src).unwrap()[0].tree_fingerprint();
+        let fb = b.convert_str(src).unwrap()[0].tree_fingerprint();
+        assert_eq!(fa, fb);
+    }
+
+    #[test]
+    fn options_fingerprint_tracks_code_shaping_switches() {
+        let base = Compiler::new().options_fingerprint();
+        assert_eq!(base, Compiler::new().options_fingerprint());
+        assert_ne!(base, Compiler::unoptimized().options_fingerprint());
+        let mut c = Compiler::new();
+        c.cse = true;
+        assert_ne!(base, c.options_fingerprint());
+        let mut c = Compiler::new();
+        c.tension_branches = false;
+        assert_ne!(base, c.options_fingerprint());
+        // The optimizer's trace flag does not shape code.
+        let mut c = Compiler::new();
+        c.opt_options.trace = true;
+        assert_eq!(base, c.options_fingerprint());
+    }
+
+    #[test]
+    fn artifact_round_trips_and_carries_the_dossier() {
+        let mut c = Compiler::new();
+        c.enable_trace();
+        c.compile_str(SRC).unwrap();
+        let a = c.artifact("norm").unwrap();
+        assert_eq!(a.name, "norm");
+        assert!(a.insns > 0);
+        assert_eq!(a.assembly, c.disassemble("norm").unwrap());
+        assert_eq!(a.dossier, c.explain("norm").unwrap().render(false));
+        assert!(a.phase_spans.iter().any(|(p, _)| p == "Code generation"));
+        assert!(!a.degraded);
+        let text = a.to_json().to_string();
+        let back = Artifact::from_json(&s1lisp_trace::json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, a);
+        assert!(c.artifact("nonesuch").is_none());
     }
 }
 

@@ -1,0 +1,231 @@
+//! The content-addressed artifact cache.
+//!
+//! Two tiers.  The in-memory tier is an LRU map from cache key to
+//! [`Artifact`], bounded by `capacity`; the optional on-disk tier
+//! serializes each artifact to `<dir>/<key as 16 hex digits>.json` via
+//! the `s1lisp-trace` JSON layer, so a cold process (or a second
+//! service) can reuse a previous run's work.  Disk reads that fail to
+//! parse — truncated writes, hand-edited files, version skew — are
+//! treated as misses, never as errors.
+//!
+//! All methods take `&self`: the cache is shared across worker threads
+//! behind one mutex (held only for map bookkeeping, never during
+//! compilation or disk I/O on the read path's miss side).
+
+use std::collections::{HashMap, VecDeque};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use s1lisp::Artifact;
+use s1lisp_trace::json;
+
+/// Monotonic counters describing cache traffic.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from either tier.
+    pub hits: u64,
+    /// Lookups answered by neither tier.
+    pub misses: u64,
+    /// In-memory entries dropped to respect the capacity bound.
+    pub evictions: u64,
+    /// The subset of `hits` that came from the disk tier.
+    pub disk_hits: u64,
+}
+
+impl CacheStats {
+    /// Counter-wise difference (`self - earlier`), for per-batch deltas.
+    #[must_use]
+    pub fn since(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+            evictions: self.evictions - earlier.evictions,
+            disk_hits: self.disk_hits - earlier.disk_hits,
+        }
+    }
+}
+
+struct Tier {
+    map: HashMap<u64, Artifact>,
+    /// Keys from least- to most-recently used.
+    order: VecDeque<u64>,
+}
+
+/// The two-tier cache.  See the module docs.
+pub struct ArtifactCache {
+    capacity: usize,
+    dir: Option<PathBuf>,
+    mem: Mutex<Tier>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    disk_hits: AtomicU64,
+}
+
+impl ArtifactCache {
+    /// A cache bounded at `capacity` in-memory entries, with an on-disk
+    /// tier under `dir` when given (the directory is created eagerly;
+    /// creation failure silently disables the disk tier rather than
+    /// failing compilation).
+    pub fn new(capacity: usize, dir: Option<PathBuf>) -> ArtifactCache {
+        let dir = dir.filter(|d| std::fs::create_dir_all(d).is_ok());
+        ArtifactCache {
+            capacity: capacity.max(1),
+            dir,
+            mem: Mutex::new(Tier {
+                map: HashMap::new(),
+                order: VecDeque::new(),
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            disk_hits: AtomicU64::new(0),
+        }
+    }
+
+    fn disk_path(&self, key: u64) -> Option<PathBuf> {
+        self.dir
+            .as_ref()
+            .map(|d| d.join(format!("{key:016x}.json")))
+    }
+
+    /// Looks `key` up in memory, then on disk.  A memory hit refreshes
+    /// recency; a disk hit is promoted into the memory tier.
+    pub fn get(&self, key: u64) -> Option<Artifact> {
+        {
+            let mut tier = self.mem.lock().expect("cache lock");
+            if let Some(a) = tier.map.get(&key).cloned() {
+                tier.order.retain(|&k| k != key);
+                tier.order.push_back(key);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Some(a);
+            }
+        }
+        if let Some(a) = self.disk_get(key) {
+            self.insert_mem(key, a.clone());
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.disk_hits.fetch_add(1, Ordering::Relaxed);
+            return Some(a);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    fn disk_get(&self, key: u64) -> Option<Artifact> {
+        let path = self.disk_path(key)?;
+        let text = std::fs::read_to_string(path).ok()?;
+        let parsed = json::parse(&text).ok()?;
+        Artifact::from_json(&parsed)
+    }
+
+    /// Stores a clean artifact under `key` in both tiers.
+    pub fn put(&self, key: u64, artifact: &Artifact) {
+        self.insert_mem(key, artifact.clone());
+        if let Some(path) = self.disk_path(key) {
+            // Temp-then-rename keeps a concurrent reader (or a second
+            // process warming from the same directory) from ever seeing
+            // a half-written entry.
+            let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+            if std::fs::write(&tmp, artifact.to_json().to_string()).is_ok() {
+                let _ = std::fs::rename(&tmp, &path);
+            }
+        }
+    }
+
+    fn insert_mem(&self, key: u64, artifact: Artifact) {
+        let mut tier = self.mem.lock().expect("cache lock");
+        if tier.map.insert(key, artifact).is_none() {
+            tier.order.push_back(key);
+        } else {
+            tier.order.retain(|&k| k != key);
+            tier.order.push_back(key);
+        }
+        while tier.map.len() > self.capacity {
+            if let Some(old) = tier.order.pop_front() {
+                tier.map.remove(&old);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Number of in-memory entries.
+    pub fn len(&self) -> usize {
+        self.mem.lock().expect("cache lock").map.len()
+    }
+
+    /// True when the memory tier is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A snapshot of the traffic counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn art(name: &str) -> Artifact {
+        Artifact {
+            name: name.into(),
+            fingerprint: 1,
+            converted: "(lambda () 'nil)".into(),
+            optimized: "(lambda () 'nil)".into(),
+            transformations: 0,
+            rules: Vec::new(),
+            phase_spans: vec![("Code generation".into(), 1)],
+            tn_map: Vec::new(),
+            coercions: Vec::new(),
+            assembly: "(RET)".into(),
+            insns: 1,
+            dossier: format!("dossier for {name}"),
+            degraded: false,
+        }
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_entry() {
+        let cache = ArtifactCache::new(2, None);
+        cache.put(1, &art("a"));
+        cache.put(2, &art("b"));
+        assert!(cache.get(1).is_some()); // refresh 1; 2 is now coldest
+        cache.put(3, &art("c"));
+        assert!(cache.get(2).is_none());
+        assert!(cache.get(1).is_some());
+        assert!(cache.get(3).is_some());
+        let s = cache.stats();
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.hits, 3);
+    }
+
+    #[test]
+    fn disk_tier_round_trips_and_survives_corruption() {
+        let dir = std::env::temp_dir().join(format!("s1lisp-cache-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let cache = ArtifactCache::new(4, Some(dir.clone()));
+            cache.put(7, &art("seven"));
+        }
+        // A fresh cache (cold memory) warms from disk.
+        let cache = ArtifactCache::new(4, Some(dir.clone()));
+        let got = cache.get(7).expect("disk hit");
+        assert_eq!(got.name, "seven");
+        assert_eq!(cache.stats().disk_hits, 1);
+        // Corrupt entries degrade to misses.
+        std::fs::write(dir.join(format!("{:016x}.json", 9u64)), "{not json").unwrap();
+        let fresh = ArtifactCache::new(4, Some(dir.clone()));
+        assert!(fresh.get(9).is_none());
+        assert_eq!(fresh.stats().misses, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,139 @@
+//! The parallel compilation service.
+//!
+//! The paper's compiler (§4, Table 1) runs its phase pipeline one
+//! function at a time; this crate lifts that per-function pipeline into
+//! a batch service without touching phase semantics:
+//!
+//! * **Fan-out** — a [`CompileService`] splits compilation units into
+//!   hermetic per-function jobs and runs them on `jobs` worker threads
+//!   (`std::thread` + `mpsc`; `jobs = 1` degenerates to the serial path
+//!   on the caller's thread).
+//! * **Memoization** — an [`ArtifactCache`] keyed by the converted
+//!   tree's structural fingerprint mixed with an option fingerprint;
+//!   LRU in memory, optionally persisted to disk as JSON.  A cache hit
+//!   skips every phase after Preliminary.
+//! * **Robustness** — per-function panic isolation (`catch_unwind`), an
+//!   optional per-function time budget with a watchdog thread, and
+//!   graceful degradation: a function whose pipeline panics or runs
+//!   over budget is recompiled with transformations off and the fault
+//!   is recorded as an [`Incident`].
+//! * **Observability** — cache hit/miss/evict counters, queue depth,
+//!   per-worker and per-phase totals, one [`JobRecord`] per function,
+//!   all serializable for `report --json service`.
+//!
+//! ```
+//! use s1lisp_driver::{CompileService, ServiceConfig, SourceUnit};
+//!
+//! let service = CompileService::new(ServiceConfig::with_jobs(4));
+//! let units = [SourceUnit::new("demo", "(defun sq (x) (* x x))")];
+//! let batch = service.compile_batch(&units);
+//! assert_eq!(batch.artifacts.len(), 1);
+//! assert!(batch.artifact("sq").unwrap().assembly.contains("RET"));
+//! // Recompiling the same unit is pure cache traffic.
+//! let again = service.compile_batch(&units);
+//! assert_eq!(again.hit_rate_percent(), 100);
+//! ```
+
+#![warn(missing_docs)]
+
+mod cache;
+mod service;
+
+pub use cache::{ArtifactCache, CacheStats};
+pub use service::{
+    BatchResult, BatchStats, CompileService, Incident, IncidentKind, JobRecord, Outcome,
+    WorkerStats,
+};
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// One compilation unit: a named batch of top-level forms.
+#[derive(Clone, Debug)]
+pub struct SourceUnit {
+    /// A label for reports (a file name, an experiment id, …).
+    pub name: String,
+    /// The top-level forms (`defun`/`defvar`/`proclaim`).
+    pub source: String,
+}
+
+impl SourceUnit {
+    /// Builds a unit from anything string-like.
+    pub fn new(name: impl Into<String>, source: impl Into<String>) -> SourceUnit {
+        SourceUnit {
+            name: name.into(),
+            source: source.into(),
+        }
+    }
+}
+
+/// Where and how to force a pipeline fault (test/demo hook for the
+/// degradation machinery).
+#[derive(Clone, Debug)]
+pub struct FaultInjection {
+    /// The function whose compilation should fault.
+    pub function: String,
+    /// Panic, or stall (to trip the time budget).
+    pub mode: FaultMode,
+}
+
+/// The kind of injected fault.
+#[derive(Clone, Copy, Debug)]
+pub enum FaultMode {
+    /// Panic between conversion and compilation, as an optimizer bug
+    /// would.
+    Panic,
+    /// Sleep this long first, so a per-function time budget expires.
+    Hang(Duration),
+}
+
+/// Service configuration.  The compiler options mirror the fields of
+/// [`s1lisp::Compiler`] and participate in the cache key; the rest
+/// shape scheduling and robustness.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Worker threads (`1` = serial on the caller's thread).
+    pub jobs: usize,
+    /// Source-level optimization switches for every job.
+    pub opt_options: s1lisp::OptOptions,
+    /// Whether jobs run the CSE phase.
+    pub cse: bool,
+    /// Code-generation switches for every job.
+    pub codegen_options: s1lisp::CodegenOptions,
+    /// Whether jobs run branch tensioning.
+    pub tension_branches: bool,
+    /// Per-function wall-clock budget; `None` disables the watchdog.
+    pub time_budget: Option<Duration>,
+    /// In-memory cache entries to keep (LRU beyond this).
+    pub cache_capacity: usize,
+    /// Directory for the persistent cache tier; `None` disables it.
+    pub cache_dir: Option<PathBuf>,
+    /// Forced fault, for exercising the degraded path.
+    pub fault: Option<FaultInjection>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> ServiceConfig {
+        ServiceConfig {
+            jobs: 1,
+            opt_options: s1lisp::OptOptions::default(),
+            cse: false,
+            codegen_options: s1lisp::CodegenOptions::default(),
+            tension_branches: true,
+            time_budget: None,
+            cache_capacity: 512,
+            cache_dir: None,
+            fault: None,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// The default configuration at a given worker count.
+    pub fn with_jobs(jobs: usize) -> ServiceConfig {
+        ServiceConfig {
+            jobs,
+            ..ServiceConfig::default()
+        }
+    }
+}

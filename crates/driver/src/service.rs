@@ -1,0 +1,797 @@
+//! Batch compilation: unit splitting, the worker pool, fault handling,
+//! and result assembly.
+//!
+//! # Determinism
+//!
+//! Each job is *hermetic*: the worker receives the printed `defun` form,
+//! the specials proclaimed before it in its unit, and the option set —
+//! nothing else — and builds a private [`Compiler`] around them.  A
+//! function's artifact therefore depends only on `(form, specials,
+//! options)`, never on which worker ran it, in what order, or what else
+//! was in the batch; results are reassembled in source order.  This is
+//! also why the cache key is sound: the fingerprint covers exactly the
+//! inputs the job can observe.
+//!
+//! One visible consequence: generated names (`or%3`, loop tags) restart
+//! per function instead of counting across a whole
+//! [`Compiler::compile_str`] unit, so service output can differ
+//! cosmetically from the classic serial path in multi-`defun` units.
+//! The pinned contract is jobs-invariance — `jobs = 1`, `2` and `8`
+//! byte-identical — not equality with `compile_str`.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{mpsc, Mutex};
+use std::time::Instant;
+
+use s1lisp::{Artifact, Compiler};
+use s1lisp_ast::Fnv1a64;
+use s1lisp_reader::{read_all_str, Datum, Interner};
+use s1lisp_trace::json::Json;
+
+use crate::cache::{ArtifactCache, CacheStats};
+use crate::{FaultMode, ServiceConfig, SourceUnit};
+
+/// One function's worth of work: everything a worker needs, as plain
+/// data that crosses threads freely.
+#[derive(Clone, Debug)]
+struct Job {
+    seq: usize,
+    unit: String,
+    fn_name: String,
+    /// The printed `defun` form (print∘read is the identity for the
+    /// reader, pinned by property test).
+    form: String,
+    /// Special variables proclaimed (or `defvar`ed) before this form in
+    /// its unit, in order.
+    specials: Vec<String>,
+}
+
+/// How one job was resolved.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// Served from the artifact cache; only the Preliminary phase ran.
+    Hit,
+    /// Compiled through the full pipeline and cached.
+    Compiled,
+    /// Recompiled with transformations off after a panic or timeout.
+    Degraded,
+    /// No artifact: the function failed to convert or compile (and, if
+    /// it panicked or timed out first, the degraded retry failed too).
+    Failed,
+}
+
+impl Outcome {
+    /// Lower-case label for reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Outcome::Hit => "hit",
+            Outcome::Compiled => "compiled",
+            Outcome::Degraded => "degraded",
+            Outcome::Failed => "failed",
+        }
+    }
+}
+
+/// What went wrong before a degraded recompile.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IncidentKind {
+    /// The pipeline panicked.
+    Panic,
+    /// The pipeline exceeded the per-function time budget.
+    Timeout,
+}
+
+impl IncidentKind {
+    /// Lower-case label for reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            IncidentKind::Panic => "panic",
+            IncidentKind::Timeout => "timeout",
+        }
+    }
+}
+
+/// A recorded pipeline fault: one function panicked or ran over budget,
+/// the batch carried on, and a degraded recompile was attempted.
+#[derive(Clone, Debug)]
+pub struct Incident {
+    /// The function whose compilation faulted.
+    pub function: String,
+    /// The compilation unit it came from.
+    pub unit: String,
+    /// Panic or timeout.
+    pub kind: IncidentKind,
+    /// The panic message, or a description of the budget overrun.
+    pub detail: String,
+    /// True when the degraded recompile produced an artifact.
+    pub recovered: bool,
+}
+
+/// Telemetry for one job: who ran it, how it resolved, and which phases
+/// it went through (phase name, spans, wall microseconds).
+#[derive(Clone, Debug)]
+pub struct JobRecord {
+    /// Source-order index across the whole batch.
+    pub seq: usize,
+    /// The compilation unit.
+    pub unit: String,
+    /// The function name.
+    pub function: String,
+    /// Which worker ran the job (scheduling-dependent).
+    pub worker: usize,
+    /// How the job resolved.
+    pub outcome: Outcome,
+    /// Wall time the worker spent on the job, in microseconds.
+    pub wall_us: u64,
+    /// Phase spans recorded while resolving the job.  On a cache hit
+    /// this is the Preliminary phase alone — the pinned evidence that
+    /// hits skip every downstream phase.
+    pub phase_spans: Vec<(String, u64, u64)>,
+}
+
+/// Per-worker totals.
+#[derive(Clone, Debug)]
+pub struct WorkerStats {
+    /// Worker index, `0..workers_used`.
+    pub worker: usize,
+    /// Jobs this worker resolved.
+    pub jobs: u64,
+    /// Total wall time across its jobs, in microseconds.
+    pub wall_us: u64,
+}
+
+/// Batch-level telemetry.
+#[derive(Clone, Debug)]
+pub struct BatchStats {
+    /// Worker threads actually used (≤ the configured `jobs`).
+    pub workers_used: usize,
+    /// Functions fanned out.
+    pub functions: usize,
+    /// Cache traffic caused by this batch.
+    pub cache: CacheStats,
+    /// Jobs enqueued at the start (the queue only drains).
+    pub queue_peak: usize,
+    /// Per-worker totals, by worker index.
+    pub workers: Vec<WorkerStats>,
+    /// Phase spans merged across every job: (phase, spans, wall
+    /// microseconds), in first-seen source order.
+    pub phase_totals: Vec<(String, u64, u64)>,
+}
+
+/// Everything a batch compile produced.
+#[derive(Clone, Debug)]
+pub struct BatchResult {
+    /// Artifacts in source order (degraded ones included, marked).
+    pub artifacts: Vec<Artifact>,
+    /// One record per job, in source order.
+    pub records: Vec<JobRecord>,
+    /// Pipeline faults, in source order.
+    pub incidents: Vec<Incident>,
+    /// Failures as `(scope, message)`, where scope is `unit <name>` for
+    /// split failures and the function name for per-job ones.
+    pub failures: Vec<(String, String)>,
+    /// `defvar` globals seen while splitting: (name, printed initial
+    /// value).
+    pub globals: Vec<(String, String)>,
+    /// Batch telemetry.
+    pub stats: BatchStats,
+}
+
+impl BatchResult {
+    /// The artifact for `name`, if the batch produced one (last
+    /// definition wins, as in [`Compiler::function`]).
+    pub fn artifact(&self, name: &str) -> Option<&Artifact> {
+        self.artifacts.iter().rev().find(|a| a.name == name)
+    }
+
+    /// Every dossier, concatenated in source order — the byte-stable
+    /// rendering the determinism tests pin across `jobs` settings.
+    pub fn render_artifacts(&self) -> String {
+        let mut out = String::new();
+        for a in &self.artifacts {
+            out.push_str(&a.dossier);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Cache hits as a percentage of functions, rounded down (100 ⇔
+    /// every job was served from cache).
+    pub fn hit_rate_percent(&self) -> u64 {
+        if self.stats.functions == 0 {
+            return 0;
+        }
+        self.stats.cache.hits * 100 / self.stats.functions as u64
+    }
+
+    /// The machine-readable form behind `report --json service`.
+    pub fn to_json(&self) -> Json {
+        let obj = |fields: Vec<(&str, Json)>| {
+            Json::Obj(
+                fields
+                    .into_iter()
+                    .map(|(k, v)| (k.to_string(), v))
+                    .collect(),
+            )
+        };
+        let cache = obj(vec![
+            ("hits", Json::uint(self.stats.cache.hits)),
+            ("misses", Json::uint(self.stats.cache.misses)),
+            ("evictions", Json::uint(self.stats.cache.evictions)),
+            ("disk_hits", Json::uint(self.stats.cache.disk_hits)),
+        ]);
+        let workers = self
+            .stats
+            .workers
+            .iter()
+            .map(|w| {
+                obj(vec![
+                    ("worker", Json::uint(w.worker as u64)),
+                    ("jobs", Json::uint(w.jobs)),
+                    ("wall_us", Json::uint(w.wall_us)),
+                ])
+            })
+            .collect();
+        let phases = self
+            .stats
+            .phase_totals
+            .iter()
+            .map(|(phase, spans, wall)| {
+                obj(vec![
+                    ("phase", Json::str(phase)),
+                    ("spans", Json::uint(*spans)),
+                    ("wall_us", Json::uint(*wall)),
+                ])
+            })
+            .collect();
+        let records = self
+            .records
+            .iter()
+            .map(|r| {
+                obj(vec![
+                    ("seq", Json::uint(r.seq as u64)),
+                    ("unit", Json::str(&r.unit)),
+                    ("function", Json::str(&r.function)),
+                    ("worker", Json::uint(r.worker as u64)),
+                    ("outcome", Json::str(r.outcome.as_str())),
+                    ("wall_us", Json::uint(r.wall_us)),
+                    (
+                        "phase_spans",
+                        Json::Map(
+                            r.phase_spans
+                                .iter()
+                                .map(|(p, spans, _)| (p.clone(), Json::uint(*spans)))
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect();
+        let incidents = self
+            .incidents
+            .iter()
+            .map(|i| {
+                obj(vec![
+                    ("function", Json::str(&i.function)),
+                    ("unit", Json::str(&i.unit)),
+                    ("kind", Json::str(i.kind.as_str())),
+                    ("detail", Json::str(&i.detail)),
+                    ("recovered", Json::Bool(i.recovered)),
+                ])
+            })
+            .collect();
+        let failures = self
+            .failures
+            .iter()
+            .map(|(scope, error)| {
+                obj(vec![
+                    ("scope", Json::str(scope)),
+                    ("error", Json::str(error)),
+                ])
+            })
+            .collect();
+        let globals = self
+            .globals
+            .iter()
+            .map(|(name, init)| obj(vec![("name", Json::str(name)), ("init", Json::str(init))]))
+            .collect();
+        let artifacts = self.artifacts.iter().map(Artifact::to_json).collect();
+        obj(vec![
+            ("workers_used", Json::uint(self.stats.workers_used as u64)),
+            ("functions", Json::uint(self.stats.functions as u64)),
+            ("hit_rate_percent", Json::uint(self.hit_rate_percent())),
+            ("queue_peak", Json::uint(self.stats.queue_peak as u64)),
+            ("cache", cache),
+            ("workers", Json::Arr(workers)),
+            ("phases", Json::Arr(phases)),
+            ("records", Json::Arr(records)),
+            ("incidents", Json::Arr(incidents)),
+            ("failures", Json::Arr(failures)),
+            ("globals", Json::Arr(globals)),
+            ("artifacts", Json::Arr(artifacts)),
+        ])
+    }
+}
+
+/// The batch-compilation service: a worker pool over hermetic
+/// per-function jobs, in front of a content-addressed [`ArtifactCache`]
+/// that persists across [`CompileService::compile_batch`] calls.
+pub struct CompileService {
+    config: ServiceConfig,
+    cache: ArtifactCache,
+}
+
+/// The cache key: the converted tree's structural fingerprint mixed
+/// with the option fingerprint.
+fn cache_key(tree_fp: u64, options_fp: u64) -> u64 {
+    let mut h = Fnv1a64::new();
+    h.write_u64(tree_fp);
+    h.write_u64(options_fp);
+    h.finish()
+}
+
+/// A compiler configured for one job.  `degraded` switches every
+/// source-level transformation off (the recovery path after a fault).
+fn job_compiler(config: &ServiceConfig, specials: &[String], degraded: bool) -> Compiler {
+    let mut c = Compiler::new();
+    c.opt_options = if degraded {
+        s1lisp::OptOptions::none()
+    } else {
+        config.opt_options.clone()
+    };
+    c.cse = config.cse && !degraded;
+    c.codegen_options = config.codegen_options.clone();
+    c.tension_branches = config.tension_branches;
+    c.enable_trace();
+    for s in specials {
+        c.proclaim_special(s);
+    }
+    c
+}
+
+fn sink_phase_spans(c: &Compiler) -> Vec<(String, u64, u64)> {
+    c.trace().map_or_else(Vec::new, |sink| {
+        sink.phases()
+            .iter()
+            .map(|p| {
+                (
+                    p.phase.to_string(),
+                    p.spans,
+                    u64::try_from(p.wall.as_micros()).unwrap_or(u64::MAX),
+                )
+            })
+            .collect()
+    })
+}
+
+struct AttemptOk {
+    artifact: Artifact,
+    phase_spans: Vec<(String, u64, u64)>,
+}
+
+/// One self-contained compilation attempt: builds a private compiler,
+/// converts, (optionally) trips the injected fault, and compiles.
+/// Runs inline or on a watchdogged thread; owns no shared state.
+fn attempt(job: &Job, config: &ServiceConfig, degraded: bool) -> Result<AttemptOk, String> {
+    let mut c = job_compiler(config, &job.specials, degraded);
+    let mut pending = c.convert_str(&job.form).map_err(|e| e.to_string())?;
+    let Some(p) = pending.pop().filter(|_| pending.is_empty()) else {
+        return Err(format!(
+            "expected exactly one function in job {}",
+            job.fn_name
+        ));
+    };
+    if !degraded {
+        if let Some(fault) = config.fault.as_ref().filter(|f| f.function == job.fn_name) {
+            match fault.mode {
+                FaultMode::Panic => {
+                    panic!("injected optimizer fault in {}", job.fn_name)
+                }
+                FaultMode::Hang(d) => std::thread::sleep(d),
+            }
+        }
+    }
+    let name = c.compile_pending(p).map_err(|e| e.to_string())?;
+    let mut artifact = c
+        .artifact(&name)
+        .ok_or_else(|| format!("no artifact for {name}"))?;
+    artifact.degraded = degraded;
+    Ok(AttemptOk {
+        artifact,
+        phase_spans: sink_phase_spans(&c),
+    })
+}
+
+enum AttemptOutcome {
+    Ok(Box<AttemptOk>),
+    CompileError(String),
+    Panicked(String),
+    TimedOut,
+}
+
+fn panic_detail(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+/// Runs an attempt with panic isolation, and — when a time budget is
+/// configured — under a watchdog: the attempt runs on its own thread
+/// and the worker waits at most the budget.  A thread that runs over
+/// is abandoned (threads cannot be killed); it owns only job-local
+/// state, so the leak is bounded by process exit.
+fn guarded_attempt(job: &Job, config: &ServiceConfig, degraded: bool) -> AttemptOutcome {
+    match config.time_budget {
+        None => match catch_unwind(AssertUnwindSafe(|| attempt(job, config, degraded))) {
+            Ok(Ok(ok)) => AttemptOutcome::Ok(Box::new(ok)),
+            Ok(Err(e)) => AttemptOutcome::CompileError(e),
+            Err(payload) => AttemptOutcome::Panicked(panic_detail(payload.as_ref())),
+        },
+        Some(budget) => {
+            let (tx, rx) = mpsc::channel();
+            let job = job.clone();
+            let config = config.clone();
+            let spawned = std::thread::Builder::new()
+                .name(format!("s1lisp-attempt-{}", job.fn_name))
+                .spawn(move || {
+                    let r = catch_unwind(AssertUnwindSafe(|| attempt(&job, &config, degraded)))
+                        .map_err(|p| panic_detail(p.as_ref()));
+                    let _ = tx.send(r);
+                });
+            if spawned.is_err() {
+                return AttemptOutcome::CompileError("could not spawn attempt thread".into());
+            }
+            match rx.recv_timeout(budget) {
+                Ok(Ok(Ok(ok))) => AttemptOutcome::Ok(Box::new(ok)),
+                Ok(Ok(Err(e))) => AttemptOutcome::CompileError(e),
+                Ok(Err(detail)) => AttemptOutcome::Panicked(detail),
+                Err(mpsc::RecvTimeoutError::Timeout) => AttemptOutcome::TimedOut,
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    AttemptOutcome::Panicked("attempt thread died without reporting".into())
+                }
+            }
+        }
+    }
+}
+
+struct JobResult {
+    record: JobRecord,
+    artifact: Option<Artifact>,
+    incident: Option<Incident>,
+    failure: Option<(String, String)>,
+}
+
+/// Resolves one job end to end: probe the cache, compile on a miss,
+/// degrade on a fault.
+fn process_job(
+    job: &Job,
+    config: &ServiceConfig,
+    cache: &ArtifactCache,
+    worker: usize,
+) -> JobResult {
+    let start = Instant::now();
+    let mut incident = None;
+    let mut failure = None;
+    let phase_spans;
+    // The cache probe needs the converted tree; conversion is the
+    // Preliminary phase and never optimizes, so it runs outside the
+    // fault/budget guard.
+    let mut probe = job_compiler(config, &job.specials, false);
+    let key = match probe.convert_str(&job.form) {
+        Ok(pending) if pending.len() == 1 => {
+            cache_key(pending[0].tree_fingerprint(), probe.options_fingerprint())
+        }
+        Ok(_) => 0,
+        Err(e) => {
+            return JobResult {
+                record: JobRecord {
+                    seq: job.seq,
+                    unit: job.unit.clone(),
+                    function: job.fn_name.clone(),
+                    worker,
+                    outcome: Outcome::Failed,
+                    wall_us: elapsed_us(start),
+                    phase_spans: sink_phase_spans(&probe),
+                },
+                artifact: None,
+                incident: None,
+                failure: Some((job.fn_name.clone(), e.to_string())),
+            }
+        }
+    };
+    let (outcome, artifact) = if let Some(mut hit) = cache.get(key) {
+        hit.fingerprint = key;
+        phase_spans = sink_phase_spans(&probe);
+        (Outcome::Hit, Some(hit))
+    } else {
+        match guarded_attempt(job, config, false) {
+            AttemptOutcome::Ok(mut ok) => {
+                ok.artifact.fingerprint = key;
+                cache.put(key, &ok.artifact);
+                phase_spans = ok.phase_spans;
+                (Outcome::Compiled, Some(ok.artifact))
+            }
+            AttemptOutcome::CompileError(e) => {
+                failure = Some((job.fn_name.clone(), e));
+                phase_spans = Vec::new();
+                (Outcome::Failed, None)
+            }
+            faulted => {
+                let kind = match faulted {
+                    AttemptOutcome::TimedOut => IncidentKind::Timeout,
+                    _ => IncidentKind::Panic,
+                };
+                let detail = match faulted {
+                    AttemptOutcome::Panicked(d) => d,
+                    _ => format!(
+                        "exceeded the {:?} per-function budget",
+                        config.time_budget.unwrap_or_default()
+                    ),
+                };
+                // Graceful degradation: transformations off, no fault
+                // injection, panic-isolated.  Degraded artifacts are
+                // never cached — the cache holds only clean output.
+                let retry = catch_unwind(AssertUnwindSafe(|| attempt(job, config, true)));
+                let (outcome, artifact, recovered) = match retry {
+                    Ok(Ok(mut ok)) => {
+                        ok.artifact.fingerprint = key;
+                        phase_spans = ok.phase_spans;
+                        (Outcome::Degraded, Some(ok.artifact), true)
+                    }
+                    Ok(Err(e)) => {
+                        failure = Some((job.fn_name.clone(), e));
+                        phase_spans = Vec::new();
+                        (Outcome::Failed, None, false)
+                    }
+                    Err(payload) => {
+                        failure = Some((job.fn_name.clone(), panic_detail(payload.as_ref())));
+                        phase_spans = Vec::new();
+                        (Outcome::Failed, None, false)
+                    }
+                };
+                incident = Some(Incident {
+                    function: job.fn_name.clone(),
+                    unit: job.unit.clone(),
+                    kind,
+                    detail,
+                    recovered,
+                });
+                (outcome, artifact)
+            }
+        }
+    };
+    JobResult {
+        record: JobRecord {
+            seq: job.seq,
+            unit: job.unit.clone(),
+            function: job.fn_name.clone(),
+            worker,
+            outcome,
+            wall_us: elapsed_us(start),
+            phase_spans,
+        },
+        artifact,
+        incident,
+        failure,
+    }
+}
+
+fn elapsed_us(start: Instant) -> u64 {
+    u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
+fn worker_loop(
+    worker: usize,
+    queue: &Mutex<VecDeque<Job>>,
+    config: &ServiceConfig,
+    cache: &ArtifactCache,
+    tx: &mpsc::Sender<JobResult>,
+) {
+    loop {
+        let job = queue.lock().expect("job queue lock").pop_front();
+        let Some(job) = job else { break };
+        let result = process_job(&job, config, cache, worker);
+        if tx.send(result).is_err() {
+            break;
+        }
+    }
+}
+
+impl CompileService {
+    /// A service over a fresh cache.
+    pub fn new(config: ServiceConfig) -> CompileService {
+        let cache = ArtifactCache::new(config.cache_capacity, config.cache_dir.clone());
+        CompileService { config, cache }
+    }
+
+    /// The configuration this service was built with.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// Lifetime cache traffic (across every batch this service ran).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Splits `units` into per-function jobs, fans them across the
+    /// worker pool, and reassembles results in source order.  The cache
+    /// is consulted per function and persists across calls, so
+    /// recompiling an unchanged batch is pure cache traffic.
+    ///
+    /// Unlike [`Compiler::compile_str`], failures are isolated: a
+    /// function that fails to convert, compile, or recover is recorded
+    /// in [`BatchResult::failures`] while the rest of the batch
+    /// completes.
+    pub fn compile_batch(&self, units: &[SourceUnit]) -> BatchResult {
+        let before = self.cache.stats();
+        let mut jobs = Vec::new();
+        let mut globals = Vec::new();
+        let mut failures = Vec::new();
+        for unit in units {
+            match split_unit(unit, jobs.len()) {
+                Ok(split) => {
+                    jobs.extend(split.jobs);
+                    globals.extend(split.globals);
+                }
+                Err(e) => failures.push((format!("unit {}", unit.name), e)),
+            }
+        }
+        let functions = jobs.len();
+        let queue_peak = functions;
+        let workers_used = self.config.jobs.max(1).min(functions.max(1));
+        let queue = Mutex::new(jobs.into_iter().collect::<VecDeque<_>>());
+        let (tx, rx) = mpsc::channel();
+        if workers_used == 1 {
+            // The degenerate serial path: same worker loop, caller's
+            // thread, no pool.
+            worker_loop(0, &queue, &self.config, &self.cache, &tx);
+        } else {
+            std::thread::scope(|s| {
+                for worker in 0..workers_used {
+                    let tx = tx.clone();
+                    let queue = &queue;
+                    s.spawn(move || {
+                        worker_loop(worker, queue, &self.config, &self.cache, &tx);
+                    });
+                }
+            });
+        }
+        drop(tx);
+        let mut results: Vec<JobResult> = rx.into_iter().collect();
+        results.sort_by_key(|r| r.record.seq);
+
+        let mut workers: Vec<WorkerStats> = (0..workers_used)
+            .map(|worker| WorkerStats {
+                worker,
+                jobs: 0,
+                wall_us: 0,
+            })
+            .collect();
+        let mut phase_totals: Vec<(String, u64, u64)> = Vec::new();
+        let mut artifacts = Vec::new();
+        let mut records = Vec::new();
+        let mut incidents = Vec::new();
+        for r in results {
+            if let Some(w) = workers.get_mut(r.record.worker) {
+                w.jobs += 1;
+                w.wall_us += r.record.wall_us;
+            }
+            for (phase, spans, wall) in &r.record.phase_spans {
+                match phase_totals.iter_mut().find(|(p, _, _)| p == phase) {
+                    Some(slot) => {
+                        slot.1 += spans;
+                        slot.2 += wall;
+                    }
+                    None => phase_totals.push((phase.clone(), *spans, *wall)),
+                }
+            }
+            artifacts.extend(r.artifact);
+            incidents.extend(r.incident);
+            failures.extend(r.failure);
+            records.push(r.record);
+        }
+        BatchResult {
+            artifacts,
+            records,
+            incidents,
+            failures,
+            globals,
+            stats: BatchStats {
+                workers_used,
+                functions,
+                cache: self.cache.stats().since(&before),
+                queue_peak,
+                workers,
+                phase_totals,
+            },
+        }
+    }
+}
+
+struct SplitUnit {
+    jobs: Vec<Job>,
+    globals: Vec<(String, String)>,
+}
+
+/// Splits one unit into hermetic jobs, mirroring the top-level dispatch
+/// of `Frontend::convert_toplevel`: `defun`s become jobs; `proclaim`ed
+/// and `defvar`ed names accumulate into the specials every *subsequent*
+/// job carries; `defvar` constant initializers are recorded as globals.
+fn split_unit(unit: &SourceUnit, first_seq: usize) -> Result<SplitUnit, String> {
+    let mut interner = Interner::new();
+    let forms = read_all_str(&unit.source, &mut interner).map_err(|e| e.to_string())?;
+    let mut specials: Vec<String> = Vec::new();
+    let mut jobs = Vec::new();
+    let mut globals = Vec::new();
+    for form in &forms {
+        let head = form.car().and_then(|h| h.as_symbol().cloned());
+        match head.as_ref().map(|s| s.as_str()) {
+            Some("defun") => {
+                let fn_name = form
+                    .cdr()
+                    .and_then(|d| d.car())
+                    .and_then(|d| d.as_symbol().cloned())
+                    .ok_or("malformed defun")?;
+                jobs.push(Job {
+                    seq: first_seq + jobs.len(),
+                    unit: unit.name.clone(),
+                    fn_name: fn_name.as_str().to_string(),
+                    form: form.to_string(),
+                    specials: specials.clone(),
+                });
+            }
+            Some("defvar") => {
+                let rest = form.cdr().unwrap_or(Datum::Nil);
+                let name = rest
+                    .car()
+                    .and_then(|d| d.as_symbol().cloned())
+                    .ok_or("malformed defvar")?;
+                specials.push(name.as_str().to_string());
+                if let Some(init) = rest.cdr().and_then(|d| d.car()) {
+                    let constant = init.is_self_evaluating()
+                        || init.is_nil()
+                        || init.as_symbol().is_some_and(|s| s.as_str() == "t")
+                        || init
+                            .car()
+                            .and_then(|h| h.as_symbol().cloned())
+                            .is_some_and(|s| s.as_str() == "quote");
+                    if !constant {
+                        return Err(format!("defvar initializer must be a constant: {form}"));
+                    }
+                    globals.push((name.as_str().to_string(), init.to_string()));
+                }
+            }
+            Some("proclaim") => {
+                let spec = form
+                    .cdr()
+                    .and_then(|d| d.car())
+                    .and_then(|d| d.cdr()?.car())
+                    .ok_or("malformed proclaim")?;
+                let items = spec.proper_list().ok_or("malformed proclaim")?;
+                if items
+                    .first()
+                    .and_then(|h| h.as_symbol().map(|s| s.as_str()))
+                    == Some("special")
+                {
+                    for s in &items[1..] {
+                        if let Some(sym) = s.as_symbol() {
+                            specials.push(sym.as_str().to_string());
+                        }
+                    }
+                }
+            }
+            _ => {
+                return Err(format!(
+                    "unsupported top-level form (want defun/defvar/proclaim): {form}"
+                ))
+            }
+        }
+    }
+    Ok(SplitUnit { jobs, globals })
+}

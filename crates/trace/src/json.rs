@@ -40,6 +40,58 @@ impl Json {
     pub fn uint(n: u64) -> Json {
         Json::Int(i64::try_from(n).unwrap_or(i64::MAX))
     }
+
+    /// The value of a field, for [`Json::Obj`] and [`Json::Map`]
+    /// (first occurrence wins).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) | Json::Map(fields) => {
+                fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+            }
+            _ => None,
+        }
+    }
+
+    /// The string inside a [`Json::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The integer inside a [`Json::Int`].
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Json::Int(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The flag inside a [`Json::Bool`].
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The items inside a [`Json::Arr`].
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The key/value pairs of a [`Json::Obj`] or [`Json::Map`], in
+    /// serialization order.
+    pub fn entries(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(fields) | Json::Map(fields) => Some(fields),
+            _ => None,
+        }
+    }
 }
 
 fn escape(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
@@ -387,6 +439,24 @@ mod tests {
             ),
         ]);
         assert_eq!(schema(&v), schema(&v2));
+    }
+
+    #[test]
+    fn accessors_navigate_parsed_values() {
+        let v = parse(r#"{"name":"f","n":3,"ok":true,"xs":[1,2],"sub":{"k":9}}"#).unwrap();
+        assert_eq!(v.get("name").and_then(Json::as_str), Some("f"));
+        assert_eq!(v.get("n").and_then(Json::as_int), Some(3));
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(
+            v.get("xs").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(2)
+        );
+        let sub = v.get("sub").unwrap();
+        assert_eq!(sub.get("k").and_then(Json::as_int), Some(9));
+        assert_eq!(sub.entries().unwrap().len(), 1);
+        assert!(v.get("missing").is_none());
+        assert!(Json::Int(1).get("k").is_none());
+        assert!(Json::Str("s".into()).as_int().is_none());
     }
 
     #[test]

@@ -3,7 +3,8 @@
 //! the generated parenthesized assembly — the full Table 1 → Table 4
 //! journey — and the observability surfaces (phase telemetry, execution
 //! statistics, opcode profile, the per-function compilation dossier,
-//! and a trap post-mortem).
+//! a trap post-mortem, and the batch compilation service with its
+//! artifact cache and fault isolation).
 //!
 //! ```sh
 //! cargo run --example compiler_tour
@@ -110,4 +111,62 @@ fn main() {
     println!("fault site: {:?}\n", trap.site());
     let pm = crash.post_mortem.as_ref().expect("post-mortem captured");
     print!("{pm}");
+
+    // Scale out: the same pipeline as a batch service.  Compile a unit
+    // twice through one service — the second batch is answered entirely
+    // from the content-addressed artifact cache.
+    println!("\n=== the compilation service: batch compile, then a warm recompile ===\n");
+    use s1lisp_driver::{CompileService, FaultInjection, FaultMode, ServiceConfig, SourceUnit};
+    let units = [SourceUnit::new(
+        "tour",
+        "(defun square (x) (* x x))
+         (defun cube (x) (* x (square x)))
+         (defun poly (x) (+ (cube x) (square x) x 1))",
+    )];
+    let service = CompileService::new(ServiceConfig::with_jobs(2));
+    let cold = service.compile_batch(&units);
+    let warm = service.compile_batch(&units);
+    for (label, batch) in [("cold", &cold), ("warm", &warm)] {
+        println!(
+            "{label}: workers={} functions={} hit_rate={}% (hits={} misses={})",
+            batch.stats.workers_used,
+            batch.stats.functions,
+            batch.hit_rate_percent(),
+            batch.stats.cache.hits,
+            batch.stats.cache.misses
+        );
+    }
+    assert_eq!(cold.render_artifacts(), warm.render_artifacts());
+
+    // And its failure side: inject a panic into one function's
+    // optimization.  The batch completes; the victim is recompiled with
+    // transformations off and the incident is on the record.
+    println!("\n=== fault isolation: a panic injected into cube's optimizer ===\n");
+    let cfg = ServiceConfig {
+        jobs: 2,
+        fault: Some(FaultInjection {
+            function: "cube".to_string(),
+            mode: FaultMode::Panic,
+        }),
+        ..ServiceConfig::default()
+    };
+    // Quiet the default panic hook for the demo — the injected panic is
+    // the point, not the backtrace.
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let faulted = CompileService::new(cfg).compile_batch(&units);
+    std::panic::set_hook(prev_hook);
+    for i in &faulted.incidents {
+        println!(
+            "incident: function={} kind={} recovered={} ({})",
+            i.function,
+            i.kind.as_str(),
+            i.recovered,
+            i.detail
+        );
+    }
+    for r in &faulted.records {
+        println!("  {:<8} {}", r.function, r.outcome.as_str());
+    }
+    assert!(faulted.artifact("cube").expect("still compiled").degraded);
 }

@@ -51,7 +51,9 @@ fn random_datum(rng: &mut SplitMix64, depth: u32) -> String {
 
 // ------------------------------------------------------------- pipeline
 
-/// A random arithmetic/control expression over fixnum variables a, b, c.
+/// A random arithmetic/control expression over fixnum variables a, b, c
+/// — including nonlocal exits (`catch`/`throw`, `prog`/`return`), so the
+/// differential fuzz exercises the catcher and progbody paths.
 fn random_expr(rng: &mut SplitMix64, depth: u32) -> String {
     if depth == 0 || rng.below(3) == 0 {
         return match rng.below(2) {
@@ -59,7 +61,7 @@ fn random_expr(rng: &mut SplitMix64, depth: u32) -> String {
             _ => (*rng.pick(&["a", "b", "c"])).to_string(),
         };
     }
-    match rng.below(7) {
+    match rng.below(9) {
         0 => format!(
             "(+ {} {})",
             random_expr(rng, depth - 1),
@@ -91,8 +93,21 @@ fn random_expr(rng: &mut SplitMix64, depth: u32) -> String {
             random_expr(rng, depth - 1),
             y = random_expr(rng, depth - 1)
         ),
-        _ => format!(
+        6 => format!(
             "(car (cons {} {}))",
+            random_expr(rng, depth - 1),
+            random_expr(rng, depth - 1)
+        ),
+        7 => format!(
+            "(catch 'esc (if (< {} 0) (throw 'esc {}) {}))",
+            random_expr(rng, depth - 1),
+            random_expr(rng, depth - 1),
+            random_expr(rng, depth - 1)
+        ),
+        _ => format!(
+            "(prog (acc) (setq acc {}) (if (< acc {}) (return {})) (return (+ acc {})))",
+            random_expr(rng, depth - 1),
+            random_expr(rng, depth - 1),
             random_expr(rng, depth - 1),
             random_expr(rng, depth - 1)
         ),
@@ -151,6 +166,45 @@ fn optimizer_preserves_interpretation() {
             (Ok(x), Ok(y)) => assert_eq!(x, y, "{src}"),
             (Err(_), Err(_)) => {}
             _ => panic!("optimizer changed semantics of {src}: {r1:?} vs {r2:?}"),
+        }
+    }
+}
+
+// ------------------------------------------------------- batch driver
+
+/// The compilation service is scheduling-invariant on random programs:
+/// serial and parallel batches agree byte for byte, and each hermetic
+/// job matches a classic single-function compile of the same form.
+#[test]
+fn driver_batches_are_jobs_invariant_on_random_programs() {
+    use s1lisp_driver::{CompileService, ServiceConfig, SourceUnit};
+
+    let mut rng = SplitMix64::new(0x5115_0009);
+    for _round in 0..6 {
+        let n = rng.range_usize(3, 8);
+        let defuns: Vec<String> = (0..n)
+            .map(|k| format!("(defun f{k} (a b c) {})", random_expr(&mut rng, 3)))
+            .collect();
+        let units = [SourceUnit::new("fuzz", defuns.join("\n"))];
+        let serial = CompileService::new(ServiceConfig::with_jobs(1)).compile_batch(&units);
+        let parallel = CompileService::new(ServiceConfig::with_jobs(4)).compile_batch(&units);
+        assert!(serial.failures.is_empty(), "{:?}", serial.failures);
+        assert_eq!(
+            serial.render_artifacts(),
+            parallel.render_artifacts(),
+            "{units:?}"
+        );
+        // Hermetic jobs: the service's artifact for each function is the
+        // classic compiler's output for that defun compiled alone.
+        for (k, d) in defuns.iter().enumerate() {
+            let mut classic = Compiler::new();
+            classic.compile_str(d).unwrap();
+            let name = format!("f{k}");
+            assert_eq!(
+                serial.artifact(&name).unwrap().assembly,
+                classic.disassemble(&name).unwrap(),
+                "{d}"
+            );
         }
     }
 }
