@@ -23,6 +23,7 @@
 mod hash;
 mod tree;
 mod unparse;
+mod validate;
 mod visit;
 
 pub use hash::{fingerprint, fnv1a_str, Fnv1a64};
@@ -30,5 +31,6 @@ pub use tree::{
     CallFunc, CaseqClause, DeclaredType, Lambda, Node, NodeId, NodeKind, OptParam, ProgItem, Tree,
     Var, VarId,
 };
-pub use unparse::unparse;
+pub use unparse::{unparse, unparse_declared};
+pub use validate::{well_formed, WellFormedError};
 pub use visit::{postorder, subtree_nodes};

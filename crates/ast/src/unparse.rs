@@ -11,7 +11,7 @@
 
 use s1lisp_reader::{Datum, Symbol};
 
-use crate::tree::{CallFunc, NodeId, NodeKind, ProgItem, Tree};
+use crate::tree::{CallFunc, DeclaredType, Lambda, NodeId, NodeKind, ProgItem, Tree};
 
 /// Back-translates the subtree at `id` into a source datum.
 ///
@@ -33,12 +33,34 @@ use crate::tree::{CallFunc, NodeId, NodeKind, ProgItem, Tree};
 /// assert_eq!(unparse(&t, e).to_string(), "(+$f '1 '2.0)");
 /// ```
 pub fn unparse(tree: &Tree, id: NodeId) -> Datum {
-    let mut u = Unparser { tree };
+    let mut u = Unparser {
+        tree,
+        declares: false,
+    };
+    u.node(id)
+}
+
+/// Back-translation that *preserves the variable annotations*: each
+/// lambda body opens with a `(declare (special …) (fixnum …)
+/// (flonum …))` form covering its parameters, and bare
+/// variable-reference statements inside `progbody` are wrapped in
+/// `(progn …)` so the reader cannot mistake them for go-tags.
+///
+/// `unparse` drops declarations (matching the paper's transcripts);
+/// this variant exists for the guard pipeline's round-trip check, where
+/// re-converting the output must reproduce the *exact* tree fingerprint
+/// — including specialness and declared types.
+pub fn unparse_declared(tree: &Tree, id: NodeId) -> Datum {
+    let mut u = Unparser {
+        tree,
+        declares: true,
+    };
     u.node(id)
 }
 
 struct Unparser<'a> {
     tree: &'a Tree,
+    declares: bool,
 }
 
 impl Unparser<'_> {
@@ -98,11 +120,14 @@ impl Unparser<'_> {
                     params.push(self.raw_sym("&rest"));
                     params.push(self.sym(&self.tree.var(r).name));
                 }
-                Datum::list([
-                    self.raw_sym("lambda"),
-                    Datum::list(params),
-                    self.node(l.body),
-                ])
+                let mut items = vec![self.raw_sym("lambda"), Datum::list(params)];
+                if self.declares {
+                    if let Some(d) = self.declare_form(l) {
+                        items.push(d);
+                    }
+                }
+                items.push(self.node(l.body));
+                Datum::list(items)
             }
             NodeKind::Caseq {
                 key,
@@ -127,7 +152,18 @@ impl Unparser<'_> {
                 for i in items {
                     out.push(match i {
                         ProgItem::Tag(t) => Datum::Sym(t.clone()),
-                        ProgItem::Stmt(s) => self.node(*s),
+                        ProgItem::Stmt(s) => {
+                            let d = self.node(*s);
+                            // In declare-preserving mode a bare symbol
+                            // statement would re-read as a go-tag; keep
+                            // it a statement with a `progn` wrapper
+                            // (which re-converts to the plain node).
+                            if self.declares && matches!(d, Datum::Sym(_)) {
+                                Datum::list([self.raw_sym("progn"), d])
+                            } else {
+                                d
+                            }
+                        }
                     });
                 }
                 Datum::list(out)
@@ -135,6 +171,43 @@ impl Unparser<'_> {
             NodeKind::Go(tag) => Datum::list([self.raw_sym("go"), Datum::Sym(tag.clone())]),
             NodeKind::Return(v) => Datum::list([self.raw_sym("return"), self.node(*v)]),
         }
+    }
+
+    /// The `(declare …)` form for a lambda's parameter annotations, or
+    /// `None` when no parameter is special or type-declared.
+    fn declare_form(&self, l: &Lambda) -> Option<Datum> {
+        let mut specials = Vec::new();
+        let mut fixnums = Vec::new();
+        let mut flonums = Vec::new();
+        for p in l.all_params() {
+            let v = self.tree.var(p);
+            if v.special {
+                specials.push(self.sym(&v.name));
+            }
+            match v.declared_type {
+                Some(DeclaredType::Fixnum) => fixnums.push(self.sym(&v.name)),
+                Some(DeclaredType::Flonum) => flonums.push(self.sym(&v.name)),
+                None => {}
+            }
+        }
+        let mut clauses = Vec::new();
+        for (head, names) in [
+            ("special", specials),
+            ("fixnum", fixnums),
+            ("flonum", flonums),
+        ] {
+            if !names.is_empty() {
+                let mut c = vec![self.raw_sym(head)];
+                c.extend(names);
+                clauses.push(Datum::list(c));
+            }
+        }
+        if clauses.is_empty() {
+            return None;
+        }
+        let mut d = vec![self.raw_sym("declare")];
+        d.extend(clauses);
+        Some(Datum::list(d))
     }
 
     /// Head symbols of special forms: these spellings are fixed by the

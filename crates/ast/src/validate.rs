@@ -1,0 +1,259 @@
+//! Table-2 well-formedness checks.
+//!
+//! §7's guarantee is that every transformation preserves the invariants
+//! of the internal representation: variables remain lexically
+//! resolvable, manifest (`let`-style) lambda applications remain fully
+//! applied, and `go`s keep a target tag in an enclosing `progbody`.
+//! [`well_formed`] checks exactly those invariants over the tree
+//! reachable from the root, so the guard pipeline can catch a
+//! transformation that breaks scope *before* code is emitted for it.
+
+use crate::tree::{CallFunc, NodeId, NodeKind, ProgItem, Tree, VarId};
+
+/// A violation of the Table-2 invariants.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WellFormedError {
+    /// A lexical (non-special) variable is referenced or assigned
+    /// outside any lambda that binds it.
+    UnresolvableVar {
+        /// The variable's (possibly alpha-renamed) spelling.
+        name: String,
+        /// `"reference"` or `"assignment"`.
+        usage: &'static str,
+    },
+    /// A manifest lambda application's argument count falls outside the
+    /// lambda's arity.
+    LambdaArity {
+        /// Minimum arity.
+        min: usize,
+        /// Maximum arity (`None` = `&rest`).
+        max: Option<usize>,
+        /// Arguments actually supplied.
+        got: usize,
+    },
+    /// A `go` targets a tag no enclosing `progbody` defines.
+    UnresolvableGo {
+        /// The missing tag.
+        tag: String,
+    },
+}
+
+impl std::fmt::Display for WellFormedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WellFormedError::UnresolvableVar { name, usage } => {
+                write!(f, "lexical variable {name} has an unbound {usage}")
+            }
+            WellFormedError::LambdaArity { min, max, got } => match max {
+                Some(max) => write!(f, "applied lambda wants {min}..={max} arguments, got {got}"),
+                None => write!(
+                    f,
+                    "applied lambda wants at least {min} arguments, got {got}"
+                ),
+            },
+            WellFormedError::UnresolvableGo { tag } => {
+                write!(
+                    f,
+                    "go targets tag {tag} with no enclosing progbody binding it"
+                )
+            }
+        }
+    }
+}
+
+/// Checks the subtree reachable from [`Tree::root`] against the Table-2
+/// invariants, returning the first violation found (deterministic:
+/// depth-first, evaluation order).
+pub fn well_formed(tree: &Tree) -> Result<(), WellFormedError> {
+    let mut scope: Vec<VarId> = Vec::new();
+    let mut tags: Vec<Vec<String>> = Vec::new();
+    check(tree, tree.root, &mut scope, &mut tags)
+}
+
+fn check(
+    tree: &Tree,
+    id: NodeId,
+    scope: &mut Vec<VarId>,
+    tags: &mut Vec<Vec<String>>,
+) -> Result<(), WellFormedError> {
+    match tree.kind(id) {
+        NodeKind::VarRef(v) => resolve(tree, *v, scope, "reference"),
+        NodeKind::Setq { var, value } => {
+            resolve(tree, *var, scope, "assignment")?;
+            check(tree, *value, scope, tags)
+        }
+        NodeKind::Lambda(_) => check_lambda(tree, id, scope, tags),
+        NodeKind::Call { func, args } => {
+            if let CallFunc::Expr(fx) = func {
+                if let NodeKind::Lambda(l) = tree.kind(*fx) {
+                    let (min, max) = l.arity();
+                    let got = args.len();
+                    if got < min || max.is_some_and(|m| got > m) {
+                        return Err(WellFormedError::LambdaArity { min, max, got });
+                    }
+                }
+                check(tree, *fx, scope, tags)?;
+            }
+            for a in args {
+                check(tree, *a, scope, tags)?;
+            }
+            Ok(())
+        }
+        NodeKind::Progbody(items) => {
+            let frame: Vec<String> = items
+                .iter()
+                .filter_map(|i| match i {
+                    ProgItem::Tag(t) => Some(t.as_str().to_string()),
+                    ProgItem::Stmt(_) => None,
+                })
+                .collect();
+            tags.push(frame);
+            for i in items {
+                if let ProgItem::Stmt(s) = i {
+                    check(tree, *s, scope, tags)?;
+                }
+            }
+            tags.pop();
+            Ok(())
+        }
+        NodeKind::Go(tag) => {
+            if tags
+                .iter()
+                .any(|frame| frame.iter().any(|t| t == tag.as_str()))
+            {
+                Ok(())
+            } else {
+                Err(WellFormedError::UnresolvableGo {
+                    tag: tag.as_str().to_string(),
+                })
+            }
+        }
+        _ => {
+            for c in tree.children(id) {
+                check(tree, c, scope, tags)?;
+            }
+            Ok(())
+        }
+    }
+}
+
+fn check_lambda(
+    tree: &Tree,
+    id: NodeId,
+    scope: &mut Vec<VarId>,
+    tags: &mut Vec<Vec<String>>,
+) -> Result<(), WellFormedError> {
+    let NodeKind::Lambda(l) = tree.kind(id) else {
+        unreachable!()
+    };
+    // Optional defaults may refer to earlier parameters only (§2);
+    // conversion enforces that, so checking them inside the full
+    // parameter scope stays sound for transformed trees too.
+    let before = scope.len();
+    scope.extend(l.all_params());
+    for o in &l.optional {
+        check(tree, o.default, scope, tags)?;
+    }
+    let body = l.body;
+    check(tree, body, scope, tags)?;
+    scope.truncate(before);
+    Ok(())
+}
+
+fn resolve(
+    tree: &Tree,
+    v: VarId,
+    scope: &[VarId],
+    usage: &'static str,
+) -> Result<(), WellFormedError> {
+    let var = tree.var(v);
+    if var.special || scope.contains(&v) {
+        Ok(())
+    } else {
+        Err(WellFormedError::UnresolvableVar {
+            name: var.name.as_str().to_string(),
+            usage,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s1lisp_reader::{Datum, Interner};
+
+    #[test]
+    fn bound_and_special_variables_resolve() {
+        let mut i = Interner::new();
+        let mut t = Tree::new();
+        let x = t.add_var(i.intern("x"));
+        let s = t.add_var(i.intern("*s*"));
+        t.var_mut(s).special = true;
+        let rx = t.var_ref(x);
+        let rs = t.var_ref(s);
+        let call = t.call_global(i.intern("+"), vec![rx, rs]);
+        let lam = t.lambda(vec![x], call);
+        t.root = lam;
+        assert_eq!(well_formed(&t), Ok(()));
+    }
+
+    #[test]
+    fn escaped_lexical_is_caught() {
+        let mut i = Interner::new();
+        let mut t = Tree::new();
+        let x = t.add_var(i.intern("x"));
+        // `x` referenced at the root with no binder in sight.
+        let rx = t.var_ref(x);
+        t.root = rx;
+        assert_eq!(
+            well_formed(&t),
+            Err(WellFormedError::UnresolvableVar {
+                name: "x".into(),
+                usage: "reference",
+            })
+        );
+    }
+
+    #[test]
+    fn applied_lambda_arity_is_checked() {
+        let mut i = Interner::new();
+        let mut t = Tree::new();
+        let x = t.add_var(i.intern("x"));
+        let rx = t.var_ref(x);
+        let lam = t.lambda(vec![x], rx);
+        let a = t.constant(Datum::Fixnum(1));
+        let b = t.constant(Datum::Fixnum(2));
+        let call = t.call_expr(lam, vec![a, b]);
+        t.root = call;
+        assert_eq!(
+            well_formed(&t),
+            Err(WellFormedError::LambdaArity {
+                min: 1,
+                max: Some(1),
+                got: 2,
+            })
+        );
+    }
+
+    #[test]
+    fn go_needs_an_enclosing_tag() {
+        let mut i = Interner::new();
+        let mut t = Tree::new();
+        let g = t.add(NodeKind::Go(i.intern("loop")));
+        let pb = t.add(NodeKind::Progbody(vec![
+            ProgItem::Tag(i.intern("top")),
+            ProgItem::Stmt(g),
+        ]));
+        t.root = pb;
+        assert_eq!(
+            well_formed(&t),
+            Err(WellFormedError::UnresolvableGo { tag: "loop".into() })
+        );
+        let ok = t.add(NodeKind::Progbody(vec![
+            ProgItem::Tag(i.intern("loop")),
+            ProgItem::Stmt(g),
+        ]));
+        t.root = ok;
+        assert_eq!(well_formed(&t), Ok(()));
+    }
+}

@@ -15,9 +15,12 @@
 //! record; `service` batch-compiles the whole corpus through the
 //! parallel compilation service (`--jobs N` workers, `--cache-dir D`
 //! for a persistent artifact cache — run it twice with the same
-//! directory and the second run reports `hit_rate=100%`); and
+//! directory and the second run reports `hit_rate=100%`);
 //! `service-fault` demonstrates the degraded path with an injected
-//! optimizer panic.
+//! optimizer panic; `guard` runs the guarded batch under a seeded
+//! deterministic fault storm (phase validators, cache fault injection,
+//! differential oracle); and `guard-miscompile` shows the oracle
+//! catching a miscompile and shipping the unoptimized artifact.
 
 use std::path::PathBuf;
 
@@ -63,19 +66,23 @@ fn main() {
                 let rec = match id.as_str() {
                     "trap" => Some(s1lisp_bench::trap_record()),
                     "service" => Some(s1lisp_bench::service_record(jobs, cache_dir.clone())),
-                    "service-fault" => {
-                        // The injected panic is the record's subject;
-                        // keep its backtrace off stderr.
+                    "service-fault" | "guard" | "guard-miscompile" => {
+                        // Injected panics are the record's subject;
+                        // keep their backtraces off stderr.
                         let prev = std::panic::take_hook();
                         std::panic::set_hook(Box::new(|_| {}));
-                        let rec = s1lisp_bench::service_fault_record();
+                        let rec = match id.as_str() {
+                            "service-fault" => s1lisp_bench::service_fault_record(),
+                            "guard" => s1lisp_bench::guard_record(),
+                            _ => s1lisp_bench::guard_miscompile_record(),
+                        };
                         std::panic::set_hook(prev);
                         Some(rec)
                     }
                     _ => s1lisp_bench::json_record(id),
                 };
                 if rec.is_none() {
-                    eprintln!("unknown experiment {id} (want e1..e12, trap, or service)");
+                    eprintln!("unknown experiment {id} (want e1..e12, trap, service, or guard)");
                 }
                 rec
             })

@@ -16,5 +16,6 @@ pub use experiments::{all_experiments, run_experiment, Experiment};
 pub use explain::{corpus_functions, explain_function};
 pub use json_report::{all_json_records, json_record, trap_record};
 pub use service::{
-    service_batch, service_fault_record, service_record, service_report, service_units,
+    guard_batch, guard_miscompile_record, guard_record, service_batch, service_fault_record,
+    service_record, service_report, service_units, GUARD_SEED,
 };

@@ -2,15 +2,18 @@
 //! the parallel compilation service (`report --jobs N [--cache-dir D]
 //! service`).
 //!
-//! Two records share the machinery: the clean batch over every
-//! experiment workload, and a demonstration batch with an injected
-//! optimizer panic showing the degraded path ([`service_fault_record`]).
-//! Both are schema-pinned by `tests/golden_json.rs`.
+//! Four records share the machinery: the clean batch over every
+//! experiment workload, a demonstration batch with an injected
+//! optimizer panic showing the degraded path ([`service_fault_record`]),
+//! a guarded batch under a seeded fault storm ([`guard_record`]), and a
+//! guaranteed oracle miscompile ([`guard_miscompile_record`]).  All are
+//! schema-pinned by `tests/golden_json.rs`.
 
 use std::path::PathBuf;
 
 use s1lisp_driver::{
-    BatchResult, CompileService, FaultInjection, FaultMode, ServiceConfig, SourceUnit,
+    BatchResult, CompileService, FaultInjection, FaultMode, FaultPlan, FaultSite, OracleCase,
+    ServiceConfig, SourceUnit,
 };
 use s1lisp_trace::json::Json;
 
@@ -76,6 +79,85 @@ pub fn service_fault_record() -> Json {
     )
 }
 
+/// Differential-oracle cases over the corpus: call each entry with the
+/// workload-shaped arguments (kept small so the oracle stays fast).
+fn oracle_cases() -> Vec<OracleCase> {
+    vec![
+        OracleCase::new("exptl", ["3", "10", "1"]),
+        OracleCase::new("quadratic", ["1.0", "-3.0", "2.0"]),
+        OracleCase::new("loopn", ["1000"]),
+        OracleCase::new("sum-horner", ["200"]),
+        OracleCase::new("tak", ["10", "6", "3"]),
+    ]
+}
+
+/// The seed behind the pinned `guard` record.  Chosen so the storm
+/// deterministically produces at least one incident of each flavor the
+/// schema pins (the decision function is pure, so it replays forever).
+pub const GUARD_SEED: u64 = 13;
+
+/// A guarded batch over the corpus under a seeded fault storm: phase
+/// panics, cache I/O errors and corruption, simulator traps, and
+/// miscompiles, all armed from one seed.  When `cache_dir` is given it
+/// is first warmed by a clean pass so read-side faults have real bytes
+/// to corrupt.
+pub fn guard_batch(seed: u64, cache_dir: Option<PathBuf>) -> BatchResult {
+    let units = service_units();
+    if let Some(dir) = &cache_dir {
+        CompileService::new(config(2, Some(dir.clone()))).compile_batch(&units);
+    }
+    let plan = FaultPlan::new(seed)
+        .arm(FaultSite::PhasePanic, 8)
+        .arm(FaultSite::CacheRead, 400)
+        .arm(FaultSite::CacheWrite, 400)
+        .arm(FaultSite::CacheCorrupt, 400)
+        .arm(FaultSite::SimTrap, 150)
+        .arm(FaultSite::Miscompile, 150);
+    let cfg = ServiceConfig {
+        jobs: 4,
+        guard: true,
+        fault_plan: Some(plan),
+        cache_dir,
+        disk_max_entries: Some(8),
+        oracle: oracle_cases(),
+        ..ServiceConfig::default()
+    };
+    CompileService::new(cfg).compile_batch(&units)
+}
+
+/// The machine-readable `guard` record: a seeded fault storm over the
+/// corpus, with the containment verdict and oracle verdicts attached.
+pub fn guard_record() -> Json {
+    let dir = std::env::temp_dir().join(format!("s1lisp-guard-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let batch = guard_batch(GUARD_SEED, Some(dir.clone()));
+    let _ = std::fs::remove_dir_all(&dir);
+    record(
+        "guard",
+        "Guarded batch under a seeded deterministic fault storm",
+        &batch,
+    )
+}
+
+/// The machine-readable `guard-miscompile` record: every oracle case's
+/// optimized result is perturbed, so the differential oracle must flag
+/// the mismatch and ship the reference (unoptimized) artifact.
+pub fn guard_miscompile_record() -> Json {
+    let cfg = ServiceConfig {
+        jobs: 2,
+        guard: true,
+        fault_plan: Some(FaultPlan::new(7).arm(FaultSite::Miscompile, 1000)),
+        oracle: vec![OracleCase::new("quadratic", ["1.0", "-3.0", "2.0"])],
+        ..ServiceConfig::default()
+    };
+    let batch = CompileService::new(cfg).compile_batch(&service_units());
+    record(
+        "guard-miscompile",
+        "Differential oracle shipping the unoptimized artifact",
+        &batch,
+    )
+}
+
 /// The human-readable `service` report text.
 pub fn service_report(jobs: usize, cache_dir: Option<PathBuf>) -> String {
     use std::fmt::Write as _;
@@ -89,12 +171,17 @@ pub fn service_report(jobs: usize, cache_dir: Option<PathBuf>) -> String {
     );
     let _ = writeln!(
         out,
-        "hit_rate={}% hits={} misses={} evictions={} disk_hits={}",
+        "hit_rate={}% hits={} misses={} evictions={} disk_hits={} \
+         io_retries={} io_errors={} corrupt_reads={} disk_evictions={}",
         batch.hit_rate_percent(),
         s.cache.hits,
         s.cache.misses,
         s.cache.evictions,
-        s.cache.disk_hits
+        s.cache.disk_hits,
+        s.cache.io_retries,
+        s.cache.io_errors,
+        s.cache.corrupt_reads,
+        s.cache.disk_evictions
     );
     let _ = writeln!(
         out,
@@ -146,6 +233,39 @@ mod tests {
         // e10's proclaimed special must have reached its job.
         let acc = batch.artifact("accumulate").unwrap();
         assert!(acc.assembly.contains("%SPEC"), "{}", acc.assembly);
+    }
+
+    #[test]
+    fn guard_storm_contains_every_fault() {
+        let batch = guard_batch(GUARD_SEED, None);
+        // Zero lost functions: every job produced an artifact.
+        assert_eq!(batch.artifacts.len(), batch.stats.functions);
+        assert!(batch.failures.is_empty(), "{:?}", batch.failures);
+        let guard = batch.guard.as_ref().expect("guard report");
+        assert!(guard.contained, "{:?}", batch.incidents);
+        assert!(batch.incidents.iter().all(|i| i.recovered));
+        // The pinned seed produces real incidents and oracle traffic.
+        assert!(!batch.incidents.is_empty());
+        assert!(!guard.oracle.is_empty());
+    }
+
+    #[test]
+    fn miscompile_record_ships_the_reference_artifact() {
+        let rec = guard_miscompile_record();
+        let batch = rec.get("batch").unwrap();
+        let incidents = batch.get("incidents").unwrap().as_arr().unwrap();
+        assert!(incidents
+            .iter()
+            .any(|i| i.get("kind").unwrap().as_str() == Some("miscompile")
+                && i.get("recovered").unwrap().as_bool() == Some(true)));
+        let guard = batch.get("guard").unwrap();
+        assert_eq!(guard.get("contained").unwrap().as_bool(), Some(true));
+        let artifacts = batch.get("artifacts").unwrap().as_arr().unwrap();
+        let quadratic = artifacts
+            .iter()
+            .find(|a| a.get("name").unwrap().as_str() == Some("quadratic"))
+            .unwrap();
+        assert_eq!(quadratic.get("degraded").unwrap().as_bool(), Some(true));
     }
 
     #[test]

@@ -7,13 +7,18 @@
 //! counter's type, or restructuring the record breaks the golden and
 //! must be a deliberate schema bump.
 
-use s1lisp_bench::{json_record, service_fault_record, service_record, trap_record};
+use s1lisp_bench::{
+    guard_miscompile_record, guard_record, json_record, service_fault_record, service_record,
+    trap_record,
+};
 use s1lisp_trace::json::{self, Json};
 
 const GOLDEN: &str = include_str!("golden/report_schema.txt");
 const TRAP_GOLDEN: &str = include_str!("golden/trap_schema.txt");
 const SERVICE_GOLDEN: &str = include_str!("golden/service_schema.txt");
 const SERVICE_FAULT_GOLDEN: &str = include_str!("golden/service_fault_schema.txt");
+const GUARD_GOLDEN: &str = include_str!("golden/guard_schema.txt");
+const GUARD_MISCOMPILE_GOLDEN: &str = include_str!("golden/guard_miscompile_schema.txt");
 
 /// Dynamic maps in a record are int-valued histograms; an *empty* one
 /// carries no value type, so pad it with a sentinel entry before
@@ -115,6 +120,26 @@ fn service_fault_record_schema_matches_golden() {
         service_fault_record(),
         SERVICE_FAULT_GOLDEN,
         "service_fault_schema.txt",
+    );
+}
+
+#[test]
+fn guard_record_schema_matches_golden() {
+    // The injected phase panics are the record's subject; keep their
+    // backtraces off test stderr.
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let rec = guard_record();
+    std::panic::set_hook(prev);
+    check_schema(rec, GUARD_GOLDEN, "guard_schema.txt");
+}
+
+#[test]
+fn guard_miscompile_record_schema_matches_golden() {
+    check_schema(
+        guard_miscompile_record(),
+        GUARD_MISCOMPILE_GOLDEN,
+        "guard_miscompile_schema.txt",
     );
 }
 

@@ -11,6 +11,9 @@ pub enum CompileError {
     Convert(s1lisp_frontend::ConvertError),
     /// Code generation failed.
     Codegen(s1lisp_codegen::CodegenError),
+    /// A guarded-compilation validator rejected the tree (well-formedness
+    /// or back-translation round trip).
+    Guard(crate::guard::GuardError),
 }
 
 impl fmt::Display for CompileError {
@@ -19,6 +22,7 @@ impl fmt::Display for CompileError {
             CompileError::Read(e) => write!(f, "{e}"),
             CompileError::Convert(e) => write!(f, "{e}"),
             CompileError::Codegen(e) => write!(f, "{e}"),
+            CompileError::Guard(e) => write!(f, "{e}"),
         }
     }
 }
@@ -29,6 +33,7 @@ impl std::error::Error for CompileError {
             CompileError::Read(e) => Some(e),
             CompileError::Convert(e) => Some(e),
             CompileError::Codegen(e) => Some(e),
+            CompileError::Guard(e) => Some(e),
         }
     }
 }
@@ -48,6 +53,12 @@ impl From<s1lisp_frontend::ConvertError> for CompileError {
 impl From<s1lisp_codegen::CodegenError> for CompileError {
     fn from(e: s1lisp_codegen::CodegenError) -> CompileError {
         CompileError::Codegen(e)
+    }
+}
+
+impl From<crate::guard::GuardError> for CompileError {
+    fn from(e: crate::guard::GuardError) -> CompileError {
+        CompileError::Guard(e)
     }
 }
 

@@ -31,12 +31,15 @@
 mod artifact;
 mod dossier;
 mod error;
+mod guard;
 mod phases;
 
 pub use artifact::Artifact;
 pub use dossier::Dossier;
 pub use error::CompileError;
-pub use phases::{phases, Phase, PhaseStatus};
+pub use guard::GuardError;
+pub use phases::{phases, trip_phase_faults, Phase, PhaseStatus};
+pub use s1lisp_trace::fault::{FaultPlan, FaultSite};
 
 pub use s1lisp_codegen::CodegenOptions;
 pub use s1lisp_interp::{Interp, LispError, Value};
@@ -48,6 +51,13 @@ use s1lisp_ast::{unparse, Tree};
 use s1lisp_frontend::Frontend;
 use s1lisp_reader::{pretty, read_all_str, Interner};
 use s1lisp_trace::NullSink;
+
+/// Hand-bumped artifact-compatibility integer folded into
+/// [`Compiler::options_fingerprint`].  Bump it whenever generated code
+/// can change with no option flag changing (primop table edits, cost
+/// model tweaks, encoding changes), so stale disk-cache entries from
+/// older builds become unreachable instead of wrong.
+pub const CACHE_SCHEMA_VERSION: u32 = 1;
 
 /// One compiled function's artifacts.
 #[derive(Debug, Clone)]
@@ -112,6 +122,15 @@ pub struct Compiler {
     pub codegen_options: CodegenOptions,
     /// Whether to run the branch-tensioning pass over generated code.
     pub tension_branches: bool,
+    /// Guarded compilation: when on, the tree is validated against the
+    /// Table-2 well-formedness invariants and the §7 back-translation
+    /// round trip after conversion and after the source-level
+    /// transformations; a violation is a [`CompileError::Guard`]
+    /// instead of silently emitted code.
+    pub guard: bool,
+    /// Seeded fault plan for deterministic failure drills; `None` (the
+    /// default) injects nothing.
+    pub fault_plan: Option<FaultPlan>,
     /// Artifacts per compiled function, in compilation order.
     pub functions: Vec<CompiledFunction>,
     program: Program,
@@ -138,6 +157,8 @@ impl Compiler {
             cse: false,
             codegen_options: CodegenOptions::default(),
             tension_branches: true,
+            guard: false,
+            fault_plan: None,
             functions: Vec::new(),
             program: Program::new(),
             interp_sources: Vec::new(),
@@ -278,6 +299,13 @@ impl Compiler {
         sink: &mut dyn TraceSink,
     ) -> Result<String, CompileError> {
         let name = f.name.as_str().to_string();
+        if let Some(plan) = &self.fault_plan {
+            phases::trip_phase_faults(plan, &name);
+        }
+        if self.guard {
+            guard::validate_tree(&name, "conversion", &f.tree)?;
+            guard::round_trip(&name, "conversion", &f.tree)?;
+        }
         let converted = pretty(&unparse(&f.tree, f.tree.root), 78);
         // The analysis phases are pure tree functions, co-routined
         // inside the optimizer in normal operation; under tracing we
@@ -308,13 +336,25 @@ impl Compiler {
         let sp = sink.span_begin("Source-level optimization", &name);
         let nodes_before = f.tree.node_count();
         let mut opt = s1lisp_opt::Optimizer::with_options(self.opt_options.clone());
-        let mut transformations = opt.optimize_named(&mut f.tree, Some(&name));
+        let optimized_result = if self.guard {
+            opt.optimize_checked(&mut f.tree, Some(&name))
+        } else {
+            Ok(opt.optimize_named(&mut f.tree, Some(&name)))
+        };
         if sink.enabled() {
-            sink.add("transformations", transformations as u64);
+            sink.add(
+                "transformations",
+                *optimized_result.as_ref().unwrap_or(&0) as u64,
+            );
             sink.add("nodes_before", nodes_before as u64);
             sink.add("nodes_after", f.tree.node_count() as u64);
         }
         sink.span_end(sp);
+        let mut transformations = optimized_result.map_err(|detail| guard::GuardError {
+            function: name.clone(),
+            stage: "source-level optimization",
+            detail,
+        })?;
         if self.cse {
             let sp = sink.span_begin("Common subexpression elimination", &name);
             let eliminated = s1lisp_opt::cse::eliminate(&mut f.tree);
@@ -323,6 +363,10 @@ impl Compiler {
                 sink.add("eliminated", eliminated as u64);
             }
             sink.span_end(sp);
+        }
+        if self.guard {
+            guard::validate_tree(&name, "back-translation", &f.tree)?;
+            guard::round_trip(&name, "back-translation", &f.tree)?;
         }
         let optimized = pretty(&unparse(&f.tree, f.tree.root), 78);
         // Machine-dependent annotation + TNBIND + code generation
@@ -537,11 +581,21 @@ impl Compiler {
     /// compilation service's artifact cache, so two compilers produce
     /// the same key exactly when they would produce the same artifact
     /// for the same converted tree.
+    ///
+    /// The canonical string is salted with the crate version and a
+    /// hand-bumped [`CACHE_SCHEMA_VERSION`], so artifacts cached on disk
+    /// by one build can never satisfy a different build sharing the same
+    /// `--cache-dir` — a primop-table or cost-model change between
+    /// versions silently invalidates every old entry.  Bump the schema
+    /// integer whenever emitted code can change without any option
+    /// changing.
     pub fn options_fingerprint(&self) -> u64 {
         let o = &self.opt_options;
         let g = &self.codegen_options;
         let canonical = format!(
-            "opt:{}{}{}{}{}{}{}{}{}{} rounds:{} cse:{} cg:{}{}{}{}{}{} tension:{}",
+            "v:{}/{} opt:{}{}{}{}{}{}{}{}{}{} rounds:{} cse:{} cg:{}{}{}{}{}{} tension:{}",
+            env!("CARGO_PKG_VERSION"),
+            CACHE_SCHEMA_VERSION,
             u8::from(o.call_lambda),
             u8::from(o.unused_args),
             u8::from(o.substitution),

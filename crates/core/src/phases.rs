@@ -141,6 +141,28 @@ pub fn phases() -> Vec<Phase> {
     ]
 }
 
+/// Trips any armed per-phase panic faults for `function`: one decision
+/// per Table-1 phase, keyed `"<function>/<phase>"` so a seeded
+/// [`FaultPlan`](s1lisp_trace::fault::FaultPlan) replays the same
+/// phase-level failure no matter which worker compiles the function.
+/// Called at the head of the per-function pipeline; the injected panic
+/// is caught by the service's isolation layer and recovered through the
+/// degraded-recompile path.
+///
+/// # Panics
+///
+/// Panics (deliberately) when the plan arms `PhasePanic` for one of
+/// this function's phase keys.
+pub fn trip_phase_faults(plan: &s1lisp_trace::fault::FaultPlan, function: &str) {
+    use s1lisp_trace::fault::FaultSite;
+    for p in phases() {
+        let key = format!("{function}/{}", p.name);
+        if plan.fires(FaultSite::PhasePanic, &key) {
+            panic!("injected fault: panic during {} of {function}", p.name);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -153,5 +175,17 @@ mod tests {
         assert_eq!(ps.last().unwrap().name, "Peephole optimizer");
         // Everything is at least addressed.
         assert!(ps.iter().all(|p| !p.module.is_empty()));
+    }
+
+    #[test]
+    fn phase_faults_fire_deterministically() {
+        use s1lisp_trace::fault::{FaultPlan, FaultSite};
+        let off = FaultPlan::new(9);
+        trip_phase_faults(&off, "anything"); // disarmed: no panic
+        let on = FaultPlan::new(9).arm(FaultSite::PhasePanic, 1000);
+        let boom = std::panic::catch_unwind(|| trip_phase_faults(&on, "victim"));
+        let msg = *boom.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("injected fault"), "{msg}");
+        assert!(msg.contains("victim"), "{msg}");
     }
 }

@@ -4,21 +4,50 @@
 //! [`Artifact`], bounded by `capacity`; the optional on-disk tier
 //! serializes each artifact to `<dir>/<key as 16 hex digits>.json` via
 //! the `s1lisp-trace` JSON layer, so a cold process (or a second
-//! service) can reuse a previous run's work.  Disk reads that fail to
-//! parse — truncated writes, hand-edited files, version skew — are
-//! treated as misses, never as errors.
+//! service) can reuse a previous run's work.
+//!
+//! # A cache must never fail a batch
+//!
+//! Every disk failure mode degrades, none propagates:
+//!
+//! * Transient I/O errors on read or write are retried up to
+//!   [`IO_ATTEMPTS`] times with a short deterministic backoff
+//!   (`io_retries` counts the retries, `io_errors` the operations that
+//!   exhausted them).
+//! * Entries that read back but fail to parse — truncated writes,
+//!   hand-edited files, version skew, injected corruption — count as
+//!   `corrupt_reads` and degrade to misses.
+//! * [`DISK_STRIKE_LIMIT`] *consecutive* exhausted-retry failures
+//!   disable the disk tier for the rest of the cache's life; the
+//!   memory tier keeps serving alone.
+//! * When `disk_max_entries` is set, each successful write sweeps the
+//!   directory oldest-first (modification time, then file name) so
+//!   on-disk growth stays bounded (`disk_evictions`).
+//!
+//! A seeded [`FaultPlan`] can arm the `CacheRead`/`CacheWrite`/
+//! `CacheCorrupt` sites to inject exactly these failures,
+//! deterministically per cache key, for drills and tests.
 //!
 //! All methods take `&self`: the cache is shared across worker threads
 //! behind one mutex (held only for map bookkeeping, never during
 //! compilation or disk I/O on the read path's miss side).
 
 use std::collections::{HashMap, VecDeque};
+use std::io;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
+use std::time::Duration;
 
 use s1lisp::Artifact;
+use s1lisp_trace::fault::{FaultPlan, FaultSite};
 use s1lisp_trace::json;
+
+/// Attempts per disk I/O operation (1 initial + retries).
+pub const IO_ATTEMPTS: u32 = 3;
+
+/// Consecutive exhausted-retry failures that disable the disk tier.
+pub const DISK_STRIKE_LIMIT: u64 = 4;
 
 /// Monotonic counters describing cache traffic.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -31,6 +60,14 @@ pub struct CacheStats {
     pub evictions: u64,
     /// The subset of `hits` that came from the disk tier.
     pub disk_hits: u64,
+    /// Disk I/O attempts retried after a transient failure.
+    pub io_retries: u64,
+    /// Disk I/O operations abandoned after exhausting every retry.
+    pub io_errors: u64,
+    /// Disk entries that read back but failed to parse.
+    pub corrupt_reads: u64,
+    /// On-disk entries removed by the max-entries sweep.
+    pub disk_evictions: u64,
 }
 
 impl CacheStats {
@@ -42,6 +79,10 @@ impl CacheStats {
             misses: self.misses - earlier.misses,
             evictions: self.evictions - earlier.evictions,
             disk_hits: self.disk_hits - earlier.disk_hits,
+            io_retries: self.io_retries - earlier.io_retries,
+            io_errors: self.io_errors - earlier.io_errors,
+            corrupt_reads: self.corrupt_reads - earlier.corrupt_reads,
+            disk_evictions: self.disk_evictions - earlier.disk_evictions,
         }
     }
 }
@@ -56,11 +97,21 @@ struct Tier {
 pub struct ArtifactCache {
     capacity: usize,
     dir: Option<PathBuf>,
+    disk_max_entries: Option<usize>,
+    fault_plan: Option<FaultPlan>,
+    disk_disabled: AtomicBool,
+    /// Consecutive exhausted-retry failures (reset by any completed
+    /// disk operation).
+    disk_strikes: AtomicU64,
     mem: Mutex<Tier>,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
     disk_hits: AtomicU64,
+    io_retries: AtomicU64,
+    io_errors: AtomicU64,
+    corrupt_reads: AtomicU64,
+    disk_evictions: AtomicU64,
 }
 
 impl ArtifactCache {
@@ -69,10 +120,26 @@ impl ArtifactCache {
     /// creation failure silently disables the disk tier rather than
     /// failing compilation).
     pub fn new(capacity: usize, dir: Option<PathBuf>) -> ArtifactCache {
+        ArtifactCache::tuned(capacity, dir, None, None)
+    }
+
+    /// [`ArtifactCache::new`] with the robustness knobs: a bound on
+    /// on-disk entries (swept oldest-first after each write) and a
+    /// seeded fault plan arming the cache's injection sites.
+    pub fn tuned(
+        capacity: usize,
+        dir: Option<PathBuf>,
+        disk_max_entries: Option<usize>,
+        fault_plan: Option<FaultPlan>,
+    ) -> ArtifactCache {
         let dir = dir.filter(|d| std::fs::create_dir_all(d).is_ok());
         ArtifactCache {
             capacity: capacity.max(1),
             dir,
+            disk_max_entries,
+            fault_plan,
+            disk_disabled: AtomicBool::new(false),
+            disk_strikes: AtomicU64::new(0),
             mem: Mutex::new(Tier {
                 map: HashMap::new(),
                 order: VecDeque::new(),
@@ -81,13 +148,53 @@ impl ArtifactCache {
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             disk_hits: AtomicU64::new(0),
+            io_retries: AtomicU64::new(0),
+            io_errors: AtomicU64::new(0),
+            corrupt_reads: AtomicU64::new(0),
+            disk_evictions: AtomicU64::new(0),
         }
     }
 
+    /// True once persistent disk failures have demoted the cache to
+    /// memory-only operation.
+    pub fn disk_disabled(&self) -> bool {
+        self.disk_disabled.load(Ordering::Relaxed)
+    }
+
     fn disk_path(&self, key: u64) -> Option<PathBuf> {
+        if self.disk_disabled() {
+            return None;
+        }
         self.dir
             .as_ref()
             .map(|d| d.join(format!("{key:016x}.json")))
+    }
+
+    /// How many attempts the fault plan dooms for `key` at `site`.
+    fn injected_failures(&self, site: FaultSite, key: u64) -> u32 {
+        self.fault_plan.as_ref().map_or(0, |p| {
+            p.failure_count(site, &format!("{key:016x}"), IO_ATTEMPTS)
+        })
+    }
+
+    fn backoff(attempt: u32) -> Duration {
+        Duration::from_micros(50 << attempt)
+    }
+
+    /// A completed disk operation (success or clean not-found) clears
+    /// the strike count.
+    fn note_disk_ok(&self) {
+        self.disk_strikes.store(0, Ordering::Relaxed);
+    }
+
+    /// An operation that exhausted its retries; enough in a row disable
+    /// the tier.
+    fn note_disk_error(&self) {
+        self.io_errors.fetch_add(1, Ordering::Relaxed);
+        let strikes = self.disk_strikes.fetch_add(1, Ordering::Relaxed) + 1;
+        if strikes >= DISK_STRIKE_LIMIT {
+            self.disk_disabled.store(true, Ordering::Relaxed);
+        }
     }
 
     /// Looks `key` up in memory, then on disk.  A memory hit refreshes
@@ -114,21 +221,123 @@ impl ArtifactCache {
 
     fn disk_get(&self, key: u64) -> Option<Artifact> {
         let path = self.disk_path(key)?;
-        let text = std::fs::read_to_string(path).ok()?;
-        let parsed = json::parse(&text).ok()?;
-        Artifact::from_json(&parsed)
+        let doomed = self.injected_failures(FaultSite::CacheRead, key);
+        let mut text = None;
+        for attempt in 0..IO_ATTEMPTS {
+            let read = if attempt < doomed {
+                Err(io::Error::other("injected fault: cache read I/O error"))
+            } else {
+                std::fs::read_to_string(&path)
+            };
+            match read {
+                Ok(t) => {
+                    self.note_disk_ok();
+                    text = Some(t);
+                    break;
+                }
+                // An absent entry is a clean miss, not an I/O failure.
+                Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                    self.note_disk_ok();
+                    return None;
+                }
+                Err(_) if attempt + 1 < IO_ATTEMPTS => {
+                    self.io_retries.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(Self::backoff(attempt));
+                }
+                Err(_) => {
+                    self.note_disk_error();
+                    return None;
+                }
+            }
+        }
+        let mut text = text?;
+        if let Some(plan) = &self.fault_plan {
+            if plan.fires(FaultSite::CacheCorrupt, &format!("{key:016x}")) {
+                // Truncation always unbalances the JSON object, so the
+                // parse below must fail and be counted.
+                text.truncate(text.len() / 2);
+            }
+        }
+        match json::parse(&text)
+            .ok()
+            .and_then(|p| Artifact::from_json(&p))
+        {
+            Some(a) => Some(a),
+            None => {
+                self.corrupt_reads.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
     }
 
     /// Stores a clean artifact under `key` in both tiers.
     pub fn put(&self, key: u64, artifact: &Artifact) {
         self.insert_mem(key, artifact.clone());
-        if let Some(path) = self.disk_path(key) {
-            // Temp-then-rename keeps a concurrent reader (or a second
-            // process warming from the same directory) from ever seeing
-            // a half-written entry.
-            let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
-            if std::fs::write(&tmp, artifact.to_json().to_string()).is_ok() {
-                let _ = std::fs::rename(&tmp, &path);
+        self.disk_put(key, artifact);
+    }
+
+    fn disk_put(&self, key: u64, artifact: &Artifact) {
+        let Some(path) = self.disk_path(key) else {
+            return;
+        };
+        // Temp-then-rename keeps a concurrent reader (or a second
+        // process warming from the same directory) from ever seeing a
+        // half-written entry.
+        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+        let body = artifact.to_json().to_string();
+        let doomed = self.injected_failures(FaultSite::CacheWrite, key);
+        for attempt in 0..IO_ATTEMPTS {
+            let wrote = if attempt < doomed {
+                Err(io::Error::other("injected fault: cache write I/O error"))
+            } else {
+                std::fs::write(&tmp, &body).and_then(|()| std::fs::rename(&tmp, &path))
+            };
+            match wrote {
+                Ok(()) => {
+                    self.note_disk_ok();
+                    self.sweep_disk();
+                    return;
+                }
+                Err(_) if attempt + 1 < IO_ATTEMPTS => {
+                    self.io_retries.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(Self::backoff(attempt));
+                }
+                Err(_) => {
+                    let _ = std::fs::remove_file(&tmp);
+                    self.note_disk_error();
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Removes the oldest on-disk entries (by modification time, file
+    /// name as tie-break) until at most `disk_max_entries` remain.
+    fn sweep_disk(&self) {
+        let Some(max) = self.disk_max_entries else {
+            return;
+        };
+        let Some(dir) = &self.dir else { return };
+        let Ok(listing) = std::fs::read_dir(dir) else {
+            return;
+        };
+        let mut entries: Vec<(std::time::SystemTime, PathBuf)> = listing
+            .flatten()
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "json"))
+            .filter_map(|p| {
+                let mtime = std::fs::metadata(&p).ok()?.modified().ok()?;
+                Some((mtime, p))
+            })
+            .collect();
+        if entries.len() <= max {
+            return;
+        }
+        entries.sort();
+        let excess = entries.len() - max;
+        for (_, path) in entries.into_iter().take(excess) {
+            if std::fs::remove_file(&path).is_ok() {
+                self.disk_evictions.fetch_add(1, Ordering::Relaxed);
             }
         }
     }
@@ -166,6 +375,10 @@ impl ArtifactCache {
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            io_retries: self.io_retries.load(Ordering::Relaxed),
+            io_errors: self.io_errors.load(Ordering::Relaxed),
+            corrupt_reads: self.corrupt_reads.load(Ordering::Relaxed),
+            disk_evictions: self.disk_evictions.load(Ordering::Relaxed),
         }
     }
 }
@@ -192,6 +405,12 @@ mod tests {
         }
     }
 
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("s1lisp-cache-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
     #[test]
     fn lru_evicts_the_coldest_entry() {
         let cache = ArtifactCache::new(2, None);
@@ -210,8 +429,7 @@ mod tests {
 
     #[test]
     fn disk_tier_round_trips_and_survives_corruption() {
-        let dir = std::env::temp_dir().join(format!("s1lisp-cache-test-{}", std::process::id()));
-        let _ = std::fs::remove_dir_all(&dir);
+        let dir = tempdir("roundtrip");
         {
             let cache = ArtifactCache::new(4, Some(dir.clone()));
             cache.put(7, &art("seven"));
@@ -221,11 +439,112 @@ mod tests {
         let got = cache.get(7).expect("disk hit");
         assert_eq!(got.name, "seven");
         assert_eq!(cache.stats().disk_hits, 1);
-        // Corrupt entries degrade to misses.
+        // Corrupt entries degrade to misses and are counted.
         std::fs::write(dir.join(format!("{:016x}.json", 9u64)), "{not json").unwrap();
         let fresh = ArtifactCache::new(4, Some(dir.clone()));
         assert!(fresh.get(9).is_none());
         assert_eq!(fresh.stats().misses, 1);
+        assert_eq!(fresh.stats().corrupt_reads, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_read_faults_retry_then_recover_or_miss() {
+        let dir = tempdir("readfault");
+        {
+            let clean = ArtifactCache::new(4, Some(dir.clone()));
+            for key in 0..8u64 {
+                clean.put(key, &art(&format!("fn{key}")));
+            }
+        }
+        let plan = FaultPlan::new(21).arm(FaultSite::CacheRead, 1000);
+        let cache = ArtifactCache::tuned(16, Some(dir.clone()), None, Some(plan.clone()));
+        for key in 0..8u64 {
+            let doomed = plan.failure_count(FaultSite::CacheRead, &format!("{key:016x}"), 3);
+            let before = cache.stats();
+            let got = cache.get(key);
+            let after = cache.stats();
+            if doomed < IO_ATTEMPTS {
+                // Retried past the transient failures and hit.
+                assert!(got.is_some(), "key {key}");
+                assert_eq!(after.io_retries - before.io_retries, u64::from(doomed));
+            } else {
+                // All attempts doomed: a contained error, a miss.
+                assert!(got.is_none(), "key {key}");
+                assert_eq!(after.io_errors - before.io_errors, 1);
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn persistent_write_failures_disable_the_disk_tier() {
+        // Pick a seed whose plan dooms all IO_ATTEMPTS for at least
+        // DISK_STRIKE_LIMIT consecutive put keys — the decision function
+        // is pure, so the search is deterministic and the found seed
+        // replays forever.
+        let seed = (0..1000u64)
+            .find(|&s| {
+                let plan = FaultPlan::new(s).arm(FaultSite::CacheWrite, 1000);
+                let mut run = 0u64;
+                (0..64u64).any(|key| {
+                    let doomed =
+                        plan.failure_count(FaultSite::CacheWrite, &format!("{key:016x}"), 3);
+                    run = if doomed >= IO_ATTEMPTS { run + 1 } else { 0 };
+                    run >= DISK_STRIKE_LIMIT
+                })
+            })
+            .expect("some small seed dooms a long enough run");
+        let dir = tempdir("writefault");
+        let plan = FaultPlan::new(seed).arm(FaultSite::CacheWrite, 1000);
+        let cache = ArtifactCache::tuned(128, Some(dir.clone()), None, Some(plan));
+        for key in 0..64u64 {
+            cache.put(key, &art(&format!("fn{key}")));
+        }
+        assert!(cache.disk_disabled());
+        assert!(cache.stats().io_errors >= DISK_STRIKE_LIMIT);
+        // The memory tier still serves every entry: no batch fails.
+        for key in 0..64u64 {
+            assert!(cache.get(key).is_some(), "key {key}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_corruption_counts_and_misses() {
+        let dir = tempdir("corrupt");
+        {
+            let clean = ArtifactCache::new(4, Some(dir.clone()));
+            clean.put(3, &art("three"));
+        }
+        let plan = FaultPlan::new(1).arm(FaultSite::CacheCorrupt, 1000);
+        let cache = ArtifactCache::tuned(4, Some(dir.clone()), None, Some(plan));
+        assert!(cache.get(3).is_none());
+        let s = cache.stats();
+        assert_eq!(s.corrupt_reads, 1);
+        assert_eq!(s.misses, 1);
+        // The on-disk entry itself is untouched: corruption is injected
+        // on the read path, and a clean reader still hits.
+        let clean = ArtifactCache::new(4, Some(dir.clone()));
+        assert!(cache.disk_path(3).is_some());
+        assert!(clean.get(3).is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disk_sweep_bounds_on_disk_entries() {
+        let dir = tempdir("sweep");
+        let cache = ArtifactCache::tuned(64, Some(dir.clone()), Some(3), None);
+        for key in 0..9u64 {
+            cache.put(key, &art(&format!("fn{key}")));
+        }
+        let on_disk = std::fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .filter(|e| e.path().extension().is_some_and(|x| x == "json"))
+            .count();
+        assert_eq!(on_disk, 3);
+        assert_eq!(cache.stats().disk_evictions, 6);
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -20,6 +20,14 @@
 //! * **Observability** — cache hit/miss/evict counters, queue depth,
 //!   per-worker and per-phase totals, one [`JobRecord`] per function,
 //!   all serializable for `report --json service`.
+//! * **Guarded compilation** — with [`ServiceConfig::guard`] set, every
+//!   job runs the phase validators (Table-2 well-formedness and the
+//!   back-translation round trip) and a differential execution oracle
+//!   compares each [`OracleCase`] against a transformations-off
+//!   reference compile on the simulator; a seeded [`FaultPlan`] can
+//!   deterministically inject cache I/O errors, corrupt reads, phase
+//!   panics, watchdog overruns, and miscompiles to drill the whole
+//!   containment surface ([`GuardReport`]).
 //!
 //! ```
 //! use s1lisp_driver::{CompileService, ServiceConfig, SourceUnit};
@@ -40,9 +48,10 @@ mod cache;
 mod service;
 
 pub use cache::{ArtifactCache, CacheStats};
+pub use s1lisp::{FaultPlan, FaultSite};
 pub use service::{
-    BatchResult, BatchStats, CompileService, Incident, IncidentKind, JobRecord, Outcome,
-    WorkerStats,
+    BatchResult, BatchStats, CompileService, GuardReport, Incident, IncidentKind, JobRecord,
+    OracleVerdict, Outcome, WorkerStats,
 };
 
 use std::path::PathBuf;
@@ -87,6 +96,32 @@ pub enum FaultMode {
     Hang(Duration),
 }
 
+/// One differential-oracle case: after a guarded batch, call `entry`
+/// with the given arguments on both the batch-configured compilation
+/// and a transformations-off reference compilation, and demand
+/// identical results.  Arguments are printed datums (`"3"`, `"-1.5"`,
+/// `"(1 2)"`) so the configuration stays plain cross-thread data.
+#[derive(Clone, Debug)]
+pub struct OracleCase {
+    /// The function to call.
+    pub entry: String,
+    /// Printed-datum arguments.
+    pub args: Vec<String>,
+}
+
+impl OracleCase {
+    /// Builds a case from anything string-like.
+    pub fn new(
+        entry: impl Into<String>,
+        args: impl IntoIterator<Item = impl Into<String>>,
+    ) -> OracleCase {
+        OracleCase {
+            entry: entry.into(),
+            args: args.into_iter().map(Into::into).collect(),
+        }
+    }
+}
+
 /// Service configuration.  The compiler options mirror the fields of
 /// [`s1lisp::Compiler`] and participate in the cache key; the rest
 /// shape scheduling and robustness.
@@ -108,8 +143,24 @@ pub struct ServiceConfig {
     pub cache_capacity: usize,
     /// Directory for the persistent cache tier; `None` disables it.
     pub cache_dir: Option<PathBuf>,
+    /// Bound on entries in the persistent tier (the oldest are swept
+    /// after each write); `None` leaves on-disk growth unbounded.
+    pub disk_max_entries: Option<usize>,
     /// Forced fault, for exercising the degraded path.
     pub fault: Option<FaultInjection>,
+    /// Guarded compilation: run the phase validators (well-formedness +
+    /// back-translation round trip) on every job, route violations to
+    /// the degraded path, and run the differential oracle over
+    /// [`ServiceConfig::oracle`] after the batch.
+    pub guard: bool,
+    /// Seeded deterministic fault plan arming the cache, phase,
+    /// overrun, and oracle injection sites; `None` injects nothing.
+    pub fault_plan: Option<FaultPlan>,
+    /// Differential-oracle cases, run when `guard` is set.
+    pub oracle: Vec<OracleCase>,
+    /// Instruction budget per oracle execution (both sides), so a
+    /// diverging or runaway artifact traps instead of hanging.
+    pub oracle_fuel: u64,
 }
 
 impl Default for ServiceConfig {
@@ -123,7 +174,12 @@ impl Default for ServiceConfig {
             time_budget: None,
             cache_capacity: 512,
             cache_dir: None,
+            disk_max_entries: None,
             fault: None,
+            guard: false,
+            fault_plan: None,
+            oracle: Vec::new(),
+            oracle_fuel: 100_000_000,
         }
     }
 }

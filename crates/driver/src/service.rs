@@ -24,13 +24,13 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{mpsc, Mutex};
 use std::time::Instant;
 
-use s1lisp::{Artifact, Compiler};
+use s1lisp::{Artifact, CompileError, Compiler, FaultPlan, FaultSite, Machine, Value};
 use s1lisp_ast::Fnv1a64;
-use s1lisp_reader::{read_all_str, Datum, Interner};
+use s1lisp_reader::{read_all_str, read_str, Datum, Interner};
 use s1lisp_trace::json::Json;
 
 use crate::cache::{ArtifactCache, CacheStats};
-use crate::{FaultMode, ServiceConfig, SourceUnit};
+use crate::{FaultMode, OracleCase, ServiceConfig, SourceUnit};
 
 /// One function's worth of work: everything a worker needs, as plain
 /// data that crosses threads freely.
@@ -80,6 +80,11 @@ pub enum IncidentKind {
     Panic,
     /// The pipeline exceeded the per-function time budget.
     Timeout,
+    /// A guarded-compilation validator rejected the tree.
+    Guard,
+    /// The differential oracle caught the optimized artifact computing
+    /// a different answer than the reference compile.
+    Miscompile,
 }
 
 impl IncidentKind {
@@ -88,21 +93,25 @@ impl IncidentKind {
         match self {
             IncidentKind::Panic => "panic",
             IncidentKind::Timeout => "timeout",
+            IncidentKind::Guard => "guard",
+            IncidentKind::Miscompile => "miscompile",
         }
     }
 }
 
-/// A recorded pipeline fault: one function panicked or ran over budget,
-/// the batch carried on, and a degraded recompile was attempted.
+/// A recorded pipeline fault: one function panicked, ran over budget,
+/// failed a guard validator, or miscompiled under the oracle; the
+/// batch carried on, and a degraded recompile (or reference artifact)
+/// was attempted.
 #[derive(Clone, Debug)]
 pub struct Incident {
     /// The function whose compilation faulted.
     pub function: String,
     /// The compilation unit it came from.
     pub unit: String,
-    /// Panic or timeout.
+    /// Panic, timeout, guard violation, or oracle mismatch.
     pub kind: IncidentKind,
-    /// The panic message, or a description of the budget overrun.
+    /// The panic message, or a description of the violated invariant.
     pub detail: String,
     /// True when the degraded recompile produced an artifact.
     pub recovered: bool,
@@ -159,6 +168,85 @@ pub struct BatchStats {
     pub phase_totals: Vec<(String, u64, u64)>,
 }
 
+/// One differential-oracle verdict: the printed outcome (value or
+/// trap) of `entry` on the optimized and reference compilations.
+#[derive(Clone, Debug)]
+pub struct OracleVerdict {
+    /// The function that was called.
+    pub entry: String,
+    /// True when both compilations agreed.
+    pub matched: bool,
+    /// Printed outcome of the batch-configured compilation.
+    pub optimized: String,
+    /// Printed outcome of the transformations-off reference.
+    pub reference: String,
+    /// True when a fault-plan site (`SimTrap`/`Miscompile`) perturbed
+    /// the optimized side.
+    pub injected: bool,
+}
+
+/// The guarded-compilation summary attached to a batch when
+/// [`ServiceConfig::guard`](crate::ServiceConfig::guard) is set.
+#[derive(Clone, Debug)]
+pub struct GuardReport {
+    /// The fault plan's seed (0 when no plan was armed).
+    pub seed: u64,
+    /// Armed fault sites as `(site, permille)`.
+    pub armed: Vec<(String, u16)>,
+    /// Differential-oracle verdicts, in case order.
+    pub oracle: Vec<OracleVerdict>,
+    /// True when persistent disk failures demoted the cache to
+    /// memory-only operation during the batch.
+    pub disk_disabled: bool,
+    /// The containment verdict: no function was lost — every fault
+    /// became a recovered incident and the failure list is empty.
+    pub contained: bool,
+}
+
+impl GuardReport {
+    /// The machine-readable form embedded in `report --json guard`.
+    pub fn to_json(&self) -> Json {
+        let obj = |fields: Vec<(&str, Json)>| {
+            Json::Obj(
+                fields
+                    .into_iter()
+                    .map(|(k, v)| (k.to_string(), v))
+                    .collect(),
+            )
+        };
+        let armed = self
+            .armed
+            .iter()
+            .map(|(site, rate)| {
+                obj(vec![
+                    ("site", Json::str(site)),
+                    ("permille", Json::uint(u64::from(*rate))),
+                ])
+            })
+            .collect();
+        let oracle = self
+            .oracle
+            .iter()
+            .map(|v| {
+                obj(vec![
+                    ("entry", Json::str(&v.entry)),
+                    ("matched", Json::Bool(v.matched)),
+                    ("optimized", Json::str(&v.optimized)),
+                    ("reference", Json::str(&v.reference)),
+                    ("injected", Json::Bool(v.injected)),
+                ])
+            })
+            .collect();
+        obj(vec![
+            ("seed", Json::uint(self.seed)),
+            ("armed", Json::Arr(armed)),
+            ("oracle", Json::Arr(oracle)),
+            ("disk_disabled", Json::Bool(self.disk_disabled)),
+            ("contained", Json::Bool(self.contained)),
+        ])
+    }
+}
+
 /// Everything a batch compile produced.
 #[derive(Clone, Debug)]
 pub struct BatchResult {
@@ -176,6 +264,9 @@ pub struct BatchResult {
     pub globals: Vec<(String, String)>,
     /// Batch telemetry.
     pub stats: BatchStats,
+    /// Guarded-compilation summary; `None` unless the batch ran with
+    /// [`ServiceConfig::guard`](crate::ServiceConfig::guard).
+    pub guard: Option<GuardReport>,
 }
 
 impl BatchResult {
@@ -194,6 +285,41 @@ impl BatchResult {
             out.push('\n');
         }
         out
+    }
+
+    /// Installs the batch's `defvar` globals into a machine, making a
+    /// batch-compiled program directly runnable like a serial
+    /// [`Compiler::machine`]: each printed initializer is re-read,
+    /// converted to a value (one `quote` level stripped, as `defvar`
+    /// does), and set as the global.  Returns the number installed.
+    ///
+    /// # Errors
+    ///
+    /// A string naming the global whose initializer failed to re-read
+    /// or install.
+    pub fn load_globals(&self, m: &mut Machine) -> Result<usize, String> {
+        let mut interner = Interner::new();
+        let mut installed = 0;
+        for (name, init) in &self.globals {
+            let datum = read_str(init, &mut interner).map_err(|e| format!("global {name}: {e}"))?;
+            let quoted = datum
+                .car()
+                .and_then(|h| h.as_symbol().cloned())
+                .is_some_and(|s| s.as_str() == "quote");
+            let datum = if quoted {
+                datum
+                    .cdr()
+                    .and_then(|d| d.car())
+                    .ok_or_else(|| format!("global {name}: malformed quote"))?
+            } else {
+                datum
+            };
+            let value = Value::from_datum(&datum);
+            m.set_global(name, &value)
+                .map_err(|t| format!("global {name}: {t}"))?;
+            installed += 1;
+        }
+        Ok(installed)
     }
 
     /// Cache hits as a percentage of functions, rounded down (100 ⇔
@@ -220,6 +346,13 @@ impl BatchResult {
             ("misses", Json::uint(self.stats.cache.misses)),
             ("evictions", Json::uint(self.stats.cache.evictions)),
             ("disk_hits", Json::uint(self.stats.cache.disk_hits)),
+            ("io_retries", Json::uint(self.stats.cache.io_retries)),
+            ("io_errors", Json::uint(self.stats.cache.io_errors)),
+            ("corrupt_reads", Json::uint(self.stats.cache.corrupt_reads)),
+            (
+                "disk_evictions",
+                Json::uint(self.stats.cache.disk_evictions),
+            ),
         ]);
         let workers = self
             .stats
@@ -309,6 +442,10 @@ impl BatchResult {
             ("incidents", Json::Arr(incidents)),
             ("failures", Json::Arr(failures)),
             ("globals", Json::Arr(globals)),
+            (
+                "guard",
+                self.guard.as_ref().map_or(Json::Null, GuardReport::to_json),
+            ),
             ("artifacts", Json::Arr(artifacts)),
         ])
     }
@@ -332,7 +469,9 @@ fn cache_key(tree_fp: u64, options_fp: u64) -> u64 {
 }
 
 /// A compiler configured for one job.  `degraded` switches every
-/// source-level transformation off (the recovery path after a fault).
+/// source-level transformation off (the recovery path after a fault)
+/// and also drops the guard validators and injected faults: the retry
+/// must run clean.
 fn job_compiler(config: &ServiceConfig, specials: &[String], degraded: bool) -> Compiler {
     let mut c = Compiler::new();
     c.opt_options = if degraded {
@@ -343,6 +482,12 @@ fn job_compiler(config: &ServiceConfig, specials: &[String], degraded: bool) -> 
     c.cse = config.cse && !degraded;
     c.codegen_options = config.codegen_options.clone();
     c.tension_branches = config.tension_branches;
+    c.guard = config.guard && !degraded;
+    c.fault_plan = if degraded {
+        None
+    } else {
+        config.fault_plan.clone()
+    };
     c.enable_trace();
     for s in specials {
         c.proclaim_special(s);
@@ -370,17 +515,42 @@ struct AttemptOk {
     phase_spans: Vec<(String, u64, u64)>,
 }
 
+/// A failed attempt; `guard` marks validator rejections, which take the
+/// degraded-recompile path instead of failing the function outright.
+struct AttemptErr {
+    guard: bool,
+    detail: String,
+}
+
+impl AttemptErr {
+    fn plain(detail: impl Into<String>) -> AttemptErr {
+        AttemptErr {
+            guard: false,
+            detail: detail.into(),
+        }
+    }
+
+    fn from_compile(e: &CompileError) -> AttemptErr {
+        AttemptErr {
+            guard: matches!(e, CompileError::Guard(_)),
+            detail: e.to_string(),
+        }
+    }
+}
+
 /// One self-contained compilation attempt: builds a private compiler,
-/// converts, (optionally) trips the injected fault, and compiles.
+/// converts, (optionally) trips the injected faults, and compiles.
 /// Runs inline or on a watchdogged thread; owns no shared state.
-fn attempt(job: &Job, config: &ServiceConfig, degraded: bool) -> Result<AttemptOk, String> {
+fn attempt(job: &Job, config: &ServiceConfig, degraded: bool) -> Result<AttemptOk, AttemptErr> {
     let mut c = job_compiler(config, &job.specials, degraded);
-    let mut pending = c.convert_str(&job.form).map_err(|e| e.to_string())?;
+    let mut pending = c
+        .convert_str(&job.form)
+        .map_err(|e| AttemptErr::from_compile(&e))?;
     let Some(p) = pending.pop().filter(|_| pending.is_empty()) else {
-        return Err(format!(
+        return Err(AttemptErr::plain(format!(
             "expected exactly one function in job {}",
             job.fn_name
-        ));
+        )));
     };
     if !degraded {
         if let Some(fault) = config.fault.as_ref().filter(|f| f.function == job.fn_name) {
@@ -391,11 +561,20 @@ fn attempt(job: &Job, config: &ServiceConfig, degraded: bool) -> Result<AttemptO
                 FaultMode::Hang(d) => std::thread::sleep(d),
             }
         }
+        // A planned overrun only makes sense when a watchdog is armed
+        // to catch it: sleep just past the budget.
+        if let (Some(plan), Some(budget)) = (&config.fault_plan, config.time_budget) {
+            if plan.fires(FaultSite::Overrun, &job.fn_name) {
+                std::thread::sleep(budget + budget / 4 + std::time::Duration::from_millis(20));
+            }
+        }
     }
-    let name = c.compile_pending(p).map_err(|e| e.to_string())?;
+    let name = c
+        .compile_pending(p)
+        .map_err(|e| AttemptErr::from_compile(&e))?;
     let mut artifact = c
         .artifact(&name)
-        .ok_or_else(|| format!("no artifact for {name}"))?;
+        .ok_or_else(|| AttemptErr::plain(format!("no artifact for {name}")))?;
     artifact.degraded = degraded;
     Ok(AttemptOk {
         artifact,
@@ -405,7 +584,7 @@ fn attempt(job: &Job, config: &ServiceConfig, degraded: bool) -> Result<AttemptO
 
 enum AttemptOutcome {
     Ok(Box<AttemptOk>),
-    CompileError(String),
+    CompileError(AttemptErr),
     Panicked(String),
     TimedOut,
 }
@@ -444,7 +623,9 @@ fn guarded_attempt(job: &Job, config: &ServiceConfig, degraded: bool) -> Attempt
                     let _ = tx.send(r);
                 });
             if spawned.is_err() {
-                return AttemptOutcome::CompileError("could not spawn attempt thread".into());
+                return AttemptOutcome::CompileError(AttemptErr::plain(
+                    "could not spawn attempt thread",
+                ));
             }
             match rx.recv_timeout(budget) {
                 Ok(Ok(Ok(ok))) => AttemptOutcome::Ok(Box::new(ok)),
@@ -516,26 +697,30 @@ fn process_job(
                 phase_spans = ok.phase_spans;
                 (Outcome::Compiled, Some(ok.artifact))
             }
-            AttemptOutcome::CompileError(e) => {
-                failure = Some((job.fn_name.clone(), e));
+            AttemptOutcome::CompileError(e) if !e.guard => {
+                failure = Some((job.fn_name.clone(), e.detail));
                 phase_spans = Vec::new();
                 (Outcome::Failed, None)
             }
             faulted => {
-                let kind = match faulted {
-                    AttemptOutcome::TimedOut => IncidentKind::Timeout,
-                    _ => IncidentKind::Panic,
-                };
-                let detail = match faulted {
-                    AttemptOutcome::Panicked(d) => d,
-                    _ => format!(
-                        "exceeded the {:?} per-function budget",
-                        config.time_budget.unwrap_or_default()
+                let (kind, detail) = match faulted {
+                    AttemptOutcome::TimedOut => (
+                        IncidentKind::Timeout,
+                        format!(
+                            "exceeded the {:?} per-function budget",
+                            config.time_budget.unwrap_or_default()
+                        ),
                     ),
+                    AttemptOutcome::Panicked(d) => (IncidentKind::Panic, d),
+                    // Only guard rejections reach here; plain compile
+                    // errors took the arm above.
+                    AttemptOutcome::CompileError(e) => (IncidentKind::Guard, e.detail),
+                    AttemptOutcome::Ok(_) => unreachable!("handled above"),
                 };
                 // Graceful degradation: transformations off, no fault
-                // injection, panic-isolated.  Degraded artifacts are
-                // never cached — the cache holds only clean output.
+                // injection, no validators, panic-isolated.  Degraded
+                // artifacts are never cached — the cache holds only
+                // clean output.
                 let retry = catch_unwind(AssertUnwindSafe(|| attempt(job, config, true)));
                 let (outcome, artifact, recovered) = match retry {
                     Ok(Ok(mut ok)) => {
@@ -544,7 +729,7 @@ fn process_job(
                         (Outcome::Degraded, Some(ok.artifact), true)
                     }
                     Ok(Err(e)) => {
-                        failure = Some((job.fn_name.clone(), e));
+                        failure = Some((job.fn_name.clone(), e.detail));
                         phase_spans = Vec::new();
                         (Outcome::Failed, None, false)
                     }
@@ -605,7 +790,12 @@ fn worker_loop(
 impl CompileService {
     /// A service over a fresh cache.
     pub fn new(config: ServiceConfig) -> CompileService {
-        let cache = ArtifactCache::new(config.cache_capacity, config.cache_dir.clone());
+        let cache = ArtifactCache::tuned(
+            config.cache_capacity,
+            config.cache_dir.clone(),
+            config.disk_max_entries,
+            config.fault_plan.clone(),
+        );
         CompileService { config, cache }
     }
 
@@ -696,7 +886,7 @@ impl CompileService {
             failures.extend(r.failure);
             records.push(r.record);
         }
-        BatchResult {
+        let mut batch = BatchResult {
             artifacts,
             records,
             incidents,
@@ -710,7 +900,155 @@ impl CompileService {
                 workers,
                 phase_totals,
             },
+            guard: None,
+        };
+        if self.config.guard {
+            self.apply_guard(units, &mut batch);
         }
+        batch
+    }
+
+    /// The post-batch guard pass: run the differential oracle over the
+    /// configured cases, convert mismatches into [`IncidentKind::
+    /// Miscompile`] incidents that ship the reference artifact, and
+    /// attach the [`GuardReport`].
+    fn apply_guard(&self, units: &[SourceUnit], batch: &mut BatchResult) {
+        let plan = self
+            .config
+            .fault_plan
+            .clone()
+            .unwrap_or_else(|| FaultPlan::new(0));
+        let mut oracle = Vec::new();
+        if !self.config.oracle.is_empty() {
+            // Two serial compilations of the same units: one with the
+            // batch's options, one with every transformation off.  The
+            // reference side is the ground truth the paper's §7
+            // transformations must preserve.
+            let mut opt_c = self.oracle_compiler(false);
+            let mut ref_c = self.oracle_compiler(true);
+            for u in units {
+                // A unit that fails here already failed in the batch;
+                // the oracle is best-effort over what compiled.
+                let _ = catch_unwind(AssertUnwindSafe(|| opt_c.compile_str(&u.source).map(drop)));
+                let _ = catch_unwind(AssertUnwindSafe(|| ref_c.compile_str(&u.source).map(drop)));
+            }
+            for case in &self.config.oracle {
+                match self.judge_case(case, &plan, &opt_c, &ref_c, batch) {
+                    Ok(verdict) => oracle.push(verdict),
+                    Err(e) => batch.failures.push((format!("oracle {}", case.entry), e)),
+                }
+            }
+        }
+        let contained = batch.failures.is_empty() && batch.incidents.iter().all(|i| i.recovered);
+        batch.guard = Some(GuardReport {
+            seed: plan.seed,
+            armed: plan
+                .armed_sites()
+                .into_iter()
+                .map(|(site, rate)| (site.to_string(), rate))
+                .collect(),
+            oracle,
+            disk_disabled: self.cache.disk_disabled(),
+            contained,
+        });
+    }
+
+    /// A serial compiler for one side of the oracle.
+    fn oracle_compiler(&self, reference: bool) -> Compiler {
+        let mut c = Compiler::new();
+        c.opt_options = if reference {
+            s1lisp::OptOptions::none()
+        } else {
+            self.config.opt_options.clone()
+        };
+        c.cse = self.config.cse && !reference;
+        c.codegen_options = self.config.codegen_options.clone();
+        c.tension_branches = self.config.tension_branches;
+        c
+    }
+
+    /// Runs one oracle case on both sides and, on a mismatch, records a
+    /// miscompile incident and ships the reference artifact.
+    fn judge_case(
+        &self,
+        case: &OracleCase,
+        plan: &FaultPlan,
+        opt_c: &Compiler,
+        ref_c: &Compiler,
+        batch: &mut BatchResult,
+    ) -> Result<OracleVerdict, String> {
+        let mut interner = Interner::new();
+        let mut args = Vec::new();
+        for a in &case.args {
+            let d = read_str(a, &mut interner).map_err(|e| format!("argument {a}: {e}"))?;
+            args.push(Value::from_datum(&d));
+        }
+        let run = |c: &Compiler, batch: &BatchResult| -> String {
+            let mut m = Machine::new(c.program().clone());
+            if let Err(e) = batch.load_globals(&mut m) {
+                return format!("trap: {e}");
+            }
+            m.fuel_per_run = self.config.oracle_fuel;
+            match m.run(&case.entry, &args) {
+                Ok(v) => v.to_string(),
+                Err(t) => format!("trap: {t}"),
+            }
+        };
+        let reference = run(ref_c, batch);
+        let mut optimized = run(opt_c, batch);
+        let mut injected = false;
+        if plan.fires(FaultSite::SimTrap, &case.entry) {
+            optimized = "trap: injected simulator fault".to_string();
+            injected = true;
+        }
+        if plan.fires(FaultSite::Miscompile, &case.entry) {
+            optimized.push_str(" [injected miscompile]");
+            injected = true;
+        }
+        let matched = optimized == reference;
+        if !matched {
+            // Ship the reference compiler's artifact in place of the
+            // suspect one, marked degraded — the same contract as the
+            // panic/timeout recovery path.
+            let mut recovered = false;
+            if let Some(mut a) = ref_c.artifact(&case.entry) {
+                a.degraded = true;
+                if let Some(slot) = batch
+                    .artifacts
+                    .iter_mut()
+                    .rev()
+                    .find(|x| x.name == case.entry)
+                {
+                    a.fingerprint = slot.fingerprint;
+                    *slot = a;
+                    recovered = true;
+                }
+            }
+            let unit = batch
+                .records
+                .iter()
+                .find(|r| r.function == case.entry)
+                .map_or_else(|| "oracle".to_string(), |r| r.unit.clone());
+            if let Some(r) = batch.records.iter_mut().find(|r| r.function == case.entry) {
+                r.outcome = Outcome::Degraded;
+            }
+            batch.incidents.push(Incident {
+                function: case.entry.clone(),
+                unit,
+                kind: IncidentKind::Miscompile,
+                detail: format!(
+                    "oracle mismatch: optimized gave {optimized}, reference gave {reference}"
+                ),
+                recovered,
+            });
+        }
+        Ok(OracleVerdict {
+            entry: case.entry.clone(),
+            matched,
+            optimized,
+            reference,
+            injected,
+        })
     }
 }
 

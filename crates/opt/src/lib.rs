@@ -198,6 +198,63 @@ impl Optimizer {
         tree.rebuild_backlinks();
         total
     }
+
+    /// Like [`Optimizer::optimize_named`], but *guarded*: after the
+    /// unroll stage and after every transformation round the tree is
+    /// checked against the Table-2 well-formedness invariants
+    /// ([`s1lisp_ast::well_formed`]).  A violation stops optimization
+    /// immediately and reports which round (and most recent rule) broke
+    /// the tree, so the caller can route the function to a degraded
+    /// recompile instead of emitting code from a corrupt tree.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first invariant violated.
+    pub fn optimize_checked(
+        &mut self,
+        tree: &mut Tree,
+        self_name: Option<&str>,
+    ) -> Result<usize, String> {
+        let mut total = 0;
+        if self.options.unroll {
+            if let Some(name) = self_name {
+                tree.rebuild_backlinks();
+                total += rules::unroll_once(self, tree, name);
+                self.check_round(tree, 0)?;
+            }
+        }
+        for round in 1..=self.options.max_rounds {
+            tree.rebuild_backlinks();
+            let applied = rules::run_round(self, tree);
+            total += applied;
+            if applied > 0 {
+                self.check_round(tree, round)?;
+            }
+            if applied == 0 {
+                break;
+            }
+        }
+        tree.rebuild_backlinks();
+        Ok(total)
+    }
+
+    fn check_round(&self, tree: &Tree, round: usize) -> Result<(), String> {
+        if let Err(e) = s1lisp_ast::well_formed(tree) {
+            let last_rule = self
+                .transcript
+                .entries
+                .last()
+                .map(|e| e.rule)
+                .unwrap_or("(none)");
+            let stage = if round == 0 {
+                "after unroll".to_string()
+            } else {
+                format!("after round {round}")
+            };
+            return Err(format!("{e} ({stage}, last rule {last_rule})"));
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

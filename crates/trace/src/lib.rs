@@ -23,9 +23,13 @@
 //!   golden tests.
 //! * [`rng`] — a tiny deterministic PRNG; the workspace's property
 //!   tests run offline and reproducibly on top of it.
+//! * [`fault`] — seeded, order-independent fault injection
+//!   ([`fault::FaultPlan`]); the robustness counterpart of tracing,
+//!   letting any failure scenario replay exactly from a seed.
 
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod json;
 pub mod rng;
 mod sink;

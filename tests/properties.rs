@@ -209,6 +209,64 @@ fn driver_batches_are_jobs_invariant_on_random_programs() {
     }
 }
 
+/// Seeded fault storms never lose work and never perturb bystanders:
+/// for random `FaultPlan` seeds arming phase panics across the corpus,
+/// every batch still completes with zero failures, and every function
+/// the storm did *not* touch is byte-identical to the clean baseline.
+#[test]
+fn driver_fault_storms_leave_untouched_functions_byte_identical() {
+    use s1lisp_driver::{CompileService, FaultPlan, FaultSite, ServiceConfig};
+
+    let units = s1lisp_bench::service_units();
+    let baseline = CompileService::new(ServiceConfig::with_jobs(2)).compile_batch(&units);
+    assert!(baseline.failures.is_empty(), "{:?}", baseline.failures);
+
+    // The injected panics are the subject; keep their backtraces quiet.
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let mut rng = SplitMix64::new(0x5115_000b);
+    for _round in 0..4 {
+        let seed = rng.next_u64();
+        let cfg = ServiceConfig {
+            jobs: 4,
+            guard: true,
+            fault_plan: Some(FaultPlan::new(seed).arm(FaultSite::PhasePanic, 35)),
+            ..ServiceConfig::default()
+        };
+        let batch = CompileService::new(cfg).compile_batch(&units);
+        assert!(
+            batch.failures.is_empty(),
+            "seed {seed}: {:?}",
+            batch.failures
+        );
+        assert_eq!(
+            batch.artifacts.len(),
+            baseline.artifacts.len(),
+            "seed {seed}"
+        );
+        assert!(
+            batch.incidents.iter().all(|i| i.recovered),
+            "seed {seed}: {:?}",
+            batch.incidents
+        );
+        assert!(batch.guard.as_ref().is_some_and(|g| g.contained));
+        let hit: std::collections::HashSet<&str> = batch
+            .incidents
+            .iter()
+            .map(|i| i.function.as_str())
+            .collect();
+        for a in &batch.artifacts {
+            if hit.contains(a.name.as_str()) {
+                continue;
+            }
+            let clean = baseline.artifact(&a.name).unwrap();
+            assert_eq!(a.dossier, clean.dossier, "seed {seed}: {}", a.name);
+            assert!(!a.degraded, "seed {seed}: {}", a.name);
+        }
+    }
+    std::panic::set_hook(prev);
+}
+
 // ------------------------------------------------------------ GC stress
 
 #[test]
