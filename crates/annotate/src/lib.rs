@@ -46,7 +46,10 @@ pub use binding::{binding_annotation, BindingInfo, LambdaStrategy, VarAlloc};
 pub use pdl::{pdl_annotation, PdlInfo};
 pub use rep::{rep_annotation, Rep, RepInfo};
 
-use s1lisp_ast::Tree;
+use std::collections::HashMap;
+
+use s1lisp_ast::{clip_form, NodeId, Tree, VarId};
+use s1lisp_trace::TraceSink;
 
 /// The bundle of all machine-dependent annotations for one function.
 #[derive(Debug, Clone)]
@@ -65,6 +68,116 @@ impl Annotations {
         let binding = binding_annotation(tree);
         let rep = rep_annotation(tree, &binding);
         let pdl = pdl_annotation(tree, &binding, &rep);
+        Annotations { binding, rep, pdl }
+    }
+}
+
+/// [`binding_annotation`] under a Table-1 trace span ("Binding
+/// annotation") for `unit`, recording the lambda-strategy and
+/// heap-variable counters.  With a disabled sink the span and counters
+/// are no-ops and only the analysis itself runs.
+pub fn binding_annotation_traced(tree: &Tree, unit: &str, sink: &mut dyn TraceSink) -> BindingInfo {
+    let sp = sink.span_begin("Binding annotation", unit);
+    let binding = binding_annotation(tree);
+    if sink.enabled() {
+        sink.add("lambdas", binding.strategy.len() as u64);
+        let count =
+            |want: LambdaStrategy| binding.strategy.values().filter(|&&s| s == want).count() as u64;
+        sink.add("lambdas_let", count(LambdaStrategy::Let));
+        sink.add("lambdas_local", count(LambdaStrategy::LocalFunction));
+        sink.add("lambdas_closure", count(LambdaStrategy::Closure));
+        sink.add(
+            "heap_vars",
+            binding
+                .var_alloc
+                .values()
+                .filter(|&&a| a == VarAlloc::Heap)
+                .count() as u64,
+        );
+    }
+    sink.span_end(sp);
+    binding
+}
+
+/// [`rep_annotation`] under a Table-1 trace span ("Representation
+/// annotation") for `unit`: counts raw WANTREP/ISREP verdicts and
+/// lowered generic ops, and emits the per-variable and per-node verdict
+/// events the dossiers list ("rep_var" / "lowered"), sorted by arena
+/// index so the event order is deterministic.
+pub fn rep_annotation_traced(
+    tree: &Tree,
+    binding: &BindingInfo,
+    unit: &str,
+    sink: &mut dyn TraceSink,
+) -> RepInfo {
+    let sp = sink.span_begin("Representation annotation", unit);
+    let rep = rep_annotation(tree, binding);
+    if sink.enabled() {
+        let raw =
+            |m: &HashMap<NodeId, Rep>| m.values().filter(|&&r| r != Rep::Pointer).count() as u64;
+        sink.add("raw_wantreps", raw(&rep.wantrep));
+        sink.add("raw_isreps", raw(&rep.isrep));
+        sink.add(
+            "raw_vars",
+            rep.var_rep.values().filter(|&&r| r != Rep::Pointer).count() as u64,
+        );
+        sink.add("lowered_generic_ops", rep.lowered.len() as u64);
+        let mut vars: Vec<(VarId, Rep)> = rep.var_rep.iter().map(|(&v, &r)| (v, r)).collect();
+        vars.sort_by_key(|&(v, _)| v.index());
+        for (v, r) in vars {
+            if r != Rep::Pointer {
+                sink.event(
+                    "rep_var",
+                    &format!("{} kept {r:?}", tree.var(v).name.as_str()),
+                );
+            }
+        }
+        let mut lows: Vec<(NodeId, Rep)> = rep.lowered.iter().map(|(&n, &r)| (n, r)).collect();
+        lows.sort_by_key(|&(n, _)| n.index());
+        for (n, r) in lows {
+            sink.event(
+                "lowered",
+                &format!("{} compiles as {r:?}", clip_form(tree, n)),
+            );
+        }
+    }
+    sink.span_end(sp);
+    rep
+}
+
+/// [`pdl_annotation`] under a Table-1 trace span ("Pdl number
+/// annotation") for `unit`, recording the stack-boxing counters.
+pub fn pdl_annotation_traced(
+    tree: &Tree,
+    binding: &BindingInfo,
+    rep: &RepInfo,
+    unit: &str,
+    sink: &mut dyn TraceSink,
+) -> PdlInfo {
+    let sp = sink.span_begin("Pdl number annotation", unit);
+    let pdl = pdl_annotation(tree, binding, rep);
+    if sink.enabled() {
+        sink.add("stack_box_sites", pdl.stack_boxes.len() as u64);
+        sink.add(
+            "pdlnump_nodes",
+            pdl.pdlnump.values().filter(|&&b| b).count() as u64,
+        );
+        sink.add(
+            "maybe_unsafe_nodes",
+            pdl.maybe_unsafe.values().filter(|&&b| b).count() as u64,
+        );
+    }
+    sink.span_end(sp);
+    pdl
+}
+
+impl Annotations {
+    /// [`Annotations::compute`], with each phase under its Table-1
+    /// trace span for `unit`.
+    pub fn compute_traced(tree: &Tree, unit: &str, sink: &mut dyn TraceSink) -> Annotations {
+        let binding = binding_annotation_traced(tree, unit, sink);
+        let rep = rep_annotation_traced(tree, &binding, unit, sink);
+        let pdl = pdl_annotation_traced(tree, &binding, &rep, unit, sink);
         Annotations { binding, rep, pdl }
     }
 }

@@ -58,6 +58,18 @@ pub fn unparse_declared(tree: &Tree, id: NodeId) -> Datum {
     u.node(id)
 }
 
+/// A one-line rendering of a subtree, clipped to 48 characters for
+/// event logs (telemetry events, dossier verdict lines).
+pub fn clip_form(tree: &Tree, node: NodeId) -> String {
+    let s = unparse(tree, node).to_string();
+    if s.chars().count() <= 48 {
+        s
+    } else {
+        let head: String = s.chars().take(47).collect();
+        format!("{head}…")
+    }
+}
+
 struct Unparser<'a> {
     tree: &'a Tree,
     declares: bool,

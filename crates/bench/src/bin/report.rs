@@ -7,6 +7,7 @@
 //! cargo run -p s1lisp-bench --bin report -- --json         # JSON array
 //! cargo run -p s1lisp-bench --bin report -- --json e1 e12  # selected
 //! cargo run -p s1lisp-bench --bin report -- --jobs 4 service
+//! cargo run -p s1lisp-bench --bin report -- --passes       # schedule
 //! ```
 //!
 //! `--json` emits one machine-readable record per experiment (the shape
@@ -28,6 +29,20 @@ fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let json = args.iter().any(|a| a == "--json");
     args.retain(|a| a != "--json");
+    let passes = args.iter().any(|a| a == "--passes");
+    args.retain(|a| a != "--passes");
+    if passes {
+        // The pass schedule is static — print it and stop.
+        if json {
+            println!(
+                "{}",
+                s1lisp_trace::json::Json::Arr(vec![s1lisp_bench::passes_record()])
+            );
+        } else {
+            print!("{}", s1lisp_bench::passes_report());
+        }
+        return;
+    }
     let mut jobs = 1usize;
     let mut cache_dir: Option<PathBuf> = None;
     let mut rest = Vec::new();

@@ -166,8 +166,11 @@ pub fn service_report(jobs: usize, cache_dir: Option<PathBuf>) -> String {
     let s = &batch.stats;
     let _ = writeln!(
         out,
-        "workers={} functions={} queue_peak={}",
-        s.workers_used, s.functions, s.queue_peak
+        "workers={} schedule={} functions={} queue_peak={}",
+        s.workers_used,
+        s.schedule.as_str(),
+        s.functions,
+        s.queue_peak
     );
     let _ = writeln!(
         out,
@@ -233,6 +236,22 @@ mod tests {
         // e10's proclaimed special must have reached its job.
         let acc = batch.artifact("accumulate").unwrap();
         assert!(acc.assembly.contains("%SPEC"), "{}", acc.assembly);
+    }
+
+    #[test]
+    fn human_report_surfaces_schedule_and_queue_peak() {
+        let text = service_report(2, None);
+        let head = text.lines().next().unwrap_or_default();
+        assert!(head.contains("schedule=sorted"), "{head}");
+        // The peak is the whole batch (the queue only drains), so the
+        // surfaced value must equal the function count on the same line.
+        let field = |key: &str| {
+            head.split_whitespace()
+                .find_map(|w| w.strip_prefix(key))
+                .unwrap_or_else(|| panic!("no {key} in {head}"))
+                .to_string()
+        };
+        assert_eq!(field("queue_peak="), field("functions="), "{head}");
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! Regenerate deliberately with
 //! `cargo run -p s1lisp-bench --bin explain -- --no-wall <fn>`.
 
-use s1lisp_bench::explain_function;
+use s1lisp_bench::{corpus_functions, explain_function};
 
 fn pinned(name: &str, golden: &str) {
     let text = explain_function(name, false).unwrap_or_else(|| panic!("no dossier for {name}"));
@@ -34,4 +34,35 @@ fn testfn_dossier_matches_golden() {
 fn tak_dossier_matches_golden() {
     // e12's ablation headliner.
     pinned("tak", include_str!("golden/dossier_tak.txt"));
+}
+
+/// The full-corpus byte-identity pin: every experiment function's
+/// rendered dossier (sources, transcript, phase rows, rep verdicts, TN
+/// packing, assembly), concatenated in corpus order.  Any refactor of
+/// the pipeline must leave this file untouched; regenerate deliberately
+/// with `UPDATE_GOLDEN=1 cargo test -p s1lisp-bench corpus_dossiers`.
+#[test]
+fn corpus_dossiers_match_golden() {
+    let mut all = String::new();
+    for f in corpus_functions() {
+        let text = explain_function(&f, false).unwrap_or_else(|| panic!("no dossier for {f}"));
+        all.push_str(&text);
+        if !all.ends_with('\n') {
+            all.push('\n');
+        }
+        all.push_str("========\n");
+    }
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        let path = format!(
+            "{}/tests/golden/corpus_dossiers.txt",
+            env!("CARGO_MANIFEST_DIR")
+        );
+        std::fs::write(path, &all).expect("golden rewrite");
+        return;
+    }
+    assert_eq!(
+        all,
+        include_str!("golden/corpus_dossiers.txt"),
+        "corpus dossiers drifted; UPDATE_GOLDEN=1 to regenerate if intentional"
+    );
 }

@@ -8,8 +8,8 @@
 //! must be a deliberate schema bump.
 
 use s1lisp_bench::{
-    guard_miscompile_record, guard_record, json_record, service_fault_record, service_record,
-    trap_record,
+    guard_miscompile_record, guard_record, json_record, passes_record, service_fault_record,
+    service_record, trap_record,
 };
 use s1lisp_trace::json::{self, Json};
 
@@ -19,6 +19,7 @@ const SERVICE_GOLDEN: &str = include_str!("golden/service_schema.txt");
 const SERVICE_FAULT_GOLDEN: &str = include_str!("golden/service_fault_schema.txt");
 const GUARD_GOLDEN: &str = include_str!("golden/guard_schema.txt");
 const GUARD_MISCOMPILE_GOLDEN: &str = include_str!("golden/guard_miscompile_schema.txt");
+const PASSES_GOLDEN: &str = include_str!("golden/passes_schema.txt");
 
 /// Dynamic maps in a record are int-valued histograms; an *empty* one
 /// carries no value type, so pad it with a sentinel entry before
@@ -132,6 +133,14 @@ fn guard_record_schema_matches_golden() {
     let rec = guard_record();
     std::panic::set_hook(prev);
     check_schema(rec, GUARD_GOLDEN, "guard_schema.txt");
+}
+
+#[test]
+fn passes_record_schema_matches_golden() {
+    // The pass schedule as data; a pass rename or a new pass is a
+    // deliberate schema/golden bump, caught here and by the core
+    // crate's phases() cross-check.
+    check_schema(passes_record(), PASSES_GOLDEN, "passes_schema.txt");
 }
 
 #[test]

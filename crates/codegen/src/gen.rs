@@ -3,10 +3,8 @@
 use std::collections::{HashMap, HashSet};
 
 use s1lisp_analysis::{primop, tail_nodes_from};
-use s1lisp_annotate::{
-    binding_annotation, pdl_annotation, rep_annotation, Annotations, LambdaStrategy, Rep, VarAlloc,
-};
-use s1lisp_ast::{CallFunc, Lambda, NodeId, NodeKind, ProgItem, Tree, VarId};
+use s1lisp_annotate::{Annotations, LambdaStrategy, Rep, VarAlloc};
+use s1lisp_ast::{clip_form, CallFunc, Lambda, NodeId, NodeKind, ProgItem, Tree, VarId};
 use s1lisp_interp::Value;
 use s1lisp_reader::{Datum, Symbol};
 use s1lisp_s1sim::{
@@ -69,84 +67,36 @@ pub fn compile_traced(
     sink: &mut dyn TraceSink,
 ) -> R<()> {
     // The three annotation phases, spanned and counted individually
-    // (this is `Annotations::compute`, opened up for telemetry).
-    let sp = sink.span_begin("Binding annotation", name);
-    let binding = binding_annotation(tree);
-    if sink.enabled() {
-        sink.add("lambdas", binding.strategy.len() as u64);
-        let count =
-            |want: LambdaStrategy| binding.strategy.values().filter(|&&s| s == want).count() as u64;
-        sink.add("lambdas_let", count(LambdaStrategy::Let));
-        sink.add("lambdas_local", count(LambdaStrategy::LocalFunction));
-        sink.add("lambdas_closure", count(LambdaStrategy::Closure));
-        sink.add(
-            "heap_vars",
-            binding
-                .var_alloc
-                .values()
-                .filter(|&&a| a == VarAlloc::Heap)
-                .count() as u64,
-        );
-    }
-    sink.span_end(sp);
-    let sp = sink.span_begin("Representation annotation", name);
-    let rep = rep_annotation(tree, &binding);
-    if sink.enabled() {
-        let raw =
-            |m: &HashMap<NodeId, Rep>| m.values().filter(|&&r| r != Rep::Pointer).count() as u64;
-        sink.add("raw_wantreps", raw(&rep.wantrep));
-        sink.add("raw_isreps", raw(&rep.isrep));
-        sink.add(
-            "raw_vars",
-            rep.var_rep.values().filter(|&&r| r != Rep::Pointer).count() as u64,
-        );
-        sink.add("lowered_generic_ops", rep.lowered.len() as u64);
-        // The individual WANTREP/ISREP verdicts, for dossiers: every
-        // variable kept in a raw representation, and every generic op
-        // lowered to a typed one.  Sorted by arena index so the event
-        // order is deterministic.
-        let mut vars: Vec<(VarId, Rep)> = rep.var_rep.iter().map(|(&v, &r)| (v, r)).collect();
-        vars.sort_by_key(|&(v, _)| v.index());
-        for (v, r) in vars {
-            if r != Rep::Pointer {
-                sink.event(
-                    "rep_var",
-                    &format!("{} kept {r:?}", tree.var(v).name.as_str()),
-                );
-            }
-        }
-        let mut lows: Vec<(NodeId, Rep)> = rep.lowered.iter().map(|(&n, &r)| (n, r)).collect();
-        lows.sort_by_key(|&(n, _)| n.index());
-        for (n, r) in lows {
-            sink.event(
-                "lowered",
-                &format!("{} compiles as {r:?}", clip_form(tree, n)),
-            );
-        }
-    }
-    sink.span_end(sp);
-    let sp = sink.span_begin("Pdl number annotation", name);
-    let pdl = pdl_annotation(tree, &binding, &rep);
-    if sink.enabled() {
-        sink.add("stack_box_sites", pdl.stack_boxes.len() as u64);
-        sink.add(
-            "pdlnump_nodes",
-            pdl.pdlnump.values().filter(|&&b| b).count() as u64,
-        );
-        sink.add(
-            "maybe_unsafe_nodes",
-            pdl.maybe_unsafe.values().filter(|&&b| b).count() as u64,
-        );
-    }
-    sink.span_end(sp);
-    let ann = Annotations { binding, rep, pdl };
+    // (`Annotations::compute`, opened up for telemetry).
+    let ann = Annotations::compute_traced(tree, name, sink);
+    emit_annotated(name, tree, &ann, program, opts, sink)
+}
 
+/// The emission back half of the pipeline: TNBIND + code generation
+/// over an already-annotated tree.  Runs the per-lambda work loop —
+/// pass-1 emit, TN packing ("Target annotation" spans), and the pass-2
+/// re-emit when packing promoted variables to registers — exactly as
+/// [`compile_traced`] does after its annotation spans.  This is the
+/// entry point the pass manager uses, with the annotations carried in
+/// the unit state rather than recomputed here.
+///
+/// # Errors
+///
+/// Same failure modes as [`compile`].
+pub fn emit_annotated(
+    name: &str,
+    tree: &Tree,
+    ann: &Annotations,
+    program: &mut Program,
+    opts: &CodegenOptions,
+    sink: &mut dyn TraceSink,
+) -> R<()> {
     let mut counter = 0u32;
     let mut work: Vec<(String, NodeId, Vec<VarId>)> = vec![(name.to_string(), tree.root, vec![])];
     while let Some((fname, lambda, captures)) = work.pop() {
         let code = compile_lambda(
             tree,
-            &ann,
+            ann,
             &fname,
             lambda,
             &captures,
@@ -210,16 +160,7 @@ fn compile_lambda(
         sink.add("slots_used", u64::from(packing.slots_used));
         sink.add("vars_promoted", promote.len() as u64);
         // Conflict-graph size — O(n²), computed only when tracing.
-        let ids: Vec<_> = pool.ids().collect();
-        let mut edges = 0u64;
-        for (i, &a) in ids.iter().enumerate() {
-            for &b in &ids[i + 1..] {
-                if pool.tn(a).overlaps(pool.tn(b)) {
-                    edges += 1;
-                }
-            }
-        }
-        sink.add("conflict_edges", edges);
+        sink.add("conflict_edges", pool.conflict_edges());
         // The packing map itself, for dossiers: where each user
         // variable's TN landed.  Sorted by arena index for determinism.
         let mut map: Vec<(VarId, TnId)> = var_tn.iter().map(|(&v, &tn)| (v, tn)).collect();
@@ -291,17 +232,6 @@ impl GenMetrics {
         for note in &self.notes {
             sink.event("coercion", note);
         }
-    }
-}
-
-/// A one-line rendering of a subtree, clipped for event logs.
-fn clip_form(tree: &Tree, node: NodeId) -> String {
-    let s = s1lisp_ast::unparse(tree, node).to_string();
-    if s.chars().count() <= 48 {
-        s
-    } else {
-        let head: String = s.chars().take(47).collect();
-        format!("{head}…")
     }
 }
 

@@ -33,12 +33,16 @@ mod dossier;
 mod error;
 mod guard;
 mod phases;
+mod pipeline;
 
 pub use artifact::Artifact;
 pub use dossier::Dossier;
-pub use error::CompileError;
+pub use error::{CompileError, PassOverrun};
 pub use guard::GuardError;
 pub use phases::{phases, trip_phase_faults, Phase, PhaseStatus};
+pub use pipeline::{
+    Pass, PassCx, PassInfo, Pipeline, PipelineOptions, UnitAnalyses, UnitAnnotations, UnitState,
+};
 pub use s1lisp_trace::fault::{FaultPlan, FaultSite};
 
 pub use s1lisp_codegen::CodegenOptions;
@@ -101,6 +105,18 @@ impl PendingFunction {
     pub fn tree_fingerprint(&self) -> u64 {
         s1lisp_ast::fingerprint(&self.inner.tree)
     }
+
+    /// The whole-function object-code size estimate, from the same
+    /// complexity analysis the pipeline runs (Table 1's "Complexity
+    /// analysis" row).  The compilation service sorts batch queues
+    /// largest-first on this, so the biggest compilations start first
+    /// and the stragglers are small.
+    pub fn complexity_estimate(&self) -> u32 {
+        s1lisp_analysis::complexity(&self.inner.tree)
+            .get(&self.inner.tree.root)
+            .map(|c| c.0)
+            .unwrap_or(0)
+    }
 }
 
 /// The whole-pipeline compiler.
@@ -131,6 +147,11 @@ pub struct Compiler {
     /// Seeded fault plan for deterministic failure drills; `None` (the
     /// default) injects nothing.
     pub fault_plan: Option<FaultPlan>,
+    /// Per-pass wall-clock budget: a pipeline pass that runs longer
+    /// than this fails the function with [`CompileError::Overrun`]
+    /// naming the pass, instead of one whole-job watchdog guessing.
+    /// `None` (the default) never times out.
+    pub pass_budget: Option<std::time::Duration>,
     /// Artifacts per compiled function, in compilation order.
     pub functions: Vec<CompiledFunction>,
     program: Program,
@@ -159,6 +180,7 @@ impl Compiler {
             tension_branches: true,
             guard: false,
             fault_plan: None,
+            pass_budget: None,
             functions: Vec::new(),
             program: Program::new(),
             interp_sources: Vec::new(),
@@ -195,8 +217,10 @@ impl Compiler {
     /// code-generation failures.
     pub fn compile_str(&mut self, source: &str) -> Result<Vec<String>, CompileError> {
         // Detach the sink so `compile_function` can borrow the rest of
-        // `self`; `None` costs a virtual no-op per phase boundary,
-        // nothing per node or instruction.
+        // `self`.  With `None`, recording is a virtual no-op per phase
+        // boundary (the analysis passes still run — their results feed
+        // the pipeline's `UnitState` — but nothing is stored per node
+        // or instruction).
         let mut trace = self.trace.take();
         let mut null = NullSink;
         let sink: &mut dyn TraceSink = match trace.as_mut() {
@@ -259,6 +283,31 @@ impl Compiler {
         result
     }
 
+    /// Like [`Compiler::compile_pending`], but through an explicit
+    /// [`Pipeline`] instead of the one this compiler's options build —
+    /// the hook for schedule experiments (e.g. the property test that
+    /// permutes the pure analysis passes and asserts byte-identical
+    /// artifacts).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CompileError`] for pass failures.
+    pub fn compile_pending_with(
+        &mut self,
+        pending: PendingFunction,
+        pipeline: &Pipeline,
+    ) -> Result<String, CompileError> {
+        let mut trace = self.trace.take();
+        let mut null = NullSink;
+        let sink: &mut dyn TraceSink = match trace.as_mut() {
+            Some(s) => s,
+            None => &mut null,
+        };
+        let result = self.run_unit(pending.inner, pipeline, sink);
+        self.trace = trace;
+        result
+    }
+
     fn convert_str_with(
         &mut self,
         source: &str,
@@ -287,120 +336,61 @@ impl Compiler {
             .collect())
     }
 
-    /// Runs one converted function through the whole Table 1 pipeline:
-    /// analysis spans, source-level optimization (+ optional CSE),
-    /// machine-dependent annotation and code generation, branch
-    /// tensioning, and artifact recording.  Shared by
-    /// [`Compiler::compile_str`] and [`Compiler::eval`], so both paths
-    /// produce identical spans and dossiers.
+    /// The per-function pass schedule this compiler's options build:
+    /// the [`Pipeline`] that [`Compiler::compile_str`],
+    /// [`Compiler::eval`], and the compilation service all run, and
+    /// that `report --passes` and the Table-1 cross-check describe.
+    pub fn pipeline(&self) -> Pipeline {
+        Pipeline::from_options(&PipelineOptions {
+            opt_options: self.opt_options.clone(),
+            cse: self.cse,
+            codegen_options: self.codegen_options.clone(),
+            tension_branches: self.tension_branches,
+            guard: self.guard,
+            fault_plan: self.fault_plan.clone(),
+            pass_budget: self.pass_budget,
+        })
+    }
+
+    /// Runs one converted function through the whole Table 1 pipeline
+    /// (the pass schedule of [`Compiler::pipeline`]) and records its
+    /// artifacts.  Shared by [`Compiler::compile_str`] and
+    /// [`Compiler::eval`], so both paths produce identical spans and
+    /// dossiers.
     fn compile_function(
         &mut self,
-        mut f: s1lisp_frontend::Function,
+        f: s1lisp_frontend::Function,
         sink: &mut dyn TraceSink,
     ) -> Result<String, CompileError> {
-        let name = f.name.as_str().to_string();
-        if let Some(plan) = &self.fault_plan {
-            phases::trip_phase_faults(plan, &name);
-        }
-        if self.guard {
-            guard::validate_tree(&name, "conversion", &f.tree)?;
-            guard::round_trip(&name, "conversion", &f.tree)?;
-        }
-        let converted = pretty(&unparse(&f.tree, f.tree.root), 78);
-        // The analysis phases are pure tree functions, co-routined
-        // inside the optimizer in normal operation; under tracing we
-        // additionally time each one explicitly (Table 1 rows).
-        if sink.enabled() {
-            let sp = sink.span_begin("Environment analysis", &name);
-            let _ = s1lisp_analysis::environment(&f.tree);
-            sink.add("nodes", f.tree.node_count() as u64);
-            sink.span_end(sp);
-            let sp = sink.span_begin("Side-effects analysis", &name);
-            let fx = s1lisp_analysis::effects(&f.tree);
-            sink.add("classified_nodes", fx.len() as u64);
-            sink.span_end(sp);
-            let sp = sink.span_begin("Complexity analysis", &name);
-            let cx = s1lisp_analysis::complexity(&f.tree);
-            sink.add("estimated_nodes", cx.len() as u64);
-            sink.span_end(sp);
-            let sp = sink.span_begin("Tail-recursion analysis", &name);
-            let tails = s1lisp_analysis::tail_nodes(&f.tree);
-            sink.add("tail_nodes", tails.len() as u64);
-            sink.span_end(sp);
-            let sp = sink.span_begin("Special variable lookups", &name);
-            let placements = s1lisp_analysis::special_placements(&f.tree);
-            sink.add("placements", placements.len() as u64);
-            sink.span_end(sp);
-        }
-        // Source-level optimization (§5) and optional CSE (§4.3).
-        let sp = sink.span_begin("Source-level optimization", &name);
-        let nodes_before = f.tree.node_count();
-        let mut opt = s1lisp_opt::Optimizer::with_options(self.opt_options.clone());
-        let optimized_result = if self.guard {
-            opt.optimize_checked(&mut f.tree, Some(&name))
-        } else {
-            Ok(opt.optimize_named(&mut f.tree, Some(&name)))
-        };
-        if sink.enabled() {
-            sink.add(
-                "transformations",
-                *optimized_result.as_ref().unwrap_or(&0) as u64,
-            );
-            sink.add("nodes_before", nodes_before as u64);
-            sink.add("nodes_after", f.tree.node_count() as u64);
-        }
-        sink.span_end(sp);
-        let mut transformations = optimized_result.map_err(|detail| guard::GuardError {
-            function: name.clone(),
-            stage: "source-level optimization",
-            detail,
-        })?;
-        if self.cse {
-            let sp = sink.span_begin("Common subexpression elimination", &name);
-            let eliminated = s1lisp_opt::cse::eliminate(&mut f.tree);
-            transformations += eliminated;
-            if sink.enabled() {
-                sink.add("eliminated", eliminated as u64);
-            }
-            sink.span_end(sp);
-        }
-        if self.guard {
-            guard::validate_tree(&name, "back-translation", &f.tree)?;
-            guard::round_trip(&name, "back-translation", &f.tree)?;
-        }
-        let optimized = pretty(&unparse(&f.tree, f.tree.root), 78);
-        // Machine-dependent annotation + TNBIND + code generation
-        // (opens its own Table 1 phase spans).
-        s1lisp_codegen::compile_traced(
-            &name,
-            &f.tree,
-            &mut self.program,
-            &self.codegen_options,
+        let pipeline = self.pipeline();
+        self.run_unit(f, &pipeline, sink)
+    }
+
+    /// Runs one converted function through an explicit [`Pipeline`].
+    fn run_unit(
+        &mut self,
+        f: s1lisp_frontend::Function,
+        pipeline: &Pipeline,
+        sink: &mut dyn TraceSink,
+    ) -> Result<String, CompileError> {
+        let mut unit = UnitState::new(f);
+        let mut cx = PassCx {
             sink,
-        )?;
-        if self.tension_branches {
-            if let Some(id) = self.program.lookup_fn(&name) {
-                if let Some(code) = self.program.func(id) {
-                    let mut code = (**code).clone();
-                    let sp = sink.span_begin("Peephole optimizer", &name);
-                    let retargeted = s1lisp_codegen::tension_branches(&mut code);
-                    if sink.enabled() {
-                        sink.add("labels_retargeted", retargeted as u64);
-                    }
-                    sink.span_end(sp);
-                    self.program.define(code);
-                }
-            }
-        }
+            program: &mut self.program,
+        };
+        pipeline.run(&mut unit, &mut cx)?;
+        let name = unit.name.clone();
+        let optimized = pretty(&unparse(unit.tree(), unit.tree().root), 78);
+        let (func, converted, transcript, transformations) = unit.into_parts();
         self.functions.push(CompiledFunction {
             name: name.clone(),
             converted,
             optimized,
-            transcript: std::mem::take(&mut opt.transcript),
-            tree: f.tree.clone(),
+            transcript,
+            tree: func.tree.clone(),
             transformations,
         });
-        self.interp_sources.push(f);
+        self.interp_sources.push(func);
         Ok(name)
     }
 

@@ -1,5 +1,12 @@
 //! The phase structure of the compiler — Table 1 of the paper,
 //! reproduced as data (experiment E1).
+//!
+//! This table is descriptive; the *executable* schedule lives in
+//! [`crate::pipeline`].  The two cannot drift: the
+//! `pipeline_is_consistent_with_table_1` test in `pipeline.rs` asserts
+//! that every Table-1 row here (except `Preliminary` and rows marked
+//! [`PhaseStatus::Subsumed`]) is claimed by exactly one scheduled pass,
+//! and that single-row passes carry this table's module string.
 
 /// Implementation status of a phase in this reproduction.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

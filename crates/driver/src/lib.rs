@@ -122,6 +122,34 @@ impl OracleCase {
     }
 }
 
+/// How a batch's job queue is ordered before the workers drain it.
+///
+/// Because every job is hermetic and results are reassembled in source
+/// order, queue order affects only wall-clock, never output — pinned by
+/// the schedule-invariance test.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Schedule {
+    /// Source order, as split.
+    Fifo,
+    /// Largest function first, by the complexity analysis's
+    /// whole-function object-code size estimate
+    /// ([`s1lisp::PendingFunction::complexity_estimate`]); ties keep
+    /// source order.  The longest compilations start before the queue
+    /// thins out, so the batch does not end with one worker grinding a
+    /// big function while the rest idle.
+    LargestFirst,
+}
+
+impl Schedule {
+    /// Lower-case label for reports (`"fifo"` / `"sorted"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Schedule::Fifo => "fifo",
+            Schedule::LargestFirst => "sorted",
+        }
+    }
+}
+
 /// Service configuration.  The compiler options mirror the fields of
 /// [`s1lisp::Compiler`] and participate in the cache key; the rest
 /// shape scheduling and robustness.
@@ -129,6 +157,9 @@ impl OracleCase {
 pub struct ServiceConfig {
     /// Worker threads (`1` = serial on the caller's thread).
     pub jobs: usize,
+    /// Queue order for each batch.  Output-invariant; the default
+    /// ([`Schedule::LargestFirst`]) minimizes straggler time.
+    pub schedule: Schedule,
     /// Source-level optimization switches for every job.
     pub opt_options: s1lisp::OptOptions,
     /// Whether jobs run the CSE phase.
@@ -139,6 +170,14 @@ pub struct ServiceConfig {
     pub tension_branches: bool,
     /// Per-function wall-clock budget; `None` disables the watchdog.
     pub time_budget: Option<Duration>,
+    /// Per-*pass* wall-clock budget, enforced by the pipeline itself
+    /// between passes: an overrun fails the function with a structured
+    /// [`s1lisp::PassOverrun`] naming the slow pass, and the service
+    /// routes it to the degraded path like a watchdog timeout.  Unlike
+    /// [`ServiceConfig::time_budget`] it needs no watchdog thread, but
+    /// it cannot interrupt a pass that hangs outright — configure both
+    /// for full coverage.  `None` disables it.
+    pub pass_budget: Option<Duration>,
     /// In-memory cache entries to keep (LRU beyond this).
     pub cache_capacity: usize,
     /// Directory for the persistent cache tier; `None` disables it.
@@ -167,11 +206,13 @@ impl Default for ServiceConfig {
     fn default() -> ServiceConfig {
         ServiceConfig {
             jobs: 1,
+            schedule: Schedule::LargestFirst,
             opt_options: s1lisp::OptOptions::default(),
             cse: false,
             codegen_options: s1lisp::CodegenOptions::default(),
             tension_branches: true,
             time_budget: None,
+            pass_budget: None,
             cache_capacity: 512,
             cache_dir: None,
             disk_max_entries: None,

@@ -30,7 +30,7 @@ use s1lisp_reader::{read_all_str, read_str, Datum, Interner};
 use s1lisp_trace::json::Json;
 
 use crate::cache::{ArtifactCache, CacheStats};
-use crate::{FaultMode, OracleCase, ServiceConfig, SourceUnit};
+use crate::{FaultMode, OracleCase, Schedule, ServiceConfig, SourceUnit};
 
 /// One function's worth of work: everything a worker needs, as plain
 /// data that crosses threads freely.
@@ -155,6 +155,8 @@ pub struct WorkerStats {
 pub struct BatchStats {
     /// Worker threads actually used (≤ the configured `jobs`).
     pub workers_used: usize,
+    /// Queue order the batch ran with.
+    pub schedule: Schedule,
     /// Functions fanned out.
     pub functions: usize,
     /// Cache traffic caused by this batch.
@@ -432,6 +434,7 @@ impl BatchResult {
         let artifacts = self.artifacts.iter().map(Artifact::to_json).collect();
         obj(vec![
             ("workers_used", Json::uint(self.stats.workers_used as u64)),
+            ("schedule", Json::str(self.stats.schedule.as_str())),
             ("functions", Json::uint(self.stats.functions as u64)),
             ("hit_rate_percent", Json::uint(self.hit_rate_percent())),
             ("queue_peak", Json::uint(self.stats.queue_peak as u64)),
@@ -488,6 +491,9 @@ fn job_compiler(config: &ServiceConfig, specials: &[String], degraded: bool) -> 
     } else {
         config.fault_plan.clone()
     };
+    // The degraded retry runs with no per-pass budget: it exists to
+    // salvage an artifact, and the function already has an incident.
+    c.pass_budget = if degraded { None } else { config.pass_budget };
     c.enable_trace();
     for s in specials {
         c.proclaim_special(s);
@@ -515,10 +521,12 @@ struct AttemptOk {
     phase_spans: Vec<(String, u64, u64)>,
 }
 
-/// A failed attempt; `guard` marks validator rejections, which take the
+/// A failed attempt; `guard` marks validator rejections and `overrun`
+/// marks per-pass budget overruns, both of which take the
 /// degraded-recompile path instead of failing the function outright.
 struct AttemptErr {
     guard: bool,
+    overrun: bool,
     detail: String,
 }
 
@@ -526,6 +534,7 @@ impl AttemptErr {
     fn plain(detail: impl Into<String>) -> AttemptErr {
         AttemptErr {
             guard: false,
+            overrun: false,
             detail: detail.into(),
         }
     }
@@ -533,6 +542,7 @@ impl AttemptErr {
     fn from_compile(e: &CompileError) -> AttemptErr {
         AttemptErr {
             guard: matches!(e, CompileError::Guard(_)),
+            overrun: matches!(e, CompileError::Overrun(_)),
             detail: e.to_string(),
         }
     }
@@ -697,7 +707,7 @@ fn process_job(
                 phase_spans = ok.phase_spans;
                 (Outcome::Compiled, Some(ok.artifact))
             }
-            AttemptOutcome::CompileError(e) if !e.guard => {
+            AttemptOutcome::CompileError(e) if !e.guard && !e.overrun => {
                 failure = Some((job.fn_name.clone(), e.detail));
                 phase_spans = Vec::new();
                 (Outcome::Failed, None)
@@ -712,8 +722,14 @@ fn process_job(
                         ),
                     ),
                     AttemptOutcome::Panicked(d) => (IncidentKind::Panic, d),
-                    // Only guard rejections reach here; plain compile
-                    // errors took the arm above.
+                    // Only guard rejections and pass-budget overruns
+                    // reach here; plain compile errors took the arm
+                    // above.  An overrun is a timeout incident — same
+                    // containment contract as the watchdog, but the
+                    // detail names the pass.
+                    AttemptOutcome::CompileError(e) if e.overrun => {
+                        (IncidentKind::Timeout, e.detail)
+                    }
                     AttemptOutcome::CompileError(e) => (IncidentKind::Guard, e.detail),
                     AttemptOutcome::Ok(_) => unreachable!("handled above"),
                 };
@@ -768,6 +784,19 @@ fn process_job(
 
 fn elapsed_us(start: Instant) -> u64 {
     u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
+/// The size estimate a job is scheduled by: convert the form with the
+/// job's own option set and read the complexity analysis's
+/// whole-function object-code estimate.  A form that fails to convert
+/// estimates 0 — the job still runs (and records its failure) wherever
+/// it lands in the queue.
+fn size_estimate(job: &Job, config: &ServiceConfig) -> u32 {
+    let mut probe = job_compiler(config, &job.specials, false);
+    match probe.convert_str(&job.form) {
+        Ok(pending) if pending.len() == 1 => pending[0].complexity_estimate(),
+        _ => 0,
+    }
 }
 
 fn worker_loop(
@@ -835,6 +864,17 @@ impl CompileService {
         let functions = jobs.len();
         let queue_peak = functions;
         let workers_used = self.config.jobs.max(1).min(functions.max(1));
+        if self.config.schedule == Schedule::LargestFirst && jobs.len() > 1 {
+            // Largest first: the biggest compilations start before the
+            // queue thins out.  Results are reassembled by `seq`, so
+            // this affects wall-clock only, never output.
+            let mut keyed: Vec<(u32, Job)> = jobs
+                .into_iter()
+                .map(|j| (size_estimate(&j, &self.config), j))
+                .collect();
+            keyed.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.seq.cmp(&b.1.seq)));
+            jobs = keyed.into_iter().map(|(_, j)| j).collect();
+        }
         let queue = Mutex::new(jobs.into_iter().collect::<VecDeque<_>>());
         let (tx, rx) = mpsc::channel();
         if workers_used == 1 {
@@ -894,6 +934,7 @@ impl CompileService {
             globals,
             stats: BatchStats {
                 workers_used,
+                schedule: self.config.schedule,
                 functions,
                 cache: self.cache.stats().since(&before),
                 queue_peak,

@@ -183,13 +183,11 @@ impl Optimizer {
         let mut total = 0;
         if self.options.unroll {
             if let Some(name) = self_name {
-                tree.rebuild_backlinks();
-                total += rules::unroll_once(self, tree, name);
+                total += self.unroll_stage(tree, name);
             }
         }
         for _ in 0..self.options.max_rounds {
-            tree.rebuild_backlinks();
-            let applied = rules::run_round(self, tree);
+            let applied = self.round(tree);
             total += applied;
             if applied == 0 {
                 break;
@@ -197,6 +195,31 @@ impl Optimizer {
         }
         tree.rebuild_backlinks();
         total
+    }
+
+    /// The optional unroll stage of the fixpoint: integrate one
+    /// self-recursive call of `self_name` by beta-conversion (§5's "the
+    /// integration of the procedure within itself achieves loop
+    /// unrolling"), returning the number of transformations applied.
+    /// Rebuilds backlinks first; runs regardless of
+    /// [`OptOptions::unroll`], which callers gate on.
+    ///
+    /// This and [`Optimizer::round`] are the primitives a fixpoint
+    /// driver (the pass manager's source-level-optimization pass, or
+    /// [`Optimizer::optimize_named`] itself) loops over.
+    pub fn unroll_stage(&mut self, tree: &mut Tree, self_name: &str) -> usize {
+        tree.rebuild_backlinks();
+        rules::unroll_once(self, tree, self_name)
+    }
+
+    /// One transformation round: rebuild backlinks (re-running the
+    /// analyses the rules consult, mirroring the paper's co-routining of
+    /// analysis and optimization), then scan the whole tree once
+    /// applying every enabled rule.  Returns the number of
+    /// transformations applied; `0` means the tree is at a fixpoint.
+    pub fn round(&mut self, tree: &mut Tree) -> usize {
+        tree.rebuild_backlinks();
+        rules::run_round(self, tree)
     }
 
     /// Like [`Optimizer::optimize_named`], but *guarded*: after the
@@ -218,14 +241,12 @@ impl Optimizer {
         let mut total = 0;
         if self.options.unroll {
             if let Some(name) = self_name {
-                tree.rebuild_backlinks();
-                total += rules::unroll_once(self, tree, name);
+                total += self.unroll_stage(tree, name);
                 self.check_round(tree, 0)?;
             }
         }
         for round in 1..=self.options.max_rounds {
-            tree.rebuild_backlinks();
-            let applied = rules::run_round(self, tree);
+            let applied = self.round(tree);
             total += applied;
             if applied > 0 {
                 self.check_round(tree, round)?;
@@ -238,7 +259,18 @@ impl Optimizer {
         Ok(total)
     }
 
-    fn check_round(&self, tree: &Tree, round: usize) -> Result<(), String> {
+    /// Validates the tree against the Table-2 well-formedness
+    /// invariants after fixpoint stage `round` (`0` = the unroll
+    /// stage), blaming the most recent transcript rule in the error.
+    /// Public so external fixpoint drivers (the guarded
+    /// source-level-optimization pass) can interleave validation with
+    /// [`Optimizer::round`] exactly as [`Optimizer::optimize_checked`]
+    /// does.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first invariant violated.
+    pub fn check_round(&self, tree: &Tree, round: usize) -> Result<(), String> {
         if let Err(e) = s1lisp_ast::well_formed(tree) {
             let last_rule = self
                 .transcript

@@ -240,6 +240,22 @@ impl TnPool {
         let (first, last) = self.effective_range(tn);
         self.call_positions.iter().any(|&c| first < c && c < last)
     }
+
+    /// Number of edges in the TN conflict graph: unordered pairs of TNs
+    /// whose lifetimes overlap.  O(n²) — telemetry only; the packers
+    /// never materialize the graph.
+    pub fn conflict_edges(&self) -> u64 {
+        let ids: Vec<TnId> = self.ids().collect();
+        let mut edges = 0u64;
+        for (i, &a) in ids.iter().enumerate() {
+            for &b in &ids[i + 1..] {
+                if self.tn(a).overlaps(self.tn(b)) {
+                    edges += 1;
+                }
+            }
+        }
+        edges
+    }
 }
 
 /// Packing parameters.

@@ -17,8 +17,8 @@ use std::time::Duration;
 
 use s1lisp_bench::service_units;
 use s1lisp_driver::{
-    BatchResult, CompileService, FaultInjection, FaultMode, IncidentKind, Outcome, ServiceConfig,
-    SourceUnit,
+    BatchResult, CompileService, FaultInjection, FaultMode, IncidentKind, Outcome, Schedule,
+    ServiceConfig, SourceUnit,
 };
 
 fn corpus_batch(jobs: usize) -> (CompileService, BatchResult) {
@@ -46,6 +46,41 @@ fn parallel_and_serial_corpus_compiles_are_byte_identical() {
             assert_eq!(a.assembly, b.assembly, "assembly diverged for {}", a.name);
             assert_eq!(a.fingerprint, b.fingerprint);
         }
+    }
+}
+
+#[test]
+fn sorted_and_fifo_schedules_are_byte_identical() {
+    // Size-sorted scheduling reorders only the queue; reassembly is by
+    // source order, so FIFO and largest-first batches must agree byte
+    // for byte at every worker count.
+    let fifo_render = {
+        let config = ServiceConfig {
+            jobs: 1,
+            schedule: Schedule::Fifo,
+            ..ServiceConfig::default()
+        };
+        let batch = CompileService::new(config).compile_batch(&service_units());
+        assert!(batch.failures.is_empty(), "{:?}", batch.failures);
+        assert_eq!(batch.stats.schedule, Schedule::Fifo);
+        batch.render_artifacts()
+    };
+    for jobs in [1, 2, 8] {
+        let config = ServiceConfig {
+            jobs,
+            schedule: Schedule::LargestFirst,
+            ..ServiceConfig::default()
+        };
+        let batch = CompileService::new(config).compile_batch(&service_units());
+        assert_eq!(batch.stats.schedule, Schedule::LargestFirst);
+        // Records come back in source order regardless of queue order.
+        let seqs: Vec<usize> = batch.records.iter().map(|r| r.seq).collect();
+        assert!(seqs.windows(2).all(|w| w[0] < w[1]), "{seqs:?}");
+        assert_eq!(
+            fifo_render,
+            batch.render_artifacts(),
+            "sorted schedule at jobs={jobs} diverged from FIFO"
+        );
     }
 }
 
@@ -148,6 +183,46 @@ fn budget_overrun_times_out_and_recovers() {
             .outcome,
         Outcome::Compiled
     );
+}
+
+#[test]
+fn pass_budget_overrun_degrades_with_the_pass_named() {
+    // A zero per-pass budget trips on the first pass of every job; the
+    // service routes the structured overrun to the same degraded path
+    // as a watchdog timeout, but the incident detail names the pass.
+    let config = ServiceConfig {
+        jobs: 2,
+        pass_budget: Some(Duration::ZERO),
+        ..ServiceConfig::default()
+    };
+    let units = [SourceUnit::new(
+        "u",
+        "(defun sq (x) (* x x)) (defun inc (x) (+ x 1))",
+    )];
+    let batch = CompileService::new(config).compile_batch(&units);
+    assert!(batch.failures.is_empty(), "{:?}", batch.failures);
+    assert_eq!(batch.incidents.len(), 2);
+    for i in &batch.incidents {
+        assert_eq!(i.kind, IncidentKind::Timeout);
+        assert!(i.recovered, "{} not recovered", i.function);
+        assert!(
+            i.detail.contains("pass budget exceeded"),
+            "detail should name the budget: {}",
+            i.detail
+        );
+    }
+    // The degraded retries ran budget-free and produced artifacts.
+    assert!(batch.artifact("sq").unwrap().degraded);
+    assert!(batch.artifact("inc").unwrap().degraded);
+    // A generous budget compiles everything cleanly.
+    let config = ServiceConfig {
+        jobs: 2,
+        pass_budget: Some(Duration::from_secs(60)),
+        ..ServiceConfig::default()
+    };
+    let batch = CompileService::new(config).compile_batch(&units);
+    assert!(batch.incidents.is_empty());
+    assert!(!batch.artifact("sq").unwrap().degraded);
 }
 
 #[test]
