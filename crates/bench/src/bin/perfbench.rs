@@ -1,0 +1,94 @@
+//! The perf-trajectory harness: pinned simulator kernels and service
+//! batches, appended to `BENCH_sim.json` / `BENCH_service.json` at the
+//! repo root (one entry per invocation — run it once per commit of
+//! interest and the files become the project's performance history).
+//!
+//! ```sh
+//! cargo run --release -p s1lisp-bench --bin perfbench            # append both
+//! cargo run --release -p s1lisp-bench --bin perfbench -- --trials 9
+//! cargo run --release -p s1lisp-bench --bin perfbench -- --check # CI smoke
+//! ```
+//!
+//! `--check` runs one trial of the smallest workload on each side,
+//! validates the emitted entries against the committed schema goldens
+//! (`crates/bench/tests/golden/perfbench_*_schema.txt`), and exits
+//! nonzero on any mismatch — without touching the trajectory files.
+//! No thresholds are gated: the trajectory records, it does not judge.
+
+use s1lisp_bench::perfbench;
+use s1lisp_trace::json;
+
+const SIM_SCHEMA: &str = include_str!("../../tests/golden/perfbench_sim_schema.txt");
+const SERVICE_SCHEMA: &str = include_str!("../../tests/golden/perfbench_service_schema.txt");
+
+fn check_schema(label: &str, entry: &json::Json, golden: &str) -> bool {
+    let got = json::schema(entry);
+    if got == golden.trim() {
+        println!("perfbench --check: {label} schema ok");
+        true
+    } else {
+        eprintln!(
+            "perfbench --check: {label} schema mismatch\n  want: {}\n  got:  {got}",
+            golden.trim()
+        );
+        false
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let check = args.iter().any(|a| a == "--check");
+    let mut warmup = 1usize;
+    let mut trials = 5usize;
+    let mut it = args.iter().filter(|a| *a != "--check");
+    while let Some(a) = it.next() {
+        let mut grab = |name: &str| match it.next().and_then(|v| v.parse().ok()) {
+            Some(n) => n,
+            None => {
+                eprintln!("{name} wants a number");
+                std::process::exit(2);
+            }
+        };
+        match a.as_str() {
+            "--warmup" => warmup = grab("--warmup"),
+            "--trials" => trials = grab("--trials"),
+            other => {
+                eprintln!("unknown argument {other} (want --check, --warmup N, --trials N)");
+                std::process::exit(2);
+            }
+        }
+    }
+    let root = perfbench::repo_root();
+    if check {
+        let sim = perfbench::smoke_sim_entry(&root);
+        let service = perfbench::smoke_service_entry(&root);
+        let sim_rows = sim.get("workloads").and_then(json::Json::as_arr);
+        let service_rows = service.get("batches").and_then(json::Json::as_arr);
+        let nonempty =
+            sim_rows.is_some_and(|r| !r.is_empty()) && service_rows.is_some_and(|r| !r.is_empty());
+        if !nonempty {
+            eprintln!("perfbench --check: empty workload rows");
+            std::process::exit(1);
+        }
+        let ok = check_schema("sim", &sim, SIM_SCHEMA)
+            & check_schema("service", &service, SERVICE_SCHEMA);
+        std::process::exit(i32::from(!ok));
+    }
+    let trials = trials.max(1);
+    println!("perfbench: sim kernels ({warmup} warmup + {trials} trials each)");
+    let sim = perfbench::sim_entry(&root, warmup, trials);
+    print!("{}", perfbench::summarize_entry(&sim));
+    println!("perfbench: service batches at jobs=1/2/8");
+    let service = perfbench::service_entry(&root, warmup, trials);
+    print!("{}", perfbench::summarize_entry(&service));
+    for (file, entry) in [("BENCH_sim.json", sim), ("BENCH_service.json", service)] {
+        let path = root.join(file);
+        match perfbench::append_trajectory(&path, entry) {
+            Ok(n) => println!("appended entry {n} to {file}"),
+            Err(e) => {
+                eprintln!("perfbench: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -8,6 +8,7 @@
 //! cargo run -p s1lisp-bench --bin report -- --json e1 e12  # selected
 //! cargo run -p s1lisp-bench --bin report -- --jobs 4 service
 //! cargo run -p s1lisp-bench --bin report -- --passes       # schedule
+//! cargo run -p s1lisp-bench --bin report -- --metrics      # unified metrics
 //! ```
 //!
 //! `--json` emits one machine-readable record per experiment (the shape
@@ -22,6 +23,11 @@
 //! deterministic fault storm (phase validators, cache fault injection,
 //! differential oracle); and `guard-miscompile` shows the oracle
 //! catching a miscompile and shipping the unoptimized artifact.
+//!
+//! `--metrics` (or the `metrics` id under `--json`) runs the pinned
+//! metrics workload — tak plus one service batch — and renders the
+//! unified registry snapshot: simulator, heap/GC, pipeline, cache, and
+//! service metrics in one table (or one schema-pinned record).
 
 use std::path::PathBuf;
 
@@ -31,6 +37,19 @@ fn main() {
     args.retain(|a| a != "--json");
     let passes = args.iter().any(|a| a == "--passes");
     args.retain(|a| a != "--passes");
+    let metrics = args.iter().any(|a| a == "--metrics");
+    args.retain(|a| a != "--metrics");
+    if metrics {
+        if json {
+            println!(
+                "{}",
+                s1lisp_trace::json::Json::Arr(vec![s1lisp_bench::metrics_record()])
+            );
+        } else {
+            print!("{}", s1lisp_bench::metrics_report());
+        }
+        return;
+    }
     if passes {
         // The pass schedule is static — print it and stop.
         if json {
@@ -80,6 +99,7 @@ fn main() {
             .filter_map(|id| {
                 let rec = match id.as_str() {
                     "trap" => Some(s1lisp_bench::trap_record()),
+                    "metrics" => Some(s1lisp_bench::metrics_record()),
                     "service" => Some(s1lisp_bench::service_record(jobs, cache_dir.clone())),
                     "service-fault" | "guard" | "guard-miscompile" => {
                         // Injected panics are the record's subject;

@@ -10,12 +10,15 @@ pub mod corpus;
 pub mod experiments;
 pub mod explain;
 pub mod json_report;
+pub mod metrics_report;
 pub mod passes;
+pub mod perfbench;
 pub mod service;
 
 pub use experiments::{all_experiments, run_experiment, Experiment};
 pub use explain::{corpus_functions, explain_function};
 pub use json_report::{all_json_records, json_record, trap_record};
+pub use metrics_report::{collect_metrics, metrics_record, metrics_report};
 pub use passes::{passes_record, passes_report};
 pub use service::{
     guard_batch, guard_miscompile_record, guard_record, service_batch, service_fault_record,

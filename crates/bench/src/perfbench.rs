@@ -1,0 +1,429 @@
+//! The perf-trajectory harness behind the `perfbench` binary.
+//!
+//! The ROADMAP's throughput work is gated on measurement: before any
+//! dispatch-loop optimization lands, there must be a durable,
+//! machine-readable record of what the simulator and the compile
+//! service do *today*.  This module runs a pinned workload matrix —
+//! Gabriel-style simulator kernels (tak, exptl, loopn, horner) and
+//! service batches at `jobs = 1/2/8` — with warmup + N timed trials,
+//! reduces each series to median and p90 by nearest rank, and appends
+//! one entry per invocation to `BENCH_sim.json` and
+//! `BENCH_service.json` at the repo root:
+//!
+//! ```text
+//! [ { schema, rev, date, unix_time, warmup, trials, workloads|batches: [...] }, ... ]
+//! ```
+//!
+//! The files are *append-only trajectories*: one entry per commit, so
+//! `git log` plus the JSON gives retired-instructions/sec and
+//! functions/sec over the repo's history.  Entry shapes are pinned by
+//! schema goldens (`tests/golden_json.rs`); `perfbench --check` runs a
+//! 1-trial smoke of the smallest workload and validates shapes without
+//! touching the trajectory files.
+
+use std::path::{Path, PathBuf};
+
+use s1lisp::{Compiler, Value};
+use s1lisp_driver::{CompileService, ServiceConfig};
+use s1lisp_trace::json::{self, Json};
+
+use crate::corpus;
+use crate::service::service_units;
+
+/// One simulator kernel in the pinned matrix.
+struct SimKernel {
+    id: &'static str,
+    src: &'static str,
+    entry: &'static str,
+    args: Vec<Value>,
+}
+
+fn fx(n: i64) -> Value {
+    Value::Fixnum(n)
+}
+
+/// The pinned kernel matrix.  Order is the file order; ids are stable
+/// names the trajectory is keyed by.
+fn sim_kernels() -> Vec<SimKernel> {
+    vec![
+        SimKernel {
+            id: "tak",
+            src: corpus::TAK,
+            entry: "tak",
+            args: vec![fx(14), fx(10), fx(6)],
+        },
+        SimKernel {
+            id: "exptl",
+            src: corpus::EXPTL,
+            entry: "exptl",
+            args: vec![fx(3), fx(10), fx(1)],
+        },
+        SimKernel {
+            id: "loopn",
+            src: corpus::LOOPN,
+            entry: "loopn",
+            args: vec![fx(100_000)],
+        },
+        SimKernel {
+            id: "horner",
+            src: corpus::HORNER_LOOP,
+            entry: "sum-horner",
+            args: vec![fx(2_000)],
+        },
+    ]
+}
+
+/// The smallest kernel, for `--check`.
+fn smoke_kernel() -> SimKernel {
+    SimKernel {
+        id: "exptl",
+        src: corpus::EXPTL,
+        entry: "exptl",
+        args: vec![fx(3), fx(10), fx(1)],
+    }
+}
+
+/// Nearest-rank percentile of an unsorted series (p in 0..=100).
+fn percentile(series: &[u64], p: u64) -> u64 {
+    assert!(!series.is_empty());
+    let mut sorted = series.to_vec();
+    sorted.sort_unstable();
+    let rank = (p * sorted.len() as u64).div_ceil(100).max(1) as usize;
+    sorted[rank - 1]
+}
+
+fn obj(fields: Vec<(&str, Json)>) -> Json {
+    Json::Obj(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+/// `(median, p90)` of a series.
+fn stats(series: &[u64]) -> (u64, u64) {
+    (percentile(series, 50), percentile(series, 90))
+}
+
+/// Times `trials` runs of one kernel (after `warmup` untimed runs) and
+/// returns its workload object.
+fn run_sim_kernel(k: &SimKernel, warmup: usize, trials: usize) -> Json {
+    let mut c = Compiler::new();
+    c.compile_str(k.src)
+        .unwrap_or_else(|e| panic!("{} compiles: {e}", k.id));
+    let mut m = c.machine();
+    for _ in 0..warmup {
+        m.run(k.entry, &k.args)
+            .unwrap_or_else(|e| panic!("{} warms up: {e}", k.id));
+    }
+    let mut wall_ns = Vec::with_capacity(trials);
+    let mut per_sec = Vec::with_capacity(trials);
+    let mut insns = 0;
+    for _ in 0..trials {
+        m.run(k.entry, &k.args)
+            .unwrap_or_else(|e| panic!("{} runs: {e}", k.id));
+        insns = m.stats.insns;
+        let ns = m.last_run_wall_ns.max(1);
+        wall_ns.push(ns);
+        per_sec.push((insns as u128 * 1_000_000_000 / ns as u128) as u64);
+    }
+    let (median_ps, p90_ps) = stats(&per_sec);
+    let (median_ns, p90_ns) = stats(&wall_ns);
+    obj(vec![
+        ("id", Json::str(k.id)),
+        ("entry", Json::str(k.entry)),
+        ("insns", Json::uint(insns)),
+        ("median_insns_per_sec", Json::uint(median_ps)),
+        ("p90_insns_per_sec", Json::uint(p90_ps)),
+        ("median_wall_us", Json::uint(median_ns / 1_000)),
+        ("p90_wall_us", Json::uint(p90_ns / 1_000)),
+    ])
+}
+
+/// Times `trials` cold batches (fresh service each, so every trial is
+/// real compilation) at one worker count, plus one warm re-batch on the
+/// last service to record the cache-served hit rate.
+fn run_service_batch(jobs: usize, warmup: usize, trials: usize) -> Json {
+    let units = service_units();
+    let run_cold = || {
+        let service = CompileService::new(ServiceConfig {
+            jobs,
+            ..ServiceConfig::default()
+        });
+        let start = std::time::Instant::now();
+        let batch = service.compile_batch(&units);
+        let wall_us = u64::try_from(start.elapsed().as_micros())
+            .unwrap_or(u64::MAX)
+            .max(1);
+        assert!(batch.failures.is_empty(), "{:?}", batch.failures);
+        (service, batch, wall_us)
+    };
+    for _ in 0..warmup {
+        run_cold();
+    }
+    let mut wall_us_series = Vec::with_capacity(trials);
+    let mut per_sec = Vec::with_capacity(trials);
+    let mut last = None;
+    for _ in 0..trials {
+        let (service, batch, wall_us) = run_cold();
+        wall_us_series.push(wall_us);
+        per_sec.push(batch.stats.functions as u64 * 1_000_000 / wall_us);
+        last = Some((service, batch));
+    }
+    let (service, batch) = last.expect("at least one trial");
+    // A warm re-batch on the same service: every function is served
+    // from cache, which is the hit-rate half of the throughput story.
+    let warm = service.compile_batch(&units);
+    let (median_ps, p90_ps) = stats(&per_sec);
+    let (median_us, p90_us) = stats(&wall_us_series);
+    obj(vec![
+        ("jobs", Json::uint(jobs as u64)),
+        ("functions", Json::uint(batch.stats.functions as u64)),
+        ("median_functions_per_sec", Json::uint(median_ps)),
+        ("p90_functions_per_sec", Json::uint(p90_ps)),
+        ("median_wall_us", Json::uint(median_us)),
+        ("p90_wall_us", Json::uint(p90_us)),
+        ("queue_peak", Json::uint(batch.stats.queue_peak as u64)),
+        ("incidents", Json::uint(batch.incidents.len() as u64)),
+        (
+            "cold_hit_rate_permille",
+            Json::uint(batch.stats.cache.hit_rate_permille()),
+        ),
+        (
+            "warm_hit_rate_permille",
+            Json::uint(warm.stats.cache.hit_rate_permille()),
+        ),
+    ])
+}
+
+/// Days-from-epoch → `YYYY-MM-DD` (civil-from-days, Hinnant's
+/// algorithm), so the trajectory stamps dates without a time crate.
+fn civil_date(unix_time: u64) -> String {
+    let days = (unix_time / 86_400) as i64;
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if m <= 2 { y + 1 } else { y };
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+/// `git rev-parse HEAD` in `repo_root`, or `"unknown"` outside a
+/// checkout (the harness must run anywhere the crate builds).
+fn git_rev(repo_root: &Path) -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .current_dir(repo_root)
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+fn entry_header(repo_root: &Path, warmup: usize, trials: usize) -> Vec<(&'static str, Json)> {
+    let unix_time = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    vec![
+        ("schema", Json::uint(1)),
+        ("rev", Json::str(git_rev(repo_root))),
+        ("date", Json::str(civil_date(unix_time))),
+        ("unix_time", Json::uint(unix_time)),
+        ("warmup", Json::uint(warmup as u64)),
+        ("trials", Json::uint(trials as u64)),
+    ]
+}
+
+/// One `BENCH_sim.json` entry: the full kernel matrix.
+pub fn sim_entry(repo_root: &Path, warmup: usize, trials: usize) -> Json {
+    let workloads = sim_kernels()
+        .iter()
+        .map(|k| run_sim_kernel(k, warmup, trials))
+        .collect();
+    let mut fields = entry_header(repo_root, warmup, trials);
+    fields.push(("workloads", Json::Arr(workloads)));
+    obj(fields)
+}
+
+/// One `BENCH_service.json` entry: batches at `jobs = 1/2/8`.
+pub fn service_entry(repo_root: &Path, warmup: usize, trials: usize) -> Json {
+    let batches = [1usize, 2, 8]
+        .iter()
+        .map(|&jobs| run_service_batch(jobs, warmup, trials))
+        .collect();
+    let mut fields = entry_header(repo_root, warmup, trials);
+    fields.push(("batches", Json::Arr(batches)));
+    obj(fields)
+}
+
+/// A 1-trial smoke entry over the smallest kernel alone — the
+/// `--check` workload.  Same entry schema as [`sim_entry`].
+pub fn smoke_sim_entry(repo_root: &Path) -> Json {
+    let workloads = vec![run_sim_kernel(&smoke_kernel(), 0, 1)];
+    let mut fields = entry_header(repo_root, 0, 1);
+    fields.push(("workloads", Json::Arr(workloads)));
+    obj(fields)
+}
+
+/// A 1-trial smoke entry with a single `jobs = 1` batch — the
+/// `--check` workload.  Same entry schema as [`service_entry`].
+pub fn smoke_service_entry(repo_root: &Path) -> Json {
+    let batches = vec![run_service_batch(1, 0, 1)];
+    let mut fields = entry_header(repo_root, 0, 1);
+    fields.push(("batches", Json::Arr(batches)));
+    obj(fields)
+}
+
+/// The repo root this workspace builds from.
+pub fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+/// Appends `entry` to the JSON-array trajectory at `path` (created as a
+/// one-entry array when absent).  Existing entries are preserved
+/// verbatim-modulo-reserialization; a file that fails to parse is an
+/// error — the trajectory is history and must never be clobbered.
+pub fn append_trajectory(path: &Path, entry: Json) -> Result<usize, String> {
+    let mut entries = match std::fs::read_to_string(path) {
+        Ok(text) => match json::parse(&text)? {
+            Json::Arr(entries) => entries,
+            _ => return Err(format!("{}: expected a JSON array", path.display())),
+        },
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(format!("{}: {e}", path.display())),
+    };
+    entries.push(entry);
+    let count = entries.len();
+    let mut body = String::from("[\n");
+    for (i, e) in entries.iter().enumerate() {
+        body.push_str(&e.to_string());
+        if i + 1 < entries.len() {
+            body.push(',');
+        }
+        body.push('\n');
+    }
+    body.push_str("]\n");
+    std::fs::write(path, body).map_err(|e| format!("{}: {e}", path.display()))?;
+    Ok(count)
+}
+
+/// A short human summary of one entry, for the binary's stdout.
+pub fn summarize_entry(entry: &Json) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let rev = entry.get("rev").and_then(Json::as_str).unwrap_or("?");
+    let date = entry.get("date").and_then(Json::as_str).unwrap_or("?");
+    let _ = writeln!(out, "rev {} date {date}", &rev[..rev.len().min(12)]);
+    let rows = entry
+        .get("workloads")
+        .or_else(|| entry.get("batches"))
+        .and_then(Json::as_arr)
+        .unwrap_or(&[]);
+    for row in rows {
+        if let Some(id) = row.get("id").and_then(Json::as_str) {
+            let _ = writeln!(
+                out,
+                "  {id:<8} insns={} median_insns_per_sec={} p90={}",
+                row.get("insns").and_then(Json::as_int).unwrap_or(0),
+                row.get("median_insns_per_sec")
+                    .and_then(Json::as_int)
+                    .unwrap_or(0),
+                row.get("p90_insns_per_sec")
+                    .and_then(Json::as_int)
+                    .unwrap_or(0),
+            );
+        } else {
+            let _ = writeln!(
+                out,
+                "  jobs={} functions={} median_functions_per_sec={} p90={} \
+                 queue_peak={} incidents={} warm_hit_rate={}‰",
+                row.get("jobs").and_then(Json::as_int).unwrap_or(0),
+                row.get("functions").and_then(Json::as_int).unwrap_or(0),
+                row.get("median_functions_per_sec")
+                    .and_then(Json::as_int)
+                    .unwrap_or(0),
+                row.get("p90_functions_per_sec")
+                    .and_then(Json::as_int)
+                    .unwrap_or(0),
+                row.get("queue_peak").and_then(Json::as_int).unwrap_or(0),
+                row.get("incidents").and_then(Json::as_int).unwrap_or(0),
+                row.get("warm_hit_rate_permille")
+                    .and_then(Json::as_int)
+                    .unwrap_or(0),
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let series = [50, 10, 40, 20, 30];
+        assert_eq!(percentile(&series, 50), 30);
+        assert_eq!(percentile(&series, 90), 50);
+        assert_eq!(percentile(&[7], 50), 7);
+        assert_eq!(percentile(&[7], 90), 7);
+    }
+
+    #[test]
+    fn civil_date_round_trips_known_days() {
+        assert_eq!(civil_date(0), "1970-01-01");
+        assert_eq!(civil_date(86_400), "1970-01-02");
+        // 2026-08-08 00:00:00 UTC.
+        assert_eq!(civil_date(1_786_147_200), "2026-08-08");
+        // Leap day.
+        assert_eq!(civil_date(951_782_400), "2000-02-29");
+    }
+
+    #[test]
+    fn smoke_entries_share_schema_with_full_entries() {
+        // The --check smoke and the real harness must emit the same
+        // shape, or the schema goldens would only cover the smoke.
+        let root = repo_root();
+        let smoke = smoke_sim_entry(&root);
+        let full = sim_entry(&root, 0, 1);
+        assert_eq!(json::schema(&smoke), json::schema(&full));
+        let smoke = smoke_service_entry(&root);
+        let full = service_entry(&root, 0, 1);
+        assert_eq!(json::schema(&smoke), json::schema(&full));
+    }
+
+    #[test]
+    fn trajectory_appends_and_preserves_history() {
+        let path = std::env::temp_dir().join(format!("s1lisp-traj-{}.json", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let entry = |n: u64| {
+            Json::Obj(vec![
+                ("schema".to_string(), Json::uint(1)),
+                ("n".to_string(), Json::uint(n)),
+            ])
+        };
+        assert_eq!(append_trajectory(&path, entry(1)), Ok(1));
+        assert_eq!(append_trajectory(&path, entry(2)), Ok(2));
+        let text = std::fs::read_to_string(&path).unwrap();
+        let parsed = json::parse(&text).unwrap();
+        let arr = parsed.as_arr().unwrap();
+        assert_eq!(arr.len(), 2);
+        assert_eq!(arr[0].get("n").unwrap().as_int(), Some(1));
+        assert_eq!(arr[1].get("n").unwrap().as_int(), Some(2));
+        // A corrupt trajectory is refused, never clobbered.
+        std::fs::write(&path, "{not an array").unwrap();
+        assert!(append_trajectory(&path, entry(3)).is_err());
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{not an array");
+        let _ = std::fs::remove_file(&path);
+    }
+}

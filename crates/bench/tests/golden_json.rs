@@ -8,8 +8,8 @@
 //! must be a deliberate schema bump.
 
 use s1lisp_bench::{
-    guard_miscompile_record, guard_record, json_record, passes_record, service_fault_record,
-    service_record, trap_record,
+    guard_miscompile_record, guard_record, json_record, metrics_record, passes_record, perfbench,
+    service_fault_record, service_record, trap_record,
 };
 use s1lisp_trace::json::{self, Json};
 
@@ -20,6 +20,9 @@ const SERVICE_FAULT_GOLDEN: &str = include_str!("golden/service_fault_schema.txt
 const GUARD_GOLDEN: &str = include_str!("golden/guard_schema.txt");
 const GUARD_MISCOMPILE_GOLDEN: &str = include_str!("golden/guard_miscompile_schema.txt");
 const PASSES_GOLDEN: &str = include_str!("golden/passes_schema.txt");
+const METRICS_GOLDEN: &str = include_str!("golden/metrics_schema.txt");
+const PERFBENCH_SIM_GOLDEN: &str = include_str!("golden/perfbench_sim_schema.txt");
+const PERFBENCH_SERVICE_GOLDEN: &str = include_str!("golden/perfbench_service_schema.txt");
 
 /// Dynamic maps in a record are int-valued histograms; an *empty* one
 /// carries no value type, so pad it with a sentinel entry before
@@ -149,6 +152,37 @@ fn guard_miscompile_record_schema_matches_golden() {
         guard_miscompile_record(),
         GUARD_MISCOMPILE_GOLDEN,
         "guard_miscompile_schema.txt",
+    );
+}
+
+#[test]
+fn metrics_record_schema_matches_golden() {
+    // The unified registry snapshot: sim, heap, pipeline, cache, and
+    // service metrics in one record.  A renamed metric or a reshaped
+    // histogram is a deliberate golden bump.
+    check_schema(metrics_record(), METRICS_GOLDEN, "metrics_schema.txt");
+}
+
+#[test]
+fn perfbench_sim_entry_schema_matches_golden() {
+    // The smoke entry (1 trial, smallest kernel) shares its schema with
+    // the full trajectory entry — pinned so `perfbench --check` and the
+    // committed BENCH_sim.json baseline stay in lockstep.
+    let root = std::env::temp_dir();
+    check_schema(
+        perfbench::smoke_sim_entry(&root),
+        PERFBENCH_SIM_GOLDEN,
+        "perfbench_sim_schema.txt",
+    );
+}
+
+#[test]
+fn perfbench_service_entry_schema_matches_golden() {
+    let root = std::env::temp_dir();
+    check_schema(
+        perfbench::smoke_service_entry(&root),
+        PERFBENCH_SERVICE_GOLDEN,
+        "perfbench_service_schema.txt",
     );
 }
 

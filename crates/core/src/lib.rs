@@ -669,6 +669,37 @@ impl Compiler {
         self.trace.as_ref()
     }
 
+    /// Exports the accumulated per-phase trace aggregates into `reg`
+    /// under `pipeline.<phase>.{spans,wall_us}` (phase names lowercased,
+    /// spaces to underscores) plus `pipeline.<phase>.<counter>` for each
+    /// per-phase counter.  No-op when tracing was never enabled; export
+    /// once per compiler lifetime (counters `add`).
+    pub fn export_metrics(&self, reg: &s1lisp_trace::metrics::MetricsRegistry) {
+        let Some(sink) = self.trace.as_ref() else {
+            return;
+        };
+        for agg in sink.phases() {
+            let phase: String = agg
+                .phase
+                .chars()
+                .map(|c| {
+                    if c == ' ' {
+                        '_'
+                    } else {
+                        c.to_ascii_lowercase()
+                    }
+                })
+                .collect();
+            reg.counter(&format!("pipeline.{phase}.spans"))
+                .add(agg.spans);
+            reg.counter(&format!("pipeline.{phase}.wall_us"))
+                .add(u64::try_from(agg.wall.as_micros()).unwrap_or(u64::MAX));
+            for (counter, n) in &agg.counters {
+                reg.counter(&format!("pipeline.{phase}.{counter}")).add(*n);
+            }
+        }
+    }
+
     /// Firing counts per optimizer rule, aggregated across every
     /// function compiled so far, in first-fired order.  (Available with
     /// or without tracing — the transcripts are always kept.)

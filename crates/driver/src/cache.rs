@@ -36,12 +36,13 @@ use std::collections::{HashMap, VecDeque};
 use std::io;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Mutex;
-use std::time::Duration;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 use s1lisp::Artifact;
 use s1lisp_trace::fault::{FaultPlan, FaultSite};
 use s1lisp_trace::json;
+use s1lisp_trace::metrics::{Counter, Histogram, MetricsRegistry, TIME_BUCKETS_US};
 
 /// Attempts per disk I/O operation (1 initial + retries).
 pub const IO_ATTEMPTS: u32 = 3;
@@ -71,6 +72,13 @@ pub struct CacheStats {
 }
 
 impl CacheStats {
+    /// Hit ratio in permille (hits per 1000 lookups); 0 with no traffic.
+    pub fn hit_rate_permille(&self) -> u64 {
+        (self.hits * 1000)
+            .checked_div(self.hits + self.misses)
+            .unwrap_or(0)
+    }
+
     /// Counter-wise difference (`self - earlier`), for per-batch deltas.
     #[must_use]
     pub fn since(&self, earlier: &CacheStats) -> CacheStats {
@@ -94,6 +102,13 @@ struct Tier {
 }
 
 /// The two-tier cache.  See the module docs.
+///
+/// Traffic counters live in a [`MetricsRegistry`] (the cache holds
+/// registry handles, not its own atomics), so [`ArtifactCache::stats`]
+/// and a registry snapshot are the same numbers by construction.  Pass a
+/// shared registry via [`ArtifactCache::with_metrics`] to aggregate the
+/// cache's `cache.*` metrics alongside a service's; the plain
+/// constructors use a private registry.
 pub struct ArtifactCache {
     capacity: usize,
     dir: Option<PathBuf>,
@@ -104,14 +119,21 @@ pub struct ArtifactCache {
     /// disk operation).
     disk_strikes: AtomicU64,
     mem: Mutex<Tier>,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    evictions: AtomicU64,
-    disk_hits: AtomicU64,
-    io_retries: AtomicU64,
-    io_errors: AtomicU64,
-    corrupt_reads: AtomicU64,
-    disk_evictions: AtomicU64,
+    metrics: Arc<MetricsRegistry>,
+    hits: Counter,
+    misses: Counter,
+    evictions: Counter,
+    disk_hits: Counter,
+    io_retries: Counter,
+    io_errors: Counter,
+    corrupt_reads: Counter,
+    disk_evictions: Counter,
+    /// Memory-tier probe latency (lock + map lookup), microseconds.
+    mem_get_us: Histogram,
+    /// Disk-tier read latency (only when the probe reaches disk).
+    disk_get_us: Histogram,
+    /// Full `put` latency (both tiers), microseconds.
+    put_us: Histogram,
 }
 
 impl ArtifactCache {
@@ -132,6 +154,25 @@ impl ArtifactCache {
         disk_max_entries: Option<usize>,
         fault_plan: Option<FaultPlan>,
     ) -> ArtifactCache {
+        ArtifactCache::with_metrics(
+            capacity,
+            dir,
+            disk_max_entries,
+            fault_plan,
+            Arc::new(MetricsRegistry::new()),
+        )
+    }
+
+    /// [`ArtifactCache::tuned`] reporting into a caller-supplied
+    /// registry, so cache traffic lands in the same snapshot as the
+    /// surrounding service's metrics.
+    pub fn with_metrics(
+        capacity: usize,
+        dir: Option<PathBuf>,
+        disk_max_entries: Option<usize>,
+        fault_plan: Option<FaultPlan>,
+        metrics: Arc<MetricsRegistry>,
+    ) -> ArtifactCache {
         let dir = dir.filter(|d| std::fs::create_dir_all(d).is_ok());
         ArtifactCache {
             capacity: capacity.max(1),
@@ -144,15 +185,24 @@ impl ArtifactCache {
                 map: HashMap::new(),
                 order: VecDeque::new(),
             }),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
-            disk_hits: AtomicU64::new(0),
-            io_retries: AtomicU64::new(0),
-            io_errors: AtomicU64::new(0),
-            corrupt_reads: AtomicU64::new(0),
-            disk_evictions: AtomicU64::new(0),
+            hits: metrics.counter("cache.hits"),
+            misses: metrics.counter("cache.misses"),
+            evictions: metrics.counter("cache.evictions"),
+            disk_hits: metrics.counter("cache.disk_hits"),
+            io_retries: metrics.counter("cache.io_retries"),
+            io_errors: metrics.counter("cache.io_errors"),
+            corrupt_reads: metrics.counter("cache.corrupt_reads"),
+            disk_evictions: metrics.counter("cache.disk_evictions"),
+            mem_get_us: metrics.histogram("cache.mem_get_us", TIME_BUCKETS_US),
+            disk_get_us: metrics.histogram("cache.disk_get_us", TIME_BUCKETS_US),
+            put_us: metrics.histogram("cache.put_us", TIME_BUCKETS_US),
+            metrics,
         }
+    }
+
+    /// The registry this cache reports into.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
     }
 
     /// True once persistent disk failures have demoted the cache to
@@ -190,7 +240,7 @@ impl ArtifactCache {
     /// An operation that exhausted its retries; enough in a row disable
     /// the tier.
     fn note_disk_error(&self) {
-        self.io_errors.fetch_add(1, Ordering::Relaxed);
+        self.io_errors.inc();
         let strikes = self.disk_strikes.fetch_add(1, Ordering::Relaxed) + 1;
         if strikes >= DISK_STRIKE_LIMIT {
             self.disk_disabled.store(true, Ordering::Relaxed);
@@ -200,22 +250,36 @@ impl ArtifactCache {
     /// Looks `key` up in memory, then on disk.  A memory hit refreshes
     /// recency; a disk hit is promoted into the memory tier.
     pub fn get(&self, key: u64) -> Option<Artifact> {
-        {
+        let mem_start = Instant::now();
+        let mem_probe = {
             let mut tier = self.mem.lock().expect("cache lock");
             if let Some(a) = tier.map.get(&key).cloned() {
                 tier.order.retain(|&k| k != key);
                 tier.order.push_back(key);
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                return Some(a);
+                Some(a)
+            } else {
+                None
             }
-        }
-        if let Some(a) = self.disk_get(key) {
-            self.insert_mem(key, a.clone());
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            self.disk_hits.fetch_add(1, Ordering::Relaxed);
+        };
+        self.mem_get_us
+            .observe(mem_start.elapsed().as_micros() as u64);
+        if let Some(a) = mem_probe {
+            self.hits.inc();
             return Some(a);
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        let disk_start = Instant::now();
+        let disk_probe = self.disk_get(key);
+        if self.dir.is_some() && !self.disk_disabled() {
+            self.disk_get_us
+                .observe(disk_start.elapsed().as_micros() as u64);
+        }
+        if let Some(a) = disk_probe {
+            self.insert_mem(key, a.clone());
+            self.hits.inc();
+            self.disk_hits.inc();
+            return Some(a);
+        }
+        self.misses.inc();
         None
     }
 
@@ -241,7 +305,7 @@ impl ArtifactCache {
                     return None;
                 }
                 Err(_) if attempt + 1 < IO_ATTEMPTS => {
-                    self.io_retries.fetch_add(1, Ordering::Relaxed);
+                    self.io_retries.inc();
                     std::thread::sleep(Self::backoff(attempt));
                 }
                 Err(_) => {
@@ -264,7 +328,7 @@ impl ArtifactCache {
         {
             Some(a) => Some(a),
             None => {
-                self.corrupt_reads.fetch_add(1, Ordering::Relaxed);
+                self.corrupt_reads.inc();
                 None
             }
         }
@@ -272,8 +336,10 @@ impl ArtifactCache {
 
     /// Stores a clean artifact under `key` in both tiers.
     pub fn put(&self, key: u64, artifact: &Artifact) {
+        let start = Instant::now();
         self.insert_mem(key, artifact.clone());
         self.disk_put(key, artifact);
+        self.put_us.observe(start.elapsed().as_micros() as u64);
     }
 
     fn disk_put(&self, key: u64, artifact: &Artifact) {
@@ -299,7 +365,7 @@ impl ArtifactCache {
                     return;
                 }
                 Err(_) if attempt + 1 < IO_ATTEMPTS => {
-                    self.io_retries.fetch_add(1, Ordering::Relaxed);
+                    self.io_retries.inc();
                     std::thread::sleep(Self::backoff(attempt));
                 }
                 Err(_) => {
@@ -337,7 +403,7 @@ impl ArtifactCache {
         let excess = entries.len() - max;
         for (_, path) in entries.into_iter().take(excess) {
             if std::fs::remove_file(&path).is_ok() {
-                self.disk_evictions.fetch_add(1, Ordering::Relaxed);
+                self.disk_evictions.inc();
             }
         }
     }
@@ -353,7 +419,7 @@ impl ArtifactCache {
         while tier.map.len() > self.capacity {
             if let Some(old) = tier.order.pop_front() {
                 tier.map.remove(&old);
-                self.evictions.fetch_add(1, Ordering::Relaxed);
+                self.evictions.inc();
             }
         }
     }
@@ -368,17 +434,18 @@ impl ArtifactCache {
         self.len() == 0
     }
 
-    /// A snapshot of the traffic counters.
+    /// A snapshot of the traffic counters, read back from the registry
+    /// handles (the registry is the only bookkeeping).
     pub fn stats(&self) -> CacheStats {
         CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
-            disk_hits: self.disk_hits.load(Ordering::Relaxed),
-            io_retries: self.io_retries.load(Ordering::Relaxed),
-            io_errors: self.io_errors.load(Ordering::Relaxed),
-            corrupt_reads: self.corrupt_reads.load(Ordering::Relaxed),
-            disk_evictions: self.disk_evictions.load(Ordering::Relaxed),
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            evictions: self.evictions.get(),
+            disk_hits: self.disk_hits.get(),
+            io_retries: self.io_retries.get(),
+            io_errors: self.io_errors.get(),
+            corrupt_reads: self.corrupt_reads.get(),
+            disk_evictions: self.disk_evictions.get(),
         }
     }
 }
@@ -529,6 +596,29 @@ mod tests {
         assert!(cache.disk_path(3).is_some());
         assert!(clean.get(3).is_some());
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stats_and_registry_snapshot_are_the_same_numbers() {
+        let reg = Arc::new(MetricsRegistry::new());
+        let cache = ArtifactCache::with_metrics(2, None, None, None, Arc::clone(&reg));
+        cache.put(1, &art("a"));
+        cache.put(2, &art("b"));
+        cache.put(3, &art("c")); // evicts 1
+        assert!(cache.get(2).is_some());
+        assert!(cache.get(1).is_none());
+        let s = cache.stats();
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("cache.hits"), Some(s.hits));
+        assert_eq!(snap.counter("cache.misses"), Some(s.misses));
+        assert_eq!(snap.counter("cache.evictions"), Some(s.evictions));
+        assert_eq!(s.hit_rate_permille(), 500);
+        // Latency histograms saw every lookup and store.
+        let mem = snap.histogram("cache.mem_get_us").unwrap();
+        assert_eq!(mem.count, 2);
+        assert_eq!(snap.histogram("cache.put_us").unwrap().count, 3);
+        // No disk tier: the disk histogram exists but stays empty.
+        assert_eq!(snap.histogram("cache.disk_get_us").unwrap().count, 0);
     }
 
     #[test]

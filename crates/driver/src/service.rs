@@ -21,13 +21,14 @@
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::{mpsc, Mutex};
+use std::sync::{mpsc, Arc, Mutex};
 use std::time::Instant;
 
 use s1lisp::{Artifact, CompileError, Compiler, FaultPlan, FaultSite, Machine, Value};
 use s1lisp_ast::Fnv1a64;
 use s1lisp_reader::{read_all_str, read_str, Datum, Interner};
 use s1lisp_trace::json::Json;
+use s1lisp_trace::metrics::{Histogram, MetricsRegistry, TIME_BUCKETS_US};
 
 use crate::cache::{ArtifactCache, CacheStats};
 use crate::{FaultMode, OracleCase, Schedule, ServiceConfig, SourceUnit};
@@ -457,9 +458,17 @@ impl BatchResult {
 /// The batch-compilation service: a worker pool over hermetic
 /// per-function jobs, in front of a content-addressed [`ArtifactCache`]
 /// that persists across [`CompileService::compile_batch`] calls.
+///
+/// The service and its cache share one [`MetricsRegistry`]
+/// ([`CompileService::metrics`]): `service.*` covers queue wait, job
+/// wall time, outcomes, and incidents by kind; `cache.*` the cache's
+/// traffic and latency.
 pub struct CompileService {
     config: ServiceConfig,
     cache: ArtifactCache,
+    metrics: Arc<MetricsRegistry>,
+    queue_wait_us: Histogram,
+    job_wall_us: Histogram,
 }
 
 /// The cache key: the converted tree's structural fingerprint mixed
@@ -799,17 +808,31 @@ fn size_estimate(job: &Job, config: &ServiceConfig) -> u32 {
     }
 }
 
+/// The per-job metric handles a worker observes into: queue wait is the
+/// time a job sat in the queue (from queue open to dequeue), job wall
+/// the time the worker spent resolving it.
+struct WorkerMetrics<'a> {
+    queue_opened: Instant,
+    queue_wait_us: &'a Histogram,
+    job_wall_us: &'a Histogram,
+}
+
 fn worker_loop(
     worker: usize,
     queue: &Mutex<VecDeque<Job>>,
     config: &ServiceConfig,
     cache: &ArtifactCache,
+    metrics: &WorkerMetrics<'_>,
     tx: &mpsc::Sender<JobResult>,
 ) {
     loop {
         let job = queue.lock().expect("job queue lock").pop_front();
         let Some(job) = job else { break };
+        metrics
+            .queue_wait_us
+            .observe(elapsed_us(metrics.queue_opened));
         let result = process_job(&job, config, cache, worker);
+        metrics.job_wall_us.observe(result.record.wall_us);
         if tx.send(result).is_err() {
             break;
         }
@@ -819,18 +842,35 @@ fn worker_loop(
 impl CompileService {
     /// A service over a fresh cache.
     pub fn new(config: ServiceConfig) -> CompileService {
-        let cache = ArtifactCache::tuned(
+        let metrics = Arc::new(MetricsRegistry::new());
+        let cache = ArtifactCache::with_metrics(
             config.cache_capacity,
             config.cache_dir.clone(),
             config.disk_max_entries,
             config.fault_plan.clone(),
+            Arc::clone(&metrics),
         );
-        CompileService { config, cache }
+        let queue_wait_us = metrics.histogram("service.queue_wait_us", TIME_BUCKETS_US);
+        let job_wall_us = metrics.histogram("service.job_wall_us", TIME_BUCKETS_US);
+        CompileService {
+            config,
+            cache,
+            metrics,
+            queue_wait_us,
+            job_wall_us,
+        }
     }
 
     /// The configuration this service was built with.
     pub fn config(&self) -> &ServiceConfig {
         &self.config
+    }
+
+    /// The registry this service (and its cache) report into.  Lifetime
+    /// totals across every batch; snapshot it between batches for
+    /// deltas.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
     }
 
     /// Lifetime cache traffic (across every batch this service ran).
@@ -876,18 +916,31 @@ impl CompileService {
             jobs = keyed.into_iter().map(|(_, j)| j).collect();
         }
         let queue = Mutex::new(jobs.into_iter().collect::<VecDeque<_>>());
+        let worker_metrics = WorkerMetrics {
+            queue_opened: Instant::now(),
+            queue_wait_us: &self.queue_wait_us,
+            job_wall_us: &self.job_wall_us,
+        };
         let (tx, rx) = mpsc::channel();
         if workers_used == 1 {
             // The degenerate serial path: same worker loop, caller's
             // thread, no pool.
-            worker_loop(0, &queue, &self.config, &self.cache, &tx);
+            worker_loop(0, &queue, &self.config, &self.cache, &worker_metrics, &tx);
         } else {
             std::thread::scope(|s| {
                 for worker in 0..workers_used {
                     let tx = tx.clone();
                     let queue = &queue;
+                    let worker_metrics = &worker_metrics;
                     s.spawn(move || {
-                        worker_loop(worker, queue, &self.config, &self.cache, &tx);
+                        worker_loop(
+                            worker,
+                            queue,
+                            &self.config,
+                            &self.cache,
+                            worker_metrics,
+                            &tx,
+                        );
                     });
                 }
             });
@@ -908,6 +961,14 @@ impl CompileService {
         let mut records = Vec::new();
         let mut incidents = Vec::new();
         for r in results {
+            self.metrics
+                .counter(&format!("service.outcome.{}", r.record.outcome.as_str()))
+                .inc();
+            if let Some(i) = &r.incident {
+                self.metrics
+                    .counter(&format!("service.incident.{}", i.kind.as_str()))
+                    .inc();
+            }
             if let Some(w) = workers.get_mut(r.record.worker) {
                 w.jobs += 1;
                 w.wall_us += r.record.wall_us;
@@ -946,6 +1007,16 @@ impl CompileService {
         if self.config.guard {
             self.apply_guard(units, &mut batch);
         }
+        self.metrics.counter("service.batches").inc();
+        self.metrics
+            .counter("service.jobs")
+            .add(batch.stats.functions as u64);
+        self.metrics
+            .gauge("service.queue_peak")
+            .set(batch.stats.queue_peak as i64);
+        self.metrics
+            .gauge("cache.hit_rate_permille")
+            .set(self.cache.stats().hit_rate_permille() as i64);
         batch
     }
 

@@ -39,6 +39,67 @@ pub struct Heap {
     marks: Vec<bool>,
     /// Allocation counters by kind.
     pub allocs: AllocStats,
+    telemetry: HeapTelemetry,
+}
+
+/// Allocation-size histogram bounds, in words (must match
+/// `s1lisp_trace::metrics::SIZE_BUCKETS_WORDS` so the heap's plain
+/// counters merge into a registry histogram loss-free; pinned by test).
+pub const ALLOC_SIZE_BOUNDS: [u64; 9] = [1, 2, 4, 8, 16, 32, 64, 128, 256];
+
+/// One live-set sample, taken at the end of every collection — the
+/// "live-set curve" the GC-stress experiments plot.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LiveSample {
+    /// Which collection this sample closed (1-based, equals
+    /// [`AllocStats::collections`] at sample time).
+    pub collection: u64,
+    /// Words found live (marked) below the frontier.
+    pub live_words: u64,
+    /// Words swept onto the free list.
+    pub reclaimed_words: u64,
+    /// Free-list fragments left after the sweep.
+    pub free_blocks: u64,
+}
+
+/// Heap telemetry beyond the plain [`AllocStats`] counters: the
+/// allocation-size distribution, the live-set curve, and mark/sweep
+/// pause attribution.  All fields are plain values (no interior
+/// mutability), so cloning a [`Heap`] clones its telemetry rather than
+/// sharing it.
+#[derive(Clone, Debug, Default)]
+pub struct HeapTelemetry {
+    /// Successful allocations per size bucket (bounds are
+    /// [`ALLOC_SIZE_BOUNDS`], inclusive upper bounds).
+    pub alloc_size_counts: [u64; ALLOC_SIZE_BOUNDS.len()],
+    /// Allocations larger than the last bound.
+    pub alloc_size_overflow: u64,
+    /// Total words across all successful allocations (histogram sum).
+    pub alloc_size_sum: u64,
+    /// One sample per collection, in collection order.
+    pub live_samples: Vec<LiveSample>,
+    /// Host nanoseconds spent in the mark phase, summed over
+    /// collections.  Host-time: zeroed for deterministic snapshots.
+    pub mark_pause_ns: u64,
+    /// Host nanoseconds spent in the sweep phase, summed over
+    /// collections.  Host-time: zeroed for deterministic snapshots.
+    pub sweep_pause_ns: u64,
+}
+
+impl HeapTelemetry {
+    fn record_alloc(&mut self, size: usize) {
+        let size = size as u64;
+        match ALLOC_SIZE_BOUNDS.iter().position(|&b| size <= b) {
+            Some(i) => self.alloc_size_counts[i] += 1,
+            None => self.alloc_size_overflow += 1,
+        }
+        self.alloc_size_sum += size;
+    }
+
+    /// Total successful allocations recorded by the size histogram.
+    pub fn alloc_count(&self) -> u64 {
+        self.alloc_size_counts.iter().sum::<u64>() + self.alloc_size_overflow
+    }
 }
 
 /// Allocation statistics.
@@ -78,6 +139,54 @@ impl Heap {
             free: Vec::new(),
             marks: vec![false; capacity],
             allocs: AllocStats::default(),
+            telemetry: HeapTelemetry::default(),
+        }
+    }
+
+    /// The heap's accumulated telemetry (size histogram, live-set curve,
+    /// pause attribution).
+    pub fn telemetry(&self) -> &HeapTelemetry {
+        &self.telemetry
+    }
+
+    /// Free-list fragmentation in permille: the share of reclaimed-but-
+    /// unreused space that sits in blocks too small to hold a closure
+    /// header (< 3 words).  0 when the free list is empty.
+    pub fn fragmentation_permille(&self) -> u64 {
+        let total: usize = self.free.iter().map(|&(_, s)| s).sum();
+        if total == 0 {
+            return 0;
+        }
+        let slivers: usize = self.free.iter().map(|&(_, s)| s).filter(|&s| s < 3).sum();
+        (slivers as u64 * 1000) / total as u64
+    }
+
+    /// Exports the heap's telemetry into `reg` under `heap.*` metric
+    /// names.  Bulk-merges the plain counters, so exporting twice
+    /// double-counts — callers export once per finished run.
+    pub fn export_metrics(&self, reg: &s1lisp_trace::metrics::MetricsRegistry) {
+        use s1lisp_trace::metrics::SIZE_BUCKETS_WORDS;
+        let t = &self.telemetry;
+        reg.counter("heap.alloc.flonums").add(self.allocs.flonums);
+        reg.counter("heap.alloc.conses").add(self.allocs.conses);
+        reg.counter("heap.alloc.cells").add(self.allocs.cells);
+        reg.counter("heap.alloc.closures").add(self.allocs.closures);
+        reg.counter("heap.alloc.blocks").add(self.allocs.blocks);
+        reg.counter("heap.alloc.words").add(self.allocs.words);
+        reg.counter("heap.collections").add(self.allocs.collections);
+        reg.counter("heap.gc.mark_pause_ns").add(t.mark_pause_ns);
+        reg.counter("heap.gc.sweep_pause_ns").add(t.sweep_pause_ns);
+        reg.histogram("heap.alloc_size_words", SIZE_BUCKETS_WORDS)
+            .record_prebucketed(
+                &t.alloc_size_counts,
+                t.alloc_size_overflow,
+                t.alloc_size_sum,
+            );
+        reg.gauge("heap.fragmentation_permille")
+            .set(self.fragmentation_permille() as i64);
+        if let Some(last) = t.live_samples.last() {
+            reg.gauge("heap.live_words").set(last.live_words as i64);
+            reg.gauge("heap.free_blocks").set(last.free_blocks as i64);
         }
     }
 
@@ -106,6 +215,7 @@ impl Heap {
         } else {
             return None;
         };
+        self.telemetry.record_alloc(size);
         self.allocs.words += size as u64;
         match kind {
             ObjKind::Flonum => self.allocs.flonums += 1,
@@ -132,6 +242,7 @@ impl Heap {
     /// globals).  Returns the number of words reclaimed.
     pub fn collect(&mut self, roots: &[Word]) -> usize {
         self.allocs.collections += 1;
+        let mark_start = std::time::Instant::now();
         self.marks.iter_mut().for_each(|m| *m = false);
         let mut work: Vec<(u64, usize)> = roots
             .iter()
@@ -154,6 +265,8 @@ impl Heap {
                 }
             }
         }
+        self.telemetry.mark_pause_ns += mark_start.elapsed().as_nanos() as u64;
+        let sweep_start = std::time::Instant::now();
         // Sweep: coalesce unmarked spans below the frontier into the free
         // list (simple span accounting; spans are reused only for
         // same-size requests, which is fine for our small object zoo).
@@ -176,6 +289,15 @@ impl Heap {
             // on demand.
             self.free.push((start, len));
         }
+        self.telemetry.sweep_pause_ns += sweep_start.elapsed().as_nanos() as u64;
+        // Live-set sample: everything below the frontier that survived.
+        let live_words = (self.frontier - 1 - reclaimed) as u64;
+        self.telemetry.live_samples.push(LiveSample {
+            collection: self.allocs.collections,
+            live_words,
+            reclaimed_words: reclaimed as u64,
+            free_blocks: self.free.len() as u64,
+        });
         reclaimed
     }
 }
@@ -245,6 +367,90 @@ mod tests {
         // And the freed space is reusable.
         assert!(h.try_alloc(2, ObjKind::Cons).is_some());
         assert_eq!(h.allocs.collections, 1);
+    }
+
+    #[test]
+    fn telemetry_tracks_sizes_and_live_set_across_collections() {
+        // Same shape as the churn test, but small enough to force several
+        // collections, and we audit the telemetry after each one.
+        let mut h = Heap::new(96);
+        let mut root = Word::NIL;
+        let mut live_len = 0usize;
+        for i in 0..300 {
+            if i % 7 == 0 {
+                // Periodically drop the list so the live set shrinks.
+                root = Word::NIL;
+                live_len = 0;
+            }
+            let addr = match h.try_alloc(2, ObjKind::Cons) {
+                Some(a) => a,
+                None => {
+                    h.collect(&[root]);
+                    h.try_alloc(2, ObjKind::Cons).expect("post-gc alloc")
+                }
+            };
+            h.write(addr, Word::fixnum(i));
+            h.write(addr + 1, root);
+            root = Word::Ptr(Tag::Cons, addr);
+            live_len += 1;
+            // The live-set sample taken by the most recent collection can
+            // never exceed what the list held at that point.
+            if let Some(s) = h.telemetry().live_samples.last() {
+                assert!(s.live_words <= h.allocs.words);
+            }
+            let _ = live_len;
+        }
+        let t = h.telemetry().clone();
+        assert!(
+            h.allocs.collections >= 2,
+            "workload too small: {} collections",
+            h.allocs.collections
+        );
+        // One sample per collection, in collection order (monotone ids).
+        assert_eq!(t.live_samples.len() as u64, h.allocs.collections);
+        for (i, s) in t.live_samples.iter().enumerate() {
+            assert_eq!(s.collection, i as u64 + 1);
+            // live + reclaimed is exactly the allocated span below the
+            // frontier at collection time, so it can never exceed the
+            // words AllocStats says were ever handed out.
+            assert!(s.live_words + s.reclaimed_words <= h.allocs.words);
+        }
+        // The size histogram saw every allocation AllocStats counted.
+        assert_eq!(t.alloc_count(), h.allocs.objects() + h.allocs.blocks);
+        assert_eq!(t.alloc_size_sum, h.allocs.words);
+        // All conses: every size lands in the 2-word bucket.
+        assert_eq!(t.alloc_size_counts[1], t.alloc_count());
+    }
+
+    #[test]
+    fn heap_size_bounds_match_registry_buckets() {
+        // export_metrics merges the plain bucket table into a registry
+        // histogram positionally — the bounds must agree exactly.
+        assert_eq!(
+            ALLOC_SIZE_BOUNDS.as_slice(),
+            s1lisp_trace::metrics::SIZE_BUCKETS_WORDS
+        );
+    }
+
+    #[test]
+    fn export_metrics_round_trips_through_registry() {
+        let mut h = Heap::new(64);
+        for _ in 0..5 {
+            h.try_alloc(2, ObjKind::Cons).unwrap();
+        }
+        h.try_alloc(1, ObjKind::Flonum).unwrap();
+        h.collect(&[]);
+        let reg = s1lisp_trace::metrics::MetricsRegistry::new();
+        h.export_metrics(&reg);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("heap.alloc.conses"), Some(5));
+        assert_eq!(snap.counter("heap.alloc.flonums"), Some(1));
+        assert_eq!(snap.counter("heap.collections"), Some(1));
+        let hist = snap.histogram("heap.alloc_size_words").unwrap();
+        assert_eq!(hist.count, 6);
+        assert_eq!(hist.sum, 11);
+        // Everything was garbage, so the whole span is one free block.
+        assert_eq!(snap.gauge("heap.live_words"), Some(0));
     }
 
     #[test]

@@ -65,11 +65,11 @@ mod word;
 
 pub use asm::Asm;
 pub use encoding::{encoded_size, program_size_words};
-pub use heap::{Heap, ObjKind};
+pub use heap::{AllocStats, Heap, HeapTelemetry, LiveSample, ObjKind, ALLOC_SIZE_BOUNDS};
 pub use insn::{CallTarget, Cond, Insn, Label, Operand, Reg};
 pub use machine::{Machine, Trap};
 pub use postmortem::{FrameAt, PostMortem, RetiredAt};
-pub use profile::{ExecProfile, Retired};
+pub use profile::{opcode_class, ExecProfile, Retired};
 pub use program::{FuncCode, Program};
 pub use stats::MachineStats;
 pub use word::{Tag, Word};

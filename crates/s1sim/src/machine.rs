@@ -173,6 +173,9 @@ pub struct Machine {
     pub fuel: u64,
     /// Instruction budget installed at each `run`.
     pub fuel_per_run: u64,
+    /// Host nanoseconds the dispatch loop of the most recent `run` took
+    /// (including traps).  Host-time: zeroed for deterministic snapshots.
+    pub last_run_wall_ns: u64,
     /// Lazily materialized static constants (indexed like
     /// `program.constants`).
     const_cache: Vec<Option<Word>>,
@@ -202,6 +205,7 @@ impl Machine {
             post_mortem: None,
             fuel: 0,
             fuel_per_run: 2_000_000_000,
+            last_run_wall_ns: 0,
             const_cache: Vec::new(),
         }
     }
@@ -260,7 +264,10 @@ impl Machine {
         self.regs[Reg::RTA.0 as usize] = Word::Raw(args.len() as i64);
         self.regs[Reg::EV.0 as usize] = Word::NIL;
         let mut fault = FaultSite { fnid, pc: 0 };
-        match self.execute(fnid, code, &mut fault) {
+        let dispatch_start = std::time::Instant::now();
+        let outcome = self.execute(fnid, code, &mut fault);
+        self.last_run_wall_ns = dispatch_start.elapsed().as_nanos() as u64;
+        match outcome {
             Ok(result) => self.extract(result),
             Err(trap) => {
                 let fn_name = self
@@ -285,6 +292,29 @@ impl Machine {
         if self.profile.is_none() {
             self.profile = Some(Box::new(ExecProfile::with_ring(ring)));
         }
+    }
+
+    /// Exports everything the machine measured into `reg`: the
+    /// [`MachineStats`] counters (`sim.*`), dispatch-loop wall time and
+    /// throughput (`sim.run_wall_ns`, `sim.insns_per_sec` — host-time,
+    /// zeroed for deterministic snapshots), the opcode-class histogram
+    /// from the attached profile (`sim.opclass.*`), and the heap's
+    /// telemetry (`heap.*`).  Export once per finished run.
+    pub fn export_metrics(&self, reg: &s1lisp_trace::metrics::MetricsRegistry) {
+        self.stats.export(reg);
+        reg.counter("sim.run_wall_ns").add(self.last_run_wall_ns);
+        let per_sec = if self.last_run_wall_ns > 0 {
+            (self.stats.insns as u128 * 1_000_000_000 / self.last_run_wall_ns as u128) as i64
+        } else {
+            0
+        };
+        reg.gauge("sim.insns_per_sec").set(per_sec);
+        if let Some(profile) = &self.profile {
+            for (class, n) in profile.class_histogram() {
+                reg.counter(&format!("sim.opclass.{class}")).add(n);
+            }
+        }
+        self.heap.export_metrics(reg);
     }
 
     /// The fetch–execute loop, starting at `(fnid, 0)` with an empty

@@ -10,6 +10,31 @@
 
 use std::collections::BTreeMap;
 
+/// The instruction class an opcode mnemonic belongs to, for
+/// coarse-grained dispatch-mix metrics (`sim.opclass.*`): the §6
+/// measurements group instructions the same way ("reduction of data
+/// movement", arithmetic parity, call discipline), so the metrics
+/// surface mirrors that taxonomy rather than the 60-mnemonic zoo.
+pub fn opcode_class(opcode: &str) -> &'static str {
+    match opcode {
+        "MOV" | "MOVP" | "LOAD-CONST" => "move",
+        "ADD" | "SUB" | "MULT" | "DIV" | "DIV-FLOOR" | "REM" | "MOD-FLOOR" | "NEG" => "int_arith",
+        "FADD" | "FSUB" | "FMULT" | "FDIV" | "FMAX" | "FMIN" | "FNEG" | "FSIN" | "FCOS"
+        | "FSQRT" | "FATAN" | "FEXP" | "FLOG" | "FLOAT-IT" | "FIX-IT" => "float_arith",
+        "JMP" | "JMP-IF" | "JMP-NIL" | "JMP-NOT-NIL" | "JMP-TAG" | "JMP-EQ" | "DISPATCH" => {
+            "branch"
+        }
+        "CALL" | "TAIL-CALL" | "TAIL-JMP" | "RET" | "LOCAL-CALL" | "LOCAL-RET" | "RT-CALL"
+        | "APPLY" | "LOAD-FUNCTION" => "call",
+        "PUSH" | "POP" | "ALLOC-SLOTS" | "FREE-SLOTS" | "LISTIFY-ARGS" => "stack",
+        "CONS-RT" | "CAR" | "CDR" | "BOX-FLO" | "UNBOX-FLO" | "CERTIFY" | "MAKE-CELL"
+        | "LOAD-CELL" | "STORE-CELL" | "MAKE-CLOSURE" | "LOAD-ENV" => "heap",
+        "SPEC-BIND" | "SPEC-UNBIND" | "SPEC-LOOKUP" | "SPEC-READ" | "SPEC-WRITE" => "special",
+        "TRAP" | "PUSH-CATCH" | "POP-CATCH" | "THROW" => "control",
+        _ => "other",
+    }
+}
+
 /// One retired instruction, as seen by the ring buffer.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Retired {
@@ -107,6 +132,15 @@ impl ExecProfile {
         self.opcodes.values().sum()
     }
 
+    /// The opcode histogram folded by [`opcode_class`], class-sorted.
+    pub fn class_histogram(&self) -> BTreeMap<&'static str, u64> {
+        let mut classes = BTreeMap::new();
+        for (&op, &n) in &self.opcodes {
+            *classes.entry(opcode_class(op)).or_insert(0) += n;
+        }
+        classes
+    }
+
     /// The retained instruction tail, oldest first.  Empty unless the
     /// profile was created [`with_ring`](ExecProfile::with_ring).
     pub fn ring(&self) -> Vec<Retired> {
@@ -138,6 +172,23 @@ mod tests {
         assert_eq!(p.fn_cycles(0), 2);
         assert_eq!(p.fn_cycles(1), 9);
         assert_eq!(p.per_fn(), vec![(1, 9), (0, 2)]);
+    }
+
+    #[test]
+    fn class_histogram_folds_opcodes() {
+        let mut p = ExecProfile::new();
+        p.retire(0, 0, "MOV");
+        p.retire(0, 1, "MOVP");
+        p.retire(0, 2, "ADD");
+        p.retire(0, 3, "CALL");
+        p.retire(0, 4, "RET");
+        let classes = p.class_histogram();
+        assert_eq!(classes["move"], 2);
+        assert_eq!(classes["int_arith"], 1);
+        assert_eq!(classes["call"], 2);
+        // Every mnemonic the machine can retire maps to a named class;
+        // unknowns fall into "other" rather than panicking.
+        assert_eq!(opcode_class("NO-SUCH-OP"), "other");
     }
 
     #[test]

@@ -4,6 +4,16 @@
 //! experiments compare instruction counts, allocation counts, stack
 //! depths, and special-variable search costs across compiler
 //! configurations.
+//!
+//! The struct fields are the *accumulation* surface (the machine's hot
+//! loop bumps plain `u64`s); the [`MetricsRegistry`] is the *reporting*
+//! surface.  A single `(metric, label, value)` table drives both
+//! [`MachineStats::export`] and [`MachineStats::counters`] — and
+//! `counters()` reads its values back through a registry snapshot, so
+//! the Display table and the metrics a snapshot reports cannot drift
+//! (a workspace test pins this after a tak run).
+
+use s1lisp_trace::metrics::{MetricsRegistry, MetricsSnapshot};
 
 use crate::heap::AllocStats;
 
@@ -40,32 +50,83 @@ pub struct MachineStats {
     pub heap: AllocStats,
 }
 
+/// The one table every `MachineStats` view is derived from:
+/// `(registry metric name, display label)` in display order.
+const STAT_TABLE: &[(&str, &str)] = &[
+    ("sim.insns_retired", "instructions retired"),
+    ("sim.moves", "data moves (MOV/MOVP)"),
+    ("sim.calls", "calls (frames pushed)"),
+    ("sim.tail_calls", "tail calls (frames reused)"),
+    ("sim.max_call_depth", "max call depth"),
+    ("sim.max_stack_words", "max stack words"),
+    ("sim.special_searches", "special deep searches"),
+    ("sim.special_cached", "special cached accesses"),
+    ("sim.pdl_numbers", "pdl numbers created"),
+    ("sim.certify_safe", "certify: safe pointers"),
+    ("sim.certify_copies", "certify: stack copies"),
+    ("sim.closures_made", "closures made"),
+    ("sim.heap_objects", "heap objects allocated"),
+    ("sim.heap_words", "heap words allocated"),
+    ("sim.heap_flonums", "heap flonums boxed"),
+    ("sim.collections", "garbage collections"),
+];
+
 impl MachineStats {
     /// Resets every counter.
     pub fn reset(&mut self) {
         *self = MachineStats::default();
     }
 
-    /// Every counter as `(label, value)`, in display order.
+    /// The raw value for one `STAT_TABLE` metric name.
+    fn value_of(&self, metric: &str) -> u64 {
+        match metric {
+            "sim.insns_retired" => self.insns,
+            "sim.moves" => self.moves,
+            "sim.calls" => self.calls,
+            "sim.tail_calls" => self.tail_calls,
+            "sim.max_call_depth" => self.max_call_depth as u64,
+            "sim.max_stack_words" => self.max_stack_words as u64,
+            "sim.special_searches" => self.special_searches,
+            "sim.special_cached" => self.special_cached,
+            "sim.pdl_numbers" => self.pdl_numbers,
+            "sim.certify_safe" => self.certify_safe,
+            "sim.certify_copies" => self.certify_copies,
+            "sim.closures_made" => self.closures_made,
+            "sim.heap_objects" => self.heap.objects(),
+            "sim.heap_words" => self.heap.words,
+            "sim.heap_flonums" => self.heap.flonums,
+            "sim.collections" => self.heap.collections,
+            other => unreachable!("unknown stat metric {other}"),
+        }
+    }
+
+    /// Exports every counter into `reg` under its `sim.*` metric name.
+    /// `add`s rather than `set`s, so a registry can aggregate several
+    /// runs; export once per finished run.
+    pub fn export(&self, reg: &MetricsRegistry) {
+        for &(metric, _) in STAT_TABLE {
+            reg.counter(metric).add(self.value_of(metric));
+        }
+    }
+
+    /// Every counter as `(label, value)`, in display order — derived by
+    /// round-tripping through a metrics registry snapshot, so this table
+    /// and an exported snapshot are the same numbers by construction.
     pub fn counters(&self) -> Vec<(&'static str, u64)> {
-        vec![
-            ("instructions retired", self.insns),
-            ("data moves (MOV/MOVP)", self.moves),
-            ("calls (frames pushed)", self.calls),
-            ("tail calls (frames reused)", self.tail_calls),
-            ("max call depth", self.max_call_depth as u64),
-            ("max stack words", self.max_stack_words as u64),
-            ("special deep searches", self.special_searches),
-            ("special cached accesses", self.special_cached),
-            ("pdl numbers created", self.pdl_numbers),
-            ("certify: safe pointers", self.certify_safe),
-            ("certify: stack copies", self.certify_copies),
-            ("closures made", self.closures_made),
-            ("heap objects allocated", self.heap.objects()),
-            ("heap words allocated", self.heap.words),
-            ("heap flonums boxed", self.heap.flonums),
-            ("garbage collections", self.heap.collections),
-        ]
+        let reg = MetricsRegistry::new();
+        self.export(&reg);
+        let snap = reg.snapshot();
+        self.labeled_from(&snap)
+    }
+
+    /// The display table read out of `snap` (which must contain this
+    /// stats object's export).  Exposed so reports can render a table
+    /// from an already-taken snapshot without re-exporting.
+    pub fn labeled_from(&self, snap: &MetricsSnapshot) -> Vec<(&'static str, u64)> {
+        STAT_TABLE
+            .iter()
+            .map(|&(metric, label)| (label, snap.counter(metric).unwrap_or(0)))
+            .collect()
     }
 }
 
@@ -108,5 +169,33 @@ mod tests {
         // Every line has the same total width (label padded + value).
         let widths: Vec<usize> = text.lines().map(str::len).collect();
         assert!(widths.windows(2).all(|w| w[0] == w[1]), "{widths:?}");
+    }
+
+    #[test]
+    fn counters_round_trip_through_the_registry() {
+        let s = MachineStats {
+            insns: 99,
+            moves: 3,
+            max_call_depth: 12,
+            heap: AllocStats {
+                flonums: 2,
+                words: 40,
+                ..AllocStats::default()
+            },
+            ..MachineStats::default()
+        };
+        let reg = MetricsRegistry::new();
+        s.export(&reg);
+        let snap = reg.snapshot();
+        // The snapshot and the display table agree entry for entry.
+        assert_eq!(snap.counter("sim.insns_retired"), Some(99));
+        assert_eq!(snap.counter("sim.max_call_depth"), Some(12));
+        assert_eq!(snap.counter("sim.heap_flonums"), Some(2));
+        let table = s.counters();
+        assert_eq!(table.len(), STAT_TABLE.len());
+        for (&(metric, label), &(got_label, got_value)) in STAT_TABLE.iter().zip(table.iter()) {
+            assert_eq!(label, got_label);
+            assert_eq!(snap.counter(metric), Some(got_value));
+        }
     }
 }

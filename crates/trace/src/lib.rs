@@ -26,11 +26,16 @@
 //! * [`fault`] — seeded, order-independent fault injection
 //!   ([`fault::FaultPlan`]); the robustness counterpart of tracing,
 //!   letting any failure scenario replay exactly from a seed.
+//! * [`metrics`] — the unified registry of counters, gauges, and
+//!   fixed-bucket histograms every subsystem (simulator, heap, cache,
+//!   service, pipeline) reports into; snapshots serialize through
+//!   [`json`] with the same schema-pinning discipline.
 
 #![warn(missing_docs)]
 
 pub mod fault;
 pub mod json;
+pub mod metrics;
 pub mod rng;
 mod sink;
 
