@@ -123,7 +123,9 @@ fn run_sim_kernel(k: &SimKernel, warmup: usize, trials: usize) -> Json {
     for _ in 0..trials {
         m.run(k.entry, &k.args)
             .unwrap_or_else(|e| panic!("{} runs: {e}", k.id));
-        insns = m.stats.insns;
+        // Per-trial delta, not the machine's cumulative counter — the
+        // warmup runs above already retired instructions on `m`.
+        insns = m.last_run_insns;
         let ns = m.last_run_wall_ns.max(1);
         wall_ns.push(ns);
         per_sec.push((insns as u128 * 1_000_000_000 / ns as u128) as u64);
@@ -313,7 +315,11 @@ pub fn append_trajectory(path: &Path, entry: Json) -> Result<usize, String> {
         body.push('\n');
     }
     body.push_str("]\n");
-    std::fs::write(path, body).map_err(|e| format!("{}: {e}", path.display()))?;
+    // Write-then-rename so a crash mid-write can never truncate the
+    // history: the original file is replaced atomically or not at all.
+    let tmp = path.with_extension("json.tmp");
+    std::fs::write(&tmp, body).map_err(|e| format!("{}: {e}", tmp.display()))?;
+    std::fs::rename(&tmp, path).map_err(|e| format!("{}: {e}", path.display()))?;
     Ok(count)
 }
 

@@ -267,9 +267,13 @@ impl ArtifactCache {
             self.hits.inc();
             return Some(a);
         }
+        // Decide before probing: disk_get itself can flip disk_disabled
+        // (crossing DISK_STRIKE_LIMIT), and that slowest, retry-heavy
+        // probe belongs in the same distribution as the earlier failures.
+        let disk_timed = self.dir.is_some() && !self.disk_disabled();
         let disk_start = Instant::now();
         let disk_probe = self.disk_get(key);
-        if self.dir.is_some() && !self.disk_disabled() {
+        if disk_timed {
             self.disk_get_us
                 .observe(disk_start.elapsed().as_micros() as u64);
         }

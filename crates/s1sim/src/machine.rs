@@ -176,6 +176,11 @@ pub struct Machine {
     /// Host nanoseconds the dispatch loop of the most recent `run` took
     /// (including traps).  Host-time: zeroed for deterministic snapshots.
     pub last_run_wall_ns: u64,
+    /// Instructions retired by the most recent `run` alone.  Unlike the
+    /// cumulative `stats.insns`, this is a per-run delta, so it pairs
+    /// with `last_run_wall_ns` to give a correct throughput even after
+    /// warmup runs on the same machine.
+    pub last_run_insns: u64,
     /// Lazily materialized static constants (indexed like
     /// `program.constants`).
     const_cache: Vec<Option<Word>>,
@@ -206,6 +211,7 @@ impl Machine {
             fuel: 0,
             fuel_per_run: 2_000_000_000,
             last_run_wall_ns: 0,
+            last_run_insns: 0,
             const_cache: Vec::new(),
         }
     }
@@ -264,9 +270,11 @@ impl Machine {
         self.regs[Reg::RTA.0 as usize] = Word::Raw(args.len() as i64);
         self.regs[Reg::EV.0 as usize] = Word::NIL;
         let mut fault = FaultSite { fnid, pc: 0 };
+        let insns_before = self.stats.insns;
         let dispatch_start = std::time::Instant::now();
         let outcome = self.execute(fnid, code, &mut fault);
         self.last_run_wall_ns = dispatch_start.elapsed().as_nanos() as u64;
+        self.last_run_insns = self.stats.insns - insns_before;
         match outcome {
             Ok(result) => self.extract(result),
             Err(trap) => {
@@ -300,11 +308,14 @@ impl Machine {
     /// zeroed for deterministic snapshots), the opcode-class histogram
     /// from the attached profile (`sim.opclass.*`), and the heap's
     /// telemetry (`heap.*`).  Export once per finished run.
+    /// `sim.insns_per_sec` is computed from the *last* run's instruction
+    /// delta and wall time, so it stays a genuine throughput even when
+    /// the machine has executed warmup runs before the measured one.
     pub fn export_metrics(&self, reg: &s1lisp_trace::metrics::MetricsRegistry) {
         self.stats.export(reg);
         reg.counter("sim.run_wall_ns").add(self.last_run_wall_ns);
         let per_sec = if self.last_run_wall_ns > 0 {
-            (self.stats.insns as u128 * 1_000_000_000 / self.last_run_wall_ns as u128) as i64
+            (self.last_run_insns as u128 * 1_000_000_000 / self.last_run_wall_ns as u128) as i64
         } else {
             0
         };
@@ -1369,6 +1380,35 @@ mod tests {
         let mut m = Machine::new(p);
         assert_eq!(m.run("inc1", &[fx(41)]).unwrap(), fx(42));
         assert!(m.stats.insns >= 2);
+    }
+
+    /// `last_run_insns` is the per-run delta, not the cumulative
+    /// counter: identical repeated runs report identical counts even
+    /// though `stats.insns` keeps accumulating.
+    #[test]
+    fn last_run_insns_is_a_per_run_delta() {
+        let mut asm = Asm::new("inc1", 1);
+        asm.push(Insn::Add {
+            dst: Operand::Reg(Reg::RTA),
+            a: Operand::arg(0),
+            b: Operand::fixnum(1),
+        });
+        asm.push(Insn::Mov {
+            dst: Operand::Reg(Reg::A),
+            src: Operand::Reg(Reg::RTA),
+        });
+        asm.push(Insn::Ret);
+        let mut p = Program::new();
+        p.define(asm.finish());
+        let mut m = Machine::new(p);
+        m.run("inc1", &[fx(1)]).unwrap();
+        let first = m.last_run_insns;
+        assert!(first >= 2);
+        assert_eq!(first, m.stats.insns);
+        m.run("inc1", &[fx(2)]).unwrap();
+        m.run("inc1", &[fx(3)]).unwrap();
+        assert_eq!(m.last_run_insns, first);
+        assert_eq!(m.stats.insns, 3 * first);
     }
 
     /// Calling between functions and returning values.
