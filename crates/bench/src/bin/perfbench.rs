@@ -14,6 +14,12 @@
 //! (`crates/bench/tests/golden/perfbench_*_schema.txt`), and exits
 //! nonzero on any mismatch — without touching the trajectory files.
 //! No thresholds are gated: the trajectory records, it does not judge.
+//!
+//! `--compare [--tolerance N]` is the judging mode: measure the full
+//! matrix fresh, compare each workload's median throughput against the
+//! *best* entry in the committed trajectory, and exit nonzero listing
+//! every workload that fell more than N percent (default 20) below its
+//! best baseline.  The trajectory files are never modified.
 
 use s1lisp_bench::perfbench;
 use s1lisp_trace::json;
@@ -38,9 +44,11 @@ fn check_schema(label: &str, entry: &json::Json, golden: &str) -> bool {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let check = args.iter().any(|a| a == "--check");
+    let compare = args.iter().any(|a| a == "--compare");
     let mut warmup = 1usize;
     let mut trials = 5usize;
-    let mut it = args.iter().filter(|a| *a != "--check");
+    let mut tolerance = perfbench::DEFAULT_COMPARE_TOLERANCE;
+    let mut it = args.iter().filter(|a| *a != "--check" && *a != "--compare");
     while let Some(a) = it.next() {
         let mut grab = |name: &str| match it.next().and_then(|v| v.parse().ok()) {
             Some(n) => n,
@@ -52,13 +60,49 @@ fn main() {
         match a.as_str() {
             "--warmup" => warmup = grab("--warmup"),
             "--trials" => trials = grab("--trials"),
+            "--tolerance" => tolerance = grab("--tolerance") as u64,
             other => {
-                eprintln!("unknown argument {other} (want --check, --warmup N, --trials N)");
+                eprintln!(
+                    "unknown argument {other} \
+                     (want --check, --compare, --warmup N, --trials N, --tolerance N)"
+                );
                 std::process::exit(2);
             }
         }
     }
     let root = perfbench::repo_root();
+    if compare {
+        let trials = trials.max(1);
+        println!("perfbench --compare: tolerance {tolerance}% below best baseline");
+        let mut regressed = false;
+        for (file, entry) in [
+            (
+                "BENCH_sim.json",
+                perfbench::sim_entry(&root, warmup, trials),
+            ),
+            (
+                "BENCH_service.json",
+                perfbench::service_entry(&root, warmup, trials),
+            ),
+        ] {
+            let baselines = match perfbench::load_trajectory(&root.join(file)) {
+                Ok(entries) => entries,
+                Err(e) => {
+                    eprintln!("perfbench: {e}");
+                    std::process::exit(1);
+                }
+            };
+            let comparisons = perfbench::compare_entry(&entry, &baselines, tolerance);
+            println!("{file}:");
+            if comparisons.is_empty() {
+                println!("  (no baselines — run perfbench once to record them)");
+            } else {
+                print!("{}", perfbench::format_comparisons(&comparisons));
+            }
+            regressed |= comparisons.iter().any(|c| c.regressed);
+        }
+        std::process::exit(i32::from(regressed));
+    }
     if check {
         let sim = perfbench::smoke_sim_entry(&root);
         let service = perfbench::smoke_service_entry(&root);

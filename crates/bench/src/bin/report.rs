@@ -9,6 +9,8 @@
 //! cargo run -p s1lisp-bench --bin report -- --jobs 4 service
 //! cargo run -p s1lisp-bench --bin report -- --passes       # schedule
 //! cargo run -p s1lisp-bench --bin report -- --metrics      # unified metrics
+//! cargo run -p s1lisp-bench --bin report -- --flame tak    # folded stacks
+//! cargo run -p s1lisp-bench --bin report -- --chrome-trace # trace JSON
 //! ```
 //!
 //! `--json` emits one machine-readable record per experiment (the shape
@@ -28,6 +30,13 @@
 //! metrics workload — tak plus one service batch — and renders the
 //! unified registry snapshot: simulator, heap/GC, pipeline, cache, and
 //! service metrics in one table (or one schema-pinned record).
+//!
+//! `--flame <workload>` runs one perfbench kernel (tak, exptl, loopn,
+//! horner, gc-stress) under the calling-context profiler and prints
+//! folded stacks (`caller;callee cycles`) — pipe into `flamegraph.pl`
+//! or load in speedscope.  `--chrome-trace` prints a Chrome trace-event
+//! JSON array (a traced compile plus a 2-worker batch timeline) for
+//! `chrome://tracing` / Perfetto.
 
 use std::path::PathBuf;
 
@@ -39,6 +48,27 @@ fn main() {
     args.retain(|a| a != "--passes");
     let metrics = args.iter().any(|a| a == "--metrics");
     args.retain(|a| a != "--metrics");
+    let chrome = args.iter().any(|a| a == "--chrome-trace");
+    args.retain(|a| a != "--chrome-trace");
+    if let Some(i) = args.iter().position(|a| a == "--flame") {
+        args.remove(i);
+        let Some(entry) = args.get(i).cloned() else {
+            eprintln!("--flame wants a workload id (try tak)");
+            std::process::exit(2);
+        };
+        match s1lisp_bench::flame_report(&entry) {
+            Ok(folded) => print!("{folded}"),
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(2);
+            }
+        }
+        return;
+    }
+    if chrome {
+        println!("{}", s1lisp_bench::chrome_trace());
+        return;
+    }
     if metrics {
         if json {
             println!(

@@ -143,6 +143,19 @@ pub const HORNER_INLINE: &str = "(defun sum-horner-inline (n)
       (setq n (- n 1))
       (go top))))";
 
+/// Allocation churn for the GC trajectory: each outer iteration builds
+/// a 500-cons list and immediately drops it, so the inner loop count
+/// times the list length overruns the heap and forces collections.
+pub const GC_STRESS: &str = "(defun build-list (n acc)
+  (if (zerop n) acc (build-list (- n 1) (cons n acc))))
+(defun gc-stress (m)
+  (prog ()
+    top
+    (if (zerop m) (return 'done))
+    (build-list 500 '())
+    (setq m (- m 1))
+    (go top)))";
+
 /// `exptl` with a fixnum declaration on the exponent: type inference
 /// turns the `floor`/`/`/`*` chain into machine arithmetic.
 pub const EXPTL_TYPED: &str = "(defun exptl-typed (x n a)

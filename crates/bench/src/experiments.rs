@@ -477,12 +477,12 @@ fn e9() -> String {
     // Where the call-per-x configuration spends its cycles, from the
     // execution profile's per-function attribution (heaviest first).
     let profile = m.profile.take().expect("profile survives the run");
-    let fn_names = &c.program().fn_names;
+    let names = c.program().names();
     let per_fn = profile.per_fn();
     let total: u64 = per_fn.iter().map(|&(_, c)| c).sum();
     out.push_str("\nPer-function cycles (call-per-x configuration, runtime calls cost 8):\n");
     for (fnid, cycles) in per_fn {
-        let name = fn_names.get(fnid as usize).map_or("?", String::as_str);
+        let name = names.resolve(fnid);
         let _ = writeln!(
             out,
             "  {:<28} {:>14} {:>9.1}%",
@@ -722,12 +722,12 @@ fn e12() -> String {
         // Per-function cycle attribution of the full-compiler run,
         // heaviest first.
         let profile = m1.profile.take().expect("profile survives the run");
-        let fn_names = &c1.program().fn_names;
+        let names = c1.program().names();
         let cells: Vec<String> = profile
             .per_fn()
             .into_iter()
             .map(|(fnid, cycles)| {
-                let name = fn_names.get(fnid as usize).map_or("?", String::as_str);
+                let name = names.resolve(fnid);
                 format!("{name} {cycles}")
             })
             .collect();

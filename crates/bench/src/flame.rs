@@ -1,0 +1,168 @@
+//! The profiling report surfaces behind `report --flame` and
+//! `report --chrome-trace`.
+//!
+//! * [`flame_report`] runs one pinned perfbench kernel under the
+//!   simulator's calling-context profiler and returns the folded-stack
+//!   text (`caller;callee <cycles>` lines) that `flamegraph.pl` and
+//!   speedscope consume directly.  The kernels are the perfbench matrix
+//!   ([`crate::perfbench::sim_kernels`]), so a flame graph always
+//!   describes exactly the workload the trajectory measures.
+//! * [`chrome_trace`] renders both observability timelines as one
+//!   Chrome trace-event JSON array: pid 1 is a traced single-unit
+//!   compile (the per-phase span tree from the compiler's
+//!   [`MemorySink`](s1lisp_trace::MemorySink)), pid 2 is a driver batch
+//!   with one lane per worker, each job shown as queue-wait, then the
+//!   job span containing its pipeline phases.
+
+use s1lisp::Compiler;
+use s1lisp_driver::BatchResult;
+use s1lisp_s1sim::ExecProfile;
+use s1lisp_trace::chrome::{self, TraceEvent};
+use s1lisp_trace::json::Json;
+
+use crate::perfbench::sim_kernels;
+use crate::service::service_batch;
+
+/// Runs the pinned kernel named `entry` (a perfbench workload id) with
+/// the profiling call stack enabled and returns the folded-stack text.
+///
+/// # Errors
+///
+/// Returns a message listing the known ids when `entry` names no
+/// pinned kernel.
+pub fn flame_report(entry: &str) -> Result<String, String> {
+    let kernels = sim_kernels();
+    let Some(k) = kernels.iter().find(|k| k.id == entry) else {
+        let known: Vec<&str> = kernels.iter().map(|k| k.id).collect();
+        return Err(format!(
+            "unknown flame workload {entry:?} (want one of {})",
+            known.join(", ")
+        ));
+    };
+    let mut c = Compiler::new();
+    c.compile_str(k.src)
+        .map_err(|e| format!("{} compiles: {e}", k.id))?;
+    let mut m = c.machine();
+    m.profile = Some(Box::new(ExecProfile::default()));
+    m.run(k.entry, &k.args)
+        .map_err(|trap| format!("{} runs: {trap}", k.id))?;
+    Ok(m.folded_stacks().expect("profile was attached"))
+}
+
+/// Renders a driver batch as trace events on `pid`, one lane (`tid`)
+/// per worker.  Per job, in seq order within its lane: a `queue-wait`
+/// event, then the job event (named by its unit, outcome in `args`)
+/// stretched to contain its pipeline phases laid out sequentially.
+pub fn batch_events(batch: &BatchResult, pid: u64) -> Vec<TraceEvent> {
+    let mut cursor = vec![0u64; batch.stats.workers_used.max(1)];
+    let mut events = Vec::new();
+    let mut records: Vec<_> = batch.records.iter().collect();
+    records.sort_by_key(|r| r.seq);
+    for r in records {
+        let tid = r.worker as u64;
+        let lane = cursor.get_mut(r.worker).expect("worker lane exists");
+        events.push(TraceEvent {
+            name: "queue-wait".to_string(),
+            ts_us: *lane,
+            dur_us: r.queue_us,
+            pid,
+            tid,
+            unit: r.function.clone(),
+            counters: Vec::new(),
+        });
+        *lane += r.queue_us;
+        let phase_total: u64 = r.phase_spans.iter().map(|&(_, _, us)| us).sum();
+        let job_dur = r.wall_us.max(phase_total);
+        events.push(TraceEvent {
+            name: r.unit.clone(),
+            ts_us: *lane,
+            dur_us: job_dur,
+            pid,
+            tid,
+            unit: r.function.clone(),
+            counters: vec![
+                ("outcome".to_string(), r.outcome as u64),
+                ("wall_us".to_string(), r.wall_us),
+                ("queue_us".to_string(), r.queue_us),
+            ],
+        });
+        let mut phase_ts = *lane;
+        for (phase, spans, wall_us) in &r.phase_spans {
+            events.push(TraceEvent {
+                name: phase.clone(),
+                ts_us: phase_ts,
+                dur_us: *wall_us,
+                pid,
+                tid,
+                unit: r.function.clone(),
+                counters: vec![("spans".to_string(), *spans)],
+            });
+            phase_ts += wall_us;
+        }
+        *lane += job_dur;
+    }
+    events
+}
+
+/// The combined chrome-trace JSON array: a traced single-unit compile
+/// on pid 1 and a 2-worker driver batch over the experiment corpus on
+/// pid 2.  Load the output in `chrome://tracing` or Perfetto.
+pub fn chrome_trace() -> Json {
+    let mut c = Compiler::new();
+    c.enable_trace();
+    c.compile_str(crate::corpus::TESTFN)
+        .expect("corpus compiles");
+    let mut events = c
+        .trace()
+        .map(|sink| chrome::sink_events(sink, 1, 0))
+        .unwrap_or_default();
+    let batch = service_batch(2, None);
+    events.extend(batch_events(&batch, 2));
+    chrome::trace_json(&events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flame_report_knows_the_perfbench_matrix() {
+        let folded = flame_report("exptl").unwrap();
+        assert!(folded.contains("exptl"), "{folded}");
+        assert!(folded.ends_with('\n'));
+        let err = flame_report("nope").unwrap_err();
+        assert!(err.contains("tak"), "{err}");
+    }
+
+    #[test]
+    fn chrome_trace_is_a_valid_event_array_with_both_lanes() {
+        let trace = chrome_trace();
+        let n = chrome::validate_trace(&trace).unwrap();
+        assert!(n > 0);
+        let events = trace.as_arr().unwrap();
+        let pid = |e: &Json| e.get("pid").and_then(Json::as_int).unwrap();
+        assert!(events.iter().any(|e| pid(e) == 1), "pipeline lane");
+        assert!(events.iter().any(|e| pid(e) == 2), "driver lane");
+    }
+
+    #[test]
+    fn batch_lanes_are_sequential_per_worker() {
+        let batch = service_batch(2, None);
+        let events = batch_events(&batch, 2);
+        // Top-level lane events (queue-waits and jobs) must not overlap
+        // within a worker lane; phase events nest inside their job.
+        let mut last_end: std::collections::HashMap<u64, u64> = Default::default();
+        for e in events
+            .iter()
+            .filter(|e| e.name == "queue-wait" || batch.records.iter().any(|r| r.unit == e.name))
+        {
+            let end = last_end.entry(e.tid).or_insert(0);
+            assert!(
+                e.ts_us >= *end,
+                "{} starts inside the previous span",
+                e.name
+            );
+            *end = e.ts_us + e.dur_us;
+        }
+    }
+}

@@ -164,14 +164,14 @@ fn run_section(c: &Compiler, wl: &Workload) -> Json {
             .map(|(&op, &n)| (op.to_string(), Json::uint(n)))
             .collect(),
     );
-    let fn_names = &c.program().fn_names;
+    let names = c.program().names();
     let per_function = profile
         .per_fn()
         .into_iter()
         .map(|(fnid, cycles)| {
-            let name = fn_names.get(fnid as usize).map_or("?", String::as_str);
+            let name = names.resolve(fnid);
             obj(vec![
-                ("function", Json::str(name)),
+                ("function", Json::str(&*name)),
                 ("cycles", Json::uint(cycles)),
             ])
         })

@@ -9,6 +9,7 @@
 pub mod corpus;
 pub mod experiments;
 pub mod explain;
+pub mod flame;
 pub mod json_report;
 pub mod metrics_report;
 pub mod passes;
@@ -17,6 +18,7 @@ pub mod service;
 
 pub use experiments::{all_experiments, run_experiment, Experiment};
 pub use explain::{corpus_functions, explain_function};
+pub use flame::{batch_events, chrome_trace, flame_report};
 pub use json_report::{all_json_records, json_record, trap_record};
 pub use metrics_report::{collect_metrics, metrics_record, metrics_report};
 pub use passes::{passes_record, passes_report};

@@ -31,11 +31,15 @@ use crate::corpus;
 use crate::service::service_units;
 
 /// One simulator kernel in the pinned matrix.
-struct SimKernel {
-    id: &'static str,
-    src: &'static str,
-    entry: &'static str,
-    args: Vec<Value>,
+pub struct SimKernel {
+    /// Stable name the trajectory (and `report --flame`) is keyed by.
+    pub id: &'static str,
+    /// Corpus source text.
+    pub src: &'static str,
+    /// Entry function name.
+    pub entry: &'static str,
+    /// Entry arguments.
+    pub args: Vec<Value>,
 }
 
 fn fx(n: i64) -> Value {
@@ -44,7 +48,7 @@ fn fx(n: i64) -> Value {
 
 /// The pinned kernel matrix.  Order is the file order; ids are stable
 /// names the trajectory is keyed by.
-fn sim_kernels() -> Vec<SimKernel> {
+pub fn sim_kernels() -> Vec<SimKernel> {
     vec![
         SimKernel {
             id: "tak",
@@ -69,6 +73,15 @@ fn sim_kernels() -> Vec<SimKernel> {
             src: corpus::HORNER_LOOP,
             entry: "sum-horner",
             args: vec![fx(2_000)],
+        },
+        // 1200 iterations × 500 conses overruns the 1Mi-word heap, so
+        // every trial drives at least one collection and the heap.*
+        // telemetry gets a trajectory signal.
+        SimKernel {
+            id: "gc-stress",
+            src: corpus::GC_STRESS,
+            entry: "gc-stress",
+            args: vec![fx(1_200)],
         },
     ]
 }
@@ -132,6 +145,17 @@ fn run_sim_kernel(k: &SimKernel, warmup: usize, trials: usize) -> Json {
     }
     let (median_ps, p90_ps) = stats(&per_sec);
     let (median_ns, p90_ns) = stats(&wall_ns);
+    // GC signal for the trajectory: collections are cumulative over the
+    // entry's warmup + trials (the machine persists across runs, as the
+    // heap would in a long-lived image); live words are the last
+    // collection's live-set sample, 0 if the kernel never collected.
+    let gc_collections = m.stats.heap.collections;
+    let gc_live_words = m
+        .heap
+        .telemetry()
+        .live_samples
+        .last()
+        .map_or(0, |s| s.live_words);
     obj(vec![
         ("id", Json::str(k.id)),
         ("entry", Json::str(k.entry)),
@@ -140,6 +164,8 @@ fn run_sim_kernel(k: &SimKernel, warmup: usize, trials: usize) -> Json {
         ("p90_insns_per_sec", Json::uint(p90_ps)),
         ("median_wall_us", Json::uint(median_ns / 1_000)),
         ("p90_wall_us", Json::uint(p90_ns / 1_000)),
+        ("gc_collections", Json::uint(gc_collections)),
+        ("gc_live_words", Json::uint(gc_live_words)),
     ])
 }
 
@@ -323,6 +349,120 @@ pub fn append_trajectory(path: &Path, entry: Json) -> Result<usize, String> {
     Ok(count)
 }
 
+/// Reads a trajectory file (a JSON array of entries) without modifying
+/// it.  A missing file is an empty trajectory, not an error — a fresh
+/// checkout has baselines only after the first `perfbench` run.
+///
+/// # Errors
+///
+/// Returns a description when the file exists but is unreadable or is
+/// not a JSON array.
+pub fn load_trajectory(path: &Path) -> Result<Vec<Json>, String> {
+    match std::fs::read_to_string(path) {
+        Ok(text) => match json::parse(&text)? {
+            Json::Arr(entries) => Ok(entries),
+            _ => Err(format!("{}: expected a JSON array", path.display())),
+        },
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Vec::new()),
+        Err(e) => Err(format!("{}: {e}", path.display())),
+    }
+}
+
+/// Default `--compare` tolerance, percent below the best baseline.
+pub const DEFAULT_COMPARE_TOLERANCE: u64 = 20;
+
+/// One workload's fresh-vs-baseline verdict from [`compare_entry`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Comparison {
+    /// Workload key (`"tak"`, …, or `"jobs=8"`).
+    pub workload: String,
+    /// The throughput metric compared.
+    pub metric: &'static str,
+    /// Freshly measured median.
+    pub measured: u64,
+    /// Best (maximum) median for this workload across the baseline
+    /// trajectory.
+    pub baseline: u64,
+    /// The pass floor: `baseline * (100 - tolerance) / 100`.
+    pub floor: u64,
+    /// Whether `measured` fell below `floor`.
+    pub regressed: bool,
+}
+
+/// The `(key, throughput-metric)` pair a trajectory row is compared by:
+/// sim rows are keyed by `id`, service rows by `jobs=N`.
+fn row_key_metric(row: &Json) -> Option<(String, &'static str)> {
+    if let Some(id) = row.get("id").and_then(Json::as_str) {
+        return Some((id.to_string(), "median_insns_per_sec"));
+    }
+    let jobs = row.get("jobs").and_then(Json::as_int)?;
+    Some((format!("jobs={jobs}"), "median_functions_per_sec"))
+}
+
+fn entry_rows(entry: &Json) -> &[Json] {
+    entry
+        .get("workloads")
+        .or_else(|| entry.get("batches"))
+        .and_then(Json::as_arr)
+        .unwrap_or(&[])
+}
+
+/// Compares a freshly measured entry against a baseline trajectory.
+///
+/// For every workload row in `fresh`, the baseline is the *best*
+/// (maximum) median recorded for that workload anywhere in
+/// `baselines` — comparing against the best ever, not the latest,
+/// keeps a slow regression from ratcheting the bar down one tolerable
+/// step at a time.  A workload passes while its measured median stays
+/// at or above `baseline * (100 - tolerance_percent) / 100`; workloads
+/// with no baseline row (new kernels) are skipped, not failed.
+pub fn compare_entry(fresh: &Json, baselines: &[Json], tolerance_percent: u64) -> Vec<Comparison> {
+    let tolerance = tolerance_percent.min(100);
+    let mut out = Vec::new();
+    for row in entry_rows(fresh) {
+        let Some((workload, metric)) = row_key_metric(row) else {
+            continue;
+        };
+        let measured = row.get(metric).and_then(Json::as_int).unwrap_or(0).max(0) as u64;
+        let baseline = baselines
+            .iter()
+            .flat_map(entry_rows)
+            .filter(|r| row_key_metric(r).is_some_and(|(k, _)| k == workload))
+            .filter_map(|r| r.get(metric).and_then(Json::as_int))
+            .max()
+            .unwrap_or(-1);
+        if baseline < 0 {
+            continue; // New workload: nothing to regress against.
+        }
+        let baseline = baseline as u64;
+        let floor = baseline * (100 - tolerance) / 100;
+        out.push(Comparison {
+            workload,
+            metric,
+            measured,
+            baseline,
+            floor,
+            regressed: measured < floor,
+        });
+    }
+    out
+}
+
+/// Renders [`compare_entry`] verdicts as one aligned line each.
+pub fn format_comparisons(comparisons: &[Comparison]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for c in comparisons {
+        let verdict = if c.regressed { "REGRESSED" } else { "ok" };
+        let _ = writeln!(
+            out,
+            "  {:<10} {:<24} measured={:>12} best-baseline={:>12} floor={:>12}  {}",
+            c.workload, c.metric, c.measured, c.baseline, c.floor, verdict
+        );
+    }
+    out
+}
+
 /// A short human summary of one entry, for the binary's stdout.
 pub fn summarize_entry(entry: &Json) -> String {
     use std::fmt::Write as _;
@@ -406,6 +546,85 @@ mod tests {
         let smoke = smoke_service_entry(&root);
         let full = service_entry(&root, 0, 1);
         assert_eq!(json::schema(&smoke), json::schema(&full));
+    }
+
+    /// A fabricated sim-style entry with one `tak` row at the given
+    /// throughput.
+    fn fab_sim(median: u64) -> Json {
+        Json::Obj(vec![
+            ("schema".to_string(), Json::uint(1)),
+            (
+                "workloads".to_string(),
+                Json::Arr(vec![obj(vec![
+                    ("id", Json::str("tak")),
+                    ("median_insns_per_sec", Json::uint(median)),
+                ])]),
+            ),
+        ])
+    }
+
+    fn fab_service(jobs: u64, median: u64) -> Json {
+        Json::Obj(vec![
+            ("schema".to_string(), Json::uint(1)),
+            (
+                "batches".to_string(),
+                Json::Arr(vec![obj(vec![
+                    ("jobs", Json::uint(jobs)),
+                    ("median_functions_per_sec", Json::uint(median)),
+                ])]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn compare_passes_within_tolerance_and_fails_below_the_floor() {
+        // Best baseline is 1000 (not the later 800): floor at 20% is 800.
+        let baselines = [fab_sim(1000), fab_sim(800)];
+        let pass = compare_entry(&fab_sim(800), &baselines, 20);
+        assert_eq!(pass.len(), 1);
+        assert_eq!(pass[0].workload, "tak");
+        assert_eq!(pass[0].metric, "median_insns_per_sec");
+        assert_eq!(pass[0].baseline, 1000);
+        assert_eq!(pass[0].floor, 800);
+        assert!(!pass[0].regressed);
+        // A synthetic regression one unit below the floor is caught.
+        let fail = compare_entry(&fab_sim(799), &baselines, 20);
+        assert!(fail[0].regressed);
+        let rendered = format_comparisons(&fail);
+        assert!(rendered.contains("REGRESSED"), "{rendered}");
+    }
+
+    #[test]
+    fn compare_keys_service_rows_by_job_count() {
+        let baselines = [fab_service(8, 5000)];
+        // jobs=8 matches its baseline; jobs=2 has none and is skipped.
+        let fresh = Json::Obj(vec![(
+            "batches".to_string(),
+            Json::Arr(vec![
+                obj(vec![
+                    ("jobs", Json::uint(8)),
+                    ("median_functions_per_sec", Json::uint(100)),
+                ]),
+                obj(vec![
+                    ("jobs", Json::uint(2)),
+                    ("median_functions_per_sec", Json::uint(100)),
+                ]),
+            ]),
+        )]);
+        let got = compare_entry(&fresh, &baselines, 50);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].workload, "jobs=8");
+        assert_eq!(got[0].floor, 2500);
+        assert!(got[0].regressed);
+    }
+
+    #[test]
+    fn compare_skips_workloads_with_no_baseline() {
+        assert!(compare_entry(&fab_sim(1), &[], 20).is_empty());
+        // Zero tolerance means any drop regresses; full tolerance none.
+        let baselines = [fab_sim(1000)];
+        assert!(compare_entry(&fab_sim(999), &baselines, 0)[0].regressed);
+        assert!(!compare_entry(&fab_sim(0), &baselines, 100)[0].regressed);
     }
 
     #[test]

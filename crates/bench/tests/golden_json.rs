@@ -243,8 +243,18 @@ fn profiling_does_not_perturb_the_simulation() {
     assert_eq!(plain.stats.heap.objects(), profiled.stats.heap.objects());
     // And the profile itself accounts for every retired instruction
     // plus the runtime-call surcharges.
+    let folded = profiled.folded_stacks().expect("profiled run folds");
+    assert!(plain.folded_stacks().is_none(), "no profile, no stacks");
     let p = profiled.profile.take().unwrap();
     assert!(p.retired() > 0);
     let attributed: u64 = p.per_fn().iter().map(|&(_, c)| c).sum();
     assert_eq!(attributed, profiled.stats.insns);
+    // The stack tracker rides the same Option check: its folded view
+    // accounts for the same total, so enabling it costs the simulation
+    // nothing and loses no cycles.
+    let folded_total: u64 = folded
+        .lines()
+        .map(|l| l.rsplit_once(' ').unwrap().1.parse::<u64>().unwrap())
+        .sum();
+    assert_eq!(folded_total, profiled.stats.insns);
 }

@@ -134,6 +134,10 @@ pub struct JobRecord {
     pub outcome: Outcome,
     /// Wall time the worker spent on the job, in microseconds.
     pub wall_us: u64,
+    /// Time the job sat in the queue before a worker picked it up, in
+    /// microseconds (the per-job sample behind the
+    /// `service.queue_wait_us` histogram).
+    pub queue_us: u64,
     /// Phase spans recorded while resolving the job.  On a cache hit
     /// this is the Preliminary phase alone — the pinned evidence that
     /// hits skip every downstream phase.
@@ -392,6 +396,7 @@ impl BatchResult {
                     ("worker", Json::uint(r.worker as u64)),
                     ("outcome", Json::str(r.outcome.as_str())),
                     ("wall_us", Json::uint(r.wall_us)),
+                    ("queue_us", Json::uint(r.queue_us)),
                     (
                         "phase_spans",
                         Json::Map(
@@ -696,6 +701,7 @@ fn process_job(
                     worker,
                     outcome: Outcome::Failed,
                     wall_us: elapsed_us(start),
+                    queue_us: 0,
                     phase_spans: sink_phase_spans(&probe),
                 },
                 artifact: None,
@@ -783,6 +789,7 @@ fn process_job(
             worker,
             outcome,
             wall_us: elapsed_us(start),
+            queue_us: 0,
             phase_spans,
         },
         artifact,
@@ -828,10 +835,10 @@ fn worker_loop(
     loop {
         let job = queue.lock().expect("job queue lock").pop_front();
         let Some(job) = job else { break };
-        metrics
-            .queue_wait_us
-            .observe(elapsed_us(metrics.queue_opened));
-        let result = process_job(&job, config, cache, worker);
+        let queue_us = elapsed_us(metrics.queue_opened);
+        metrics.queue_wait_us.observe(queue_us);
+        let mut result = process_job(&job, config, cache, worker);
+        result.record.queue_us = queue_us;
         metrics.job_wall_us.observe(result.record.wall_us);
         if tx.send(result).is_err() {
             break;

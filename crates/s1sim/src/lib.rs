@@ -69,8 +69,8 @@ pub use heap::{AllocStats, Heap, HeapTelemetry, LiveSample, ObjKind, ALLOC_SIZE_
 pub use insn::{CallTarget, Cond, Insn, Label, Operand, Reg};
 pub use machine::{Machine, Trap};
 pub use postmortem::{FrameAt, PostMortem, RetiredAt};
-pub use profile::{opcode_class, ExecProfile, Retired};
-pub use program::{FuncCode, Program};
+pub use profile::{opcode_class, ExecProfile, Retired, StackFrameCycles, DEFAULT_STACK_DEPTH_CAP};
+pub use program::{FnNameTable, FuncCode, Program};
 pub use stats::MachineStats;
 pub use word::{Tag, Word};
 

@@ -269,6 +269,9 @@ impl Machine {
         self.fp = self.sp - args.len();
         self.regs[Reg::RTA.0 as usize] = Word::Raw(args.len() as i64);
         self.regs[Reg::EV.0 as usize] = Word::NIL;
+        if let Some(p) = self.profile.as_deref_mut() {
+            p.stack_reset(fnid);
+        }
         let mut fault = FaultSite { fnid, pc: 0 };
         let insns_before = self.stats.insns;
         let dispatch_start = std::time::Instant::now();
@@ -278,12 +281,7 @@ impl Machine {
         match outcome {
             Ok(result) => self.extract(result),
             Err(trap) => {
-                let fn_name = self
-                    .program
-                    .fn_names
-                    .get(fault.fnid as usize)
-                    .cloned()
-                    .unwrap_or_else(|| "?".to_string());
+                let fn_name = self.program.names().resolve(fault.fnid).into_owned();
                 let trap = trap.at(fn_name, fault.pc);
                 self.post_mortem = Some(Box::new(PostMortem::capture(self, &trap, &fault)));
                 Err(trap)
@@ -326,6 +324,31 @@ impl Machine {
             }
         }
         self.heap.export_metrics(reg);
+    }
+
+    /// The folded call-stack profile (see [`ExecProfile::folded`]) with
+    /// names resolved through the program's shared symbol table, or
+    /// `None` when no profile is attached.
+    pub fn folded_stacks(&self) -> Option<String> {
+        self.profile
+            .as_ref()
+            .map(|p| p.folded(&self.program.names()))
+    }
+
+    /// Renders the [`MachineStats`] counter table and, when a profile
+    /// is attached, the heaviest functions by attributed cycles — names
+    /// resolved through the same shared symbol table the profiler and
+    /// post-mortems use.
+    pub fn stats_report(&self) -> String {
+        let mut out = self.stats.to_string();
+        if let Some(p) = &self.profile {
+            let names = self.program.names();
+            out.push_str("heaviest functions (attributed cycles):\n");
+            for (fnid, cycles) in p.per_fn().into_iter().take(8) {
+                out.push_str(&format!("  {:<24} {cycles:>12}\n", names.resolve(fnid)));
+            }
+        }
+        out
     }
 
     /// The fetch–execute loop, starting at `(fnid, 0)` with an empty
@@ -371,7 +394,7 @@ impl Machine {
                             // A function *value* naming a primitive (e.g.
                             // #'1+ passed around): route through the
                             // runtime as a leaf call.
-                            let rt_name = self.program.fn_names[new_fn as usize].clone();
+                            let rt_name = self.program.names().resolve(new_fn).into_owned();
                             let args: Vec<Word> = self.stack[self.sp - nargs..self.sp].to_vec();
                             self.sp -= nargs;
                             match runtime::rt_call_owned(self, &rt_name, &args)? {
@@ -384,6 +407,9 @@ impl Machine {
                                             return Ok(value);
                                         }
                                         let frame = self.ctrl.pop().expect("ctrl non-empty");
+                                        if let Some(p) = self.profile.as_deref_mut() {
+                                            p.stack_pop();
+                                        }
                                         self.sp = self.fp;
                                         self.fp = frame.saved_fp;
                                         self.regs[Reg::EV.0 as usize] = frame.saved_ev;
@@ -430,6 +456,13 @@ impl Machine {
                         }
                         self.fp = self.sp - nargs;
                     }
+                    if let Some(p) = self.profile.as_deref_mut() {
+                        if tail {
+                            p.stack_tail(new_fn);
+                        } else {
+                            p.stack_push(new_fn);
+                        }
+                    }
                     self.regs[Reg::RTA.0 as usize] = Word::Raw(nargs as i64);
                     self.regs[Reg::EV.0 as usize] = env;
                     fnid = new_fn;
@@ -451,6 +484,9 @@ impl Machine {
                         return Err(Trap::Explicit("LocalRet with no local frame"));
                     }
                     let frame = self.ctrl.pop().expect("ctrl non-empty");
+                    if let Some(p) = self.profile.as_deref_mut() {
+                        p.stack_pop();
+                    }
                     self.fp = frame.saved_fp;
                     self.regs[Reg::EV.0 as usize] = frame.saved_ev;
                     fnid = frame.ret_fn;
@@ -467,6 +503,9 @@ impl Machine {
                         return Ok(value);
                     }
                     let frame = self.ctrl.pop().expect("ctrl non-empty");
+                    if let Some(p) = self.profile.as_deref_mut() {
+                        p.stack_pop();
+                    }
                     self.sp = self.fp;
                     self.fp = frame.saved_fp;
                     self.regs[Reg::EV.0 as usize] = frame.saved_ev;
@@ -494,6 +533,9 @@ impl Machine {
                     }
                     self.catches.truncate(pos);
                     self.ctrl.truncate(c.ctrl_len);
+                    if let Some(p) = self.profile.as_deref_mut() {
+                        p.stack_unwind(c.ctrl_len - base_ctrl + 1, c.fnid);
+                    }
                     self.specials.truncate(c.spec_len);
                     self.sp = c.sp;
                     self.fp = c.fp;
@@ -984,6 +1026,9 @@ impl Machine {
                 }
                 if self.ctrl.len() > 1 << 16 {
                     return Err(Trap::StackOverflow);
+                }
+                if let Some(p) = self.profile.as_deref_mut() {
+                    p.stack_push(fnid);
                 }
                 *pc = code.labels[target as usize];
                 Ok(Step::Next)

@@ -77,12 +77,10 @@ pub struct PostMortem {
     pub per_fn_cycles: Vec<(String, u64)>,
 }
 
+/// Resolve through the program's shared symbol table — the same
+/// resolver profiles and trap annotations use.
 fn fn_name(m: &Machine, fnid: u32) -> String {
-    m.program
-        .fn_names
-        .get(fnid as usize)
-        .cloned()
-        .unwrap_or_else(|| format!("#{fnid}"))
+    m.program.names().resolve(fnid).into_owned()
 }
 
 impl PostMortem {

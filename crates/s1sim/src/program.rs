@@ -21,6 +21,39 @@ pub struct FuncCode {
     pub labels: Vec<usize>,
 }
 
+/// A borrowed view of the program's fnid→name table — the one shared
+/// resolver every diagnostic surface (execution profiles, post-mortems,
+/// stats rendering, trap site annotation) goes through, so a function id
+/// always prints the same way everywhere.
+///
+/// Obtain one with [`Program::names`].  Ids with no interned name
+/// resolve to `#N` rather than panicking, so the table is safe to use
+/// on profiles that outlived the program that produced them.
+#[derive(Clone, Copy, Debug)]
+pub struct FnNameTable<'a> {
+    names: &'a [String],
+}
+
+impl<'a> FnNameTable<'a> {
+    /// The name of function `fnid`, or `#N` if the id is unknown.
+    pub fn resolve(&self, fnid: u32) -> std::borrow::Cow<'a, str> {
+        match self.names.get(fnid as usize) {
+            Some(name) => std::borrow::Cow::Borrowed(name.as_str()),
+            None => std::borrow::Cow::Owned(format!("#{fnid}")),
+        }
+    }
+
+    /// Number of interned function names.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether no function names are interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
 /// A linked program.
 ///
 /// Function references are *names* resolved at call time (late binding,
@@ -79,6 +112,13 @@ impl Program {
     /// Looks up a function id without interning.
     pub fn lookup_fn(&self, name: &str) -> Option<u32> {
         self.fn_ids.get(name).copied()
+    }
+
+    /// The shared fnid→name symbol table (see [`FnNameTable`]).
+    pub fn names(&self) -> FnNameTable<'_> {
+        FnNameTable {
+            names: &self.fn_names,
+        }
     }
 
     /// Defines (or redefines) a function.
@@ -158,6 +198,17 @@ mod tests {
         let s = p.sym_id("*x*");
         assert_eq!(p.sym_id("*x*"), s);
         assert_eq!(p.symbols[s as usize], "*x*");
+    }
+
+    #[test]
+    fn name_table_resolves_and_falls_back() {
+        let mut p = Program::new();
+        let a = p.fn_id("foo");
+        let names = p.names();
+        assert_eq!(names.resolve(a), "foo");
+        assert_eq!(names.resolve(999), "#999");
+        assert_eq!(names.len(), 1);
+        assert!(!names.is_empty());
     }
 
     #[test]

@@ -815,12 +815,7 @@ pub(crate) fn extract(m: &Machine, w: Word, depth: usize) -> Result<Value, Trap>
             let Word::Raw(fnid) = m.heap.read(addr + 1) else {
                 return Err(wrong("corrupt closure"));
             };
-            let name = m
-                .program
-                .fn_names
-                .get(fnid as usize)
-                .map(String::as_str)
-                .unwrap_or("?");
+            let name = m.program.names().resolve(fnid as u32);
             Value::global_function(&format!("#closure-{name}"))
         }
         Word::Ptr(t, _) => return Err(wrong(format!("cannot extract {t:?}"))),

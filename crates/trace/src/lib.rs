@@ -30,9 +30,13 @@
 //!   fixed-bucket histograms every subsystem (simulator, heap, cache,
 //!   service, pipeline) reports into; snapshots serialize through
 //!   [`json`] with the same schema-pinning discipline.
+//! * [`chrome`] — renders [`MemorySink`] span trees (and any other
+//!   span forest) as Chrome trace-event JSON loadable in
+//!   about:tracing/Perfetto, on a deterministic synthetic timeline.
 
 #![warn(missing_docs)]
 
+pub mod chrome;
 pub mod fault;
 pub mod json;
 pub mod metrics;

@@ -448,6 +448,71 @@ mod tests {
     }
 
     #[test]
+    fn histogram_boundary_values_land_in_the_inclusive_bucket() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("edges", &[10, 20, 30]);
+        // Bounds are inclusive upper edges: a value equal to a bound
+        // belongs to that bound's bucket, one more spills to the next.
+        for v in [0, 10, 11, 20, 21, 30, 31] {
+            h.observe(v);
+        }
+        let snap = reg.snapshot();
+        let hs = snap.histogram("edges").unwrap();
+        assert_eq!(hs.buckets, vec![(10, 2), (20, 2), (30, 2)]);
+        assert_eq!(hs.overflow, 1);
+        assert_eq!(hs.count, 7);
+        assert_eq!(hs.sum, 123);
+    }
+
+    #[test]
+    fn histogram_overflow_accounting_is_complete() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("over", &[5]);
+        h.observe(5); // last in-range value
+        h.observe(6); // first overflow value
+        h.observe(u64::MAX / 2); // far overflow
+        let snap = reg.snapshot();
+        let hs = snap.histogram("over").unwrap();
+        // Overflow observations are not dropped: they appear in the
+        // overflow bucket AND in count and sum.
+        assert_eq!(hs.overflow, 2);
+        assert_eq!(hs.count, 3);
+        assert_eq!(hs.sum, 5 + 6 + u64::MAX / 2);
+        let bucketed: u64 = hs.buckets.iter().map(|&(_, c)| c).sum();
+        assert_eq!(bucketed + hs.overflow, hs.count);
+    }
+
+    #[test]
+    fn quarantine_zeroes_exactly_the_time_suffixed_names() {
+        // Register counters, gauges, and histograms under every time
+        // suffix the convention quarantines, plus non-time controls,
+        // then check zero_time_metrics() touches exactly the time set.
+        let reg = MetricsRegistry::new();
+        for name in ["a_ns", "b_us", "c_per_sec", "d_words", "e_rate"] {
+            reg.counter(&format!("c.{name}")).add(41);
+            reg.gauge(&format!("g.{name}")).set(-7);
+            reg.histogram(&format!("h.{name}"), &[1, 2]).observe(9);
+        }
+        let before = reg.snapshot();
+        let mut snap = reg.snapshot();
+        snap.zero_time_metrics();
+        for ((name, v), (_, orig)) in snap.counters.iter().zip(before.counters.iter()) {
+            assert_eq!(*v == 0, is_time_metric(name), "counter {name}");
+            assert!(is_time_metric(name) || v == orig);
+        }
+        for ((name, v), (_, orig)) in snap.gauges.iter().zip(before.gauges.iter()) {
+            assert_eq!(*v == 0, is_time_metric(name), "gauge {name}");
+            assert!(is_time_metric(name) || v == orig);
+        }
+        for ((name, h), (_, orig)) in snap.histograms.iter().zip(before.histograms.iter()) {
+            assert_eq!(h.count == 0, is_time_metric(name), "histogram {name}");
+            assert!(is_time_metric(name) || h == orig);
+            // Zeroed histograms keep their bucket structure.
+            assert_eq!(h.buckets.len(), orig.buckets.len());
+        }
+    }
+
+    #[test]
     fn snapshot_is_name_sorted_and_stable() {
         let reg = MetricsRegistry::new();
         reg.counter("zeta").inc();

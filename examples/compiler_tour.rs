@@ -169,4 +169,43 @@ fn main() {
         println!("  {:<8} {}", r.function, r.outcome.as_str());
     }
     assert!(faulted.artifact("cube").expect("still compiled").degraded);
+
+    // The closing act: where did the cycles go?  A healthy run folded
+    // into flamegraph.pl/speedscope stacks, the same view of a trapping
+    // run (the stack tracker survives the trap — the folded output shows
+    // exactly which call path burned cycles before the fault), and the
+    // whole pipeline + batch timeline as a Chrome trace.
+    println!("\n=== profiling: folded stacks of a healthy run (exptl) ===\n");
+    let mut c3 = Compiler::new();
+    c3.compile_str(
+        "(defun exptl (x n a)
+                      (cond ((zerop n) a)
+                            ((oddp n) (exptl (* x x) (floor (/ n 2)) (* a x)))
+                            (t (exptl (* x x) (floor (/ n 2)) a))))",
+    )
+    .expect("compiles");
+    let mut prof = c3.machine();
+    prof.profile = Some(Box::new(ExecProfile::new()));
+    prof.run(
+        "exptl",
+        &[Value::Fixnum(3), Value::Fixnum(10), Value::Fixnum(1)],
+    )
+    .expect("runs");
+    print!("{}", prof.folded_stacks().expect("profile attached"));
+    println!("\n{}", prof.stats_report());
+
+    println!("=== profiling: folded stacks of the trapping run (outer -> boom) ===\n");
+    let mut crash2 = c2.machine();
+    crash2.profile = Some(Box::new(ExecProfile::new()));
+    crash2
+        .run("outer", &[Value::Fixnum(5)])
+        .expect_err("still traps");
+    print!("{}", crash2.folded_stacks().expect("profile attached"));
+
+    println!("\n=== chrome trace: load this JSON in chrome://tracing or Perfetto ===\n");
+    let trace = s1lisp_bench::chrome_trace();
+    let events = s1lisp_trace::chrome::validate_trace(&trace).expect("valid trace-event JSON");
+    let text = trace.to_string();
+    println!("{} events, {} bytes; first 200 bytes:", events, text.len());
+    println!("{}…", &text[..text.len().min(200)]);
 }

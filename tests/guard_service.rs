@@ -52,8 +52,13 @@ fn storm_config(seed: u64, dir: Option<PathBuf>) -> ServiceConfig {
                 .arm(FaultSite::SimTrap, 200)
                 .arm(FaultSite::Miscompile, 200),
         ),
+        // No disk eviction cap here: the replay assertion below needs
+        // deterministic cache contents, and mtime-ordered sweeps under
+        // parallel writes evict a scheduling-dependent subset — which
+        // would turn fault-site hits (pure per key) into a race on
+        // whether the key was still cached.  Eviction itself is pinned
+        // by the cache unit tests.
         cache_dir: dir,
-        disk_max_entries: Some(8),
         oracle: vec![
             OracleCase::new("exptl", ["3", "10", "1"]),
             OracleCase::new("quadratic", ["1.0", "-3.0", "2.0"]),
