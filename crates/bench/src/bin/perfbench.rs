@@ -108,8 +108,10 @@ fn main() {
         let service = perfbench::smoke_service_entry(&root);
         let sim_rows = sim.get("workloads").and_then(json::Json::as_arr);
         let service_rows = service.get("batches").and_then(json::Json::as_arr);
-        let nonempty =
-            sim_rows.is_some_and(|r| !r.is_empty()) && service_rows.is_some_and(|r| !r.is_empty());
+        let serve_rows = service.get("serves").and_then(json::Json::as_arr);
+        let nonempty = sim_rows.is_some_and(|r| !r.is_empty())
+            && service_rows.is_some_and(|r| !r.is_empty())
+            && serve_rows.is_some_and(|r| !r.is_empty());
         if !nonempty {
             eprintln!("perfbench --check: empty workload rows");
             std::process::exit(1);
@@ -122,7 +124,7 @@ fn main() {
     println!("perfbench: sim kernels ({warmup} warmup + {trials} trials each)");
     let sim = perfbench::sim_entry(&root, warmup, trials);
     print!("{}", perfbench::summarize_entry(&sim));
-    println!("perfbench: service batches at jobs=1/2/8");
+    println!("perfbench: service batches at jobs=1/2/8, serve bursts at clients=1/4/16");
     let service = perfbench::service_entry(&root, warmup, trials);
     print!("{}", perfbench::summarize_entry(&service));
     for (file, entry) in [("BENCH_sim.json", sim), ("BENCH_service.json", service)] {

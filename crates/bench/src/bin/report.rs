@@ -20,6 +20,8 @@
 //! parallel compilation service (`--jobs N` workers, `--cache-dir D`
 //! for a persistent artifact cache — run it twice with the same
 //! directory and the second run reports `hit_rate=100%`);
+//! `serve` runs a scripted two-tenant session against an in-process
+//! compile-server daemon and records every wire response;
 //! `service-fault` demonstrates the degraded path with an injected
 //! optimizer panic; `guard` runs the guarded batch under a seeded
 //! deterministic fault storm (phase validators, cache fault injection,
@@ -130,6 +132,7 @@ fn main() {
                 let rec = match id.as_str() {
                     "trap" => Some(s1lisp_bench::trap_record()),
                     "metrics" => Some(s1lisp_bench::metrics_record()),
+                    "serve" => Some(s1lisp_bench::serve_record()),
                     "service" => Some(s1lisp_bench::service_record(jobs, cache_dir.clone())),
                     "service-fault" | "guard" | "guard-miscompile" => {
                         // Injected panics are the record's subject;
@@ -147,7 +150,9 @@ fn main() {
                     _ => s1lisp_bench::json_record(id),
                 };
                 if rec.is_none() {
-                    eprintln!("unknown experiment {id} (want e1..e12, trap, service, or guard)");
+                    eprintln!(
+                        "unknown experiment {id} (want e1..e12, trap, serve, service, or guard)"
+                    );
                 }
                 rec
             })

@@ -14,6 +14,7 @@ pub mod json_report;
 pub mod metrics_report;
 pub mod passes;
 pub mod perfbench;
+pub mod serve;
 pub mod service;
 
 pub use experiments::{all_experiments, run_experiment, Experiment};
@@ -22,6 +23,7 @@ pub use flame::{batch_events, chrome_trace, flame_report};
 pub use json_report::{all_json_records, json_record, trap_record};
 pub use metrics_report::{collect_metrics, metrics_record, metrics_report};
 pub use passes::{passes_record, passes_report};
+pub use serve::serve_record;
 pub use service::{
     guard_batch, guard_miscompile_record, guard_record, service_batch, service_fault_record,
     service_record, service_report, service_units, GUARD_SEED,

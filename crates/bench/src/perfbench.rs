@@ -4,8 +4,9 @@
 //! dispatch-loop optimization lands, there must be a durable,
 //! machine-readable record of what the simulator and the compile
 //! service do *today*.  This module runs a pinned workload matrix —
-//! Gabriel-style simulator kernels (tak, exptl, loopn, horner) and
-//! service batches at `jobs = 1/2/8` — with warmup + N timed trials,
+//! Gabriel-style simulator kernels (tak, exptl, loopn, horner),
+//! service batches at `jobs = 1/2/8`, and compile-server bursts at
+//! `clients = 1/4/16` — with warmup + N timed trials,
 //! reduces each series to median and p90 by nearest rank, and appends
 //! one entry per invocation to `BENCH_sim.json` and
 //! `BENCH_service.json` at the repo root:
@@ -22,9 +23,11 @@
 //! touching the trajectory files.
 
 use std::path::{Path, PathBuf};
+use std::time::Instant;
 
 use s1lisp::{Compiler, Value};
 use s1lisp_driver::{CompileService, ServiceConfig};
+use s1lisp_server::{CompileServer, ServeClient, ServerConfig};
 use s1lisp_trace::json::{self, Json};
 
 use crate::corpus;
@@ -225,6 +228,93 @@ fn run_service_batch(jobs: usize, warmup: usize, trials: usize) -> Json {
     ])
 }
 
+/// The unit every load client compiles into its tenant at session
+/// start; the timed requests then `run` it through the full admission
+/// queue → worker → tenant-replay path.
+const SERVE_UNIT: &str = "(defun poke (x) (* (+ x 3) 2))";
+
+/// Timed `run` requests per client in one serve burst.
+const SERVE_REQUESTS_PER_CLIENT: usize = 16;
+
+fn elapsed_us(since: Instant) -> u64 {
+    u64::try_from(since.elapsed().as_micros())
+        .unwrap_or(u64::MAX)
+        .max(1)
+}
+
+/// One burst against a live server: `clients` concurrent connections,
+/// each joining its own tenant, compiling [`SERVE_UNIT`] once, then
+/// issuing `per_client` timed `run` requests.  Returns the burst wall
+/// time, every request latency, and the backpressure-rejection count
+/// (rejections are first-class responses, so nothing is dropped).
+fn serve_burst(port: u16, clients: usize, per_client: usize) -> (u64, Vec<u64>, u64) {
+    let start = Instant::now();
+    let threads: Vec<_> = (0..clients)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let mut c = ServeClient::connect(&format!("127.0.0.1:{port}"))
+                    .expect("connect load client");
+                assert!(c.hello(&format!("load{i}"), None).expect("hello").ok);
+                assert!(c.compile("load-unit", SERVE_UNIT).expect("compile").ok);
+                let mut latencies = Vec::with_capacity(per_client);
+                let mut rejected = 0u64;
+                for _ in 0..per_client {
+                    let t = Instant::now();
+                    let resp = c.run("poke", &["4"]).expect("run");
+                    latencies.push(elapsed_us(t));
+                    if resp.retry_after_ms > 0 {
+                        rejected += 1;
+                    } else {
+                        assert!(resp.ok, "{:?}", resp.error);
+                    }
+                }
+                (latencies, rejected)
+            })
+        })
+        .collect();
+    let mut latencies = Vec::new();
+    let mut rejected = 0;
+    for t in threads {
+        let (lat, rej) = t.join().expect("load client thread");
+        latencies.extend(lat);
+        rejected += rej;
+    }
+    (elapsed_us(start), latencies, rejected)
+}
+
+/// Times `trials` serve bursts (a fresh daemon each, after `warmup`
+/// untimed bursts) at one client count and returns the serve row:
+/// sustained requests/sec over the burst and per-request p90 latency.
+fn run_serve_load(clients: usize, warmup: usize, trials: usize) -> Json {
+    let per_client = SERVE_REQUESTS_PER_CLIENT;
+    let requests = (clients * per_client) as u64;
+    let mut per_sec = Vec::with_capacity(trials);
+    let mut latencies = Vec::new();
+    let mut rejected = 0;
+    for phase in 0..warmup + trials {
+        let handle = CompileServer::new(ServerConfig::default())
+            .serve_tcp(0)
+            .expect("bind an ephemeral port");
+        let (wall_us, lat, rej) = serve_burst(handle.port(), clients, per_client);
+        handle.shutdown();
+        handle.join();
+        if phase < warmup {
+            continue;
+        }
+        per_sec.push(requests * 1_000_000 / wall_us);
+        latencies.extend(lat);
+        rejected += rej;
+    }
+    let (median_ps, _) = stats(&per_sec);
+    obj(vec![
+        ("clients", Json::uint(clients as u64)),
+        ("requests", Json::uint(requests)),
+        ("median_requests_per_sec", Json::uint(median_ps)),
+        ("p90_latency_us", Json::uint(percentile(&latencies, 90))),
+        ("rejected", Json::uint(rejected)),
+    ])
+}
+
 /// Days-from-epoch → `YYYY-MM-DD` (civil-from-days, Hinnant's
 /// algorithm), so the trajectory stamps dates without a time crate.
 fn civil_date(unix_time: u64) -> String {
@@ -283,14 +373,20 @@ pub fn sim_entry(repo_root: &Path, warmup: usize, trials: usize) -> Json {
     obj(fields)
 }
 
-/// One `BENCH_service.json` entry: batches at `jobs = 1/2/8`.
+/// One `BENCH_service.json` entry: batches at `jobs = 1/2/8`, plus
+/// compile-server bursts at `clients = 1/4/16`.
 pub fn service_entry(repo_root: &Path, warmup: usize, trials: usize) -> Json {
     let batches = [1usize, 2, 8]
         .iter()
         .map(|&jobs| run_service_batch(jobs, warmup, trials))
         .collect();
+    let serves = [1usize, 4, 16]
+        .iter()
+        .map(|&clients| run_serve_load(clients, warmup, trials))
+        .collect();
     let mut fields = entry_header(repo_root, warmup, trials);
     fields.push(("batches", Json::Arr(batches)));
+    fields.push(("serves", Json::Arr(serves)));
     obj(fields)
 }
 
@@ -303,12 +399,15 @@ pub fn smoke_sim_entry(repo_root: &Path) -> Json {
     obj(fields)
 }
 
-/// A 1-trial smoke entry with a single `jobs = 1` batch — the
-/// `--check` workload.  Same entry schema as [`service_entry`].
+/// A 1-trial smoke entry with a single `jobs = 1` batch and a single
+/// 1-client serve burst — the `--check` workload.  Same entry schema
+/// as [`service_entry`].
 pub fn smoke_service_entry(repo_root: &Path) -> Json {
     let batches = vec![run_service_batch(1, 0, 1)];
+    let serves = vec![run_serve_load(1, 0, 1)];
     let mut fields = entry_header(repo_root, 0, 1);
     fields.push(("batches", Json::Arr(batches)));
+    fields.push(("serves", Json::Arr(serves)));
     obj(fields)
 }
 
@@ -390,21 +489,25 @@ pub struct Comparison {
 }
 
 /// The `(key, throughput-metric)` pair a trajectory row is compared by:
-/// sim rows are keyed by `id`, service rows by `jobs=N`.
+/// sim rows are keyed by `id`, service rows by `jobs=N`, serve rows by
+/// `clients=N`.
 fn row_key_metric(row: &Json) -> Option<(String, &'static str)> {
     if let Some(id) = row.get("id").and_then(Json::as_str) {
         return Some((id.to_string(), "median_insns_per_sec"));
+    }
+    if let Some(clients) = row.get("clients").and_then(Json::as_int) {
+        return Some((format!("clients={clients}"), "median_requests_per_sec"));
     }
     let jobs = row.get("jobs").and_then(Json::as_int)?;
     Some((format!("jobs={jobs}"), "median_functions_per_sec"))
 }
 
-fn entry_rows(entry: &Json) -> &[Json] {
-    entry
-        .get("workloads")
-        .or_else(|| entry.get("batches"))
-        .and_then(Json::as_arr)
-        .unwrap_or(&[])
+fn entry_rows(entry: &Json) -> Vec<&Json> {
+    ["workloads", "batches", "serves"]
+        .iter()
+        .filter_map(|key| entry.get(key).and_then(Json::as_arr))
+        .flat_map(|rows| rows.iter())
+        .collect()
 }
 
 /// Compares a freshly measured entry against a baseline trajectory.
@@ -470,12 +573,7 @@ pub fn summarize_entry(entry: &Json) -> String {
     let rev = entry.get("rev").and_then(Json::as_str).unwrap_or("?");
     let date = entry.get("date").and_then(Json::as_str).unwrap_or("?");
     let _ = writeln!(out, "rev {} date {date}", &rev[..rev.len().min(12)]);
-    let rows = entry
-        .get("workloads")
-        .or_else(|| entry.get("batches"))
-        .and_then(Json::as_arr)
-        .unwrap_or(&[]);
-    for row in rows {
+    for row in entry_rows(entry) {
         if let Some(id) = row.get("id").and_then(Json::as_str) {
             let _ = writeln!(
                 out,
@@ -487,6 +585,20 @@ pub fn summarize_entry(entry: &Json) -> String {
                 row.get("p90_insns_per_sec")
                     .and_then(Json::as_int)
                     .unwrap_or(0),
+            );
+        } else if let Some(clients) = row.get("clients").and_then(Json::as_int) {
+            let _ = writeln!(
+                out,
+                "  clients={clients} requests={} median_requests_per_sec={} \
+                 p90_latency_us={} rejected={}",
+                row.get("requests").and_then(Json::as_int).unwrap_or(0),
+                row.get("median_requests_per_sec")
+                    .and_then(Json::as_int)
+                    .unwrap_or(0),
+                row.get("p90_latency_us")
+                    .and_then(Json::as_int)
+                    .unwrap_or(0),
+                row.get("rejected").and_then(Json::as_int).unwrap_or(0),
             );
         } else {
             let _ = writeln!(
@@ -616,6 +728,29 @@ mod tests {
         assert_eq!(got[0].workload, "jobs=8");
         assert_eq!(got[0].floor, 2500);
         assert!(got[0].regressed);
+    }
+
+    #[test]
+    fn compare_keys_serve_rows_by_client_count() {
+        let baseline = Json::Obj(vec![(
+            "serves".to_string(),
+            Json::Arr(vec![obj(vec![
+                ("clients", Json::uint(4)),
+                ("median_requests_per_sec", Json::uint(1000)),
+            ])]),
+        )]);
+        let fresh = Json::Obj(vec![(
+            "serves".to_string(),
+            Json::Arr(vec![obj(vec![
+                ("clients", Json::uint(4)),
+                ("median_requests_per_sec", Json::uint(900)),
+            ])]),
+        )]);
+        let got = compare_entry(&fresh, &[baseline], 20);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].workload, "clients=4");
+        assert_eq!(got[0].metric, "median_requests_per_sec");
+        assert!(!got[0].regressed);
     }
 
     #[test]

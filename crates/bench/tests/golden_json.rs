@@ -9,7 +9,7 @@
 
 use s1lisp_bench::{
     guard_miscompile_record, guard_record, json_record, metrics_record, passes_record, perfbench,
-    service_fault_record, service_record, trap_record,
+    serve_record, service_fault_record, service_record, trap_record,
 };
 use s1lisp_trace::json::{self, Json};
 
@@ -23,6 +23,7 @@ const PASSES_GOLDEN: &str = include_str!("golden/passes_schema.txt");
 const METRICS_GOLDEN: &str = include_str!("golden/metrics_schema.txt");
 const PERFBENCH_SIM_GOLDEN: &str = include_str!("golden/perfbench_sim_schema.txt");
 const PERFBENCH_SERVICE_GOLDEN: &str = include_str!("golden/perfbench_service_schema.txt");
+const SERVE_GOLDEN: &str = include_str!("golden/serve_schema.txt");
 
 /// Dynamic maps in a record are int-valued histograms; an *empty* one
 /// carries no value type, so pad it with a sentinel entry before
@@ -114,6 +115,14 @@ fn service_record_schema_matches_golden() {
         SERVICE_GOLDEN,
         "service_schema.txt",
     );
+}
+
+#[test]
+fn serve_record_schema_matches_golden() {
+    // A scripted two-tenant daemon session: every wire response shape
+    // (success, auth refusal, unknown-function error, run, explain,
+    // ping, shutdown) plus the server counters, pinned as one record.
+    check_schema(serve_record(), SERVE_GOLDEN, "serve_schema.txt");
 }
 
 #[test]

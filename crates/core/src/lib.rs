@@ -191,6 +191,27 @@ impl Compiler {
         }
     }
 
+    /// A compiler pre-seeded with a tenant's proclaim state: every name
+    /// in `specials` is proclaimed special, in order, before any source
+    /// is compiled.
+    ///
+    /// This is the single-shot reference for the compile server's
+    /// incremental sessions — a function compiled in a session whose
+    /// tenant has proclaimed `specials` must match the same form
+    /// compiled by `Compiler::for_tenant(specials)`, byte for byte
+    /// (pinned by the server's isolation tests).
+    pub fn for_tenant<I, S>(specials: I) -> Compiler
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut c = Compiler::new();
+        for s in specials {
+            c.proclaim_special(s.as_ref());
+        }
+        c
+    }
+
     /// A compiler with *no* optimization: the E12 baseline.
     pub fn unoptimized() -> Compiler {
         Compiler {

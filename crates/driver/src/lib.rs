@@ -50,8 +50,8 @@ mod service;
 pub use cache::{ArtifactCache, CacheStats};
 pub use s1lisp::{FaultPlan, FaultSite};
 pub use service::{
-    BatchResult, BatchStats, CompileService, GuardReport, Incident, IncidentKind, JobRecord,
-    OracleVerdict, Outcome, WorkerStats,
+    unit_decls, BatchResult, BatchStats, CompileService, GuardReport, Incident, IncidentKind,
+    JobRecord, OracleVerdict, Outcome, WorkerStats,
 };
 
 use std::path::PathBuf;
@@ -120,6 +120,29 @@ impl OracleCase {
             args: args.into_iter().map(Into::into).collect(),
         }
     }
+}
+
+/// Per-batch adjustments a multi-tenant caller (the compile server)
+/// threads through the shared worker pool without cloning the service.
+///
+/// The default is inert: [`CompileService::compile_batch`] is exactly
+/// `compile_batch_with(units, BatchTuning::default())`, and a zero salt
+/// leaves every cache key untouched, so single-tenant callers see
+/// byte-identical behavior.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BatchTuning {
+    /// XORed into every artifact-cache key.  A tenant fingerprint here
+    /// partitions the shared cache: two tenants compiling the same form
+    /// under the same options get distinct keys, so neither can warm-hit
+    /// (or even observe the existence of) the other's artifacts.
+    pub key_salt: u64,
+    /// Compile with every source-level transformation off (and CSE
+    /// disabled) — the configuration a tenant is demoted to once its
+    /// incident budget is exhausted.  Unlike the per-job degraded
+    /// *retry*, these are clean first-attempt compiles: they cache
+    /// normally (under the transformations-off option fingerprint) and
+    /// their artifacts are not marked degraded.
+    pub transformations_off: bool,
 }
 
 /// How a batch's job queue is ordered before the workers drain it.

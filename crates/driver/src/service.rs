@@ -31,7 +31,7 @@ use s1lisp_trace::json::Json;
 use s1lisp_trace::metrics::{Histogram, MetricsRegistry, TIME_BUCKETS_US};
 
 use crate::cache::{ArtifactCache, CacheStats};
-use crate::{FaultMode, OracleCase, Schedule, ServiceConfig, SourceUnit};
+use crate::{BatchTuning, FaultMode, OracleCase, Schedule, ServiceConfig, SourceUnit};
 
 /// One function's worth of work: everything a worker needs, as plain
 /// data that crosses threads freely.
@@ -46,6 +46,9 @@ struct Job {
     /// Special variables proclaimed (or `defvar`ed) before this form in
     /// its unit, in order.
     specials: Vec<String>,
+    /// XORed into the cache key ([`BatchTuning::key_salt`]); zero for
+    /// plain batches, a tenant fingerprint under the compile server.
+    salt: u64,
 }
 
 /// How one job was resolved.
@@ -687,11 +690,16 @@ fn process_job(
     // Preliminary phase and never optimizes, so it runs outside the
     // fault/budget guard.
     let mut probe = job_compiler(config, &job.specials, false);
-    let key = match probe.convert_str(&job.form) {
+    // The *cache* key carries the tenant salt (partitioning the shared
+    // cache); the *reported* fingerprint stays unsalted so the same
+    // function compiles to byte-identical artifacts for every tenant —
+    // the server-vs-`compile_batch` equivalence contract.
+    let (key, fingerprint) = match probe.convert_str(&job.form) {
         Ok(pending) if pending.len() == 1 => {
-            cache_key(pending[0].tree_fingerprint(), probe.options_fingerprint())
+            let base = cache_key(pending[0].tree_fingerprint(), probe.options_fingerprint());
+            (base ^ job.salt, base)
         }
-        Ok(_) => 0,
+        Ok(_) => (0, 0),
         Err(e) => {
             return JobResult {
                 record: JobRecord {
@@ -711,13 +719,13 @@ fn process_job(
         }
     };
     let (outcome, artifact) = if let Some(mut hit) = cache.get(key) {
-        hit.fingerprint = key;
+        hit.fingerprint = fingerprint;
         phase_spans = sink_phase_spans(&probe);
         (Outcome::Hit, Some(hit))
     } else {
         match guarded_attempt(job, config, false) {
             AttemptOutcome::Ok(mut ok) => {
-                ok.artifact.fingerprint = key;
+                ok.artifact.fingerprint = fingerprint;
                 cache.put(key, &ok.artifact);
                 phase_spans = ok.phase_spans;
                 (Outcome::Compiled, Some(ok.artifact))
@@ -755,7 +763,7 @@ fn process_job(
                 let retry = catch_unwind(AssertUnwindSafe(|| attempt(job, config, true)));
                 let (outcome, artifact, recovered) = match retry {
                     Ok(Ok(mut ok)) => {
-                        ok.artifact.fingerprint = key;
+                        ok.artifact.fingerprint = fingerprint;
                         phase_spans = ok.phase_spans;
                         (Outcome::Degraded, Some(ok.artifact), true)
                     }
@@ -895,6 +903,17 @@ impl CompileService {
     /// in [`BatchResult::failures`] while the rest of the batch
     /// completes.
     pub fn compile_batch(&self, units: &[SourceUnit]) -> BatchResult {
+        self.compile_batch_with(units, BatchTuning::default())
+    }
+
+    /// [`CompileService::compile_batch`] with per-batch [`BatchTuning`]:
+    /// the compile server's entry point, where each request batch
+    /// carries its tenant's cache-key salt and (once the tenant's
+    /// incident budget is exhausted) the transformations-off demotion.
+    /// `compile_batch` is exactly this call with the default (inert)
+    /// tuning.
+    pub fn compile_batch_with(&self, units: &[SourceUnit], tuning: BatchTuning) -> BatchResult {
+        let config = self.effective_config(tuning);
         let before = self.cache.stats();
         let mut jobs = Vec::new();
         let mut globals = Vec::new();
@@ -908,16 +927,19 @@ impl CompileService {
                 Err(e) => failures.push((format!("unit {}", unit.name), e)),
             }
         }
+        for j in &mut jobs {
+            j.salt = tuning.key_salt;
+        }
         let functions = jobs.len();
         let queue_peak = functions;
-        let workers_used = self.config.jobs.max(1).min(functions.max(1));
-        if self.config.schedule == Schedule::LargestFirst && jobs.len() > 1 {
+        let workers_used = config.jobs.max(1).min(functions.max(1));
+        if config.schedule == Schedule::LargestFirst && jobs.len() > 1 {
             // Largest first: the biggest compilations start before the
             // queue thins out.  Results are reassembled by `seq`, so
             // this affects wall-clock only, never output.
             let mut keyed: Vec<(u32, Job)> = jobs
                 .into_iter()
-                .map(|j| (size_estimate(&j, &self.config), j))
+                .map(|j| (size_estimate(&j, &config), j))
                 .collect();
             keyed.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.seq.cmp(&b.1.seq)));
             jobs = keyed.into_iter().map(|(_, j)| j).collect();
@@ -932,22 +954,16 @@ impl CompileService {
         if workers_used == 1 {
             // The degenerate serial path: same worker loop, caller's
             // thread, no pool.
-            worker_loop(0, &queue, &self.config, &self.cache, &worker_metrics, &tx);
+            worker_loop(0, &queue, &config, &self.cache, &worker_metrics, &tx);
         } else {
             std::thread::scope(|s| {
                 for worker in 0..workers_used {
                     let tx = tx.clone();
                     let queue = &queue;
                     let worker_metrics = &worker_metrics;
+                    let config = &config;
                     s.spawn(move || {
-                        worker_loop(
-                            worker,
-                            queue,
-                            &self.config,
-                            &self.cache,
-                            worker_metrics,
-                            &tx,
-                        );
+                        worker_loop(worker, queue, config, &self.cache, worker_metrics, &tx);
                     });
                 }
             });
@@ -1002,7 +1018,7 @@ impl CompileService {
             globals,
             stats: BatchStats {
                 workers_used,
-                schedule: self.config.schedule,
+                schedule: config.schedule,
                 functions,
                 cache: self.cache.stats().since(&before),
                 queue_peak,
@@ -1011,7 +1027,7 @@ impl CompileService {
             },
             guard: None,
         };
-        if self.config.guard {
+        if config.guard {
             self.apply_guard(units, &mut batch);
         }
         self.metrics.counter("service.batches").inc();
@@ -1025,6 +1041,19 @@ impl CompileService {
             .gauge("cache.hit_rate_permille")
             .set(self.cache.stats().hit_rate_permille() as i64);
         batch
+    }
+
+    /// The configuration one batch actually compiles under: the
+    /// service's, with the tenant demotion applied.  The salt is not a
+    /// compiler option — it partitions cache keys only — so it does not
+    /// appear here.
+    fn effective_config(&self, tuning: BatchTuning) -> ServiceConfig {
+        let mut cfg = self.config.clone();
+        if tuning.transformations_off {
+            cfg.opt_options = s1lisp::OptOptions::none();
+            cfg.cse = false;
+        }
+        cfg
     }
 
     /// The post-batch guard pass: run the differential oracle over the
@@ -1174,6 +1203,30 @@ impl CompileService {
 struct SplitUnit {
     jobs: Vec<Job>,
     globals: Vec<(String, String)>,
+    /// Every special proclaimed (or `defvar`ed) anywhere in the unit,
+    /// in declaration order.
+    specials: Vec<String>,
+}
+
+/// The declarations one unit contributes to a long-lived session: the
+/// specials it proclaims (or `defvar`s), in order, and its `defvar`
+/// globals as `(name, printed constant initializer)` pairs.
+pub type UnitDecls = (Vec<String>, Vec<(String, String)>);
+
+/// Extracts the [`UnitDecls`] of one unit.
+///
+/// This is the compile server's linking hook: after serving a tenant's
+/// unit, the tenant's namespace absorbs these so every *subsequent*
+/// request compiles against them — the load-link-on-demand shape, with
+/// exactly the dispatch rules of the batch splitter.
+///
+/// # Errors
+///
+/// A description of the first malformed or unsupported top-level form.
+pub fn unit_decls(source: &str) -> Result<UnitDecls, String> {
+    let unit = SourceUnit::new("decls", source);
+    let split = split_unit(&unit, 0)?;
+    Ok((split.specials, split.globals))
 }
 
 /// Splits one unit into hermetic jobs, mirroring the top-level dispatch
@@ -1201,6 +1254,7 @@ fn split_unit(unit: &SourceUnit, first_seq: usize) -> Result<SplitUnit, String> 
                     fn_name: fn_name.as_str().to_string(),
                     form: form.to_string(),
                     specials: specials.clone(),
+                    salt: 0,
                 });
             }
             Some("defvar") => {
@@ -1250,5 +1304,9 @@ fn split_unit(unit: &SourceUnit, first_seq: usize) -> Result<SplitUnit, String> 
             }
         }
     }
-    Ok(SplitUnit { jobs, globals })
+    Ok(SplitUnit {
+        jobs,
+        globals,
+        specials,
+    })
 }

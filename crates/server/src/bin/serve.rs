@@ -1,0 +1,115 @@
+//! The compile-server daemon.
+//!
+//! ```text
+//! serve --stdio                         # frames on stdin/stdout (tests, CI)
+//! serve --port 0                        # TCP on an ephemeral port
+//! serve --port 7878 --workers 8 --jobs 4
+//! serve --port 0 --tenant alice:s3cret --tenant bob:hunter2
+//! serve --stdio --fault-seed 42 --fault-permille 200   # seeded fault storm
+//! ```
+//!
+//! In TCP mode the bound address is announced on stderr as
+//! `serve: listening on 127.0.0.1:PORT` (stderr so stdio-mode frames
+//! own stdout unconditionally).  On shutdown the metrics registry is
+//! rendered to stderr.
+
+use std::process::ExitCode;
+
+use s1lisp_driver::FaultPlan;
+use s1lisp_server::{CompileServer, QueueConfig, ServerConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: serve (--stdio | --port N) [--workers N] [--jobs N] \
+         [--queue-total N] [--queue-per-tenant N] [--quantum N] \
+         [--retry-after-ms N] [--incident-budget N] [--run-fuel N] \
+         [--tenant name:token ...] [--fault-seed N --fault-permille N] [--guard]"
+    );
+    std::process::exit(2);
+}
+
+fn parse<T: std::str::FromStr>(args: &mut impl Iterator<Item = String>, flag: &str) -> T {
+    args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+        eprintln!("serve: {flag} wants a value");
+        usage()
+    })
+}
+
+fn main() -> ExitCode {
+    let mut config = ServerConfig::default();
+    let mut queue = QueueConfig::default();
+    let mut stdio = false;
+    let mut port: Option<u16> = None;
+    let mut fault_seed: Option<u64> = None;
+    let mut fault_permille: u16 = 100;
+    let mut allow: Vec<(String, String)> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--stdio" => stdio = true,
+            "--port" => port = Some(parse(&mut args, "--port")),
+            "--workers" => config.workers = parse(&mut args, "--workers"),
+            "--jobs" => config.service.jobs = parse(&mut args, "--jobs"),
+            "--queue-total" => queue.total = parse(&mut args, "--queue-total"),
+            "--queue-per-tenant" => queue.per_tenant = parse(&mut args, "--queue-per-tenant"),
+            "--quantum" => queue.quantum = parse(&mut args, "--quantum"),
+            "--retry-after-ms" => config.retry_after_ms = parse(&mut args, "--retry-after-ms"),
+            "--incident-budget" => config.incident_budget = parse(&mut args, "--incident-budget"),
+            "--run-fuel" => config.run_fuel = parse(&mut args, "--run-fuel"),
+            "--guard" => config.service.guard = true,
+            "--fault-seed" => fault_seed = Some(parse(&mut args, "--fault-seed")),
+            "--fault-permille" => fault_permille = parse(&mut args, "--fault-permille"),
+            "--tenant" => {
+                let spec: String = parse(&mut args, "--tenant");
+                match spec.split_once(':') {
+                    Some((name, token)) => allow.push((name.to_string(), token.to_string())),
+                    None => {
+                        eprintln!("serve: --tenant wants name:token");
+                        usage();
+                    }
+                }
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("serve: unknown flag {other}");
+                usage();
+            }
+        }
+    }
+    if stdio == port.is_some() {
+        eprintln!("serve: pick exactly one of --stdio and --port");
+        usage();
+    }
+    if let Some(seed) = fault_seed {
+        config.service.fault_plan = Some(FaultPlan::storm(seed, fault_permille));
+    }
+    if !allow.is_empty() {
+        config.tenants = Some(allow);
+    }
+    config.queue = queue;
+
+    let server = CompileServer::new(config);
+    if stdio {
+        match server.serve_stdio() {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("serve: transport error: {e}");
+                ExitCode::FAILURE
+            }
+        }
+    } else {
+        match server.serve_tcp(port.unwrap_or(0)) {
+            Ok(handle) => {
+                eprintln!("serve: listening on 127.0.0.1:{}", handle.port());
+                // Blocks until a client sends `shutdown`.
+                eprintln!("{}", handle.join());
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("serve: bind failed: {e}");
+                ExitCode::FAILURE
+            }
+        }
+    }
+}

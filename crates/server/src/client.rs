@@ -1,0 +1,212 @@
+//! A blocking client for the compile server, over either transport.
+//!
+//! The client assigns monotonically increasing request ids and matches
+//! responses by id, buffering any that arrive out of order — so the
+//! simple `call`-style methods compose with explicit pipelining
+//! ([`ServeClient::send`] many, then [`ServeClient::recv_id`] each).
+
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+
+use s1lisp_trace::json;
+
+use crate::proto::{read_frame, write_frame, Op, Request, Response};
+
+/// A connected client.
+pub struct ServeClient {
+    r: Box<dyn Read + Send>,
+    w: Box<dyn Write + Send>,
+    child: Option<Child>,
+    next_id: u64,
+    pending: HashMap<u64, Response>,
+}
+
+fn protocol_error(detail: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, detail.into())
+}
+
+impl ServeClient {
+    /// Connects to a TCP server at `addr` (`"127.0.0.1:PORT"`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the connect failure.
+    pub fn connect(addr: &str) -> io::Result<ServeClient> {
+        let stream = TcpStream::connect(addr)?;
+        let r = stream.try_clone()?;
+        Ok(ServeClient {
+            r: Box::new(r),
+            w: Box::new(stream),
+            child: None,
+            next_id: 0,
+            pending: HashMap::new(),
+        })
+    }
+
+    /// Spawns `cmd args... --stdio` as a child process and speaks the
+    /// protocol over its stdin/stdout.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the spawn failure.
+    pub fn spawn_stdio(cmd: &str, args: &[&str]) -> io::Result<ServeClient> {
+        let mut child = Command::new(cmd)
+            .args(args)
+            .arg("--stdio")
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .spawn()?;
+        let w = child
+            .stdin
+            .take()
+            .ok_or_else(|| protocol_error("no stdin"))?;
+        let r = child
+            .stdout
+            .take()
+            .ok_or_else(|| protocol_error("no stdout"))?;
+        Ok(ServeClient {
+            r: Box::new(r),
+            w: Box::new(w),
+            child: Some(child),
+            next_id: 0,
+            pending: HashMap::new(),
+        })
+    }
+
+    /// Sends a request without waiting; returns its id for
+    /// [`ServeClient::recv_id`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures.
+    pub fn send(&mut self, op: Op) -> io::Result<u64> {
+        self.next_id += 1;
+        let id = self.next_id;
+        let req = Request { id, op };
+        write_frame(&mut self.w, req.to_json().to_string().as_bytes())?;
+        Ok(id)
+    }
+
+    /// Reads the next response off the wire, whatever its id.
+    ///
+    /// # Errors
+    ///
+    /// EOF or a malformed frame.
+    pub fn recv(&mut self) -> io::Result<Response> {
+        let frame = read_frame(&mut self.r)?
+            .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "server closed"))?;
+        let text = String::from_utf8(frame).map_err(|e| protocol_error(e.to_string()))?;
+        let parsed = json::parse(&text).map_err(protocol_error)?;
+        Response::from_json(&parsed).map_err(protocol_error)
+    }
+
+    /// The response to request `id`, buffering out-of-order arrivals.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ServeClient::recv`] failures.
+    pub fn recv_id(&mut self, id: u64) -> io::Result<Response> {
+        if let Some(resp) = self.pending.remove(&id) {
+            return Ok(resp);
+        }
+        loop {
+            let resp = self.recv()?;
+            if resp.id == id {
+                return Ok(resp);
+            }
+            self.pending.insert(resp.id, resp);
+        }
+    }
+
+    fn call(&mut self, op: Op) -> io::Result<Response> {
+        let id = self.send(op)?;
+        self.recv_id(id)
+    }
+
+    /// Authenticates this connection to a tenant.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures; an auth rejection comes back as a normal
+    /// `ok = false` response.
+    pub fn hello(&mut self, tenant: &str, token: Option<&str>) -> io::Result<Response> {
+        self.call(Op::Hello {
+            tenant: tenant.to_string(),
+            token: token.map(str::to_string),
+        })
+    }
+
+    /// Compiles a unit into the tenant's namespace.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures only; compile failures come back in the
+    /// response.
+    pub fn compile(&mut self, unit: &str, source: &str) -> io::Result<Response> {
+        self.call(Op::Compile {
+            unit: unit.to_string(),
+            source: source.to_string(),
+        })
+    }
+
+    /// Runs a compiled function with printed-datum arguments.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures only.
+    pub fn run(&mut self, entry: &str, args: &[&str]) -> io::Result<Response> {
+        self.call(Op::Run {
+            entry: entry.to_string(),
+            args: args.iter().map(|a| (*a).to_string()).collect(),
+        })
+    }
+
+    /// Fetches a function's compilation dossier.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures only.
+    pub fn explain(&mut self, name: &str) -> io::Result<Response> {
+        self.call(Op::Explain {
+            name: name.to_string(),
+        })
+    }
+
+    /// Liveness probe through the full queue path.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures only.
+    pub fn ping(&mut self) -> io::Result<Response> {
+        self.call(Op::Ping)
+    }
+
+    /// Asks the server to shut down.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures only.
+    pub fn shutdown(&mut self) -> io::Result<Response> {
+        self.call(Op::Shutdown)
+    }
+
+    /// Waits for a spawned stdio server to exit; `Ok(true)` when the
+    /// child exited cleanly, `Ok(false)` for TCP clients (nothing to
+    /// wait for).
+    ///
+    /// # Errors
+    ///
+    /// Propagates `wait(2)` failures.
+    pub fn wait_exit(&mut self) -> io::Result<bool> {
+        match self.child.take() {
+            Some(mut child) => {
+                drop(std::mem::replace(&mut self.w, Box::new(io::sink()))); // close the child's stdin so EOF reaches its frame loop
+                let status = child.wait()?;
+                Ok(status.success())
+            }
+            None => Ok(false),
+        }
+    }
+}

@@ -1,0 +1,570 @@
+//! The wire protocol: length-prefixed JSON frames, and the request /
+//! response vocabulary both transports (TCP and stdio) speak.
+//!
+//! A frame is a 4-byte big-endian payload length followed by that many
+//! bytes of UTF-8 JSON.  Requests carry a client-chosen `id`; responses
+//! echo it, and because the server dispatches requests to a worker pool
+//! they may come back **out of order** — pipelining clients match
+//! responses to requests by id, never by arrival position.
+//!
+//! Every response — success, failure, or backpressure rejection —
+//! carries the same fixed surface: `ok`, `error`, `retry_after_ms`, and
+//! the per-request SLO block `{degraded, incident_kind, queue_wait_us,
+//! wall_us}`.  There is no response without an SLO verdict.
+
+use std::io::{self, Read, Write};
+
+use s1lisp::Artifact;
+use s1lisp_trace::json::Json;
+
+/// Refuse frames above this size (16 MiB): a corrupt length prefix must
+/// not look like an allocation request.
+pub const MAX_FRAME: usize = 16 << 20;
+
+/// Writes one length-prefixed frame.
+///
+/// # Errors
+///
+/// Propagates I/O errors; refuses payloads above [`MAX_FRAME`].
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("frame of {} bytes exceeds MAX_FRAME", payload.len()),
+        ));
+    }
+    let len = u32::try_from(payload.len()).expect("bounded above");
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one length-prefixed frame.  `Ok(None)` is clean end-of-stream
+/// (EOF exactly at a frame boundary); EOF mid-frame is an error.
+///
+/// # Errors
+///
+/// Propagates I/O errors; refuses frames above [`MAX_FRAME`].
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut len_buf = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        match r.read(&mut len_buf[filled..])? {
+            0 if filled == 0 => return Ok(None),
+            0 => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "EOF inside a frame header",
+                ))
+            }
+            n => filled += n,
+        }
+    }
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds MAX_FRAME"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+/// What a request asks the server to do.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Op {
+    /// Bind this connection to a tenant (must be the first request).
+    Hello {
+        /// The tenant namespace to join.
+        tenant: String,
+        /// Shared secret, checked against the server's allowlist when
+        /// one is configured; ignored under open enrollment.
+        token: Option<String>,
+    },
+    /// Compile a unit of top-level forms into the tenant's namespace.
+    Compile {
+        /// A label for reports (a file name, a request tag, …).
+        unit: String,
+        /// The top-level forms (`defun`/`defvar`/`proclaim`).
+        source: String,
+    },
+    /// Call a function the tenant has compiled, with printed-datum
+    /// arguments (`"3"`, `"-1.5"`, `"(1 2)"`).
+    Run {
+        /// The function to call.
+        entry: String,
+        /// Printed-datum arguments.
+        args: Vec<String>,
+    },
+    /// Fetch the compilation dossier of a tenant function.
+    Explain {
+        /// The function name.
+        name: String,
+    },
+    /// Liveness probe; serves through the queue like any request.
+    Ping,
+    /// Stop the server: drain in-flight requests, then exit.
+    Shutdown,
+}
+
+impl Op {
+    /// Lower-case label for dispatch, responses, and metrics.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Op::Hello { .. } => "hello",
+            Op::Compile { .. } => "compile",
+            Op::Run { .. } => "run",
+            Op::Explain { .. } => "explain",
+            Op::Ping => "ping",
+            Op::Shutdown => "shutdown",
+        }
+    }
+}
+
+/// One request frame.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed in the response.
+    pub id: u64,
+    /// The operation.
+    pub op: Op,
+}
+
+fn obj(fields: Vec<(&str, Json)>) -> Json {
+    Json::Obj(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+impl Request {
+    /// The wire form.
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("id", Json::uint(self.id)),
+            ("op", Json::str(self.op.as_str())),
+        ];
+        match &self.op {
+            Op::Hello { tenant, token } => {
+                fields.push(("tenant", Json::str(tenant)));
+                fields.push(("token", token.as_ref().map_or(Json::Null, Json::str)));
+            }
+            Op::Compile { unit, source } => {
+                fields.push(("unit", Json::str(unit)));
+                fields.push(("source", Json::str(source)));
+            }
+            Op::Run { entry, args } => {
+                fields.push(("entry", Json::str(entry)));
+                fields.push(("args", Json::Arr(args.iter().map(Json::str).collect())));
+            }
+            Op::Explain { name } => fields.push(("name", Json::str(name))),
+            Op::Ping | Op::Shutdown => {}
+        }
+        obj(fields)
+    }
+
+    /// Parses a request frame.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first missing or mistyped field.
+    pub fn from_json(j: &Json) -> Result<Request, String> {
+        let id = j
+            .get("id")
+            .and_then(Json::as_int)
+            .and_then(|n| u64::try_from(n).ok())
+            .ok_or("request wants an integer id")?;
+        let op = j
+            .get("op")
+            .and_then(Json::as_str)
+            .ok_or("request wants an op string")?;
+        let s = |key: &str| {
+            j.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("{op} wants a {key} string"))
+        };
+        let op = match op {
+            "hello" => Op::Hello {
+                tenant: s("tenant")?,
+                token: j.get("token").and_then(Json::as_str).map(str::to_string),
+            },
+            "compile" => Op::Compile {
+                unit: s("unit")?,
+                source: s("source")?,
+            },
+            "run" => Op::Run {
+                entry: s("entry")?,
+                args: j
+                    .get("args")
+                    .and_then(Json::as_arr)
+                    .ok_or("run wants an args array")?
+                    .iter()
+                    .map(|a| {
+                        a.as_str()
+                            .map(str::to_string)
+                            .ok_or_else(|| "run args must be printed-datum strings".to_string())
+                    })
+                    .collect::<Result<Vec<_>, _>>()?,
+            },
+            "explain" => Op::Explain { name: s("name")? },
+            "ping" => Op::Ping,
+            "shutdown" => Op::Shutdown,
+            other => return Err(format!("unknown op {other}")),
+        };
+        Ok(Request { id, op })
+    }
+}
+
+/// The per-request service-level verdict every response carries.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Slo {
+    /// True when the tenant is in degraded mode (incident budget
+    /// exhausted — transformations off) or any artifact in the response
+    /// came from a degraded recompile.
+    pub degraded: bool,
+    /// The first incident this request accrued (`panic`, `timeout`,
+    /// `guard`, `miscompile`, `sim-trap`), or `None` for a clean serve.
+    pub incident_kind: Option<String>,
+    /// Time the request sat in the admission queue, in microseconds.
+    pub queue_wait_us: u64,
+    /// Time a worker spent serving it, in microseconds.
+    pub wall_us: u64,
+}
+
+impl Slo {
+    fn to_json(&self) -> Json {
+        obj(vec![
+            ("degraded", Json::Bool(self.degraded)),
+            (
+                "incident_kind",
+                self.incident_kind.as_ref().map_or(Json::Null, Json::str),
+            ),
+            ("queue_wait_us", Json::uint(self.queue_wait_us)),
+            ("wall_us", Json::uint(self.wall_us)),
+        ])
+    }
+
+    fn from_json(j: &Json) -> Option<Slo> {
+        let n = |key: &str| u64::try_from(j.get(key)?.as_int()?).ok();
+        Some(Slo {
+            degraded: j.get("degraded")?.as_bool()?,
+            incident_kind: j
+                .get("incident_kind")
+                .and_then(Json::as_str)
+                .map(str::to_string),
+            queue_wait_us: n("queue_wait_us")?,
+            wall_us: n("wall_us")?,
+        })
+    }
+}
+
+/// One compile incident as surfaced to the client.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireIncident {
+    /// The function whose compilation faulted.
+    pub function: String,
+    /// Panic, timeout, guard violation, or oracle mismatch.
+    pub kind: String,
+    /// True when the degraded recompile salvaged an artifact.
+    pub recovered: bool,
+}
+
+/// The op-specific payload of a response.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Body {
+    /// `hello`, `ping`, `shutdown`, and every rejection.
+    None,
+    /// A served `compile`.
+    Compile {
+        /// Artifacts in source order, exactly as
+        /// [`CompileService::compile_batch`](s1lisp_driver::CompileService::compile_batch)
+        /// would produce them for the same unit (pinned by test).
+        artifacts: Vec<Artifact>,
+        /// Contained faults this request accrued.
+        incidents: Vec<WireIncident>,
+        /// Failures as `(scope, message)`.
+        failures: Vec<(String, String)>,
+    },
+    /// A served `run`: the printed outcome (a value, or `trap: …`).
+    Run {
+        /// Printed value or trap.
+        value: String,
+    },
+    /// A served `explain`.
+    Explain {
+        /// The rendered dossier.
+        dossier: String,
+    },
+}
+
+/// One response frame.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Response {
+    /// The request's correlation id.
+    pub id: u64,
+    /// The request's op label (`"compile"`, …).
+    pub op: String,
+    /// The tenant served.
+    pub tenant: String,
+    /// False on errors and rejections.
+    pub ok: bool,
+    /// The error description when `ok` is false.
+    pub error: Option<String>,
+    /// Nonzero only on a backpressure rejection: retry no sooner than
+    /// this many milliseconds from now.  A rejection is a first-class
+    /// response — the queue never drops a request silently.
+    pub retry_after_ms: u64,
+    /// The per-request SLO verdict.
+    pub slo: Slo,
+    /// The op-specific payload.
+    pub body: Body,
+}
+
+impl Response {
+    /// The wire form.  Fixed keys only — `compile`, `value`, and
+    /// `dossier` are always present (null when inapplicable) so the
+    /// response schema is one shape per op, pinned by the serve-record
+    /// golden.
+    pub fn to_json(&self) -> Json {
+        let (compile, value, dossier) = match &self.body {
+            Body::None => (Json::Null, Json::Null, Json::Null),
+            Body::Compile {
+                artifacts,
+                incidents,
+                failures,
+            } => {
+                let artifacts = artifacts.iter().map(Artifact::to_json).collect();
+                let incidents = incidents
+                    .iter()
+                    .map(|i| {
+                        obj(vec![
+                            ("function", Json::str(&i.function)),
+                            ("kind", Json::str(&i.kind)),
+                            ("recovered", Json::Bool(i.recovered)),
+                        ])
+                    })
+                    .collect();
+                let failures = failures
+                    .iter()
+                    .map(|(scope, error)| {
+                        obj(vec![
+                            ("scope", Json::str(scope)),
+                            ("error", Json::str(error)),
+                        ])
+                    })
+                    .collect();
+                (
+                    obj(vec![
+                        ("artifacts", Json::Arr(artifacts)),
+                        ("incidents", Json::Arr(incidents)),
+                        ("failures", Json::Arr(failures)),
+                    ]),
+                    Json::Null,
+                    Json::Null,
+                )
+            }
+            Body::Run { value } => (Json::Null, Json::str(value), Json::Null),
+            Body::Explain { dossier } => (Json::Null, Json::Null, Json::str(dossier)),
+        };
+        obj(vec![
+            ("id", Json::uint(self.id)),
+            ("op", Json::str(&self.op)),
+            ("tenant", Json::str(&self.tenant)),
+            ("ok", Json::Bool(self.ok)),
+            ("error", self.error.as_ref().map_or(Json::Null, Json::str)),
+            ("retry_after_ms", Json::uint(self.retry_after_ms)),
+            ("slo", self.slo.to_json()),
+            ("compile", compile),
+            ("value", value),
+            ("dossier", dossier),
+        ])
+    }
+
+    /// Parses a response frame.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first missing or mistyped field.
+    pub fn from_json(j: &Json) -> Result<Response, String> {
+        let id = j
+            .get("id")
+            .and_then(Json::as_int)
+            .and_then(|n| u64::try_from(n).ok())
+            .ok_or("response wants an integer id")?;
+        let op = j
+            .get("op")
+            .and_then(Json::as_str)
+            .ok_or("response wants an op")?
+            .to_string();
+        let body = if let Some(c) = j.get("compile").filter(|c| **c != Json::Null) {
+            let artifacts = c
+                .get("artifacts")
+                .and_then(Json::as_arr)
+                .ok_or("compile body wants artifacts")?
+                .iter()
+                .map(|a| Artifact::from_json(a).ok_or("malformed artifact"))
+                .collect::<Result<Vec<_>, _>>()?;
+            let incidents = c
+                .get("incidents")
+                .and_then(Json::as_arr)
+                .ok_or("compile body wants incidents")?
+                .iter()
+                .map(|i| {
+                    Some(WireIncident {
+                        function: i.get("function")?.as_str()?.to_string(),
+                        kind: i.get("kind")?.as_str()?.to_string(),
+                        recovered: i.get("recovered")?.as_bool()?,
+                    })
+                })
+                .collect::<Option<Vec<_>>>()
+                .ok_or("malformed incident")?;
+            let failures = c
+                .get("failures")
+                .and_then(Json::as_arr)
+                .ok_or("compile body wants failures")?
+                .iter()
+                .map(|f| {
+                    Some((
+                        f.get("scope")?.as_str()?.to_string(),
+                        f.get("error")?.as_str()?.to_string(),
+                    ))
+                })
+                .collect::<Option<Vec<_>>>()
+                .ok_or("malformed failure")?;
+            Body::Compile {
+                artifacts,
+                incidents,
+                failures,
+            }
+        } else if let Some(v) = j.get("value").and_then(Json::as_str) {
+            Body::Run {
+                value: v.to_string(),
+            }
+        } else if let Some(d) = j.get("dossier").and_then(Json::as_str) {
+            Body::Explain {
+                dossier: d.to_string(),
+            }
+        } else {
+            Body::None
+        };
+        Ok(Response {
+            id,
+            op,
+            tenant: j
+                .get("tenant")
+                .and_then(Json::as_str)
+                .unwrap_or_default()
+                .to_string(),
+            ok: j
+                .get("ok")
+                .and_then(Json::as_bool)
+                .ok_or("response wants ok")?,
+            error: j.get("error").and_then(Json::as_str).map(str::to_string),
+            retry_after_ms: j
+                .get("retry_after_ms")
+                .and_then(Json::as_int)
+                .and_then(|n| u64::try_from(n).ok())
+                .unwrap_or(0),
+            slo: j
+                .get("slo")
+                .and_then(Slo::from_json)
+                .ok_or("response wants an slo block")?,
+            body,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s1lisp_trace::json;
+
+    #[test]
+    fn frames_round_trip_and_eof_is_clean_only_at_boundaries() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap(), Some(b"hello".to_vec()));
+        assert_eq!(read_frame(&mut r).unwrap(), Some(Vec::new()));
+        assert_eq!(read_frame(&mut r).unwrap(), None);
+        // EOF inside a header is an error, not a clean close.
+        let mut torn = &buf[..2];
+        assert!(read_frame(&mut torn).is_err());
+        // A hostile length prefix is refused before allocation.
+        let mut huge = Vec::new();
+        huge.extend_from_slice(&(u32::MAX).to_be_bytes());
+        assert!(read_frame(&mut &huge[..]).is_err());
+    }
+
+    #[test]
+    fn requests_round_trip_through_the_wire_form() {
+        let cases = vec![
+            Request {
+                id: 1,
+                op: Op::Hello {
+                    tenant: "alice".into(),
+                    token: Some("s3cret".into()),
+                },
+            },
+            Request {
+                id: 2,
+                op: Op::Compile {
+                    unit: "u1".into(),
+                    source: "(defun f (x) x)".into(),
+                },
+            },
+            Request {
+                id: 3,
+                op: Op::Run {
+                    entry: "f".into(),
+                    args: vec!["1".into(), "(2 3)".into()],
+                },
+            },
+            Request {
+                id: 4,
+                op: Op::Explain { name: "f".into() },
+            },
+            Request {
+                id: 5,
+                op: Op::Ping,
+            },
+            Request {
+                id: 6,
+                op: Op::Shutdown,
+            },
+        ];
+        for req in cases {
+            let text = req.to_json().to_string();
+            let parsed = json::parse(&text).expect("well-formed JSON");
+            assert_eq!(Request::from_json(&parsed), Ok(req.clone()), "{text}");
+        }
+    }
+
+    #[test]
+    fn responses_round_trip_including_rejections() {
+        let resp = Response {
+            id: 9,
+            op: "compile".into(),
+            tenant: "alice".into(),
+            ok: false,
+            error: Some("queue full".into()),
+            retry_after_ms: 25,
+            slo: Slo {
+                degraded: true,
+                incident_kind: Some("panic".into()),
+                queue_wait_us: 0,
+                wall_us: 0,
+            },
+            body: Body::None,
+        };
+        let text = resp.to_json().to_string();
+        let parsed = json::parse(&text).expect("well-formed JSON");
+        assert_eq!(Response::from_json(&parsed), Ok(resp));
+    }
+}

@@ -1,0 +1,629 @@
+//! The daemon: transports, connection handling, the worker pool, and
+//! request processing with per-request SLOs.
+//!
+//! # Threading model
+//!
+//! * One **acceptor** thread (TCP mode) owns the listener and spawns a
+//!   thread per connection.
+//! * **Connection** threads parse frames, answer `hello`/`shutdown`
+//!   and backpressure rejections inline, and enqueue everything else.
+//! * [`ServerConfig::workers`] **worker** threads drain the admission
+//!   queue, serve requests through the shared
+//!   [`CompileService`], and write responses straight to the owning
+//!   connection (a mutex-guarded writer — responses may interleave
+//!   across a connection's pipelined requests, matched by id).
+//!
+//! A worker panic is contained per request (`catch_unwind`): the client
+//! gets an `ok = false` response with `incident_kind = "panic"` and the
+//! worker returns to the queue — the fault-storm test hammers this.
+//!
+//! # SLO accounting
+//!
+//! `queue_wait_us` is enqueue → claim; `wall_us` is claim → response
+//! built.  `degraded` is true when the tenant is demoted *or* any
+//! artifact in the response came from a degraded recompile, so a client
+//! can always tell whether it got full-strength optimization.
+//! Incidents (compile faults, injected simulator traps) accrue against
+//! the tenant's [`ServerConfig::incident_budget`]; once exhausted the
+//! tenant compiles with transformations off until the server restarts.
+
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU16, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::Instant;
+
+use s1lisp::{Compiler, FaultSite, Value};
+use s1lisp_driver::{unit_decls, BatchTuning, CompileService, ServiceConfig, SourceUnit};
+use s1lisp_reader::{read_str, Interner};
+use s1lisp_trace::json;
+use s1lisp_trace::metrics::{MetricsRegistry, TIME_BUCKETS_US};
+
+use crate::proto::{read_frame, write_frame, Body, Op, Request, Response, Slo, WireIncident};
+use crate::queue::{AdmissionQueue, QueueConfig};
+use crate::tenant::{TenantRegistry, TenantState};
+
+/// Server configuration.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Worker threads draining the admission queue.
+    pub workers: usize,
+    /// The compilation service every request serves through.  Its
+    /// `fault_plan` also arms the server's `run`-time injection site.
+    pub service: ServiceConfig,
+    /// Admission-queue bounds and fairness quantum.
+    pub queue: QueueConfig,
+    /// The hint sent with a backpressure rejection.
+    pub retry_after_ms: u64,
+    /// Incidents a tenant may accrue before it is demoted to
+    /// transformations-off compilation.
+    pub incident_budget: u64,
+    /// Instruction budget per `run` request, so a runaway program traps
+    /// instead of pinning a worker.
+    pub run_fuel: u64,
+    /// Tenant allowlist as `(name, token)`; `None` is open enrollment
+    /// (any tenant name, no token check).
+    pub tenants: Option<Vec<(String, String)>>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            workers: 4,
+            service: ServiceConfig::default(),
+            queue: QueueConfig::default(),
+            retry_after_ms: 25,
+            incident_budget: 8,
+            run_fuel: 100_000_000,
+            tenants: None,
+        }
+    }
+}
+
+/// A writer shared between the connection thread (inline responses)
+/// and whichever worker serves the connection's queued requests.
+type Reply = Arc<Mutex<Box<dyn Write + Send>>>;
+
+/// One queued request with everything a worker needs to serve it.
+struct Work {
+    req: Request,
+    tenant: Arc<Mutex<TenantState>>,
+    reply: Reply,
+    enqueued: Instant,
+}
+
+struct Shared {
+    config: ServerConfig,
+    service: CompileService,
+    registry: TenantRegistry,
+    queue: AdmissionQueue<Work>,
+    metrics: Arc<MetricsRegistry>,
+    shutdown: AtomicBool,
+    /// The bound TCP port, for the shutdown self-connect that unblocks
+    /// the acceptor; zero in stdio mode.
+    port: AtomicU16,
+}
+
+/// The compile server, ready to serve one transport.
+pub struct CompileServer {
+    shared: Arc<Shared>,
+}
+
+impl CompileServer {
+    /// Builds a server; serve it with [`CompileServer::serve_tcp`] or
+    /// [`CompileServer::serve_stdio`].
+    pub fn new(config: ServerConfig) -> CompileServer {
+        let service = CompileService::new(config.service.clone());
+        let metrics = Arc::clone(service.metrics());
+        let queue = AdmissionQueue::new(config.queue);
+        CompileServer {
+            shared: Arc::new(Shared {
+                config,
+                service,
+                registry: TenantRegistry::new(),
+                queue,
+                metrics,
+                shutdown: AtomicBool::new(false),
+                port: AtomicU16::new(0),
+            }),
+        }
+    }
+
+    /// Binds `127.0.0.1:port` (`0` for an ephemeral port), starts the
+    /// worker pool and the acceptor, and returns a handle.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn serve_tcp(self, port: u16) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(("127.0.0.1", port))?;
+        let port = listener.local_addr()?.port();
+        self.shared.port.store(port, Ordering::SeqCst);
+        let mut threads = spawn_workers(&self.shared);
+        let shared = Arc::clone(&self.shared);
+        threads.push(
+            thread::Builder::new()
+                .name("serve-accept".into())
+                .spawn(move || {
+                    for conn in listener.incoming() {
+                        if shared.shutdown.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        let Ok(stream) = conn else { continue };
+                        let shared = Arc::clone(&shared);
+                        // Connection threads are detached: they exit on
+                        // client EOF, and at process level on shutdown.
+                        let _ = thread::Builder::new()
+                            .name("serve-conn".into())
+                            .spawn(move || {
+                                let _ = handle_conn(&shared, stream);
+                            });
+                    }
+                })
+                .expect("spawn acceptor"),
+        );
+        Ok(ServerHandle {
+            port,
+            shared: self.shared,
+            threads,
+        })
+    }
+
+    /// Serves frames on stdin/stdout on the calling thread until EOF or
+    /// a `shutdown` request, then drains the queue and joins the
+    /// workers.  This is the hermetic transport tests and CI use: no
+    /// ports, one process, deterministic teardown.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport I/O failures (EOF is a clean return).
+    pub fn serve_stdio(self) -> io::Result<()> {
+        let workers = spawn_workers(&self.shared);
+        let stdout: Reply = Arc::new(Mutex::new(Box::new(io::stdout())));
+        let result = serve_frames(&self.shared, &mut io::stdin().lock(), &stdout);
+        self.shared.queue.close();
+        for t in workers {
+            let _ = t.join();
+        }
+        result
+    }
+}
+
+/// A running TCP server.
+pub struct ServerHandle {
+    port: u16,
+    shared: Arc<Shared>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound port.
+    pub fn port(&self) -> u16 {
+        self.port
+    }
+
+    /// Initiates shutdown without a client: stops admissions, unblocks
+    /// the acceptor, and lets workers drain.
+    pub fn shutdown(&self) {
+        initiate_shutdown(&self.shared);
+    }
+
+    /// Renders the server's metrics registry (service and server
+    /// families together).
+    pub fn render_metrics(&self) -> String {
+        self.metrics_snapshot().render()
+    }
+
+    /// A point-in-time snapshot of the shared registry — the isolation
+    /// tests read the cache counters off this to prove tenants never
+    /// warm-hit each other's artifacts.
+    pub fn metrics_snapshot(&self) -> s1lisp_trace::metrics::MetricsSnapshot {
+        self.shared.metrics.snapshot()
+    }
+
+    /// Waits for the acceptor and workers to exit and returns the final
+    /// rendered metrics.  Call [`ServerHandle::shutdown`] first (or
+    /// have a client send `shutdown`) or this blocks forever.
+    pub fn join(self) -> String {
+        for t in self.threads {
+            let _ = t.join();
+        }
+        self.shared.metrics.snapshot().render()
+    }
+}
+
+fn initiate_shutdown(shared: &Shared) {
+    shared.shutdown.store(true, Ordering::SeqCst);
+    shared.queue.close();
+    let port = shared.port.load(Ordering::SeqCst);
+    if port != 0 {
+        // Unblock the acceptor's accept(2); it re-checks the flag.
+        let _ = TcpStream::connect(("127.0.0.1", port));
+    }
+}
+
+fn spawn_workers(shared: &Arc<Shared>) -> Vec<JoinHandle<()>> {
+    (0..shared.config.workers.max(1))
+        .map(|i| {
+            let shared = Arc::clone(shared);
+            thread::Builder::new()
+                .name(format!("serve-worker-{i}"))
+                .spawn(move || worker_loop(&shared))
+                .expect("spawn worker")
+        })
+        .collect()
+}
+
+fn handle_conn(shared: &Arc<Shared>, stream: TcpStream) -> io::Result<()> {
+    let reply: Reply = Arc::new(Mutex::new(Box::new(stream.try_clone()?)));
+    let mut reader = stream;
+    serve_frames(shared, &mut reader, &reply)
+}
+
+fn send(reply: &Reply, resp: &Response) {
+    let payload = resp.to_json().to_string();
+    let mut w = reply.lock().expect("reply writer poisoned");
+    let _ = write_frame(&mut *w, payload.as_bytes());
+}
+
+/// A minimal response for inline paths (hello, rejections, protocol
+/// errors): no queue wait, no wall time, no body.
+fn inline_response(id: u64, op: &str, tenant: &str, result: Result<(), String>) -> Response {
+    Response {
+        id,
+        op: op.to_string(),
+        tenant: tenant.to_string(),
+        ok: result.is_ok(),
+        error: result.err(),
+        retry_after_ms: 0,
+        slo: Slo::default(),
+        body: Body::None,
+    }
+}
+
+/// The per-connection frame loop, shared by both transports.
+fn serve_frames(shared: &Arc<Shared>, r: &mut impl Read, reply: &Reply) -> io::Result<()> {
+    let mut session: Option<(String, Arc<Mutex<TenantState>>)> = None;
+    while let Some(frame) = read_frame(r)? {
+        let req = String::from_utf8(frame)
+            .map_err(|e| e.to_string())
+            .and_then(|text| json::parse(&text))
+            .and_then(|j| Request::from_json(&j));
+        let req = match req {
+            Ok(req) => req,
+            Err(e) => {
+                send(reply, &inline_response(0, "error", "", Err(e)));
+                continue;
+            }
+        };
+        match &req.op {
+            Op::Hello { tenant, token } => {
+                let verdict = authenticate(&shared.config, tenant, token.as_deref());
+                if verdict.is_ok() {
+                    session = Some((tenant.clone(), shared.registry.get_or_create(tenant)));
+                }
+                send(reply, &inline_response(req.id, "hello", tenant, verdict));
+            }
+            Op::Shutdown => {
+                let tenant = session.as_ref().map(|(n, _)| n.as_str()).unwrap_or("");
+                send(reply, &inline_response(req.id, "shutdown", tenant, Ok(())));
+                initiate_shutdown(shared);
+                break;
+            }
+            _ => {
+                let Some((name, state)) = &session else {
+                    send(
+                        reply,
+                        &inline_response(
+                            req.id,
+                            req.op.as_str(),
+                            "",
+                            Err("say hello first".to_string()),
+                        ),
+                    );
+                    continue;
+                };
+                state.lock().expect("tenant poisoned").requests += 1;
+                let (id, op_label) = (req.id, req.op.as_str());
+                let cost = request_cost(&req.op);
+                let work = Work {
+                    req,
+                    tenant: Arc::clone(state),
+                    reply: Arc::clone(reply),
+                    enqueued: Instant::now(),
+                };
+                if shared.queue.submit(name, cost, work).is_err() {
+                    shared.metrics.counter("server.rejected").inc();
+                    let mut rejection =
+                        inline_response(id, op_label, name, Err("queue full".to_string()));
+                    rejection.retry_after_ms = shared.config.retry_after_ms.max(1);
+                    send(reply, &rejection);
+                }
+                shared
+                    .metrics
+                    .gauge("server.queue_depth")
+                    .set(shared.queue.depth() as i64);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Fairness cost: compiles scale with source size so one tenant's big
+/// units cannot starve another's small ones; everything else costs 1.
+fn request_cost(op: &Op) -> u64 {
+    match op {
+        Op::Compile { source, .. } => 1 + source.len() as u64 / 512,
+        _ => 1,
+    }
+}
+
+fn authenticate(config: &ServerConfig, tenant: &str, token: Option<&str>) -> Result<(), String> {
+    if tenant.is_empty() {
+        return Err("tenant name must be nonempty".to_string());
+    }
+    match &config.tenants {
+        None => Ok(()),
+        Some(allow) => {
+            let known = allow.iter().find(|(name, _)| name == tenant);
+            match known {
+                Some((_, expected)) if token == Some(expected.as_str()) => Ok(()),
+                _ => Err(format!("authentication failed for tenant {tenant}")),
+            }
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    while let Some((tenant_name, work)) = shared.queue.next() {
+        let queue_wait_us = elapsed_us(work.enqueued);
+        let start = Instant::now();
+        let outcome = catch_unwind(AssertUnwindSafe(|| process(shared, &work)));
+        let mut resp = outcome.unwrap_or_else(|payload| {
+            let detail = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "panic".to_string());
+            accrue_incident(shared, &work.tenant, 1);
+            Response {
+                id: work.req.id,
+                op: work.req.op.as_str().to_string(),
+                tenant: tenant_name.clone(),
+                ok: false,
+                error: Some(format!("request panicked: {detail}")),
+                retry_after_ms: 0,
+                slo: Slo {
+                    incident_kind: Some("panic".to_string()),
+                    ..Slo::default()
+                },
+                body: Body::None,
+            }
+        });
+        resp.slo.queue_wait_us = queue_wait_us;
+        resp.slo.wall_us = elapsed_us(start);
+        send(&work.reply, &resp);
+        shared.queue.done(&tenant_name);
+        record_metrics(shared, &tenant_name, &resp);
+    }
+}
+
+fn record_metrics(shared: &Shared, tenant: &str, resp: &Response) {
+    let m = &shared.metrics;
+    m.counter("server.requests").inc();
+    m.counter(&format!("server.requests.{}", resp.op)).inc();
+    if !resp.ok {
+        m.counter("server.errors").inc();
+    }
+    if resp.slo.degraded {
+        m.counter("server.degraded_responses").inc();
+    }
+    if resp.slo.incident_kind.is_some() {
+        m.counter("server.incidents").inc();
+    }
+    m.histogram("server.queue_wait_us", TIME_BUCKETS_US)
+        .observe(resp.slo.queue_wait_us);
+    m.histogram("server.wall_us", TIME_BUCKETS_US)
+        .observe(resp.slo.wall_us);
+    m.scoped(&format!("server.tenant.{tenant}"))
+        .counter("requests")
+        .inc();
+    m.gauge("server.queue_depth")
+        .set(shared.queue.depth() as i64);
+}
+
+fn elapsed_us(since: Instant) -> u64 {
+    u64::try_from(since.elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
+/// Bumps the tenant's incident ledger and demotes it once the budget
+/// is exhausted.  Returns whether the tenant is (now) degraded.
+fn accrue_incident(shared: &Shared, tenant: &Arc<Mutex<TenantState>>, n: u64) -> bool {
+    let mut st = tenant.lock().expect("tenant poisoned");
+    st.incidents += n;
+    if st.incidents >= shared.config.incident_budget {
+        st.degraded = true;
+    }
+    st.degraded
+}
+
+/// Serves one queued request.  SLO timings are filled in by the caller.
+fn process(shared: &Shared, work: &Work) -> Response {
+    let mut resp = Response {
+        id: work.req.id,
+        op: work.req.op.as_str().to_string(),
+        tenant: String::new(),
+        ok: true,
+        error: None,
+        retry_after_ms: 0,
+        slo: Slo::default(),
+        body: Body::None,
+    };
+    match &work.req.op {
+        Op::Ping => {
+            let st = work.tenant.lock().expect("tenant poisoned");
+            resp.tenant = st.name.clone();
+            resp.slo.degraded = st.degraded;
+        }
+        Op::Compile { unit, source } => serve_compile(shared, work, unit, source, &mut resp),
+        Op::Run { entry, args } => serve_run(shared, work, entry, args, &mut resp),
+        Op::Explain { name } => {
+            let st = work.tenant.lock().expect("tenant poisoned");
+            resp.tenant = st.name.clone();
+            resp.slo.degraded = st.degraded;
+            match st.artifacts.get(name) {
+                Some(a) => {
+                    resp.body = Body::Explain {
+                        dossier: a.dossier.clone(),
+                    }
+                }
+                None => {
+                    resp.ok = false;
+                    resp.error = Some(format!("unknown function {name}"));
+                }
+            }
+        }
+        Op::Hello { .. } | Op::Shutdown => {
+            resp.ok = false;
+            resp.error = Some("connection-level op reached the queue".to_string());
+        }
+    }
+    resp
+}
+
+fn serve_compile(shared: &Shared, work: &Work, unit: &str, source: &str, resp: &mut Response) {
+    // Snapshot the namespace under the lock, but compile outside it:
+    // the batch service may fan out to its own workers, and a tenant's
+    // single-in-flight guarantee already serializes its requests.
+    let (tenant_name, specials, tuning) = {
+        let st = work.tenant.lock().expect("tenant poisoned");
+        (
+            st.name.clone(),
+            st.specials.clone(),
+            BatchTuning {
+                key_salt: st.fingerprint,
+                transformations_off: st.degraded,
+            },
+        )
+    };
+    resp.tenant = tenant_name;
+    // The tenant's accumulated specials precede the unit, so free
+    // references in this unit see every `proclaim` the tenant has made
+    // — the namespace semantics a resident compiler would give it.  A
+    // fresh tenant gets no prefix: its artifacts are byte-identical to
+    // a plain `compile_batch` of the same unit (pinned by test).
+    let full_source = if specials.is_empty() {
+        source.to_string()
+    } else {
+        format!(
+            "(proclaim (quote (special {})))\n{source}",
+            specials.join(" ")
+        )
+    };
+    let units = [SourceUnit::new(unit, full_source)];
+    let batch = shared.service.compile_batch_with(&units, tuning);
+    let incidents: Vec<WireIncident> = batch
+        .incidents
+        .iter()
+        .map(|i| WireIncident {
+            function: i.function.clone(),
+            kind: i.kind.as_str().to_string(),
+            recovered: i.recovered,
+        })
+        .collect();
+    let any_degraded_artifact = batch.artifacts.iter().any(|a| a.degraded);
+    let tenant_degraded = {
+        let mut st = work.tenant.lock().expect("tenant poisoned");
+        // Absorb the unit's own declarations (from the *raw* source:
+        // the prefix is the tenant's existing state, not news).
+        if let Ok((specials, globals)) = unit_decls(source) {
+            for s in specials {
+                st.absorb_special(&s);
+            }
+            st.globals.extend(globals);
+        }
+        if batch.failures.is_empty() {
+            st.sources.push(source.to_string());
+        }
+        for a in &batch.artifacts {
+            st.artifacts.insert(a.name.clone(), a.clone());
+        }
+        st.incidents += incidents.len() as u64;
+        if st.incidents >= shared.config.incident_budget {
+            st.degraded = true;
+        }
+        st.degraded
+    };
+    resp.ok = batch.failures.is_empty();
+    resp.error = batch
+        .failures
+        .first()
+        .map(|(scope, e)| format!("{scope}: {e}"));
+    resp.slo.degraded = tenant_degraded || tuning.transformations_off || any_degraded_artifact;
+    resp.slo.incident_kind = incidents.first().map(|i| i.kind.clone());
+    resp.body = Body::Compile {
+        artifacts: batch.artifacts,
+        incidents,
+        failures: batch.failures,
+    };
+}
+
+fn serve_run(shared: &Shared, work: &Work, entry: &str, args: &[String], resp: &mut Response) {
+    let st = work.tenant.lock().expect("tenant poisoned");
+    resp.tenant = st.name.clone();
+    resp.slo.degraded = st.degraded;
+    let sources: Vec<String> = st.sources.clone();
+    drop(st);
+    // The seeded fault plan's simulator-trap site fires here too, so a
+    // fault storm exercises the run path; the trap is contained to this
+    // request and accrues against the tenant's budget like any other
+    // incident.
+    if let Some(plan) = &shared.config.service.fault_plan {
+        if plan.fires(FaultSite::SimTrap, entry) {
+            resp.slo.degraded = accrue_incident(shared, &work.tenant, 1);
+            resp.slo.incident_kind = Some("sim-trap".to_string());
+            resp.body = Body::Run {
+                value: "trap: injected simulator fault".to_string(),
+            };
+            return;
+        }
+    }
+    // Rebuild the tenant's world in a fresh compiler (a `Compiler`
+    // holds `Rc`s and cannot live across worker threads): replaying
+    // the compiled sources in order reconstructs specials, globals,
+    // and functions exactly.
+    let cfg = &shared.config.service;
+    let mut c = Compiler::new();
+    c.opt_options = cfg.opt_options.clone();
+    c.cse = cfg.cse;
+    c.codegen_options = cfg.codegen_options.clone();
+    c.tension_branches = cfg.tension_branches;
+    for src in &sources {
+        if let Err(e) = c.compile_str(src) {
+            resp.ok = false;
+            resp.error = Some(format!("tenant replay failed: {e}"));
+            return;
+        }
+    }
+    let mut interner = Interner::new();
+    let mut values = Vec::new();
+    for a in args {
+        match read_str(a, &mut interner) {
+            Ok(d) => values.push(Value::from_datum(&d)),
+            Err(e) => {
+                resp.ok = false;
+                resp.error = Some(format!("argument {a}: {e}"));
+                return;
+            }
+        }
+    }
+    let mut m = c.machine();
+    m.fuel_per_run = shared.config.run_fuel;
+    let value = match m.run(entry, &values) {
+        Ok(v) => v.to_string(),
+        Err(t) => format!("trap: {t}"),
+    };
+    resp.body = Body::Run { value };
+}

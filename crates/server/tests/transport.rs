@@ -1,0 +1,123 @@
+//! Transport-level integration: TCP pipelining, the stdio child
+//! process, and tenant authentication.
+
+use s1lisp_server::{Body, CompileServer, Op, ServeClient, ServerConfig, ServerHandle};
+
+fn start(config: ServerConfig) -> ServerHandle {
+    CompileServer::new(config)
+        .serve_tcp(0)
+        .expect("bind an ephemeral port")
+}
+
+fn connect(handle: &ServerHandle) -> ServeClient {
+    ServeClient::connect(&format!("127.0.0.1:{}", handle.port())).expect("connect")
+}
+
+#[test]
+fn tcp_pipelines_and_matches_out_of_order_responses() {
+    let handle = start(ServerConfig::default());
+    let mut client = connect(&handle);
+    assert!(client.hello("alice", None).unwrap().ok);
+    // Pipeline three requests, then collect them newest-first: the
+    // client must match by id, not arrival order.
+    let c1 = client
+        .send(Op::Compile {
+            unit: "u1".into(),
+            source: "(defun inc (x) (+ x 1))".into(),
+        })
+        .unwrap();
+    let c2 = client
+        .send(Op::Run {
+            entry: "inc".into(),
+            args: vec!["41".into()],
+        })
+        .unwrap();
+    let c3 = client.send(Op::Ping).unwrap();
+    let ping = client.recv_id(c3).unwrap();
+    let run = client.recv_id(c2).unwrap();
+    let compile = client.recv_id(c1).unwrap();
+    assert!(ping.ok && run.ok && compile.ok);
+    assert_eq!(run.body, Body::Run { value: "42".into() });
+    let Body::Compile { artifacts, .. } = &compile.body else {
+        panic!("compile body expected, got {compile:?}");
+    };
+    assert_eq!(artifacts.len(), 1);
+    assert_eq!(artifacts[0].name, "inc");
+    // Every response carries the SLO surface.
+    for resp in [&ping, &run, &compile] {
+        assert!(!resp.slo.degraded);
+        assert!(resp.slo.incident_kind.is_none());
+    }
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn tcp_serves_two_connections_concurrently() {
+    let handle = start(ServerConfig::default());
+    let port = handle.port();
+    let threads: Vec<_> = ["alice", "bob"]
+        .into_iter()
+        .map(|tenant| {
+            std::thread::spawn(move || {
+                let mut client = ServeClient::connect(&format!("127.0.0.1:{port}")).unwrap();
+                assert!(client.hello(tenant, None).unwrap().ok);
+                for i in 0..4 {
+                    let resp = client
+                        .compile(
+                            &format!("{tenant}-{i}"),
+                            &format!("(defun f{i} (x) (* x {i}))"),
+                        )
+                        .unwrap();
+                    assert!(resp.ok, "{tenant} unit {i}: {:?}", resp.error);
+                    assert_eq!(resp.tenant, tenant);
+                }
+                let resp = client.run("f3", &["5"]).unwrap();
+                assert_eq!(resp.body, Body::Run { value: "15".into() });
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("client thread");
+    }
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn allowlist_rejects_bad_tokens_and_unknown_tenants() {
+    let handle = start(ServerConfig {
+        tenants: Some(vec![("alice".into(), "s3cret".into())]),
+        ..ServerConfig::default()
+    });
+    let mut client = connect(&handle);
+    assert!(!client.hello("alice", None).unwrap().ok, "missing token");
+    assert!(!client.hello("alice", Some("wrong")).unwrap().ok);
+    assert!(!client.hello("mallory", Some("s3cret")).unwrap().ok);
+    // Unauthenticated requests are refused at the connection.
+    let refused = client.ping().unwrap();
+    assert!(!refused.ok);
+    assert_eq!(refused.error.as_deref(), Some("say hello first"));
+    assert!(client.hello("alice", Some("s3cret")).unwrap().ok);
+    assert!(client.ping().unwrap().ok);
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn stdio_child_round_trips_and_exits_cleanly() {
+    let mut client =
+        ServeClient::spawn_stdio(env!("CARGO_BIN_EXE_serve"), &[]).expect("spawn serve --stdio");
+    assert!(client.hello("ci", None).unwrap().ok);
+    let compile = client.compile("smoke", "(defun dbl (x) (+ x x))").unwrap();
+    assert!(compile.ok);
+    let run = client.run("dbl", &["21"]).unwrap();
+    assert_eq!(run.body, Body::Run { value: "42".into() });
+    let explain = client.explain("dbl").unwrap();
+    let Body::Explain { dossier } = &explain.body else {
+        panic!("explain body expected");
+    };
+    assert!(dossier.contains("dbl"));
+    assert!(client.shutdown().unwrap().ok);
+    assert!(client.wait_exit().unwrap(), "server exited nonzero");
+}

@@ -227,6 +227,18 @@ impl MetricsRegistry {
             .clone()
     }
 
+    /// A name-prefixing view: `scoped("server.tenant.alice")` hands out
+    /// the same get-or-create handles as the registry itself, with every
+    /// name spelled `<prefix>.<name>`.  This is how per-entity metric
+    /// families (the compile server's per-tenant request counters) stay
+    /// on one registry without every call site re-assembling names.
+    pub fn scoped(&self, prefix: &str) -> ScopedMetrics<'_> {
+        ScopedMetrics {
+            registry: self,
+            prefix: prefix.to_string(),
+        }
+    }
+
     /// Freezes every registered metric, names sorted within each kind.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let inner = self.inner.lock().expect("metrics lock");
@@ -247,6 +259,33 @@ impl MetricsRegistry {
                 .map(|(k, v)| (k.clone(), v.snapshot()))
                 .collect(),
         }
+    }
+}
+
+/// A registry view that prefixes every metric name (see
+/// [`MetricsRegistry::scoped`]).  Handles are the registry's own; the
+/// view adds nothing but the spelling.
+pub struct ScopedMetrics<'a> {
+    registry: &'a MetricsRegistry,
+    prefix: String,
+}
+
+impl ScopedMetrics<'_> {
+    /// The counter named `<prefix>.<name>`, created on first use.
+    pub fn counter(&self, name: &str) -> Counter {
+        self.registry.counter(&format!("{}.{name}", self.prefix))
+    }
+
+    /// The gauge named `<prefix>.<name>`, created on first use.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.registry.gauge(&format!("{}.{name}", self.prefix))
+    }
+
+    /// The histogram named `<prefix>.<name>`, created with `bounds` on
+    /// first use.
+    pub fn histogram(&self, name: &str, bounds: &[u64]) -> Histogram {
+        self.registry
+            .histogram(&format!("{}.{name}", self.prefix), bounds)
     }
 }
 
@@ -580,6 +619,26 @@ mod tests {
         let snap = reg.snapshot();
         assert_eq!(snap.counter("jobs"), Some(4_000));
         assert_eq!(snap.histogram("lat_us").unwrap().count, 4_000);
+    }
+
+    #[test]
+    fn scoped_metrics_prefix_and_share_the_registry() {
+        let reg = MetricsRegistry::new();
+        let tenant = reg.scoped("server.tenant.alice");
+        tenant.counter("requests").add(2);
+        tenant.gauge("depth").set(7);
+        tenant.histogram("wait_us", &[10, 100]).observe(50);
+        // The scoped handles are the same instruments as the fully
+        // qualified names — not a parallel family.
+        reg.counter("server.tenant.alice.requests").inc();
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("server.tenant.alice.requests"), Some(3));
+        assert_eq!(snap.gauge("server.tenant.alice.depth"), Some(7));
+        assert_eq!(
+            snap.histogram("server.tenant.alice.wait_us").unwrap().count,
+            1
+        );
+        assert_eq!(snap.counter("requests"), None, "no unprefixed leak");
     }
 
     #[test]

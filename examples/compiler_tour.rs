@@ -208,4 +208,51 @@ fn main() {
     let text = trace.to_string();
     println!("{} events, {} bytes; first 200 bytes:", events, text.len());
     println!("{}…", &text[..text.len().min(200)]);
+
+    // The closing act: the whole pipeline as a resident service.  An
+    // in-process daemon, two tenants whose namespaces disagree about
+    // whether `cell` is special, and an SLO verdict on every response.
+    println!("\n=== the compile server: two tenants, one daemon ===\n");
+    use s1lisp_server::{CompileServer, ServeClient, ServerConfig};
+    let handle = CompileServer::new(ServerConfig::default())
+        .serve_tcp(0)
+        .expect("bind an ephemeral port");
+    let addr = format!("127.0.0.1:{}", handle.port());
+    let shared = "(defun poke (x) (let ((cell (+ x 21))) (* cell 2)))";
+
+    let mut alpha = ServeClient::connect(&addr).expect("connect");
+    alpha.hello("alpha", None).expect("hello");
+    alpha
+        .compile("decls", "(proclaim (quote (special cell)))")
+        .expect("proclaim");
+    let a = alpha.compile("lib", shared).expect("compile");
+
+    let mut beta = ServeClient::connect(&addr).expect("connect");
+    beta.hello("beta", None).expect("hello");
+    let b = beta.compile("lib", shared).expect("compile");
+
+    for (who, resp) in [("alpha", &a), ("beta", &b)] {
+        println!(
+            "{who}: ok={} degraded={} queue_wait_us={} wall_us={}",
+            resp.ok, resp.slo.degraded, resp.slo.queue_wait_us, resp.slo.wall_us
+        );
+    }
+    let assembly = |r: &s1lisp_server::Response| match &r.body {
+        s1lisp_server::Body::Compile { artifacts, .. } => artifacts[0].assembly.clone(),
+        _ => unreachable!("compile response"),
+    };
+    assert_ne!(
+        assembly(&a),
+        assembly(&b),
+        "alpha proclaimed cell special; its poke deep-binds where beta's is lexical"
+    );
+    let run = alpha.run("poke", &["0"]).expect("run");
+    println!(
+        "alpha (run poke 0) => {:?}  [same value from beta: {:?}]",
+        run.body,
+        beta.run("poke", &["0"]).expect("run").body
+    );
+    handle.shutdown();
+    handle.join();
+    println!("daemon drained and joined cleanly");
 }
