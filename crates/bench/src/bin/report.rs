@@ -22,6 +22,8 @@
 //! directory and the second run reports `hit_rate=100%`);
 //! `serve` runs a scripted two-tenant session against an in-process
 //! compile-server daemon and records every wire response;
+//! `durability` runs a scripted crash drill — a durable burst, a torn
+//! journal tail, a mid-log bit flip — and records the recovery verdict;
 //! `service-fault` demonstrates the degraded path with an injected
 //! optimizer panic; `guard` runs the guarded batch under a seeded
 //! deterministic fault storm (phase validators, cache fault injection,
@@ -133,6 +135,7 @@ fn main() {
                     "trap" => Some(s1lisp_bench::trap_record()),
                     "metrics" => Some(s1lisp_bench::metrics_record()),
                     "serve" => Some(s1lisp_bench::serve_record()),
+                    "durability" => Some(s1lisp_bench::durability_record()),
                     "service" => Some(s1lisp_bench::service_record(jobs, cache_dir.clone())),
                     "service-fault" | "guard" | "guard-miscompile" => {
                         // Injected panics are the record's subject;
@@ -151,7 +154,8 @@ fn main() {
                 };
                 if rec.is_none() {
                     eprintln!(
-                        "unknown experiment {id} (want e1..e12, trap, serve, service, or guard)"
+                        "unknown experiment {id} (want e1..e12, trap, serve, durability, \
+                         service, or guard)"
                     );
                 }
                 rec

@@ -7,6 +7,7 @@
 //! same workloads live in the Criterion bench (`cargo bench`).
 
 pub mod corpus;
+pub mod durability;
 pub mod experiments;
 pub mod explain;
 pub mod flame;
@@ -17,6 +18,7 @@ pub mod perfbench;
 pub mod serve;
 pub mod service;
 
+pub use durability::durability_record;
 pub use experiments::{all_experiments, run_experiment, Experiment};
 pub use explain::{corpus_functions, explain_function};
 pub use flame::{batch_events, chrome_trace, flame_report};

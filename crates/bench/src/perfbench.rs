@@ -282,28 +282,73 @@ fn serve_burst(port: u16, clients: usize, per_client: usize) -> (u64, Vec<u64>, 
     (elapsed_us(start), latencies, rejected)
 }
 
-/// Times `trials` serve bursts (a fresh daemon each, after `warmup`
-/// untimed bursts) at one client count and returns the serve row:
-/// sustained requests/sec over the burst and per-request p90 latency.
+/// Nearest-rank p90 over a merged `(bound, count)` histogram; an
+/// observation that fell past the last bound reports that bound (the
+/// histogram cannot resolve further).
+fn histogram_p90(buckets: &[(u64, u64)], overflow: u64) -> u64 {
+    let total: u64 = buckets.iter().map(|&(_, n)| n).sum::<u64>() + overflow;
+    if total == 0 {
+        return 0;
+    }
+    let rank = (90 * total).div_ceil(100).max(1);
+    let mut cum = 0;
+    for &(bound, n) in buckets {
+        cum += n;
+        if cum >= rank {
+            return bound;
+        }
+    }
+    buckets.last().map_or(0, |&(b, _)| b)
+}
+
+/// Times `trials` serve bursts (a fresh *durable* daemon each, after
+/// `warmup` untimed bursts) at one client count and returns the serve
+/// row: sustained requests/sec over the burst, per-request p90 latency,
+/// and the write-ahead-journal overhead columns (every client's
+/// namespace compile is journaled + fsynced before its ack).
 fn run_serve_load(clients: usize, warmup: usize, trials: usize) -> Json {
     let per_client = SERVE_REQUESTS_PER_CLIENT;
     let requests = (clients * per_client) as u64;
     let mut per_sec = Vec::with_capacity(trials);
     let mut latencies = Vec::new();
     let mut rejected = 0;
+    let mut journal_appends = 0u64;
+    let mut append_buckets: Vec<(u64, u64)> = Vec::new();
+    let mut append_overflow = 0u64;
     for phase in 0..warmup + trials {
-        let handle = CompileServer::new(ServerConfig::default())
-            .serve_tcp(0)
-            .expect("bind an ephemeral port");
+        let state_dir = std::env::temp_dir().join(format!(
+            "s1lisp-perfserve-{}-c{clients}-p{phase}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&state_dir);
+        let handle = CompileServer::new(ServerConfig {
+            state_dir: Some(state_dir.clone()),
+            ..ServerConfig::default()
+        })
+        .serve_tcp(0)
+        .expect("bind an ephemeral port");
         let (wall_us, lat, rej) = serve_burst(handle.port(), clients, per_client);
+        let snapshot = handle.metrics_snapshot();
         handle.shutdown();
         handle.join();
+        let _ = std::fs::remove_dir_all(&state_dir);
         if phase < warmup {
             continue;
         }
         per_sec.push(requests * 1_000_000 / wall_us);
         latencies.extend(lat);
         rejected += rej;
+        journal_appends += snapshot.counter("server.journal.appends").unwrap_or(0);
+        if let Some(h) = snapshot.histogram("server.journal.append_us") {
+            if append_buckets.is_empty() {
+                append_buckets = h.buckets.clone();
+            } else {
+                for (acc, fresh) in append_buckets.iter_mut().zip(&h.buckets) {
+                    acc.1 += fresh.1;
+                }
+            }
+            append_overflow += h.overflow;
+        }
     }
     let (median_ps, _) = stats(&per_sec);
     obj(vec![
@@ -312,6 +357,11 @@ fn run_serve_load(clients: usize, warmup: usize, trials: usize) -> Json {
         ("median_requests_per_sec", Json::uint(median_ps)),
         ("p90_latency_us", Json::uint(percentile(&latencies, 90))),
         ("rejected", Json::uint(rejected)),
+        ("journal_appends", Json::uint(journal_appends)),
+        (
+            "journal_append_p90_us",
+            Json::uint(histogram_p90(&append_buckets, append_overflow)),
+        ),
     ])
 }
 
@@ -590,7 +640,8 @@ pub fn summarize_entry(entry: &Json) -> String {
             let _ = writeln!(
                 out,
                 "  clients={clients} requests={} median_requests_per_sec={} \
-                 p90_latency_us={} rejected={}",
+                 p90_latency_us={} rejected={} journal_appends={} \
+                 journal_append_p90_us={}",
                 row.get("requests").and_then(Json::as_int).unwrap_or(0),
                 row.get("median_requests_per_sec")
                     .and_then(Json::as_int)
@@ -599,6 +650,12 @@ pub fn summarize_entry(entry: &Json) -> String {
                     .and_then(Json::as_int)
                     .unwrap_or(0),
                 row.get("rejected").and_then(Json::as_int).unwrap_or(0),
+                row.get("journal_appends")
+                    .and_then(Json::as_int)
+                    .unwrap_or(0),
+                row.get("journal_append_p90_us")
+                    .and_then(Json::as_int)
+                    .unwrap_or(0),
             );
         } else {
             let _ = writeln!(
@@ -635,6 +692,17 @@ mod tests {
         assert_eq!(percentile(&series, 90), 50);
         assert_eq!(percentile(&[7], 50), 7);
         assert_eq!(percentile(&[7], 90), 7);
+    }
+
+    #[test]
+    fn histogram_p90_walks_merged_buckets() {
+        assert_eq!(histogram_p90(&[], 0), 0);
+        assert_eq!(histogram_p90(&[(10, 10)], 0), 10);
+        assert_eq!(histogram_p90(&[(10, 1), (100, 9)], 0), 100);
+        assert_eq!(histogram_p90(&[(10, 9), (100, 1)], 0), 10);
+        // A p90 that lands in the overflow reports the last bound the
+        // histogram can resolve.
+        assert_eq!(histogram_p90(&[(10, 1)], 99), 10);
     }
 
     #[test]

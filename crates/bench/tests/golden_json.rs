@@ -8,8 +8,8 @@
 //! must be a deliberate schema bump.
 
 use s1lisp_bench::{
-    guard_miscompile_record, guard_record, json_record, metrics_record, passes_record, perfbench,
-    serve_record, service_fault_record, service_record, trap_record,
+    durability_record, guard_miscompile_record, guard_record, json_record, metrics_record,
+    passes_record, perfbench, serve_record, service_fault_record, service_record, trap_record,
 };
 use s1lisp_trace::json::{self, Json};
 
@@ -24,6 +24,7 @@ const METRICS_GOLDEN: &str = include_str!("golden/metrics_schema.txt");
 const PERFBENCH_SIM_GOLDEN: &str = include_str!("golden/perfbench_sim_schema.txt");
 const PERFBENCH_SERVICE_GOLDEN: &str = include_str!("golden/perfbench_service_schema.txt");
 const SERVE_GOLDEN: &str = include_str!("golden/serve_schema.txt");
+const DURABILITY_GOLDEN: &str = include_str!("golden/durability_schema.txt");
 
 /// Dynamic maps in a record are int-valued histograms; an *empty* one
 /// carries no value type, so pad it with a sentinel entry before
@@ -123,6 +124,17 @@ fn serve_record_schema_matches_golden() {
     // (success, auth refusal, unknown-function error, run, explain,
     // ping, shutdown) plus the server counters, pinned as one record.
     check_schema(serve_record(), SERVE_GOLDEN, "serve_schema.txt");
+}
+
+#[test]
+fn durability_record_schema_matches_golden() {
+    // The crash drill: a durable burst, a torn tail, a mid-log flip,
+    // and the recovery verdict with both lifetimes' counters.
+    check_schema(
+        durability_record(),
+        DURABILITY_GOLDEN,
+        "durability_schema.txt",
+    );
 }
 
 #[test]

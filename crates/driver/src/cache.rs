@@ -37,15 +37,14 @@ use std::io;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
 use s1lisp::Artifact;
 use s1lisp_trace::fault::{FaultPlan, FaultSite};
 use s1lisp_trace::json;
 use s1lisp_trace::metrics::{Counter, Histogram, MetricsRegistry, TIME_BUCKETS_US};
 
-/// Attempts per disk I/O operation (1 initial + retries).
-pub const IO_ATTEMPTS: u32 = 3;
+use crate::fsio::{self, IO_ATTEMPTS};
 
 /// Consecutive exhausted-retry failures that disable the disk tier.
 pub const DISK_STRIKE_LIMIT: u64 = 4;
@@ -227,10 +226,6 @@ impl ArtifactCache {
         })
     }
 
-    fn backoff(attempt: u32) -> Duration {
-        Duration::from_micros(50 << attempt)
-    }
-
     /// A completed disk operation (success or clean not-found) clears
     /// the strike count.
     fn note_disk_ok(&self) {
@@ -290,34 +285,32 @@ impl ArtifactCache {
     fn disk_get(&self, key: u64) -> Option<Artifact> {
         let path = self.disk_path(key)?;
         let doomed = self.injected_failures(FaultSite::CacheRead, key);
-        let mut text = None;
-        for attempt in 0..IO_ATTEMPTS {
-            let read = if attempt < doomed {
-                Err(io::Error::other("injected fault: cache read I/O error"))
-            } else {
-                std::fs::read_to_string(&path)
-            };
-            match read {
-                Ok(t) => {
-                    self.note_disk_ok();
-                    text = Some(t);
-                    break;
+        // An absent entry maps to `Ok(None)` — a clean miss is not a
+        // failure and must not burn retries.
+        let read = fsio::with_io_retries(
+            IO_ATTEMPTS,
+            || self.io_retries.inc(),
+            |attempt| {
+                if attempt < doomed {
+                    return Err(io::Error::other("injected fault: cache read I/O error"));
                 }
-                // An absent entry is a clean miss, not an I/O failure.
-                Err(e) if e.kind() == io::ErrorKind::NotFound => {
-                    self.note_disk_ok();
-                    return None;
+                match std::fs::read_to_string(&path) {
+                    Ok(t) => Ok(Some(t)),
+                    Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+                    Err(e) => Err(e),
                 }
-                Err(_) if attempt + 1 < IO_ATTEMPTS => {
-                    self.io_retries.inc();
-                    std::thread::sleep(Self::backoff(attempt));
-                }
-                Err(_) => {
-                    self.note_disk_error();
-                    return None;
-                }
+            },
+        );
+        let text = match read {
+            Ok(t) => {
+                self.note_disk_ok();
+                t
             }
-        }
+            Err(_) => {
+                self.note_disk_error();
+                return None;
+            }
+        };
         let mut text = text?;
         if let Some(plan) = &self.fault_plan {
             if plan.fires(FaultSite::CacheCorrupt, &format!("{key:016x}")) {
@@ -350,34 +343,28 @@ impl ArtifactCache {
         let Some(path) = self.disk_path(key) else {
             return;
         };
-        // Temp-then-rename keeps a concurrent reader (or a second
-        // process warming from the same directory) from ever seeing a
-        // half-written entry.
-        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
         let body = artifact.to_json().to_string();
         let doomed = self.injected_failures(FaultSite::CacheWrite, key);
-        for attempt in 0..IO_ATTEMPTS {
-            let wrote = if attempt < doomed {
-                Err(io::Error::other("injected fault: cache write I/O error"))
-            } else {
-                std::fs::write(&tmp, &body).and_then(|()| std::fs::rename(&tmp, &path))
-            };
-            match wrote {
-                Ok(()) => {
-                    self.note_disk_ok();
-                    self.sweep_disk();
-                    return;
+        // Temp-then-rename (via the shared discipline) keeps a
+        // concurrent reader (or a second process warming from the same
+        // directory) from ever seeing a half-written entry.  No fsync:
+        // a cache entry lost to a crash is just a future miss.
+        let wrote = fsio::with_io_retries(
+            IO_ATTEMPTS,
+            || self.io_retries.inc(),
+            |attempt| {
+                if attempt < doomed {
+                    return Err(io::Error::other("injected fault: cache write I/O error"));
                 }
-                Err(_) if attempt + 1 < IO_ATTEMPTS => {
-                    self.io_retries.inc();
-                    std::thread::sleep(Self::backoff(attempt));
-                }
-                Err(_) => {
-                    let _ = std::fs::remove_file(&tmp);
-                    self.note_disk_error();
-                    return;
-                }
+                fsio::atomic_write(&path, body.as_bytes(), false)
+            },
+        );
+        match wrote {
+            Ok(()) => {
+                self.note_disk_ok();
+                self.sweep_disk();
             }
+            Err(_) => self.note_disk_error(),
         }
     }
 

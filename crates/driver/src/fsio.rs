@@ -1,0 +1,160 @@
+//! The shared durable-write discipline.
+//!
+//! The artifact cache (PR 3/4) established how this workspace touches
+//! disk: temp-then-rename so no reader ever sees a half-written file,
+//! bounded retries with a short deterministic backoff so transient
+//! failures stay transient, and strike-out accounting at the call site
+//! so persistent failures degrade a tier instead of failing work.  The
+//! compile server's write-ahead journal needs exactly the same
+//! discipline — plus `fsync`, which a cache can skip (a lost cache
+//! entry is a miss; a lost journal record is a lost acknowledgement).
+//! This module is that discipline extracted once, shared by both.
+
+use std::fs::File;
+use std::io::{self, Write};
+use std::path::Path;
+use std::time::Duration;
+
+/// Attempts per disk I/O operation (1 initial + retries).
+pub const IO_ATTEMPTS: u32 = 3;
+
+/// The deterministic backoff before retry `attempt` (0-based):
+/// 50 µs, 100 µs, 200 µs, …
+pub fn io_backoff(attempt: u32) -> Duration {
+    Duration::from_micros(50 << attempt)
+}
+
+/// Runs `op` up to `attempts` times, sleeping [`io_backoff`] between
+/// tries and calling `on_retry` once per retry (so callers can count
+/// them).  The closure receives the 0-based attempt index, which is how
+/// fault plans doom a deterministic prefix of attempts.
+///
+/// # Errors
+///
+/// The last attempt's error once every retry is exhausted.
+pub fn with_io_retries<T>(
+    attempts: u32,
+    mut on_retry: impl FnMut(),
+    mut op: impl FnMut(u32) -> io::Result<T>,
+) -> io::Result<T> {
+    let mut attempt = 0;
+    loop {
+        match op(attempt) {
+            Ok(v) => return Ok(v),
+            Err(e) if attempt + 1 >= attempts.max(1) => return Err(e),
+            Err(_) => {
+                on_retry();
+                std::thread::sleep(io_backoff(attempt));
+                attempt += 1;
+            }
+        }
+    }
+}
+
+/// Writes `bytes` to `path` atomically: the bytes land in a
+/// process-unique temp file first and are renamed into place, so a
+/// concurrent reader (or a crashed writer) never leaves a half-written
+/// file at `path`.  With `durable` set the file is fsynced before the
+/// rename and the containing directory after it — the write has reached
+/// stable storage when this returns.  On failure the temp file is
+/// removed.
+///
+/// # Errors
+///
+/// The first failing step (create, write, sync, or rename).
+pub fn atomic_write(path: &Path, bytes: &[u8], durable: bool) -> io::Result<()> {
+    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+    let result = (|| {
+        let mut f = File::create(&tmp)?;
+        f.write_all(bytes)?;
+        if durable {
+            f.sync_all()?;
+        }
+        drop(f);
+        std::fs::rename(&tmp, path)?;
+        if durable {
+            sync_parent_dir(path)?;
+        }
+        Ok(())
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+/// Fsyncs the directory containing `path`, making a just-renamed entry
+/// durable.  A no-op when `path` has no parent.
+///
+/// # Errors
+///
+/// Propagates the open or sync failure.
+pub fn sync_parent_dir(path: &Path) -> io::Result<()> {
+    match path.parent() {
+        Some(dir) if !dir.as_os_str().is_empty() => File::open(dir)?.sync_all(),
+        _ => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("s1lisp-fsio-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn atomic_write_replaces_and_leaves_no_temp() {
+        let dir = tempdir("atomic");
+        let path = dir.join("state.json");
+        atomic_write(&path, b"one", false).unwrap();
+        atomic_write(&path, b"two", true).unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"two");
+        let stray = std::fs::read_dir(&dir).unwrap().count();
+        assert_eq!(stray, 1, "temp files must not linger");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failed_write_cleans_up_its_temp() {
+        let dir = tempdir("fail");
+        // The destination's parent does not exist: create fails.
+        let path = dir.join("missing").join("state.json");
+        assert!(atomic_write(&path, b"x", false).is_err());
+        assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn retries_are_counted_and_doom_prefixes_resolve() {
+        let mut retries = 0;
+        let out = with_io_retries(
+            IO_ATTEMPTS,
+            || retries += 1,
+            |attempt| {
+                if attempt < 2 {
+                    Err(io::Error::other("doomed"))
+                } else {
+                    Ok(attempt)
+                }
+            },
+        )
+        .unwrap();
+        assert_eq!(out, 2);
+        assert_eq!(retries, 2);
+        // All attempts doomed: the last error surfaces.
+        let mut retries = 0;
+        let out: io::Result<()> = with_io_retries(
+            IO_ATTEMPTS,
+            || retries += 1,
+            |_| Err(io::Error::other("doomed")),
+        );
+        assert!(out.is_err());
+        assert_eq!(retries, IO_ATTEMPTS as usize - 1);
+    }
+}

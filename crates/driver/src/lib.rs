@@ -45,6 +45,7 @@
 #![warn(missing_docs)]
 
 mod cache;
+pub mod fsio;
 mod service;
 
 pub use cache::{ArtifactCache, CacheStats};

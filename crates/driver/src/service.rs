@@ -89,6 +89,10 @@ pub enum IncidentKind {
     /// The differential oracle caught the optimized artifact computing
     /// a different answer than the reference compile.
     Miscompile,
+    /// A durable-state recovery fault: the compile server found a
+    /// tenant's on-disk snapshot or journal corrupted mid-log and
+    /// quarantined the tenant to a fresh namespace.
+    Recovery,
 }
 
 impl IncidentKind {
@@ -99,6 +103,7 @@ impl IncidentKind {
             IncidentKind::Timeout => "timeout",
             IncidentKind::Guard => "guard",
             IncidentKind::Miscompile => "miscompile",
+            IncidentKind::Recovery => "recovery",
         }
     }
 }

@@ -4,15 +4,61 @@
 //! responses by id, buffering any that arrive out of order — so the
 //! simple `call`-style methods compose with explicit pipelining
 //! ([`ServeClient::send`] many, then [`ServeClient::recv_id`] each).
+//!
+//! The `call`-style methods honor the server's backpressure hints: a
+//! rejection with `retry_after_ms` is retried with capped exponential
+//! backoff and seeded jitter (so a burst of rejected clients
+//! decorrelates instead of stampeding back in lockstep) until a
+//! bounded [`RetryPolicy::budget`] is exhausted, and only then
+//! surfaced.  The raw [`ServeClient::send`]/[`ServeClient::recv_id`]
+//! pipelining API never retries — backpressure tests watch rejections
+//! through it.
 
 use std::collections::HashMap;
 use std::io::{self, Read, Write};
 use std::net::TcpStream;
 use std::process::{Child, Command, Stdio};
+use std::time::Duration;
 
 use s1lisp_trace::json;
+use s1lisp_trace::rng::SplitMix64;
 
 use crate::proto::{read_frame, write_frame, Op, Request, Response};
+
+/// How `call`-style methods respond to backpressure rejections.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries before a rejection is surfaced to the caller.
+    pub budget: u32,
+    /// Ceiling on any single backoff sleep, in milliseconds.
+    pub cap_ms: u64,
+    /// Seed for the jitter stream — same seed, same backoff schedule.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            budget: 6,
+            cap_ms: 400,
+            seed: 0x5eed_c11e,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The sleep before retry `attempt` (0-based) of a request the
+    /// server asked to delay by `hint_ms`: exponential growth from the
+    /// hint, capped, then jittered into `[base/2, base]` so rejected
+    /// clients decorrelate.  Pure — the schedule replays from the seed.
+    pub fn backoff_ms(&self, attempt: u32, hint_ms: u64, rng: &mut SplitMix64) -> u64 {
+        let base = hint_ms
+            .max(1)
+            .saturating_mul(1 << attempt.min(10))
+            .min(self.cap_ms.max(1));
+        base / 2 + rng.below(base / 2 + 1)
+    }
+}
 
 /// A connected client.
 pub struct ServeClient {
@@ -21,6 +67,9 @@ pub struct ServeClient {
     child: Option<Child>,
     next_id: u64,
     pending: HashMap<u64, Response>,
+    retry: Option<RetryPolicy>,
+    rng: SplitMix64,
+    retries: u64,
 }
 
 fn protocol_error(detail: impl Into<String>) -> io::Error {
@@ -36,13 +85,7 @@ impl ServeClient {
     pub fn connect(addr: &str) -> io::Result<ServeClient> {
         let stream = TcpStream::connect(addr)?;
         let r = stream.try_clone()?;
-        Ok(ServeClient {
-            r: Box::new(r),
-            w: Box::new(stream),
-            child: None,
-            next_id: 0,
-            pending: HashMap::new(),
-        })
+        Ok(ServeClient::from_parts(Box::new(r), Box::new(stream), None))
     }
 
     /// Spawns `cmd args... --stdio` as a child process and speaks the
@@ -66,13 +109,44 @@ impl ServeClient {
             .stdout
             .take()
             .ok_or_else(|| protocol_error("no stdout"))?;
-        Ok(ServeClient {
-            r: Box::new(r),
-            w: Box::new(w),
-            child: Some(child),
+        Ok(ServeClient::from_parts(
+            Box::new(r),
+            Box::new(w),
+            Some(child),
+        ))
+    }
+
+    fn from_parts(
+        r: Box<dyn Read + Send>,
+        w: Box<dyn Write + Send>,
+        child: Option<Child>,
+    ) -> ServeClient {
+        let retry = RetryPolicy::default();
+        ServeClient {
+            r,
+            w,
+            child,
             next_id: 0,
             pending: HashMap::new(),
-        })
+            rng: SplitMix64::new(retry.seed),
+            retry: Some(retry),
+            retries: 0,
+        }
+    }
+
+    /// Replaces the backpressure retry policy (`None` surfaces raw
+    /// rejections, the pre-durability behavior).  Reseeds the jitter
+    /// stream.
+    pub fn set_retry_policy(&mut self, policy: Option<RetryPolicy>) {
+        if let Some(p) = &policy {
+            self.rng = SplitMix64::new(p.seed);
+        }
+        self.retry = policy;
+    }
+
+    /// Backoff retries performed so far (for fairness tests).
+    pub fn retries(&self) -> u64 {
+        self.retries
     }
 
     /// Sends a request without waiting; returns its id for
@@ -121,8 +195,19 @@ impl ServeClient {
     }
 
     fn call(&mut self, op: Op) -> io::Result<Response> {
-        let id = self.send(op)?;
-        self.recv_id(id)
+        let mut attempt = 0u32;
+        loop {
+            let id = self.send(op.clone())?;
+            let resp = self.recv_id(id)?;
+            let retriable = !resp.ok && resp.retry_after_ms > 0;
+            let Some(policy) = self.retry.filter(|p| retriable && attempt < p.budget) else {
+                return Ok(resp);
+            };
+            let sleep_ms = policy.backoff_ms(attempt, resp.retry_after_ms, &mut self.rng);
+            self.retries += 1;
+            std::thread::sleep(Duration::from_millis(sleep_ms));
+            attempt += 1;
+        }
     }
 
     /// Authenticates this connection to a tenant.
@@ -181,6 +266,16 @@ impl ServeClient {
     /// Transport failures only.
     pub fn ping(&mut self) -> io::Result<Response> {
         self.call(Op::Ping)
+    }
+
+    /// Forces a durable snapshot of the tenant's state; the response's
+    /// `durable` flag reports whether it reached stable storage.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures only.
+    pub fn sync(&mut self) -> io::Result<Response> {
+        self.call(Op::Sync)
     }
 
     /// Asks the server to shut down.

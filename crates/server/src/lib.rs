@@ -20,6 +20,11 @@
 //!   `{degraded, incident_kind, queue_wait_us, wall_us}`; tenants
 //!   accrue an incident budget and are demoted to transformations-off
 //!   compilation once it is exhausted.
+//! * **Durability** ([`journal`]) — with `--state-dir`, every
+//!   namespace mutation is fsynced to a per-tenant write-ahead journal
+//!   before it is acknowledged, snapshots compact the journal, and a
+//!   restarted server recovers every tenant — tolerating torn tails
+//!   and quarantining mid-log corruption — before accepting requests.
 //!
 //! ```no_run
 //! use s1lisp_server::{CompileServer, ServeClient, ServerConfig};
@@ -36,13 +41,15 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod journal;
 pub mod proto;
 pub mod queue;
 pub mod server;
 pub mod tenant;
 
-pub use client::ServeClient;
+pub use client::{RetryPolicy, ServeClient};
+pub use journal::{scan_journal, JournalRecord, JournalScan, TenantJournal, TenantSnapshot};
 pub use proto::{read_frame, write_frame, Body, Op, Request, Response, Slo, WireIncident};
 pub use queue::{AdmissionQueue, QueueConfig, QueueFull};
-pub use server::{CompileServer, ServerConfig, ServerHandle};
-pub use tenant::{TenantRegistry, TenantState};
+pub use server::{CompileServer, ServerConfig, ServerHandle, Stopper};
+pub use tenant::{tenant_fingerprint, TenantRegistry, TenantState};

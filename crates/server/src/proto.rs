@@ -103,6 +103,12 @@ pub enum Op {
         /// The function name.
         name: String,
     },
+    /// Force a durable snapshot of the tenant's state right now
+    /// (normally snapshots happen every `snapshot_every` journaled
+    /// mutations).  The response's `durable` flag reports whether the
+    /// snapshot reached stable storage; on a server without a state
+    /// dir it is simply `false`.
+    Sync,
     /// Liveness probe; serves through the queue like any request.
     Ping,
     /// Stop the server: drain in-flight requests, then exit.
@@ -117,6 +123,7 @@ impl Op {
             Op::Compile { .. } => "compile",
             Op::Run { .. } => "run",
             Op::Explain { .. } => "explain",
+            Op::Sync => "sync",
             Op::Ping => "ping",
             Op::Shutdown => "shutdown",
         }
@@ -162,7 +169,7 @@ impl Request {
                 fields.push(("args", Json::Arr(args.iter().map(Json::str).collect())));
             }
             Op::Explain { name } => fields.push(("name", Json::str(name))),
-            Op::Ping | Op::Shutdown => {}
+            Op::Sync | Op::Ping | Op::Shutdown => {}
         }
         obj(fields)
     }
@@ -212,6 +219,7 @@ impl Request {
                     .collect::<Result<Vec<_>, _>>()?,
             },
             "explain" => Op::Explain { name: s("name")? },
+            "sync" => Op::Sync,
             "ping" => Op::Ping,
             "shutdown" => Op::Shutdown,
             other => return Err(format!("unknown op {other}")),
@@ -319,6 +327,12 @@ pub struct Response {
     /// this many milliseconds from now.  A rejection is a first-class
     /// response — the queue never drops a request silently.
     pub retry_after_ms: u64,
+    /// True when the request's namespace mutation (or an explicit
+    /// `sync`) reached stable storage before this response was framed.
+    /// Always false on a server running without `--state-dir`, on
+    /// non-mutating ops, and when the journal append failed (the
+    /// in-memory serve still succeeded).
+    pub durable: bool,
     /// The per-request SLO verdict.
     pub slo: Slo,
     /// The op-specific payload.
@@ -378,6 +392,7 @@ impl Response {
             ("ok", Json::Bool(self.ok)),
             ("error", self.error.as_ref().map_or(Json::Null, Json::str)),
             ("retry_after_ms", Json::uint(self.retry_after_ms)),
+            ("durable", Json::Bool(self.durable)),
             ("slo", self.slo.to_json()),
             ("compile", compile),
             ("value", value),
@@ -470,6 +485,7 @@ impl Response {
                 .and_then(Json::as_int)
                 .and_then(|n| u64::try_from(n).ok())
                 .unwrap_or(0),
+            durable: j.get("durable").and_then(Json::as_bool).unwrap_or(false),
             slo: j
                 .get("slo")
                 .and_then(Slo::from_json)
@@ -535,6 +551,10 @@ mod tests {
                 op: Op::Ping,
             },
             Request {
+                id: 7,
+                op: Op::Sync,
+            },
+            Request {
                 id: 6,
                 op: Op::Shutdown,
             },
@@ -555,6 +575,7 @@ mod tests {
             ok: false,
             error: Some("queue full".into()),
             retry_after_ms: 25,
+            durable: false,
             slo: Slo {
                 degraded: true,
                 incident_kind: Some("panic".into()),
@@ -566,5 +587,24 @@ mod tests {
         let text = resp.to_json().to_string();
         let parsed = json::parse(&text).expect("well-formed JSON");
         assert_eq!(Response::from_json(&parsed), Ok(resp));
+        // The durability flag survives the wire, and an old-style frame
+        // without it parses as non-durable.
+        let durable = Response {
+            id: 10,
+            op: "sync".into(),
+            tenant: "alice".into(),
+            ok: true,
+            error: None,
+            retry_after_ms: 0,
+            durable: true,
+            slo: Slo::default(),
+            body: Body::None,
+        };
+        let text = durable.to_json().to_string();
+        let parsed = json::parse(&text).expect("well-formed JSON");
+        assert_eq!(Response::from_json(&parsed), Ok(durable));
+        let legacy = text.replace("\"durable\":true,", "");
+        let parsed = json::parse(&legacy).expect("well-formed JSON");
+        assert!(!Response::from_json(&parsed).unwrap().durable);
     }
 }

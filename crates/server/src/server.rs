@@ -30,20 +30,24 @@
 use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU16, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::Instant;
 
 use s1lisp::{Compiler, FaultSite, Value};
-use s1lisp_driver::{unit_decls, BatchTuning, CompileService, ServiceConfig, SourceUnit};
+use s1lisp_driver::{
+    unit_decls, BatchTuning, CompileService, IncidentKind, ServiceConfig, SourceUnit,
+};
 use s1lisp_reader::{read_str, Interner};
 use s1lisp_trace::json;
 use s1lisp_trace::metrics::{MetricsRegistry, TIME_BUCKETS_US};
 
+use crate::journal::{scan_journal, TenantJournal, TenantSnapshot};
 use crate::proto::{read_frame, write_frame, Body, Op, Request, Response, Slo, WireIncident};
 use crate::queue::{AdmissionQueue, QueueConfig};
-use crate::tenant::{TenantRegistry, TenantState};
+use crate::tenant::{tenant_fingerprint, TenantRegistry, TenantState};
 
 /// Server configuration.
 #[derive(Clone, Debug)]
@@ -66,6 +70,13 @@ pub struct ServerConfig {
     /// Tenant allowlist as `(name, token)`; `None` is open enrollment
     /// (any tenant name, no token check).
     pub tenants: Option<Vec<(String, String)>>,
+    /// Root of the durable state tree (`<state_dir>/<tenant_fp>/…`).
+    /// `None` runs the server memory-only: no journals, no recovery,
+    /// every response `durable: false`.
+    pub state_dir: Option<PathBuf>,
+    /// Journaled mutations between automatic snapshots (an explicit
+    /// `sync` request snapshots immediately).  Clamped to at least 1.
+    pub snapshot_every: u64,
 }
 
 impl Default for ServerConfig {
@@ -78,6 +89,8 @@ impl Default for ServerConfig {
             incident_budget: 8,
             run_fuel: 100_000_000,
             tenants: None,
+            state_dir: None,
+            snapshot_every: 8,
         }
     }
 }
@@ -113,22 +126,49 @@ pub struct CompileServer {
 
 impl CompileServer {
     /// Builds a server; serve it with [`CompileServer::serve_tcp`] or
-    /// [`CompileServer::serve_stdio`].
+    /// [`CompileServer::serve_stdio`].  With
+    /// [`ServerConfig::state_dir`] set, every tenant found under it is
+    /// recovered — snapshot loaded, journal tail replayed through the
+    /// compiler, torn tails dropped, corrupted tenants quarantined —
+    /// before this returns, so the server never serves a request
+    /// against half-recovered state.
     pub fn new(config: ServerConfig) -> CompileServer {
         let service = CompileService::new(config.service.clone());
         let metrics = Arc::clone(service.metrics());
         let queue = AdmissionQueue::new(config.queue);
+        let registry = TenantRegistry::new();
+        if let Some(state_dir) = &config.state_dir {
+            recover_tenants(state_dir, &config, &service, &registry, &metrics);
+        }
         CompileServer {
             shared: Arc::new(Shared {
                 config,
                 service,
-                registry: TenantRegistry::new(),
+                registry,
                 queue,
                 metrics,
                 shutdown: AtomicBool::new(false),
                 port: AtomicU16::new(0),
             }),
         }
+    }
+
+    /// The state for a tenant, or `None` if it is unknown — recovery
+    /// drills inspect recovered namespaces through this without (or
+    /// before) serving a transport.
+    pub fn tenant(&self, name: &str) -> Option<Arc<Mutex<TenantState>>> {
+        self.shared.registry.get(name)
+    }
+
+    /// Known (including just-recovered) tenant names, sorted.
+    pub fn tenant_names(&self) -> Vec<String> {
+        self.shared.registry.names()
+    }
+
+    /// A point-in-time metrics snapshot (the `server.recovery.*`
+    /// counters land here during [`CompileServer::new`]).
+    pub fn metrics_snapshot(&self) -> s1lisp_trace::metrics::MetricsSnapshot {
+        self.shared.metrics.snapshot()
     }
 
     /// Binds `127.0.0.1:port` (`0` for an ephemeral port), starts the
@@ -198,10 +238,38 @@ pub struct ServerHandle {
     threads: Vec<JoinHandle<()>>,
 }
 
+/// A cloneable handle that can stop a running server from any thread.
+/// The `serve` binary's signal monitor holds one so SIGTERM/SIGINT
+/// route through the same graceful drain as a `shutdown` request.
+#[derive(Clone)]
+pub struct Stopper {
+    shared: Arc<Shared>,
+}
+
+impl Stopper {
+    /// Stops admissions, unblocks the acceptor, and lets workers drain.
+    pub fn stop(&self) {
+        initiate_shutdown(&self.shared);
+    }
+}
+
 impl ServerHandle {
     /// The bound port.
     pub fn port(&self) -> u16 {
         self.port
+    }
+
+    /// A detached stop handle (see [`Stopper`]).
+    pub fn stopper(&self) -> Stopper {
+        Stopper {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// The state for a tenant of the running server, or `None` if it
+    /// is unknown.
+    pub fn tenant(&self, name: &str) -> Option<Arc<Mutex<TenantState>>> {
+        self.shared.registry.get(name)
     }
 
     /// Initiates shutdown without a client: stops admissions, unblocks
@@ -278,6 +346,7 @@ fn inline_response(id: u64, op: &str, tenant: &str, result: Result<(), String>) 
         ok: result.is_ok(),
         error: result.err(),
         retry_after_ms: 0,
+        durable: false,
         slo: Slo::default(),
         body: Body::None,
     }
@@ -302,7 +371,9 @@ fn serve_frames(shared: &Arc<Shared>, r: &mut impl Read, reply: &Reply) -> io::R
             Op::Hello { tenant, token } => {
                 let verdict = authenticate(&shared.config, tenant, token.as_deref());
                 if verdict.is_ok() {
-                    session = Some((tenant.clone(), shared.registry.get_or_create(tenant)));
+                    let state = shared.registry.get_or_create(tenant);
+                    attach_journal(shared, &state);
+                    session = Some((tenant.clone(), state));
                 }
                 send(reply, &inline_response(req.id, "hello", tenant, verdict));
             }
@@ -395,6 +466,7 @@ fn worker_loop(shared: &Shared) {
                 ok: false,
                 error: Some(format!("request panicked: {detail}")),
                 retry_after_ms: 0,
+                durable: false,
                 slo: Slo {
                     incident_kind: Some("panic".to_string()),
                     ..Slo::default()
@@ -458,14 +530,29 @@ fn process(shared: &Shared, work: &Work) -> Response {
         ok: true,
         error: None,
         retry_after_ms: 0,
+        durable: false,
         slo: Slo::default(),
         body: Body::None,
     };
+    // A quarantined-at-recovery tenant surfaces the loss on its first
+    // response after the restart.
+    let pending_incident = work
+        .tenant
+        .lock()
+        .expect("tenant poisoned")
+        .pending_incident
+        .take();
     match &work.req.op {
         Op::Ping => {
             let st = work.tenant.lock().expect("tenant poisoned");
             resp.tenant = st.name.clone();
             resp.slo.degraded = st.degraded;
+        }
+        Op::Sync => {
+            let mut st = work.tenant.lock().expect("tenant poisoned");
+            resp.tenant = st.name.clone();
+            resp.slo.degraded = st.degraded;
+            resp.durable = snapshot_tenant(&shared.metrics, &mut st);
         }
         Op::Compile { unit, source } => serve_compile(shared, work, unit, source, &mut resp),
         Op::Run { entry, args } => serve_run(shared, work, entry, args, &mut resp),
@@ -489,6 +576,9 @@ fn process(shared: &Shared, work: &Work) -> Response {
             resp.ok = false;
             resp.error = Some("connection-level op reached the queue".to_string());
         }
+    }
+    if resp.slo.incident_kind.is_none() {
+        resp.slo.incident_kind = pending_incident;
     }
     resp
 }
@@ -534,7 +624,7 @@ fn serve_compile(shared: &Shared, work: &Work, unit: &str, source: &str, resp: &
         })
         .collect();
     let any_degraded_artifact = batch.artifacts.iter().any(|a| a.degraded);
-    let tenant_degraded = {
+    let (tenant_degraded, durable) = {
         let mut st = work.tenant.lock().expect("tenant poisoned");
         // Absorb the unit's own declarations (from the *raw* source:
         // the prefix is the tenant's existing state, not news).
@@ -544,8 +634,13 @@ fn serve_compile(shared: &Shared, work: &Work, unit: &str, source: &str, resp: &
             }
             st.globals.extend(globals);
         }
+        let mut durable = false;
         if batch.failures.is_empty() {
             st.sources.push(source.to_string());
+            // The mutation's journal record is fsynced here, before the
+            // worker can frame the success response — the heart of the
+            // durability contract.
+            durable = journal_mutation(shared, &mut st, unit, source);
         }
         for a in &batch.artifacts {
             st.artifacts.insert(a.name.clone(), a.clone());
@@ -554,8 +649,9 @@ fn serve_compile(shared: &Shared, work: &Work, unit: &str, source: &str, resp: &
         if st.incidents >= shared.config.incident_budget {
             st.degraded = true;
         }
-        st.degraded
+        (st.degraded, durable)
     };
+    resp.durable = durable;
     resp.ok = batch.failures.is_empty();
     resp.error = batch
         .failures
@@ -626,4 +722,283 @@ fn serve_run(shared: &Shared, work: &Work, entry: &str, args: &[String], resp: &
         Err(t) => format!("trap: {t}"),
     };
     resp.body = Body::Run { value };
+}
+
+/// Gives a tenant its journal on first contact (recovered tenants
+/// already carry one).  A fresh tenant immediately writes an initial
+/// snapshot so its state directory is self-describing from birth.
+fn attach_journal(shared: &Shared, tenant: &Arc<Mutex<TenantState>>) {
+    let Some(state_dir) = &shared.config.state_dir else {
+        return;
+    };
+    let mut st = tenant.lock().expect("tenant poisoned");
+    if st.journal.is_some() {
+        return;
+    }
+    let plan = shared.config.service.fault_plan.clone();
+    match TenantJournal::open(state_dir, st.fingerprint, plan) {
+        Ok(journal) => {
+            let fresh = !journal.snapshot_path().exists();
+            st.journal = Some(journal);
+            if fresh {
+                snapshot_tenant(&shared.metrics, &mut st);
+            }
+        }
+        Err(_) => {
+            shared.metrics.counter("server.journal.open_errors").inc();
+        }
+    }
+}
+
+/// Appends one acknowledged mutation to the tenant's journal — fsynced
+/// before the caller can frame its success response — and takes a
+/// periodic snapshot.  Returns whether the mutation reached stable
+/// storage (`false` on memory-only servers and after an exhausted
+/// append: the in-memory serve still succeeded, just non-durably).
+fn journal_mutation(shared: &Shared, st: &mut TenantState, unit: &str, source: &str) -> bool {
+    let name = st.name.clone();
+    let appended = {
+        let Some(journal) = st.journal.as_mut() else {
+            return false;
+        };
+        if journal.disabled() {
+            return false;
+        }
+        let start = Instant::now();
+        match journal.append(&name, unit, source) {
+            Ok((_seq, bytes)) => {
+                let m = &shared.metrics;
+                m.counter("server.journal.appends").inc();
+                m.counter("server.journal.bytes").add(bytes as u64);
+                m.histogram("server.journal.append_us", TIME_BUCKETS_US)
+                    .observe(elapsed_us(start));
+                true
+            }
+            Err(_) => {
+                shared.metrics.counter("server.journal.io_errors").inc();
+                false
+            }
+        }
+    };
+    let due = st
+        .journal
+        .as_ref()
+        .is_some_and(|j| j.pending() >= shared.config.snapshot_every.max(1));
+    if appended && due {
+        snapshot_tenant(&shared.metrics, st);
+    }
+    appended
+}
+
+/// Writes the tenant's current state as a durable snapshot and
+/// truncates the journal it absorbs.  Returns success (`false` without
+/// a journal, with a struck-out one, or on a failed write).
+fn snapshot_tenant(metrics: &MetricsRegistry, st: &mut TenantState) -> bool {
+    let Some(journal) = st.journal.as_ref() else {
+        return false;
+    };
+    if journal.disabled() {
+        return false;
+    }
+    let body = TenantSnapshot::of(st, journal.next_seq() - 1)
+        .to_json()
+        .to_string();
+    let journal = st.journal.as_mut().expect("present above");
+    match journal.write_snapshot(&body) {
+        Ok(()) => {
+            metrics.counter("server.journal.snapshots").inc();
+            true
+        }
+        Err(_) => {
+            metrics.counter("server.journal.snapshot_errors").inc();
+            false
+        }
+    }
+}
+
+/// Recovers every tenant directory under `state_dir`, in sorted order
+/// so recovery work (and its metrics) replays deterministically.
+fn recover_tenants(
+    state_dir: &Path,
+    config: &ServerConfig,
+    service: &CompileService,
+    registry: &TenantRegistry,
+    metrics: &MetricsRegistry,
+) {
+    let _ = std::fs::create_dir_all(state_dir);
+    let Ok(listing) = std::fs::read_dir(state_dir) else {
+        return;
+    };
+    let mut dirs: Vec<PathBuf> = listing
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    dirs.sort();
+    for dir in dirs {
+        recover_one(&dir, state_dir, config, service, registry, metrics);
+    }
+}
+
+/// Recovers one tenant directory: snapshot load, journal-tail replay
+/// through the same batch service a live `compile` uses (so recovered
+/// artifacts are byte-identical), then a compacting snapshot.  Torn
+/// tails are dropped and counted; mid-log corruption or an unreadable
+/// snapshot quarantines the tenant.
+fn recover_one(
+    dir: &Path,
+    state_dir: &Path,
+    config: &ServerConfig,
+    service: &CompileService,
+    registry: &TenantRegistry,
+    metrics: &MetricsRegistry,
+) {
+    let plan = config.service.fault_plan.clone();
+    let snapshot = std::fs::read_to_string(dir.join("snapshot.json"))
+        .ok()
+        .and_then(|text| json::parse(&text).ok())
+        .and_then(|j| TenantSnapshot::from_json(&j));
+    let journal_bytes = std::fs::read(dir.join("journal.log")).unwrap_or_default();
+    let Some(snap) = snapshot else {
+        // Unreadable or missing snapshot.  Journal records carry the
+        // tenant name; with one we can quarantine to a fresh namespace,
+        // without one the directory is inert and left untouched.
+        let scan = scan_journal(&journal_bytes, 0, |_| false);
+        match scan.records.first().map(|r| r.tenant.clone()) {
+            Some(name) => quarantine_tenant(dir, &name, config, registry, metrics),
+            None => {
+                metrics.counter("server.recovery.skipped").inc();
+            }
+        }
+        return;
+    };
+    let fp = snap.fingerprint;
+    let scan = scan_journal(&journal_bytes, snap.applied_seq, |idx| {
+        plan.as_ref()
+            .is_some_and(|p| p.fires(FaultSite::JournalCorrupt, &format!("{fp:016x}:{idx}")))
+    });
+    if scan.corrupt {
+        metrics.counter("server.recovery.corrupt_journals").inc();
+        quarantine_tenant(dir, &snap.tenant, config, registry, metrics);
+        return;
+    }
+    if scan.torn_tail {
+        metrics.counter("server.recovery.torn_tails").inc();
+    }
+    metrics
+        .counter("server.recovery.stale_records")
+        .add(scan.stale);
+    let mut st = TenantState {
+        name: snap.tenant.clone(),
+        fingerprint: fp,
+        specials: snap.specials.clone(),
+        globals: snap.globals.clone(),
+        sources: snap.sources.clone(),
+        incidents: snap.incidents,
+        degraded: snap.degraded,
+        ..TenantState::default()
+    };
+    for a in &snap.artifacts {
+        st.artifacts.insert(a.name.clone(), a.clone());
+    }
+    // Replay the tail exactly as serve_compile would have: specials
+    // prefix from the state *before* this record, then absorb its
+    // declarations.
+    let mut last_seq = snap.applied_seq;
+    for rec in &scan.records {
+        last_seq = rec.seq;
+        let full_source = if st.specials.is_empty() {
+            rec.source.clone()
+        } else {
+            format!(
+                "(proclaim (quote (special {})))\n{}",
+                st.specials.join(" "),
+                rec.source
+            )
+        };
+        let units = [SourceUnit::new(&rec.unit, full_source)];
+        let tuning = BatchTuning {
+            key_salt: fp,
+            transformations_off: st.degraded,
+        };
+        let batch = service.compile_batch_with(&units, tuning);
+        if let Ok((specials, globals)) = unit_decls(&rec.source) {
+            for s in specials {
+                st.absorb_special(&s);
+            }
+            st.globals.extend(globals);
+        }
+        if !batch.failures.is_empty() {
+            // The record was acknowledged, so this should not happen
+            // outside a fault storm; count it and keep the rest.
+            metrics.counter("server.recovery.replay_failures").inc();
+            continue;
+        }
+        st.sources.push(rec.source.clone());
+        for a in batch.artifacts {
+            st.artifacts.insert(a.name.clone(), a);
+        }
+        st.incidents += batch.incidents.len() as u64;
+        if st.incidents >= config.incident_budget {
+            st.degraded = true;
+        }
+        metrics.counter("server.recovery.replayed_records").inc();
+    }
+    // Re-attach the journal and compact what was just replayed into a
+    // fresh snapshot, so the next crash recovers from here.
+    match TenantJournal::open(state_dir, fp, plan) {
+        Ok(mut journal) => {
+            journal.set_next_seq(last_seq + 1);
+            st.journal = Some(journal);
+            snapshot_tenant(metrics, &mut st);
+        }
+        Err(_) => {
+            metrics.counter("server.journal.open_errors").inc();
+        }
+    }
+    metrics.counter("server.recovery.tenants").inc();
+    registry.install(st);
+}
+
+/// Quarantines a tenant whose durable state cannot be trusted: the
+/// evidence files are renamed aside (never deleted), the tenant
+/// restarts as a fresh namespace with one `recovery` incident on its
+/// ledger, and its next response carries `incident_kind = "recovery"`.
+fn quarantine_tenant(
+    dir: &Path,
+    name: &str,
+    config: &ServerConfig,
+    registry: &TenantRegistry,
+    metrics: &MetricsRegistry,
+) {
+    for file in ["journal.log", "snapshot.json"] {
+        let src = dir.join(file);
+        if !src.exists() {
+            continue;
+        }
+        for n in 0u32.. {
+            let dst = dir.join(format!("{file}.quarantined-{n}"));
+            if !dst.exists() {
+                let _ = std::fs::rename(&src, &dst);
+                break;
+            }
+        }
+    }
+    let mut st = TenantState {
+        name: name.to_string(),
+        fingerprint: tenant_fingerprint(name),
+        incidents: 1,
+        pending_incident: Some(IncidentKind::Recovery.as_str().to_string()),
+        ..TenantState::default()
+    };
+    if let Some(state_dir) = dir.parent() {
+        let plan = config.service.fault_plan.clone();
+        if let Ok(journal) = TenantJournal::open(state_dir, st.fingerprint, plan) {
+            st.journal = Some(journal);
+            snapshot_tenant(metrics, &mut st);
+        }
+    }
+    metrics.counter("server.recovery.quarantined").inc();
+    metrics.counter("server.recovery.tenants").inc();
+    registry.install(st);
 }

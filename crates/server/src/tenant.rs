@@ -28,6 +28,8 @@ use std::sync::{Arc, Mutex};
 use s1lisp::Artifact;
 use s1lisp_ast::Fnv1a64;
 
+use crate::journal::TenantJournal;
+
 /// Everything the server remembers about one tenant.
 #[derive(Debug, Default)]
 pub struct TenantState {
@@ -55,6 +57,14 @@ pub struct TenantState {
     /// Requests served (including rejected ones), for fairness tests
     /// and per-tenant metrics.
     pub requests: u64,
+    /// The tenant's write-ahead journal, present when the server runs
+    /// with a state dir (attached at `hello` for fresh tenants, during
+    /// recovery for restored ones).
+    pub journal: Option<TenantJournal>,
+    /// An incident kind to surface on the tenant's *next* response —
+    /// how a quarantined-at-recovery tenant learns its history was
+    /// lost (`incident_kind = "recovery"`).
+    pub pending_incident: Option<String>,
 }
 
 impl TenantState {
@@ -117,6 +127,18 @@ impl TenantRegistry {
             .expect("tenant table poisoned")
             .get(name)
             .cloned()
+    }
+
+    /// Installs fully-built state (a recovered or quarantined tenant)
+    /// under its name, replacing any existing entry.
+    pub fn install(&self, state: TenantState) -> Arc<Mutex<TenantState>> {
+        let name = state.name.clone();
+        let arc = Arc::new(Mutex::new(state));
+        self.tenants
+            .lock()
+            .expect("tenant table poisoned")
+            .insert(name, Arc::clone(&arc));
+        arc
     }
 
     /// Tenant names in sorted order.

@@ -1,7 +1,10 @@
 //! Transport-level integration: TCP pipelining, the stdio child
-//! process, and tenant authentication.
+//! process, tenant authentication, backpressure retries, and the
+//! signal-driven graceful drain.
 
-use s1lisp_server::{Body, CompileServer, Op, ServeClient, ServerConfig, ServerHandle};
+use s1lisp_server::{
+    Body, CompileServer, Op, QueueConfig, RetryPolicy, ServeClient, ServerConfig, ServerHandle,
+};
 
 fn start(config: ServerConfig) -> ServerHandle {
     CompileServer::new(config)
@@ -102,6 +105,92 @@ fn allowlist_rejects_bad_tokens_and_unknown_tenants() {
     assert!(client.ping().unwrap().ok);
     handle.shutdown();
     handle.join();
+}
+
+#[test]
+fn backoff_retries_absorb_backpressure_without_starving_anyone() {
+    // A deliberately tiny queue and one worker: four call-style
+    // clients hammering it WILL be rejected with retry hints.  The
+    // client's seeded backoff must absorb every rejection — no caller
+    // sees a raw `queue full` — and fairness means every tenant
+    // finishes its full burst.
+    let handle = start(ServerConfig {
+        workers: 1,
+        queue: QueueConfig {
+            total: 2,
+            per_tenant: 2,
+            ..QueueConfig::default()
+        },
+        retry_after_ms: 1,
+        ..ServerConfig::default()
+    });
+    let port = handle.port();
+    let threads: Vec<_> = (0..4)
+        .map(|t| {
+            std::thread::spawn(move || {
+                let mut client = ServeClient::connect(&format!("127.0.0.1:{port}")).unwrap();
+                client.set_retry_policy(Some(RetryPolicy {
+                    budget: 64,
+                    cap_ms: 20,
+                    seed: 0xFA15 + t,
+                }));
+                assert!(client.hello(&format!("tenant{t}"), None).unwrap().ok);
+                for i in 0..8 {
+                    let resp = client
+                        .compile(
+                            &format!("t{t}u{i}"),
+                            &format!("(defun t{t}f{i} (x) (* x {i}))"),
+                        )
+                        .unwrap();
+                    assert!(resp.ok, "tenant{t} unit {i}: {:?}", resp.error);
+                    assert_eq!(resp.retry_after_ms, 0, "a rejection leaked through");
+                }
+                client.retries()
+            })
+        })
+        .collect();
+    let total_retries: u64 = threads.into_iter().map(|t| t.join().unwrap()).sum();
+    assert!(
+        total_retries > 0,
+        "a 2-slot queue under 4 clients must reject at least once"
+    );
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+#[cfg(unix)]
+fn sigterm_drains_the_daemon_to_a_clean_exit() {
+    use std::io::{BufRead, BufReader};
+    use std::process::{Command, Stdio};
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_serve"))
+        .args(["--port", "0"])
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn serve");
+    let stderr = child.stderr.take().expect("stderr piped");
+    let mut lines = BufReader::new(stderr).lines();
+    let announce = lines
+        .next()
+        .expect("an announce line")
+        .expect("readable stderr");
+    let port: u16 = announce
+        .rsplit(':')
+        .next()
+        .and_then(|p| p.trim().parse().ok())
+        .unwrap_or_else(|| panic!("unparseable announce: {announce}"));
+    // Prove it serves, then deliver SIGTERM mid-life.
+    let mut client = ServeClient::connect(&format!("127.0.0.1:{port}")).unwrap();
+    assert!(client.hello("ci", None).unwrap().ok);
+    assert!(client.compile("u0", "(defun f (x) x)").unwrap().ok);
+    let status = Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .expect("kill -TERM");
+    assert!(status.success());
+    let exit = child.wait().expect("wait");
+    assert!(exit.success(), "SIGTERM must drain to exit 0, got {exit:?}");
 }
 
 #[test]

@@ -30,11 +30,17 @@ pub enum FaultSite {
     /// The optimized artifact computes a wrong answer (exercises the
     /// differential oracle).
     Miscompile,
+    /// A write-ahead-journal append fails with an I/O error.
+    JournalWrite,
+    /// A journal record reads back with corrupted bytes during
+    /// recovery (the on-disk log itself stays intact, mirroring
+    /// [`FaultSite::CacheCorrupt`]).
+    JournalCorrupt,
 }
 
 impl FaultSite {
     /// All sites, for arming sweeps and reports.
-    pub const ALL: [FaultSite; 7] = [
+    pub const ALL: [FaultSite; 9] = [
         FaultSite::CacheRead,
         FaultSite::CacheWrite,
         FaultSite::CacheCorrupt,
@@ -42,6 +48,8 @@ impl FaultSite {
         FaultSite::Overrun,
         FaultSite::SimTrap,
         FaultSite::Miscompile,
+        FaultSite::JournalWrite,
+        FaultSite::JournalCorrupt,
     ];
 
     /// Stable name used in keys, reports, and JSON.
@@ -54,6 +62,8 @@ impl FaultSite {
             FaultSite::Overrun => "overrun",
             FaultSite::SimTrap => "sim-trap",
             FaultSite::Miscompile => "miscompile",
+            FaultSite::JournalWrite => "journal-write",
+            FaultSite::JournalCorrupt => "journal-corrupt",
         }
     }
 
@@ -68,6 +78,8 @@ impl FaultSite {
             FaultSite::Overrun => 0x8b64_d90f_1e72_c467,
             FaultSite::SimTrap => 0x40c2_e6a9_7b18_f58d,
             FaultSite::Miscompile => 0xf517_3c8e_a2d0_649f,
+            FaultSite::JournalWrite => 0x6d2b_91c4_5a8f_e073,
+            FaultSite::JournalCorrupt => 0x1f84_c6d2_39b7_0ae5,
         }
     }
 }
