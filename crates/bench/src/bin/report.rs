@@ -20,6 +20,10 @@
 //! parallel compilation service (`--jobs N` workers, `--cache-dir D`
 //! for a persistent artifact cache — run it twice with the same
 //! directory and the second run reports `hit_rate=100%`);
+//! `backend` reports the bytecode backend's per-function code footprint
+//! and the cross-backend oracle verdicts (S-1 on the simulator vs
+//! bytecode on the evaluator; `--backend s1|bytecode|both` selects the
+//! service batch's code generator);
 //! `serve` runs a scripted two-tenant session against an in-process
 //! compile-server daemon and records every wire response;
 //! `durability` runs a scripted crash drill — a durable burst, a torn
@@ -98,6 +102,7 @@ fn main() {
     }
     let mut jobs = 1usize;
     let mut cache_dir: Option<PathBuf> = None;
+    let mut backend = s1lisp_driver::BackendSelect::S1;
     let mut rest = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -113,6 +118,16 @@ fn main() {
                 Some(d) => cache_dir = Some(PathBuf::from(d)),
                 None => {
                     eprintln!("--cache-dir wants a path");
+                    std::process::exit(2);
+                }
+            },
+            "--backend" => match it
+                .next()
+                .and_then(|v| s1lisp_driver::BackendSelect::parse(&v))
+            {
+                Some(b) => backend = b,
+                None => {
+                    eprintln!("--backend wants s1, bytecode, or both");
                     std::process::exit(2);
                 }
             },
@@ -136,7 +151,12 @@ fn main() {
                     "metrics" => Some(s1lisp_bench::metrics_record()),
                     "serve" => Some(s1lisp_bench::serve_record()),
                     "durability" => Some(s1lisp_bench::durability_record()),
-                    "service" => Some(s1lisp_bench::service_record(jobs, cache_dir.clone())),
+                    "service" => Some(s1lisp_bench::service_record_for(
+                        jobs,
+                        cache_dir.clone(),
+                        backend,
+                    )),
+                    "backend" => Some(s1lisp_bench::backend_record()),
                     "service-fault" | "guard" | "guard-miscompile" => {
                         // Injected panics are the record's subject;
                         // keep their backtraces off stderr.
@@ -155,7 +175,7 @@ fn main() {
                 if rec.is_none() {
                     eprintln!(
                         "unknown experiment {id} (want e1..e12, trap, serve, durability, \
-                         service, or guard)"
+                         service, backend, or guard)"
                     );
                 }
                 rec

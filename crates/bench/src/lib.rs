@@ -6,6 +6,7 @@
 //! experiment with `… --bin report -- e4`.  Wall-clock timings of the
 //! same workloads live in the Criterion bench (`cargo bench`).
 
+pub mod backend;
 pub mod corpus;
 pub mod durability;
 pub mod experiments;
@@ -18,6 +19,7 @@ pub mod perfbench;
 pub mod serve;
 pub mod service;
 
+pub use backend::{backend_batch, backend_record};
 pub use durability::durability_record;
 pub use experiments::{all_experiments, run_experiment, Experiment};
 pub use explain::{corpus_functions, explain_function};
@@ -27,6 +29,7 @@ pub use metrics_report::{collect_metrics, metrics_record, metrics_report};
 pub use passes::{passes_record, passes_report};
 pub use serve::serve_record;
 pub use service::{
-    guard_batch, guard_miscompile_record, guard_record, service_batch, service_fault_record,
-    service_record, service_report, service_units, GUARD_SEED,
+    guard_batch, guard_miscompile_record, guard_record, oracle_cases, service_batch,
+    service_batch_for, service_fault_record, service_record, service_record_for, service_report,
+    service_units, GUARD_SEED,
 };

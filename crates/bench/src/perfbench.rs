@@ -172,6 +172,60 @@ fn run_sim_kernel(k: &SimKernel, warmup: usize, trials: usize) -> Json {
     ])
 }
 
+/// The kernels the bytecode backend is benchmarked on (`bc-*` rows):
+/// the four Gabriel-style kernels, without the GC stressor — the stack
+/// evaluator allocates on the host heap and has no collector to meter.
+fn bc_kernels() -> Vec<SimKernel> {
+    sim_kernels()
+        .into_iter()
+        .filter(|k| k.id != "gc-stress")
+        .collect()
+}
+
+/// Times `trials` runs of one kernel compiled by the *bytecode* backend
+/// and run on the stack evaluator.  The row shape matches
+/// [`run_sim_kernel`]'s (ids are prefixed `bc-`, and the GC columns are
+/// zero) so the trajectory schema stays uniform and `--compare` keys
+/// the rows the same way.
+fn run_bc_kernel(k: &SimKernel, warmup: usize, trials: usize) -> Json {
+    let mut c = Compiler::new();
+    c.backend = s1lisp::BackendKind::Bytecode;
+    c.compile_str(k.src)
+        .unwrap_or_else(|e| panic!("{} compiles to bytecode: {e}", k.id));
+    let mut e = c.evaluator();
+    for _ in 0..warmup {
+        e.run(k.entry, &k.args)
+            .unwrap_or_else(|t| panic!("{} warms up: {t}", k.id));
+    }
+    let mut wall_ns = Vec::with_capacity(trials);
+    let mut per_sec = Vec::with_capacity(trials);
+    let mut insns = 0;
+    for _ in 0..trials {
+        let start = Instant::now();
+        e.run(k.entry, &k.args)
+            .unwrap_or_else(|t| panic!("{} runs: {t}", k.id));
+        let ns = u64::try_from(start.elapsed().as_nanos())
+            .unwrap_or(u64::MAX)
+            .max(1);
+        insns = e.last_run_insns;
+        wall_ns.push(ns);
+        per_sec.push((insns as u128 * 1_000_000_000 / ns as u128) as u64);
+    }
+    let (median_ps, p90_ps) = stats(&per_sec);
+    let (median_ns, p90_ns) = stats(&wall_ns);
+    obj(vec![
+        ("id", Json::str(format!("bc-{}", k.id))),
+        ("entry", Json::str(k.entry)),
+        ("insns", Json::uint(insns)),
+        ("median_insns_per_sec", Json::uint(median_ps)),
+        ("p90_insns_per_sec", Json::uint(p90_ps)),
+        ("median_wall_us", Json::uint(median_ns / 1_000)),
+        ("p90_wall_us", Json::uint(p90_ns / 1_000)),
+        ("gc_collections", Json::uint(0)),
+        ("gc_live_words", Json::uint(0)),
+    ])
+}
+
 /// Times `trials` cold batches (fresh service each, so every trial is
 /// real compilation) at one worker count, plus one warm re-batch on the
 /// last service to record the cache-served hit rate.
@@ -412,12 +466,18 @@ fn entry_header(repo_root: &Path, warmup: usize, trials: usize) -> Vec<(&'static
     ]
 }
 
-/// One `BENCH_sim.json` entry: the full kernel matrix.
+/// One `BENCH_sim.json` entry: the full kernel matrix on the S-1
+/// simulator, then the four `bc-*` rows on the bytecode evaluator.
 pub fn sim_entry(repo_root: &Path, warmup: usize, trials: usize) -> Json {
-    let workloads = sim_kernels()
+    let mut workloads: Vec<Json> = sim_kernels()
         .iter()
         .map(|k| run_sim_kernel(k, warmup, trials))
         .collect();
+    workloads.extend(
+        bc_kernels()
+            .iter()
+            .map(|k| run_bc_kernel(k, warmup, trials)),
+    );
     let mut fields = entry_header(repo_root, warmup, trials);
     fields.push(("workloads", Json::Arr(workloads)));
     obj(fields)
@@ -440,10 +500,13 @@ pub fn service_entry(repo_root: &Path, warmup: usize, trials: usize) -> Json {
     obj(fields)
 }
 
-/// A 1-trial smoke entry over the smallest kernel alone — the
-/// `--check` workload.  Same entry schema as [`sim_entry`].
+/// A 1-trial smoke entry over the smallest kernel on both backends —
+/// the `--check` workload.  Same entry schema as [`sim_entry`].
 pub fn smoke_sim_entry(repo_root: &Path) -> Json {
-    let workloads = vec![run_sim_kernel(&smoke_kernel(), 0, 1)];
+    let workloads = vec![
+        run_sim_kernel(&smoke_kernel(), 0, 1),
+        run_bc_kernel(&smoke_kernel(), 0, 1),
+    ];
     let mut fields = entry_header(repo_root, 0, 1);
     fields.push(("workloads", Json::Arr(workloads)));
     obj(fields)

@@ -12,8 +12,8 @@
 use std::path::PathBuf;
 
 use s1lisp_driver::{
-    BatchResult, CompileService, FaultInjection, FaultMode, FaultPlan, FaultSite, OracleCase,
-    ServiceConfig, SourceUnit,
+    BackendSelect, BatchResult, CompileService, FaultInjection, FaultMode, FaultPlan, FaultSite,
+    OracleCase, ServiceConfig, SourceUnit,
 };
 use s1lisp_trace::json::Json;
 
@@ -38,7 +38,23 @@ fn config(jobs: usize, cache_dir: Option<PathBuf>) -> ServiceConfig {
 /// Batch-compiles the corpus at the given worker count (with an
 /// optional persistent cache directory).
 pub fn service_batch(jobs: usize, cache_dir: Option<PathBuf>) -> BatchResult {
-    CompileService::new(config(jobs, cache_dir)).compile_batch(&service_units())
+    service_batch_for(jobs, cache_dir, BackendSelect::S1)
+}
+
+/// [`service_batch`] with an explicit backend selection (`report
+/// --backend s1|bytecode|both service`).  `Both` additionally runs the
+/// cross-backend oracle over [`oracle_cases`].
+pub fn service_batch_for(
+    jobs: usize,
+    cache_dir: Option<PathBuf>,
+    backend: BackendSelect,
+) -> BatchResult {
+    let mut cfg = config(jobs, cache_dir);
+    cfg.backend = backend;
+    if backend.cross_checked() {
+        cfg.oracle = oracle_cases();
+    }
+    CompileService::new(cfg).compile_batch(&service_units())
 }
 
 fn record(id: &str, title: &str, batch: &BatchResult) -> Json {
@@ -51,10 +67,15 @@ fn record(id: &str, title: &str, batch: &BatchResult) -> Json {
 
 /// The machine-readable `service` record.
 pub fn service_record(jobs: usize, cache_dir: Option<PathBuf>) -> Json {
+    service_record_for(jobs, cache_dir, BackendSelect::S1)
+}
+
+/// [`service_record`] with an explicit backend selection.
+pub fn service_record_for(jobs: usize, cache_dir: Option<PathBuf>, backend: BackendSelect) -> Json {
     record(
         "service",
         "Compilation service batch over the experiment corpus",
-        &service_batch(jobs, cache_dir),
+        &service_batch_for(jobs, cache_dir, backend),
     )
 }
 
@@ -81,7 +102,7 @@ pub fn service_fault_record() -> Json {
 
 /// Differential-oracle cases over the corpus: call each entry with the
 /// workload-shaped arguments (kept small so the oracle stays fast).
-fn oracle_cases() -> Vec<OracleCase> {
+pub fn oracle_cases() -> Vec<OracleCase> {
     vec![
         OracleCase::new("exptl", ["3", "10", "1"]),
         OracleCase::new("quadratic", ["1.0", "-3.0", "2.0"]),

@@ -8,8 +8,9 @@
 //! must be a deliberate schema bump.
 
 use s1lisp_bench::{
-    durability_record, guard_miscompile_record, guard_record, json_record, metrics_record,
-    passes_record, perfbench, serve_record, service_fault_record, service_record, trap_record,
+    backend_record, durability_record, guard_miscompile_record, guard_record, json_record,
+    metrics_record, passes_record, perfbench, serve_record, service_fault_record, service_record,
+    trap_record,
 };
 use s1lisp_trace::json::{self, Json};
 
@@ -25,6 +26,7 @@ const PERFBENCH_SIM_GOLDEN: &str = include_str!("golden/perfbench_sim_schema.txt
 const PERFBENCH_SERVICE_GOLDEN: &str = include_str!("golden/perfbench_service_schema.txt");
 const SERVE_GOLDEN: &str = include_str!("golden/serve_schema.txt");
 const DURABILITY_GOLDEN: &str = include_str!("golden/durability_schema.txt");
+const BACKEND_GOLDEN: &str = include_str!("golden/backend_schema.txt");
 
 /// Dynamic maps in a record are int-valued histograms; an *empty* one
 /// carries no value type, so pad it with a sentinel entry before
@@ -135,6 +137,13 @@ fn durability_record_schema_matches_golden() {
         DURABILITY_GOLDEN,
         "durability_schema.txt",
     );
+}
+
+#[test]
+fn backend_record_schema_matches_golden() {
+    // The bytecode footprint table plus the cross-backend oracle
+    // verdicts, in one record.
+    check_schema(backend_record(), BACKEND_GOLDEN, "backend_schema.txt");
 }
 
 #[test]

@@ -1,0 +1,671 @@
+//! The stack-frame bytecode evaluator.
+//!
+//! An explicit frame stack (no host recursion), a shared operand
+//! stack, a deep-binding special stack, and a `catch`-handler stack.
+//! Primitives are *not* reimplemented: every global that is not a
+//! bytecode proto dispatches through [`s1lisp_interp::call_builtin`],
+//! so both backends share one reference definition of `+`, `car`,
+//! `$fadd`, and friends.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+
+use s1lisp_interp::{call_builtin, Function, Value};
+use s1lisp_reader::{Interner, Symbol};
+
+use crate::{FuncProto, Module, Op};
+
+/// A runtime trap: wrong arity, undefined function, uncaught throw,
+/// fuel exhaustion, …  The cross-backend oracle treats any trap on
+/// both sides as agreement (messages are backend-specific).
+#[derive(Clone, Debug)]
+pub struct BcTrap {
+    /// Human-readable cause.
+    pub message: String,
+}
+
+impl fmt::Display for BcTrap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for BcTrap {}
+
+fn trap<T>(message: impl Into<String>) -> Result<T, BcTrap> {
+    Err(BcTrap {
+        message: message.into(),
+    })
+}
+
+/// Runtime value: either a plain interpreter [`Value`], a heap value
+/// cell (closure-shared storage), or a bytecode closure.
+#[derive(Clone, Debug)]
+enum BcValue {
+    V(Value),
+    Cell(Rc<RefCell<BcValue>>),
+    Closure(Rc<BcClosure>),
+}
+
+#[derive(Debug)]
+struct BcClosure {
+    proto: usize,
+    captures: Vec<Rc<RefCell<BcValue>>>,
+    name: String,
+}
+
+impl BcValue {
+    fn nil() -> BcValue {
+        BcValue::V(Value::Nil)
+    }
+
+    fn is_true(&self) -> bool {
+        match self {
+            BcValue::V(v) => v.is_true(),
+            _ => true,
+        }
+    }
+
+    fn eql(&self, other: &BcValue) -> bool {
+        match (self, other) {
+            (BcValue::V(a), BcValue::V(b)) => a.eql_p(b),
+            (BcValue::Closure(a), BcValue::Closure(b)) => Rc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+
+    /// Converts for the builtin boundary (and for final results).
+    /// Closures degrade to a named function value — they keep working
+    /// through `funcall`/`apply` by name lookup, which is all the
+    /// dialect's builtins ever do with them.
+    fn as_value(&self) -> Result<Value, BcTrap> {
+        match self {
+            BcValue::V(v) => Ok(v.clone()),
+            BcValue::Closure(c) => Ok(Value::Func(Function::Global(c.name.clone()))),
+            BcValue::Cell(_) => trap("value cell escaped onto the data path"),
+        }
+    }
+}
+
+struct Frame {
+    proto: Rc<FuncProto>,
+    pc: usize,
+    /// Operand-stack height at frame entry (crop targets are relative
+    /// to this).
+    base: usize,
+    slots: Vec<BcValue>,
+    captures: Vec<Rc<RefCell<BcValue>>>,
+    argc: usize,
+    specials_base: usize,
+    handlers_base: usize,
+}
+
+struct Handler {
+    tag: BcValue,
+    pc: usize,
+    frame_ix: usize,
+    stack_h: usize,
+    specials_h: usize,
+}
+
+/// Runs [`Module`] code under a fuel budget.
+pub struct Evaluator {
+    module: Module,
+    /// Instruction budget per [`Evaluator::run`] call; exhaustion is a
+    /// trap (the bytecode analog of the simulator's fuel).
+    pub fuel_per_run: u64,
+    /// Instructions retired by the most recent `run`.
+    pub last_run_insns: u64,
+    globals: HashMap<String, Value>,
+    t: Symbol,
+}
+
+impl Evaluator {
+    /// An evaluator over `module` with the default fuel budget.
+    pub fn new(module: Module) -> Evaluator {
+        let mut interner = Interner::new();
+        Evaluator {
+            module,
+            fuel_per_run: 100_000_000,
+            last_run_insns: 0,
+            globals: HashMap::new(),
+            t: interner.intern("t"),
+        }
+    }
+
+    /// The module being run.
+    pub fn module(&self) -> &Module {
+        &self.module
+    }
+
+    /// Sets a global variable (special values read fall back here, as
+    /// with the simulator's global table).
+    pub fn set_global(&mut self, name: &str, value: Value) {
+        self.globals.insert(name.to_string(), value);
+    }
+
+    /// Calls `entry` with `args`, returning its value or a trap.
+    pub fn run(&mut self, entry: &str, args: &[Value]) -> Result<Value, BcTrap> {
+        let Some(ix) = self.module.lookup(entry) else {
+            return trap(format!("undefined function {entry}"));
+        };
+        let mut st = State {
+            stack: Vec::new(),
+            frames: Vec::new(),
+            handlers: Vec::new(),
+            specials: Vec::new(),
+        };
+        let argv: Vec<BcValue> = args.iter().map(|v| BcValue::V(v.clone())).collect();
+        self.last_run_insns = 0;
+        self.exec(&mut st, ix, argv)
+    }
+
+    fn exec(
+        &mut self,
+        st: &mut State,
+        entry_ix: usize,
+        args: Vec<BcValue>,
+    ) -> Result<Value, BcTrap> {
+        push_frame(&self.module, st, entry_ix, args, Vec::new())?;
+        let mut fuel = self.fuel_per_run;
+        loop {
+            if fuel == 0 {
+                return trap("fuel exhausted");
+            }
+            fuel -= 1;
+            self.last_run_insns += 1;
+            let frame = st.frames.last_mut().expect("live frame");
+            let Some(&insn) = frame.proto.code.get(frame.pc) else {
+                return trap("pc ran off the end of the code");
+            };
+            frame.pc += 1;
+            let (a, b) = (insn.a as usize, insn.b as usize);
+            match insn.op {
+                Op::Const => {
+                    let d = &frame.proto.consts[a];
+                    st.stack.push(BcValue::V(Value::from_datum(d)));
+                }
+                Op::Nil => st.stack.push(BcValue::nil()),
+                Op::Dup => {
+                    let v = top(st)?.clone();
+                    st.stack.push(v);
+                }
+                Op::Pop => {
+                    pop(st)?;
+                }
+                Op::Load => {
+                    let v = frame.slots[a].clone();
+                    st.stack.push(v);
+                }
+                Op::Store => {
+                    let v = pop(st)?;
+                    st.frames.last_mut().unwrap().slots[a] = v;
+                }
+                Op::LoadCell => match &frame.slots[a] {
+                    BcValue::Cell(c) => {
+                        let v = c.borrow().clone();
+                        st.stack.push(v);
+                    }
+                    _ => return trap("load through a non-cell slot"),
+                },
+                Op::StoreCell => {
+                    let v = pop(st)?;
+                    match &st.frames.last().unwrap().slots[a] {
+                        BcValue::Cell(c) => *c.borrow_mut() = v,
+                        _ => return trap("store through a non-cell slot"),
+                    }
+                }
+                Op::NewCell => {
+                    let old = std::mem::replace(&mut frame.slots[a], BcValue::nil());
+                    frame.slots[a] = BcValue::Cell(Rc::new(RefCell::new(old)));
+                }
+                Op::PushCellSlot => match &frame.slots[a] {
+                    BcValue::Cell(c) => st.stack.push(BcValue::Cell(c.clone())),
+                    _ => return trap("capture of a non-cell slot"),
+                },
+                Op::LoadCapture => {
+                    let v = frame.captures[a].borrow().clone();
+                    st.stack.push(v);
+                }
+                Op::StoreCapture => {
+                    let v = pop(st)?;
+                    *st.frames.last().unwrap().captures[a].borrow_mut() = v;
+                }
+                Op::PushCellCapture => {
+                    let c = frame.captures[a].clone();
+                    st.stack.push(BcValue::Cell(c));
+                }
+                Op::BoxTop => {
+                    let v = pop(st)?;
+                    st.stack.push(BcValue::Cell(Rc::new(RefCell::new(v))));
+                }
+                Op::LoadSpecial => {
+                    let name = self.const_name(&frame.proto, a)?;
+                    let v = match st.specials.iter().rev().find(|(n, _)| *n == name) {
+                        Some((_, v)) => v.clone(),
+                        None => match self.globals.get(&name) {
+                            Some(v) => BcValue::V(v.clone()),
+                            None => return trap(format!("unbound variable {name}")),
+                        },
+                    };
+                    st.stack.push(v);
+                }
+                Op::StoreSpecial => {
+                    let name = self.const_name(&frame.proto, a)?;
+                    let v = pop(st)?;
+                    match st.specials.iter_mut().rev().find(|(n, _)| *n == name) {
+                        Some(slot) => slot.1 = v,
+                        None => {
+                            self.globals.insert(name, v.as_value()?);
+                        }
+                    }
+                }
+                Op::BindSpecial => {
+                    let name = self.const_name(&frame.proto, a)?;
+                    let v = pop(st)?;
+                    st.specials.push((name, v));
+                }
+                Op::Unbind => {
+                    let n = st.specials.len().saturating_sub(a);
+                    st.specials.truncate(n);
+                }
+                Op::Jump => st.frames.last_mut().unwrap().pc = a,
+                Op::JumpIfNil => {
+                    let v = pop(st)?;
+                    if !v.is_true() {
+                        st.frames.last_mut().unwrap().pc = a;
+                    }
+                }
+                Op::JumpIfTrue => {
+                    let v = pop(st)?;
+                    if v.is_true() {
+                        st.frames.last_mut().unwrap().pc = a;
+                    }
+                }
+                Op::ArgSup => {
+                    if frame.argc > a {
+                        frame.pc = b;
+                    }
+                }
+                Op::Call | Op::TailCall => {
+                    let name = self.const_name(&frame.proto, a)?;
+                    let args = pop_n(st, b)?;
+                    let tail = insn.op == Op::TailCall;
+                    if let Some(r) = self.call_global(st, &name, args, tail)? {
+                        if let Some(v) = self.settle(st, r)? {
+                            return Ok(v);
+                        }
+                    }
+                }
+                Op::CallDyn => {
+                    let args = pop_n(st, a)?;
+                    let callee = pop(st)?;
+                    match callee {
+                        BcValue::Closure(c) => {
+                            push_frame(&self.module, st, c.proto, args, c.captures.clone())?;
+                        }
+                        BcValue::V(Value::Func(Function::Global(name))) => {
+                            if let Some(r) = self.call_global(st, &name, args, false)? {
+                                if let Some(v) = self.settle(st, r)? {
+                                    return Ok(v);
+                                }
+                            }
+                        }
+                        other => {
+                            return trap(format!("not a function: {}", other.as_value()?));
+                        }
+                    }
+                }
+                Op::MakeClosure => {
+                    let cells = pop_n(st, b)?;
+                    let mut captures = Vec::with_capacity(cells.len());
+                    for c in cells {
+                        match c {
+                            BcValue::Cell(rc) => captures.push(rc),
+                            _ => return trap("closure capture is not a cell"),
+                        }
+                    }
+                    let name = self.module.proto(a).name.clone();
+                    st.stack.push(BcValue::Closure(Rc::new(BcClosure {
+                        proto: a,
+                        captures,
+                        name,
+                    })));
+                }
+                Op::List => {
+                    let items = pop_n(st, a)?;
+                    let mut vs = Vec::with_capacity(items.len());
+                    for i in &items {
+                        vs.push(i.as_value()?);
+                    }
+                    st.stack.push(BcValue::V(Value::list(vs)));
+                }
+                Op::Eql => {
+                    let y = pop(st)?;
+                    let x = pop(st)?;
+                    let v = self.bool_value(x.eql(&y));
+                    st.stack.push(v);
+                }
+                Op::Return => {
+                    let v = pop(st)?;
+                    if let Some(out) = self.settle(st, v)? {
+                        return Ok(out);
+                    }
+                }
+                Op::Catch => {
+                    let tag = pop(st)?;
+                    st.handlers.push(Handler {
+                        tag,
+                        pc: a,
+                        frame_ix: st.frames.len() - 1,
+                        stack_h: st.stack.len(),
+                        specials_h: st.specials.len(),
+                    });
+                }
+                Op::EndCatch => {
+                    if st.handlers.pop().is_none() {
+                        return trap("end.catch without a handler");
+                    }
+                }
+                Op::Uncatch => {
+                    let n = st.handlers.len().saturating_sub(a);
+                    st.handlers.truncate(n);
+                }
+                Op::Throw => {
+                    let value = pop(st)?;
+                    let tag = pop(st)?;
+                    self.do_throw(st, tag, value)?;
+                }
+                Op::Crop => {
+                    st.stack.truncate(frame.base + a);
+                }
+                Op::CropKeep => {
+                    let v = pop(st)?;
+                    st.stack.truncate(st.frames.last().unwrap().base + a);
+                    st.stack.push(v);
+                }
+                Op::GlobalFn => {
+                    let name = self.const_name(&frame.proto, a)?;
+                    st.stack
+                        .push(BcValue::V(Value::Func(Function::Global(name))));
+                }
+                Op::AddNum => self.arith(st, "+", |x, y| x.checked_add(y))?,
+                Op::SubNum => self.arith(st, "-", |x, y| x.checked_sub(y))?,
+                Op::MulNum => self.arith(st, "*", |x, y| x.checked_mul(y))?,
+                Op::LtNum => self.compare(st, "<", |x, y| x < y)?,
+                Op::NumEq => self.compare(st, "=", |x, y| x == y)?,
+            }
+        }
+    }
+
+    fn const_name(&self, proto: &FuncProto, a: usize) -> Result<String, BcTrap> {
+        match proto.consts.get(a) {
+            Some(s1lisp_reader::Datum::Sym(s)) => Ok(s.as_str().to_string()),
+            _ => trap("name operand is not a symbol constant"),
+        }
+    }
+
+    fn bool_value(&self, b: bool) -> BcValue {
+        if b {
+            BcValue::V(Value::Sym(self.t.clone()))
+        } else {
+            BcValue::nil()
+        }
+    }
+
+    /// Fused arithmetic: fixnum fast path, with the interpreter builtin
+    /// as the single source of truth for everything else (flonums,
+    /// contagion, overflow).
+    fn arith(
+        &mut self,
+        st: &mut State,
+        name: &str,
+        fast: fn(i64, i64) -> Option<i64>,
+    ) -> Result<(), BcTrap> {
+        let y = pop(st)?;
+        let x = pop(st)?;
+        if let (BcValue::V(Value::Fixnum(a)), BcValue::V(Value::Fixnum(b))) = (&x, &y) {
+            if let Some(r) = fast(*a, *b) {
+                st.stack.push(BcValue::V(Value::Fixnum(r)));
+                return Ok(());
+            }
+        }
+        let v = self.builtin(name, &[x.as_value()?, y.as_value()?])?;
+        st.stack.push(BcValue::V(v));
+        Ok(())
+    }
+
+    fn compare(
+        &mut self,
+        st: &mut State,
+        name: &str,
+        fast: fn(i64, i64) -> bool,
+    ) -> Result<(), BcTrap> {
+        let y = pop(st)?;
+        let x = pop(st)?;
+        if let (BcValue::V(Value::Fixnum(a)), BcValue::V(Value::Fixnum(b))) = (&x, &y) {
+            let v = self.bool_value(fast(*a, *b));
+            st.stack.push(v);
+            return Ok(());
+        }
+        let v = self.builtin(name, &[x.as_value()?, y.as_value()?])?;
+        st.stack.push(BcValue::V(v));
+        Ok(())
+    }
+
+    fn builtin(&self, name: &str, args: &[Value]) -> Result<Value, BcTrap> {
+        match call_builtin(name, args, &self.t) {
+            Some(Ok(v)) => Ok(v),
+            Some(Err(e)) => trap(e.to_string()),
+            None => trap(format!("undefined function {name}")),
+        }
+    }
+
+    /// Calls the named global: a module proto (frame push / frame
+    /// replacement), a builtin, or the `throw`/`apply` special cases.
+    /// `Ok(Some(v))` means a builtin produced `v` in tail position and
+    /// the caller must settle it.
+    fn call_global(
+        &mut self,
+        st: &mut State,
+        name: &str,
+        args: Vec<BcValue>,
+        tail: bool,
+    ) -> Result<Option<BcValue>, BcTrap> {
+        if name == "throw" {
+            if args.len() == 2 {
+                let mut it = args.into_iter();
+                let tag = it.next().unwrap();
+                let value = it.next().unwrap();
+                self.do_throw(st, tag, value)?;
+                return Ok(None);
+            }
+            return trap("throw: wants tag and value");
+        }
+        if name == "apply" {
+            return self.do_apply(st, args, tail);
+        }
+        if let Some(ix) = self.module.lookup(name) {
+            if tail {
+                replace_frame(&self.module, st, ix, args)?;
+            } else {
+                push_frame(&self.module, st, ix, args, Vec::new())?;
+            }
+            return Ok(None);
+        }
+        let mut argv = Vec::with_capacity(args.len());
+        for a in &args {
+            argv.push(a.as_value()?);
+        }
+        let v = BcValue::V(self.builtin(name, &argv)?);
+        if tail {
+            return Ok(Some(v));
+        }
+        st.stack.push(v);
+        Ok(None)
+    }
+
+    /// `(apply f a b '(c d))` — the last argument spreads.
+    fn do_apply(
+        &mut self,
+        st: &mut State,
+        args: Vec<BcValue>,
+        tail: bool,
+    ) -> Result<Option<BcValue>, BcTrap> {
+        if args.is_empty() {
+            return trap("apply: wants a function");
+        }
+        let mut it = args.into_iter();
+        let callee = it.next().unwrap();
+        let mut spread: Vec<BcValue> = it.collect();
+        let Some(last) = spread.pop() else {
+            return trap("apply: wants an argument list");
+        };
+        let mut rest = last.as_value()?;
+        loop {
+            match rest {
+                Value::Nil => break,
+                Value::Cons(ref cell) => {
+                    let car = cell.car.borrow().clone();
+                    let cdr = cell.cdr.borrow().clone();
+                    spread.push(BcValue::V(car));
+                    rest = cdr;
+                }
+                _ => return trap("apply: last argument is not a list"),
+            }
+        }
+        match callee {
+            BcValue::Closure(c) => {
+                push_frame(&self.module, st, c.proto, spread, c.captures.clone())?;
+                Ok(None)
+            }
+            BcValue::V(Value::Func(Function::Global(name))) => {
+                self.call_global(st, &name, spread, tail)
+            }
+            other => trap(format!("apply: not a function: {}", other.as_value()?)),
+        }
+    }
+
+    /// Unwinds to the innermost armed handler whose tag is `eql`.
+    fn do_throw(&mut self, st: &mut State, tag: BcValue, value: BcValue) -> Result<(), BcTrap> {
+        let Some(ix) = st.handlers.iter().rposition(|h| h.tag.eql(&tag)) else {
+            return trap(format!("no catcher for tag {}", tag.as_value()?));
+        };
+        let h = st.handlers.remove(ix);
+        st.handlers.truncate(ix);
+        st.frames.truncate(h.frame_ix + 1);
+        st.stack.truncate(h.stack_h);
+        st.specials.truncate(h.specials_h);
+        st.frames.last_mut().unwrap().pc = h.pc;
+        st.stack.push(value);
+        Ok(())
+    }
+
+    /// Returns `result` from the current frame.  `Ok(Some(v))` when the
+    /// run is complete (the entry frame returned).
+    fn settle(&mut self, st: &mut State, result: BcValue) -> Result<Option<Value>, BcTrap> {
+        let frame = st.frames.pop().expect("live frame");
+        st.stack.truncate(frame.base);
+        st.specials.truncate(frame.specials_base);
+        st.handlers.truncate(frame.handlers_base);
+        if st.frames.is_empty() {
+            return Ok(Some(result.as_value()?));
+        }
+        st.stack.push(result);
+        Ok(None)
+    }
+}
+
+struct State {
+    stack: Vec<BcValue>,
+    frames: Vec<Frame>,
+    handlers: Vec<Handler>,
+    specials: Vec<(String, BcValue)>,
+}
+
+fn top(st: &State) -> Result<&BcValue, BcTrap> {
+    match st.stack.last() {
+        Some(v) => Ok(v),
+        None => trap("operand stack underflow"),
+    }
+}
+
+fn pop(st: &mut State) -> Result<BcValue, BcTrap> {
+    match st.stack.pop() {
+        Some(v) => Ok(v),
+        None => trap("operand stack underflow"),
+    }
+}
+
+/// Pops `n` values, restoring push (left-to-right) order.
+fn pop_n(st: &mut State, n: usize) -> Result<Vec<BcValue>, BcTrap> {
+    if st.stack.len() < n {
+        return trap("operand stack underflow");
+    }
+    Ok(st.stack.split_off(st.stack.len() - n))
+}
+
+/// Binds `args` into a fresh frame for proto `ix`.  Parameters occupy
+/// slots `0..n` in declaration order; excess arguments collect into the
+/// `&rest` slot as a list.
+fn push_frame(
+    module: &Module,
+    st: &mut State,
+    ix: usize,
+    args: Vec<BcValue>,
+    captures: Vec<Rc<RefCell<BcValue>>>,
+) -> Result<(), BcTrap> {
+    let proto = module.proto(ix).clone();
+    if proto.ncaptures as usize != captures.len() {
+        return trap(format!("closure {} escaped its environment", proto.name));
+    }
+    let argc = args.len();
+    let npos = (proto.required + proto.optional) as usize;
+    if argc < proto.required as usize {
+        return trap(format!("too few arguments to {}", proto.name));
+    }
+    if argc > npos && !proto.rest {
+        return trap(format!("too many arguments to {}", proto.name));
+    }
+    let mut slots = vec![BcValue::nil(); proto.nslots as usize];
+    let mut rest = Vec::new();
+    for (i, v) in args.into_iter().enumerate() {
+        if i < npos {
+            slots[i] = v;
+        } else {
+            rest.push(v.as_value()?);
+        }
+    }
+    if proto.rest {
+        slots[npos] = BcValue::V(Value::list(rest));
+    }
+    st.frames.push(Frame {
+        proto,
+        pc: 0,
+        base: st.stack.len(),
+        slots,
+        captures,
+        argc,
+        specials_base: st.specials.len(),
+        handlers_base: st.handlers.len(),
+    });
+    Ok(())
+}
+
+/// Genuine tail call: the current frame is unwound first, so recursion
+/// depth stays constant (the bytecode analog of the compiler's
+/// tail-call-to-jump transformation).
+fn replace_frame(
+    module: &Module,
+    st: &mut State,
+    ix: usize,
+    args: Vec<BcValue>,
+) -> Result<(), BcTrap> {
+    let old = st.frames.pop().expect("live frame");
+    st.stack.truncate(old.base);
+    st.specials.truncate(old.specials_base);
+    st.handlers.truncate(old.handlers_base);
+    push_frame(module, st, ix, args, Vec::new())
+}

@@ -1,0 +1,307 @@
+//! The bytecode backend against the reference interpreter: the
+//! Gabriel-style kernels, the binding disciplines, and the non-local
+//! control forms must all agree with `s1lisp-interp` exactly.
+
+use s1lisp_annotate::Annotations;
+use s1lisp_bytecode::{emit_unit, Evaluator, Module};
+use s1lisp_frontend::Frontend;
+use s1lisp_interp::{Interp, Value};
+use s1lisp_reader::{read_all_str, Interner};
+
+/// Compiles `src` for the bytecode evaluator and loads it into the
+/// interpreter, propagating `defvar` initial values to both.
+fn build(src: &str) -> (Evaluator, Interp) {
+    let mut interner = Interner::new();
+    let forms = read_all_str(src, &mut interner).expect("read");
+    let mut fe = Frontend::new(&mut interner);
+    let funcs = fe.convert_toplevel(&forms).expect("convert");
+    let inits = std::mem::take(&mut fe.defvar_inits);
+    let mut module = Module::new();
+    let mut interp = Interp::new();
+    for f in funcs {
+        let ann = Annotations::compute(&f.tree);
+        let protos = emit_unit(f.name.as_str(), &f.tree, &ann).expect("emit");
+        module.define_unit(protos);
+        interp.define(f);
+    }
+    let mut eval = Evaluator::new(module);
+    for (name, init) in inits {
+        let v = Value::from_datum(&init);
+        eval.set_global(name.as_str(), v.clone());
+        interp.set_global(name.as_str(), v);
+    }
+    (eval, interp)
+}
+
+/// Runs `entry(args)` on both engines and insists they agree: equal
+/// values, or errors on both sides.
+fn agree(src: &str, entry: &str, args: &[Value]) -> String {
+    let (mut eval, interp) = build(src);
+    let bc = eval.run(entry, args);
+    let reference = interp.call(entry, args);
+    match (&bc, &reference) {
+        (Ok(b), Ok(r)) => {
+            assert_eq!(
+                b.to_string(),
+                r.to_string(),
+                "{entry}: bytecode {b} != interpreter {r}"
+            );
+            b.to_string()
+        }
+        (Err(_), Err(_)) => "trap".to_string(),
+        (b, r) => panic!("{entry}: bytecode {b:?} vs interpreter {r:?}"),
+    }
+}
+
+fn fx(n: i64) -> Value {
+    Value::Fixnum(n)
+}
+
+fn fl(x: f64) -> Value {
+    Value::Flonum(x)
+}
+
+const EXPTL: &str = "(defun exptl (x n a)
+  (cond ((zerop n) a)
+        ((oddp n) (exptl (* x x) (floor (/ n 2)) (* a x)))
+        (t (exptl (* x x) (floor (/ n 2)) a))))";
+
+#[test]
+fn exptl_squares() {
+    assert_eq!(agree(EXPTL, "exptl", &[fx(2), fx(10), fx(1)]), "1024");
+    agree(EXPTL, "exptl", &[fx(3), fx(7), fx(1)]);
+}
+
+#[test]
+fn loopn_runs_in_constant_frames() {
+    let src = "(defun loopn (n) (if (= n 0) 'done (loopn (- n 1))))";
+    let (mut eval, _) = build(src);
+    // Deep enough that a frame per iteration would be absurd; the tail
+    // call must replace the frame, not stack one.
+    let v = eval.run("loopn", &[fx(200_000)]).expect("loopn");
+    assert_eq!(v.to_string(), "done");
+}
+
+#[test]
+fn tak_agrees() {
+    let src = "(defun tak (x y z)
+      (if (not (< y x))
+          z
+          (tak (tak (- x 1) y z)
+               (tak (- y 1) z x)
+               (tak (- z 1) x y))))";
+    assert_eq!(agree(src, "tak", &[fx(10), fx(6), fx(3)]), "4");
+}
+
+#[test]
+fn horner_loop_agrees() {
+    let src = "(defun horner (x c3 c2 c1 c0)
+      (declare (flonum x c3 c2 c1 c0))
+      (+$f (*$f (+$f (*$f (+$f (*$f c3 x) c2) x) c1) x) c0))
+    (defun sum-horner (n)
+      (declare (fixnum n))
+      (prog (acc x)
+        (setq acc 0.0 x 0.0)
+        top
+        (if (zerop n) (return acc))
+        (setq acc (+$f acc (horner x 1.0 -2.0 3.0 -4.0)))
+        (setq x (+$f x 0.001))
+        (setq n (- n 1))
+        (go top)))";
+    agree(src, "sum-horner", &[fx(200)]);
+}
+
+#[test]
+fn optional_defaults_see_earlier_parameters() {
+    // §7's testfn: `b` defaults to a constant, `c` defaults to `a`.
+    let src = "(defun frotz (a b c) '())
+    (defun testfn (a &optional (b 3.0) (c a))
+      (let ((d (+$f a b c)) (e (*$f a b c)))
+        (let ((q (sin$f e)))
+          (frotz d e (max$f d e))
+          q)))";
+    agree(src, "testfn", &[fl(2.0)]);
+    agree(src, "testfn", &[fl(2.0), fl(4.0)]);
+    agree(src, "testfn", &[fl(2.0), fl(4.0), fl(8.0)]);
+}
+
+#[test]
+fn quadratic_agrees() {
+    let src = "(defun quadratic (a b c)
+      (let ((d (- (* b b) (* 4.0 a c))))
+        (cond ((< d 0) '())
+              ((= d 0) (list (/ (- b) (* 2.0 a))))
+              (t (let ((two-a (* 2.0 a)) (sd (sqrt d)))
+                   (list (/ (+ (- b) sd) two-a)
+                         (/ (- (- b) sd) two-a)))))))";
+    assert_eq!(
+        agree(src, "quadratic", &[fl(1.0), fl(-3.0), fl(2.0)]),
+        "(2.0 1.0)"
+    );
+    agree(src, "quadratic", &[fl(1.0), fl(2.0), fl(3.0)]);
+}
+
+#[test]
+fn catch_throw_across_frames() {
+    let src = "(defun thrower (x) (throw 'esc (* x 10)))
+    (defun catcher (x) (catch 'esc (+ 1 (thrower x))))
+    (defun no-throw (x) (catch 'esc (+ 1 x)))
+    (defun uncaught (x) (thrower x))";
+    assert_eq!(agree(src, "catcher", &[fx(4)]), "40");
+    assert_eq!(agree(src, "no-throw", &[fx(4)]), "5");
+    // No catcher armed: both engines must reject.
+    assert_eq!(agree(src, "uncaught", &[fx(4)]), "trap");
+}
+
+#[test]
+fn prog_go_return_and_specials() {
+    let src = "(proclaim '(special *step*))
+    (defun accumulate (n)
+      (prog (acc)
+        (setq acc 0)
+        top
+        (if (zerop n) (return acc))
+        (setq acc (+ acc *step*))
+        (setq n (- n 1))
+        (go top)))";
+    let (mut eval, interp) = build(src);
+    eval.set_global("*step*", fx(3));
+    interp.set_global("*step*", fx(3));
+    let b = eval.run("accumulate", &[fx(7)]).expect("bytecode");
+    let r = interp.call("accumulate", &[fx(7)]).expect("interp");
+    assert_eq!(b.to_string(), r.to_string());
+    assert_eq!(b.to_string(), "21");
+}
+
+#[test]
+fn special_rebinding_is_dynamic() {
+    // A special parameter deep-binds around the callee and unwinds on
+    // return — the callee reads the binding, not the global.
+    let src = "(proclaim '(special *s*))
+    (defun reader () *s*)
+    (defun shadow (*s*) (reader))
+    (defun both () (list (shadow 5) (reader)))";
+    let (mut eval, interp) = build(src);
+    eval.set_global("*s*", fx(1));
+    interp.set_global("*s*", fx(1));
+    let b = eval.run("both", &[]).expect("bytecode");
+    let r = interp.call("both", &[]).expect("interp");
+    assert_eq!(b.to_string(), r.to_string());
+    assert_eq!(b.to_string(), "(5 1)");
+}
+
+#[test]
+fn closures_capture_and_escape() {
+    let src = "(defun make-adder (n) (lambda (x) (+ x n)))
+    (defun escape-test (n) (let ((f (make-adder n))) (funcall f 10)))";
+    assert_eq!(agree(src, "escape-test", &[fx(5)]), "15");
+}
+
+#[test]
+fn closures_share_mutable_state() {
+    let src = "(defun make-counter ()
+      (let ((n 0))
+        (lambda () (setq n (+ n 1)) n)))
+    (defun count-three ()
+      (let ((c (make-counter)))
+        (funcall c)
+        (funcall c)
+        (funcall c)))";
+    assert_eq!(agree(src, "count-three", &[]), "3");
+}
+
+#[test]
+fn fib_iter_do_macro() {
+    let src = "(defun fib-iter (n)
+      (do ((a 0 b) (b 1 (+ a b)) (i 0 (+ i 1)))
+          ((= i n) a)))";
+    assert_eq!(agree(src, "fib-iter", &[fx(20)]), "6765");
+}
+
+#[test]
+fn caseq_dispatches_on_eql() {
+    let src = "(defun classify (x)
+      (caseq x ((1 2) 'small) (3 'three) (t 'big)))";
+    assert_eq!(agree(src, "classify", &[fx(1)]), "small");
+    assert_eq!(agree(src, "classify", &[fx(3)]), "three");
+    assert_eq!(agree(src, "classify", &[fx(9)]), "big");
+}
+
+#[test]
+fn rest_parameters_collect() {
+    let src = "(defun grab (a &rest r) (list a r))";
+    assert_eq!(agree(src, "grab", &[fx(1), fx(2), fx(3)]), "(1 (2 3))");
+    assert_eq!(agree(src, "grab", &[fx(1)]), "(1 ())");
+}
+
+#[test]
+fn apply_spreads_its_last_argument() {
+    let src = "(defun add3 (a b c) (+ a b c))
+    (defun call-apply (x) (apply #'add3 x (list 2 3)))";
+    assert_eq!(agree(src, "call-apply", &[fx(1)]), "6");
+}
+
+#[test]
+fn deriv_symbolic_workload() {
+    let src = "(defun deriv (e x)
+      (cond ((numberp e) 0)
+            ((symbolp e) (if (eq e x) 1 0))
+            ((eq (car e) '+) (list '+ (deriv (cadr e) x) (deriv (caddr e) x)))
+            ((eq (car e) '*)
+             (list '+ (list '* (cadr e) (deriv (caddr e) x))
+                      (list '* (caddr e) (deriv (cadr e) x))))
+            (t (error 'unknown))))
+    (defun build-expr (n x)
+      (if (zerop n) x (list '* x (list '+ (build-expr (- n 1) x) 1))))
+    (defun deriv-bench (n x) (deriv (build-expr n x) x))";
+    agree(src, "deriv-bench", &[fx(4), Value::from_datum(&sym("v"))]);
+}
+
+fn sym(name: &str) -> s1lisp_reader::Datum {
+    let mut i = Interner::new();
+    s1lisp_reader::Datum::Sym(i.intern(name))
+}
+
+#[test]
+fn fuel_exhaustion_traps() {
+    let src = "(defun spin (n) (spin (+ n 1)))";
+    let (mut eval, _) = build(src);
+    eval.fuel_per_run = 10_000;
+    let err = eval.run("spin", &[fx(0)]).unwrap_err();
+    assert!(err.message.contains("fuel"), "{err}");
+    assert!(eval.last_run_insns <= 10_000);
+}
+
+#[test]
+fn arity_errors_trap_on_both_engines() {
+    let src = "(defun two (a b) (+ a b))";
+    assert_eq!(agree(src, "two", &[fx(1)]), "trap");
+    assert_eq!(agree(src, "two", &[fx(1), fx(2), fx(3)]), "trap");
+}
+
+#[test]
+fn listing_reflects_fused_arithmetic() {
+    // `tak` is all fixnum compares and decrements; representation
+    // analysis lowers them, so the listing must show fused opcodes
+    // rather than generic calls.
+    let src = "(defun dec (x) (declare (fixnum x)) (- x 1))";
+    let (eval, _) = build(src);
+    let listing = eval.module().listing("dec").expect("listing");
+    assert!(listing.contains("(sub"), "expected fused `-`:\n{listing}");
+}
+
+#[test]
+fn gc_stress_allocation_churn() {
+    // `build-list` is *not* tail recursive, and the interpreter caps
+    // call depth at 150 — stay under it so both engines run it out.
+    let src = "(defun build-list (n acc)
+      (if (zerop n) acc (build-list (- n 1) (cons n acc))))
+    (defun gc-stress (m)
+      (prog ()
+        top
+        (if (zerop m) (return 'done))
+        (build-list 100 '())
+        (setq m (- m 1))
+        (go top)))";
+    assert_eq!(agree(src, "gc-stress", &[fx(20)]), "done");
+}

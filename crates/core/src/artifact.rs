@@ -15,6 +15,10 @@ use s1lisp_trace::json::Json;
 pub struct Artifact {
     /// The `defun` name.
     pub name: String,
+    /// The backend that emitted this artifact
+    /// ([`BackendKind::name`](crate::BackendKind::name): `"s1"` or
+    /// `"bytecode"`).
+    pub backend: String,
     /// The cache key this artifact was stored under (structural tree
     /// fingerprint mixed with the options fingerprint); `0` until the
     /// service assigns it.
@@ -66,6 +70,7 @@ impl Artifact {
     pub fn to_json(&self) -> Json {
         Json::Obj(vec![
             ("name".into(), Json::str(&self.name)),
+            ("backend".into(), Json::str(&self.backend)),
             (
                 "fingerprint".into(),
                 Json::Str(format!("{:016x}", self.fingerprint)),
@@ -106,6 +111,7 @@ impl Artifact {
         };
         Some(Artifact {
             name: s("name")?,
+            backend: s("backend")?,
             fingerprint: u64::from_str_radix(j.get("fingerprint")?.as_str()?, 16).ok()?,
             converted: s("converted")?,
             optimized: s("optimized")?,
@@ -130,6 +136,7 @@ mod tests {
     fn sample() -> Artifact {
         Artifact {
             name: "norm".into(),
+            backend: "s1".into(),
             fingerprint: 0xdead_beef_0000_0001,
             converted: "(lambda (x) x)".into(),
             optimized: "(lambda (x) x)".into(),

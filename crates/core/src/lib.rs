@@ -40,9 +40,12 @@ pub use dossier::Dossier;
 pub use error::{CompileError, PassOverrun};
 pub use guard::GuardError;
 pub use phases::{phases, trip_phase_faults, Phase, PhaseStatus};
+pub use pipeline::BytecodeBackend;
 pub use pipeline::{
-    Pass, PassCx, PassInfo, Pipeline, PipelineOptions, UnitAnalyses, UnitAnnotations, UnitState,
+    backend_for, Backend, BackendKind, Pass, PassCx, PassInfo, Pipeline, PipelineOptions,
+    S1Backend, UnitAnalyses, UnitAnnotations, UnitState,
 };
+pub use s1lisp_bytecode::{BcTrap, Evaluator};
 pub use s1lisp_trace::fault::{FaultPlan, FaultSite};
 
 pub use s1lisp_codegen::CodegenOptions;
@@ -152,9 +155,15 @@ pub struct Compiler {
     /// naming the pass, instead of one whole-job watchdog guessing.
     /// `None` (the default) never times out.
     pub pass_budget: Option<std::time::Duration>,
+    /// Which code-generation backend closes the pipeline (default:
+    /// the S-1 backend).  Also salts
+    /// [`Compiler::options_fingerprint`], so per-backend artifacts
+    /// never collide in the service's caches.
+    pub backend: BackendKind,
     /// Artifacts per compiled function, in compilation order.
     pub functions: Vec<CompiledFunction>,
     program: Program,
+    bytecode: s1lisp_bytecode::Module,
     interp_sources: Vec<s1lisp_frontend::Function>,
     specials: Vec<String>,
     globals: Vec<(String, Value)>,
@@ -181,8 +190,10 @@ impl Compiler {
             guard: false,
             fault_plan: None,
             pass_budget: None,
+            backend: BackendKind::default(),
             functions: Vec::new(),
             program: Program::new(),
+            bytecode: s1lisp_bytecode::Module::new(),
             interp_sources: Vec::new(),
             specials: Vec::new(),
             globals: Vec::new(),
@@ -363,6 +374,7 @@ impl Compiler {
     /// that `report --passes` and the Table-1 cross-check describe.
     pub fn pipeline(&self) -> Pipeline {
         Pipeline::from_options(&PipelineOptions {
+            backend: self.backend,
             opt_options: self.opt_options.clone(),
             cse: self.cse,
             codegen_options: self.codegen_options.clone(),
@@ -398,6 +410,7 @@ impl Compiler {
         let mut cx = PassCx {
             sink,
             program: &mut self.program,
+            bytecode: &mut self.bytecode,
         };
         pipeline.run(&mut unit, &mut cx)?;
         let name = unit.name.clone();
@@ -532,12 +545,35 @@ impl Compiler {
         &self.program
     }
 
-    /// Parenthesized-assembly listing of a compiled function, or `None`
-    /// if it is not defined.
+    /// Parenthesized listing of a compiled function — S-1 assembly or
+    /// the bytecode listing, per the active backend — or `None` if it
+    /// is not defined.
     pub fn disassemble(&self, name: &str) -> Option<String> {
-        let id = self.program.lookup_fn(name)?;
-        let code = self.program.func(id)?;
-        Some(s1lisp_codegen::disassemble(&self.program, code))
+        match self.backend {
+            BackendKind::S1 => {
+                let id = self.program.lookup_fn(name)?;
+                let code = self.program.func(id)?;
+                Some(s1lisp_codegen::disassemble(&self.program, code))
+            }
+            BackendKind::Bytecode => self.bytecode.listing(name),
+        }
+    }
+
+    /// The bytecode module compiled so far (empty under the S-1
+    /// backend).
+    pub fn bytecode(&self) -> &s1lisp_bytecode::Module {
+        &self.bytecode
+    }
+
+    /// A fresh bytecode evaluator loaded with everything compiled so
+    /// far (with `defvar` initial values installed) — the bytecode
+    /// backend's analog of [`Compiler::machine`].
+    pub fn evaluator(&self) -> Evaluator {
+        let mut e = Evaluator::new(self.bytecode.clone());
+        for (name, v) in &self.globals {
+            e.set_global(name, v.clone());
+        }
+        e
     }
 
     /// The artifacts of a compiled function.
@@ -627,6 +663,10 @@ impl Compiler {
             u8::from(g.backtracking_pack),
             u8::from(self.tension_branches),
         );
+        // The backend salt keeps per-backend artifacts apart: the same
+        // tree under the same switches emits different code per
+        // backend, so their cache keys must differ too.
+        let canonical = format!("{canonical} backend:{}", self.backend.salt());
         s1lisp_ast::fnv1a_str(&canonical)
     }
 
@@ -638,13 +678,20 @@ impl Compiler {
     pub fn artifact(&self, name: &str) -> Option<Artifact> {
         let f = self.function(name)?;
         let d = self.explain(name)?;
-        let insns = self
-            .program
-            .lookup_fn(name)
-            .and_then(|id| self.program.func(id))
-            .map_or(0, |code| code.insns.len() as u64);
+        let insns = match self.backend {
+            BackendKind::S1 => self
+                .program
+                .lookup_fn(name)
+                .and_then(|id| self.program.func(id))
+                .map_or(0, |code| code.insns.len() as u64),
+            BackendKind::Bytecode => self
+                .bytecode
+                .lookup(name)
+                .map_or(0, |ix| self.bytecode.proto(ix).code.len() as u64),
+        };
         Some(Artifact {
             name: f.name.clone(),
+            backend: self.backend.name().to_string(),
             fingerprint: 0,
             converted: f.converted.clone(),
             optimized: f.optimized.clone(),
@@ -1103,6 +1150,53 @@ mod artifact_tests {
         let mut c = Compiler::new();
         c.opt_options.trace = true;
         assert_eq!(base, c.options_fingerprint());
+    }
+
+    #[test]
+    fn backend_salts_the_options_fingerprint() {
+        let base = Compiler::new().options_fingerprint();
+        let mut bc = Compiler::new();
+        bc.backend = BackendKind::Bytecode;
+        // Same switches, different backend: the keys must never
+        // collide, or one backend's cached artifacts would satisfy the
+        // other's lookups.
+        assert_ne!(base, bc.options_fingerprint());
+        // Stable per backend.
+        let mut bc2 = Compiler::new();
+        bc2.backend = BackendKind::Bytecode;
+        assert_eq!(bc.options_fingerprint(), bc2.options_fingerprint());
+        // The salt composes with the other switches rather than
+        // replacing them.
+        bc2.cse = true;
+        assert_ne!(bc.options_fingerprint(), bc2.options_fingerprint());
+    }
+
+    #[test]
+    fn bytecode_backend_compiles_runs_and_tags_artifacts() {
+        let mut c = Compiler::new();
+        c.backend = BackendKind::Bytecode;
+        c.compile_str(
+            "(defun exptl (x n a)
+               (cond ((zerop n) a)
+                     ((oddp n) (exptl (* x x) (floor (/ n 2)) (* a x)))
+                     (t (exptl (* x x) (floor (/ n 2)) a))))",
+        )
+        .unwrap();
+        let mut e = c.evaluator();
+        let v = e
+            .run(
+                "exptl",
+                &[Value::Fixnum(2), Value::Fixnum(10), Value::Fixnum(1)],
+            )
+            .unwrap();
+        assert_eq!(v, Value::Fixnum(1024));
+        let a = c.artifact("exptl").unwrap();
+        assert_eq!(a.backend, "bytecode");
+        assert!(a.insns > 0);
+        assert!(a.assembly.contains("defbytecode exptl"));
+        assert_eq!(a.assembly, c.disassemble("exptl").unwrap());
+        // The S-1 program stays empty under the bytecode backend.
+        assert_eq!(c.code_size_words(), 0);
     }
 
     #[test]

@@ -138,12 +138,16 @@ impl UnitState {
 // ------------------------------------------------------------ pass trait
 
 /// Shared context a pass runs against: the telemetry sink and the
-/// program being extended (codegen and the peephole pass write to it).
+/// output containers the emission passes extend — the S-1 program
+/// (codegen + peephole) and the bytecode module (the bytecode
+/// backend's emitter).
 pub struct PassCx<'a> {
     /// Telemetry sink; a disabled sink makes spans/counters no-ops.
     pub sink: &'a mut dyn TraceSink,
-    /// The program compiled so far.
+    /// The S-1 program compiled so far.
     pub program: &'a mut Program,
+    /// The bytecode module compiled so far.
+    pub bytecode: &'a mut s1lisp_bytecode::Module,
 }
 
 /// One named phase of the per-function pipeline.
@@ -184,11 +188,125 @@ pub struct PassInfo {
     pub enabled: bool,
 }
 
+/// Which code-generation backend closes the pipeline.
+///
+/// The front of the schedule — guards, the analysis quartet,
+/// source-level optimization, and the three machine-dependent
+/// annotation passes — is backend-independent; the [`Backend`]
+/// contributes only the emission tail.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum BackendKind {
+    /// S-1 assembly via `s1lisp-codegen` + TNBIND, run on the
+    /// simulator.  The reference backend.
+    #[default]
+    S1,
+    /// Portable linear bytecode via `s1lisp-bytecode`, run on its
+    /// stack-frame evaluator.
+    Bytecode,
+}
+
+impl BackendKind {
+    /// Stable identifier, used in reports and CLI flags.
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendKind::S1 => "s1",
+            BackendKind::Bytecode => "bytecode",
+        }
+    }
+
+    /// Fingerprint salt folded into
+    /// [`Compiler::options_fingerprint`](crate::Compiler::options_fingerprint)
+    /// so artifacts from different backends can never satisfy each
+    /// other's cache keys.
+    pub fn salt(self) -> &'static str {
+        self.name()
+    }
+
+    /// Parses a CLI spelling ([`BackendKind::name`]).
+    pub fn parse(s: &str) -> Option<BackendKind> {
+        match s {
+            "s1" => Some(BackendKind::S1),
+            "bytecode" | "bc" => Some(BackendKind::Bytecode),
+            _ => None,
+        }
+    }
+}
+
+/// A code-generation backend: a name, a cache-key salt, and the
+/// emission passes it appends to the backend-independent front of the
+/// schedule.
+pub trait Backend {
+    /// Stable identifier ([`BackendKind::name`]).
+    fn name(&self) -> &'static str;
+
+    /// Fingerprint salt ([`BackendKind::salt`]).
+    fn salt(&self) -> &'static str;
+
+    /// The emission tail of the schedule, with per-pass enablement.
+    fn passes(&self, options: &PipelineOptions) -> Vec<(Box<dyn Pass + Send + Sync>, bool)>;
+}
+
+/// The S-1 backend: TNBIND + code generation, then the peephole
+/// (branch-tensioning) pass — exactly the emission tail the pipeline
+/// always had, byte for byte.
+pub struct S1Backend;
+
+impl Backend for S1Backend {
+    fn name(&self) -> &'static str {
+        BackendKind::S1.name()
+    }
+
+    fn salt(&self) -> &'static str {
+        BackendKind::S1.salt()
+    }
+
+    fn passes(&self, options: &PipelineOptions) -> Vec<(Box<dyn Pass + Send + Sync>, bool)> {
+        vec![
+            (
+                Box::new(EmitPass {
+                    options: options.codegen_options.clone(),
+                }),
+                true,
+            ),
+            (Box::new(PeepholePass), options.tension_branches),
+        ]
+    }
+}
+
+/// The bytecode backend: one emission pass lowering the annotated tree
+/// to the portable linear bytecode (branch tensioning does not apply —
+/// the emitter resolves labels to absolute targets directly).
+pub struct BytecodeBackend;
+
+impl Backend for BytecodeBackend {
+    fn name(&self) -> &'static str {
+        BackendKind::Bytecode.name()
+    }
+
+    fn salt(&self) -> &'static str {
+        BackendKind::Bytecode.salt()
+    }
+
+    fn passes(&self, _options: &PipelineOptions) -> Vec<(Box<dyn Pass + Send + Sync>, bool)> {
+        vec![(Box::new(BytecodeEmitPass), true)]
+    }
+}
+
+/// The [`Backend`] implementation for a [`BackendKind`].
+pub fn backend_for(kind: BackendKind) -> Box<dyn Backend> {
+    match kind {
+        BackendKind::S1 => Box::new(S1Backend),
+        BackendKind::Bytecode => Box::new(BytecodeBackend),
+    }
+}
+
 /// Options a [`Pipeline`] schedule is built from — the code-shaping
 /// switches of [`Compiler`](crate::Compiler), plus the cross-cutting
 /// guard/fault/budget machinery.
 #[derive(Clone, Debug, Default)]
 pub struct PipelineOptions {
+    /// Which backend closes the schedule.
+    pub backend: BackendKind,
     /// Source-level optimization switches.
     pub opt_options: OptOptions,
     /// Whether the CSE pass runs.
@@ -238,9 +356,10 @@ impl Pipeline {
     /// back-translation guard, the three machine-dependent annotation
     /// passes, TNBIND + code generation, and the peephole optimizer.
     /// Disabled passes stay in the schedule (so `describe` shows them)
-    /// but are skipped by [`Pipeline::run`].
+    /// but are skipped by [`Pipeline::run`].  The emission tail comes
+    /// from the selected [`Backend`].
     pub fn from_options(options: &PipelineOptions) -> Pipeline {
-        let passes: Vec<(Box<dyn Pass + Send + Sync>, bool)> = vec![
+        let mut passes: Vec<(Box<dyn Pass + Send + Sync>, bool)> = vec![
             (
                 Box::new(FaultTripPass {
                     plan: options.fault_plan.clone(),
@@ -277,14 +396,8 @@ impl Pipeline {
             (Box::new(BindingPass), true),
             (Box::new(RepPass), true),
             (Box::new(PdlPass), true),
-            (
-                Box::new(EmitPass {
-                    options: options.codegen_options.clone(),
-                }),
-                true,
-            ),
-            (Box::new(PeepholePass), options.tension_branches),
         ];
+        passes.extend(backend_for(options.backend).passes(options));
         Pipeline {
             passes,
             pass_budget: options.pass_budget,
@@ -863,6 +976,64 @@ impl Pass for PeepholePass {
     }
 }
 
+/// The bytecode backend's emission pass: lowers the annotated tree to
+/// the portable linear bytecode, appending the unit's protos to the
+/// [`PassCx::bytecode`] module.  Consumes the same annotations as S-1
+/// code generation — binding allocation drives slot layout, the
+/// representation lowering map selects fused numeric opcodes.
+struct BytecodeEmitPass;
+
+impl Pass for BytecodeEmitPass {
+    fn name(&self) -> &'static str {
+        "Code generation"
+    }
+
+    fn table1(&self) -> &'static [&'static str] {
+        &["Code generation"]
+    }
+
+    fn module(&self) -> &'static str {
+        "s1lisp-bytecode::emit"
+    }
+
+    fn run(&self, unit: &mut UnitState, cx: &mut PassCx<'_>) -> Result<(), CompileError> {
+        let (Some(binding), Some(rep), Some(pdl)) = (
+            unit.annotations.binding.take(),
+            unit.annotations.rep.take(),
+            unit.annotations.pdl.take(),
+        ) else {
+            return Err(schedule_error(
+                "pipeline schedule error: code generation needs the annotation passes",
+            ));
+        };
+        let ann = Annotations { binding, rep, pdl };
+        let sp = cx.sink.span_begin("Code generation", &unit.name);
+        let result = s1lisp_bytecode::emit_unit(&unit.name, unit.tree(), &ann);
+        if cx.sink.enabled() {
+            if let Ok(protos) = &result {
+                cx.sink.add("protos", protos.len() as u64);
+                cx.sink.add(
+                    "insns",
+                    protos.iter().map(|p| p.code.len()).sum::<usize>() as u64,
+                );
+                cx.sink.add(
+                    "consts",
+                    protos.iter().map(|p| p.consts.len()).sum::<usize>() as u64,
+                );
+            }
+        }
+        cx.sink.span_end(sp);
+        unit.annotations = UnitAnnotations {
+            binding: Some(ann.binding),
+            rep: Some(ann.rep),
+            pdl: Some(ann.pdl),
+        };
+        let protos = result.map_err(|e| schedule_error(&e.to_string()))?;
+        cx.bytecode.define_unit(protos);
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -922,6 +1093,35 @@ mod tests {
         let enabled = |name: &str| infos.iter().find(|i| i.name == name).unwrap().enabled;
         assert!(enabled("Guard: conversion"));
         assert!(enabled("Common subexpression elimination"));
+    }
+
+    #[test]
+    fn backends_share_the_middle_end_and_differ_only_in_the_tail() {
+        let s1 = Compiler::new().pipeline().pass_names();
+        let mut c = Compiler::new();
+        c.backend = BackendKind::Bytecode;
+        let bc = c.pipeline().pass_names();
+        // S-1 keeps its historical shape: code generation then the
+        // peephole pass.
+        assert_eq!(
+            s1[s1.len() - 2..],
+            ["Code generation", "Peephole optimizer"]
+        );
+        // The bytecode backend replaces that tail with its single
+        // emitter pass.
+        assert_eq!(bc[bc.len() - 1], "Code generation");
+        assert_eq!(bc.len(), s1.len() - 1);
+        // Everything upstream of the backend is identical.
+        assert_eq!(s1[..s1.len() - 2], bc[..bc.len() - 1]);
+    }
+
+    #[test]
+    fn backend_kind_parses_and_salts_distinctly() {
+        assert_eq!(BackendKind::parse("s1"), Some(BackendKind::S1));
+        assert_eq!(BackendKind::parse("bytecode"), Some(BackendKind::Bytecode));
+        assert_eq!(BackendKind::parse("bc"), Some(BackendKind::Bytecode));
+        assert_eq!(BackendKind::parse("vax"), None);
+        assert_ne!(BackendKind::S1.salt(), BackendKind::Bytecode.salt());
     }
 
     #[test]

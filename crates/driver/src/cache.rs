@@ -448,6 +448,7 @@ mod tests {
     fn art(name: &str) -> Artifact {
         Artifact {
             name: name.into(),
+            backend: "s1".into(),
             fingerprint: 1,
             converted: "(lambda () 'nil)".into(),
             optimized: "(lambda () 'nil)".into(),

@@ -49,10 +49,10 @@ pub mod fsio;
 mod service;
 
 pub use cache::{ArtifactCache, CacheStats};
-pub use s1lisp::{FaultPlan, FaultSite};
+pub use s1lisp::{BackendKind, FaultPlan, FaultSite};
 pub use service::{
-    unit_decls, BatchResult, BatchStats, CompileService, GuardReport, Incident, IncidentKind,
-    JobRecord, OracleVerdict, Outcome, WorkerStats,
+    unit_decls, BatchResult, BatchStats, CompileService, CrossVerdict, GuardReport, Incident,
+    IncidentKind, JobRecord, OracleVerdict, Outcome, WorkerStats,
 };
 
 use std::path::PathBuf;
@@ -146,6 +146,63 @@ pub struct BatchTuning {
     pub transformations_off: bool,
 }
 
+/// Which code generator a batch compiles with.
+///
+/// [`BackendSelect::Both`] is the cross-backend oracle mode: jobs
+/// compile (and cache, and ship) S-1 artifacts exactly as
+/// [`BackendSelect::S1`] does, and after the batch every
+/// [`OracleCase`] additionally runs on a bytecode compilation of the
+/// same units — S-1 on the simulator against bytecode on the stack
+/// evaluator, under the same fuel.  A disagreement is an
+/// [`IncidentKind::Miscompile`]; the S-1 artifact is what ships either
+/// way.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum BackendSelect {
+    /// The paper's S-1 backend (code generation + peephole).
+    #[default]
+    S1,
+    /// The portable bytecode backend.
+    Bytecode,
+    /// Compile S-1, cross-check every oracle case against bytecode.
+    Both,
+}
+
+impl BackendSelect {
+    /// Parses a report/CLI label (`"s1"`, `"bytecode"`/`"bc"`,
+    /// `"both"`).
+    pub fn parse(s: &str) -> Option<BackendSelect> {
+        match s {
+            "both" => Some(BackendSelect::Both),
+            _ => BackendKind::parse(s).map(|k| match k {
+                BackendKind::S1 => BackendSelect::S1,
+                BackendKind::Bytecode => BackendSelect::Bytecode,
+            }),
+        }
+    }
+
+    /// Lower-case label for reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BackendSelect::S1 => "s1",
+            BackendSelect::Bytecode => "bytecode",
+            BackendSelect::Both => "both",
+        }
+    }
+
+    /// The backend batch jobs compile with (what the artifacts carry).
+    pub fn primary(self) -> BackendKind {
+        match self {
+            BackendSelect::Bytecode => BackendKind::Bytecode,
+            BackendSelect::S1 | BackendSelect::Both => BackendKind::S1,
+        }
+    }
+
+    /// True when the post-batch cross-backend oracle runs.
+    pub fn cross_checked(self) -> bool {
+        self == BackendSelect::Both
+    }
+}
+
 /// How a batch's job queue is ordered before the workers drain it.
 ///
 /// Because every job is hermetic and results are reassembled in source
@@ -192,6 +249,11 @@ pub struct ServiceConfig {
     pub codegen_options: s1lisp::CodegenOptions,
     /// Whether jobs run branch tensioning.
     pub tension_branches: bool,
+    /// Which backend jobs compile with, and whether the post-batch
+    /// cross-backend oracle runs ([`BackendSelect::Both`]).  The
+    /// backend salts the option fingerprint, so the artifact cache is
+    /// partitioned per backend automatically.
+    pub backend: BackendSelect,
     /// Per-function wall-clock budget; `None` disables the watchdog.
     pub time_budget: Option<Duration>,
     /// Per-*pass* wall-clock budget, enforced by the pipeline itself
@@ -235,6 +297,7 @@ impl Default for ServiceConfig {
             cse: false,
             codegen_options: s1lisp::CodegenOptions::default(),
             tension_branches: true,
+            backend: BackendSelect::S1,
             time_budget: None,
             pass_budget: None,
             cache_capacity: 512,

@@ -24,7 +24,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::Instant;
 
-use s1lisp::{Artifact, CompileError, Compiler, FaultPlan, FaultSite, Machine, Value};
+use s1lisp::{Artifact, BackendKind, CompileError, Compiler, FaultPlan, FaultSite, Machine, Value};
 use s1lisp_ast::Fnv1a64;
 use s1lisp_reader::{read_all_str, read_str, Datum, Interner};
 use s1lisp_trace::json::Json;
@@ -200,6 +200,31 @@ pub struct OracleVerdict {
     pub injected: bool,
 }
 
+/// One cross-backend oracle verdict: the printed outcome of `entry`
+/// under the S-1 backend (on the register simulator) and the bytecode
+/// backend (on the stack evaluator), compiled from the same units with
+/// the same options and run under the same fuel.
+///
+/// Traps agree *as traps*: each engine words its diagnostics
+/// differently (and meters fuel in its own instructions), so two
+/// trapping runs count as a match even when the messages differ.  A
+/// value-vs-value difference, or a value on one side and a trap on the
+/// other, is a miscompile.
+#[derive(Clone, Debug)]
+pub struct CrossVerdict {
+    /// The function that was called.
+    pub entry: String,
+    /// True when the backends agreed.
+    pub matched: bool,
+    /// Printed outcome of the S-1 compilation on the simulator.
+    pub s1: String,
+    /// Printed outcome of the bytecode compilation on the evaluator.
+    pub bytecode: String,
+    /// True when a [`FaultSite::Miscompile`] plan site perturbed the
+    /// bytecode side.
+    pub injected: bool,
+}
+
 /// The guarded-compilation summary attached to a batch when
 /// [`ServiceConfig::guard`](crate::ServiceConfig::guard) is set.
 #[derive(Clone, Debug)]
@@ -282,6 +307,9 @@ pub struct BatchResult {
     /// Guarded-compilation summary; `None` unless the batch ran with
     /// [`ServiceConfig::guard`](crate::ServiceConfig::guard).
     pub guard: Option<GuardReport>,
+    /// Cross-backend oracle verdicts, in case order; empty unless the
+    /// batch ran with [`BackendSelect::Both`](crate::BackendSelect::Both).
+    pub cross: Vec<CrossVerdict>,
 }
 
 impl BatchResult {
@@ -445,6 +473,19 @@ impl BatchResult {
             .iter()
             .map(|(name, init)| obj(vec![("name", Json::str(name)), ("init", Json::str(init))]))
             .collect();
+        let cross = self
+            .cross
+            .iter()
+            .map(|v| {
+                obj(vec![
+                    ("entry", Json::str(&v.entry)),
+                    ("matched", Json::Bool(v.matched)),
+                    ("s1", Json::str(&v.s1)),
+                    ("bytecode", Json::str(&v.bytecode)),
+                    ("injected", Json::Bool(v.injected)),
+                ])
+            })
+            .collect();
         let artifacts = self.artifacts.iter().map(Artifact::to_json).collect();
         obj(vec![
             ("workers_used", Json::uint(self.stats.workers_used as u64)),
@@ -463,6 +504,7 @@ impl BatchResult {
                 "guard",
                 self.guard.as_ref().map_or(Json::Null, GuardReport::to_json),
             ),
+            ("cross", Json::Arr(cross)),
             ("artifacts", Json::Arr(artifacts)),
         ])
     }
@@ -507,6 +549,9 @@ fn job_compiler(config: &ServiceConfig, specials: &[String], degraded: bool) -> 
     c.cse = config.cse && !degraded;
     c.codegen_options = config.codegen_options.clone();
     c.tension_branches = config.tension_branches;
+    // The backend salts the option fingerprint, so jobs for different
+    // backends can never collide in the shared artifact cache.
+    c.backend = config.backend.primary();
     c.guard = config.guard && !degraded;
     c.fault_plan = if degraded {
         None
@@ -1031,7 +1076,13 @@ impl CompileService {
                 phase_totals,
             },
             guard: None,
+            cross: Vec::new(),
         };
+        // Cross-backend first, so a guard report's containment verdict
+        // sees any cross-backend miscompile incidents.
+        if config.backend.cross_checked() {
+            self.apply_cross_oracle(units, &mut batch);
+        }
         if config.guard {
             self.apply_guard(units, &mut batch);
         }
@@ -1117,7 +1168,118 @@ impl CompileService {
         c.cse = self.config.cse && !reference;
         c.codegen_options = self.config.codegen_options.clone();
         c.tension_branches = self.config.tension_branches;
+        c.backend = self.config.backend.primary();
         c
+    }
+
+    /// A serial, batch-options compiler for one side of the
+    /// cross-backend oracle.
+    fn backend_compiler(&self, backend: BackendKind) -> Compiler {
+        let mut c = self.oracle_compiler(false);
+        c.backend = backend;
+        c
+    }
+
+    /// The post-batch cross-backend pass ([`BackendSelect::Both`](crate::BackendSelect::Both)):
+    /// recompile every unit for both backends, run each oracle case on
+    /// the S-1 simulator and the bytecode evaluator under
+    /// [`ServiceConfig::oracle_fuel`], and record any disagreement as a
+    /// [`IncidentKind::Miscompile`].  The batch already holds the S-1
+    /// artifacts, so the safe side is what ships either way.
+    fn apply_cross_oracle(&self, units: &[SourceUnit], batch: &mut BatchResult) {
+        if self.config.oracle.is_empty() {
+            return;
+        }
+        let plan = self
+            .config
+            .fault_plan
+            .clone()
+            .unwrap_or_else(|| FaultPlan::new(0));
+        let mut s1_c = self.backend_compiler(BackendKind::S1);
+        let mut bc_c = self.backend_compiler(BackendKind::Bytecode);
+        for u in units {
+            // A unit that fails here already failed in the batch; the
+            // oracle is best-effort over what compiled.
+            let _ = catch_unwind(AssertUnwindSafe(|| s1_c.compile_str(&u.source).map(drop)));
+            let _ = catch_unwind(AssertUnwindSafe(|| bc_c.compile_str(&u.source).map(drop)));
+        }
+        for case in &self.config.oracle {
+            match self.judge_cross(case, &plan, &s1_c, &bc_c, batch) {
+                Ok(verdict) => batch.cross.push(verdict),
+                Err(e) => batch
+                    .failures
+                    .push((format!("cross-oracle {}", case.entry), e)),
+            }
+        }
+    }
+
+    /// Runs one cross-backend case on both engines and, on a mismatch,
+    /// records a miscompile incident.  Two traps agree as traps — the
+    /// engines word (and meter) their diagnostics differently.
+    fn judge_cross(
+        &self,
+        case: &OracleCase,
+        plan: &FaultPlan,
+        s1_c: &Compiler,
+        bc_c: &Compiler,
+        batch: &mut BatchResult,
+    ) -> Result<CrossVerdict, String> {
+        let mut interner = Interner::new();
+        let mut args = Vec::new();
+        for a in &case.args {
+            let d = read_str(a, &mut interner).map_err(|e| format!("argument {a}: {e}"))?;
+            args.push(Value::from_datum(&d));
+        }
+        let s1 = {
+            let mut m = s1_c.machine();
+            m.fuel_per_run = self.config.oracle_fuel;
+            match m.run(&case.entry, &args) {
+                Ok(v) => v.to_string(),
+                Err(t) => format!("trap: {t}"),
+            }
+        };
+        let mut bytecode = {
+            let mut e = bc_c.evaluator();
+            e.fuel_per_run = self.config.oracle_fuel;
+            match e.run(&case.entry, &args) {
+                Ok(v) => v.to_string(),
+                Err(t) => format!("trap: {t}"),
+            }
+        };
+        let mut injected = false;
+        if plan.fires(FaultSite::Miscompile, &case.entry) {
+            bytecode.push_str(" [injected miscompile]");
+            injected = true;
+        }
+        let both_trap = s1.starts_with("trap:") && bytecode.starts_with("trap:");
+        let matched = both_trap || s1 == bytecode;
+        if !matched {
+            // The batch compiled with the S-1 backend, so the shipped
+            // artifact is already the reference side; recovery here
+            // means confirming it is present.
+            let recovered = batch
+                .artifact(&case.entry)
+                .is_some_and(|a| a.backend == BackendKind::S1.name());
+            let unit = batch
+                .records
+                .iter()
+                .find(|r| r.function == case.entry)
+                .map_or_else(|| "cross-oracle".to_string(), |r| r.unit.clone());
+            batch.incidents.push(Incident {
+                function: case.entry.clone(),
+                unit,
+                kind: IncidentKind::Miscompile,
+                detail: format!("cross-backend mismatch: s1 gave {s1}, bytecode gave {bytecode}"),
+                recovered,
+            });
+        }
+        Ok(CrossVerdict {
+            entry: case.entry.clone(),
+            matched,
+            s1,
+            bytecode,
+            injected,
+        })
     }
 
     /// Runs one oracle case on both sides and, on a mismatch, records a
@@ -1137,6 +1299,17 @@ impl CompileService {
             args.push(Value::from_datum(&d));
         }
         let run = |c: &Compiler, batch: &BatchResult| -> String {
+            // Under the bytecode backend both oracle sides run on the
+            // stack evaluator (the compiler's own globals mirror the
+            // batch's — both come from the same units' `defvar`s).
+            if c.backend == BackendKind::Bytecode {
+                let mut e = c.evaluator();
+                e.fuel_per_run = self.config.oracle_fuel;
+                return match e.run(&case.entry, &args) {
+                    Ok(v) => v.to_string(),
+                    Err(t) => format!("trap: {t}"),
+                };
+            }
             let mut m = Machine::new(c.program().clone());
             if let Err(e) = batch.load_globals(&mut m) {
                 return format!("trap: {e}");

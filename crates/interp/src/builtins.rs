@@ -18,11 +18,11 @@ use crate::error::LispError;
 use crate::value::Value;
 
 /// Calls builtin `name`, or returns `None` if `name` is not a builtin.
-pub(crate) fn call_builtin(
-    name: &str,
-    args: &[Value],
-    t: &Symbol,
-) -> Option<Result<Value, LispError>> {
+///
+/// Public so that alternative execution engines (the bytecode
+/// evaluator) share the primitives' reference semantics verbatim
+/// instead of reimplementing them.
+pub fn call_builtin(name: &str, args: &[Value], t: &Symbol) -> Option<Result<Value, LispError>> {
     dispatch(name, args, t)
 }
 

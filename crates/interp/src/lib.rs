@@ -39,7 +39,7 @@ mod error;
 mod eval;
 mod value;
 
-pub use builtins::{eval_primop, NAMES as BUILTIN_NAMES};
+pub use builtins::{call_builtin, eval_primop, NAMES as BUILTIN_NAMES};
 pub use error::LispError;
 pub use eval::{Interp, InterpStats};
 pub use value::{Function, Value};

@@ -642,6 +642,7 @@ mod tests {
             "f".into(),
             Artifact {
                 name: "f".into(),
+                backend: "s1".into(),
                 fingerprint: 1,
                 converted: "(lambda (x) x)".into(),
                 optimized: "(lambda (x) x)".into(),

@@ -4,7 +4,9 @@
 //! journey — and the observability surfaces (phase telemetry, execution
 //! statistics, opcode profile, the per-function compilation dossier,
 //! a trap post-mortem, and the batch compilation service with its
-//! artifact cache and fault isolation).
+//! artifact cache and fault isolation), closing with the same function
+//! compiled for both backends — S-1 and portable bytecode — and run to
+//! the same answer on both engines.
 //!
 //! ```sh
 //! cargo run --example compiler_tour
@@ -255,4 +257,41 @@ fn main() {
     handle.shutdown();
     handle.join();
     println!("daemon drained and joined cleanly");
+
+    // The closing act: the same function through both backends.  The
+    // 13-pass middle end is shared; only the emission tail differs —
+    // S-1 registers and TNs on one side, a flat bytecode frame on the
+    // other — and the two engines must agree on every value.
+    println!("\n=== two backends, one middle end: exptl for S-1 and bytecode ===\n");
+    let exptl = "(defun exptl (base exp acc)
+                   (if (zerop exp) acc
+                       (exptl base (- exp 1) (* acc base))))";
+    let mut s1_c = Compiler::new();
+    s1_c.compile_str(exptl).expect("compile for S-1");
+    let mut bc_c = Compiler::new();
+    bc_c.backend = s1lisp::BackendKind::Bytecode;
+    bc_c.compile_str(exptl).expect("compile for bytecode");
+
+    println!("--- S-1 backend (registers, TNs, tensioned branches) ---");
+    print!("{}", s1_c.disassemble("exptl").expect("s1 listing"));
+    println!("\n--- bytecode backend (fixed-width ops, constant pool) ---");
+    print!("{}", bc_c.disassemble("exptl").expect("bytecode listing"));
+
+    let s1_a = s1_c.artifact("exptl").expect("s1 artifact");
+    let bc_a = bc_c.artifact("exptl").expect("bytecode artifact");
+    println!(
+        "\ndossier diff: backend {} vs {}, {} vs {} insns; salted option \
+         fingerprints {:016x} vs {:016x} (the cache partition key)",
+        s1_a.backend,
+        bc_a.backend,
+        s1_a.insns,
+        bc_a.insns,
+        s1_c.options_fingerprint(),
+        bc_c.options_fingerprint(),
+    );
+    let args = [Value::Fixnum(2), Value::Fixnum(10), Value::Fixnum(1)];
+    let on_s1 = s1_c.machine().run("exptl", &args).expect("s1 run");
+    let on_bc = bc_c.evaluator().run("exptl", &args).expect("bytecode run");
+    assert_eq!(on_s1, on_bc, "the cross-backend oracle's contract");
+    println!("(exptl 2 10 1) => {on_s1} on the simulator, {on_bc} on the evaluator — agreed");
 }

@@ -246,6 +246,40 @@ fn disk_tier_warms_a_fresh_service() {
 }
 
 #[test]
+fn backend_partitions_the_cache_on_disk_and_in_memory() {
+    use s1lisp_driver::BackendSelect;
+
+    // The backend salts the options fingerprint, which is folded into
+    // every cache key — so an S-1 artifact must never satisfy a
+    // bytecode request, across both the memory and disk tiers.
+    let dir =
+        std::env::temp_dir().join(format!("s1lisp-driver-backend-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = |backend| ServiceConfig {
+        jobs: 2,
+        backend,
+        cache_dir: Some(dir.clone()),
+        ..ServiceConfig::default()
+    };
+    let s1 = CompileService::new(config(BackendSelect::S1)).compile_batch(&service_units());
+    assert!(s1.failures.is_empty(), "{:?}", s1.failures);
+    assert_eq!(s1.stats.cache.hits, 0);
+    // A fresh service, same directory, other backend: the disk tier is
+    // warm with S-1 artifacts, yet nothing may hit.
+    let bc = CompileService::new(config(BackendSelect::Bytecode)).compile_batch(&service_units());
+    assert!(bc.failures.is_empty(), "{:?}", bc.failures);
+    assert_eq!(bc.hit_rate_percent(), 0, "bytecode hit the s1 cache");
+    assert_eq!(bc.stats.cache.disk_hits, 0);
+    assert!(bc.artifacts.iter().all(|a| a.backend == "bytecode"));
+    assert!(s1.artifacts.iter().all(|a| a.backend == "s1"));
+    // Each backend *does* hit its own entries on a rerun.
+    let warm = CompileService::new(config(BackendSelect::S1)).compile_batch(&service_units());
+    assert_eq!(warm.hit_rate_percent(), 100);
+    assert_eq!(warm.render_artifacts(), s1.render_artifacts());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn compile_failures_are_isolated_per_function() {
     let units = [SourceUnit::new(
         "u",
